@@ -1,0 +1,51 @@
+//! The §V timing study as a Criterion bench: `DYNMCB8` simulation cost
+//! at increasing numbers of simultaneously live jobs. The paper reports
+//! ≤ 1 ms per allocation below 10 jobs and ≈ 0.25 s average up to 102
+//! jobs on 2010 hardware; the shape (growth with population) is the
+//! claim to check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfrs_core::ClusterSpec;
+use dfrs_sched::Algorithm;
+use dfrs_sim::{simulate, SimConfig};
+use dfrs_workload::{Annotator, LublinModel, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// A burst of `n` simultaneous jobs: every submission triggers a repack
+/// over all jobs in the system, so allocation cost at population ≈ n
+/// dominates.
+fn burst_trace(n: usize, seed: u64) -> Trace {
+    let cluster = ClusterSpec::synthetic();
+    let model = LublinModel::for_cluster(&cluster);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut raws = model.generate(n, &mut rng);
+    for r in &mut raws {
+        r.submit = 0.0;
+    }
+    let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
+    Trace::new(cluster, jobs).unwrap()
+}
+
+fn bench_dynmcb8_allocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynmcb8_allocation");
+    g.sample_size(10);
+    for n in [10usize, 50, 100] {
+        let trace = burst_trace(n, 3);
+        g.bench_with_input(BenchmarkId::new("burst_jobs", n), &trace, |b, trace| {
+            b.iter(|| {
+                black_box(simulate(
+                    trace.cluster,
+                    trace.jobs(),
+                    Algorithm::DynMcb8.build().as_mut(),
+                    &SimConfig::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dynmcb8_allocation);
+criterion_main!(benches);

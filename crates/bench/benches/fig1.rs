@@ -1,0 +1,29 @@
+//! Figure 1 as Criterion benches: one miniature degradation-vs-load
+//! point per penalty setting. These measure the cost of regenerating the
+//! figure (the actual curves come from `cargo run -p dfrs-experiments
+//! --bin fig1`; see EXPERIMENTS.md for recorded values).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfrs_experiments::fig1;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    // (penalty, label): (a) = no penalty, (b) = 5-minute penalty.
+    for (penalty, label) in [(0.0, "a"), (300.0, "b")] {
+        g.bench_with_input(
+            BenchmarkId::new("panel", label),
+            &penalty,
+            |b, &penalty| {
+                b.iter(|| {
+                    black_box(fig1::run(1, 60, &[0.3, 0.7], penalty, 5, 1))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

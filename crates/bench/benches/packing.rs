@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the vector-packing substrate: MCB8 vs the
+//! first/best-fit baselines, and the yield binary search — the inner
+//! loops every DYNMCB8 decision pays for. Also serves as the ablation
+//! quantifying what the balance-aware packer buys (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfrs_core::ids::JobId;
+use dfrs_packing::{
+    max_min_yield, BestFitDecreasing, FirstFitDecreasing, JobLoad, Mcb8, PackItem, VectorPacker,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn items(n: usize, seed: u64) -> Vec<PackItem> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| PackItem {
+            id: i as u32,
+            cpu: rng.gen_range(0.05..0.6),
+            mem: rng.gen_range(0.05..0.4),
+        })
+        .collect()
+}
+
+fn jobs(n: usize, seed: u64) -> Vec<JobLoad> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| JobLoad {
+            job: JobId(i as u32),
+            tasks: rng.gen_range(1..8),
+            cpu_need: if rng.gen_bool(0.25) { 0.25 } else { 1.0 },
+            mem_req: 0.1 * rng.gen_range(1..6) as f64,
+        })
+        .collect()
+}
+
+fn bench_packers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packers");
+    g.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let its = items(n, 7);
+        let bins = n / 3;
+        for packer in [&Mcb8 as &dyn VectorPacker, &FirstFitDecreasing, &BestFitDecreasing] {
+            g.bench_with_input(BenchmarkId::new(packer.name(), n), &its, |b, its| {
+                b.iter(|| black_box(packer.pack(black_box(its), bins)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_yield_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yield_search");
+    g.sample_size(15);
+    for n in [16usize, 64, 128] {
+        let loads = jobs(n, 11);
+        g.bench_with_input(BenchmarkId::new("mcb8", n), &loads, |b, loads| {
+            b.iter(|| black_box(max_min_yield(black_box(loads), 128, &Mcb8, 0.01, 0.01)))
+        });
+        g.bench_with_input(BenchmarkId::new("first-fit", n), &loads, |b, loads| {
+            b.iter(|| {
+                black_box(max_min_yield(black_box(loads), 128, &FirstFitDecreasing, 0.01, 0.01))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_packers, bench_yield_search);
+criterion_main!(benches);

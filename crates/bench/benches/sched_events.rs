@@ -1,0 +1,46 @@
+//! Per-algorithm simulation throughput: one fixed trace through each of
+//! the nine schedulers (plus the two extensions). Useful to see where
+//! the event-driven repacker's cost sits relative to the cheap greedy
+//! and batch policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfrs_core::ClusterSpec;
+use dfrs_sched::{Algorithm, ConservativeBf, DynMcb8FairPer};
+use dfrs_sim::{simulate, SimConfig};
+use dfrs_workload::{Annotator, LublinModel, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn trace() -> Trace {
+    let cluster = ClusterSpec::synthetic();
+    let model = LublinModel::for_cluster(&cluster);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let raws = model.generate(120, &mut rng);
+    let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
+    Trace::new(cluster, jobs).unwrap().scale_to_load(0.7).unwrap()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let t = trace();
+    let cfg = SimConfig::with_penalty();
+    let mut g = c.benchmark_group("simulate_120_jobs");
+    g.sample_size(10);
+    for algo in Algorithm::ALL {
+        g.bench_with_input(BenchmarkId::new("algo", algo.name()), &t, |b, t| {
+            b.iter(|| {
+                black_box(simulate(t.cluster, t.jobs(), algo.build().as_mut(), &cfg))
+            })
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("algo", "Conservative-BF"), &t, |b, t| {
+        b.iter(|| black_box(simulate(t.cluster, t.jobs(), &mut ConservativeBf::new(), &cfg)))
+    });
+    g.bench_with_input(BenchmarkId::new("algo", "DynMCB8-fair-per"), &t, |b, t| {
+        b.iter(|| black_box(simulate(t.cluster, t.jobs(), &mut DynMcb8FairPer::new(), &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

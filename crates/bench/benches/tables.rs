@@ -1,0 +1,39 @@
+//! Tables I and II as Criterion benches: miniature versions of the two
+//! table-regeneration pipelines (the recorded full-scale values live in
+//! EXPERIMENTS.md; the binaries in `dfrs-experiments` regenerate them).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfrs_experiments::{table1, table2};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    let cfg = table1::Table1Config {
+        seeds: 1,
+        jobs: 50,
+        loads: vec![0.5],
+        penalty: 300.0,
+        seed0: 2,
+        threads: 1,
+        weeks: 1,
+        hpc2n_jobs_per_week: 80.0,
+        swf_text: None,
+    };
+    g.bench_function("three_families_mini", |b| {
+        b.iter(|| black_box(table1::run(black_box(&cfg))))
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("high_load_costs_mini", |b| {
+        b.iter(|| black_box(table2::run(1, 50, &[0.8], 300.0, 4, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

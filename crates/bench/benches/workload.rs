@@ -1,0 +1,48 @@
+//! Workload-substrate benchmarks: Lublin generation throughput, SWF
+//! parse/write, and HPC2N preprocessing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfrs_core::ClusterSpec;
+use dfrs_workload::{
+    hpc2n_preprocess, parse_swf, write_swf, Annotator, Hpc2nLikeGenerator, LublinModel,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_lublin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lublin_generate");
+    g.sample_size(30);
+    let cluster = ClusterSpec::synthetic();
+    let model = LublinModel::for_cluster(&cluster);
+    let annotator = Annotator::new(cluster);
+    for n in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("jobs", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                let raws = model.generate(n, &mut rng);
+                black_box(annotator.annotate(&raws, &mut rng).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_swf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swf");
+    g.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let records = Hpc2nLikeGenerator::default().generate_swf(4, &mut rng);
+    let text = write_swf(&Vec::new(), &records);
+    g.bench_function("parse_4_weeks", |b| b.iter(|| black_box(parse_swf(black_box(&text)))));
+    g.bench_function("write_4_weeks", |b| {
+        b.iter(|| black_box(write_swf(&Vec::new(), black_box(&records))))
+    });
+    g.bench_function("hpc2n_preprocess_4_weeks", |b| {
+        b.iter(|| black_box(hpc2n_preprocess(black_box(&records), ClusterSpec::hpc2n())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lublin, bench_swf);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Homogeneous cluster description (Section II-B1: switched interconnect,
+//! network-attached storage, identical nodes).
+
+use crate::constants;
+use crate::error::CoreError;
+
+/// Static description of the simulated cluster.
+///
+/// Per-node capacities are normalized to 1.0 for both CPU and memory; the
+/// physical quantities (`cores_per_node`, `node_memory_gb`) matter only
+/// for workload annotation (a sequential task uses `1/cores` of a node's
+/// CPU) and for Table II's bandwidth accounting (bytes moved per
+/// preemption/migration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Cores per node (VM technology lets them be shared as one fluid
+    /// resource, Section IV-C).
+    pub cores_per_node: u32,
+    /// Physical memory per node in GB, for bandwidth accounting.
+    pub node_memory_gb: f64,
+}
+
+impl ClusterSpec {
+    /// Validate and build a cluster spec.
+    ///
+    /// # Errors
+    /// Returns [`CoreError`] when a count is zero or memory non-positive.
+    pub fn new(nodes: u32, cores_per_node: u32, node_memory_gb: f64) -> Result<Self, CoreError> {
+        if nodes == 0 {
+            return Err(CoreError::ZeroCount { what: "nodes" });
+        }
+        if cores_per_node == 0 {
+            return Err(CoreError::ZeroCount { what: "cores_per_node" });
+        }
+        if !node_memory_gb.is_finite() || node_memory_gb <= 0.0 {
+            return Err(CoreError::NonPositive { what: "node_memory_gb", value: node_memory_gb });
+        }
+        Ok(ClusterSpec { nodes, cores_per_node, node_memory_gb })
+    }
+
+    /// The 128-node quad-core 8 GB cluster of the synthetic experiments.
+    pub fn synthetic() -> Self {
+        ClusterSpec {
+            nodes: constants::SYNTHETIC_CLUSTER_NODES,
+            cores_per_node: constants::SYNTHETIC_CORES_PER_NODE,
+            node_memory_gb: constants::SYNTHETIC_NODE_MEMORY_GB,
+        }
+    }
+
+    /// The 120-node dual-core 2 GB HPC2N cluster.
+    pub fn hpc2n() -> Self {
+        ClusterSpec {
+            nodes: constants::HPC2N_CLUSTER_NODES,
+            cores_per_node: constants::HPC2N_CORES_PER_NODE,
+            node_memory_gb: constants::HPC2N_NODE_MEMORY_GB,
+        }
+    }
+
+    /// CPU need of a sequential CPU-bound task on this cluster: one core
+    /// out of `cores_per_node` (Section IV-C).
+    #[inline]
+    pub fn sequential_cpu_need(&self) -> f64 {
+        1.0 / self.cores_per_node as f64
+    }
+
+    /// GB moved when a task of memory fraction `mem_req` is saved to (or
+    /// restored from) network storage.
+    #[inline]
+    pub fn task_move_gb(&self, mem_req: f64) -> f64 {
+        mem_req * self.node_memory_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let s = ClusterSpec::synthetic();
+        assert_eq!((s.nodes, s.cores_per_node), (128, 4));
+        assert_eq!(s.node_memory_gb, 8.0);
+        let h = ClusterSpec::hpc2n();
+        assert_eq!((h.nodes, h.cores_per_node), (120, 2));
+        assert_eq!(h.node_memory_gb, 2.0);
+    }
+
+    #[test]
+    fn sequential_need_is_one_core() {
+        assert!((ClusterSpec::synthetic().sequential_cpu_need() - 0.25).abs() < 1e-12);
+        assert!((ClusterSpec::hpc2n().sequential_cpu_need() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(ClusterSpec::new(0, 4, 8.0).is_err());
+        assert!(ClusterSpec::new(16, 0, 8.0).is_err());
+        assert!(ClusterSpec::new(16, 4, 0.0).is_err());
+        assert!(ClusterSpec::new(16, 4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn task_move_gb_scales_with_memory_fraction() {
+        let s = ClusterSpec::synthetic();
+        assert!((s.task_move_gb(1.0) - 8.0).abs() < 1e-12);
+        assert!((s.task_move_gb(0.25) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's fixed parameters, collected in one place so every crate
+//! agrees on them and tests can reference them by name.
+
+/// Threshold (seconds) of the *bounded* stretch: turn-around times below
+/// this are clamped up to it, which stops trivially short jobs from
+/// dominating the max-stretch metric (Section II-B2 of the paper).
+pub const STRETCH_BOUND_SECS: f64 = 30.0;
+
+/// The same 30 s bound reused in the numerator of the pause/resume
+/// priority function (Section III-A), ensuring a job is never eligible for
+/// pausing immediately after it starts.
+pub const PRIORITY_FLOW_FLOOR_SECS: f64 = STRETCH_BOUND_SECS;
+
+/// Cap of the bounded exponential backoff used by `GREEDY` when postponing
+/// a job: the retry delay is `min(2^12, 2^count)` seconds.
+pub const BACKOFF_CAP_SECS: f64 = 4096.0; // 2^12
+
+/// Wall-clock cost (seconds) of one rescheduling operation (pause or
+/// migration) in the pessimistic evaluation setting — "5 minutes of wall
+/// clock time" (Section IV-A). The optimistic setting uses 0.
+pub const RESCHEDULING_PENALTY_SECS: f64 = 300.0;
+
+/// Scheduling period (seconds) of the periodic algorithms
+/// (`DYNMCB8-PER`, `DYNMCB8-ASAP-PER`, `DYNMCB8-STRETCH-PER`): all the
+/// paper's results use T = 600.
+pub const DEFAULT_PERIOD_SECS: f64 = 600.0;
+
+/// Accuracy threshold of the binary search on the yield (Section III-B).
+pub const YIELD_SEARCH_ACCURACY: f64 = 0.01;
+
+/// Floor given to a job whose computed yield would be non-positive in
+/// `DYNMCB8-STRETCH-PER`, "so that no job consumes memory without making
+/// progress" (Section III-B).
+pub const MIN_STRETCH_PER_YIELD: f64 = 0.01;
+
+/// Number of compute nodes of the synthetic-trace cluster (Section IV-C).
+pub const SYNTHETIC_CLUSTER_NODES: u32 = 128;
+
+/// Cores per node assumed for the synthetic traces ("we arbitrarily assume
+/// quad-core nodes"), which makes a sequential CPU-bound task use 25 % of
+/// a node's CPU resource.
+pub const SYNTHETIC_CORES_PER_NODE: u32 = 4;
+
+/// Node memory (GB) used for Table II bandwidth accounting. The paper's
+/// footnote 1 sizes a 128-task job at 1 TB total, i.e. 8 GB per node.
+pub const SYNTHETIC_NODE_MEMORY_GB: f64 = 8.0;
+
+/// HPC2N cluster size (Section IV-C): 120 nodes.
+pub const HPC2N_CLUSTER_NODES: u32 = 120;
+
+/// HPC2N nodes are dual-core.
+pub const HPC2N_CORES_PER_NODE: u32 = 2;
+
+/// HPC2N node memory: 2 GB (Section IV-C).
+pub const HPC2N_NODE_MEMORY_GB: f64 = 2.0;
+
+/// Number of jobs per synthetic trace (Section IV-C).
+pub const SYNTHETIC_TRACE_JOBS: usize = 1_000;
+
+/// Number of synthetic base traces in the paper's evaluation.
+pub const SYNTHETIC_TRACE_COUNT: usize = 100;
+
+/// The offered-load levels of the scaled synthetic traces.
+pub const SCALED_LOADS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_cap_is_two_to_the_twelve() {
+        assert_eq!(BACKOFF_CAP_SECS, (2.0_f64).powi(12));
+    }
+
+    #[test]
+    fn period_exceeds_penalty() {
+        // Section IV-A: periods shorter than the penalty cause thrashing;
+        // the defaults must respect that.
+        let (period, penalty) = (DEFAULT_PERIOD_SECS, RESCHEDULING_PENALTY_SECS);
+        assert!(period > penalty);
+    }
+
+    #[test]
+    fn loads_are_increasing_and_in_range() {
+        for w in SCALED_LOADS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(SCALED_LOADS.iter().all(|l| (0.0..=1.0).contains(l)));
+    }
+}

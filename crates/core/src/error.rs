@@ -1,0 +1,78 @@
+//! Workspace-wide error type for constructing and validating model inputs.
+
+use std::fmt;
+
+/// Errors raised while building jobs, clusters, or traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A fraction that must lie in `(0, 1]` (or `[0, 1]`) was out of range.
+    FractionOutOfRange {
+        /// Name of the offending field.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A quantity that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending field.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A count (tasks, nodes) that must be at least one was zero.
+    ZeroCount {
+        /// Name of the offending field.
+        what: &'static str,
+    },
+    /// A job demands more tasks than any allocation could ever host, or is
+    /// otherwise impossible on the given cluster.
+    Infeasible {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A trace file (e.g. SWF) could not be parsed.
+    Parse {
+        /// 1-based line number, when known.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::FractionOutOfRange { what, value } => {
+                write!(f, "{what} must be a fraction in (0, 1], got {value}")
+            }
+            CoreError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            CoreError::ZeroCount { what } => write!(f, "{what} must be at least 1"),
+            CoreError::Infeasible { reason } => write!(f, "infeasible input: {reason}"),
+            CoreError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_value() {
+        let e = CoreError::FractionOutOfRange { what: "cpu_need", value: 1.5 };
+        let s = e.to_string();
+        assert!(s.contains("cpu_need") && s.contains("1.5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::ZeroCount { what: "tasks" });
+        assert!(e.to_string().contains("tasks"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Typed identifiers for jobs and nodes.
+//!
+//! Newtypes over `u32` keep the simulator's dense `Vec`-indexed tables
+//! cheap while preventing a job index from being used where a node index
+//! is expected.
+
+use std::fmt;
+
+/// Identifier of a job within one trace. Jobs are numbered densely from 0
+/// in submission order, which lets per-job state live in a `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobId(pub u32);
+
+/// Identifier of a physical node within the cluster, dense from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl JobId {
+    /// The id as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The id as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for JobId {
+    fn from(v: u32) -> Self {
+        JobId(v)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(JobId(7).to_string(), "j7");
+        assert_eq!(NodeId(120).to_string(), "n120");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(JobId(42).index(), 42);
+        assert_eq!(NodeId(0).index(), 0);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(JobId(1) < JobId(2));
+        assert!(NodeId(9) > NodeId(3));
+    }
+}

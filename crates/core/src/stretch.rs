@@ -1,0 +1,80 @@
+//! The bounded-stretch metric (Section II-B2).
+//!
+//! The *stretch* (slowdown) of a job is its turn-around time divided by
+//! the turn-around time it would have had alone on the cluster (= its
+//! dedicated runtime, assuming the cluster is large enough). Real
+//! workloads contain many near-instant jobs that would dominate a max
+//! metric, so the paper uses the **bounded** variant: turn-around times
+//! are clamped up to a 30-second threshold. We clamp the dedicated time by
+//! the same threshold so that an unimpeded short job has stretch exactly 1
+//! (without this, a 1-second job running alone would score 30, which would
+//! contradict "a value of 1 means the algorithm is the best").
+
+use crate::constants::STRETCH_BOUND_SECS;
+
+/// Bounded stretch of a single job.
+///
+/// * `turnaround` — completion time − submit time (seconds, ≥ 0);
+/// * `dedicated` — runtime on a dedicated cluster (seconds, > 0).
+///
+/// Values below 1 are possible only through clamping artifacts and are
+/// truncated to 1 (a job cannot be *faster* than dedicated mode).
+#[inline]
+pub fn bounded_stretch(turnaround: f64, dedicated: f64) -> f64 {
+    debug_assert!(turnaround >= 0.0, "negative turnaround {turnaround}");
+    debug_assert!(dedicated > 0.0, "non-positive dedicated time {dedicated}");
+    let num = turnaround.max(STRETCH_BOUND_SECS);
+    let den = dedicated.max(STRETCH_BOUND_SECS);
+    (num / den).max(1.0)
+}
+
+/// Degradation factor of one algorithm on one instance: the ratio of its
+/// max stretch to the best (lowest) max stretch achieved by any algorithm
+/// on the same instance (Section V). 1.0 means "best on this instance".
+#[inline]
+pub fn degradation_factor(max_stretch: f64, best_max_stretch: f64) -> f64 {
+    debug_assert!(best_max_stretch >= 1.0);
+    debug_assert!(max_stretch + 1e-9 >= best_max_stretch);
+    max_stretch / best_max_stretch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_job_stretch_is_plain_ratio() {
+        // 2h dedicated, 4h turnaround -> stretch 2 (the paper's example).
+        assert!((bounded_stretch(4.0 * 3600.0, 2.0 * 3600.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_unimpeded_job_has_stretch_one() {
+        assert_eq!(bounded_stretch(1.0, 1.0), 1.0);
+        assert_eq!(bounded_stretch(29.0, 29.0), 1.0);
+    }
+
+    #[test]
+    fn short_job_waiting_counts_against_the_bound() {
+        // 1 s job that waited 59 s: bounded turnaround 60, bounded dedicated 30.
+        assert!((bounded_stretch(60.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_kicks_in_exactly_at_threshold() {
+        assert_eq!(bounded_stretch(30.0, 30.0), 1.0);
+        assert!((bounded_stretch(31.0, 30.0) - 31.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_below_one() {
+        // Turnaround slightly under dedicated can arise from clamping.
+        assert_eq!(bounded_stretch(10.0, 40.0), 1.0);
+    }
+
+    #[test]
+    fn degradation_of_best_is_one() {
+        assert_eq!(degradation_factor(5.0, 5.0), 1.0);
+        assert!((degradation_factor(50.0, 5.0) - 10.0).abs() < 1e-12);
+    }
+}

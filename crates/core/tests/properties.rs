@@ -1,0 +1,142 @@
+//! Property-based tests for the core math.
+
+use dfrs_core::constants::STRETCH_BOUND_SECS;
+use dfrs_core::priority::{Priority, PriorityKey};
+use dfrs_core::stats::OnlineStats;
+use dfrs_core::stretch::bounded_stretch;
+use dfrs_core::yield_math;
+use dfrs_core::JobId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Bounded stretch is ≥ 1 and monotone in the turnaround.
+    #[test]
+    fn stretch_at_least_one_and_monotone(
+        ta in 0.0f64..1e8,
+        extra in 0.0f64..1e8,
+        dedicated in 1e-3f64..1e7,
+    ) {
+        let s1 = bounded_stretch(ta, dedicated);
+        let s2 = bounded_stretch(ta + extra, dedicated);
+        prop_assert!(s1 >= 1.0);
+        prop_assert!(s2 + 1e-12 >= s1);
+    }
+
+    /// Stretch is anti-monotone in the dedicated time.
+    #[test]
+    fn stretch_antimonotone_in_dedicated(
+        ta in 0.0f64..1e8,
+        d1 in 1e-3f64..1e7,
+        factor in 1.0f64..100.0,
+    ) {
+        let s1 = bounded_stretch(ta, d1);
+        let s2 = bounded_stretch(ta, d1 * factor);
+        prop_assert!(s2 <= s1 + 1e-12);
+    }
+
+    /// Below the 30 s threshold the clamp makes stretch exactly 1 when the
+    /// job ran unimpeded.
+    #[test]
+    fn short_unimpeded_jobs_score_one(rt in 1e-3f64..30.0) {
+        prop_assert_eq!(bounded_stretch(rt, rt), 1.0);
+        prop_assert_eq!(bounded_stretch(STRETCH_BOUND_SECS, rt.min(STRETCH_BOUND_SECS)), 1.0);
+    }
+
+    /// The priority function is anti-monotone in virtual time and monotone
+    /// in waiting time.
+    #[test]
+    fn priority_monotonicity(
+        now in 100.0f64..1e7,
+        vt in 1e-3f64..1e6,
+        dv in 1e-3f64..1e6,
+    ) {
+        let p_small_vt = Priority::compute(now, 0.0, vt);
+        let p_big_vt = Priority::compute(now, 0.0, vt + dv);
+        prop_assert!(p_big_vt.cmp_total(&p_small_vt) != std::cmp::Ordering::Greater);
+
+        let p_later = Priority::compute(now * 2.0, 0.0, vt);
+        prop_assert!(p_later.cmp_total(&p_small_vt) != std::cmp::Ordering::Less);
+    }
+
+    /// PriorityKey ordering is a total order consistent with equality.
+    #[test]
+    fn priority_key_total_order(
+        entries in prop::collection::vec((0.0f64..1e6, 0.0f64..1e5, 0u32..1000), 2..40),
+        now_extra in 1.0f64..1e6,
+    ) {
+        let now = entries.iter().map(|e| e.0).fold(0.0, f64::max) + now_extra;
+        let keys: Vec<PriorityKey> = entries
+            .iter()
+            .map(|&(submit, vt, id)| PriorityKey::new(now, submit, vt, JobId(id)))
+            .collect();
+        // Antisymmetry + transitivity smoke: sorting must not panic and
+        // must be idempotent.
+        let mut sorted = keys.clone();
+        sorted.sort();
+        let mut resorted = sorted.clone();
+        resorted.sort();
+        for (a, b) in sorted.iter().zip(resorted.iter()) {
+            prop_assert!(a == b);
+        }
+        // All infinite-priority keys come after all finite ones.
+        let first_inf = sorted.iter().position(|k| k.priority.is_infinite());
+        if let Some(i) = first_inf {
+            prop_assert!(sorted[i..].iter().all(|k| k.priority.is_infinite()));
+        }
+    }
+
+    /// Welford statistics agree with naive two-pass formulas.
+    #[test]
+    fn stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let scale = mean.abs().max(var.sqrt()).max(1.0);
+        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((s.std_dev() - var.sqrt()).abs() / scale < 1e-6);
+        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+    }
+
+    /// Merging any split of the samples equals processing them in one go.
+    #[test]
+    fn stats_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        cut in 0usize..100,
+    ) {
+        let cut = cut.min(xs.len());
+        let whole: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..cut].iter().copied().collect();
+        let right: OnlineStats = xs[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.std_dev() - whole.std_dev()).abs() < 1e-7);
+    }
+
+    /// The stretch-target yield inversion round-trips through the
+    /// recurrence for any feasible target.
+    #[test]
+    fn stretch_yield_roundtrip(
+        flow in 0.0f64..1e6,
+        vt in 0.0f64..1e6,
+        y in 0.01f64..1.0,
+        period in 1.0f64..10_000.0,
+    ) {
+        let s = yield_math::estimated_stretch_after(flow, vt, y, period);
+        let back = yield_math::yield_for_target_stretch(flow, vt, s, period);
+        prop_assert!((back - y).abs() < 1e-6, "y={} back={}", y, back);
+    }
+
+    /// Equal-share yield always lands in (0, 1] and saturates node CPU
+    /// exactly when overloaded.
+    #[test]
+    fn equal_share_bounds(load in 0.0f64..1e4) {
+        let y = yield_math::equal_share_yield(load);
+        prop_assert!(y > 0.0 && y <= 1.0);
+        if load > 1.0 {
+            prop_assert!((y * load - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablations of the design choices DESIGN.md §6 calls out:
+//!
+//! 1. **Packer** — MCB8 vs first-fit vs best-fit inside the yield binary
+//!    search (how much does balance-aware packing buy?);
+//! 2. **Priority exponent** — the paper's `vt²` denominator vs plain
+//!    `vt` (the paper reports the square is decisively better);
+//! 3. **Period** — T ∈ {60, 600, 3600} for the periodic repacker under
+//!    the 5-minute penalty (the paper states 600 matches 60's quality at
+//!    3600's overhead).
+
+use dfrs_core::OnlineStats;
+use dfrs_sched::dynmcb8::PackerChoice;
+use dfrs_sched::{DynMcb8AsapPer, DynMcb8Per, GreedyPmtn};
+use dfrs_sim::Scheduler;
+
+use crate::instances::scaled_instances;
+use crate::report::TextTable;
+use crate::runner::{run_matrix_with, SchedulerBuilder};
+
+/// Aggregated ablation rows: `(variant, avg max stretch, avg mean
+/// stretch, avg moves/job-ish aggregate)`.
+#[derive(Debug, Clone)]
+pub struct AblationData {
+    /// Table title.
+    pub title: String,
+    /// `(name, avg max stretch, avg mean stretch, avg moved GB)` rows.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+fn aggregate(
+    title: &str,
+    instances: &[crate::Instance],
+    builders: &[SchedulerBuilder<'_>],
+    penalty: f64,
+    threads: usize,
+) -> AblationData {
+    let results = run_matrix_with(instances, builders, penalty, threads);
+    let mut rows = Vec::with_capacity(builders.len());
+    for b in 0..builders.len() {
+        let mut max_s = OnlineStats::new();
+        let mut mean_s = OnlineStats::new();
+        let mut moved = OnlineStats::new();
+        for row in &results {
+            max_s.push(row[b].max_stretch);
+            mean_s.push(row[b].mean_stretch);
+            moved.push(row[b].moved_gb);
+        }
+        rows.push((builders[b].0.to_string(), max_s.mean(), mean_s.mean(), moved.mean()));
+    }
+    AblationData { title: title.to_string(), rows }
+}
+
+/// Packer ablation on the periodic repacker.
+pub fn packer_ablation(seeds: u64, jobs: usize, load: f64, seed0: u64, threads: usize) -> AblationData {
+    let instances = scaled_instances(seeds, jobs, &[load], seed0);
+    let mcb8 = || -> Box<dyn Scheduler> {
+        Box::new(DynMcb8AsapPer::with_packer(600.0, PackerChoice::Mcb8))
+    };
+    let ffd = || -> Box<dyn Scheduler> {
+        Box::new(DynMcb8AsapPer::with_packer(600.0, PackerChoice::FirstFit))
+    };
+    let bfd = || -> Box<dyn Scheduler> {
+        Box::new(DynMcb8AsapPer::with_packer(600.0, PackerChoice::BestFit))
+    };
+    let builders: Vec<SchedulerBuilder> =
+        vec![("mcb8", &mcb8), ("first-fit", &ffd), ("best-fit", &bfd)];
+    aggregate("Packer inside the yield search (DynMCB8-asap-per 600)", &instances, &builders, 300.0, threads)
+}
+
+/// Priority-exponent ablation on GREEDY-PMTN.
+pub fn priority_ablation(seeds: u64, jobs: usize, load: f64, seed0: u64, threads: usize) -> AblationData {
+    let instances = scaled_instances(seeds, jobs, &[load], seed0);
+    let sq = || -> Box<dyn Scheduler> { Box::new(GreedyPmtn::new()) };
+    let lin = || -> Box<dyn Scheduler> { Box::new(GreedyPmtn::with_priority_exponent(1.0)) };
+    let builders: Vec<SchedulerBuilder> =
+        vec![("flow/vt^2 (paper)", &sq), ("flow/vt (no square)", &lin)];
+    aggregate("Priority exponent (Greedy-pmtn)", &instances, &builders, 300.0, threads)
+}
+
+/// Period sweep on the periodic repacker, with the 5-minute penalty.
+pub fn period_ablation(seeds: u64, jobs: usize, load: f64, seed0: u64, threads: usize) -> AblationData {
+    let instances = scaled_instances(seeds, jobs, &[load], seed0);
+    let t60 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(60.0)) };
+    let t600 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(600.0)) };
+    let t3600 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(3600.0)) };
+    let builders: Vec<SchedulerBuilder> =
+        vec![("T=60", &t60), ("T=600 (paper)", &t600), ("T=3600", &t3600)];
+    aggregate("Scheduling period (DynMCB8-per)", &instances, &builders, 300.0, threads)
+}
+
+impl AblationData {
+    /// Render the rows.
+    pub fn table(&self) -> TextTable {
+        let mut t =
+            TextTable::new(vec!["variant", "avg max stretch", "avg mean stretch", "avg moved GB"]);
+        for (name, max_s, mean_s, moved) in &self.rows {
+            t.row(vec![
+                name.clone(),
+                format!("{max_s:.2}"),
+                format!("{mean_s:.2}"),
+                format!("{moved:.1}"),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packer_ablation_runs_and_mcb8_is_competitive() {
+        let data = packer_ablation(2, 40, 0.8, 21, 2);
+        assert_eq!(data.rows.len(), 3);
+        let mcb8 = data.rows[0].1;
+        let worst = data.rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        assert!(mcb8 <= worst + 1e-9);
+        assert!(data.table().render().contains("mcb8"));
+    }
+
+    #[test]
+    fn priority_ablation_runs() {
+        let data = priority_ablation(2, 40, 0.8, 22, 2);
+        assert_eq!(data.rows.len(), 2);
+        for (_, max_s, mean_s, _) in &data.rows {
+            assert!(*max_s >= 1.0 && *mean_s >= 1.0);
+        }
+    }
+
+    #[test]
+    fn period_ablation_monotone_overhead() {
+        let data = period_ablation(1, 40, 0.8, 23, 2);
+        // Longer periods move (weakly) less data.
+        let moved: Vec<f64> = data.rows.iter().map(|r| r.3).collect();
+        assert!(moved[0] + 1e-9 >= moved[2], "T=60 {} vs T=3600 {}", moved[0], moved[2]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Cross-model robustness: the algorithm comparison on the Downey
+//! workload family (see `dfrs_experiments::robustness`).
+
+use dfrs_experiments::cli::Opts;
+use dfrs_experiments::robustness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "Robustness (Downey model): {} instances × {} jobs × {} loads, penalty {}s",
+        opts.instances,
+        opts.jobs,
+        opts.loads.len(),
+        opts.penalty
+    );
+    let data = robustness::run(
+        opts.instances,
+        opts.jobs,
+        &opts.loads,
+        opts.penalty,
+        opts.seed,
+        opts.threads,
+    );
+    let table = data.table();
+    println!("\nDegradation factors on the Downey workload family (penalty {}s)", opts.penalty);
+    println!("{}", table.render());
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, table.to_csv()).expect("write CSV");
+        eprintln!("CSV written to {path}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table II: preemption/migration bandwidth and occurrence
+//! rates on high-load (≥ 0.7) scaled synthetic traces, 5-minute penalty.
+
+use dfrs_experiments::cli::Opts;
+use dfrs_experiments::table2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    // Table II restricts to the high-load subset of the scaled traces.
+    let high: Vec<f64> = opts.loads.iter().copied().filter(|l| *l >= 0.7 - 1e-9).collect();
+    let high = if high.is_empty() { vec![0.7, 0.8, 0.9] } else { high };
+    eprintln!(
+        "Table II: {} instances × {} jobs, loads {:?}, penalty {}s, {} threads",
+        opts.instances, opts.jobs, high, opts.penalty, opts.threads
+    );
+    let data = table2::run(opts.instances, opts.jobs, &high, opts.penalty, opts.seed, opts.threads);
+    let table = data.table();
+    println!(
+        "\nTable II — preemption/migration costs, load ≥ 0.7, penalty {}s; avg (max)",
+        opts.penalty
+    );
+    println!("{}", table.render());
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, table.to_csv()).expect("write CSV");
+        eprintln!("CSV written to {path}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal hand-rolled CLI parsing shared by the experiment binaries
+//! (keeps the dependency set to the approved list — no clap).
+
+/// Options common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Base traces (seeds) per family.
+    pub instances: u64,
+    /// Jobs per synthetic trace.
+    pub jobs: usize,
+    /// Offered loads for the scaled family.
+    pub loads: Vec<f64>,
+    /// Rescheduling penalty in seconds.
+    pub penalty: f64,
+    /// RNG base seed.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// HPC2N-like weeks to synthesize.
+    pub weeks: u32,
+    /// HPC2N-like weekly job volume (real trace ≈ 1,100).
+    pub hpc2n_jobs_per_week: f64,
+    /// Path to a real HPC2N SWF file, if available.
+    pub swf: Option<String>,
+    /// Write CSV next to the printed table.
+    pub csv: Option<String>,
+    /// Paper-scale preset (100 instances × 1000 jobs × 182 weeks).
+    pub paper_scale: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            instances: 10,
+            jobs: 400,
+            loads: dfrs_core::constants::SCALED_LOADS.to_vec(),
+            penalty: dfrs_core::constants::RESCHEDULING_PENALTY_SECS,
+            seed: 1,
+            threads: 0,
+            weeks: 12,
+            hpc2n_jobs_per_week: 300.0,
+            swf: None,
+            csv: None,
+            paper_scale: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Parse `--key value` style arguments. Returns an error string
+    /// suitable for printing with usage.
+    pub fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut grab = || {
+                it.next().cloned().ok_or_else(|| format!("missing value after {arg}"))
+            };
+            match arg.as_str() {
+                "--instances" => o.instances = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--jobs" => o.jobs = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--loads" => {
+                    o.loads = grab()?
+                        .split(',')
+                        .map(|s| s.trim().parse::<f64>().map_err(|e| format!("{e}")))
+                        .collect::<Result<Vec<f64>, String>>()?;
+                }
+                "--penalty" => o.penalty = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--seed" => o.seed = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--threads" => o.threads = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--weeks" => o.weeks = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--jobs-per-week" => {
+                    o.hpc2n_jobs_per_week = grab()?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--swf" => o.swf = Some(grab()?),
+                "--csv" => o.csv = Some(grab()?),
+                "--paper-scale" => o.paper_scale = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument {other}\n{USAGE}")),
+            }
+        }
+        if o.paper_scale {
+            o.instances = 100;
+            o.jobs = 1_000;
+            o.weeks = 182;
+            o.hpc2n_jobs_per_week = 1_100.0;
+        }
+        if o.threads == 0 {
+            o.threads =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        }
+        if o.loads.iter().any(|l| *l <= 0.0 || l.is_nan()) {
+            return Err("loads must be positive".into());
+        }
+        Ok(o)
+    }
+}
+
+/// Usage text shared by the binaries.
+pub const USAGE: &str = "\
+Options:
+  --instances N     base synthetic traces (default 10; paper: 100)
+  --jobs N          jobs per synthetic trace (default 400; paper: 1000)
+  --loads L1,L2,..  offered loads (default 0.1..0.9)
+  --penalty SECS    rescheduling penalty (default 300; figure 1(a): 0)
+  --seed N          RNG base seed (default 1)
+  --threads N       worker threads (default: all cores)
+  --weeks N         HPC2N-like weeks (default 12; paper: 182)
+  --jobs-per-week N HPC2N-like weekly volume (default 300; paper: 1100)
+  --swf PATH        use a real HPC2N SWF file instead of the generator
+  --csv PATH        also write the table as CSV
+  --paper-scale     preset: 100 instances, 1000 jobs, 182 weeks";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Opts, String> {
+        Opts::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.instances, 10);
+        assert_eq!(o.loads.len(), 9);
+        assert!(o.threads >= 1);
+    }
+
+    #[test]
+    fn parses_each_option() {
+        let o = parse(&[
+            "--instances", "3", "--jobs", "50", "--loads", "0.2,0.4", "--penalty", "0",
+            "--seed", "9", "--threads", "2", "--weeks", "4", "--csv", "/tmp/x.csv",
+        ])
+        .unwrap();
+        assert_eq!(o.instances, 3);
+        assert_eq!(o.jobs, 50);
+        assert_eq!(o.loads, vec![0.2, 0.4]);
+        assert_eq!(o.penalty, 0.0);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.weeks, 4);
+        assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn paper_scale_presets() {
+        let o = parse(&["--paper-scale"]).unwrap();
+        assert_eq!(o.instances, 100);
+        assert_eq!(o.jobs, 1000);
+        assert_eq!(o.weeks, 182);
+    }
+
+    #[test]
+    fn rejects_unknown_and_incomplete() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--loads", "0,-1"]).is_err());
+    }
+}

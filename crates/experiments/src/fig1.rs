@@ -1,0 +1,93 @@
+//! Figure 1 — average stretch-degradation factor vs offered load, for
+//! all nine algorithms, without (a) and with (b) the 5-minute
+//! rescheduling penalty.
+
+use dfrs_core::OnlineStats;
+use dfrs_sched::Algorithm;
+
+use crate::instances::scaled_instances;
+use crate::report::TextTable;
+use crate::runner::{degradation_row, run_matrix};
+
+/// One figure's data: per load level, per algorithm, the average
+/// degradation factor over the instances at that load.
+#[derive(Debug, Clone)]
+pub struct Fig1Data {
+    /// Load grid (x axis).
+    pub loads: Vec<f64>,
+    /// Algorithms (series), Table I order.
+    pub algorithms: Vec<Algorithm>,
+    /// `series[l][a]` = average degradation at `loads[l]` for
+    /// `algorithms[a]`.
+    pub series: Vec<Vec<f64>>,
+}
+
+/// Run the experiment.
+pub fn run(
+    seeds: u64,
+    jobs: usize,
+    loads: &[f64],
+    penalty: f64,
+    seed0: u64,
+    threads: usize,
+) -> Fig1Data {
+    let algorithms = Algorithm::ALL.to_vec();
+    let mut series = Vec::with_capacity(loads.len());
+    for &load in loads {
+        // One load at a time keeps the memory footprint flat and lets
+        // the degradation baseline stay per-instance, as in the paper.
+        let instances = scaled_instances(seeds, jobs, &[load], seed0);
+        let results = run_matrix(&instances, &algorithms, penalty, threads);
+        let mut stats = vec![OnlineStats::new(); algorithms.len()];
+        for row in &results {
+            for (a, d) in degradation_row(row).into_iter().enumerate() {
+                stats[a].push(d);
+            }
+        }
+        series.push(stats.iter().map(OnlineStats::mean).collect());
+    }
+    Fig1Data { loads: loads.to_vec(), algorithms, series }
+}
+
+impl Fig1Data {
+    /// The figure as a table: rows = loads, columns = algorithms.
+    pub fn table(&self) -> TextTable {
+        let mut header = vec!["load".to_string()];
+        header.extend(self.algorithms.iter().map(|a| a.name().to_string()));
+        let mut t = TextTable::new(header);
+        for (l, row) in self.loads.iter().zip(self.series.iter()) {
+            let mut cells = vec![format!("{l:.1}")];
+            cells.extend(row.iter().map(|d| format!("{d:.2}")));
+            t.row(cells);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_inputs() {
+        let data = run(2, 30, &[0.3, 0.6], 0.0, 3, 4);
+        assert_eq!(data.loads, vec![0.3, 0.6]);
+        assert_eq!(data.series.len(), 2);
+        assert_eq!(data.series[0].len(), 9);
+        // Degradations are ≥ 1 and at least one algorithm is near-best on
+        // average... (≥ 1 for all).
+        for row in &data.series {
+            for &d in row {
+                assert!(d >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let data = run(1, 25, &[0.5], 0.0, 7, 2);
+        let text = data.table().render();
+        assert!(text.contains("FCFS"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Workload instance construction for the paper's three experiment
+//! families.
+//!
+//! * **Scaled synthetic** — `seeds` Lublin base traces × the nine loads
+//!   0.1–0.9 (Section IV-C: 100 × 9 = 900 in the paper);
+//! * **Unscaled synthetic** — the base traces as generated;
+//! * **HPC2N-like** — one-week segments from the synthetic HPC2N
+//!   generator (or, when a real SWF file is supplied, from that file).
+
+use dfrs_core::constants::SCALED_LOADS;
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_workload::{Annotator, Hpc2nLikeGenerator, LublinModel, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One simulatable workload.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable identity, e.g. `synthetic-s3-load0.5`.
+    pub label: String,
+    /// Target offered load (scaled family only).
+    pub load: Option<f64>,
+    /// The cluster.
+    pub cluster: ClusterSpec,
+    /// Jobs, sorted by submission with dense ids.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Instance {
+    fn from_trace(label: String, load: Option<f64>, trace: &Trace) -> Self {
+        Instance { label, load, cluster: trace.cluster, jobs: trace.jobs().to_vec() }
+    }
+}
+
+/// One Lublin base trace (seeded), annotated per the paper.
+pub fn synthetic_base(seed: u64, jobs: usize) -> Trace {
+    let cluster = ClusterSpec::synthetic();
+    let model = LublinModel::for_cluster(&cluster);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let raws = model.generate(jobs, &mut rng);
+    let annotated = Annotator::new(cluster)
+        .annotate(&raws, &mut rng)
+        .expect("model output is always annotatable");
+    Trace::new(cluster, annotated).expect("model sizes fit the cluster")
+}
+
+/// The unscaled synthetic family: `seeds` base traces.
+pub fn unscaled_instances(seeds: u64, jobs: usize, seed0: u64) -> Vec<Instance> {
+    (0..seeds)
+        .map(|s| {
+            let trace = synthetic_base(seed0 + s, jobs);
+            Instance::from_trace(format!("unscaled-s{s}"), None, &trace)
+        })
+        .collect()
+}
+
+/// The scaled synthetic family: each base trace rescaled to each of
+/// `loads` (defaults to the paper's 0.1–0.9).
+pub fn scaled_instances(
+    seeds: u64,
+    jobs: usize,
+    loads: &[f64],
+    seed0: u64,
+) -> Vec<Instance> {
+    let mut out = Vec::with_capacity(seeds as usize * loads.len());
+    for s in 0..seeds {
+        let base = synthetic_base(seed0 + s, jobs);
+        for &load in loads {
+            let scaled = base.scale_to_load(load).expect("nonzero span");
+            out.push(Instance::from_trace(
+                format!("scaled-s{s}-load{load:.1}"),
+                Some(load),
+                &scaled,
+            ));
+        }
+    }
+    out
+}
+
+/// The paper's load grid.
+pub fn paper_loads() -> Vec<f64> {
+    SCALED_LOADS.to_vec()
+}
+
+/// HPC2N-like one-week segments (the documented stand-in for the real
+/// 182-week trace; see `dfrs_workload::hpc2n`). `jobs_per_week` scales
+/// the weekly volume (the real trace averages ≈ 1,100; smaller values
+/// make laptop-scale runs cheap).
+pub fn hpc2n_like_instances(weeks: u32, jobs_per_week: f64, seed: u64) -> Vec<Instance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let gen = Hpc2nLikeGenerator { jobs_per_week, ..Hpc2nLikeGenerator::default() };
+    gen.generate_weeks(weeks, &mut rng)
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Instance::from_trace(format!("hpc2n-week{i}"), None, t))
+        .collect()
+}
+
+/// One-week segments from a real SWF file processed by the paper's
+/// HPC2N rules.
+pub fn hpc2n_swf_instances(swf_text: &str) -> Result<Vec<Instance>, dfrs_core::CoreError> {
+    let (_, records) = dfrs_workload::parse_swf(swf_text)?;
+    let trace = dfrs_workload::hpc2n_preprocess(&records, ClusterSpec::hpc2n());
+    Ok(trace
+        .split_weeks()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Instance::from_trace(format!("hpc2n-swf-week{i}"), None, t))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_instances_hit_their_loads() {
+        let insts = scaled_instances(2, 60, &[0.3, 0.7], 0);
+        assert_eq!(insts.len(), 4);
+        for inst in &insts {
+            let t = Trace::new(inst.cluster, inst.jobs.clone()).unwrap();
+            let measured = t.offered_load();
+            let target = inst.load.unwrap();
+            assert!((measured - target).abs() < 1e-6, "{}: {measured}", inst.label);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_instance() {
+        let a = unscaled_instances(1, 50, 7);
+        let b = unscaled_instances(1, 50, 7);
+        assert_eq!(a[0].jobs, b[0].jobs);
+    }
+
+    #[test]
+    fn scaled_instances_share_job_mix_across_loads() {
+        let insts = scaled_instances(1, 40, &[0.2, 0.8], 3);
+        let mix = |i: &Instance| -> Vec<(u32, f64)> {
+            i.jobs.iter().map(|j| (j.tasks, j.oracle_runtime())).collect()
+        };
+        assert_eq!(mix(&insts[0]), mix(&insts[1]), "same jobs, different arrival spacing");
+    }
+
+    #[test]
+    fn hpc2n_like_segments_are_week_bounded() {
+        let insts = hpc2n_like_instances(3, 300.0, 1);
+        assert!(insts.len() >= 2);
+        for i in &insts {
+            assert_eq!(i.cluster.nodes, 120);
+            for j in &i.jobs {
+                assert!(j.submit_time < dfrs_workload::trace::WEEK_SECS + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn swf_instances_pipeline_works() {
+        let swf = "1 0 0 3600 4 -1 209715 4 -1 -1 1 1 1 -1 1 -1 -1 -1\n\
+                   2 700000 0 60 1 -1 -1 1 -1 -1 1 1 1 -1 1 -1 -1 -1\n";
+        let insts = hpc2n_swf_instances(swf).unwrap();
+        assert_eq!(insts.len(), 2, "two weeks, one job each");
+    }
+}

@@ -1,0 +1,38 @@
+//! # dfrs-experiments
+//!
+//! The harness that regenerates **every table and figure** of the IPDPS
+//! 2010 DFRS paper (see DESIGN.md §4 for the experiment index):
+//!
+//! * Figure 1(a)/(b) — average stretch-degradation factor vs offered
+//!   load, without/with the 5-minute rescheduling penalty
+//!   ([`fig1`], binary `fig1`);
+//! * Table I — degradation avg/std/max on scaled synthetic, unscaled
+//!   synthetic, and HPC2N(-like) workloads ([`table1`], binary `table1`);
+//! * Table II — preemption/migration bandwidth and occurrence rates at
+//!   load ≥ 0.7 ([`table2`], binary `table2`);
+//! * §V timing study — `DYNMCB8` allocation compute time vs jobs in
+//!   system ([`timing`], binary `timing`).
+//!
+//! [`runner`] executes (instance × algorithm) simulations across threads
+//! (crossbeam scoped workers over an atomic work counter) and reduces
+//! outcomes to compact [`runner::RunSummary`] values;
+//! [`instances`] materializes the paper's workloads; [`report`] renders
+//! aligned text/CSV tables.
+//!
+//! Scale: binaries default to a laptop-scale subset and accept
+//! `--paper-scale` for the full 100-instance configuration. Every run is
+//! deterministic given `--seed`.
+
+pub mod ablation;
+pub mod cli;
+pub mod fig1;
+pub mod instances;
+pub mod report;
+pub mod robustness;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+pub mod timing;
+
+pub use instances::Instance;
+pub use runner::{run_matrix, RunSummary};

@@ -1,0 +1,131 @@
+//! Plain-text and CSV table rendering for the experiment binaries.
+
+/// A rectangular table with a header row, rendered either aligned for
+/// terminals or as CSV for plotting scripts.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column names.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Column-aligned text rendering.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{:<w$}", c, w = widths[i])
+                    } else {
+                        format!("{:>w$}", c, w = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (naive quoting: fields containing commas are
+    /// wrapped; the harness never emits quotes inside fields).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') {
+                format!("\"{s}\"")
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `12.35` style, two decimals, thousands-friendly for degradations.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Compact `avg (max)` cell used by Table II.
+pub fn avg_max(avg: f64, max: f64) -> String {
+    format!("{avg:.2} ({max:.2})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["Algorithm", "avg", "max"]);
+        t.row(vec!["FCFS", "435.32", "1470.30"]);
+        t.row(vec!["DynMCB8-asap-per 600", "2.62", "12.77"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Algorithm"));
+        // Columns right-aligned: both data lines end at the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_is_parseable() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "2"]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(f2(12.345), "12.35");
+        assert_eq!(avg_max(0.6, 1.31), "0.60 (1.31)");
+    }
+}

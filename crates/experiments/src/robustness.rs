@@ -1,0 +1,122 @@
+//! Cross-model robustness check (beyond the paper): rerun the
+//! degradation comparison on the **Downey** workload family instead of
+//! Lublin's. If DFRS's dominance over batch scheduling only held for
+//! one synthetic model's shapes, it would show up here.
+
+use dfrs_core::{ClusterSpec, OnlineStats};
+use dfrs_sched::Algorithm;
+use dfrs_workload::{Annotator, DowneyModel, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::instances::Instance;
+use crate::report::TextTable;
+use crate::runner::{degradation_row, run_matrix};
+
+/// Downey-family instances, annotated with the paper's CPU/memory rules
+/// and rescaled to the given loads.
+pub fn downey_instances(seeds: u64, jobs: usize, loads: &[f64], seed0: u64) -> Vec<Instance> {
+    let cluster = ClusterSpec::synthetic();
+    let model = DowneyModel::for_cluster(&cluster);
+    let mut out = Vec::with_capacity(seeds as usize * loads.len());
+    for s in 0..seeds {
+        let mut rng = SmallRng::seed_from_u64(seed0 ^ (0xD014u64) ^ s);
+        let raws = model.generate(jobs, &mut rng);
+        let specs = Annotator::new(cluster)
+            .annotate(&raws, &mut rng)
+            .expect("model output is annotatable");
+        let base = Trace::new(cluster, specs).expect("sizes fit");
+        for &load in loads {
+            let t = base.scale_to_load(load).expect("nonzero span");
+            out.push(Instance {
+                label: format!("downey-s{s}-load{load:.1}"),
+                load: Some(load),
+                cluster,
+                jobs: t.jobs().to_vec(),
+            });
+        }
+    }
+    out
+}
+
+/// Per-algorithm average degradation (with 95 % CI half-width) on the
+/// Downey family.
+#[derive(Debug, Clone)]
+pub struct RobustnessData {
+    /// Algorithms, Table I order.
+    pub algorithms: Vec<Algorithm>,
+    /// Per algorithm: degradation stats over all instances.
+    pub stats: Vec<OnlineStats>,
+}
+
+/// Run the check.
+pub fn run(
+    seeds: u64,
+    jobs: usize,
+    loads: &[f64],
+    penalty: f64,
+    seed0: u64,
+    threads: usize,
+) -> RobustnessData {
+    let algorithms = Algorithm::ALL.to_vec();
+    let mut stats = vec![OnlineStats::new(); algorithms.len()];
+    for &load in loads {
+        let instances = downey_instances(seeds, jobs, &[load], seed0);
+        let results = run_matrix(&instances, &algorithms, penalty, threads);
+        for row in &results {
+            for (a, d) in degradation_row(row).into_iter().enumerate() {
+                stats[a].push(d);
+            }
+        }
+    }
+    RobustnessData { algorithms, stats }
+}
+
+impl RobustnessData {
+    /// Render as a table with CI half-widths.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec!["Algorithm", "avg degradation", "±95% CI", "max"]);
+        for (a, s) in self.algorithms.iter().zip(self.stats.iter()) {
+            t.row(vec![
+                a.name().to_string(),
+                format!("{:.2}", s.mean()),
+                format!("{:.2}", s.ci95_half_width()),
+                format!("{:.2}", s.max()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downey_instances_hit_loads() {
+        let insts = downey_instances(2, 40, &[0.4], 3);
+        assert_eq!(insts.len(), 2);
+        for i in &insts {
+            let t = Trace::new(i.cluster, i.jobs.clone()).unwrap();
+            assert!((t.offered_load() - 0.4).abs() < 1e-6, "{}", i.label);
+        }
+    }
+
+    #[test]
+    fn dfrs_dominance_is_model_independent() {
+        let data = run(2, 40, &[0.7], 0.0, 5, 2);
+        let idx = |a: Algorithm| data.algorithms.iter().position(|x| *x == a).unwrap();
+        let batch_best = data.stats[idx(Algorithm::Fcfs)]
+            .mean()
+            .min(data.stats[idx(Algorithm::Easy)].mean());
+        let dfrs_best = Algorithm::PREEMPTING
+            .iter()
+            .map(|a| data.stats[idx(*a)].mean())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            dfrs_best * 5.0 < batch_best,
+            "DFRS ({dfrs_best:.1}) should dominate batch ({batch_best:.1}) on Downey workloads too"
+        );
+        assert!(data.table().render().contains("±95% CI"));
+    }
+}

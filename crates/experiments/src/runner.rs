@@ -1,0 +1,299 @@
+//! Parallel execution of (instance × algorithm) simulations and the
+//! degradation-factor reduction (Section V).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dfrs_core::stretch::degradation_factor;
+use dfrs_core::OnlineStats;
+use dfrs_sched::Algorithm;
+use dfrs_sim::{simulate, SimConfig, SimOutcome};
+
+use crate::instances::Instance;
+
+/// Compact per-run result (drops per-job records to keep 900-instance
+/// matrices cheap).
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Which algorithm produced this.
+    pub algorithm: Algorithm,
+    /// Maximum bounded stretch.
+    pub max_stretch: f64,
+    /// Mean bounded stretch.
+    pub mean_stretch: f64,
+    /// Last completion time.
+    pub makespan: f64,
+    /// Pause occurrences.
+    pub preemption_count: u64,
+    /// Move occurrences.
+    pub migration_count: u64,
+    /// GB moved by pauses/resumes.
+    pub preemption_gb: f64,
+    /// GB moved by migrations.
+    pub migration_gb: f64,
+    /// Jobs simulated.
+    pub n_jobs: usize,
+    /// Total scheduler wall-clock seconds.
+    pub sched_wall_total: f64,
+    /// Worst single scheduler invocation (seconds).
+    pub sched_wall_max: f64,
+}
+
+impl RunSummary {
+    fn from_outcome(algorithm: Algorithm, o: &SimOutcome) -> Self {
+        RunSummary {
+            algorithm,
+            max_stretch: o.max_stretch,
+            mean_stretch: o.mean_stretch,
+            makespan: o.makespan,
+            preemption_count: o.preemption_count,
+            migration_count: o.migration_count,
+            preemption_gb: o.preemption_gb,
+            migration_gb: o.migration_gb,
+            n_jobs: o.records.len(),
+            sched_wall_total: o.sched_wall_total,
+            sched_wall_max: o.sched_wall_max,
+        }
+    }
+
+    /// GB/s through storage due to preemptions (Table II).
+    pub fn preemption_bandwidth_gbs(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.preemption_gb / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// GB/s through storage due to migrations (Table II).
+    pub fn migration_bandwidth_gbs(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.migration_gb / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Preemptions per simulated hour (Table II).
+    pub fn preemptions_per_hour(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.preemption_count as f64 * 3600.0 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Migrations per simulated hour (Table II).
+    pub fn migrations_per_hour(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.migration_count as f64 * 3600.0 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Preemptions per job (Table II).
+    pub fn preemptions_per_job(&self) -> f64 {
+        if self.n_jobs > 0 {
+            self.preemption_count as f64 / self.n_jobs as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Migrations per job (Table II).
+    pub fn migrations_per_job(&self) -> f64 {
+        if self.n_jobs > 0 {
+            self.migration_count as f64 / self.n_jobs as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run every algorithm on every instance, `threads`-wide. Returns
+/// `results[instance][algo]` aligned with the input orders.
+pub fn run_matrix(
+    instances: &[Instance],
+    algorithms: &[Algorithm],
+    penalty: f64,
+    threads: usize,
+) -> Vec<Vec<RunSummary>> {
+    let threads = threads.max(1);
+    let n_units = instances.len() * algorithms.len();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Vec<Option<RunSummary>>>> =
+        Mutex::new(vec![vec![None; algorithms.len()]; instances.len()]);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n_units.max(1)) {
+            scope.spawn(|_| loop {
+                let unit = next.fetch_add(1, Ordering::Relaxed);
+                if unit >= n_units {
+                    break;
+                }
+                let (i, a) = (unit / algorithms.len(), unit % algorithms.len());
+                let inst = &instances[i];
+                let algo = algorithms[a];
+                let cfg = SimConfig { penalty, ..SimConfig::default() };
+                let outcome =
+                    simulate(inst.cluster, &inst.jobs, algo.build().as_mut(), &cfg);
+                let summary = RunSummary::from_outcome(algo, &outcome);
+                results.lock().expect("no poisoned runs")[i][a] = Some(summary);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_inner()
+        .expect("scope joined")
+        .into_iter()
+        .map(|row| row.into_iter().map(|s| s.expect("all units executed")).collect())
+        .collect()
+}
+
+/// A named scheduler factory for ablation matrices (custom
+/// configurations that are not part of [`Algorithm::ALL`]).
+pub type SchedulerBuilder<'a> =
+    (&'a str, &'a (dyn Fn() -> Box<dyn dfrs_sim::Scheduler> + Sync));
+
+/// Like [`run_matrix`] but over arbitrary scheduler factories; returns
+/// `(name, max_stretch, mean_stretch, preemptions, migrations, moved_gb)`
+/// rows aligned `[instance][builder]`.
+pub fn run_matrix_with(
+    instances: &[Instance],
+    builders: &[SchedulerBuilder<'_>],
+    penalty: f64,
+    threads: usize,
+) -> Vec<Vec<CustomRun>> {
+    let threads = threads.max(1);
+    let n_units = instances.len() * builders.len();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Vec<Option<CustomRun>>>> =
+        Mutex::new(vec![vec![None; builders.len()]; instances.len()]);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n_units.max(1)) {
+            scope.spawn(|_| loop {
+                let unit = next.fetch_add(1, Ordering::Relaxed);
+                if unit >= n_units {
+                    break;
+                }
+                let (i, b) = (unit / builders.len(), unit % builders.len());
+                let inst = &instances[i];
+                let (name, build) = builders[b];
+                let cfg = SimConfig { penalty, ..SimConfig::default() };
+                let out = simulate(inst.cluster, &inst.jobs, build().as_mut(), &cfg);
+                let run = CustomRun {
+                    name: name.to_string(),
+                    max_stretch: out.max_stretch,
+                    mean_stretch: out.mean_stretch,
+                    preemption_count: out.preemption_count,
+                    migration_count: out.migration_count,
+                    moved_gb: out.preemption_gb + out.migration_gb,
+                };
+                results.lock().expect("no poisoned runs")[i][b] = Some(run);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .expect("scope joined")
+        .into_iter()
+        .map(|row| row.into_iter().map(|s| s.expect("all units executed")).collect())
+        .collect()
+}
+
+/// Result row of [`run_matrix_with`].
+#[derive(Debug, Clone)]
+pub struct CustomRun {
+    /// Builder name.
+    pub name: String,
+    /// Maximum bounded stretch.
+    pub max_stretch: f64,
+    /// Mean bounded stretch.
+    pub mean_stretch: f64,
+    /// Pause occurrences.
+    pub preemption_count: u64,
+    /// Move occurrences.
+    pub migration_count: u64,
+    /// Total GB through storage.
+    pub moved_gb: f64,
+}
+
+/// Per-instance degradation factors: each algorithm's max stretch over
+/// the best max stretch on that instance (Section V).
+pub fn degradation_row(row: &[RunSummary]) -> Vec<f64> {
+    let best = row.iter().map(|s| s.max_stretch).fold(f64::INFINITY, f64::min);
+    row.iter().map(|s| degradation_factor(s.max_stretch, best)).collect()
+}
+
+/// Aggregate degradation statistics per algorithm over a result matrix.
+pub fn degradation_stats(results: &[Vec<RunSummary>], n_algos: usize) -> Vec<OnlineStats> {
+    let mut stats = vec![OnlineStats::new(); n_algos];
+    for row in results {
+        debug_assert_eq!(row.len(), n_algos);
+        for (a, d) in degradation_row(row).into_iter().enumerate() {
+            stats[a].push(d);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::scaled_instances;
+
+    fn tiny_matrix() -> (Vec<Instance>, Vec<Algorithm>, Vec<Vec<RunSummary>>) {
+        let instances = scaled_instances(2, 25, &[0.5], 11);
+        let algos = vec![Algorithm::Fcfs, Algorithm::Easy, Algorithm::GreedyPmtn];
+        let results = run_matrix(&instances, &algos, 0.0, 4);
+        (instances, algos, results)
+    }
+
+    #[test]
+    fn matrix_shape_and_alignment() {
+        let (instances, algos, results) = tiny_matrix();
+        assert_eq!(results.len(), instances.len());
+        for row in &results {
+            assert_eq!(row.len(), algos.len());
+            for (s, a) in row.iter().zip(algos.iter()) {
+                assert_eq!(s.algorithm, *a);
+                assert_eq!(s.n_jobs, 25);
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_row_has_a_unit_entry() {
+        let (_, _, results) = tiny_matrix();
+        for row in &results {
+            let degs = degradation_row(row);
+            assert!(degs.iter().any(|&d| (d - 1.0).abs() < 1e-12), "{degs:?}");
+            assert!(degs.iter().all(|&d| d >= 1.0));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let instances = scaled_instances(1, 20, &[0.4], 5);
+        let algos = vec![Algorithm::Fcfs, Algorithm::GreedyPmtn];
+        let par = run_matrix(&instances, &algos, 300.0, 8);
+        let ser = run_matrix(&instances, &algos, 300.0, 1);
+        for (p, s) in par.iter().flatten().zip(ser.iter().flatten()) {
+            assert_eq!(p.max_stretch, s.max_stretch);
+            assert_eq!(p.preemption_count, s.preemption_count);
+        }
+    }
+
+    #[test]
+    fn degradation_stats_aggregate() {
+        let (_, algos, results) = tiny_matrix();
+        let stats = degradation_stats(&results, algos.len());
+        assert_eq!(stats.len(), algos.len());
+        assert!(stats.iter().all(|s| s.count() == results.len() as u64));
+        assert!(stats.iter().all(|s| s.mean() >= 1.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Table I — degradation-factor statistics (avg, std, max) for the three
+//! workload families, all with the 5-minute rescheduling penalty.
+
+use dfrs_core::OnlineStats;
+use dfrs_sched::Algorithm;
+
+use crate::instances::{hpc2n_like_instances, hpc2n_swf_instances, scaled_instances, unscaled_instances, Instance};
+use crate::report::{f2, TextTable};
+use crate::runner::{degradation_stats, run_matrix};
+
+/// One family's aggregated column triple.
+#[derive(Debug, Clone)]
+pub struct FamilyStats {
+    /// Family label (e.g. "Scaled synthetic traces").
+    pub family: String,
+    /// Per algorithm (Table I order): degradation stats.
+    pub per_algo: Vec<OnlineStats>,
+}
+
+/// The whole table.
+#[derive(Debug, Clone)]
+pub struct Table1Data {
+    /// Algorithms, Table I order.
+    pub algorithms: Vec<Algorithm>,
+    /// The three families.
+    pub families: Vec<FamilyStats>,
+}
+
+/// Inputs controlling the run.
+#[derive(Debug, Clone)]
+pub struct Table1Config {
+    /// Synthetic base traces.
+    pub seeds: u64,
+    /// Jobs per synthetic trace.
+    pub jobs: usize,
+    /// Loads for the scaled family.
+    pub loads: Vec<f64>,
+    /// Rescheduling penalty (the paper's Table I uses 300).
+    pub penalty: f64,
+    /// Base RNG seed.
+    pub seed0: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// HPC2N-like weeks (when `swf_text` is None).
+    pub weeks: u32,
+    /// HPC2N-like weekly job volume (the real trace averages ≈ 1,100).
+    pub hpc2n_jobs_per_week: f64,
+    /// Real SWF content, if provided.
+    pub swf_text: Option<String>,
+}
+
+fn family(
+    label: &str,
+    instances: &[Instance],
+    algorithms: &[Algorithm],
+    penalty: f64,
+    threads: usize,
+) -> FamilyStats {
+    let results = run_matrix(instances, algorithms, penalty, threads);
+    FamilyStats {
+        family: label.to_string(),
+        per_algo: degradation_stats(&results, algorithms.len()),
+    }
+}
+
+/// Run all three families.
+pub fn run(cfg: &Table1Config) -> Table1Data {
+    let algorithms = Algorithm::ALL.to_vec();
+    let mut families = Vec::with_capacity(3);
+
+    // Scaled family, one load at a time (memory; per-instance baseline).
+    {
+        let mut per_algo = vec![OnlineStats::new(); algorithms.len()];
+        for &load in &cfg.loads {
+            let instances = scaled_instances(cfg.seeds, cfg.jobs, &[load], cfg.seed0);
+            let f = family("scaled", &instances, &algorithms, cfg.penalty, cfg.threads);
+            for (acc, s) in per_algo.iter_mut().zip(f.per_algo.iter()) {
+                acc.merge(s);
+            }
+        }
+        families.push(FamilyStats { family: "Scaled synthetic traces".into(), per_algo });
+    }
+
+    {
+        let instances = unscaled_instances(cfg.seeds, cfg.jobs, cfg.seed0);
+        families.push(family(
+            "Unscaled synthetic traces",
+            &instances,
+            &algorithms,
+            cfg.penalty,
+            cfg.threads,
+        ));
+    }
+
+    {
+        let instances = match &cfg.swf_text {
+            Some(text) => hpc2n_swf_instances(text).expect("SWF parse failed"),
+            None => hpc2n_like_instances(
+                cfg.weeks,
+                cfg.hpc2n_jobs_per_week,
+                cfg.seed0 ^ 0x4850_4332, // "HPC2"
+            ),
+        };
+        families.push(family(
+            "Real-world trace (HPC2N-like)",
+            &instances,
+            &algorithms,
+            cfg.penalty,
+            cfg.threads,
+        ));
+    }
+
+    Table1Data { algorithms, families }
+}
+
+impl Table1Data {
+    /// Render in the paper's layout: one row per algorithm, three
+    /// (avg, std, max) column groups.
+    pub fn table(&self) -> TextTable {
+        let mut header = vec!["Algorithm".to_string()];
+        for f in &self.families {
+            let tag = match f.family.as_str() {
+                s if s.starts_with("Scaled") => "scaled",
+                s if s.starts_with("Unscaled") => "unscaled",
+                _ => "hpc2n",
+            };
+            header.push(format!("{tag}-avg"));
+            header.push(format!("{tag}-std"));
+            header.push(format!("{tag}-max"));
+        }
+        let mut t = TextTable::new(header);
+        for (a, algo) in self.algorithms.iter().enumerate() {
+            let mut cells = vec![algo.name().to_string()];
+            for fam in &self.families {
+                let s = &fam.per_algo[a];
+                cells.push(f2(s.mean()));
+                cells.push(f2(s.std_dev()));
+                cells.push(f2(s.max()));
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_families_with_nine_algorithms() {
+        let cfg = Table1Config {
+            seeds: 1,
+            jobs: 25,
+            loads: vec![0.5],
+            penalty: 300.0,
+            seed0: 2,
+            threads: 4,
+            weeks: 2,
+            hpc2n_jobs_per_week: 60.0,
+            swf_text: None,
+        };
+        let data = run(&cfg);
+        assert_eq!(data.families.len(), 3);
+        for f in &data.families {
+            assert_eq!(f.per_algo.len(), 9);
+            for s in &f.per_algo {
+                assert!(s.count() > 0, "{}", f.family);
+                assert!(s.mean() >= 1.0);
+                assert!(s.max() >= s.mean());
+            }
+        }
+        let text = data.table().render();
+        assert!(text.contains("FCFS") && text.contains("hpc2n-max"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Lower bounds for bi-dimensional vector packing.
+//!
+//! Heuristics like MCB8 are incomplete: a `None` answer proves nothing.
+//! These bounds give the other direction — a certificate that an
+//! instance *cannot* be packed into fewer than `lower_bound` bins — so
+//! tests and benches can measure how close the heuristics get to
+//! optimal, and the yield search can fail fast.
+
+use crate::item::PackItem;
+
+/// A valid lower bound on the number of unit bins any packing needs:
+/// the maximum of
+///
+/// * `⌈Σ cpu⌉` — total CPU volume,
+/// * `⌈Σ mem⌉` — total memory volume,
+/// * the *pairwise-conflict* bound: items with `max component > 1/2`
+///   cannot share a bin along that dimension, so each needs its own bin
+///   among themselves (the classical L2-style argument specialized to
+///   the > ½ class).
+pub fn lower_bound_bins(items: &[PackItem]) -> usize {
+    if items.is_empty() {
+        return 0;
+    }
+    let cpu: f64 = items.iter().map(|i| i.cpu).sum();
+    let mem: f64 = items.iter().map(|i| i.mem).sum();
+    let volume = cpu.max(mem).ceil() as usize;
+    // Items that conflict pairwise in one dimension: CPU > 1/2 or memory
+    // > 1/2 (an item with either property excludes any other such item
+    // *in the same dimension* from its bin).
+    let big_cpu = items.iter().filter(|i| i.cpu > 0.5 + 1e-12).count();
+    let big_mem = items.iter().filter(|i| i.mem > 0.5 + 1e-12).count();
+    volume.max(big_cpu).max(big_mem).max(1)
+}
+
+/// True when `items` provably cannot fit in `bins` bins (the converse —
+/// `false` — proves nothing).
+pub fn provably_infeasible(items: &[PackItem], bins: usize) -> bool {
+    lower_bound_bins(items) > bins
+}
+
+/// Smallest bin count at which a packer succeeds, found by scanning up
+/// from the lower bound — used to measure heuristic quality in tests and
+/// the ablation benches. Returns `None` if no success up to `max_bins`.
+pub fn min_bins_with(
+    packer: &dyn crate::item::VectorPacker,
+    items: &[PackItem],
+    max_bins: usize,
+) -> Option<usize> {
+    let lo = lower_bound_bins(items);
+    (lo..=max_bins).find(|&b| packer.pack(items, b).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::FirstFitDecreasing;
+    use crate::item::VectorPacker;
+    use crate::mcb8::Mcb8;
+
+    fn items(reqs: &[(f64, f64)]) -> Vec<PackItem> {
+        reqs.iter()
+            .enumerate()
+            .map(|(i, &(cpu, mem))| PackItem { id: i as u32, cpu, mem })
+            .collect()
+    }
+
+    #[test]
+    fn volume_bound() {
+        // 10 × (0.5, 0.3): CPU volume 5, memory volume 3 → LB 5.
+        assert_eq!(lower_bound_bins(&items(&[(0.5, 0.3); 10])), 5);
+    }
+
+    #[test]
+    fn big_item_bound_dominates_volume() {
+        // 4 items with cpu 0.6 but tiny memory: volume bound is ⌈2.4⌉ = 3
+        // but the pairwise-conflict bound is 4.
+        assert_eq!(lower_bound_bins(&items(&[(0.6, 0.05); 4])), 4);
+    }
+
+    #[test]
+    fn memory_conflicts_counted_too() {
+        assert_eq!(lower_bound_bins(&items(&[(0.05, 0.7); 3])), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(lower_bound_bins(&[]), 0);
+        assert_eq!(lower_bound_bins(&items(&[(0.1, 0.1)])), 1);
+    }
+
+    #[test]
+    fn provably_infeasible_is_sound() {
+        let its = items(&[(0.9, 0.1); 3]);
+        assert!(provably_infeasible(&its, 2));
+        assert!(!provably_infeasible(&its, 3));
+        // And indeed MCB8 succeeds at the bound here.
+        assert!(Mcb8.pack(&its, 3).is_some());
+    }
+
+    #[test]
+    fn mcb8_hits_the_bound_on_complementary_instances() {
+        // Perfectly complementary pairs: LB = 4, MCB8 must achieve 4.
+        let its = items(&[
+            (0.9, 0.1),
+            (0.1, 0.9),
+            (0.9, 0.1),
+            (0.1, 0.9),
+            (0.9, 0.1),
+            (0.1, 0.9),
+            (0.9, 0.1),
+            (0.1, 0.9),
+        ]);
+        assert_eq!(min_bins_with(&Mcb8, &its, 16), Some(4));
+    }
+
+    #[test]
+    fn heuristic_quality_within_factor_two_of_bound() {
+        // Mixed synthetic instance: both heuristics must land within 2×
+        // of the lower bound (a loose but absolute sanity band).
+        let mut reqs = Vec::new();
+        for i in 0..30 {
+            reqs.push((0.1 + 0.025 * (i % 8) as f64, 0.3 - 0.03 * (i % 5) as f64));
+        }
+        let its = items(&reqs);
+        let lb = lower_bound_bins(&its);
+        for packer in [&Mcb8 as &dyn crate::item::VectorPacker, &FirstFitDecreasing] {
+            let used = min_bins_with(packer, &its, 64).unwrap();
+            assert!(used <= 2 * lb, "{}: {used} bins vs LB {lb}", packer.name());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Items, bins, and the packer interface.
+
+use dfrs_core::approx;
+
+/// One task to place: a point in the (CPU, memory) requirement plane.
+///
+/// `id` is an opaque caller-assigned index (the schedulers use a dense
+/// task index and map ranges of ids back to jobs). Ids must be unique
+/// within one `pack` call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackItem {
+    /// Caller-assigned unique id.
+    pub id: u32,
+    /// CPU requirement in `[0, 1]` (a *requirement*, i.e. need × yield).
+    pub cpu: f64,
+    /// Memory requirement in `(0, 1]`.
+    pub mem: f64,
+}
+
+impl PackItem {
+    /// The larger of the two requirements — MCB8's sort key.
+    #[inline]
+    pub fn max_component(&self) -> f64 {
+        self.cpu.max(self.mem)
+    }
+
+    /// True when the CPU requirement strictly dominates memory.
+    #[inline]
+    pub fn cpu_dominant(&self) -> bool {
+        self.cpu > self.mem
+    }
+}
+
+/// Running state of one node while packing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// CPU already committed.
+    pub cpu_used: f64,
+    /// Memory already committed.
+    pub mem_used: f64,
+}
+
+impl Bin {
+    /// Fresh empty bin (capacities are normalized to 1.0).
+    #[inline]
+    pub fn empty() -> Self {
+        Bin { cpu_used: 0.0, mem_used: 0.0 }
+    }
+
+    /// Remaining CPU capacity.
+    #[inline]
+    pub fn cpu_free(&self) -> f64 {
+        1.0 - self.cpu_used
+    }
+
+    /// Remaining memory capacity.
+    #[inline]
+    pub fn mem_free(&self) -> f64 {
+        1.0 - self.mem_used
+    }
+
+    /// Whether `item` fits within both remaining capacities (tolerant
+    /// comparison).
+    #[inline]
+    pub fn fits(&self, item: &PackItem) -> bool {
+        approx::le(self.cpu_used + item.cpu, 1.0) && approx::le(self.mem_used + item.mem, 1.0)
+    }
+
+    /// Commit `item` into the bin.
+    #[inline]
+    pub fn place(&mut self, item: &PackItem) {
+        debug_assert!(self.fits(item));
+        self.cpu_used += item.cpu;
+        self.mem_used += item.mem;
+    }
+}
+
+/// A successful packing: for every input item, the bin that hosts it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packing {
+    /// `bin_of[i]` is the bin index of the item with id `i`.
+    ///
+    /// Indexed by item **id**, so callers can hand items in any order as
+    /// long as ids are dense `0..n`.
+    pub bin_of: Vec<u32>,
+}
+
+impl Packing {
+    /// Verify that this packing places every item exactly once without
+    /// exceeding any bin capacity — used by tests and debug assertions.
+    pub fn is_valid(&self, items: &[PackItem], bins: usize) -> bool {
+        if self.bin_of.len() != items.len() {
+            return false;
+        }
+        let mut state = vec![Bin::empty(); bins];
+        for item in items {
+            let Some(&b) = self.bin_of.get(item.id as usize) else { return false };
+            let b = b as usize;
+            if b >= bins {
+                return false;
+            }
+            state[b].cpu_used += item.cpu;
+            state[b].mem_used += item.mem;
+        }
+        state.iter().all(|b| approx::le(b.cpu_used, 1.0) && approx::le(b.mem_used, 1.0))
+    }
+}
+
+/// A bi-dimensional vector-packing heuristic: place all `items` into
+/// `bins` unit bins, or report failure (`None`). Heuristics are
+/// incomplete: `None` does not prove infeasibility.
+pub trait VectorPacker {
+    /// Human-readable name for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Attempt to place every item. Item ids must be dense `0..items.len()`.
+    fn pack(&self, items: &[PackItem], bins: usize) -> Option<Packing>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_fits_is_tolerant_at_capacity() {
+        let mut b = Bin::empty();
+        let half = PackItem { id: 0, cpu: 0.5, mem: 0.5 };
+        b.place(&half);
+        assert!(b.fits(&half));
+        b.place(&half);
+        assert!(!b.fits(&PackItem { id: 1, cpu: 1e-6, mem: 0.0 }));
+        // Tolerates rounding noise.
+        assert!(b.fits(&PackItem { id: 2, cpu: 1e-12, mem: 0.0 }));
+    }
+
+    #[test]
+    fn max_component_and_dominance() {
+        let i = PackItem { id: 0, cpu: 0.7, mem: 0.3 };
+        assert_eq!(i.max_component(), 0.7);
+        assert!(i.cpu_dominant());
+        let j = PackItem { id: 1, cpu: 0.3, mem: 0.3 };
+        assert!(!j.cpu_dominant(), "ties are memory-dominant");
+    }
+
+    #[test]
+    fn packing_validity_detects_overflow() {
+        let items = vec![
+            PackItem { id: 0, cpu: 0.6, mem: 0.1 },
+            PackItem { id: 1, cpu: 0.6, mem: 0.1 },
+        ];
+        let ok = Packing { bin_of: vec![0, 1] };
+        assert!(ok.is_valid(&items, 2));
+        let bad = Packing { bin_of: vec![0, 0] };
+        assert!(!bad.is_valid(&items, 2), "1.2 CPU in one bin");
+        let out_of_range = Packing { bin_of: vec![0, 5] };
+        assert!(!out_of_range.is_valid(&items, 2));
+        let wrong_len = Packing { bin_of: vec![0] };
+        assert!(!wrong_len.is_valid(&items, 2));
+    }
+}

@@ -1,0 +1,56 @@
+//! # dfrs-packing
+//!
+//! Bi-dimensional vector packing for DFRS resource allocation
+//! (Section III-B of the IPDPS 2010 paper).
+//!
+//! The allocation problem — place tasks with a (CPU, memory) requirement
+//! pair onto unit-capacity nodes — is *vector packing*. The paper's jobs
+//! have **fluid CPU needs**, which is resolved by fixing a yield `Y`
+//! (turning each CPU need into the requirement `need × Y`) and binary
+//! searching for the largest feasible `Y`. This crate provides:
+//!
+//! * [`mcb8::Mcb8`] — the MCB8 multi-capacity bin-packing heuristic of
+//!   Leinberger, Karypis and Kumar (ICPP 1999), as specialized by the
+//!   paper: two lists split by dominant requirement, sorted by
+//!   non-increasing largest component, placement steered *against* the
+//!   current imbalance of the open node;
+//! * [`fit::FirstFitDecreasing`] and [`fit::BestFitDecreasing`] — classic
+//!   baselines used for ablation;
+//! * [`yield_search::max_min_yield`] — the binary search on the yield
+//!   (accuracy 0.01) returning the placement achieving the maximized
+//!   minimum yield;
+//! * [`stretch_search::min_max_estimated_stretch`] — the analogous binary
+//!   search minimizing the estimated max stretch used by
+//!   `DYNMCB8-STRETCH-PER`.
+//!
+//! Everything is deterministic; ties are broken by item order, which
+//! callers fix (the schedulers pass tasks grouped by job id).
+//!
+//! ```
+//! use dfrs_packing::{max_min_yield, JobLoad, Mcb8};
+//! use dfrs_core::ids::JobId;
+//!
+//! // Two CPU-hungry single-task jobs sharing one node: the highest
+//! // feasible uniform yield is ~0.5.
+//! let jobs = vec![
+//!     JobLoad { job: JobId(0), tasks: 1, cpu_need: 1.0, mem_req: 0.4 },
+//!     JobLoad { job: JobId(1), tasks: 1, cpu_need: 1.0, mem_req: 0.4 },
+//! ];
+//! let alloc = max_min_yield(&jobs, 1, &Mcb8, 0.01, 0.01).unwrap();
+//! assert!(alloc.yield_ <= 0.5 && alloc.yield_ > 0.48);
+//! assert_eq!(alloc.placements.len(), 2);
+//! ```
+
+pub mod bounds;
+pub mod fit;
+pub mod item;
+pub mod mcb8;
+pub mod stretch_search;
+pub mod yield_search;
+
+pub use bounds::{lower_bound_bins, min_bins_with, provably_infeasible};
+pub use fit::{BestFitDecreasing, FirstFitDecreasing};
+pub use item::{Bin, PackItem, Packing, VectorPacker};
+pub use mcb8::Mcb8;
+pub use stretch_search::{min_max_estimated_stretch, StretchAllocation, StretchJob};
+pub use yield_search::{max_min_yield, JobLoad, YieldAllocation};

@@ -1,0 +1,282 @@
+//! The MCB8 multi-capacity bin-packing heuristic.
+//!
+//! MCB8 is the two-resource instance of the *Multi-Capacity Bin packing*
+//! family of Leinberger, Karypis and Kumar (ICPP 1999), in the variant
+//! used by Stillwell et al. (Section III-B):
+//!
+//! 1. split the tasks into a CPU-dominant list (CPU requirement > memory
+//!    requirement) and a memory-dominant list (the rest);
+//! 2. sort each list by non-increasing *largest* requirement;
+//! 3. open nodes one at a time; on the open node, repeatedly pick the
+//!    first fitting task from the list that goes **against** the node's
+//!    current imbalance (if free memory exceeds free CPU, prefer a
+//!    memory-dominant task, and vice versa), falling back to the other
+//!    list; when neither list has a fitting task, open the next node.
+//!
+//! The point of step 3 is to keep each node's two residual capacities in
+//! balance so that neither resource is depleted while the other sits idle.
+//!
+//! The heuristic is deterministic: exact ties in the sort are broken by
+//! item id, and the "arbitrary" initial pick on an empty node prefers the
+//! list whose head has the larger requirement (big rocks first), then the
+//! memory-dominant list.
+
+use crate::item::{Bin, PackItem, Packing, VectorPacker};
+
+/// The MCB8 packer. Stateless; construct freely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mcb8;
+
+/// A sorted list of items with O(1) removal and ordered scans that skip
+/// removed entries (a singly linked "alive" list over a sorted Vec).
+struct AliveList {
+    items: Vec<PackItem>,
+    /// `next[i]` = index of the next alive item after slot `i`;
+    /// slot 0 is a sentinel head, so item `k` lives at slot `k + 1`.
+    next: Vec<u32>,
+    len: usize,
+}
+
+impl AliveList {
+    fn new(mut items: Vec<PackItem>) -> Self {
+        // Non-increasing max component; ties by id keep determinism.
+        items.sort_by(|a, b| {
+            b.max_component().total_cmp(&a.max_component()).then(a.id.cmp(&b.id))
+        });
+        let n = items.len();
+        let next = (1..=n as u32 + 1).collect();
+        AliveList { items, next, len: n }
+    }
+
+    /// Largest alive item, if any.
+    fn head(&self) -> Option<&PackItem> {
+        let first = self.next[0] as usize;
+        self.items.get(first - 1)
+    }
+
+    /// Find and remove the first (largest) alive item that fits in `bin`.
+    fn take_first_fit(&mut self, bin: &Bin) -> Option<PackItem> {
+        let mut prev = 0usize;
+        loop {
+            let cur = self.next[prev] as usize;
+            if cur > self.items.len() {
+                return None; // reached the tail sentinel
+            }
+            let item = self.items[cur - 1];
+            if bin.fits(&item) {
+                self.next[prev] = self.next[cur];
+                self.len -= 1;
+                return Some(item);
+            }
+            prev = cur;
+        }
+    }
+}
+
+impl VectorPacker for Mcb8 {
+    fn name(&self) -> &'static str {
+        "mcb8"
+    }
+
+    fn pack(&self, items: &[PackItem], bins: usize) -> Option<Packing> {
+        let n = items.len();
+        if n == 0 {
+            return Some(Packing { bin_of: Vec::new() });
+        }
+        debug_assert!(
+            {
+                let mut seen = vec![false; n];
+                items.iter().all(|i| {
+                    let ok = (i.id as usize) < n && !seen[i.id as usize];
+                    if ok {
+                        seen[i.id as usize] = true;
+                    }
+                    ok
+                })
+            },
+            "item ids must be dense 0..n and unique"
+        );
+
+        // Cheap necessary conditions before the O(n·m) work.
+        let (mut cpu_sum, mut mem_sum) = (0.0, 0.0);
+        for it in items {
+            if it.cpu > 1.0 + dfrs_core::approx::EPS || it.mem > 1.0 + dfrs_core::approx::EPS {
+                return None;
+            }
+            cpu_sum += it.cpu;
+            mem_sum += it.mem;
+        }
+        let cap = bins as f64 + dfrs_core::approx::EPS;
+        if cpu_sum > cap || mem_sum > cap {
+            return None;
+        }
+
+        let (cpu_dom, mem_dom): (Vec<_>, Vec<_>) =
+            items.iter().copied().partition(PackItem::cpu_dominant);
+        let mut list_cpu = AliveList::new(cpu_dom);
+        let mut list_mem = AliveList::new(mem_dom);
+
+        let mut bin_of = vec![u32::MAX; n];
+        let mut placed = 0usize;
+
+        for b in 0..bins {
+            if placed == n {
+                break;
+            }
+            let mut bin = Bin::empty();
+            loop {
+                // Prefer the list that counteracts the bin's imbalance.
+                let prefer_mem = if dfrs_core::approx::eq(bin.mem_free(), bin.cpu_free()) {
+                    // Balanced (e.g. empty) bin: take the list with the
+                    // larger head so big items are placed early.
+                    match (list_cpu.head(), list_mem.head()) {
+                        (Some(c), Some(m)) => m.max_component() >= c.max_component(),
+                        (None, _) => true,
+                        (_, None) => false,
+                    }
+                } else {
+                    bin.mem_free() > bin.cpu_free()
+                };
+
+                let (first, second) = if prefer_mem {
+                    (&mut list_mem, &mut list_cpu)
+                } else {
+                    (&mut list_cpu, &mut list_mem)
+                };
+
+                let picked = first
+                    .take_first_fit(&bin)
+                    .or_else(|| second.take_first_fit(&bin));
+
+                match picked {
+                    Some(item) => {
+                        bin.place(&item);
+                        bin_of[item.id as usize] = b as u32;
+                        placed += 1;
+                        if placed == n {
+                            break;
+                        }
+                    }
+                    None => break, // nothing fits; open the next bin
+                }
+            }
+        }
+
+        if placed == n {
+            let packing = Packing { bin_of };
+            debug_assert!(packing.is_valid(items, bins));
+            Some(packing)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(reqs: &[(f64, f64)]) -> Vec<PackItem> {
+        reqs.iter()
+            .enumerate()
+            .map(|(i, &(cpu, mem))| PackItem { id: i as u32, cpu, mem })
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_packs_trivially() {
+        assert!(Mcb8.pack(&[], 0).is_some());
+        assert!(Mcb8.pack(&[], 4).is_some());
+    }
+
+    #[test]
+    fn single_item_fills_one_bin() {
+        let its = items(&[(1.0, 1.0)]);
+        let p = Mcb8.pack(&its, 1).unwrap();
+        assert_eq!(p.bin_of, vec![0]);
+    }
+
+    #[test]
+    fn oversized_item_fails() {
+        assert!(Mcb8.pack(&items(&[(1.2, 0.1)]), 4).is_none());
+        assert!(Mcb8.pack(&items(&[(0.1, 1.2)]), 4).is_none());
+    }
+
+    #[test]
+    fn total_demand_exceeding_capacity_fails_fast() {
+        let its = items(&[(0.9, 0.1), (0.9, 0.1), (0.9, 0.1)]);
+        assert!(Mcb8.pack(&its, 2).is_none());
+    }
+
+    #[test]
+    fn complementary_items_share_a_bin() {
+        // One CPU-heavy and one memory-heavy item fit together; two of the
+        // same kind would not. MCB8's balance steering must pair them.
+        let its = items(&[(0.9, 0.1), (0.1, 0.9), (0.9, 0.1), (0.1, 0.9)]);
+        let p = Mcb8.pack(&its, 2).unwrap();
+        assert!(p.is_valid(&its, 2));
+        // Each bin must hold exactly one of each kind.
+        assert_ne!(p.bin_of[0], p.bin_of[2], "two CPU-heavy items can't share");
+        assert_ne!(p.bin_of[1], p.bin_of[3], "two memory-heavy items can't share");
+    }
+
+    #[test]
+    fn balance_steering_beats_naive_order() {
+        // Four CPU-heavy small-mem + four mem-heavy small-cpu items on 4
+        // bins, where any same-kind pairing overflows.
+        let its = items(&[
+            (0.8, 0.15),
+            (0.8, 0.15),
+            (0.8, 0.15),
+            (0.8, 0.15),
+            (0.15, 0.8),
+            (0.15, 0.8),
+            (0.15, 0.8),
+            (0.15, 0.8),
+        ]);
+        let p = Mcb8.pack(&its, 4).unwrap();
+        assert!(p.is_valid(&its, 4));
+    }
+
+    #[test]
+    fn uses_exactly_enough_bins_for_unit_items() {
+        let its = items(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]);
+        assert!(Mcb8.pack(&its, 3).is_some());
+        assert!(Mcb8.pack(&its, 2).is_none());
+    }
+
+    #[test]
+    fn many_small_items_fill_densely() {
+        // 40 items of (0.1, 0.1) pack into 4 bins exactly.
+        let its = items(&[(0.1, 0.1); 40]);
+        let p = Mcb8.pack(&its, 4).unwrap();
+        assert!(p.is_valid(&its, 4));
+        assert!(Mcb8.pack(&its, 3).is_none(), "needs 4 full bins");
+    }
+
+    #[test]
+    fn zero_cpu_items_pack_by_memory_only() {
+        // Yield 0 turns CPU requirements to 0; packing degenerates to 1-D
+        // memory packing.
+        let its = items(&[(0.0, 0.5); 6]);
+        assert!(Mcb8.pack(&its, 3).is_some());
+        assert!(Mcb8.pack(&its, 2).is_none());
+    }
+
+    #[test]
+    fn deterministic_across_input_permutations_of_equal_items() {
+        let a = items(&[(0.5, 0.3), (0.5, 0.3), (0.3, 0.5), (0.3, 0.5)]);
+        let p1 = Mcb8.pack(&a, 2).unwrap();
+        let p2 = Mcb8.pack(&a, 2).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn respects_memory_even_with_free_cpu() {
+        // CPU requirements are 0 but memory binds: 5 half-memory items
+        // need 3 bins.
+        let its = items(&[(0.0, 0.5); 5]);
+        let p = Mcb8.pack(&its, 3).unwrap();
+        assert!(p.is_valid(&its, 3));
+    }
+}

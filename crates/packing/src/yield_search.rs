@@ -1,0 +1,210 @@
+//! Binary search for the maximized minimum yield (Section III-B).
+//!
+//! Fixing a yield `Y` turns every fluid CPU need into the concrete
+//! requirement `need × Y`, reducing allocation to vector packing. The
+//! highest feasible `Y` is located by bisection with the paper's accuracy
+//! threshold of 0.01.
+//!
+//! Feasibility at the lower end is probed at `min_yield` (default 0.01,
+//! [`dfrs_core::constants::MIN_STRETCH_PER_YIELD`]) rather than 0: an
+//! allocation in which a job has yield 0 would let it hold memory forever
+//! without progressing, which the paper explicitly excludes. If packing
+//! fails even at `min_yield`, the instance is reported infeasible and the
+//! caller (the `DYNMCB8*` schedulers) evicts the lowest-priority job and
+//! retries.
+
+use dfrs_core::ids::JobId;
+
+use crate::item::{PackItem, Packing, VectorPacker};
+
+/// Aggregate resource demand of one job: `tasks` identical tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobLoad {
+    /// The job this load belongs to (carried through to the result).
+    pub job: JobId,
+    /// Number of tasks.
+    pub tasks: u32,
+    /// Per-task CPU need in `(0, 1]`.
+    pub cpu_need: f64,
+    /// Per-task memory requirement in `(0, 1]`.
+    pub mem_req: f64,
+}
+
+/// Result of the yield maximization: a single uniform yield plus, for
+/// every input job (same order), the node hosting each of its tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldAllocation {
+    /// The maximized minimum yield, in `[min_yield, 1]`.
+    pub yield_: f64,
+    /// `placements[i][k]` = node of task `k` of input job `i`.
+    pub placements: Vec<(JobId, Vec<u32>)>,
+}
+
+/// Expand jobs into pack items at a given yield. Item ids number tasks
+/// densely in input order, so id ranges map back to jobs.
+fn items_at_yield(jobs: &[JobLoad], yld: f64) -> Vec<PackItem> {
+    let total: usize = jobs.iter().map(|j| j.tasks as usize).sum();
+    let mut items = Vec::with_capacity(total);
+    let mut id = 0u32;
+    for j in jobs {
+        let cpu = (j.cpu_need * yld).min(1.0);
+        for _ in 0..j.tasks {
+            items.push(PackItem { id, cpu, mem: j.mem_req });
+            id += 1;
+        }
+    }
+    items
+}
+
+/// Translate a packing back into per-job task placements.
+fn placements_from(jobs: &[JobLoad], packing: &Packing) -> Vec<(JobId, Vec<u32>)> {
+    let mut out = Vec::with_capacity(jobs.len());
+    let mut cursor = 0usize;
+    for j in jobs {
+        let nodes = packing.bin_of[cursor..cursor + j.tasks as usize].to_vec();
+        cursor += j.tasks as usize;
+        out.push((j.job, nodes));
+    }
+    out
+}
+
+/// Maximize the minimum yield over all jobs.
+///
+/// * `jobs` — demands; order fixes the deterministic tie-breaking.
+/// * `nodes` — cluster size.
+/// * `packer` — the vector-packing heuristic (MCB8 in the paper).
+/// * `accuracy` — bisection stops when the bracket is narrower than this
+///   (the paper uses 0.01).
+/// * `min_yield` — smallest admissible yield (see module docs).
+///
+/// Returns `None` when even `min_yield` cannot be packed (the caller
+/// should evict a job and retry), otherwise the best allocation found.
+pub fn max_min_yield(
+    jobs: &[JobLoad],
+    nodes: usize,
+    packer: &dyn VectorPacker,
+    accuracy: f64,
+    min_yield: f64,
+) -> Option<YieldAllocation> {
+    debug_assert!(accuracy > 0.0 && min_yield > 0.0 && min_yield <= 1.0);
+    if jobs.is_empty() {
+        return Some(YieldAllocation { yield_: 1.0, placements: Vec::new() });
+    }
+
+    let try_pack = |yld: f64| packer.pack(&items_at_yield(jobs, yld), nodes);
+
+    // Fast path: everything fits at full speed.
+    if let Some(p) = try_pack(1.0) {
+        return Some(YieldAllocation { yield_: 1.0, placements: placements_from(jobs, &p) });
+    }
+
+    // The lower probe doubles as the memory-feasibility check.
+    let mut best_pack = try_pack(min_yield)?;
+    let mut lo = min_yield;
+    let mut hi = 1.0;
+    while hi - lo > accuracy {
+        let mid = 0.5 * (lo + hi);
+        match try_pack(mid) {
+            Some(p) => {
+                best_pack = p;
+                lo = mid;
+            }
+            None => hi = mid,
+        }
+    }
+    Some(YieldAllocation { yield_: lo, placements: placements_from(jobs, &best_pack) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcb8::Mcb8;
+
+    fn job(id: u32, tasks: u32, cpu: f64, mem: f64) -> JobLoad {
+        JobLoad { job: JobId(id), tasks, cpu_need: cpu, mem_req: mem }
+    }
+
+    fn run(jobs: &[JobLoad], nodes: usize) -> Option<YieldAllocation> {
+        max_min_yield(jobs, nodes, &Mcb8, 0.01, 0.01)
+    }
+
+    #[test]
+    fn empty_system_yields_one() {
+        let a = run(&[], 16).unwrap();
+        assert_eq!(a.yield_, 1.0);
+        assert!(a.placements.is_empty());
+    }
+
+    #[test]
+    fn underloaded_cluster_gives_full_yield() {
+        let a = run(&[job(0, 4, 0.25, 0.1), job(1, 2, 1.0, 0.3)], 8).unwrap();
+        assert_eq!(a.yield_, 1.0);
+        let total_tasks: usize = a.placements.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total_tasks, 6);
+    }
+
+    #[test]
+    fn two_full_cpu_jobs_on_one_node_split_the_cpu() {
+        // Two single-task jobs, each needing 100% CPU and 50% memory, on a
+        // 1-node cluster: both must land on the node, max load 2, yield ~0.5.
+        let a = run(&[job(0, 1, 1.0, 0.5), job(1, 1, 1.0, 0.5)], 1).unwrap();
+        assert!(a.yield_ <= 0.5 + 1e-9, "yield {} exceeds capacity", a.yield_);
+        assert!(a.yield_ >= 0.5 - 0.01 - 1e-9, "yield {} below accuracy band", a.yield_);
+    }
+
+    #[test]
+    fn memory_infeasibility_returns_none() {
+        // Three 60 %-memory tasks cannot fit on two nodes at any yield.
+        assert!(run(&[job(0, 3, 0.1, 0.6)], 2).is_none());
+    }
+
+    #[test]
+    fn returned_yield_always_packs_validly() {
+        let jobs =
+            vec![job(0, 3, 0.8, 0.2), job(1, 5, 0.3, 0.3), job(2, 2, 1.0, 0.5), job(3, 1, 0.25, 0.4)];
+        let a = run(&jobs, 4).unwrap();
+        let items = items_at_yield(&jobs, a.yield_);
+        // Rebuild the bin assignment from placements and check capacities.
+        let mut cursor = 0;
+        let mut bin_of = vec![0u32; items.len()];
+        for (_, nodes) in &a.placements {
+            for &n in nodes {
+                bin_of[cursor] = n;
+                cursor += 1;
+            }
+        }
+        let packing = Packing { bin_of };
+        assert!(packing.is_valid(&items, 4));
+    }
+
+    #[test]
+    fn yield_respects_min_floor() {
+        // 8 single-task full-CPU tiny-memory jobs on one node: load 8 →
+        // equal share would be 0.125.
+        let jobs: Vec<_> = (0..8).map(|i| job(i, 1, 1.0, 0.1)).collect();
+        let a = run(&jobs, 1).unwrap();
+        assert!(a.yield_ >= 0.01);
+        assert!(a.yield_ <= 0.125 + 1e-9);
+        assert!(a.yield_ >= 0.125 - 0.01 - 1e-9);
+    }
+
+    #[test]
+    fn accuracy_parameter_bounds_the_gap() {
+        let jobs = vec![job(0, 1, 1.0, 0.3), job(1, 1, 1.0, 0.3), job(2, 1, 1.0, 0.3)];
+        // On one node: optimal yield = 1/3.
+        let coarse = max_min_yield(&jobs, 1, &Mcb8, 0.1, 0.01).unwrap();
+        let fine = max_min_yield(&jobs, 1, &Mcb8, 0.001, 0.01).unwrap();
+        assert!(fine.yield_ >= coarse.yield_ - 1e-9);
+        assert!((fine.yield_ - 1.0 / 3.0).abs() < 0.002);
+    }
+
+    #[test]
+    fn placements_cover_every_task_exactly_once() {
+        let jobs = vec![job(0, 7, 0.5, 0.1), job(1, 3, 0.2, 0.2)];
+        let a = run(&jobs, 4).unwrap();
+        assert_eq!(a.placements.len(), 2);
+        assert_eq!(a.placements[0].1.len(), 7);
+        assert_eq!(a.placements[1].1.len(), 3);
+        assert!(a.placements.iter().flat_map(|(_, p)| p).all(|&n| (n as usize) < 4));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the vector packers and the binary searches.
+
+use dfrs_core::ids::JobId;
+use dfrs_packing::{
+    max_min_yield, min_max_estimated_stretch, BestFitDecreasing, FirstFitDecreasing, JobLoad, Mcb8,
+    PackItem, StretchJob, VectorPacker,
+};
+use proptest::prelude::*;
+
+fn arb_items(max_items: usize) -> impl Strategy<Value = Vec<PackItem>> {
+    prop::collection::vec((0.0f64..=1.0, 0.001f64..=1.0), 0..max_items).prop_map(|reqs| {
+        reqs.into_iter()
+            .enumerate()
+            .map(|(i, (cpu, mem))| PackItem { id: i as u32, cpu, mem })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Whatever a packer returns must be a valid packing.
+    #[test]
+    fn packers_return_only_valid_packings(items in arb_items(60), bins in 1usize..20) {
+        for packer in [&Mcb8 as &dyn VectorPacker, &FirstFitDecreasing, &BestFitDecreasing] {
+            if let Some(p) = packer.pack(&items, bins) {
+                prop_assert!(p.is_valid(&items, bins), "{} invalid", packer.name());
+            }
+        }
+    }
+
+    /// Adding bins never turns a feasible MCB8 instance infeasible.
+    #[test]
+    fn mcb8_monotone_in_bins(items in arb_items(40), bins in 1usize..16, extra in 1usize..8) {
+        if Mcb8.pack(&items, bins).is_some() {
+            prop_assert!(Mcb8.pack(&items, bins + extra).is_some());
+        }
+    }
+
+    /// Scaling every CPU requirement down keeps MCB8 feasible whenever the
+    /// packing it found before is reused — i.e. feasibility of the *yield
+    /// search* region is genuinely monotone even if the heuristic is not.
+    #[test]
+    fn shrunk_cpu_requirements_still_pack_with_same_assignment(
+        items in arb_items(40),
+        bins in 1usize..16,
+        factor in 0.0f64..1.0,
+    ) {
+        if let Some(p) = Mcb8.pack(&items, bins) {
+            let shrunk: Vec<PackItem> = items
+                .iter()
+                .map(|i| PackItem { id: i.id, cpu: i.cpu * factor, mem: i.mem })
+                .collect();
+            prop_assert!(p.is_valid(&shrunk, bins));
+        }
+    }
+
+    /// The yield search returns a yield in [floor, 1] and placements that
+    /// respect CPU and memory capacities at that yield.
+    #[test]
+    fn yield_search_result_is_consistent(
+        jobs in prop::collection::vec(
+            (1u32..6, 0.05f64..=1.0, 0.05f64..=1.0),
+            0..12,
+        ),
+        nodes in 1usize..24,
+    ) {
+        let loads: Vec<JobLoad> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(tasks, cpu, mem))| JobLoad {
+                job: JobId(i as u32),
+                tasks,
+                cpu_need: cpu,
+                mem_req: mem,
+            })
+            .collect();
+        if let Some(a) = max_min_yield(&loads, nodes, &Mcb8, 0.01, 0.01) {
+            prop_assert!(a.yield_ >= 0.01 - 1e-12 && a.yield_ <= 1.0);
+            // Recompute node usage from placements.
+            let mut cpu = vec![0.0; nodes];
+            let mut mem = vec![0.0; nodes];
+            for (load, (_, placement)) in loads.iter().zip(a.placements.iter()) {
+                prop_assert_eq!(placement.len(), load.tasks as usize);
+                for &n in placement {
+                    cpu[n as usize] += load.cpu_need * a.yield_;
+                    mem[n as usize] += load.mem_req;
+                }
+            }
+            for n in 0..nodes {
+                prop_assert!(cpu[n] <= 1.0 + 1e-6, "cpu overcommit {}", cpu[n]);
+                prop_assert!(mem[n] <= 1.0 + 1e-6, "mem overcommit {}", mem[n]);
+            }
+        } else {
+            // Infeasibility must come from memory, not CPU: at the floor
+            // yield the CPU requirements are tiny.
+            let total_mem: f64 = loads.iter().map(|l| l.mem_req * l.tasks as f64).sum();
+            // A sound necessary condition for feasibility that the
+            // heuristic may still miss: if even total memory fits loosely
+            // (< half capacity), MCB8 should never fail at the floor.
+            prop_assert!(
+                total_mem > nodes as f64 * 0.5,
+                "search failed on a loosely packed instance (total mem {total_mem}, nodes {nodes})"
+            );
+        }
+    }
+
+    /// The stretch search returns yields within [0.01, 1] and capacities
+    /// are respected under the returned per-job yields.
+    #[test]
+    fn stretch_search_result_is_consistent(
+        jobs in prop::collection::vec(
+            (1u32..5, 0.05f64..=1.0, 0.05f64..=0.8, 0.0f64..1e5, 0.0f64..1e4),
+            0..10,
+        ),
+        nodes in 2usize..16,
+    ) {
+        let sjobs: Vec<StretchJob> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(tasks, cpu, mem, flow, vt))| StretchJob {
+                job: JobId(i as u32),
+                tasks,
+                cpu_need: cpu,
+                mem_req: mem,
+                flow_time: flow,
+                virtual_time: vt,
+            })
+            .collect();
+        if let Some(a) = min_max_estimated_stretch(&sjobs, nodes, 600.0, &Mcb8, 0.01) {
+            let mut cpu = vec![0.0; nodes];
+            let mut mem = vec![0.0; nodes];
+            for (j, (_, y, placement)) in sjobs.iter().zip(a.assignments.iter()) {
+                prop_assert!(*y >= 0.01 - 1e-12 && *y <= 1.0, "yield {y}");
+                for &n in placement {
+                    cpu[n as usize] += j.cpu_need * y;
+                    mem[n as usize] += j.mem_req;
+                }
+            }
+            for n in 0..nodes {
+                prop_assert!(cpu[n] <= 1.0 + 1e-6);
+                prop_assert!(mem[n] <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    /// MCB8 succeeds at least as often as plain first-fit-decreasing on
+    /// *feasibility-critical* two-sided instances (the design claim the
+    /// paper borrows from Leinberger et al.). We don't require strict
+    /// dominance on every instance — only that MCB8 never fails where FFD
+    /// succeeds by more than the reverse margin over a batch.
+    #[test]
+    fn mcb8_is_competitive_with_ffd(seed_items in arb_items(50), bins in 2usize..12) {
+        let ffd = FirstFitDecreasing.pack(&seed_items, bins).is_some();
+        let mcb = Mcb8.pack(&seed_items, bins).is_some();
+        // Statistical claim tested in benches; here only the sanity
+        // direction that a *trivially* feasible instance (FFD succeeds)
+        // is rarely missed: allow MCB8 failure only when the instance is
+        // tight (utilization above 70 % in some dimension).
+        if ffd && !mcb {
+            let cpu: f64 = seed_items.iter().map(|i| i.cpu).sum();
+            let mem: f64 = seed_items.iter().map(|i| i.mem).sum();
+            let util = (cpu / bins as f64).max(mem / bins as f64);
+            prop_assert!(util > 0.7, "MCB8 failed a loose instance (util {util})");
+        }
+    }
+}
+
+proptest! {
+    /// Soundness of the lower bound: whenever a packer succeeds with b
+    /// bins, the lower bound is ≤ b.
+    #[test]
+    fn lower_bound_is_sound(items in arb_items(40), bins in 1usize..20) {
+        use dfrs_packing::lower_bound_bins;
+        if Mcb8.pack(&items, bins).is_some() {
+            prop_assert!(lower_bound_bins(&items) <= bins);
+        }
+        if FirstFitDecreasing.pack(&items, bins).is_some() {
+            prop_assert!(lower_bound_bins(&items) <= bins);
+        }
+    }
+
+    /// MCB8 lands within 2× of the lower bound on random instances.
+    #[test]
+    fn mcb8_quality_band(items in arb_items(30)) {
+        use dfrs_packing::{lower_bound_bins, min_bins_with};
+        prop_assume!(!items.is_empty());
+        let lb = lower_bound_bins(&items);
+        let used = min_bins_with(&Mcb8, &items, 4 * lb + 4).expect("ample bins");
+        prop_assert!(used <= 2 * lb + 1, "used {} vs lb {}", used, lb);
+    }
+}

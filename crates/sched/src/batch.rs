@@ -1,0 +1,293 @@
+//! Batch-scheduling baselines (Section IV-B): `FCFS` and `EASY`.
+//!
+//! Both allocate **integral** nodes — one task per node, exclusive access,
+//! yield 1.0 — exactly as production batch schedulers do, and never
+//! preempt or migrate. `EASY` adds aggressive backfilling: the head of
+//! the queue receives a reservation at the earliest time enough nodes
+//! will be free, and later jobs may jump ahead if they do not interfere
+//! with that reservation. Per the paper's conservative methodology, EASY
+//! is given **perfect runtime estimates** (the clairvoyant
+//! `oracle_runtime` accessor) while the DFRS algorithms get nothing.
+
+use std::collections::VecDeque;
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_sim::{JobStatus, Plan, SchedEvent, Scheduler, SimState};
+
+/// Indices of idle nodes, ascending.
+fn free_nodes(state: &SimState) -> Vec<NodeId> {
+    state
+        .cluster
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_idle())
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// First-Come-First-Serve: strict FIFO dispatch onto whole nodes.
+#[derive(Debug, Default)]
+pub struct Fcfs {
+    queue: VecDeque<JobId>,
+}
+
+impl Fcfs {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        Fcfs::default()
+    }
+
+    fn dispatch(&mut self, state: &SimState) -> Plan {
+        let mut free = free_nodes(state);
+        let mut plan = Plan::noop();
+        while let Some(&head) = self.queue.front() {
+            let tasks = state.job(head).spec.tasks as usize;
+            if tasks > free.len() {
+                break; // strict FIFO: nothing may overtake the head
+            }
+            let placement: Vec<NodeId> = free.drain(..tasks).collect();
+            plan = plan.run(head, placement, 1.0);
+            self.queue.pop_front();
+        }
+        plan
+    }
+}
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> String {
+        "FCFS".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(id) => {
+                self.queue.push_back(id);
+                self.dispatch(state)
+            }
+            SchedEvent::Complete(_) => self.dispatch(state),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+/// EASY backfilling with perfect runtime estimates.
+#[derive(Debug, Default)]
+pub struct Easy {
+    queue: VecDeque<JobId>,
+}
+
+impl Easy {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        Easy::default()
+    }
+
+    /// One full scheduling pass: start queue heads while they fit, then
+    /// backfill behind the head's reservation.
+    fn schedule(&mut self, state: &SimState) -> Plan {
+        let mut free = free_nodes(state);
+        let mut plan = Plan::noop();
+        // (completion_time, nodes_released) of jobs that will be running
+        // after this plan; seeded with currently running jobs.
+        let mut releases: Vec<(f64, u32)> = state
+            .jobs
+            .iter()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(|j| {
+                // Batch jobs run at yield 1: remaining vt = remaining wall.
+                (state.now + j.remaining(), j.spec.tasks)
+            })
+            .collect();
+
+        // Start heads while they fit.
+        while let Some(&head) = self.queue.front() {
+            let spec = &state.job(head).spec;
+            if spec.tasks as usize > free.len() {
+                break;
+            }
+            let placement: Vec<NodeId> = free.drain(..spec.tasks as usize).collect();
+            releases.push((state.now + spec.oracle_runtime(), spec.tasks));
+            plan = plan.run(head, placement, 1.0);
+            self.queue.pop_front();
+        }
+
+        if self.queue.is_empty() {
+            return plan;
+        }
+
+        // Reservation for the head: earliest time `head.tasks` nodes are
+        // simultaneously free, assuming perfect estimates.
+        let head_tasks = state.job(*self.queue.front().expect("nonempty")).spec.tasks;
+        releases.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut cum = free.len() as u32;
+        let mut shadow = f64::INFINITY;
+        let mut extra = 0u32;
+        for &(t, n) in &releases {
+            cum += n;
+            if cum >= head_tasks {
+                shadow = t;
+                extra = cum - head_tasks;
+                break;
+            }
+        }
+        debug_assert!(shadow.is_finite(), "head can never run: tasks > cluster?");
+        // Nodes free *now* beyond those the reservation will consume are
+        // also usable indefinitely; `extra` counts surplus at shadow time.
+        let mut extra = extra.min(free.len() as u32);
+
+        // Backfill pass: jobs behind the head, in order.
+        let mut started: Vec<JobId> = Vec::new();
+        for &cand in self.queue.iter().skip(1) {
+            let spec = &state.job(cand).spec;
+            let tasks = spec.tasks as usize;
+            if tasks > free.len() {
+                continue;
+            }
+            let finishes_before_shadow = state.now + spec.oracle_runtime() <= shadow;
+            let fits_extra = spec.tasks <= extra;
+            if finishes_before_shadow || fits_extra {
+                let placement: Vec<NodeId> = free.drain(..tasks).collect();
+                plan = plan.run(cand, placement, 1.0);
+                started.push(cand);
+                if !finishes_before_shadow {
+                    extra -= spec.tasks;
+                }
+            }
+        }
+        self.queue.retain(|j| !started.contains(j));
+        plan
+    }
+}
+
+impl Scheduler for Easy {
+    fn name(&self) -> String {
+        "EASY".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(id) => {
+                self.queue.push_back(id);
+                self.schedule(state)
+            }
+            SchedEvent::Complete(_) => self.schedule(state),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfrs_core::{ClusterSpec, JobSpec};
+    use dfrs_sim::{simulate, SimConfig};
+
+    fn cluster(n: u32) -> ClusterSpec {
+        ClusterSpec::new(n, 4, 8.0).unwrap()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { validate: true, ..SimConfig::default() }
+    }
+
+    fn job(id: u32, submit: f64, tasks: u32, rt: f64) -> JobSpec {
+        JobSpec::new(JobId(id), submit, tasks, 1.0, 0.2, rt).unwrap()
+    }
+
+    #[test]
+    fn fcfs_runs_in_order() {
+        let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 10.0, 2, 50.0)];
+        let out = simulate(cluster(2), &jobs, &mut Fcfs::new(), &cfg());
+        assert!((out.records[0].completion - 100.0).abs() < 1e-6);
+        // Job 1 waits for both nodes: starts 100, ends 150.
+        assert!((out.records[1].completion - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fcfs_head_blocks_smaller_jobs() {
+        // Head needs 4 nodes (busy until 100); a 1-node job behind it
+        // must wait even though 2 nodes are free — the FCFS weakness EASY
+        // fixes.
+        let jobs = vec![
+            job(0, 0.0, 2, 100.0),  // occupies 2 of 4 nodes
+            job(1, 1.0, 4, 50.0),   // head of queue, needs all 4
+            job(2, 2.0, 1, 10.0),   // small job stuck behind
+        ];
+        let out = simulate(cluster(4), &jobs, &mut Fcfs::new(), &cfg());
+        assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
+        assert!(
+            out.records[2].first_start.unwrap() >= 150.0 - 1e-6,
+            "FCFS must not let job 2 overtake: {:?}",
+            out.records[2].first_start
+        );
+    }
+
+    #[test]
+    fn easy_backfills_short_jobs() {
+        // Same scenario: EASY backfills job 2 (10 s ≤ shadow 100) onto a
+        // free node immediately.
+        let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 1.0, 4, 50.0), job(2, 2.0, 1, 10.0)];
+        let out = simulate(cluster(4), &jobs, &mut Easy::new(), &cfg());
+        assert!((out.records[2].first_start.unwrap() - 2.0).abs() < 1e-6);
+        // Head still starts exactly at its reservation.
+        assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn easy_backfill_never_delays_reservation() {
+        // Job 2 runs 200 s — longer than the shadow (100): backfilling it
+        // onto the 2 free nodes would delay the head, so EASY must not.
+        let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 1.0, 4, 50.0), job(2, 2.0, 1, 200.0)];
+        let out = simulate(cluster(4), &jobs, &mut Easy::new(), &cfg());
+        assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
+        assert!(out.records[2].first_start.unwrap() >= 100.0 - 1e-6);
+    }
+
+    #[test]
+    fn easy_uses_extra_nodes_for_long_backfill() {
+        // Head needs 3 of 4 nodes at shadow: one node is extra, so a long
+        // 1-node job may backfill onto it without delaying the head.
+        let jobs = vec![
+            job(0, 0.0, 2, 100.0), // nodes 0-1 until t=100
+            job(1, 1.0, 3, 50.0),  // head: reservation at t=100, extra=1
+            job(2, 2.0, 1, 500.0), // long, 1 node → fits the extra node
+        ];
+        let out = simulate(cluster(4), &jobs, &mut Easy::new(), &cfg());
+        assert!((out.records[2].first_start.unwrap() - 2.0).abs() < 1e-6);
+        assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_never_preempts() {
+        let jobs: Vec<JobSpec> =
+            (0..6).map(|i| job(i, i as f64, 1 + i % 3, 30.0 + i as f64)).collect();
+        for sched in [&mut Fcfs::new() as &mut dyn Scheduler, &mut Easy::new()] {
+            let out = simulate(cluster(3), &jobs, sched, &cfg());
+            assert_eq!(out.preemption_count, 0);
+            assert_eq!(out.migration_count, 0);
+            assert_eq!(out.preemption_gb, 0.0);
+        }
+    }
+
+    #[test]
+    fn easy_equals_fcfs_without_backfill_opportunities() {
+        // Single-node jobs of equal length leave no backfill gaps.
+        let jobs: Vec<JobSpec> = (0..5).map(|i| job(i, 0.0, 1, 100.0)).collect();
+        let f = simulate(cluster(2), &jobs, &mut Fcfs::new(), &cfg());
+        let e = simulate(cluster(2), &jobs, &mut Easy::new(), &cfg());
+        assert_eq!(f.max_stretch, e.max_stretch);
+    }
+
+    #[test]
+    fn integral_allocation_wastes_fractional_capacity() {
+        // The motivating pathology: jobs that *could* share nodes (low
+        // CPU need, low memory) still serialize under batch scheduling.
+        let jobs = vec![
+            JobSpec::new(JobId(0), 0.0, 2, 0.25, 0.1, 100.0).unwrap(),
+            JobSpec::new(JobId(1), 0.0, 2, 0.25, 0.1, 100.0).unwrap(),
+        ];
+        let out = simulate(cluster(2), &jobs, &mut Fcfs::new(), &cfg());
+        // Batch: job 1 waits for job 0's nodes → stretch 2.
+        assert!((out.records[1].completion - 200.0).abs() < 1e-6);
+        assert!((out.max_stretch - 2.0).abs() < 1e-6);
+    }
+}

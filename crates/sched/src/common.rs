@@ -1,0 +1,424 @@
+//! Machinery shared by the DFRS algorithms: scratch node state for
+//! incremental placement, the greedy task placer, and the yield
+//! optimization pipeline (equal-share base + the paper's average-yield
+//! improvement heuristic).
+
+use dfrs_core::approx;
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::yield_math;
+use dfrs_sim::{JobStatus, SimState};
+
+/// Mutable copy of per-node free memory and CPU load that schedulers use
+/// to evaluate placements before committing them to a plan.
+#[derive(Debug, Clone)]
+pub struct NodeScratch {
+    /// Free memory per node.
+    pub mem_free: Vec<f64>,
+    /// CPU load (sum of needs) per node.
+    pub cpu_load: Vec<f64>,
+}
+
+impl NodeScratch {
+    /// Snapshot the current cluster state.
+    pub fn from_state(state: &SimState) -> Self {
+        NodeScratch {
+            mem_free: state.cluster.nodes().iter().map(|n| n.mem_free()).collect(),
+            cpu_load: state.cluster.nodes().iter().map(|n| n.cpu_load).collect(),
+        }
+    }
+
+    /// An empty cluster of `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        NodeScratch { mem_free: vec![1.0; n], cpu_load: vec![0.0; n] }
+    }
+
+    /// Account one task added to `node`.
+    pub fn add_task(&mut self, node: NodeId, cpu_need: f64, mem_req: f64) {
+        self.mem_free[node.index()] -= mem_req;
+        self.cpu_load[node.index()] += cpu_need;
+    }
+
+    /// Account one task removed from `node`.
+    pub fn remove_task(&mut self, node: NodeId, cpu_need: f64, mem_req: f64) {
+        self.mem_free[node.index()] += mem_req;
+        self.cpu_load[node.index()] -= cpu_need;
+    }
+
+    /// Remove every task of a running job (by its current placement).
+    pub fn remove_job(&mut self, placement: &[NodeId], cpu_need: f64, mem_req: f64) {
+        for &n in placement {
+            self.remove_task(n, cpu_need, mem_req);
+        }
+    }
+
+    /// The GREEDY placement rule (Section III-A): for each task in turn,
+    /// pick the node with the lowest CPU load among nodes with enough
+    /// free memory. Returns `None` (leaving `self` unchanged) when some
+    /// task cannot be placed.
+    pub fn greedy_place(&mut self, tasks: u32, cpu_need: f64, mem_req: f64) -> Option<Vec<NodeId>> {
+        let mut placement = Vec::with_capacity(tasks as usize);
+        for _ in 0..tasks {
+            let mut best: Option<usize> = None;
+            for i in 0..self.mem_free.len() {
+                if !approx::ge(self.mem_free[i], mem_req) {
+                    continue;
+                }
+                match best {
+                    Some(b) if self.cpu_load[b] <= self.cpu_load[i] => {}
+                    _ => best = Some(i),
+                }
+            }
+            match best {
+                Some(i) => {
+                    let node = NodeId(i as u32);
+                    self.add_task(node, cpu_need, mem_req);
+                    placement.push(node);
+                }
+                None => {
+                    // Roll back partial placement.
+                    for &n in &placement {
+                        self.remove_task(n, cpu_need, mem_req);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(placement)
+    }
+}
+
+/// A complete prospective allocation: the set of jobs that will be
+/// running after this event, with their placements. Produces the per-job
+/// yields via the paper's two-step rule.
+#[derive(Debug, Clone, Default)]
+pub struct AllocSet {
+    jobs: Vec<AllocJob>,
+    n_nodes: usize,
+}
+
+#[derive(Debug, Clone)]
+struct AllocJob {
+    id: JobId,
+    cpu_need: f64,
+    placement: Vec<NodeId>,
+}
+
+impl AllocSet {
+    /// Empty set over `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        AllocSet { jobs: Vec::new(), n_nodes }
+    }
+
+    /// Add a job with its (planned or current) placement.
+    pub fn push(&mut self, id: JobId, cpu_need: f64, placement: Vec<NodeId>) {
+        debug_assert!(!placement.is_empty());
+        self.jobs.push(AllocJob { id, cpu_need, placement });
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs were added.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Per-node CPU load of this allocation.
+    fn cpu_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.n_nodes];
+        for j in &self.jobs {
+            for &n in &j.placement {
+                loads[n.index()] += j.cpu_need;
+            }
+        }
+        loads
+    }
+
+    /// The equal-share yield `1 / max(1, Λ)` for this allocation — the
+    /// maximized minimum yield for a fixed mapping (Section III-A).
+    pub fn equal_share_yield(&self) -> f64 {
+        let max_load = self.cpu_loads().iter().copied().fold(0.0, f64::max);
+        yield_math::equal_share_yield(max_load)
+    }
+
+    /// The average-yield improvement heuristic (Section III-A), starting
+    /// every job at `base` yield: repeatedly select the job with the
+    /// lowest total CPU need among jobs whose yield can still grow (yield
+    /// < 1 and CPU slack on every hosting node) and raise its yield as
+    /// far as the tightest node allows. Returns `(job, yield)` pairs in
+    /// insertion order.
+    pub fn optimized_yields(&self, base: f64) -> Vec<(JobId, f64)> {
+        debug_assert!(base > 0.0 && base <= 1.0 + approx::EPS);
+        let base = base.min(1.0);
+        let n = self.jobs.len();
+        let mut yields = vec![base; n];
+        // Allocated CPU per node under the base yield.
+        let mut alloc = vec![0.0; self.n_nodes];
+        for j in &self.jobs {
+            for &node in &j.placement {
+                alloc[node.index()] += j.cpu_need * base;
+            }
+        }
+        // Tasks-per-node count for each job (to bound its yield increase).
+        let mut frozen = vec![false; n];
+        loop {
+            // Lowest total CPU need among improvable jobs, ties by id.
+            let mut pick: Option<usize> = None;
+            for (i, j) in self.jobs.iter().enumerate() {
+                if frozen[i] || yields[i] >= 1.0 - approx::EPS {
+                    continue;
+                }
+                let has_slack = j
+                    .placement
+                    .iter()
+                    .all(|&node| approx::pos(1.0 - alloc[node.index()]));
+                if !has_slack {
+                    continue;
+                }
+                let better = match pick {
+                    None => true,
+                    Some(p) => {
+                        let (tp, ti) = (
+                            self.jobs[p].cpu_need * self.jobs[p].placement.len() as f64,
+                            j.cpu_need * j.placement.len() as f64,
+                        );
+                        ti < tp - approx::EPS
+                            || (approx::eq(ti, tp) && j.id < self.jobs[p].id)
+                    }
+                };
+                if better {
+                    pick = Some(i);
+                }
+            }
+            let Some(i) = pick else { break };
+            let job = &self.jobs[i];
+            // Tightest increase over hosting nodes: slack / (need × count
+            // of this job's tasks on that node).
+            let mut per_node_count = std::collections::HashMap::new();
+            for &node in &job.placement {
+                *per_node_count.entry(node).or_insert(0u32) += 1;
+            }
+            let mut delta = 1.0 - yields[i];
+            for (&node, &count) in &per_node_count {
+                let slack = 1.0 - alloc[node.index()];
+                delta = delta
+                    .min(yield_math::max_yield_increase(slack, job.cpu_need * count as f64));
+            }
+            if delta <= approx::EPS {
+                frozen[i] = true;
+                continue;
+            }
+            for &node in &job.placement {
+                alloc[node.index()] += job.cpu_need * delta;
+            }
+            yields[i] += delta;
+            if yields[i] > 1.0 {
+                yields[i] = 1.0;
+            }
+        }
+        self.jobs.iter().zip(yields).map(|(j, y)| (j.id, y)).collect()
+    }
+
+    /// Convenience: equal-share base followed by the improvement pass.
+    pub fn greedy_yields(&self) -> Vec<(JobId, f64)> {
+        self.optimized_yields(self.equal_share_yield())
+    }
+}
+
+/// Build an [`AllocSet`] from the currently running jobs (used by the
+/// greedy algorithms after membership changes have been decided).
+pub fn alloc_set_of_running(state: &SimState) -> AllocSet {
+    let mut set = AllocSet::new(state.cluster.nodes().len());
+    for j in state.jobs.iter().filter(|j| j.status == JobStatus::Running) {
+        set.push(j.spec.id, j.spec.cpu_need, j.placement.clone());
+    }
+    set
+}
+
+/// Jobs in the system ordered by **increasing** priority (pause
+/// candidates first). Reverse for resume order.
+pub fn by_increasing_priority<'a>(
+    state: &'a SimState,
+    filter: impl Fn(&dfrs_sim::JobState) -> bool + 'a,
+) -> Vec<JobId> {
+    by_increasing_priority_exp(state, filter, 2.0)
+}
+
+/// [`by_increasing_priority`] with a custom virtual-time exponent in the
+/// priority function (the paper's power-of-two ablation).
+pub fn by_increasing_priority_exp<'a>(
+    state: &'a SimState,
+    filter: impl Fn(&dfrs_sim::JobState) -> bool + 'a,
+    exponent: f64,
+) -> Vec<JobId> {
+    let mut jobs: Vec<_> = state
+        .jobs
+        .iter()
+        .filter(|j| filter(j))
+        .map(|j| {
+            (
+                dfrs_core::priority::PriorityKey::with_exponent(
+                    state.now,
+                    j.spec.submit_time,
+                    j.virtual_time,
+                    j.spec.id,
+                    exponent,
+                ),
+                j.spec.id,
+            )
+        })
+        .collect();
+    jobs.sort_by_key(|&(key, _)| key);
+    jobs.into_iter().map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch3() -> NodeScratch {
+        NodeScratch::empty(3)
+    }
+
+    #[test]
+    fn greedy_place_prefers_least_loaded_node() {
+        let mut s = scratch3();
+        s.cpu_load = vec![0.5, 0.1, 0.9];
+        let p = s.greedy_place(1, 1.0, 0.2).unwrap();
+        assert_eq!(p, vec![NodeId(1)]);
+        assert!((s.cpu_load[1] - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_place_respects_memory() {
+        let mut s = scratch3();
+        s.mem_free = vec![0.1, 0.5, 0.1];
+        let p = s.greedy_place(1, 1.0, 0.3).unwrap();
+        assert_eq!(p, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn greedy_place_spreads_tasks_by_load() {
+        let mut s = scratch3();
+        let p = s.greedy_place(3, 1.0, 0.2).unwrap();
+        // Each placement raises the load, so tasks round-robin.
+        let mut nodes: Vec<u32> = p.iter().map(|n| n.0).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn greedy_place_rolls_back_on_failure() {
+        let mut s = scratch3();
+        s.mem_free = vec![0.3, 0.3, 0.3];
+        let before = s.clone();
+        // 4 tasks of 0.3 memory: only 3 fit (one per node).
+        assert!(s.greedy_place(4, 0.5, 0.3).is_none());
+        assert_eq!(s.mem_free, before.mem_free);
+        assert_eq!(s.cpu_load, before.cpu_load);
+    }
+
+    #[test]
+    fn greedy_place_stacks_tasks_when_memory_allows() {
+        let mut s = NodeScratch::empty(1);
+        let p = s.greedy_place(3, 1.0, 0.25).unwrap();
+        assert_eq!(p, vec![NodeId(0); 3]);
+        assert!((s.cpu_load[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_share_yield_of_allocation() {
+        let mut set = AllocSet::new(2);
+        set.push(JobId(0), 1.0, vec![NodeId(0)]);
+        set.push(JobId(1), 1.0, vec![NodeId(0)]);
+        set.push(JobId(2), 0.5, vec![NodeId(1)]);
+        assert!((set.equal_share_yield() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_raises_unconstrained_jobs_to_full_yield() {
+        // Node 0 overloaded (2 × need 1.0), node 1 has one small job: the
+        // small job must end at yield 1.0, the others stay at 0.5.
+        let mut set = AllocSet::new(2);
+        set.push(JobId(0), 1.0, vec![NodeId(0)]);
+        set.push(JobId(1), 1.0, vec![NodeId(0)]);
+        set.push(JobId(2), 0.5, vec![NodeId(1)]);
+        let yields = set.greedy_yields();
+        assert!((yields[0].1 - 0.5).abs() < 1e-9);
+        assert!((yields[1].1 - 0.5).abs() < 1e-9);
+        assert!((yields[2].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_picks_lowest_total_need_first() {
+        // One node, two jobs (needs 0.6 and 0.3) at base yield 1/0.9=...
+        // loads: 0.9 → base yield 1.0 (under-loaded). Nothing to improve.
+        // Make it overloaded: needs 1.0 and 0.5 → base 1/1.5. Slack after
+        // base: 0. No improvement possible.
+        // Use two nodes: job A (need 1.0) on node 0; jobs B,C (need 0.4,
+        // 0.2) on node 1. Base = 1/1.0 = 1.0... loads: n0=1.0, n1=0.6 →
+        // base 1.0, everyone full. Overload n0: A,D both need 1.0.
+        let mut set = AllocSet::new(2);
+        set.push(JobId(0), 1.0, vec![NodeId(0)]); // A
+        set.push(JobId(1), 1.0, vec![NodeId(0)]); // D
+        set.push(JobId(2), 0.4, vec![NodeId(1)]); // B
+        set.push(JobId(3), 0.2, vec![NodeId(1)]); // C
+        let yields = set.greedy_yields();
+        // Base = 0.5. Node 1 slack = 1 − 0.3 = 0.7. C (total need 0.2)
+        // picked first → raised to 1.0 (consumes 0.1); B raised with
+        // remaining slack 0.6 → Δ = 0.6/0.4 = 1.5 → capped at 1.0.
+        assert!((yields[2].1 - 1.0).abs() < 1e-9, "B {}", yields[2].1);
+        assert!((yields[3].1 - 1.0).abs() < 1e-9, "C {}", yields[3].1);
+        assert!((yields[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_handles_partial_slack() {
+        // One node: jobs with needs 1.0 + 0.5 → base yield 1/1.5 = 2/3.
+        // alloc = 1.0 exactly; no slack; yields stay at base.
+        let mut set = AllocSet::new(1);
+        set.push(JobId(0), 1.0, vec![NodeId(0)]);
+        set.push(JobId(1), 0.5, vec![NodeId(0)]);
+        let yields = set.greedy_yields();
+        assert!((yields[0].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert!((yields[1].1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_task_job_bounded_by_tightest_node() {
+        // Job 0 has tasks on both nodes; node 1 is crowded by job 1.
+        // Base = 1/1.5. Job 0 (total need 1.0 over 2 tasks of 0.5)...
+        // loads: n0 = 0.5, n1 = 0.5 + 1.0 = 1.5 → base = 2/3.
+        // Slack n0 = 1 − 1/3 = 2/3; slack n1 = 0. Nothing improvable on
+        // n1 → job 0 frozen by n1, job 1 frozen by n1.
+        let mut set = AllocSet::new(2);
+        set.push(JobId(0), 0.5, vec![NodeId(0), NodeId(1)]);
+        set.push(JobId(1), 1.0, vec![NodeId(1)]);
+        let yields = set.greedy_yields();
+        assert!((yields[0].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert!((yields[1].1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_tasks_same_node_count_double() {
+        // Job 0 has both tasks on node 0 (need 0.4 each), job 1 need 1.0
+        // also on node 0: load = 1.8, base = 1/1.8. Slack = 0. Frozen.
+        let mut set = AllocSet::new(1);
+        set.push(JobId(0), 0.4, vec![NodeId(0), NodeId(0)]);
+        set.push(JobId(1), 1.0, vec![NodeId(0)]);
+        let yields = set.greedy_yields();
+        for (_, y) in yields {
+            assert!((y - 1.0 / 1.8).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_alloc_set_is_trivial() {
+        let set = AllocSet::new(4);
+        assert!(set.is_empty());
+        assert_eq!(set.equal_share_yield(), 1.0);
+        assert!(set.greedy_yields().is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! **Extension beyond the paper**: conservative backfilling, the classic
+//! counterpart to EASY (Feitelson et al., "Theory and practice in
+//! parallel job scheduling"). Every queued job — not just the head —
+//! holds a reservation, and a job may only jump ahead if it delays *no*
+//! earlier reservation. Useful as a third batch baseline when studying
+//! how much of DFRS's advantage comes from fractional sharing vs from
+//! queue policy.
+//!
+//! Like EASY here, it is clairvoyant (perfect runtime estimates).
+
+use std::collections::VecDeque;
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_sim::{JobStatus, Plan, SchedEvent, Scheduler, SimState};
+
+/// Piecewise-constant future free-node profile: `points[i] = (t_i,
+/// free_i)` means `free_i` nodes are free on `[t_i, t_{i+1})`; the last
+/// segment extends forever.
+#[derive(Debug, Clone)]
+struct Profile {
+    points: Vec<(f64, u32)>,
+}
+
+impl Profile {
+    /// Profile starting at `now` with `free_now` nodes, gaining
+    /// `releases` (time, nodes) later. Release times before `now` are
+    /// clamped to `now`.
+    fn new(now: f64, free_now: u32, releases: &[(f64, u32)]) -> Self {
+        let mut points = vec![(now, free_now)];
+        let mut rel: Vec<(f64, u32)> = releases.iter().map(|&(t, n)| (t.max(now), n)).collect();
+        rel.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (t, n) in rel {
+            let last = *points.last().expect("nonempty");
+            if (t - last.0).abs() < 1e-9 {
+                points.last_mut().expect("nonempty").1 += n;
+            } else {
+                points.push((t, last.1 + n));
+            }
+        }
+        Profile { points }
+    }
+
+    /// Free nodes at time `t`.
+    fn free_at(&self, t: f64) -> u32 {
+        let mut free = 0;
+        for &(pt, pf) in &self.points {
+            if pt <= t + 1e-9 {
+                free = pf;
+            } else {
+                break;
+            }
+        }
+        free
+    }
+
+    /// Earliest start `s ≥` profile origin such that at least `need`
+    /// nodes are free throughout `[s, s + duration)`.
+    fn find_slot(&self, need: u32, duration: f64) -> f64 {
+        let candidates: Vec<f64> = self.points.iter().map(|&(t, _)| t).collect();
+        'outer: for &s in &candidates {
+            if self.free_at(s) < need {
+                continue;
+            }
+            let end = s + duration;
+            for &(t, f) in &self.points {
+                if t > s + 1e-9 && t < end - 1e-9 && f < need {
+                    continue 'outer;
+                }
+            }
+            return s;
+        }
+        unreachable!("the final segment always has full capacity")
+    }
+
+    /// Subtract `need` nodes over `[start, start + duration)`.
+    fn reserve(&mut self, start: f64, duration: f64, need: u32) {
+        let end = start + duration;
+        let split = |points: &mut Vec<(f64, u32)>, at: f64| {
+            if points.iter().any(|&(t, _)| (t - at).abs() < 1e-9) {
+                return;
+            }
+            if let Some(i) = points.iter().rposition(|&(t, _)| t < at) {
+                let f = points[i].1;
+                points.insert(i + 1, (at, f));
+            }
+        };
+        split(&mut self.points, start);
+        split(&mut self.points, end);
+        for p in &mut self.points {
+            if p.0 + 1e-9 >= start && p.0 < end - 1e-9 {
+                debug_assert!(p.1 >= need, "profile underflow");
+                p.1 -= need;
+            }
+        }
+    }
+}
+
+/// Conservative backfilling over whole nodes with perfect estimates.
+#[derive(Debug, Default)]
+pub struct ConservativeBf {
+    queue: VecDeque<JobId>,
+}
+
+impl ConservativeBf {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        ConservativeBf::default()
+    }
+
+    fn schedule(&mut self, state: &SimState) -> Plan {
+        let mut free: Vec<NodeId> = state
+            .cluster
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_idle())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let releases: Vec<(f64, u32)> = state
+            .jobs
+            .iter()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(|j| (state.now + j.remaining(), j.spec.tasks))
+            .collect();
+        let mut profile = Profile::new(state.now, free.len() as u32, &releases);
+
+        let mut plan = Plan::noop();
+        let mut started: Vec<JobId> = Vec::new();
+        for &id in self.queue.iter() {
+            let spec = &state.job(id).spec;
+            let start = profile.find_slot(spec.tasks, spec.oracle_runtime());
+            profile.reserve(start, spec.oracle_runtime(), spec.tasks);
+            if (start - state.now).abs() < 1e-9 {
+                let placement: Vec<NodeId> = free.drain(..spec.tasks as usize).collect();
+                plan = plan.run(id, placement, 1.0);
+                started.push(id);
+            }
+        }
+        self.queue.retain(|j| !started.contains(j));
+        plan
+    }
+}
+
+impl Scheduler for ConservativeBf {
+    fn name(&self) -> String {
+        "Conservative-BF".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(id) => {
+                self.queue.push_back(id);
+                self.schedule(state)
+            }
+            SchedEvent::Complete(_) => self.schedule(state),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfrs_core::{ClusterSpec, JobSpec};
+    use dfrs_sim::{simulate, SimConfig};
+
+    fn cluster(n: u32) -> ClusterSpec {
+        ClusterSpec::new(n, 4, 8.0).unwrap()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { validate: true, ..SimConfig::default() }
+    }
+
+    fn job(id: u32, submit: f64, tasks: u32, rt: f64) -> JobSpec {
+        JobSpec::new(JobId(id), submit, tasks, 1.0, 0.2, rt).unwrap()
+    }
+
+    #[test]
+    fn profile_find_slot_and_reserve() {
+        // 2 free now, 2 more at t=100.
+        let mut p = Profile::new(0.0, 2, &[(100.0, 2)]);
+        assert_eq!(p.find_slot(2, 50.0), 0.0);
+        assert_eq!(p.find_slot(4, 10.0), 100.0);
+        p.reserve(0.0, 50.0, 2);
+        assert_eq!(p.free_at(10.0), 0);
+        assert_eq!(p.find_slot(1, 10.0), 50.0);
+        p.reserve(100.0, 25.0, 4);
+        assert_eq!(p.free_at(110.0), 0);
+        assert_eq!(p.free_at(130.0), 4);
+    }
+
+    #[test]
+    fn profile_respects_gaps() {
+        // 4 free now, but a reservation blocks [50, 100): a 60 s 4-node
+        // job cannot start at 0 or 50; earliest is 100.
+        let mut p = Profile::new(0.0, 4, &[]);
+        p.reserve(50.0, 50.0, 4);
+        assert_eq!(p.find_slot(4, 60.0), 100.0);
+        // A 40 s job fits before the blocked window.
+        assert_eq!(p.find_slot(4, 40.0), 0.0);
+    }
+
+    #[test]
+    fn backfills_like_easy_when_safe() {
+        let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 1.0, 4, 50.0), job(2, 2.0, 1, 10.0)];
+        let out = simulate(cluster(4), &jobs, &mut ConservativeBf::new(), &cfg());
+        assert!((out.records[2].first_start.unwrap() - 2.0).abs() < 1e-6);
+        assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn never_delays_any_reservation() {
+        // Queue: A (head, needs 4 at t=100), B (needs 2 at t=150 after A),
+        // C (1 node, 60 s): EASY would run C now only respecting A; the
+        // conservative rule must also respect B's reservation — here C
+        // finishing at 62 < 100 disturbs nobody, so it still backfills.
+        let jobs = vec![
+            job(0, 0.0, 2, 100.0),
+            job(1, 1.0, 4, 50.0),
+            job(2, 2.0, 2, 200.0),
+            job(3, 3.0, 1, 60.0),
+        ];
+        let out = simulate(cluster(4), &jobs, &mut ConservativeBf::new(), &cfg());
+        // Reservations: job1 at 100 (all 4), job2 at 150. Job 3 (60 s,
+        // 1 node) finishing at 63 < 100: safe to start now.
+        assert!((out.records[3].first_start.unwrap() - 3.0).abs() < 1e-6);
+        assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
+        assert!((out.records[2].first_start.unwrap() - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_backfill_blocked_when_it_would_delay_later_reservation() {
+        // Head needs all 4 nodes at t=100; a later 2-node job reserves
+        // t=150. A 2-node 300 s candidate would push the later
+        // reservation → it must wait; EASY (head-only) would also block
+        // it here via the shadow, so contrast with a case where EASY
+        // lets it through: candidate finishes after head's shadow but
+        // uses extra nodes... with all 4 consumed at shadow there are no
+        // extra nodes, so both refuse. Verify the conservative refusal.
+        let jobs = vec![
+            job(0, 0.0, 2, 100.0),
+            job(1, 1.0, 4, 50.0),
+            job(2, 2.0, 2, 300.0),
+        ];
+        let out = simulate(cluster(4), &jobs, &mut ConservativeBf::new(), &cfg());
+        assert!(out.records[2].first_start.unwrap() >= 150.0 - 1e-6);
+    }
+
+    #[test]
+    fn all_jobs_complete_under_churn() {
+        let jobs: Vec<JobSpec> =
+            (0..14).map(|i| job(i, (i as f64) * 7.0, 1 + i % 4, 20.0 + (i as f64) * 11.0)).collect();
+        let out = simulate(cluster(4), &jobs, &mut ConservativeBf::new(), &cfg());
+        assert_eq!(out.records.len(), 14);
+        assert_eq!(out.preemption_count, 0);
+        for r in &out.records {
+            assert!(r.stretch >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The vector-packing DFRS algorithms (Section III-B): `DYNMCB8`,
+//! `DYNMCB8-PER`, and `DYNMCB8-ASAP-PER`.
+//!
+//! All three compute *global* allocations with the MCB8 heuristic wrapped
+//! in a binary search that maximizes the minimum yield (accuracy 0.01).
+//! If no allocation exists at any yield — i.e. memory alone cannot be
+//! packed — the lowest-priority job is removed from consideration (and
+//! paused if running) and the search retries. The resulting uniform yield
+//! is then improved by the average-yield heuristic.
+//!
+//! * `DYNMCB8` repacks at **every** submission and completion:
+//!   near-optimal minimum yield, but aggressive preemption/migration.
+//! * `DYNMCB8-PER-T` repacks every `T` seconds (600 in the paper);
+//!   arrivals wait in the queue until the next tick.
+//! * `DYNMCB8-ASAP-PER-T` additionally admits arrivals immediately when
+//!   they fit greedily under memory constraints, letting short jobs run
+//!   (and possibly finish) between ticks.
+
+use dfrs_core::constants::{DEFAULT_PERIOD_SECS, MIN_STRETCH_PER_YIELD, YIELD_SEARCH_ACCURACY};
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_packing::{
+    max_min_yield, BestFitDecreasing, FirstFitDecreasing, JobLoad, Mcb8, VectorPacker,
+};
+use dfrs_sim::{Plan, SchedEvent, Scheduler, SimState};
+
+use crate::common::{AllocSet, NodeScratch};
+
+/// Which vector-packing heuristic the DYNMCB8 family uses inside the
+/// yield binary search. The paper uses MCB8 everywhere; the alternatives
+/// exist for the packer ablation (DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackerChoice {
+    /// Leinberger et al.'s balance-aware heuristic (the paper's choice).
+    #[default]
+    Mcb8,
+    /// First-fit decreasing baseline.
+    FirstFit,
+    /// Best-fit decreasing baseline.
+    BestFit,
+}
+
+impl PackerChoice {
+    /// The packer instance (all are zero-sized).
+    pub fn packer(&self) -> &'static dyn VectorPacker {
+        match self {
+            PackerChoice::Mcb8 => &Mcb8,
+            PackerChoice::FirstFit => &FirstFitDecreasing,
+            PackerChoice::BestFit => &BestFitDecreasing,
+        }
+    }
+
+    /// Short tag for names/reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PackerChoice::Mcb8 => "mcb8",
+            PackerChoice::FirstFit => "ffd",
+            PackerChoice::BestFit => "bfd",
+        }
+    }
+}
+
+/// Raw result of the eviction loop + yield binary search: the uniform
+/// yield, each surviving job's task placement, and the running jobs that
+/// had to be evicted to make the packing feasible.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedAllocation {
+    /// The maximized minimum yield of the packing.
+    pub yield_: f64,
+    /// `(job, node per task)` for every surviving candidate.
+    pub placements: Vec<(JobId, Vec<NodeId>)>,
+    /// Currently running jobs excluded from the packing (to be paused).
+    pub evicted_running: Vec<JobId>,
+}
+
+/// Eviction loop + yield binary search over all jobs in the system
+/// (Section III-B): when memory alone cannot be packed, the
+/// lowest-priority job is dropped from consideration and the search
+/// retries.
+pub(crate) fn packed_allocation(state: &SimState, packer: &dyn VectorPacker) -> PackedAllocation {
+    let nodes = state.cluster.nodes().len();
+    let mut candidates: Vec<JobId> =
+        state.jobs_in_system().map(|j| j.spec.id).collect();
+
+    loop {
+        let loads: Vec<JobLoad> = candidates
+            .iter()
+            .map(|&id| {
+                let s = &state.job(id).spec;
+                JobLoad { job: id, tasks: s.tasks, cpu_need: s.cpu_need, mem_req: s.mem_req }
+            })
+            .collect();
+        match max_min_yield(&loads, nodes, packer, YIELD_SEARCH_ACCURACY, MIN_STRETCH_PER_YIELD) {
+            Some(alloc) => {
+                let placements: Vec<(JobId, Vec<NodeId>)> = alloc
+                    .placements
+                    .into_iter()
+                    .map(|(id, bins)| (id, bins.into_iter().map(NodeId).collect()))
+                    .collect();
+                let evicted_running = state
+                    .running_jobs()
+                    .map(|j| j.spec.id)
+                    .filter(|id| !candidates.contains(id))
+                    .collect();
+                return PackedAllocation { yield_: alloc.yield_, placements, evicted_running };
+            }
+            None => {
+                // Evict the lowest-priority candidate and retry.
+                let victim = candidates
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        state
+                            .job(a)
+                            .priority_key(state.now)
+                            .cmp(&state.job(b).priority_key(state.now))
+                    })
+                    .expect("a lone job always packs, so candidates is never empty here");
+                candidates.retain(|&c| c != victim);
+            }
+        }
+    }
+}
+
+/// The full paper pipeline: packing, average-yield improvement, plan.
+pub(crate) fn repack_all(state: &SimState, packer: &dyn VectorPacker) -> Plan {
+    let packed = packed_allocation(state, packer);
+    let mut set = AllocSet::new(state.cluster.nodes().len());
+    for (id, placement) in &packed.placements {
+        set.push(*id, state.job(*id).spec.cpu_need, placement.clone());
+    }
+    let yields = set.optimized_yields(packed.yield_);
+    let mut plan = Plan::noop();
+    for id in &packed.evicted_running {
+        plan = plan.pause(*id);
+    }
+    for ((id, placement), (yid, yld)) in packed.placements.into_iter().zip(yields) {
+        debug_assert_eq!(id, yid);
+        plan = plan.run(id, placement, yld);
+    }
+    plan
+}
+
+/// `DYNMCB8`: global repack at every submission and completion.
+#[derive(Debug, Default)]
+pub struct DynMcb8 {
+    packer: PackerChoice,
+}
+
+impl DynMcb8 {
+    /// Fresh instance with the paper's MCB8 packer.
+    pub fn new() -> Self {
+        DynMcb8::default()
+    }
+
+    /// Ablation constructor: swap the packing heuristic.
+    pub fn with_packer(packer: PackerChoice) -> Self {
+        DynMcb8 { packer }
+    }
+}
+
+impl Scheduler for DynMcb8 {
+    fn name(&self) -> String {
+        match self.packer {
+            PackerChoice::Mcb8 => "DynMCB8".into(),
+            p => format!("DynMCB8[{}]", p.tag()),
+        }
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(_) | SchedEvent::Complete(_) => {
+                repack_all(state, self.packer.packer())
+            }
+            _ => Plan::noop(),
+        }
+    }
+}
+
+/// `DYNMCB8-PER-T`: global repack every `T` seconds; arrivals queue until
+/// the next tick.
+#[derive(Debug)]
+pub struct DynMcb8Per {
+    period: f64,
+    packer: PackerChoice,
+}
+
+impl DynMcb8Per {
+    /// The paper's default, T = 600 s.
+    pub fn new() -> Self {
+        Self::with_period(DEFAULT_PERIOD_SECS)
+    }
+
+    /// Custom period (the paper also probed 60 s and 3600 s).
+    pub fn with_period(period: f64) -> Self {
+        assert!(period > 0.0);
+        DynMcb8Per { period, packer: PackerChoice::Mcb8 }
+    }
+
+    /// Ablation constructor: swap the packing heuristic.
+    pub fn with_packer(period: f64, packer: PackerChoice) -> Self {
+        assert!(period > 0.0);
+        DynMcb8Per { period, packer }
+    }
+}
+
+impl Default for DynMcb8Per {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for DynMcb8Per {
+    fn name(&self) -> String {
+        match self.packer {
+            PackerChoice::Mcb8 => format!("DynMCB8-per {}", self.period),
+            p => format!("DynMCB8-per {}[{}]", self.period, p.tag()),
+        }
+    }
+    fn period(&self) -> Option<f64> {
+        Some(self.period)
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Tick => repack_all(state, self.packer.packer()),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+/// `DYNMCB8-ASAP-PER-T`: periodic repack plus immediate greedy admission
+/// of arrivals that fit under memory constraints.
+#[derive(Debug)]
+pub struct DynMcb8AsapPer {
+    period: f64,
+    packer: PackerChoice,
+}
+
+impl DynMcb8AsapPer {
+    /// The paper's default, T = 600 s.
+    pub fn new() -> Self {
+        Self::with_period(DEFAULT_PERIOD_SECS)
+    }
+
+    /// Custom period.
+    pub fn with_period(period: f64) -> Self {
+        assert!(period > 0.0);
+        DynMcb8AsapPer { period, packer: PackerChoice::Mcb8 }
+    }
+
+    /// Ablation constructor: swap the packing heuristic.
+    pub fn with_packer(period: f64, packer: PackerChoice) -> Self {
+        assert!(period > 0.0);
+        DynMcb8AsapPer { period, packer }
+    }
+}
+
+impl Default for DynMcb8AsapPer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for DynMcb8AsapPer {
+    fn name(&self) -> String {
+        match self.packer {
+            PackerChoice::Mcb8 => format!("DynMCB8-asap-per {}", self.period),
+            p => format!("DynMCB8-asap-per {}[{}]", self.period, p.tag()),
+        }
+    }
+    fn period(&self) -> Option<f64> {
+        Some(self.period)
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Tick => repack_all(state, self.packer.packer()),
+            SchedEvent::Submit(id) => {
+                // Greedy admission without touching anyone's placement:
+                // place the newcomer on least-loaded feasible nodes, then
+                // rebalance yields only.
+                let spec = state.job(id).spec.clone();
+                let mut scratch = NodeScratch::from_state(state);
+                let Some(placement) =
+                    scratch.greedy_place(spec.tasks, spec.cpu_need, spec.mem_req)
+                else {
+                    return Plan::noop(); // wait for the next tick
+                };
+                let mut set = AllocSet::new(state.cluster.nodes().len());
+                let mut placements = std::collections::HashMap::new();
+                for j in state.running_jobs() {
+                    set.push(j.spec.id, j.spec.cpu_need, j.placement.clone());
+                    placements.insert(j.spec.id, j.placement.clone());
+                }
+                set.push(id, spec.cpu_need, placement.clone());
+                placements.insert(id, placement);
+                let mut plan = Plan::noop();
+                for (jid, yld) in set.greedy_yields() {
+                    plan = plan.run(jid, placements.remove(&jid).expect("recorded"), yld);
+                }
+                plan
+            }
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfrs_core::{ClusterSpec, JobSpec};
+    use dfrs_sim::{simulate, SimConfig};
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::new(2, 4, 8.0).unwrap()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { validate: true, ..SimConfig::default() }
+    }
+
+    fn job(id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64) -> JobSpec {
+        JobSpec::new(JobId(id), submit, tasks, cpu, mem, rt).unwrap()
+    }
+
+    #[test]
+    fn dynmcb8_runs_everything_when_feasible() {
+        let jobs = vec![job(0, 0.0, 2, 0.5, 0.4, 100.0), job(1, 10.0, 1, 0.5, 0.4, 50.0)];
+        let out = simulate(cluster(), &jobs, &mut DynMcb8::new(), &cfg());
+        assert_eq!(out.max_stretch, 1.0, "underloaded cluster → no slowdown");
+    }
+
+    #[test]
+    fn dynmcb8_shares_cpu_on_overload() {
+        // Four 1-task CPU-bound jobs, 2 nodes: loads 2 and 2 → yield ~0.5.
+        let jobs: Vec<JobSpec> = (0..4).map(|i| job(i, 0.0, 1, 1.0, 0.3, 100.0)).collect();
+        let out = simulate(cluster(), &jobs, &mut DynMcb8::new(), &cfg());
+        for r in &out.records {
+            assert!(
+                (r.completion - 200.0).abs() < 5.0,
+                "completion {} (yield accuracy band)",
+                r.completion
+            );
+        }
+    }
+
+    #[test]
+    fn dynmcb8_evicts_lowest_priority_on_memory_pressure() {
+        // Job 0 fills both nodes' memory; job 1 arrives → one must give
+        // way. Job 1 (never run) has infinite priority; job 0 has run →
+        // finite → job 0 is evicted.
+        let jobs = vec![job(0, 0.0, 2, 0.25, 1.0, 100.0), job(1, 10.0, 1, 0.25, 0.5, 20.0)];
+        let out = simulate(cluster(), &jobs, &mut DynMcb8::new(), &cfg());
+        assert!((out.records[1].first_start.unwrap() - 10.0).abs() < 1e-9);
+        assert!(out.preemption_count >= 1);
+        // Job 0 resumes after job 1 completes (event-driven repack).
+        assert!((out.records[0].completion - 120.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_variant_waits_for_ticks() {
+        let jobs = vec![job(0, 10.0, 1, 0.5, 0.2, 50.0)];
+        let out = simulate(cluster(), &jobs, &mut DynMcb8Per::with_period(600.0), &cfg());
+        assert!((out.records[0].first_start.unwrap() - 600.0).abs() < 1e-9);
+        assert!((out.records[0].completion - 650.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asap_variant_starts_immediately_when_feasible() {
+        let jobs = vec![job(0, 10.0, 1, 0.5, 0.2, 50.0)];
+        let out = simulate(cluster(), &jobs, &mut DynMcb8AsapPer::with_period(600.0), &cfg());
+        assert!((out.records[0].first_start.unwrap() - 10.0).abs() < 1e-9);
+        assert!((out.records[0].completion - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asap_variant_queues_when_memory_blocked() {
+        // Job 0 holds all memory until t=700; job 1 (t=10) can't start
+        // greedily and must wait for the tick *after* job 0 completes:
+        // ticks at 600 (blocked: job 0 still running), 1200 → starts 1200.
+        let jobs = vec![job(0, 0.0, 2, 0.25, 1.0, 700.0), job(1, 10.0, 1, 0.25, 0.5, 20.0)];
+        let out = simulate(cluster(), &jobs, &mut DynMcb8AsapPer::with_period(600.0), &cfg());
+        let start1 = out.records[1].first_start.unwrap();
+        // At the t=600 tick the packer CAN fix this by evicting... the
+        // eviction loop only evicts when *memory packing fails*; with job
+        // 0 and job 1 both in the system memory indeed cannot fit → the
+        // lowest-priority (job 0, already run) is paused and job 1 runs.
+        assert!(
+            (start1 - 600.0).abs() < 1e-9,
+            "asap tick repack should force job 1 in at t=600, got {start1}"
+        );
+        assert!(out.preemption_count >= 1);
+    }
+
+    #[test]
+    fn periodic_repack_raises_yields_after_completion_at_tick() {
+        // Two CPU-bound jobs on one node (yield 0.5 each). Job 1 finishes
+        // at t=100 (vt 50); job 0 keeps yield 0.5 until the t=600 tick.
+        let one_node = ClusterSpec::new(1, 4, 8.0).unwrap();
+        let jobs = vec![job(0, 0.0, 1, 1.0, 0.3, 400.0), job(1, 0.0, 1, 1.0, 0.3, 50.0)];
+        let out = simulate(one_node, &jobs, &mut DynMcb8Per::with_period(600.0), &cfg());
+        // Both start at tick 600 (PER queues arrivals!): both at 0.5.
+        // Job 1 completes at 600 + 100 = 700 (vt 50). Job 0 continues at
+        // 0.5 until tick 1200 (vt = 50 + 250 = 300), then yield 1 →
+        // completes at 1300.
+        assert!((out.records[1].completion - 700.0).abs() < 5.0);
+        assert!((out.records[0].completion - 1300.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn names_include_period() {
+        assert_eq!(DynMcb8Per::new().name(), "DynMCB8-per 600");
+        assert_eq!(DynMcb8AsapPer::new().name(), "DynMCB8-asap-per 600");
+        assert_eq!(DynMcb8::new().name(), "DynMCB8");
+    }
+}

@@ -1,0 +1,167 @@
+//! Enumeration of all nine algorithms for experiment harnesses.
+
+use dfrs_core::constants::DEFAULT_PERIOD_SECS;
+use dfrs_sim::Scheduler;
+
+use crate::batch::{Easy, Fcfs};
+use crate::dynmcb8::{DynMcb8, DynMcb8AsapPer, DynMcb8Per};
+use crate::greedy::{Greedy, GreedyPmtn, GreedyPmtnMigr};
+use crate::stretch_per::DynMcb8StretchPer;
+
+/// The nine algorithms of the paper's evaluation, in the order of
+/// Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// First-Come-First-Serve (batch baseline).
+    Fcfs,
+    /// EASY backfilling with perfect estimates (batch baseline).
+    Easy,
+    /// GREEDY.
+    Greedy,
+    /// GREEDY-PMTN.
+    GreedyPmtn,
+    /// GREEDY-PMTN-MIGR.
+    GreedyPmtnMigr,
+    /// DYNMCB8 (every event).
+    DynMcb8,
+    /// DYNMCB8-PER-600.
+    DynMcb8Per,
+    /// DYNMCB8-ASAP-PER-600.
+    DynMcb8AsapPer,
+    /// DYNMCB8-STRETCH-PER-600.
+    DynMcb8StretchPer,
+}
+
+impl Algorithm {
+    /// All nine, Table I order.
+    pub const ALL: [Algorithm; 9] = [
+        Algorithm::Fcfs,
+        Algorithm::Easy,
+        Algorithm::Greedy,
+        Algorithm::GreedyPmtn,
+        Algorithm::GreedyPmtnMigr,
+        Algorithm::DynMcb8,
+        Algorithm::DynMcb8Per,
+        Algorithm::DynMcb8AsapPer,
+        Algorithm::DynMcb8StretchPer,
+    ];
+
+    /// The six algorithms of Table II (those that preempt or migrate).
+    pub const PREEMPTING: [Algorithm; 6] = [
+        Algorithm::GreedyPmtn,
+        Algorithm::GreedyPmtnMigr,
+        Algorithm::DynMcb8,
+        Algorithm::DynMcb8Per,
+        Algorithm::DynMcb8AsapPer,
+        Algorithm::DynMcb8StretchPer,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Fcfs => "FCFS",
+            Algorithm::Easy => "EASY",
+            Algorithm::Greedy => "Greedy",
+            Algorithm::GreedyPmtn => "Greedy-pmtn",
+            Algorithm::GreedyPmtnMigr => "Greedy-pmtn-migr",
+            Algorithm::DynMcb8 => "DynMCB8",
+            Algorithm::DynMcb8Per => "DynMCB8-per 600",
+            Algorithm::DynMcb8AsapPer => "DynMCB8-asap-per 600",
+            Algorithm::DynMcb8StretchPer => "DynMCB8-stretch-per 600",
+        }
+    }
+
+    /// Parse a (case-insensitive) name as printed by [`Algorithm::name`],
+    /// with or without the period suffix.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        let k = s.trim().to_ascii_lowercase().replace([' ', '_'], "-");
+        Some(match k.as_str() {
+            "fcfs" => Algorithm::Fcfs,
+            "easy" => Algorithm::Easy,
+            "greedy" => Algorithm::Greedy,
+            "greedy-pmtn" => Algorithm::GreedyPmtn,
+            "greedy-pmtn-migr" => Algorithm::GreedyPmtnMigr,
+            "dynmcb8" => Algorithm::DynMcb8,
+            "dynmcb8-per" | "dynmcb8-per-600" => Algorithm::DynMcb8Per,
+            "dynmcb8-asap-per" | "dynmcb8-asap-per-600" => Algorithm::DynMcb8AsapPer,
+            "dynmcb8-stretch-per" | "dynmcb8-stretch-per-600" => Algorithm::DynMcb8StretchPer,
+            _ => return None,
+        })
+    }
+
+    /// Whether this is one of the two batch baselines.
+    pub fn is_batch(&self) -> bool {
+        matches!(self, Algorithm::Fcfs | Algorithm::Easy)
+    }
+
+    /// Build a fresh scheduler with the paper's default parameters.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        self.build_with_period(DEFAULT_PERIOD_SECS)
+    }
+
+    /// Build with a custom period for the periodic variants (the paper
+    /// also probed T = 60 and T = 3600).
+    pub fn build_with_period(&self, period: f64) -> Box<dyn Scheduler> {
+        match self {
+            Algorithm::Fcfs => Box::new(Fcfs::new()),
+            Algorithm::Easy => Box::new(Easy::new()),
+            Algorithm::Greedy => Box::new(Greedy::new()),
+            Algorithm::GreedyPmtn => Box::new(GreedyPmtn::new()),
+            Algorithm::GreedyPmtnMigr => Box::new(GreedyPmtnMigr::new()),
+            Algorithm::DynMcb8 => Box::new(DynMcb8::new()),
+            Algorithm::DynMcb8Per => Box::new(DynMcb8Per::with_period(period)),
+            Algorithm::DynMcb8AsapPer => Box::new(DynMcb8AsapPer::with_period(period)),
+            Algorithm::DynMcb8StretchPer => Box::new(DynMcb8StretchPer::with_period(period)),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_nine_distinct_algorithms() {
+        let names: std::collections::HashSet<_> =
+            Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(a.name()), Some(a), "{}", a.name());
+        }
+        assert_eq!(Algorithm::parse("dynmcb8-asap-per"), Some(Algorithm::DynMcb8AsapPer));
+        assert_eq!(Algorithm::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for a in Algorithm::ALL {
+            assert_eq!(a.build().name(), a.name());
+        }
+    }
+
+    #[test]
+    fn batch_flag() {
+        assert!(Algorithm::Fcfs.is_batch());
+        assert!(Algorithm::Easy.is_batch());
+        assert!(!Algorithm::DynMcb8.is_batch());
+        for a in Algorithm::PREEMPTING {
+            assert!(!a.is_batch());
+        }
+    }
+
+    #[test]
+    fn custom_period_shows_in_name() {
+        let s = Algorithm::DynMcb8Per.build_with_period(60.0);
+        assert_eq!(s.name(), "DynMCB8-per 60");
+    }
+}

@@ -1,0 +1,625 @@
+//! The discrete-event simulation engine.
+//!
+//! Between scheduler decisions all yields are constant, so the engine
+//! never time-steps: it alternates between (a) advancing the clock to the
+//! earlier of the next external event and the next derived completion,
+//! integrating virtual time and the idle/busy node integrals, and (b)
+//! letting the scheduler react and applying its plan.
+//!
+//! ## Rescheduling-penalty semantics (Section IV-A, made precise)
+//!
+//! The paper charges "5 minutes of wall clock time" per preemption or
+//! migration, with all migrations through a pause/resume mechanism, and
+//! keeps schedulers unaware of the penalty. Concretely here:
+//!
+//! * pausing stops progress immediately (no penalty on the way out);
+//! * resuming a paused job, or moving a running job, occupies the target
+//!   nodes immediately but freezes the job's virtual time for the next
+//!   `penalty` seconds (`penalty_until`);
+//! * first-time starts are free — there is no VM state to move yet;
+//! * bandwidth accounting (Table II): a pause writes `tasks × mem × node
+//!   GB` to storage and the matching resume reads it back (both booked as
+//!   preemption traffic); a migration of `k` tasks moves `2k × mem ×
+//!   node GB` (save + restore), booked as migration traffic. Occurrences
+//!   are counted **per job**, not per task.
+
+use std::time::Instant;
+
+use dfrs_core::approx;
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::{ClusterSpec, JobSpec};
+
+use crate::event::{EventKind, EventQueue};
+use crate::outcome::{make_record, DecisionSample, SimOutcome};
+use crate::plan::{Plan, PlanEntry, SchedEvent, Scheduler};
+use crate::state::{ClusterState, JobState, JobStatus, SimState};
+use crate::validate;
+
+/// Virtual-time slack below which a job counts as finished (absorbs the
+/// rounding of `remaining / yield` completion arithmetic).
+const COMPLETION_TOLERANCE: f64 = 1e-6;
+
+/// How migrations of running jobs are carried out.
+///
+/// The paper pessimistically assumes **stop-and-copy** through network
+/// storage (footnote 1) while noting that live migration exists; the
+/// live mode is provided as an extension for what-if studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MigrationMode {
+    /// Save to storage, restore on the target: the full rescheduling
+    /// penalty applies and each moved task crosses storage twice.
+    StopAndCopy,
+    /// Direct node-to-node transfer: each moved task's memory crosses
+    /// the network once, and progress freezes only for `freeze_secs`
+    /// (the brownout of the final copy round), independent of the
+    /// configured pause/resume penalty.
+    Live {
+        /// Progress freeze per migration (seconds).
+        freeze_secs: f64,
+    },
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Wall-clock seconds of frozen progress per resume/migration
+    /// (0.0 or [`dfrs_core::constants::RESCHEDULING_PENALTY_SECS`]).
+    pub penalty: f64,
+    /// Mechanism used for migrations of running jobs.
+    pub migration_mode: MigrationMode,
+    /// Run full invariant validation after every plan (tests; O(jobs) per
+    /// event).
+    pub validate: bool,
+    /// Record one [`DecisionSample`] per scheduler invocation.
+    pub record_decisions: bool,
+    /// Record the full allocation [`crate::timeline::Timeline`].
+    pub record_timeline: bool,
+    /// Hard cap on processed events (runaway-scheduler guard).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            penalty: 0.0,
+            migration_mode: MigrationMode::StopAndCopy,
+            validate: false,
+            record_decisions: false,
+            record_timeline: false,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with the paper's 5-minute penalty.
+    pub fn with_penalty() -> Self {
+        SimConfig {
+            penalty: dfrs_core::constants::RESCHEDULING_PENALTY_SECS,
+            ..SimConfig::default()
+        }
+    }
+}
+
+struct Engine<'a> {
+    state: SimState,
+    queue: EventQueue,
+    config: &'a SimConfig,
+    completed: usize,
+    // Accounting.
+    pmtn_count: u64,
+    migr_count: u64,
+    pmtn_gb: f64,
+    migr_gb: f64,
+    idle_ns: f64,
+    busy_ns: f64,
+    sched_wall: f64,
+    sched_max: f64,
+    sched_calls: u64,
+    decisions: Vec<DecisionSample>,
+    timeline: crate::timeline::Timeline,
+    events_processed: u64,
+}
+
+/// Run `scheduler` over `jobs` (sorted by submit time, dense ids) on
+/// `cluster`. Panics on scheduler protocol violations (invalid plans)
+/// and on deadlock (jobs in the system with no way to ever progress) —
+/// both are bugs, not data conditions.
+pub fn simulate(
+    cluster: ClusterSpec,
+    jobs: &[JobSpec],
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+) -> SimOutcome {
+    let mut engine = Engine {
+        state: SimState {
+            now: 0.0,
+            cluster: ClusterState::new(cluster),
+            jobs: jobs.iter().cloned().map(JobState::new).collect(),
+        },
+        queue: EventQueue::new(),
+        config,
+        completed: 0,
+        pmtn_count: 0,
+        migr_count: 0,
+        pmtn_gb: 0.0,
+        migr_gb: 0.0,
+        idle_ns: 0.0,
+        busy_ns: 0.0,
+        sched_wall: 0.0,
+        sched_max: 0.0,
+        sched_calls: 0,
+        decisions: Vec::new(),
+        timeline: crate::timeline::Timeline::default(),
+        events_processed: 0,
+    };
+    for (i, j) in jobs.iter().enumerate() {
+        debug_assert_eq!(j.id.index(), i, "jobs must have dense ids in order");
+        engine.queue.push(j.submit_time, EventKind::Submit(j.id));
+    }
+    if let Some(period) = scheduler.period() {
+        assert!(period > 0.0, "scheduler period must be positive");
+        engine.queue.push(period, EventKind::Tick);
+    }
+    engine.run(scheduler);
+    engine.into_outcome(scheduler.name())
+}
+
+impl Engine<'_> {
+    fn run(&mut self, scheduler: &mut dyn Scheduler) {
+        let total = self.state.jobs.len();
+        while self.completed < total {
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.config.max_events,
+                "event cap exceeded ({}) — runaway scheduler?",
+                self.config.max_events
+            );
+
+            let next_completion = self.next_completion();
+            let next_ext = self.queue.peek_time();
+            let t_next = match (next_completion, next_ext) {
+                (Some((tc, _)), Some(te)) => tc.min(te),
+                (Some((tc, _)), None) => tc,
+                (None, Some(te)) => te,
+                (None, None) => self.deadlock_panic(),
+            };
+            self.advance_to(t_next);
+
+            // Finalize every completion due now, one scheduler round each.
+            while let Some(job) = self.due_completion() {
+                self.finish_job(job);
+                let plan = self.call_scheduler(scheduler, SchedEvent::Complete(job));
+                self.apply_plan(plan);
+                if self.completed == total {
+                    return;
+                }
+            }
+
+            // Then at most one external event at this instant; the loop
+            // re-checks completions before the next one.
+            if self.queue.peek_time().is_some_and(|t| t <= self.state.now) {
+                let (_, kind) = self.queue.pop().expect("peeked");
+                match kind {
+                    EventKind::Submit(job) => {
+                        let js = &mut self.state.jobs[job.index()];
+                        debug_assert_eq!(js.status, JobStatus::Unsubmitted);
+                        js.status = JobStatus::Pending;
+                        let plan = self.call_scheduler(scheduler, SchedEvent::Submit(job));
+                        self.apply_plan(plan);
+                    }
+                    EventKind::Timer(job) => {
+                        // Stale timers (job started or finished meanwhile)
+                        // are dropped silently.
+                        if self.state.jobs[job.index()].status == JobStatus::Pending {
+                            let plan = self.call_scheduler(scheduler, SchedEvent::Timer(job));
+                            self.apply_plan(plan);
+                        }
+                    }
+                    EventKind::Tick => {
+                        let period = scheduler.period().expect("tick without a period");
+                        self.queue.push(self.state.now + period, EventKind::Tick);
+                        let plan = self.call_scheduler(scheduler, SchedEvent::Tick);
+                        self.apply_plan(plan);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Earliest completion among running jobs (ties: smallest id).
+    fn next_completion(&self) -> Option<(f64, JobId)> {
+        let mut best: Option<(f64, JobId)> = None;
+        for j in &self.state.jobs {
+            if let Some(t) = j.completion_time(self.state.now) {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, j.spec.id));
+                }
+            }
+        }
+        best
+    }
+
+    /// A running job whose remaining virtual time is (numerically) zero.
+    fn due_completion(&self) -> Option<JobId> {
+        self.state
+            .jobs
+            .iter()
+            .find(|j| j.status == JobStatus::Running && j.remaining() <= COMPLETION_TOLERANCE)
+            .map(|j| j.spec.id)
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        let now = self.state.now;
+        debug_assert!(t + approx::EPS >= now, "time went backwards: {now} -> {t}");
+        if t <= now {
+            return;
+        }
+        let dt = t - now;
+        self.idle_ns += self.state.cluster.idle_nodes() as f64 * dt;
+        self.busy_ns += self.state.cluster.total_cpu_alloc() * dt;
+        for j in &mut self.state.jobs {
+            if j.status == JobStatus::Running {
+                let from = now.max(j.penalty_until);
+                if t > from {
+                    j.virtual_time += j.yld * (t - from);
+                }
+            }
+        }
+        self.state.now = t;
+    }
+
+    fn finish_job(&mut self, id: JobId) {
+        let now = self.state.now;
+        let j = &mut self.state.jobs[id.index()];
+        debug_assert_eq!(j.status, JobStatus::Running);
+        let (need, mem, yld) = (j.spec.cpu_need, j.spec.mem_req, j.yld);
+        let placement = std::mem::take(&mut j.placement);
+        j.status = JobStatus::Completed;
+        j.completion = Some(now);
+        j.yld = 0.0;
+        for node in placement {
+            self.state.cluster.remove_task(node, need, mem, yld);
+        }
+        self.completed += 1;
+        if self.config.record_timeline {
+            self.timeline.push(now, id, crate::timeline::AllocEvent::Complete);
+        }
+    }
+
+    fn call_scheduler(&mut self, scheduler: &mut dyn Scheduler, ev: SchedEvent) -> Plan {
+        let in_system = self.state.jobs_in_system().count() as u32;
+        let start = Instant::now();
+        let plan = scheduler.on_event(ev, &self.state);
+        let wall = start.elapsed().as_secs_f64();
+        self.sched_wall += wall;
+        self.sched_max = self.sched_max.max(wall);
+        self.sched_calls += 1;
+        if self.config.record_decisions {
+            self.decisions.push(DecisionSample { jobs_in_system: in_system, wall_secs: wall });
+        }
+        plan
+    }
+
+    /// Apply a plan in two phases — all removals (pauses, migration
+    /// departures) strictly before all additions — so that plans which
+    /// permute jobs across nodes never trip capacity checks on transient
+    /// intermediate states.
+    fn apply_plan(&mut self, plan: Plan) {
+        // Classify run entries against the *pre-plan* state.
+        let mut actions: Vec<RunAction> = Vec::with_capacity(plan.entries.len());
+        let mut pauses: Vec<JobId> = Vec::new();
+        for e in &plan.entries {
+            match e {
+                PlanEntry::Pause { job } => pauses.push(*job),
+                PlanEntry::Run { job, placement, yld } => {
+                    let js = &self.state.jobs[job.index()];
+                    assert_eq!(
+                        placement.len(),
+                        js.spec.tasks as usize,
+                        "plan places {} tasks for {job} ({} expected)",
+                        placement.len(),
+                        js.spec.tasks
+                    );
+                    assert!(
+                        *yld > 0.0 && *yld <= 1.0 + approx::EPS,
+                        "plan sets invalid yield {yld} for {job}"
+                    );
+                    let kind = match js.status {
+                        JobStatus::Pending => RunKind::Start,
+                        JobStatus::Paused => RunKind::Resume,
+                        JobStatus::Running => {
+                            let moved = moved_tasks(&js.placement, placement);
+                            if moved == 0 {
+                                RunKind::Adjust
+                            } else {
+                                RunKind::Migrate { moved }
+                            }
+                        }
+                        st => panic!("plan runs job {job} in status {st:?}"),
+                    };
+                    actions.push(RunAction {
+                        job: *job,
+                        placement: placement.clone(),
+                        yld: yld.min(1.0),
+                        kind,
+                        old_yld: js.yld,
+                    });
+                }
+            }
+        }
+        debug_assert!(
+            {
+                let mut seen = std::collections::HashSet::new();
+                actions.iter().all(|a| seen.insert(a.job))
+                    && pauses.iter().all(|p| seen.insert(*p))
+            },
+            "plan mentions a job twice (pause+run or duplicate run)"
+        );
+
+        // Phase 1: removals — pauses, migration departures, and yield
+        // *decreases*. Doing every release before any addition keeps the
+        // per-node capacity monotone below its final value, so transient
+        // states never overshoot even when a plan permutes jobs.
+        for &job in &pauses {
+            self.do_pause(job);
+        }
+        for a in &actions {
+            match a.kind {
+                RunKind::Migrate { .. } => {
+                    let j = &mut self.state.jobs[a.job.index()];
+                    let (need, mem) = (j.spec.cpu_need, j.spec.mem_req);
+                    let old = std::mem::take(&mut j.placement);
+                    for n in old {
+                        self.state.cluster.remove_task(n, need, mem, a.old_yld);
+                    }
+                }
+                RunKind::Adjust if a.yld < a.old_yld => {
+                    let spec = self.state.jobs[a.job.index()].spec.clone();
+                    let nodes: Vec<NodeId> = self.state.jobs[a.job.index()].placement.clone();
+                    for n in nodes {
+                        self.state.cluster.retarget_task(n, spec.cpu_need, a.old_yld, a.yld);
+                    }
+                    self.state.jobs[a.job.index()].yld = a.yld;
+                }
+                _ => {}
+            }
+        }
+
+        // Phase 2: additions and upward adjustments.
+        for a in actions {
+            if matches!(a.kind, RunKind::Adjust) && a.yld < a.old_yld {
+                continue; // already applied in phase 1
+            }
+            self.do_run(a);
+        }
+
+        for (job, at) in plan.timers {
+            assert!(
+                at + approx::EPS >= self.state.now,
+                "timer for {job} in the past ({at} < {})",
+                self.state.now
+            );
+            self.queue.push(at.max(self.state.now), EventKind::Timer(job));
+        }
+        if self.config.validate {
+            if let Err(msg) = validate::check_invariants(&self.state) {
+                panic!("invariant violation at t={}: {msg}", self.state.now);
+            }
+        }
+    }
+
+    fn do_pause(&mut self, id: JobId) {
+        let j = &mut self.state.jobs[id.index()];
+        assert_eq!(j.status, JobStatus::Running, "plan pauses non-running job {id}");
+        let (need, mem, yld, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.yld, j.spec.tasks);
+        let placement = std::mem::take(&mut j.placement);
+        j.status = JobStatus::Paused;
+        j.yld = 0.0;
+        j.preemptions += 1;
+        for node in placement {
+            self.state.cluster.remove_task(node, need, mem, yld);
+        }
+        self.pmtn_count += 1;
+        self.pmtn_gb += tasks as f64 * self.state.cluster.spec.task_move_gb(mem);
+        if self.config.record_timeline {
+            self.timeline.push(self.state.now, id, crate::timeline::AllocEvent::Pause);
+        }
+    }
+
+    fn do_run(&mut self, a: RunAction) {
+        let now = self.state.now;
+        let spec = self.state.jobs[a.job.index()].spec.clone();
+        if self.config.record_timeline {
+            use crate::timeline::AllocEvent;
+            let ev = match a.kind {
+                RunKind::Start => {
+                    Some(AllocEvent::Start { nodes: a.placement.clone(), yld: a.yld })
+                }
+                RunKind::Resume => {
+                    Some(AllocEvent::Resume { nodes: a.placement.clone(), yld: a.yld })
+                }
+                RunKind::Adjust if (a.yld - a.old_yld).abs() > 0.0 => {
+                    Some(AllocEvent::Adjust { yld: a.yld })
+                }
+                RunKind::Adjust => None,
+                RunKind::Migrate { moved } => Some(AllocEvent::Migrate {
+                    nodes: a.placement.clone(),
+                    yld: a.yld,
+                    moved,
+                }),
+            };
+            if let Some(ev) = ev {
+                self.timeline.push(now, a.job, ev);
+            }
+        }
+        match a.kind {
+            RunKind::Start => {
+                // First start: free (no VM state to move yet).
+                for &n in &a.placement {
+                    self.state.cluster.add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                }
+                let j = &mut self.state.jobs[a.job.index()];
+                j.status = JobStatus::Running;
+                j.first_start.get_or_insert(now);
+                j.placement = a.placement;
+                j.yld = a.yld;
+            }
+            RunKind::Resume => {
+                // Restore from storage, charge the penalty.
+                for &n in &a.placement {
+                    self.state.cluster.add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                }
+                self.pmtn_gb +=
+                    spec.tasks as f64 * self.state.cluster.spec.task_move_gb(spec.mem_req);
+                let j = &mut self.state.jobs[a.job.index()];
+                j.status = JobStatus::Running;
+                j.placement = a.placement;
+                j.yld = a.yld;
+                j.penalty_until = now + self.config.penalty;
+            }
+            RunKind::Adjust => {
+                // Pure yield adjustment; keep the existing placement vector.
+                if (a.yld - a.old_yld).abs() > 0.0 {
+                    let nodes: Vec<NodeId> = self.state.jobs[a.job.index()].placement.clone();
+                    for n in nodes {
+                        self.state.cluster.retarget_task(n, spec.cpu_need, a.old_yld, a.yld);
+                    }
+                    self.state.jobs[a.job.index()].yld = a.yld;
+                }
+            }
+            RunKind::Migrate { moved } => {
+                // Old tasks were removed in phase 1.
+                for &n in &a.placement {
+                    self.state.cluster.add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                }
+                let gb_per_task = self.state.cluster.spec.task_move_gb(spec.mem_req);
+                let (gb, freeze) = match self.config.migration_mode {
+                    MigrationMode::StopAndCopy => {
+                        // Save + restore through storage.
+                        (2.0 * moved as f64 * gb_per_task, self.config.penalty)
+                    }
+                    MigrationMode::Live { freeze_secs } => {
+                        // One node-to-node copy; short brownout.
+                        (moved as f64 * gb_per_task, freeze_secs)
+                    }
+                };
+                self.migr_gb += gb;
+                self.migr_count += 1;
+                let j = &mut self.state.jobs[a.job.index()];
+                j.placement = a.placement;
+                j.yld = a.yld;
+                j.migrations += 1;
+                j.penalty_until = now + freeze;
+            }
+        }
+    }
+
+    fn deadlock_panic(&self) -> ! {
+        let stuck: Vec<String> = self
+            .state
+            .jobs_in_system()
+            .map(|j| format!("{}({:?})", j.spec.id, j.status))
+            .collect();
+        panic!(
+            "simulation deadlock at t={}: no events, no running jobs, {} jobs stuck: {}",
+            self.state.now,
+            stuck.len(),
+            stuck.join(", ")
+        );
+    }
+
+    fn into_outcome(self, algorithm: String) -> SimOutcome {
+        let mut records = Vec::with_capacity(self.state.jobs.len());
+        for j in &self.state.jobs {
+            let completion = j
+                .completion
+                .unwrap_or_else(|| panic!("job {} never completed", j.spec.id));
+            records.push(make_record(
+                j.spec.id,
+                j.spec.submit_time,
+                j.first_start,
+                completion,
+                j.spec.oracle_runtime(),
+                j.preemptions,
+                j.migrations,
+            ));
+        }
+        let makespan = records.iter().map(|r| r.completion).fold(0.0, f64::max);
+        let mut outcome = SimOutcome {
+            algorithm,
+            records,
+            makespan,
+            preemption_count: self.pmtn_count,
+            migration_count: self.migr_count,
+            preemption_gb: self.pmtn_gb,
+            migration_gb: self.migr_gb,
+            idle_node_seconds: self.idle_ns,
+            busy_node_seconds: self.busy_ns,
+            sched_wall_total: self.sched_wall,
+            sched_wall_max: self.sched_max,
+            sched_calls: self.sched_calls,
+            decisions: self.decisions,
+            timeline: self.timeline,
+            ..SimOutcome::default()
+        };
+        outcome.finalize_stretches();
+        outcome
+    }
+}
+
+/// How a run entry affects its job, classified against pre-plan state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RunKind {
+    Start,
+    Resume,
+    Adjust,
+    Migrate { moved: usize },
+}
+
+#[derive(Debug, Clone)]
+struct RunAction {
+    job: JobId,
+    placement: Vec<NodeId>,
+    yld: f64,
+    kind: RunKind,
+    old_yld: f64,
+}
+
+/// Number of tasks that change nodes between two placements (multiset
+/// difference; task identity within a job is interchangeable).
+fn moved_tasks(old: &[NodeId], new: &[NodeId]) -> usize {
+    debug_assert_eq!(old.len(), new.len());
+    let mut a: Vec<NodeId> = old.to_vec();
+    let mut b: Vec<NodeId> = new.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    let (mut i, mut k, mut common) = (0usize, 0usize, 0usize);
+    while i < a.len() && k < b.len() {
+        match a[i].cmp(&b[k]) {
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                k += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => k += 1,
+        }
+    }
+    old.len() - common
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moved_tasks_counts_multiset_difference() {
+        let n = |v: &[u32]| v.iter().map(|&x| NodeId(x)).collect::<Vec<_>>();
+        assert_eq!(moved_tasks(&n(&[0, 1, 2]), &n(&[2, 1, 0])), 0, "permutation is no move");
+        assert_eq!(moved_tasks(&n(&[0, 1, 2]), &n(&[0, 1, 3])), 1);
+        assert_eq!(moved_tasks(&n(&[0, 0, 1]), &n(&[0, 1, 1])), 1, "multiplicity matters");
+        assert_eq!(moved_tasks(&n(&[4, 5]), &n(&[6, 7])), 2);
+        assert_eq!(moved_tasks(&n(&[]), &n(&[])), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! External-event queue.
+//!
+//! Only *external* events live in the queue: submissions (known from the
+//! trace), per-job timers (scheduler backoff), and periodic ticks. Job
+//! completions are **derived** — between decisions yields are constant,
+//! so the engine computes the earliest completion analytically and merges
+//! it with the queue head. A monotonically increasing sequence number
+//! makes same-instant ordering deterministic (FIFO).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dfrs_core::ids::JobId;
+
+/// What an external event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job from the trace arrives.
+    Submit(JobId),
+    /// A scheduler-requested wake-up for a postponed job (GREEDY's
+    /// bounded exponential backoff).
+    Timer(JobId),
+    /// Periodic scheduling event (the `-PER` algorithms).
+    Tick,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of timestamped external events with FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
+        self.heap.push(Entry { time, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+        self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30.0, EventKind::Tick);
+        q.push(10.0, EventKind::Submit(JobId(0)));
+        q.push(20.0, EventKind::Timer(JobId(1)));
+        assert_eq!(q.pop().unwrap(), (10.0, EventKind::Submit(JobId(0))));
+        assert_eq!(q.pop().unwrap(), (20.0, EventKind::Timer(JobId(1))));
+        assert_eq!(q.pop().unwrap(), (30.0, EventKind::Tick));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::Submit(JobId(1)));
+        q.push(5.0, EventKind::Submit(JobId(2)));
+        q.push(5.0, EventKind::Tick);
+        assert_eq!(q.pop().unwrap().1, EventKind::Submit(JobId(1)));
+        assert_eq!(q.pop().unwrap().1, EventKind::Submit(JobId(2)));
+        assert_eq!(q.pop().unwrap().1, EventKind::Tick);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push(7.5, EventKind::Tick);
+        assert_eq!(q.peek_time(), Some(7.5));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10.0, EventKind::Tick);
+        q.push(1.0, EventKind::Tick);
+        assert_eq!(q.pop().unwrap().0, 1.0);
+        q.push(5.0, EventKind::Tick);
+        q.push(0.5, EventKind::Tick);
+        assert_eq!(q.pop().unwrap().0, 0.5);
+        assert_eq!(q.pop().unwrap().0, 5.0);
+        assert_eq!(q.pop().unwrap().0, 10.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! CSV export/import of simulation outcomes.
+//!
+//! Per-job records round-trip through a documented CSV schema so results
+//! can be archived, diffed across code versions, and plotted by external
+//! tooling without re-running simulations.
+
+use dfrs_core::ids::JobId;
+use dfrs_core::CoreError;
+
+use crate::outcome::{JobRecord, SimOutcome};
+
+/// CSV header for per-job records.
+pub const RECORDS_HEADER: &str =
+    "job,submit,first_start,completion,dedicated,turnaround,stretch,preemptions,migrations";
+
+/// Serialize the per-job records of an outcome to CSV (header included).
+pub fn records_to_csv(outcome: &SimOutcome) -> String {
+    let mut out = String::with_capacity(64 * (outcome.records.len() + 1));
+    out.push_str(RECORDS_HEADER);
+    out.push('\n');
+    for r in &outcome.records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            r.id.0,
+            r.submit,
+            r.first_start.map(|s| s.to_string()).unwrap_or_default(),
+            r.completion,
+            r.dedicated,
+            r.turnaround,
+            r.stretch,
+            r.preemptions,
+            r.migrations,
+        ));
+    }
+    out
+}
+
+/// Parse records back from CSV produced by [`records_to_csv`].
+pub fn records_from_csv(text: &str) -> Result<Vec<JobRecord>, CoreError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == RECORDS_HEADER => {}
+        _ => {
+            return Err(CoreError::Parse { line: 1, reason: "missing records header".into() });
+        }
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 9 {
+            return Err(CoreError::Parse {
+                line: lineno,
+                reason: format!("expected 9 fields, found {}", f.len()),
+            });
+        }
+        let num = |s: &str| -> Result<f64, CoreError> {
+            s.parse::<f64>().map_err(|_| CoreError::Parse {
+                line: lineno,
+                reason: format!("bad number {s:?}"),
+            })
+        };
+        let int = |s: &str| -> Result<u32, CoreError> {
+            s.parse::<u32>().map_err(|_| CoreError::Parse {
+                line: lineno,
+                reason: format!("bad integer {s:?}"),
+            })
+        };
+        records.push(JobRecord {
+            id: JobId(int(f[0])?),
+            submit: num(f[1])?,
+            first_start: if f[2].is_empty() { None } else { Some(num(f[2])?) },
+            completion: num(f[3])?,
+            dedicated: num(f[4])?,
+            turnaround: num(f[5])?,
+            stretch: num(f[6])?,
+            preemptions: int(f[7])?,
+            migrations: int(f[8])?,
+        });
+    }
+    Ok(records)
+}
+
+/// One-line summary of an outcome (for logs and quick comparisons).
+pub fn summary_line(outcome: &SimOutcome) -> String {
+    format!(
+        "{}: jobs={} max_stretch={:.3} mean_stretch={:.3} makespan={:.0}s pmtn={} migr={} moved={:.1}GB",
+        outcome.algorithm,
+        outcome.records.len(),
+        outcome.max_stretch,
+        outcome.mean_stretch,
+        outcome.makespan,
+        outcome.preemption_count,
+        outcome.migration_count,
+        outcome.preemption_gb + outcome.migration_gb,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::make_record;
+
+    fn sample_outcome() -> SimOutcome {
+        let mut o = SimOutcome {
+            algorithm: "test".into(),
+            records: vec![
+                make_record(JobId(0), 0.0, Some(5.0), 105.0, 100.0, 1, 2),
+                make_record(JobId(1), 10.0, None, 40.0, 25.0, 0, 0),
+            ],
+            makespan: 105.0,
+            ..SimOutcome::default()
+        };
+        o.finalize_stretches();
+        o
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let o = sample_outcome();
+        let csv = records_to_csv(&o);
+        let parsed = records_from_csv(&csv).unwrap();
+        assert_eq!(parsed, o.records);
+    }
+
+    #[test]
+    fn none_first_start_round_trips() {
+        let o = sample_outcome();
+        let parsed = records_from_csv(&records_to_csv(&o)).unwrap();
+        assert_eq!(parsed[1].first_start, None);
+        assert_eq!(parsed[0].first_start, Some(5.0));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_line_numbers() {
+        assert!(records_from_csv("nonsense\n").is_err());
+        let bad_fields = format!("{RECORDS_HEADER}\n1,2,3\n");
+        match records_from_csv(&bad_fields) {
+            Err(CoreError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_number = format!("{RECORDS_HEADER}\n1,x,,4,5,6,7,8,9\n");
+        assert!(records_from_csv(&bad_number).is_err());
+    }
+
+    #[test]
+    fn summary_line_contains_key_metrics() {
+        let s = summary_line(&sample_outcome());
+        assert!(s.contains("max_stretch"));
+        assert!(s.contains("jobs=2"));
+    }
+
+    #[test]
+    fn empty_outcome_round_trips() {
+        let o = SimOutcome::default();
+        let parsed = records_from_csv(&records_to_csv(&o)).unwrap();
+        assert!(parsed.is_empty());
+    }
+}

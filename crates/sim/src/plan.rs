@@ -1,0 +1,126 @@
+//! The scheduler interface: events in, plans out.
+//!
+//! A scheduler is a pure policy. It never mutates simulation state
+//! directly; it inspects the read-only [`SimState`] and returns a
+//! [`Plan`], which the engine validates, applies, and accounts for
+//! (preemption/migration counting, penalty charging, bandwidth metering).
+//! This keeps every algorithm honest: the only way to affect the world is
+//! through auditable plan entries.
+
+use dfrs_core::ids::{JobId, NodeId};
+
+use crate::state::SimState;
+
+/// Why the scheduler is being invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// `job` just arrived.
+    Submit(JobId),
+    /// `job` just completed (already removed from its nodes).
+    Complete(JobId),
+    /// A timer previously requested for `job` fired (backoff retry). Only
+    /// delivered while the job is still `Pending`.
+    Timer(JobId),
+    /// Periodic scheduling event ([`Scheduler::period`]).
+    Tick,
+}
+
+/// One desired state change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanEntry {
+    /// Ensure `job` runs with this placement (one node per task, same
+    /// order as task indices) and yield. Covers first starts, resumes,
+    /// migrations, and pure yield adjustments; the engine diffs against
+    /// the current state to classify and account.
+    Run {
+        /// Target job.
+        job: JobId,
+        /// Hosting node per task.
+        placement: Vec<NodeId>,
+        /// Yield in `(0, 1]`.
+        yld: f64,
+    },
+    /// Evict a running job from its nodes, preserving its virtual time.
+    Pause {
+        /// Target job.
+        job: JobId,
+    },
+}
+
+/// The scheduler's response to one event.
+///
+/// The engine applies **all pauses first**, then runs in the order given
+/// (so a plan may move job B into memory freed by pausing job A). Jobs
+/// not mentioned keep their current placement and yield.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Plan {
+    /// State changes.
+    pub entries: Vec<PlanEntry>,
+    /// Absolute times at which to deliver [`SchedEvent::Timer`] for a job
+    /// (used for bounded exponential backoff).
+    pub timers: Vec<(JobId, f64)>,
+}
+
+impl Plan {
+    /// A plan that changes nothing.
+    pub fn noop() -> Self {
+        Plan::default()
+    }
+
+    /// Add a run entry (builder style).
+    pub fn run(mut self, job: JobId, placement: Vec<NodeId>, yld: f64) -> Self {
+        self.entries.push(PlanEntry::Run { job, placement, yld });
+        self
+    }
+
+    /// Add a pause entry (builder style).
+    pub fn pause(mut self, job: JobId) -> Self {
+        self.entries.push(PlanEntry::Pause { job });
+        self
+    }
+
+    /// Add a timer (builder style).
+    pub fn timer(mut self, job: JobId, at: f64) -> Self {
+        self.timers.push((job, at));
+        self
+    }
+}
+
+/// A scheduling policy driven by the simulation engine.
+pub trait Scheduler {
+    /// Display name (used in tables; e.g. `"DynMCB8-asap-per 600"`).
+    fn name(&self) -> String;
+
+    /// If `Some(T)`, the engine delivers [`SchedEvent::Tick`] every `T`
+    /// seconds starting at `T`.
+    fn period(&self) -> Option<f64> {
+        None
+    }
+
+    /// React to an event. `state` reflects the world *after* the event's
+    /// bookkeeping (e.g. a completed job is already off its nodes).
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_entries_in_order() {
+        let p = Plan::noop()
+            .pause(JobId(1))
+            .run(JobId(2), vec![NodeId(0)], 1.0)
+            .timer(JobId(3), 42.0);
+        assert_eq!(p.entries.len(), 2);
+        assert!(matches!(p.entries[0], PlanEntry::Pause { job: JobId(1) }));
+        assert!(matches!(p.entries[1], PlanEntry::Run { job: JobId(2), .. }));
+        assert_eq!(p.timers, vec![(JobId(3), 42.0)]);
+    }
+
+    #[test]
+    fn noop_is_empty() {
+        let p = Plan::noop();
+        assert!(p.entries.is_empty() && p.timers.is_empty());
+    }
+}

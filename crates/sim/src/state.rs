@@ -1,0 +1,329 @@
+//! Mutable simulation state: per-job lifecycle and per-node resource
+//! bookkeeping.
+
+use dfrs_core::approx;
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::priority::PriorityKey;
+use dfrs_core::{ClusterSpec, JobSpec};
+
+/// Lifecycle of a job inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Known from the trace but not yet submitted.
+    Unsubmitted,
+    /// Submitted, never or not currently placed, waiting to start.
+    Pending,
+    /// Placed on nodes with a positive yield.
+    Running,
+    /// Previously ran, currently evicted from the cluster.
+    Paused,
+    /// Finished.
+    Completed,
+}
+
+/// Full dynamic state of one job.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    /// The immutable request.
+    pub spec: JobSpec,
+    /// Lifecycle phase.
+    pub status: JobStatus,
+    /// Accrued virtual time (integral of yield since submission).
+    pub virtual_time: f64,
+    /// Current yield; meaningful only while `Running`.
+    pub yld: f64,
+    /// Hosting node of each task; empty unless `Running`.
+    pub placement: Vec<NodeId>,
+    /// Wall-clock time until which progress is frozen (rescheduling
+    /// penalty after a resume or migration).
+    pub penalty_until: f64,
+    /// First time the job was placed, if ever.
+    pub first_start: Option<f64>,
+    /// Completion time, once finished.
+    pub completion: Option<f64>,
+    /// Times this job was paused (preemption occurrences).
+    pub preemptions: u32,
+    /// Times this job was moved while running (migration occurrences).
+    pub migrations: u32,
+}
+
+impl JobState {
+    /// Fresh state for a spec.
+    pub fn new(spec: JobSpec) -> Self {
+        JobState {
+            spec,
+            status: JobStatus::Unsubmitted,
+            virtual_time: 0.0,
+            yld: 0.0,
+            placement: Vec::new(),
+            penalty_until: 0.0,
+            first_start: None,
+            completion: None,
+            preemptions: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Remaining virtual time to completion.
+    #[inline]
+    pub fn remaining(&self) -> f64 {
+        (self.spec.oracle_runtime() - self.virtual_time).max(0.0)
+    }
+
+    /// Is the job in the system (submitted, not finished)?
+    #[inline]
+    pub fn in_system(&self) -> bool {
+        matches!(self.status, JobStatus::Pending | JobStatus::Running | JobStatus::Paused)
+    }
+
+    /// The paper's pause/resume priority key at time `now`.
+    pub fn priority_key(&self, now: f64) -> PriorityKey {
+        PriorityKey::new(now, self.spec.submit_time, self.virtual_time, self.spec.id)
+    }
+
+    /// Completion instant under the current yield, accounting for a
+    /// pending penalty window; `None` when not running or not progressing.
+    pub fn completion_time(&self, now: f64) -> Option<f64> {
+        if self.status != JobStatus::Running || self.yld <= 0.0 {
+            return None;
+        }
+        let start = now.max(self.penalty_until);
+        Some(start + self.remaining() / self.yld)
+    }
+}
+
+/// Resource bookkeeping of one node. All quantities are derived from the
+/// placements of running jobs; [`crate::validate`] cross-checks them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeState {
+    /// Sum of CPU needs of hosted tasks (may exceed 1 — over-subscription).
+    pub cpu_load: f64,
+    /// Sum of allocated CPU fractions (`need × yield`; must stay ≤ 1).
+    pub cpu_alloc: f64,
+    /// Sum of memory requirements (must stay ≤ 1 — hard constraint).
+    pub mem_used: f64,
+    /// Number of hosted tasks.
+    pub task_count: u32,
+}
+
+impl NodeState {
+    /// Remaining memory.
+    #[inline]
+    pub fn mem_free(&self) -> f64 {
+        1.0 - self.mem_used
+    }
+
+    /// Remaining allocatable CPU.
+    #[inline]
+    pub fn cpu_slack(&self) -> f64 {
+        1.0 - self.cpu_alloc
+    }
+
+    /// True when no task is placed here (candidate for power-down).
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.task_count == 0
+    }
+}
+
+/// The cluster: node states plus aggregate counters.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    /// Static description.
+    pub spec: ClusterSpec,
+    nodes: Vec<NodeState>,
+    busy_nodes: u32,
+}
+
+impl ClusterState {
+    /// All-idle cluster.
+    pub fn new(spec: ClusterSpec) -> Self {
+        ClusterState { spec, nodes: vec![NodeState::default(); spec.nodes as usize], busy_nodes: 0 }
+    }
+
+    /// Per-node states.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeState] {
+        &self.nodes
+    }
+
+    /// Number of nodes hosting at least one task.
+    #[inline]
+    pub fn busy_nodes(&self) -> u32 {
+        self.busy_nodes
+    }
+
+    /// Number of idle nodes.
+    #[inline]
+    pub fn idle_nodes(&self) -> u32 {
+        self.spec.nodes - self.busy_nodes
+    }
+
+    /// Sum of allocated CPU over all nodes (for utilization integrals).
+    pub fn total_cpu_alloc(&self) -> f64 {
+        self.nodes.iter().map(|n| n.cpu_alloc).sum()
+    }
+
+    /// Highest CPU load over all nodes (the `Λ` of the greedy yield rule).
+    pub fn max_cpu_load(&self) -> f64 {
+        self.nodes.iter().map(|n| n.cpu_load).fold(0.0, f64::max)
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Place one task of `job` (at `yld`) on `node`. Panics (debug) on
+    /// memory overcommitment — callers must have checked feasibility.
+    pub fn add_task(&mut self, node: NodeId, cpu_need: f64, mem_req: f64, yld: f64) {
+        let n = self.node_mut(node);
+        if n.task_count == 0 {
+            self.busy_nodes += 1;
+        }
+        let n = self.node_mut(node);
+        n.cpu_load += cpu_need;
+        n.cpu_alloc += cpu_need * yld;
+        n.mem_used += mem_req;
+        n.task_count += 1;
+        debug_assert!(approx::le(n.mem_used, 1.0), "memory overcommitted: {}", n.mem_used);
+        debug_assert!(approx::le(n.cpu_alloc, 1.0), "CPU overallocated: {}", n.cpu_alloc);
+    }
+
+    /// Remove one task of `job` from `node`.
+    pub fn remove_task(&mut self, node: NodeId, cpu_need: f64, mem_req: f64, yld: f64) {
+        let n = self.node_mut(node);
+        debug_assert!(n.task_count > 0, "removing task from empty node");
+        n.cpu_load = (n.cpu_load - cpu_need).max(0.0);
+        n.cpu_alloc = (n.cpu_alloc - cpu_need * yld).max(0.0);
+        n.mem_used = (n.mem_used - mem_req).max(0.0);
+        n.task_count -= 1;
+        if n.task_count == 0 {
+            self.busy_nodes -= 1;
+            // Snap residues so long simulations don't accumulate drift.
+            let n = self.node_mut(node);
+            n.cpu_load = 0.0;
+            n.cpu_alloc = 0.0;
+            n.mem_used = 0.0;
+        }
+    }
+
+    /// Adjust the allocated CPU of a hosted task after a yield change.
+    pub fn retarget_task(&mut self, node: NodeId, cpu_need: f64, old_yld: f64, new_yld: f64) {
+        let n = self.node_mut(node);
+        n.cpu_alloc += cpu_need * (new_yld - old_yld);
+        n.cpu_alloc = n.cpu_alloc.max(0.0);
+        debug_assert!(approx::le(n.cpu_alloc, 1.0), "CPU overallocated: {}", n.cpu_alloc);
+    }
+}
+
+/// Read view handed to schedulers: current time, cluster, jobs.
+#[derive(Debug)]
+pub struct SimState {
+    /// Current simulation time (seconds).
+    pub now: f64,
+    /// Node bookkeeping.
+    pub cluster: ClusterState,
+    /// One entry per trace job, indexed by [`JobId`].
+    pub jobs: Vec<JobState>,
+}
+
+impl SimState {
+    /// Access a job by id.
+    #[inline]
+    pub fn job(&self, id: JobId) -> &JobState {
+        &self.jobs[id.index()]
+    }
+
+    /// Jobs currently in the system (submitted, not completed).
+    pub fn jobs_in_system(&self) -> impl Iterator<Item = &JobState> {
+        self.jobs.iter().filter(|j| j.in_system())
+    }
+
+    /// Running jobs.
+    pub fn running_jobs(&self) -> impl Iterator<Item = &JobState> {
+        self.jobs.iter().filter(|j| j.status == JobStatus::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u32, tasks: u32) -> JobSpec {
+        JobSpec::new(JobId(id), 0.0, tasks, 0.5, 0.25, 100.0).unwrap()
+    }
+
+    fn cluster() -> ClusterState {
+        ClusterState::new(ClusterSpec::new(4, 4, 8.0).unwrap())
+    }
+
+    #[test]
+    fn add_remove_round_trips_node_state() {
+        let mut c = cluster();
+        c.add_task(NodeId(1), 0.5, 0.25, 0.8);
+        assert_eq!(c.busy_nodes(), 1);
+        let n = c.nodes()[1];
+        assert!((n.cpu_load - 0.5).abs() < 1e-12);
+        assert!((n.cpu_alloc - 0.4).abs() < 1e-12);
+        assert!((n.mem_used - 0.25).abs() < 1e-12);
+        c.remove_task(NodeId(1), 0.5, 0.25, 0.8);
+        assert_eq!(c.busy_nodes(), 0);
+        assert_eq!(c.nodes()[1], NodeState::default());
+    }
+
+    #[test]
+    fn retarget_updates_allocation_only() {
+        let mut c = cluster();
+        c.add_task(NodeId(0), 0.5, 0.1, 1.0);
+        c.retarget_task(NodeId(0), 0.5, 1.0, 0.4);
+        let n = c.nodes()[0];
+        assert!((n.cpu_alloc - 0.2).abs() < 1e-12);
+        assert!((n.cpu_load - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_counting_tracks_multiple_tasks_per_node() {
+        let mut c = cluster();
+        c.add_task(NodeId(2), 0.3, 0.1, 1.0);
+        c.add_task(NodeId(2), 0.3, 0.1, 1.0);
+        assert_eq!(c.busy_nodes(), 1);
+        c.remove_task(NodeId(2), 0.3, 0.1, 1.0);
+        assert_eq!(c.busy_nodes(), 1);
+        c.remove_task(NodeId(2), 0.3, 0.1, 1.0);
+        assert_eq!(c.busy_nodes(), 0);
+        assert_eq!(c.idle_nodes(), 4);
+    }
+
+    #[test]
+    fn max_cpu_load_over_nodes() {
+        let mut c = cluster();
+        c.add_task(NodeId(0), 1.0, 0.1, 0.5);
+        c.add_task(NodeId(0), 1.0, 0.1, 0.5);
+        c.add_task(NodeId(3), 0.7, 0.1, 1.0);
+        assert!((c.max_cpu_load() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_time_accounts_for_penalty() {
+        let mut j = JobState::new(spec(0, 1));
+        j.status = JobStatus::Running;
+        j.yld = 0.5;
+        j.virtual_time = 40.0;
+        // remaining 60 vt-seconds at yield 0.5 → 120 s of wall clock.
+        assert_eq!(j.completion_time(1_000.0), Some(1_120.0));
+        j.penalty_until = 1_200.0;
+        assert_eq!(j.completion_time(1_000.0), Some(1_320.0));
+        j.status = JobStatus::Paused;
+        assert_eq!(j.completion_time(1_000.0), None);
+    }
+
+    #[test]
+    fn job_state_lifecycle_flags() {
+        let mut j = JobState::new(spec(0, 2));
+        assert!(!j.in_system());
+        j.status = JobStatus::Pending;
+        assert!(j.in_system());
+        j.status = JobStatus::Completed;
+        assert!(!j.in_system());
+    }
+}

@@ -1,0 +1,217 @@
+//! Allocation timelines: an optional, ordered log of every allocation
+//! decision the engine applies, for debugging, visualization, and
+//! fine-grained tests.
+//!
+//! Enable with [`crate::SimConfig::record_timeline`]; the log appears in
+//! [`crate::SimOutcome::timeline`]. Each entry is one (time, job, what)
+//! triple; [`Timeline::utilization_profile`] and [`Timeline::render_ascii`]
+//! derive useful views.
+
+use dfrs_core::ids::{JobId, NodeId};
+
+/// What happened to a job at a decision point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocEvent {
+    /// First placement.
+    Start {
+        /// Hosting node per task.
+        nodes: Vec<NodeId>,
+        /// Assigned yield.
+        yld: f64,
+    },
+    /// Yield changed, placement untouched.
+    Adjust {
+        /// New yield.
+        yld: f64,
+    },
+    /// Placement changed while running.
+    Migrate {
+        /// New hosting nodes.
+        nodes: Vec<NodeId>,
+        /// New yield.
+        yld: f64,
+        /// Tasks that changed nodes.
+        moved: usize,
+    },
+    /// Evicted from the cluster.
+    Pause,
+    /// Returned from a pause.
+    Resume {
+        /// Hosting node per task.
+        nodes: Vec<NodeId>,
+        /// Assigned yield.
+        yld: f64,
+    },
+    /// Finished.
+    Complete,
+}
+
+/// One timeline record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Simulation time of the decision.
+    pub time: f64,
+    /// The job affected.
+    pub job: JobId,
+    /// What happened.
+    pub event: AllocEvent,
+}
+
+/// The full decision log of one simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Entries in application order (time-ordered; FIFO within an
+    /// instant).
+    pub entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Record an entry (engine-internal).
+    pub(crate) fn push(&mut self, time: f64, job: JobId, event: AllocEvent) {
+        debug_assert!(
+            self.entries.last().is_none_or(|e| e.time <= time + 1e-9),
+            "timeline went backwards"
+        );
+        self.entries.push(TimelineEntry { time, job, event });
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries affecting one job, in order.
+    pub fn for_job(&self, job: JobId) -> impl Iterator<Item = &TimelineEntry> {
+        self.entries.iter().filter(move |e| e.job == job)
+    }
+
+    /// Piecewise-constant count of running jobs over time:
+    /// `(time, running_after_time)` breakpoints.
+    pub fn utilization_profile(&self) -> Vec<(f64, u32)> {
+        let mut running: i64 = 0;
+        let mut out: Vec<(f64, u32)> = Vec::new();
+        for e in &self.entries {
+            let delta = match e.event {
+                AllocEvent::Start { .. } | AllocEvent::Resume { .. } => 1,
+                AllocEvent::Pause | AllocEvent::Complete => -1,
+                _ => 0,
+            };
+            if delta == 0 {
+                continue;
+            }
+            running += delta;
+            debug_assert!(running >= 0);
+            match out.last_mut() {
+                Some((t, r)) if *t == e.time => *r = running as u32,
+                _ => out.push((e.time, running as u32)),
+            }
+        }
+        out
+    }
+
+    /// Render a compact ASCII lane chart: one row per job, `columns`
+    /// buckets over `[0, horizon]`. `#` running, `.` paused, space =
+    /// not in the system. Intended for small examples and debugging.
+    pub fn render_ascii(&self, horizon: f64, columns: usize) -> String {
+        assert!(horizon > 0.0 && columns > 0);
+        let jobs: Vec<JobId> = {
+            let mut v: Vec<JobId> = self.entries.iter().map(|e| e.job).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut out = String::new();
+        for job in jobs {
+            let mut lane = vec![b' '; columns];
+            let mut state = b' ';
+            let mut prev_col = 0usize;
+            for e in self.for_job(job) {
+                let col = ((e.time / horizon) * columns as f64).floor() as usize;
+                let col = col.min(columns - 1);
+                for c in lane.iter_mut().take(col).skip(prev_col) {
+                    *c = state;
+                }
+                state = match e.event {
+                    AllocEvent::Start { .. }
+                    | AllocEvent::Resume { .. }
+                    | AllocEvent::Migrate { .. }
+                    | AllocEvent::Adjust { .. } => b'#',
+                    AllocEvent::Pause => b'.',
+                    AllocEvent::Complete => b' ',
+                };
+                prev_col = col;
+            }
+            for c in lane.iter_mut().skip(prev_col) {
+                *c = state;
+            }
+            out.push_str(&format!("{:>6} |{}|\n", job.to_string(), String::from_utf8(lane).unwrap()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::default();
+        t.push(0.0, JobId(0), AllocEvent::Start { nodes: n(&[0]), yld: 1.0 });
+        t.push(10.0, JobId(1), AllocEvent::Start { nodes: n(&[1]), yld: 1.0 });
+        t.push(10.0, JobId(0), AllocEvent::Adjust { yld: 0.5 });
+        t.push(20.0, JobId(0), AllocEvent::Pause);
+        t.push(30.0, JobId(1), AllocEvent::Complete);
+        t.push(30.0, JobId(0), AllocEvent::Resume { nodes: n(&[1]), yld: 1.0 });
+        t.push(50.0, JobId(0), AllocEvent::Complete);
+        t
+    }
+
+    #[test]
+    fn per_job_filtering() {
+        let t = sample();
+        assert_eq!(t.for_job(JobId(0)).count(), 5);
+        assert_eq!(t.for_job(JobId(1)).count(), 2);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn utilization_profile_counts_running_jobs() {
+        let t = sample();
+        let profile = t.utilization_profile();
+        // t=0: 1 running; t=10: 2; t=20: 1 (pause); t=30: complete then
+        // resume → net 1; t=50: 0.
+        assert_eq!(profile, vec![(0.0, 1), (10.0, 2), (20.0, 1), (30.0, 1), (50.0, 0)]);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let t = sample();
+        let art = t.render_ascii(50.0, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("j0"));
+        // Job 0: runs 0-20 (cols 0-3), paused 20-30 (cols 4-5), runs
+        // 30-50 (cols 6-9).
+        let lane0 = lines[0].split('|').nth(1).unwrap();
+        assert_eq!(lane0.len(), 10);
+        assert!(lane0.starts_with("####"));
+        assert!(lane0.contains('.'));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::default();
+        assert!(t.is_empty());
+        assert!(t.utilization_profile().is_empty());
+        assert_eq!(t.render_ascii(10.0, 5), "");
+    }
+}

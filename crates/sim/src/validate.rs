@@ -1,0 +1,184 @@
+//! Whole-state invariant checking.
+//!
+//! The engine keeps per-node aggregates incrementally; this module
+//! recomputes everything from scratch from the job placements and
+//! cross-checks. Tests run it after every plan application
+//! (`SimConfig::validate`), so any drift or bookkeeping bug surfaces at
+//! the first event that introduces it.
+
+use dfrs_core::approx;
+
+use crate::state::{JobStatus, NodeState, SimState};
+
+/// Tolerance for comparing incrementally maintained sums against
+/// recomputed ones (looser than [`approx::EPS`]: thousands of add/remove
+/// pairs accumulate rounding).
+const SUM_TOLERANCE: f64 = 1e-6;
+
+/// Check every engine invariant; returns a description of the first
+/// violation.
+pub fn check_invariants(state: &SimState) -> Result<(), String> {
+    let n_nodes = state.cluster.nodes().len();
+    let mut recomputed = vec![NodeState::default(); n_nodes];
+
+    for j in &state.jobs {
+        match j.status {
+            JobStatus::Running => {
+                if j.placement.len() != j.spec.tasks as usize {
+                    return Err(format!(
+                        "{} running with {} placed tasks of {}",
+                        j.spec.id,
+                        j.placement.len(),
+                        j.spec.tasks
+                    ));
+                }
+                if !(j.yld > 0.0 && j.yld <= 1.0 + approx::EPS) {
+                    return Err(format!("{} running with yield {}", j.spec.id, j.yld));
+                }
+                for &node in &j.placement {
+                    let Some(ns) = recomputed.get_mut(node.index()) else {
+                        return Err(format!("{} placed on nonexistent {node}", j.spec.id));
+                    };
+                    ns.cpu_load += j.spec.cpu_need;
+                    ns.cpu_alloc += j.spec.cpu_need * j.yld;
+                    ns.mem_used += j.spec.mem_req;
+                    ns.task_count += 1;
+                }
+            }
+            JobStatus::Pending | JobStatus::Paused | JobStatus::Unsubmitted => {
+                if !j.placement.is_empty() {
+                    return Err(format!(
+                        "{} is {:?} but holds a placement",
+                        j.spec.id, j.status
+                    ));
+                }
+            }
+            JobStatus::Completed => {
+                if !j.placement.is_empty() {
+                    return Err(format!("{} completed but holds a placement", j.spec.id));
+                }
+                if j.completion.is_none() {
+                    return Err(format!("{} completed without a completion time", j.spec.id));
+                }
+            }
+        }
+        if j.virtual_time > j.spec.oracle_runtime() + 1e-3 {
+            return Err(format!(
+                "{} overshot its runtime: vt={} runtime={}",
+                j.spec.id,
+                j.virtual_time,
+                j.spec.oracle_runtime()
+            ));
+        }
+    }
+
+    let mut busy = 0u32;
+    for (i, (got, want)) in state.cluster.nodes().iter().zip(recomputed.iter()).enumerate() {
+        if want.mem_used > 1.0 + SUM_TOLERANCE {
+            return Err(format!("node n{i} memory overcommitted: {}", want.mem_used));
+        }
+        if want.cpu_alloc > 1.0 + SUM_TOLERANCE {
+            return Err(format!("node n{i} CPU overallocated: {}", want.cpu_alloc));
+        }
+        if (got.cpu_load - want.cpu_load).abs() > SUM_TOLERANCE
+            || (got.cpu_alloc - want.cpu_alloc).abs() > SUM_TOLERANCE
+            || (got.mem_used - want.mem_used).abs() > SUM_TOLERANCE
+            || got.task_count != want.task_count
+        {
+            return Err(format!(
+                "node n{i} bookkeeping drift: engine {got:?} vs recomputed {want:?}"
+            ));
+        }
+        if want.task_count > 0 {
+            busy += 1;
+        }
+    }
+    if busy != state.cluster.busy_nodes() {
+        return Err(format!(
+            "busy-node count drift: engine {} vs recomputed {busy}",
+            state.cluster.busy_nodes()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ClusterState, JobState};
+    use dfrs_core::ids::{JobId, NodeId};
+    use dfrs_core::{ClusterSpec, JobSpec};
+
+    fn base_state() -> SimState {
+        SimState {
+            now: 0.0,
+            cluster: ClusterState::new(ClusterSpec::new(2, 4, 8.0).unwrap()),
+            jobs: vec![JobState::new(
+                JobSpec::new(JobId(0), 0.0, 2, 0.5, 0.4, 100.0).unwrap(),
+            )],
+        }
+    }
+
+    #[test]
+    fn clean_state_passes() {
+        assert!(check_invariants(&base_state()).is_ok());
+    }
+
+    #[test]
+    fn consistent_running_job_passes() {
+        let mut s = base_state();
+        s.jobs[0].status = JobStatus::Running;
+        s.jobs[0].yld = 0.5;
+        s.jobs[0].placement = vec![NodeId(0), NodeId(1)];
+        s.cluster.add_task(NodeId(0), 0.5, 0.4, 0.5);
+        s.cluster.add_task(NodeId(1), 0.5, 0.4, 0.5);
+        assert!(check_invariants(&s).is_ok());
+    }
+
+    #[test]
+    fn detects_placement_count_mismatch() {
+        let mut s = base_state();
+        s.jobs[0].status = JobStatus::Running;
+        s.jobs[0].yld = 1.0;
+        s.jobs[0].placement = vec![NodeId(0)]; // needs 2 tasks
+        let err = check_invariants(&s).unwrap_err();
+        assert!(err.contains("placed tasks"), "{err}");
+    }
+
+    #[test]
+    fn detects_bookkeeping_drift() {
+        let mut s = base_state();
+        s.jobs[0].status = JobStatus::Running;
+        s.jobs[0].yld = 1.0;
+        s.jobs[0].placement = vec![NodeId(0), NodeId(1)];
+        // Engine side not updated -> drift.
+        let err = check_invariants(&s).unwrap_err();
+        assert!(err.contains("drift"), "{err}");
+    }
+
+    #[test]
+    fn detects_phantom_placement_on_paused_job() {
+        let mut s = base_state();
+        s.jobs[0].status = JobStatus::Paused;
+        s.jobs[0].placement = vec![NodeId(0), NodeId(1)];
+        assert!(check_invariants(&s).is_err());
+    }
+
+    #[test]
+    fn detects_vt_overshoot() {
+        let mut s = base_state();
+        s.jobs[0].virtual_time = 200.0; // runtime is 100
+        assert!(check_invariants(&s).unwrap_err().contains("overshot"));
+    }
+
+    #[test]
+    fn detects_bad_yield() {
+        let mut s = base_state();
+        s.jobs[0].status = JobStatus::Running;
+        s.jobs[0].yld = 0.0;
+        s.jobs[0].placement = vec![NodeId(0), NodeId(1)];
+        s.cluster.add_task(NodeId(0), 0.5, 0.4, 0.0);
+        s.cluster.add_task(NodeId(1), 0.5, 0.4, 0.0);
+        assert!(check_invariants(&s).unwrap_err().contains("yield"));
+    }
+}

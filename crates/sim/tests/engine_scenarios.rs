@@ -1,0 +1,428 @@
+//! Hand-traced engine scenarios with exact expected numbers.
+//!
+//! Each test drives the engine with a small scripted scheduler so that
+//! completions, stretches, penalties, and Table-II accounting can be
+//! checked against arithmetic done by hand.
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_sim::{simulate, Plan, SchedEvent, Scheduler, SimConfig, SimState};
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::new(4, 4, 8.0).unwrap()
+}
+
+fn job(id: u32, submit: f64, tasks: u32, runtime: f64) -> JobSpec {
+    JobSpec::new(JobId(id), submit, tasks, 1.0, 0.5, runtime).unwrap()
+}
+
+/// Starts every arriving job immediately, one task per node `0..tasks`,
+/// at yield 1.0. Valid as long as jobs don't overlap.
+struct ImmediateFull;
+
+impl Scheduler for ImmediateFull {
+    fn name(&self) -> String {
+        "immediate-full".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, _state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(j) => {
+                let tasks = _state.job(j).spec.tasks;
+                let placement = (0..tasks).map(NodeId).collect();
+                Plan::noop().run(j, placement, 1.0)
+            }
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[test]
+fn dedicated_jobs_have_stretch_one() {
+    let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 200.0, 4, 50.0)];
+    let out = simulate(cluster(), &jobs, &mut ImmediateFull, &SimConfig {
+        validate: true,
+        ..SimConfig::default()
+    });
+    assert_eq!(out.records[0].completion, 100.0);
+    assert_eq!(out.records[1].completion, 250.0);
+    assert_eq!(out.max_stretch, 1.0);
+    assert_eq!(out.preemption_count, 0);
+    assert_eq!(out.migration_count, 0);
+    assert_eq!(out.makespan, 250.0);
+}
+
+/// Runs every job on node 0 and rebalances all yields to an equal share
+/// at every submit/complete event (a miniature GREEDY on one node).
+struct OneNodeEqualShare;
+
+impl Scheduler for OneNodeEqualShare {
+    fn name(&self) -> String {
+        "one-node-equal-share".into()
+    }
+    fn on_event(&mut self, _ev: SchedEvent, state: &SimState) -> Plan {
+        let in_system: Vec<JobId> =
+            state.jobs_in_system().map(|j| j.spec.id).collect();
+        let share = (1.0 / in_system.len().max(1) as f64).min(1.0);
+        let mut plan = Plan::noop();
+        for id in in_system {
+            plan = plan.run(id, vec![NodeId(0)], share);
+        }
+        plan
+    }
+}
+
+#[test]
+fn equal_share_time_sharing_doubles_runtimes() {
+    // Two 100 s single-task jobs arrive together on one node at yield 0.5
+    // each: job A finishes at 200; then B runs alone (yield 1) and
+    // finishes at 250 (vt was 100 at t=200, 50 remaining... actually B
+    // also reached vt=100 at t=200).
+    // Careful: both progress at 0.5, both complete at exactly t=200.
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.3, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 0.0, 1, 1.0, 0.3, 100.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig {
+        validate: true,
+        ..SimConfig::default()
+    });
+    assert!((out.records[0].completion - 200.0).abs() < 1e-6);
+    assert!((out.records[1].completion - 200.0).abs() < 1e-6);
+    assert!((out.max_stretch - 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn unequal_lengths_yield_adjusts_at_completion() {
+    // A: 100 s, B: 40 s, both at t=0 on node 0 with yield 1/2.
+    // B completes at t=80 (vt 40). A has vt 40; then runs alone at yield 1,
+    // completing at 80 + 60 = 140.
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.3, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 0.0, 1, 1.0, 0.3, 40.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig::default());
+    assert!((out.records[1].completion - 80.0).abs() < 1e-6);
+    assert!((out.records[0].completion - 140.0).abs() < 1e-6);
+    // Stretches: B: 80/40 = 2; A: 140/100 = 1.4.
+    assert!((out.max_stretch - 2.0).abs() < 1e-6);
+    assert!((out.mean_stretch - 1.7).abs() < 1e-6);
+}
+
+/// Scripted pause/resume: when job 1 arrives, pause job 0 and run job 1;
+/// when job 1 completes, resume job 0 (same node).
+struct PauseResume;
+
+impl Scheduler for PauseResume {
+    fn name(&self) -> String {
+        "pause-resume".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, _state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(JobId(0)) => {
+                Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0)
+            }
+            SchedEvent::Submit(JobId(1)) => {
+                Plan::noop().pause(JobId(0)).run(JobId(1), vec![NodeId(0)], 1.0)
+            }
+            SchedEvent::Complete(JobId(1)) => {
+                Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0)
+            }
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[test]
+fn pause_resume_without_penalty() {
+    // Job 0: 100 s from t=0. Job 1: 50 s arriving at t=30 → job 0 paused
+    // with vt=30, job 1 runs 30..80, job 0 resumes at 80 with 70 left →
+    // completes at 150.
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.8, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 30.0, 1, 1.0, 0.8, 50.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut PauseResume, &SimConfig {
+        validate: true,
+        ..SimConfig::default()
+    });
+    assert!((out.records[1].completion - 80.0).abs() < 1e-6);
+    assert!((out.records[0].completion - 150.0).abs() < 1e-6);
+    assert_eq!(out.preemption_count, 1);
+    assert_eq!(out.records[0].preemptions, 1);
+    // Bandwidth: 1 task × 0.8 × 8 GB saved + same restored = 12.8 GB.
+    assert!((out.preemption_gb - 12.8).abs() < 1e-9);
+    assert_eq!(out.migration_count, 0);
+}
+
+#[test]
+fn pause_resume_with_penalty_delays_completion() {
+    // Same as above with a 300 s penalty: job 0 resumes at t=80 but only
+    // progresses from t=380 → completes at 450.
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.8, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 30.0, 1, 1.0, 0.8, 50.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut PauseResume, &SimConfig {
+        penalty: 300.0,
+        validate: true,
+        ..SimConfig::default()
+    });
+    assert!((out.records[1].completion - 80.0).abs() < 1e-6, "job 1 start is penalty-free");
+    assert!((out.records[0].completion - 450.0).abs() < 1e-6);
+    // Stretch of job 0: 450/100 = 4.5.
+    assert!((out.max_stretch - 4.5).abs() < 1e-6);
+}
+
+/// Scripted migration: moves job 0 from node 0 to node 1 when job 1
+/// arrives (job 1 takes node 0).
+struct MigrateOnArrival;
+
+impl Scheduler for MigrateOnArrival {
+    fn name(&self) -> String {
+        "migrate-on-arrival".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, _state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(JobId(0)) => {
+                Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0)
+            }
+            SchedEvent::Submit(JobId(1)) => Plan::noop()
+                .run(JobId(0), vec![NodeId(1)], 1.0)
+                .run(JobId(1), vec![NodeId(0)], 1.0),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[test]
+fn migration_charges_penalty_and_double_bandwidth() {
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 40.0, 1, 1.0, 0.5, 10.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut MigrateOnArrival, &SimConfig {
+        penalty: 300.0,
+        validate: true,
+        ..SimConfig::default()
+    });
+    // Job 0: vt=40 at migration, frozen 40..340, finishes at 340+60=400.
+    assert!((out.records[0].completion - 400.0).abs() < 1e-6);
+    assert_eq!(out.migration_count, 1);
+    assert_eq!(out.records[0].migrations, 1);
+    // 1 task moved × 0.5 × 8 GB × 2 (save+restore) = 8 GB.
+    assert!((out.migration_gb - 8.0).abs() < 1e-9);
+    assert_eq!(out.preemption_count, 0);
+    // Job 1 unaffected: 40..50.
+    assert!((out.records[1].completion - 50.0).abs() < 1e-6);
+}
+
+#[test]
+fn yield_only_replan_is_not_a_migration() {
+    // OneNodeEqualShare re-issues Run entries with identical placements at
+    // every event; none of those may count as migrations.
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.3, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 10.0, 1, 1.0, 0.3, 100.0).unwrap(),
+        JobSpec::new(JobId(2), 20.0, 1, 1.0, 0.3, 100.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig {
+        penalty: 300.0,
+        validate: true,
+        ..SimConfig::default()
+    });
+    assert_eq!(out.migration_count, 0);
+    assert_eq!(out.preemption_count, 0);
+    assert_eq!(out.migration_gb, 0.0);
+}
+
+/// Uses a timer to postpone a job: the job arriving at 0 is ignored until
+/// the timer at t=500 fires.
+struct TimerStart;
+
+impl Scheduler for TimerStart {
+    fn name(&self) -> String {
+        "timer-start".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, _state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(j) => Plan::noop().timer(j, 500.0),
+            SchedEvent::Timer(j) => Plan::noop().run(j, vec![NodeId(2)], 1.0),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[test]
+fn timers_fire_at_requested_times() {
+    let jobs = vec![JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 60.0).unwrap()];
+    let out = simulate(cluster(), &jobs, &mut TimerStart, &SimConfig::default());
+    assert!((out.records[0].first_start.unwrap() - 500.0).abs() < 1e-9);
+    assert!((out.records[0].completion - 560.0).abs() < 1e-6);
+    // Stretch: max(560,30)/max(60,30) = 9.333…
+    assert!((out.max_stretch - 560.0 / 60.0).abs() < 1e-6);
+}
+
+/// Periodic scheduler: starts all pending jobs at each tick, never at
+/// submit time.
+struct TickStarter;
+
+impl Scheduler for TickStarter {
+    fn name(&self) -> String {
+        "tick-starter".into()
+    }
+    fn period(&self) -> Option<f64> {
+        Some(600.0)
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Tick => {
+                let mut plan = Plan::noop();
+                let mut node = 0u32;
+                for j in state.jobs_in_system() {
+                    if j.status == dfrs_sim::JobStatus::Pending {
+                        plan = plan.run(j.spec.id, vec![NodeId(node)], 1.0);
+                        node += 1;
+                    }
+                }
+                plan
+            }
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[test]
+fn ticks_arrive_every_period() {
+    // Jobs at t=10 and t=700 start at ticks 600 and 1200.
+    let jobs = vec![
+        JobSpec::new(JobId(0), 10.0, 1, 1.0, 0.5, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 700.0, 1, 1.0, 0.5, 100.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut TickStarter, &SimConfig::default());
+    assert!((out.records[0].first_start.unwrap() - 600.0).abs() < 1e-9);
+    assert!((out.records[1].first_start.unwrap() - 1200.0).abs() < 1e-9);
+}
+
+struct NeverStarts;
+
+impl Scheduler for NeverStarts {
+    fn name(&self) -> String {
+        "never-starts".into()
+    }
+    fn on_event(&mut self, _ev: SchedEvent, _state: &SimState) -> Plan {
+        Plan::noop()
+    }
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn abandoning_jobs_is_detected_as_deadlock() {
+    let jobs = vec![JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 60.0).unwrap()];
+    simulate(cluster(), &jobs, &mut NeverStarts, &SimConfig::default());
+}
+
+#[test]
+fn outcomes_are_deterministic() {
+    let jobs: Vec<JobSpec> = (0..20)
+        .map(|i| {
+            JobSpec::new(JobId(i), i as f64 * 13.0, 1, 1.0, 0.04, 50.0 + i as f64).unwrap()
+        })
+        .collect();
+    let a = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig::default());
+    let b = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig::default());
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.max_stretch, b.max_stretch);
+}
+
+#[test]
+fn idle_and_busy_integrals_account_time() {
+    // One 1-task job, 100 s at yield 1 on a 4-node cluster: busy integral
+    // = 100 node-seconds (cpu_need 1.0 × yield 1.0), idle = 3 nodes × 100 s.
+    let jobs = vec![JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 100.0).unwrap()];
+    let out = simulate(cluster(), &jobs, &mut ImmediateFull, &SimConfig::default());
+    assert!((out.busy_node_seconds - 100.0).abs() < 1e-6);
+    assert!((out.idle_node_seconds - 300.0).abs() < 1e-6);
+}
+
+#[test]
+fn timeline_records_the_full_story() {
+    // Pause/resume scenario from above, with the timeline enabled.
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.8, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 30.0, 1, 1.0, 0.8, 50.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut PauseResume, &SimConfig {
+        record_timeline: true,
+        ..SimConfig::default()
+    });
+    use dfrs_sim::AllocEvent;
+    let kinds: Vec<&AllocEvent> =
+        out.timeline.for_job(JobId(0)).map(|e| &e.event).collect();
+    assert!(matches!(kinds[0], AllocEvent::Start { .. }));
+    assert!(matches!(kinds[1], AllocEvent::Pause));
+    assert!(matches!(kinds[2], AllocEvent::Resume { .. }));
+    assert!(matches!(kinds[3], AllocEvent::Complete));
+    // Profile: 1 running at 0, still 1 at 30 (pause+start same instant),
+    // 1 at 80 (complete+resume), 0 at 150.
+    let profile = out.timeline.utilization_profile();
+    assert_eq!(*profile.last().unwrap(), (150.0, 0));
+    // Disabled by default:
+    let out2 = simulate(cluster(), &jobs, &mut PauseResume, &SimConfig::default());
+    assert!(out2.timeline.is_empty());
+}
+
+#[test]
+fn timeline_records_migrations_with_moved_counts() {
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 40.0, 1, 1.0, 0.5, 10.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs, &mut MigrateOnArrival, &SimConfig {
+        record_timeline: true,
+        ..SimConfig::default()
+    });
+    use dfrs_sim::AllocEvent;
+    let migr = out
+        .timeline
+        .for_job(JobId(0))
+        .find(|e| matches!(e.event, AllocEvent::Migrate { .. }))
+        .expect("job 0 migrates");
+    assert_eq!(migr.time, 40.0);
+    match &migr.event {
+        AllocEvent::Migrate { moved, .. } => assert_eq!(*moved, 1),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn live_migration_halves_bytes_and_shortens_freeze() {
+    use dfrs_sim::MigrationMode;
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 40.0, 1, 1.0, 0.5, 10.0).unwrap(),
+    ];
+    let live = simulate(cluster(), &jobs, &mut MigrateOnArrival, &SimConfig {
+        penalty: 300.0,
+        migration_mode: MigrationMode::Live { freeze_secs: 5.0 },
+        validate: true,
+        ..SimConfig::default()
+    });
+    // Stop-and-copy (earlier test): completion 400, 8 GB. Live: the job
+    // freezes 40..45 then finishes its remaining 60 s at 105; one copy
+    // of 0.5 × 8 GB = 4 GB.
+    assert!((live.records[0].completion - 105.0).abs() < 1e-6);
+    assert!((live.migration_gb - 4.0).abs() < 1e-9);
+    assert_eq!(live.migration_count, 1);
+    // Pause/resume penalties are NOT affected by the migration mode.
+    let jobs2 = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.8, 100.0).unwrap(),
+        JobSpec::new(JobId(1), 30.0, 1, 1.0, 0.8, 50.0).unwrap(),
+    ];
+    let out = simulate(cluster(), &jobs2, &mut PauseResume, &SimConfig {
+        penalty: 300.0,
+        migration_mode: MigrationMode::Live { freeze_secs: 5.0 },
+        validate: true,
+        ..SimConfig::default()
+    });
+    assert!((out.records[0].completion - 450.0).abs() < 1e-6, "resume penalty unchanged");
+}

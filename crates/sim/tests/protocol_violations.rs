@@ -1,0 +1,123 @@
+//! The engine must catch scheduler protocol violations loudly: a bad
+//! plan is a bug, never silently absorbed.
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_sim::{simulate, Plan, SchedEvent, Scheduler, SimConfig, SimState};
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::new(2, 4, 8.0).unwrap()
+}
+
+fn one_job() -> Vec<JobSpec> {
+    vec![JobSpec::new(JobId(0), 0.0, 2, 0.5, 0.4, 100.0).unwrap()]
+}
+
+/// Scheduler that emits one fixed plan at the first submit.
+struct OnePlan(Option<Plan>);
+
+impl Scheduler for OnePlan {
+    fn name(&self) -> String {
+        "one-plan".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, _state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(_) => self.0.take().unwrap_or_default(),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+fn run_with(plan: Plan) {
+    let cfg = SimConfig { validate: true, ..SimConfig::default() };
+    simulate(cluster(), &one_job(), &mut OnePlan(Some(plan)), &cfg);
+}
+
+#[test]
+#[should_panic(expected = "tasks")]
+fn wrong_placement_arity_panics() {
+    // 2-task job, 1 node given.
+    run_with(Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0));
+}
+
+#[test]
+#[should_panic(expected = "invalid yield")]
+fn zero_yield_panics() {
+    run_with(Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(1)], 0.0));
+}
+
+#[test]
+#[should_panic(expected = "invalid yield")]
+fn oversized_yield_panics() {
+    run_with(Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(1)], 1.5));
+}
+
+#[test]
+#[should_panic(expected = "pauses non-running")]
+fn pausing_a_pending_job_panics() {
+    run_with(Plan::noop().pause(JobId(0)));
+}
+
+#[test]
+#[should_panic]
+fn memory_overcommit_is_caught() {
+    // Both 0.4-memory tasks on the same node is fine (0.8), but three
+    // jobs' worth is not — emulate by a job with mem 0.6 × 2 tasks on
+    // one node: 1.2 > 1.
+    let jobs = vec![JobSpec::new(JobId(0), 0.0, 2, 0.5, 0.6, 100.0).unwrap()];
+    let cfg = SimConfig { validate: true, ..SimConfig::default() };
+    let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(0)], 1.0);
+    simulate(cluster(), &jobs, &mut OnePlan(Some(plan)), &cfg);
+}
+
+#[test]
+#[should_panic]
+fn cpu_overallocation_is_caught() {
+    // Two full-CPU tasks at yield 1.0 on one node: alloc 2.0 > 1.
+    let jobs = vec![JobSpec::new(JobId(0), 0.0, 2, 1.0, 0.2, 100.0).unwrap()];
+    let cfg = SimConfig { validate: true, ..SimConfig::default() };
+    let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(0)], 1.0);
+    simulate(cluster(), &jobs, &mut OnePlan(Some(plan)), &cfg);
+}
+
+#[test]
+#[should_panic(expected = "timer")]
+fn timer_in_the_past_panics() {
+    let jobs = vec![JobSpec::new(JobId(0), 100.0, 1, 0.5, 0.2, 50.0).unwrap()];
+    let cfg = SimConfig::default();
+    // Timer at t=10 requested at t=100.
+    let plan = Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0).timer(JobId(0), 10.0);
+    simulate(cluster(), &jobs, &mut OnePlan(Some(plan)), &cfg);
+}
+
+#[test]
+#[should_panic(expected = "event cap")]
+fn runaway_event_loops_hit_the_cap() {
+    /// Re-arms a timer forever without ever starting the job.
+    struct TimerLoop;
+    impl Scheduler for TimerLoop {
+        fn name(&self) -> String {
+            "timer-loop".into()
+        }
+        fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+            match ev {
+                SchedEvent::Submit(j) | SchedEvent::Timer(j) => {
+                    Plan::noop().timer(j, state.now + 1.0)
+                }
+                _ => Plan::noop(),
+            }
+        }
+    }
+    let cfg = SimConfig { max_events: 1_000, ..SimConfig::default() };
+    simulate(cluster(), &one_job(), &mut TimerLoop, &cfg);
+}
+
+#[test]
+fn valid_plan_on_the_same_shapes_succeeds() {
+    // Sanity twin of the panicking tests: the same job runs fine with a
+    // correct plan.
+    let cfg = SimConfig { validate: true, ..SimConfig::default() };
+    let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(1)], 1.0);
+    let out = simulate(cluster(), &one_job(), &mut OnePlan(Some(plan)), &cfg);
+    assert_eq!(out.max_stretch, 1.0);
+}

@@ -1,0 +1,262 @@
+//! Engine stress test: a randomized scheduler that emits arbitrary
+//! *valid* plans — random pauses, placements, migrations, and yield
+//! reshuffles — with full invariant validation after every event, plus
+//! cross-checks between the accounting counters and the timeline.
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_sim::{
+    simulate, AllocEvent, JobStatus, Plan, SchedEvent, Scheduler, SimConfig, SimState,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Emits random valid plans; guarantees progress by starting everything
+/// it can at every tick.
+struct ChaosScheduler {
+    rng: SmallRng,
+}
+
+impl ChaosScheduler {
+    fn new(seed: u64) -> Self {
+        ChaosScheduler { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Greedy-fill pending/paused jobs onto randomly ordered nodes,
+    /// giving everyone a safe equal-share yield.
+    fn build_plan(&mut self, state: &SimState, chaos: bool) -> Plan {
+        let n_nodes = state.cluster.nodes().len();
+        let mut mem_free: Vec<f64> =
+            state.cluster.nodes().iter().map(|n| n.mem_free()).collect();
+
+        let mut plan_pauses: Vec<JobId> = Vec::new();
+        let mut placements: Vec<(JobId, Vec<NodeId>)> = Vec::new();
+
+        // Randomly pause some running jobs (chaos mode only).
+        for j in state.running_jobs() {
+            if chaos && self.rng.gen_bool(0.3) {
+                plan_pauses.push(j.spec.id);
+                for &n in &j.placement {
+                    mem_free[n.index()] += j.spec.mem_req;
+                }
+            }
+        }
+
+        // Try to (re)start everyone not running, in random-ish order.
+        let mut waiting: Vec<JobId> = state
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.status, JobStatus::Pending | JobStatus::Paused))
+            .map(|j| j.spec.id)
+            .collect();
+        if chaos {
+            // Rotate by a random amount for variety (cheap shuffle).
+            if !waiting.is_empty() {
+                let k = self.rng.gen_range(0..waiting.len());
+                waiting.rotate_left(k);
+            }
+        }
+        for id in waiting {
+            let spec = &state.job(id).spec;
+            let mut nodes = Vec::with_capacity(spec.tasks as usize);
+            let start = self.rng.gen_range(0..n_nodes);
+            let mut scratch = mem_free.clone();
+            for t in 0..spec.tasks as usize {
+                let mut placed = false;
+                for off in 0..n_nodes {
+                    let n = (start + t + off) % n_nodes;
+                    if scratch[n] + 1e-9 >= spec.mem_req {
+                        scratch[n] -= spec.mem_req;
+                        nodes.push(NodeId(n as u32));
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    break;
+                }
+            }
+            if nodes.len() == spec.tasks as usize {
+                mem_free = scratch;
+                placements.push((id, nodes));
+            }
+        }
+
+        // Occasionally migrate one running job (chaos mode only).
+        if chaos && self.rng.gen_bool(0.4) {
+            let candidates: Vec<JobId> = state
+                .running_jobs()
+                .map(|j| j.spec.id)
+                .filter(|id| !plan_pauses.contains(id))
+                .collect();
+            if !candidates.is_empty() {
+                let id = candidates[self.rng.gen_range(0..candidates.len())];
+                let spec = &state.job(id).spec;
+                // Free its current memory, then replace like above.
+                for &n in &state.job(id).placement {
+                    mem_free[n.index()] += spec.mem_req;
+                }
+                let start = self.rng.gen_range(0..n_nodes);
+                let mut nodes = Vec::new();
+                let mut scratch = mem_free.clone();
+                for t in 0..spec.tasks as usize {
+                    for off in 0..n_nodes {
+                        let n = (start + t * 3 + off) % n_nodes;
+                        if scratch[n] + 1e-9 >= spec.mem_req {
+                            scratch[n] -= spec.mem_req;
+                            nodes.push(NodeId(n as u32));
+                            break;
+                        }
+                    }
+                }
+                if nodes.len() == spec.tasks as usize {
+                    let _ = scratch; // migration bookkeeping ends here
+                    placements.push((id, nodes));
+                } else {
+                    // Roll back the freeing.
+                    for &n in &state.job(id).placement {
+                        mem_free[n.index()] -= spec.mem_req;
+                    }
+                }
+            }
+        }
+
+        // Safe uniform yield: 1/max(1, max CPU load) over the *planned*
+        // configuration.
+        let mut load = vec![0.0f64; n_nodes];
+        let mut all_runs: Vec<(JobId, Vec<NodeId>)> = Vec::new();
+        for j in state.running_jobs() {
+            if plan_pauses.contains(&j.spec.id)
+                || placements.iter().any(|(id, _)| *id == j.spec.id)
+            {
+                continue;
+            }
+            all_runs.push((j.spec.id, j.placement.clone()));
+        }
+        all_runs.extend(placements);
+        for (id, nodes) in &all_runs {
+            for n in nodes {
+                load[n.index()] += state.job(*id).spec.cpu_need;
+            }
+        }
+        let yld = 1.0 / load.iter().copied().fold(1.0, f64::max);
+
+        let mut plan = Plan::noop();
+        for id in plan_pauses {
+            plan = plan.pause(id);
+        }
+        for (id, nodes) in all_runs {
+            plan = plan.run(id, nodes, yld);
+        }
+        plan
+    }
+}
+
+impl Scheduler for ChaosScheduler {
+    fn name(&self) -> String {
+        "chaos".into()
+    }
+    fn period(&self) -> Option<f64> {
+        Some(500.0)
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(_) => self.build_plan(state, true),
+            // Progress guarantee: ticks and completions never pause.
+            SchedEvent::Tick | SchedEvent::Complete(_) => self.build_plan(state, false),
+            SchedEvent::Timer(_) => Plan::noop(),
+        }
+    }
+}
+
+fn jobs_from_seed(seed: u64, n: usize) -> Vec<JobSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+    (0..n)
+        .map(|i| {
+            JobSpec::new(
+                JobId(i as u32),
+                rng.gen_range(0.0..5_000.0),
+                rng.gen_range(1..5),
+                [0.25, 0.5, 1.0][rng.gen_range(0..3)],
+                0.1 * rng.gen_range(1..8) as f64,
+                rng.gen_range(10.0..2_000.0),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random plans, random workloads, both penalty settings: every job
+    /// completes, invariants hold at every event, and the timeline
+    /// agrees with the counters.
+    #[test]
+    fn chaos_scheduling_is_always_accounted_consistently(
+        seed in 0u64..100_000,
+        n in 5usize..20,
+        penalty in prop::sample::select(vec![0.0, 300.0]),
+    ) {
+        let mut jobs = jobs_from_seed(seed, n);
+        jobs.sort_by(|a, b| a.submit_time.total_cmp(&b.submit_time));
+        let jobs: Vec<JobSpec> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, j)| {
+                JobSpec::new(
+                    JobId(i as u32),
+                    j.submit_time,
+                    j.tasks,
+                    j.cpu_need,
+                    j.mem_req,
+                    j.oracle_runtime(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let cluster = ClusterSpec::new(6, 4, 8.0).unwrap();
+        let cfg = SimConfig {
+            penalty,
+            validate: true,
+            record_timeline: true,
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster, &jobs, &mut ChaosScheduler::new(seed), &cfg);
+        prop_assert_eq!(out.records.len(), jobs.len());
+
+        // Timeline ↔ counter cross-checks.
+        let mut pauses = 0u64;
+        let mut migrations = 0u64;
+        let mut completes = 0usize;
+        for e in &out.timeline.entries {
+            match e.event {
+                AllocEvent::Pause => pauses += 1,
+                AllocEvent::Migrate { .. } => migrations += 1,
+                AllocEvent::Complete => completes += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(pauses, out.preemption_count);
+        prop_assert_eq!(migrations, out.migration_count);
+        prop_assert_eq!(completes, jobs.len());
+        // Per-job counters sum to the totals.
+        let per_job_p: u64 = out.records.iter().map(|r| r.preemptions as u64).sum();
+        let per_job_m: u64 = out.records.iter().map(|r| r.migrations as u64).sum();
+        prop_assert_eq!(per_job_p, out.preemption_count);
+        prop_assert_eq!(per_job_m, out.migration_count);
+        // Bytes only flow when events happened.
+        if out.preemption_count == 0 {
+            prop_assert_eq!(out.preemption_gb, 0.0);
+        }
+        if out.migration_count == 0 {
+            prop_assert_eq!(out.migration_gb, 0.0);
+        }
+        // Stretches are sane.
+        for r in &out.records {
+            prop_assert!(r.stretch >= 1.0);
+            prop_assert!(r.completion >= r.submit);
+        }
+    }
+}

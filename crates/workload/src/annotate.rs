@@ -1,0 +1,166 @@
+//! CPU-need and memory-requirement annotation of synthetic jobs
+//! (Section IV-C).
+//!
+//! The Lublin model provides sizes and runtimes only. The paper adds:
+//!
+//! * **CPU needs** — all tasks are pessimistically assumed CPU-bound;
+//!   the single task of a one-task job is assumed sequential (needs one
+//!   core, i.e. `1/cores` of a node), all other tasks are assumed
+//!   multi-threaded (need 100 % of a node).
+//! * **Memory** — following Setia et al.: 55 % of jobs require 10 % of
+//!   node memory per task; the rest require `10·x %` with `x` uniform on
+//!   `{2, …, 10}`.
+
+use rand::Rng;
+
+use dfrs_core::ids::JobId;
+use dfrs_core::{ClusterSpec, CoreError, JobSpec};
+
+use crate::lublin::RawJob;
+
+/// Annotates raw (size, runtime) jobs with CPU needs and memory
+/// requirements per the paper's rules.
+#[derive(Debug, Clone, Copy)]
+pub struct Annotator {
+    cluster: ClusterSpec,
+    /// Probability of the light memory class (paper: 0.55).
+    pub light_mem_prob: f64,
+}
+
+impl Annotator {
+    /// Annotator for the given cluster with the paper's constants.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Annotator { cluster, light_mem_prob: 0.55 }
+    }
+
+    /// CPU need of a job of `tasks` tasks: sequential (one core) for
+    /// one-task jobs, full node otherwise.
+    pub fn cpu_need(&self, tasks: u32) -> f64 {
+        if tasks == 1 {
+            self.cluster.sequential_cpu_need()
+        } else {
+            1.0
+        }
+    }
+
+    /// Draw a per-task memory requirement.
+    pub fn sample_mem_req<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.gen_bool(self.light_mem_prob) {
+            0.1
+        } else {
+            0.1 * rng.gen_range(2..=10) as f64
+        }
+    }
+
+    /// Annotate a raw job into a full [`JobSpec`].
+    pub fn annotate_one<R: Rng + ?Sized>(
+        &self,
+        id: JobId,
+        raw: &RawJob,
+        rng: &mut R,
+    ) -> Result<JobSpec, CoreError> {
+        JobSpec::new(
+            id,
+            raw.submit,
+            raw.tasks,
+            self.cpu_need(raw.tasks),
+            self.sample_mem_req(rng),
+            raw.runtime,
+        )
+    }
+
+    /// Annotate a whole raw trace (ids assigned in order).
+    pub fn annotate<R: Rng + ?Sized>(
+        &self,
+        raws: &[RawJob],
+        rng: &mut R,
+    ) -> Result<Vec<JobSpec>, CoreError> {
+        raws.iter()
+            .enumerate()
+            .map(|(i, raw)| self.annotate_one(JobId(i as u32), raw, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn annotator() -> Annotator {
+        Annotator::new(ClusterSpec::synthetic())
+    }
+
+    fn raw(tasks: u32) -> RawJob {
+        RawJob { submit: 5.0, tasks, runtime: 100.0 }
+    }
+
+    #[test]
+    fn sequential_tasks_need_one_core() {
+        assert!((annotator().cpu_need(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_tasks_need_full_node() {
+        assert_eq!(annotator().cpu_need(2), 1.0);
+        assert_eq!(annotator().cpu_need(128), 1.0);
+    }
+
+    #[test]
+    fn hpc2n_cluster_sequential_need_is_half() {
+        let a = Annotator::new(ClusterSpec::hpc2n());
+        assert!((a.cpu_need(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_distribution_matches_model() {
+        let a = annotator();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut light = 0usize;
+        let mut heavy_values = std::collections::BTreeMap::<u32, usize>::new();
+        for _ in 0..n {
+            let m = a.sample_mem_req(&mut rng);
+            assert!((0.1 - 1e-12..=1.0 + 1e-12).contains(&m));
+            let decile = (m * 10.0).round() as u32;
+            if decile == 1 {
+                light += 1;
+            } else {
+                *heavy_values.entry(decile).or_default() += 1;
+            }
+        }
+        let light_frac = light as f64 / n as f64;
+        assert!((light_frac - 0.55).abs() < 0.01, "light fraction {light_frac}");
+        // Heavy deciles 2..=10 roughly uniform: each ≈ 5 % of all jobs.
+        for d in 2..=10u32 {
+            let f = *heavy_values.get(&d).unwrap_or(&0) as f64 / n as f64;
+            assert!((f - 0.05).abs() < 0.01, "decile {d} fraction {f}");
+        }
+    }
+
+    #[test]
+    fn annotate_preserves_submit_size_runtime() {
+        let a = annotator();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let raws = vec![raw(1), raw(16)];
+        let jobs = a.annotate(&raws, &mut rng).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, JobId(0));
+        assert_eq!(jobs[1].id, JobId(1));
+        assert_eq!(jobs[1].tasks, 16);
+        assert_eq!(jobs[0].submit_time, 5.0);
+        assert_eq!(jobs[0].oracle_runtime(), 100.0);
+        assert!((jobs[0].cpu_need - 0.25).abs() < 1e-12);
+        assert_eq!(jobs[1].cpu_need, 1.0);
+    }
+
+    #[test]
+    fn annotation_is_deterministic() {
+        let a = annotator();
+        let raws: Vec<RawJob> = (0..50).map(|i| raw(1 + (i % 8))).collect();
+        let j1 = a.annotate(&raws, &mut SmallRng::seed_from_u64(9)).unwrap();
+        let j2 = a.annotate(&raws, &mut SmallRng::seed_from_u64(9)).unwrap();
+        assert_eq!(j1, j2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Workload characterization: the summary statistics Section IV of the
+//! paper reasons about (job-size mix, runtime distribution, memory
+//! classes, CPU-need classes, offered load), computed from any trace.
+//!
+//! Used by tests to validate generators against their targets and by the
+//! `workload_report` example to inspect a trace before simulating it.
+
+use dfrs_core::{LogHistogram, OnlineStats};
+
+use crate::trace::Trace;
+
+/// Summary of one trace.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Fraction of one-task jobs.
+    pub serial_fraction: f64,
+    /// Fraction of parallel jobs whose size is a power of two.
+    pub pow2_fraction: f64,
+    /// Task-count statistics.
+    pub tasks: OnlineStats,
+    /// Runtime statistics (seconds).
+    pub runtime: OnlineStats,
+    /// Log-bucketed runtime distribution.
+    pub runtime_hist: LogHistogram,
+    /// Fraction of jobs with runtime under a minute.
+    pub short_fraction: f64,
+    /// Fraction of jobs with runtime over an hour.
+    pub long_fraction: f64,
+    /// Per-task memory statistics (fractions of node memory).
+    pub mem: OnlineStats,
+    /// Fraction of jobs in the light (10 %) memory class.
+    pub light_mem_fraction: f64,
+    /// Fraction of jobs with full (100 %) CPU need.
+    pub cpu_bound_fraction: f64,
+    /// Inter-arrival gap statistics (seconds).
+    pub interarrival: OnlineStats,
+    /// Offered load of the trace.
+    pub offered_load: f64,
+    /// Submission span (seconds).
+    pub span: f64,
+}
+
+/// Compute the profile of a trace.
+pub fn profile(trace: &Trace) -> WorkloadProfile {
+    let jobs = trace.jobs();
+    let n = jobs.len();
+    let mut tasks = OnlineStats::new();
+    let mut runtime = OnlineStats::new();
+    let mut runtime_hist = LogHistogram::new(1.0, 10f64.powf(0.1), 60);
+    let mut mem = OnlineStats::new();
+    let mut interarrival = OnlineStats::new();
+    let (mut serial, mut pow2, mut parallel) = (0usize, 0usize, 0usize);
+    let (mut short, mut long, mut light, mut cpu_bound) = (0usize, 0usize, 0usize, 0usize);
+
+    for (i, j) in jobs.iter().enumerate() {
+        tasks.push(j.tasks as f64);
+        runtime.push(j.oracle_runtime());
+        runtime_hist.push(j.oracle_runtime());
+        mem.push(j.mem_req);
+        if j.tasks == 1 {
+            serial += 1;
+        } else {
+            parallel += 1;
+            if j.tasks.is_power_of_two() {
+                pow2 += 1;
+            }
+        }
+        if j.oracle_runtime() < 60.0 {
+            short += 1;
+        }
+        if j.oracle_runtime() > 3600.0 {
+            long += 1;
+        }
+        if (j.mem_req - 0.1).abs() < 1e-9 {
+            light += 1;
+        }
+        if (j.cpu_need - 1.0).abs() < 1e-9 {
+            cpu_bound += 1;
+        }
+        if i > 0 {
+            interarrival.push(j.submit_time - jobs[i - 1].submit_time);
+        }
+    }
+
+    let frac = |k: usize| if n > 0 { k as f64 / n as f64 } else { 0.0 };
+    WorkloadProfile {
+        jobs: n,
+        serial_fraction: frac(serial),
+        pow2_fraction: if parallel > 0 { pow2 as f64 / parallel as f64 } else { 0.0 },
+        tasks,
+        runtime,
+        runtime_hist,
+        short_fraction: frac(short),
+        long_fraction: frac(long),
+        mem,
+        light_mem_fraction: frac(light),
+        cpu_bound_fraction: frac(cpu_bound),
+        interarrival,
+        offered_load: trace.offered_load(),
+        span: trace.span(),
+    }
+}
+
+impl WorkloadProfile {
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("jobs:            {}\n", self.jobs));
+        s.push_str(&format!(
+            "span:            {:.1} h   offered load: {:.3}\n",
+            self.span / 3600.0,
+            self.offered_load
+        ));
+        s.push_str(&format!(
+            "sizes:           serial {:.1}%, pow2-parallel {:.1}%, mean {:.1}, max {:.0}\n",
+            100.0 * self.serial_fraction,
+            100.0 * self.pow2_fraction,
+            self.tasks.mean(),
+            self.tasks.max()
+        ));
+        s.push_str(&format!(
+            "runtimes:        mean {:.0} s, median ≈{:.0} s, p95 ≈{:.0} s, <1min {:.1}%, >1h {:.1}%\n",
+            self.runtime.mean(),
+            self.runtime_hist.quantile(0.5),
+            self.runtime_hist.quantile(0.95),
+            100.0 * self.short_fraction,
+            100.0 * self.long_fraction
+        ));
+        s.push_str(&format!(
+            "memory/task:     mean {:.2}, light(10%) class {:.1}%\n",
+            self.mem.mean(),
+            100.0 * self.light_mem_fraction
+        ));
+        s.push_str(&format!(
+            "cpu needs:       100%-bound {:.1}%\n",
+            100.0 * self.cpu_bound_fraction
+        ));
+        s.push_str(&format!(
+            "inter-arrivals:  mean {:.0} s, max {:.0} s\n",
+            self.interarrival.mean(),
+            self.interarrival.max()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::Annotator;
+    use crate::lublin::LublinModel;
+    use dfrs_core::ClusterSpec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn lublin_trace(n: usize, seed: u64) -> Trace {
+        let cluster = ClusterSpec::synthetic();
+        let model = LublinModel::for_cluster(&cluster);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let raws = model.generate(n, &mut rng);
+        let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
+        Trace::new(cluster, jobs).unwrap()
+    }
+
+    #[test]
+    fn lublin_profile_matches_model_targets() {
+        let p = profile(&lublin_trace(10_000, 1));
+        assert!((p.serial_fraction - 0.244).abs() < 0.03, "serial {}", p.serial_fraction);
+        assert!(p.pow2_fraction > 0.5);
+        assert!((p.light_mem_fraction - 0.55).abs() < 0.03);
+        // Sequential tasks (24.4 %) have need 0.25; rest are CPU-bound.
+        assert!((p.cpu_bound_fraction - (1.0 - p.serial_fraction)).abs() < 1e-9);
+        assert!(p.offered_load > 0.0);
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let p = profile(&lublin_trace(200, 2));
+        let text = p.render();
+        assert!(text.contains("offered load"));
+        assert!(text.contains("serial"));
+        assert!(text.contains("inter-arrivals"));
+    }
+
+    #[test]
+    fn empty_trace_profile_is_zeroed() {
+        let t = Trace::new(ClusterSpec::synthetic(), vec![]).unwrap();
+        let p = profile(&t);
+        assert_eq!(p.jobs, 0);
+        assert_eq!(p.serial_fraction, 0.0);
+        assert_eq!(p.offered_load, 0.0);
+    }
+
+    #[test]
+    fn hpc2n_like_profile_has_short_serial_signature() {
+        use crate::hpc2n::Hpc2nLikeGenerator;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gen = Hpc2nLikeGenerator::default();
+        let weeks = gen.generate_weeks(2, &mut rng);
+        let p = profile(&weeks[0]);
+        assert!(p.serial_fraction > 0.5, "serial {}", p.serial_fraction);
+        assert!(p.short_fraction > 0.3, "short {}", p.short_fraction);
+    }
+}

@@ -1,0 +1,245 @@
+//! Random-variate samplers needed by the workload models.
+//!
+//! `rand_distr` is not in the approved dependency set, so the gamma
+//! sampler (Marsaglia–Tsang squeeze method, with the Johnk boost for
+//! shape < 1) and the derived hyper-gamma and two-stage-uniform
+//! distributions are implemented here. All samplers take the RNG by
+//! mutable reference so callers control seeding and stream splitting.
+
+use rand::Rng;
+
+/// Gamma distribution with `shape` k and `scale` θ (mean `k·θ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    /// Shape parameter k > 0.
+    pub shape: f64,
+    /// Scale parameter θ > 0.
+    pub scale: f64,
+}
+
+impl Gamma {
+    /// Construct, panicking on non-positive parameters (these are
+    /// programmer-supplied model constants, not runtime data).
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive");
+        assert!(scale > 0.0 && scale.is_finite(), "gamma scale must be positive");
+        Gamma { shape, scale }
+    }
+
+    /// Distribution mean `k·θ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Distribution variance `k·θ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Draw one variate.
+    ///
+    /// Marsaglia & Tsang (2000): for k ≥ 1, squeeze-accept on
+    /// `d·(1 + x/√(9d))³` with `d = k − 1/3`; for k < 1 use the boost
+    /// `Gamma(k) = Gamma(k+1) · U^(1/k)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Johnk boost.
+            let boosted = Gamma { shape: self.shape + 1.0, scale: 1.0 }.sample(rng);
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            return boosted * u.powf(1.0 / self.shape) * self.scale;
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // Standard normal via Box–Muller (avoids a dependency on
+            // rand_distr's ziggurat).
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let x = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            // Squeeze, then full acceptance test.
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
+            {
+                return d * v3 * self.scale;
+            }
+        }
+    }
+}
+
+/// Mixture of two gammas: with probability `p` draw from `first`,
+/// otherwise from `second`. The Lublin model represents (log₂ of) job
+/// runtimes this way, with `p` a linear function of the job size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperGamma {
+    /// First component (short jobs in the runtime model).
+    pub first: Gamma,
+    /// Second component (long jobs).
+    pub second: Gamma,
+    /// Probability of the first component, in `[0, 1]`.
+    pub p: f64,
+}
+
+impl HyperGamma {
+    /// Construct; `p` is clamped into `[0, 1]`.
+    pub fn new(first: Gamma, second: Gamma, p: f64) -> Self {
+        HyperGamma { first, second, p: p.clamp(0.0, 1.0) }
+    }
+
+    /// Mixture mean.
+    pub fn mean(&self) -> f64 {
+        self.p * self.first.mean() + (1.0 - self.p) * self.second.mean()
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if rng.gen_bool(self.p) {
+            self.first.sample(rng)
+        } else {
+            self.second.sample(rng)
+        }
+    }
+}
+
+/// Lublin's two-stage uniform: with probability `prob`, uniform on
+/// `[low, med]`; otherwise uniform on `[med, high]`. Applied to log₂ of
+/// parallel job sizes it produces the observed bias toward small jobs
+/// with a tail up to the machine size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoStageUniform {
+    /// Lower bound of the first stage.
+    pub low: f64,
+    /// Boundary between the stages.
+    pub med: f64,
+    /// Upper bound of the second stage.
+    pub high: f64,
+    /// Probability of the first stage.
+    pub prob: f64,
+}
+
+impl TwoStageUniform {
+    /// Construct, panicking unless `low ≤ med ≤ high` and `prob ∈ [0,1]`.
+    pub fn new(low: f64, med: f64, high: f64, prob: f64) -> Self {
+        assert!(low <= med && med <= high, "two-stage bounds must be ordered");
+        assert!((0.0..=1.0).contains(&prob));
+        TwoStageUniform { low, med, high, prob }
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.prob * 0.5 * (self.low + self.med) + (1.0 - self.prob) * 0.5 * (self.med + self.high)
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let (a, b) = if rng.gen_bool(self.prob) {
+            (self.low, self.med)
+        } else {
+            (self.med, self.high)
+        };
+        if a == b {
+            a
+        } else {
+            rng.gen_range(a..b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(mut f: impl FnMut(&mut SmallRng) -> f64, n: usize) -> (f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(0xD0F5);
+        let xs: Vec<f64> = (0..n).map(|_| f(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn gamma_moments_match_theory_shape_above_one() {
+        let g = Gamma::new(4.2, 0.94);
+        let (mean, var) = sample_stats(|r| g.sample(r), 200_000);
+        assert!((mean - g.mean()).abs() / g.mean() < 0.02, "mean {mean} vs {}", g.mean());
+        assert!((var - g.variance()).abs() / g.variance() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_match_theory_shape_below_one() {
+        let g = Gamma::new(0.45, 2.0);
+        let (mean, var) = sample_stats(|r| g.sample(r), 300_000);
+        assert!((mean - g.mean()).abs() / g.mean() < 0.03, "mean {mean} vs {}", g.mean());
+        assert!((var - g.variance()).abs() / g.variance() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn gamma_is_always_positive() {
+        let g = Gamma::new(0.3, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn gamma_rejects_bad_shape() {
+        Gamma::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn hypergamma_mean_interpolates() {
+        let h = HyperGamma::new(Gamma::new(2.0, 1.0), Gamma::new(10.0, 2.0), 0.3);
+        let (mean, _) = sample_stats(|r| h.sample(r), 200_000);
+        assert!((mean - h.mean()).abs() / h.mean() < 0.02, "mean {mean} vs {}", h.mean());
+    }
+
+    #[test]
+    fn hypergamma_extremes_degenerate_to_components() {
+        let first = Gamma::new(2.0, 1.0);
+        let second = Gamma::new(50.0, 1.0);
+        let all_first = HyperGamma::new(first, second, 1.0);
+        let (mean, _) = sample_stats(|r| all_first.sample(r), 50_000);
+        assert!((mean - first.mean()).abs() / first.mean() < 0.03);
+    }
+
+    #[test]
+    fn two_stage_uniform_respects_bounds_and_mean() {
+        let t = TwoStageUniform::new(0.8, 4.5, 7.0, 0.86);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut sum = 0.0;
+        let n = 200_000;
+        for _ in 0..n {
+            let x = t.sample(&mut rng);
+            assert!((0.8..=7.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - t.mean()).abs() < 0.02, "mean {mean} vs {}", t.mean());
+    }
+
+    #[test]
+    fn two_stage_uniform_degenerate_interval() {
+        let t = TwoStageUniform::new(3.0, 3.0, 3.0, 0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(t.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let g = Gamma::new(4.2, 0.94);
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut a), g.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The Downey (1997) synthetic workload model — a second, independently
+//! published generator used here to check that the paper's conclusions
+//! do not hinge on the Lublin model's particular shapes.
+//!
+//! Downey's "A parallel workload model and its implications for
+//! processor allocation" models:
+//!
+//! * **sequential fraction + cluster sizes** — jobs request power-of-two
+//!   "cluster sizes" with a log-uniform bias toward small requests;
+//! * **total work** — log-uniform over several orders of magnitude
+//!   (`L ~ 2^U(lo, hi)` node-seconds), with runtime = work / size;
+//! * **Poisson arrivals** — exponential inter-arrival gaps.
+//!
+//! The annotation rules (CPU need, memory classes) stay the paper's, so
+//! only the (arrival, size, runtime) joint distribution changes.
+
+use rand::Rng;
+
+use dfrs_core::ClusterSpec;
+
+use crate::lublin::RawJob;
+
+/// Parameters of the Downey-style generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DowneyParams {
+    /// Probability of a sequential (1-task) job.
+    pub serial_prob: f64,
+    /// log₂ of the smallest parallel size.
+    pub size_log2_lo: f64,
+    /// log₂ of the largest size (cluster size).
+    pub size_log2_hi: f64,
+    /// log₂ of the smallest total work (node-seconds).
+    pub work_log2_lo: f64,
+    /// log₂ of the largest total work.
+    pub work_log2_hi: f64,
+    /// Mean inter-arrival gap (seconds).
+    pub mean_gap: f64,
+    /// Runtime clamp (seconds).
+    pub min_runtime: f64,
+    /// Runtime clamp (seconds).
+    pub max_runtime: f64,
+}
+
+impl DowneyParams {
+    /// Defaults for an `n`-node cluster, calibrated like the Lublin
+    /// defaults (1,000 jobs ≈ 4–6 days, moderate offered load).
+    pub fn for_cluster(nodes: u32) -> Self {
+        assert!(nodes >= 2);
+        DowneyParams {
+            serial_prob: 0.25,
+            size_log2_lo: 1.0,
+            size_log2_hi: (nodes as f64).log2(),
+            work_log2_lo: 7.0,  // 128 node-seconds
+            work_log2_hi: 19.0, // ~0.5 M node-seconds
+            mean_gap: 430.0,
+            min_runtime: 1.0,
+            max_runtime: 65_536.0,
+        }
+    }
+}
+
+/// The generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DowneyModel {
+    params: DowneyParams,
+}
+
+impl DowneyModel {
+    /// Build from parameters.
+    pub fn new(params: DowneyParams) -> Self {
+        DowneyModel { params }
+    }
+
+    /// Defaults for a cluster.
+    pub fn for_cluster(cluster: &ClusterSpec) -> Self {
+        DowneyModel::new(DowneyParams::for_cluster(cluster.nodes))
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &DowneyParams {
+        &self.params
+    }
+
+    /// Draw a job size (power of two, log-uniform, serial with
+    /// probability `serial_prob`).
+    pub fn sample_size<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let p = &self.params;
+        if rng.gen_bool(p.serial_prob) {
+            return 1;
+        }
+        let u = rng.gen_range(p.size_log2_lo..=p.size_log2_hi);
+        let size = u.round().exp2() as u32;
+        size.clamp(2, p.size_log2_hi.exp2().round() as u32)
+    }
+
+    /// Draw a runtime for a given size: total work `2^U(lo,hi)` spread
+    /// over the size.
+    pub fn sample_runtime<R: Rng + ?Sized>(&self, rng: &mut R, size: u32) -> f64 {
+        let p = &self.params;
+        let work = rng.gen_range(p.work_log2_lo..=p.work_log2_hi).exp2();
+        (work / size as f64).clamp(p.min_runtime, p.max_runtime)
+    }
+
+    /// Generate `n` jobs with Poisson arrivals from time 0.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<RawJob> {
+        let mut jobs = Vec::with_capacity(n);
+        let mut t = 0.0;
+        for i in 0..n {
+            if i > 0 {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -self.params.mean_gap * u.ln();
+            }
+            let tasks = self.sample_size(rng);
+            let runtime = self.sample_runtime(rng, tasks);
+            jobs.push(RawJob { submit: t, tasks, runtime });
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gen(n: usize, seed: u64) -> Vec<RawJob> {
+        DowneyModel::new(DowneyParams::for_cluster(128))
+            .generate(n, &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sizes_are_powers_of_two_within_bounds() {
+        for j in gen(5_000, 1) {
+            assert!(j.tasks == 1 || j.tasks.is_power_of_two(), "size {}", j.tasks);
+            assert!(j.tasks <= 128);
+        }
+    }
+
+    #[test]
+    fn serial_fraction_matches() {
+        let jobs = gen(20_000, 2);
+        let frac = jobs.iter().filter(|j| j.tasks == 1).count() as f64 / jobs.len() as f64;
+        assert!((frac - 0.25).abs() < 0.02, "serial {frac}");
+    }
+
+    #[test]
+    fn work_spread_spans_orders_of_magnitude() {
+        let jobs = gen(20_000, 3);
+        let works: Vec<f64> = jobs.iter().map(|j| j.runtime * j.tasks as f64).collect();
+        let min = works.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = works.iter().copied().fold(0.0, f64::max);
+        assert!(max / min > 100.0, "work range too narrow: {min}..{max}");
+    }
+
+    #[test]
+    fn bigger_jobs_run_shorter_for_equal_work() {
+        // Runtime = work / size: at equal work distribution, mean runtime
+        // decreases with size.
+        let jobs = gen(40_000, 4);
+        let mean_rt = |pred: &dyn Fn(&RawJob) -> bool| {
+            let sel: Vec<f64> =
+                jobs.iter().filter(|j| pred(j)).map(|j| j.runtime.log2()).collect();
+            sel.iter().sum::<f64>() / sel.len() as f64
+        };
+        let small = mean_rt(&|j| j.tasks <= 2);
+        let large = mean_rt(&|j| j.tasks >= 64);
+        assert!(small > large + 1.0, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn arrivals_are_poisson_like() {
+        let jobs = gen(20_000, 5);
+        let gaps: Vec<f64> = jobs.windows(2).map(|w| w[1].submit - w[0].submit).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 430.0).abs() / 430.0 < 0.05, "mean gap {mean}");
+        // Exponential: std ≈ mean.
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        assert!((var.sqrt() - mean).abs() / mean < 0.1, "std {} vs mean {mean}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gen(300, 9), gen(300, 9));
+    }
+
+    #[test]
+    fn thousand_jobs_span_days() {
+        let jobs = gen(1_000, 10);
+        let days = jobs.last().unwrap().submit / 86_400.0;
+        assert!((2.0..9.0).contains(&days), "span {days} days");
+    }
+}

@@ -1,0 +1,55 @@
+//! # dfrs-workload
+//!
+//! Workload generation and parsing for the DFRS evaluation (Section IV-C
+//! of the IPDPS 2010 paper).
+//!
+//! Three sources of jobs are supported:
+//!
+//! 1. **Synthetic traces** from the Lublin–Feitelson model
+//!    ([`lublin`]) — arrival times, job sizes and runtimes — annotated
+//!    with the paper's CPU-need and memory-requirement rules
+//!    ([`annotate`]) and rescaled to target offered loads ([`trace`]).
+//! 2. **Real traces** in Standard Workload Format ([`swf`]), processed by
+//!    the paper's HPC2N rules ([`hpc2n`]) into task counts, CPU needs and
+//!    memory requirements.
+//! 3. An **HPC2N-like synthetic generator** ([`hpc2n`]) substituting for
+//!    the real 182-week trace when it is not on disk, calibrated to the
+//!    property the paper's analysis leans on: a large population of
+//!    short-duration serial jobs alongside long parallel jobs.
+//!
+//! All generation is deterministic given a seed (`rand::rngs::SmallRng`).
+//!
+//! The custom samplers in [`distributions`] (gamma via Marsaglia–Tsang,
+//! hyper-gamma, two-stage log-uniform) exist because the approved crate
+//! set includes `rand` but not `rand_distr`.
+//!
+//! ```
+//! use dfrs_core::ClusterSpec;
+//! use dfrs_workload::{Annotator, LublinModel, Trace};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let cluster = ClusterSpec::synthetic();
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let raws = LublinModel::for_cluster(&cluster).generate(100, &mut rng);
+//! let jobs = Annotator::new(cluster).annotate(&raws, &mut rng)?;
+//! let trace = Trace::new(cluster, jobs)?.scale_to_load(0.5)?;
+//! assert!((trace.offered_load() - 0.5).abs() < 1e-9);
+//! # Ok::<(), dfrs_core::CoreError>(())
+//! ```
+
+pub mod annotate;
+pub mod characterize;
+pub mod distributions;
+pub mod downey;
+pub mod hpc2n;
+pub mod lublin;
+pub mod swf;
+pub mod trace;
+
+pub use annotate::Annotator;
+pub use characterize::{profile, WorkloadProfile};
+pub use downey::{DowneyModel, DowneyParams};
+pub use hpc2n::{hpc2n_preprocess, Hpc2nLikeGenerator};
+pub use lublin::{LublinModel, LublinParams};
+pub use swf::{parse_swf, write_swf, SwfRecord};
+pub use trace::Trace;

@@ -1,0 +1,392 @@
+//! The Lublin–Feitelson synthetic workload model (JPDC 2003), as used in
+//! Section IV-C of the paper.
+//!
+//! The model generates *rigid* jobs: an arrival time, a size (number of
+//! tasks) and a runtime. Structure, following the published model:
+//!
+//! * **Size** — a job is serial with probability `serial_prob`; parallel
+//!   sizes are `2^u` with `u` drawn from a two-stage uniform on
+//!   `[log₂ 2, log₂ N]`, and with probability `pow2_prob` the exponent is
+//!   rounded to an integer (the observed excess of power-of-two sizes).
+//! * **Runtime** — `2^x` seconds with `x` hyper-gamma; the probability of
+//!   the *short* component is linear in the job size
+//!   (`p = pa·size + pb`), producing the observed correlation between
+//!   size and runtime.
+//! * **Arrivals** — inter-arrival gaps are `2^x` seconds with `x` gamma,
+//!   times a calibration constant.
+//!
+//! ### Calibration note (documented substitution)
+//!
+//! The published model was fit per-system and includes a daily-cycle
+//! component; the paper's evaluation *rescales inter-arrival gaps anyway*
+//! to reach offered loads 0.1–0.9, so only the distributional shapes
+//! matter here. The default parameters below keep the published shape
+//! constants where they are unambiguous (size model, short-runtime gamma,
+//! linear mixing) and calibrate the rest so that — as stated in the paper
+//! — 1,000-job traces for a 128-node cluster span roughly 4–6 days and
+//! contain a realistic mix of second-scale and multi-hour jobs.
+
+use rand::Rng;
+
+use dfrs_core::ClusterSpec;
+
+use crate::distributions::{Gamma, TwoStageUniform};
+
+/// A generated job before CPU/memory annotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawJob {
+    /// Submission time (seconds from trace start).
+    pub submit: f64,
+    /// Number of tasks (1 ..= cluster size).
+    pub tasks: u32,
+    /// Dedicated-mode runtime in seconds.
+    pub runtime: f64,
+}
+
+/// Daily arrival cycle: relative arrival-rate weight per hour of day.
+/// The published model observes strong day/night rhythm (arrivals peak
+/// in working hours, trough at night); gaps are stretched by the inverse
+/// of the weight at the current simulated hour. Weights are normalized
+/// to mean 1 so the cycle does not change the average rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DailyCycle {
+    /// Relative weight for each hour 0–23.
+    pub hourly_weights: [f64; 24],
+}
+
+impl DailyCycle {
+    /// A smooth day/night rhythm fit to the shape reported by Lublin &
+    /// Feitelson: trough around 4–5 am (≈ 0.35×), peak in the early
+    /// afternoon (≈ 1.7×).
+    pub fn lublin_like() -> Self {
+        let mut w = [0.0f64; 24];
+        for (h, slot) in w.iter_mut().enumerate() {
+            // Cosine bump centered at 14:00 with night floor.
+            let phase = (h as f64 - 14.0) / 24.0 * std::f64::consts::TAU;
+            *slot = (1.0 + 0.68 * phase.cos()).max(0.3);
+        }
+        let mean = w.iter().sum::<f64>() / 24.0;
+        for slot in &mut w {
+            *slot /= mean;
+        }
+        DailyCycle { hourly_weights: w }
+    }
+
+    /// The (normalized) weight at an absolute time.
+    pub fn weight_at(&self, t: f64) -> f64 {
+        let hour = ((t / 3600.0).rem_euclid(24.0)) as usize;
+        self.hourly_weights[hour.min(23)]
+    }
+}
+
+/// Parameters of the model. `Default` targets the paper's 128-node
+/// synthetic setting; use [`LublinParams::for_cluster`] for other sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LublinParams {
+    /// Probability that a job is serial (one task).
+    pub serial_prob: f64,
+    /// Probability that a parallel size is a power of two.
+    pub pow2_prob: f64,
+    /// Two-stage uniform over log₂(size) for parallel jobs.
+    pub size_log2: TwoStageUniform,
+    /// Gamma over log₂(runtime) — short component.
+    pub runtime_short_log2: Gamma,
+    /// Gamma over log₂(runtime) — long component.
+    pub runtime_long_log2: Gamma,
+    /// Linear mixing: `P(short) = pa·size + pb`, clamped to `[0, 1]`.
+    pub runtime_pa: f64,
+    /// See `runtime_pa`.
+    pub runtime_pb: f64,
+    /// Runtime clamp (seconds).
+    pub min_runtime: f64,
+    /// Runtime clamp (seconds).
+    pub max_runtime: f64,
+    /// Gamma over log₂(inter-arrival gap in seconds).
+    pub arrival_log2: Gamma,
+    /// Multiplier applied to every gap (span calibration).
+    pub arrival_scale: f64,
+    /// Optional day/night arrival modulation.
+    pub daily_cycle: Option<DailyCycle>,
+    /// Largest job size (cluster node count).
+    pub max_size: u32,
+}
+
+impl LublinParams {
+    /// Defaults for an `n`-node cluster.
+    pub fn for_cluster(nodes: u32) -> Self {
+        assert!(nodes >= 2, "the model needs at least 2 nodes");
+        let uhi = (nodes as f64).log2();
+        let umed = (uhi - 2.5).max(1.0);
+        LublinParams {
+            serial_prob: 0.244,
+            pow2_prob: 0.576,
+            size_log2: TwoStageUniform::new(0.8f64.min(umed), umed, uhi, 0.86),
+            runtime_short_log2: Gamma::new(4.2, 0.94),
+            // Mean log₂ ≈ 12.2 (median ≈ 1.3 h, mean ≈ 3 h, tail capped
+            // at 18.2 h): calibrated so a 1,000-job unscaled trace lands
+            // at a realistic offered load (~0.5–0.7) on 128 nodes while
+            // spanning 4–6 days, as the paper describes.
+            runtime_long_log2: Gamma::new(51.0, 0.24),
+            runtime_pa: -0.0054,
+            runtime_pb: 0.78,
+            min_runtime: 1.0,
+            max_runtime: 65_536.0, // 2^16 s ≈ 18.2 h
+            arrival_log2: Gamma::new(10.23, 0.4871),
+            arrival_scale: 5.8,
+            daily_cycle: None,
+            max_size: nodes,
+        }
+    }
+
+    /// The same defaults with the day/night arrival rhythm enabled.
+    pub fn for_cluster_with_daily_cycle(nodes: u32) -> Self {
+        LublinParams { daily_cycle: Some(DailyCycle::lublin_like()), ..Self::for_cluster(nodes) }
+    }
+}
+
+impl Default for LublinParams {
+    fn default() -> Self {
+        LublinParams::for_cluster(dfrs_core::constants::SYNTHETIC_CLUSTER_NODES)
+    }
+}
+
+/// The generator: owns parameters, draws jobs from a caller-provided RNG.
+#[derive(Debug, Clone, Copy)]
+pub struct LublinModel {
+    params: LublinParams,
+}
+
+impl LublinModel {
+    /// Build from parameters.
+    pub fn new(params: LublinParams) -> Self {
+        LublinModel { params }
+    }
+
+    /// Defaults for the given cluster.
+    pub fn for_cluster(cluster: &ClusterSpec) -> Self {
+        LublinModel::new(LublinParams::for_cluster(cluster.nodes))
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &LublinParams {
+        &self.params
+    }
+
+    /// Draw one job size.
+    pub fn sample_size<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let p = &self.params;
+        if rng.gen_bool(p.serial_prob) {
+            return 1;
+        }
+        let mut u = p.size_log2.sample(rng);
+        if rng.gen_bool(p.pow2_prob) {
+            u = u.round();
+        }
+        let size = u.exp2().round() as u32;
+        size.clamp(2, p.max_size)
+    }
+
+    /// Draw one runtime (seconds) for a job of the given size.
+    pub fn sample_runtime<R: Rng + ?Sized>(&self, rng: &mut R, size: u32) -> f64 {
+        let p = &self.params;
+        let p_short = (p.runtime_pa * size as f64 + p.runtime_pb).clamp(0.0, 1.0);
+        let log2_rt = if rng.gen_bool(p_short) {
+            p.runtime_short_log2.sample(rng)
+        } else {
+            p.runtime_long_log2.sample(rng)
+        };
+        log2_rt.exp2().clamp(p.min_runtime, p.max_runtime)
+    }
+
+    /// Draw one inter-arrival gap (seconds).
+    pub fn sample_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.params.arrival_scale * self.params.arrival_log2.sample(rng).exp2()
+    }
+
+    /// Generate `n` jobs with submit times starting at 0.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<RawJob> {
+        let mut jobs = Vec::with_capacity(n);
+        let mut t = 0.0;
+        for i in 0..n {
+            if i > 0 {
+                let mut gap = self.sample_gap(rng);
+                if let Some(cycle) = &self.params.daily_cycle {
+                    // Stretch the gap by the inverse arrival weight at
+                    // the current hour (time-rescaling approximation).
+                    gap /= cycle.weight_at(t);
+                }
+                t += gap;
+            }
+            let tasks = self.sample_size(rng);
+            let runtime = self.sample_runtime(rng, tasks);
+            jobs.push(RawJob { submit: t, tasks, runtime });
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn model() -> LublinModel {
+        LublinModel::new(LublinParams::default())
+    }
+
+    fn gen(n: usize, seed: u64) -> Vec<RawJob> {
+        model().generate(n, &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sizes_are_within_cluster_bounds() {
+        for j in gen(5_000, 1) {
+            assert!(j.tasks >= 1 && j.tasks <= 128, "size {}", j.tasks);
+        }
+    }
+
+    #[test]
+    fn serial_fraction_matches_parameter() {
+        let jobs = gen(20_000, 2);
+        let serial = jobs.iter().filter(|j| j.tasks == 1).count() as f64;
+        let frac = serial / jobs.len() as f64;
+        assert!((frac - 0.244).abs() < 0.02, "serial fraction {frac}");
+    }
+
+    #[test]
+    fn powers_of_two_are_overrepresented() {
+        let jobs = gen(20_000, 3);
+        let parallel: Vec<_> = jobs.iter().filter(|j| j.tasks > 1).collect();
+        let pow2 = parallel.iter().filter(|j| j.tasks.is_power_of_two()).count() as f64;
+        let frac = pow2 / parallel.len() as f64;
+        // Rounding the exponent hits a power of two with prob pow2_prob
+        // plus boundary effects from the continuous branch.
+        assert!(frac > 0.5, "power-of-two fraction {frac}");
+    }
+
+    #[test]
+    fn runtimes_respect_clamps() {
+        for j in gen(20_000, 4) {
+            assert!(j.runtime >= 1.0 && j.runtime <= 65_536.0, "runtime {}", j.runtime);
+        }
+    }
+
+    #[test]
+    fn bigger_jobs_run_longer_on_average() {
+        // The linear mixing makes large jobs more likely to draw the long
+        // gamma: compare mean log-runtimes of small vs large jobs.
+        let jobs = gen(40_000, 5);
+        let (mut small, mut ns, mut large, mut nl) = (0.0, 0, 0.0, 0);
+        for j in &jobs {
+            if j.tasks <= 2 {
+                small += j.runtime.log2();
+                ns += 1;
+            } else if j.tasks >= 64 {
+                large += j.runtime.log2();
+                nl += 1;
+            }
+        }
+        assert!(ns > 100 && nl > 100, "not enough samples in size buckets");
+        assert!(large / nl as f64 > small / ns as f64 + 0.5, "no size-runtime correlation");
+    }
+
+    #[test]
+    fn submissions_are_nondecreasing_from_zero() {
+        let jobs = gen(2_000, 6);
+        assert_eq!(jobs[0].submit, 0.0);
+        for w in jobs.windows(2) {
+            assert!(w[1].submit >= w[0].submit);
+        }
+    }
+
+    #[test]
+    fn thousand_job_trace_spans_days() {
+        // The paper: "the time between the submission of the first job and
+        // the submission of the last job is on the order of 4-6 days".
+        // Allow a generous band (2–10 days) across seeds.
+        for seed in 0..5 {
+            let jobs = gen(1_000, 100 + seed);
+            let span = jobs.last().unwrap().submit;
+            let days = span / 86_400.0;
+            assert!((2.0..10.0).contains(&days), "span {days} days (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(gen(500, 9), gen(500, 9));
+    }
+
+    #[test]
+    fn runtime_mix_contains_short_and_long_jobs() {
+        let jobs = gen(20_000, 10);
+        let short = jobs.iter().filter(|j| j.runtime < 60.0).count();
+        let long = jobs.iter().filter(|j| j.runtime > 3_600.0).count();
+        assert!(short > jobs.len() / 10, "too few short jobs: {short}");
+        assert!(long > jobs.len() / 10, "too few multi-hour jobs: {long}");
+    }
+
+    #[test]
+    fn for_cluster_adapts_size_bounds() {
+        let m = LublinModel::new(LublinParams::for_cluster(32));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            assert!(m.sample_size(&mut rng) <= 32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod daily_cycle_tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_are_normalized_and_positive() {
+        let c = DailyCycle::lublin_like();
+        let mean: f64 = c.hourly_weights.iter().sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+        assert!(c.hourly_weights.iter().all(|&w| w > 0.0));
+        // Peak in the afternoon, trough at night.
+        assert!(c.weight_at(14.0 * 3600.0) > 1.4);
+        assert!(c.weight_at(3.0 * 3600.0) < 0.6);
+        // Wraps across days.
+        assert_eq!(c.weight_at(14.0 * 3600.0), c.weight_at((24.0 + 14.0) * 3600.0));
+    }
+
+    #[test]
+    fn cycle_concentrates_arrivals_in_daytime() {
+        let params = LublinParams::for_cluster_with_daily_cycle(128);
+        let model = LublinModel::new(params);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let jobs = model.generate(20_000, &mut rng);
+        let (mut day, mut night) = (0usize, 0usize);
+        for j in &jobs {
+            let hour = (j.submit / 3600.0).rem_euclid(24.0);
+            if (9.0..18.0).contains(&hour) {
+                day += 1;
+            } else if !(6.0..21.0).contains(&hour) {
+                night += 1;
+            }
+        }
+        // 9 working hours vs 9 night hours: day wins decisively.
+        assert!(
+            day as f64 > 1.5 * night as f64,
+            "day {day} vs night {night} arrivals"
+        );
+    }
+
+    #[test]
+    fn cycle_preserves_overall_span_roughly() {
+        let flat = LublinModel::new(LublinParams::for_cluster(128));
+        let cyc = LublinModel::new(LublinParams::for_cluster_with_daily_cycle(128));
+        let mut r1 = SmallRng::seed_from_u64(5);
+        let mut r2 = SmallRng::seed_from_u64(5);
+        let span_flat = flat.generate(2_000, &mut r1).last().unwrap().submit;
+        let span_cyc = cyc.generate(2_000, &mut r2).last().unwrap().submit;
+        let ratio = span_cyc / span_flat;
+        assert!((0.5..2.0).contains(&ratio), "span ratio {ratio}");
+    }
+}

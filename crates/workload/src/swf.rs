@@ -1,0 +1,293 @@
+//! Standard Workload Format (SWF) parsing and writing.
+//!
+//! SWF is the format of the Parallel Workloads Archive the paper draws
+//! HPC2N from: one job per line, 18 whitespace-separated numeric fields,
+//! `-1` for unknown values, and `;`-prefixed comment/header lines (e.g.
+//! `; MaxNodes: 120`). This module implements the full format so the real
+//! `HPC2N-2002-*.swf` file can be dropped into the pipeline; the rest of
+//! the workspace otherwise uses the HPC2N-like synthetic generator.
+
+use dfrs_core::CoreError;
+
+/// One SWF job record. Field names follow the official specification;
+/// `-1` (or `-1.0`) encodes "unknown" exactly as in the format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfRecord {
+    /// 1. Job number.
+    pub job_id: i64,
+    /// 2. Submit time (seconds).
+    pub submit: f64,
+    /// 3. Wait time (seconds).
+    pub wait: f64,
+    /// 4. Run time (seconds).
+    pub runtime: f64,
+    /// 5. Number of allocated processors.
+    pub used_procs: i64,
+    /// 6. Average CPU time used per processor (seconds).
+    pub avg_cpu: f64,
+    /// 7. Used memory per processor (KB).
+    pub used_mem_kb: f64,
+    /// 8. Requested number of processors.
+    pub req_procs: i64,
+    /// 9. Requested time (seconds).
+    pub req_time: f64,
+    /// 10. Requested memory per processor (KB).
+    pub req_mem_kb: f64,
+    /// 11. Completion status.
+    pub status: i64,
+    /// 12. User id.
+    pub uid: i64,
+    /// 13. Group id.
+    pub gid: i64,
+    /// 14. Executable (application) number.
+    pub exe: i64,
+    /// 15. Queue number.
+    pub queue: i64,
+    /// 16. Partition number.
+    pub partition: i64,
+    /// 17. Preceding job number.
+    pub prev_job: i64,
+    /// 18. Think time from preceding job (seconds).
+    pub think_time: f64,
+}
+
+impl SwfRecord {
+    /// A record with every field unknown (`-1`) — useful as a builder
+    /// base for generators and tests.
+    pub fn unknown() -> Self {
+        SwfRecord {
+            job_id: -1,
+            submit: -1.0,
+            wait: -1.0,
+            runtime: -1.0,
+            used_procs: -1,
+            avg_cpu: -1.0,
+            used_mem_kb: -1.0,
+            req_procs: -1,
+            req_time: -1.0,
+            req_mem_kb: -1.0,
+            status: -1,
+            uid: -1,
+            gid: -1,
+            exe: -1,
+            queue: -1,
+            partition: -1,
+            prev_job: -1,
+            think_time: -1.0,
+        }
+    }
+
+    /// Processors to schedule: used if known, else requested.
+    pub fn effective_procs(&self) -> Option<u32> {
+        let p = if self.used_procs > 0 { self.used_procs } else { self.req_procs };
+        (p > 0).then_some(p as u32)
+    }
+
+    /// Per-processor memory in KB: max of used and requested, if either
+    /// is known.
+    pub fn effective_mem_kb(&self) -> Option<f64> {
+        let m = self.used_mem_kb.max(self.req_mem_kb);
+        (m > 0.0).then_some(m)
+    }
+}
+
+/// Parsed header comments: `(key, value)` pairs from lines of the form
+/// `; Key: value`.
+pub type SwfHeader = Vec<(String, String)>;
+
+fn parse_i(tok: &str, line: usize) -> Result<i64, CoreError> {
+    // Some archive files use floats in integer columns; accept and floor.
+    tok.parse::<i64>()
+        .or_else(|_| tok.parse::<f64>().map(|f| f as i64))
+        .map_err(|_| CoreError::Parse { line, reason: format!("bad integer field {tok:?}") })
+}
+
+fn parse_f(tok: &str, line: usize) -> Result<f64, CoreError> {
+    tok.parse::<f64>()
+        .map_err(|_| CoreError::Parse { line, reason: format!("bad numeric field {tok:?}") })
+}
+
+/// Parse an SWF document into header pairs and records.
+///
+/// Blank lines are skipped; comment lines (`;` prefix) are mined for
+/// `key: value` headers; any data line with fewer than 18 fields is an
+/// error (extra fields are tolerated and ignored, as some archive files
+/// append annotations).
+pub fn parse_swf(input: &str) -> Result<(SwfHeader, Vec<SwfRecord>), CoreError> {
+    let mut header = SwfHeader::new();
+    let mut records = Vec::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            if let Some((k, v)) = comment.split_once(':') {
+                header.push((k.trim().to_string(), v.trim().to_string()));
+            }
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 18 {
+            return Err(CoreError::Parse {
+                line: lineno,
+                reason: format!("expected 18 fields, found {}", toks.len()),
+            });
+        }
+        records.push(SwfRecord {
+            job_id: parse_i(toks[0], lineno)?,
+            submit: parse_f(toks[1], lineno)?,
+            wait: parse_f(toks[2], lineno)?,
+            runtime: parse_f(toks[3], lineno)?,
+            used_procs: parse_i(toks[4], lineno)?,
+            avg_cpu: parse_f(toks[5], lineno)?,
+            used_mem_kb: parse_f(toks[6], lineno)?,
+            req_procs: parse_i(toks[7], lineno)?,
+            req_time: parse_f(toks[8], lineno)?,
+            req_mem_kb: parse_f(toks[9], lineno)?,
+            status: parse_i(toks[10], lineno)?,
+            uid: parse_i(toks[11], lineno)?,
+            gid: parse_i(toks[12], lineno)?,
+            exe: parse_i(toks[13], lineno)?,
+            queue: parse_i(toks[14], lineno)?,
+            partition: parse_i(toks[15], lineno)?,
+            prev_job: parse_i(toks[16], lineno)?,
+            think_time: parse_f(toks[17], lineno)?,
+        });
+    }
+    Ok((header, records))
+}
+
+fn fmt_f(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serialize records to SWF text (with optional header comments).
+pub fn write_swf(header: &SwfHeader, records: &[SwfRecord]) -> String {
+    let mut out = String::new();
+    for (k, v) in header {
+        out.push_str(&format!("; {k}: {v}\n"));
+    }
+    for r in records {
+        out.push_str(&format!(
+            "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            r.job_id,
+            fmt_f(r.submit),
+            fmt_f(r.wait),
+            fmt_f(r.runtime),
+            r.used_procs,
+            fmt_f(r.avg_cpu),
+            fmt_f(r.used_mem_kb),
+            r.req_procs,
+            fmt_f(r.req_time),
+            fmt_f(r.req_mem_kb),
+            r.status,
+            r.uid,
+            r.gid,
+            r.exe,
+            r.queue,
+            r.partition,
+            r.prev_job,
+            fmt_f(r.think_time),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; MaxNodes: 120
+; MaxProcs: 240
+
+1 0 5 3600 4 -1 102400 4 7200 204800 1 3 1 -1 1 -1 -1 -1
+2 60 0 12 1 -1 -1 1 600 -1 0 4 1 -1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_header_and_records() {
+        let (header, recs) = parse_swf(SAMPLE).unwrap();
+        assert_eq!(header.len(), 3);
+        assert_eq!(header[1], ("MaxNodes".to_string(), "120".to_string()));
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].job_id, 1);
+        assert_eq!(recs[0].runtime, 3600.0);
+        assert_eq!(recs[0].used_procs, 4);
+        assert_eq!(recs[0].used_mem_kb, 102_400.0);
+        assert_eq!(recs[1].req_procs, 1);
+        assert_eq!(recs[1].used_mem_kb, -1.0);
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let (header, recs) = parse_swf(SAMPLE).unwrap();
+        let text = write_swf(&header, &recs);
+        let (h2, r2) = parse_swf(&text).unwrap();
+        assert_eq!(header, h2);
+        assert_eq!(recs, r2);
+    }
+
+    #[test]
+    fn short_line_is_an_error_with_line_number() {
+        let bad = "1 0 5 3600 4\n";
+        match parse_swf(bad) {
+            Err(CoreError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_field_is_an_error() {
+        let bad = "1 0 5 x 4 -1 -1 4 -1 -1 1 3 1 -1 1 -1 -1 -1\n";
+        assert!(parse_swf(bad).is_err());
+    }
+
+    #[test]
+    fn extra_fields_are_tolerated() {
+        let line = "1 0 5 3600 4 -1 -1 4 -1 -1 1 3 1 -1 1 -1 -1 -1 99 98\n";
+        let (_, recs) = parse_swf(line).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn float_in_integer_column_is_floored() {
+        let line = "1 0 5 3600 4.0 -1 -1 4 -1 -1 1 3 1 -1 1 -1 -1 -1\n";
+        let (_, recs) = parse_swf(line).unwrap();
+        assert_eq!(recs[0].used_procs, 4);
+    }
+
+    #[test]
+    fn effective_procs_prefers_used() {
+        let mut r = SwfRecord::unknown();
+        r.req_procs = 8;
+        assert_eq!(r.effective_procs(), Some(8));
+        r.used_procs = 4;
+        assert_eq!(r.effective_procs(), Some(4));
+        assert_eq!(SwfRecord::unknown().effective_procs(), None);
+    }
+
+    #[test]
+    fn effective_mem_takes_max_of_used_and_requested() {
+        let mut r = SwfRecord::unknown();
+        assert_eq!(r.effective_mem_kb(), None);
+        r.used_mem_kb = 100.0;
+        r.req_mem_kb = 300.0;
+        assert_eq!(r.effective_mem_kb(), Some(300.0));
+        r.req_mem_kb = -1.0;
+        assert_eq!(r.effective_mem_kb(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_document_parses() {
+        let (h, r) = parse_swf("").unwrap();
+        assert!(h.is_empty() && r.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: workload pipeline invariants.
+
+use dfrs_core::ids::JobId;
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_workload::lublin::{LublinModel, LublinParams};
+use dfrs_workload::swf::{parse_swf, write_swf, SwfRecord};
+use dfrs_workload::{Annotator, Trace};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_jobs(max: usize) -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (0.0f64..1e6, 1u32..16, 0.05f64..=1.0, 0.05f64..=1.0, 1.0f64..1e5),
+        1..max,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (submit, tasks, cpu, mem, rt))| {
+                JobSpec::new(JobId(i as u32), submit, tasks, cpu, mem, rt).unwrap()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Rescaling to any target load actually achieves it, and scaling is
+    /// work-preserving.
+    #[test]
+    fn scale_to_load_is_exact(jobs in arb_jobs(40), target in 0.05f64..2.0) {
+        let cluster = ClusterSpec::new(16, 4, 8.0).unwrap();
+        let t = Trace::new(cluster, jobs).unwrap();
+        prop_assume!(t.span() > 0.0);
+        let s = t.scale_to_load(target).unwrap();
+        prop_assert!((s.offered_load() - target).abs() < 1e-6);
+        prop_assert!((s.total_node_seconds() - t.total_node_seconds()).abs() < 1e-6);
+        prop_assert_eq!(s.len(), t.len());
+    }
+
+    /// Splitting into windows partitions the jobs and preserves per-job
+    /// fields other than (re-based) submit times.
+    #[test]
+    fn split_windows_partitions(jobs in arb_jobs(60), window in 1_000.0f64..100_000.0) {
+        let cluster = ClusterSpec::new(16, 4, 8.0).unwrap();
+        let t = Trace::new(cluster, jobs).unwrap();
+        let parts = t.split_windows(window);
+        let total: usize = parts.iter().map(Trace::len).sum();
+        prop_assert_eq!(total, t.len());
+        for p in &parts {
+            for j in p.jobs() {
+                prop_assert!(j.submit_time >= 0.0 && j.submit_time < window + 1e-9);
+            }
+        }
+        let mut work = 0.0;
+        for p in &parts { work += p.total_node_seconds(); }
+        prop_assert!((work - t.total_node_seconds()).abs() < 1e-6);
+    }
+
+    /// The Lublin model generates schedulable jobs for any cluster size.
+    #[test]
+    fn lublin_jobs_fit_their_cluster(nodes in 2u32..512, seed in 0u64..1_000) {
+        let model = LublinModel::new(LublinParams::for_cluster(nodes));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for j in model.generate(100, &mut rng) {
+            prop_assert!(j.tasks >= 1 && j.tasks <= nodes);
+            prop_assert!(j.runtime > 0.0);
+            prop_assert!(j.submit >= 0.0);
+        }
+    }
+
+    /// Annotated Lublin traces build valid Trace values.
+    #[test]
+    fn lublin_annotation_pipeline_is_valid(seed in 0u64..500) {
+        let cluster = ClusterSpec::synthetic();
+        let model = LublinModel::for_cluster(&cluster);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let raws = model.generate(80, &mut rng);
+        let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
+        let t = Trace::new(cluster, jobs).unwrap();
+        prop_assert_eq!(t.len(), 80);
+        for j in t.jobs() {
+            prop_assert!(j.cpu_need == 1.0 || (j.cpu_need - 0.25).abs() < 1e-12);
+            prop_assert!(j.mem_req >= 0.1 - 1e-12 && j.mem_req <= 1.0 + 1e-12);
+        }
+    }
+
+    /// SWF writing then parsing is the identity on records.
+    #[test]
+    fn swf_round_trip(
+        recs in prop::collection::vec(
+            (1i64..10_000, 0.0f64..1e7, 0.0f64..1e5, 1.0f64..1e5, 1i64..256, 0.0f64..1e6),
+            0..30,
+        )
+    ) {
+        let records: Vec<SwfRecord> = recs
+            .into_iter()
+            .map(|(id, submit, wait, rt, procs, mem)| {
+                let mut r = SwfRecord::unknown();
+                r.job_id = id;
+                r.submit = submit.floor();
+                r.wait = wait.floor();
+                r.runtime = rt.floor().max(1.0);
+                r.used_procs = procs;
+                r.used_mem_kb = mem.floor();
+                r
+            })
+            .collect();
+        let text = write_swf(&Vec::new(), &records);
+        let (_, parsed) = parse_swf(&text).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+}

@@ -1,0 +1,50 @@
+//! Saturation study: how one scheduler degrades as offered load climbs
+//! from 0.1 to 1.2, reporting max stretch, utilization, and the idle
+//! node-hours the paper's energy note (Section II-B2) would reclaim by
+//! powering nodes down.
+//!
+//! ```sh
+//! cargo run --release --example saturation [algorithm]
+//! ```
+
+use dfrs::core::ClusterSpec;
+use dfrs::sched::Algorithm;
+use dfrs::sim::{simulate, SimConfig};
+use dfrs::workload::{Annotator, LublinModel, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let algo = std::env::args()
+        .nth(1)
+        .and_then(|s| Algorithm::parse(&s))
+        .unwrap_or(Algorithm::DynMcb8AsapPer);
+
+    let cluster = ClusterSpec::synthetic();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let model = LublinModel::for_cluster(&cluster);
+    let raws = model.generate(250, &mut rng);
+    let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
+    let base = Trace::new(cluster, jobs).unwrap();
+
+    println!("{} under increasing load (250 jobs, penalty 300 s)\n", algo.name());
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>16}",
+        "load", "max stretch", "mean stretch", "utilization", "idle node-hours"
+    );
+    let config = SimConfig::with_penalty();
+    for load in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.2] {
+        let trace = base.scale_to_load(load).unwrap();
+        let out = simulate(cluster, trace.jobs(), algo.build().as_mut(), &config);
+        // Utilization: allocated CPU integral over total node-time.
+        let node_time = cluster.nodes as f64 * out.makespan;
+        println!(
+            "{load:>5.1} {:>12.2} {:>12.2} {:>13.1}% {:>16.1}",
+            out.max_stretch,
+            out.mean_stretch,
+            100.0 * out.busy_node_seconds / node_time,
+            out.idle_node_seconds / 3600.0,
+        );
+    }
+    println!("\nIdle node-hours bound the energy-saving opportunity of powering nodes down.");
+}

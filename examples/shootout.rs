@@ -1,0 +1,59 @@
+//! Algorithm shootout: all nine schedulers on one trace, ranked by the
+//! paper's headline metric (max bounded stretch).
+//!
+//! ```sh
+//! cargo run --release --example shootout [load] [jobs] [seed]
+//! ```
+
+use dfrs::core::{ClusterSpec, OnlineStats};
+use dfrs::sched::Algorithm;
+use dfrs::sim::{simulate, SimConfig};
+use dfrs::workload::{Annotator, LublinModel, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let load: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.7);
+    let jobs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let cluster = ClusterSpec::synthetic();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let model = LublinModel::for_cluster(&cluster);
+    let raws = model.generate(jobs, &mut rng);
+    let specs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
+    let trace = Trace::new(cluster, specs).unwrap().scale_to_load(load).unwrap();
+
+    println!("load {load}, {jobs} jobs, seed {seed}, penalty 300 s\n");
+    let config = SimConfig::with_penalty();
+    let mut rows: Vec<(String, f64, f64, u64, u64)> = Vec::new();
+    for algo in Algorithm::ALL {
+        let out = simulate(cluster, trace.jobs(), algo.build().as_mut(), &config);
+        let stretches: OnlineStats = out.records.iter().map(|r| r.stretch).collect();
+        rows.push((
+            out.algorithm.clone(),
+            out.max_stretch,
+            stretches.mean(),
+            out.preemption_count,
+            out.migration_count,
+        ));
+    }
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let best = rows[0].1;
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>6} {:>6}",
+        "algorithm", "max stretch", "degradation", "mean stretch", "pmtn", "migr"
+    );
+    for (name, max, mean, p, m) in rows {
+        println!(
+            "{:<24} {:>12.2} {:>12.2} {:>12.2} {:>6} {:>6}",
+            name,
+            max,
+            max / best,
+            mean,
+            p,
+            m
+        );
+    }
+}

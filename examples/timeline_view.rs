@@ -1,0 +1,54 @@
+//! Timeline view: record every allocation decision of a DFRS schedule
+//! and render an ASCII lane chart plus the running-jobs profile.
+//!
+//! ```sh
+//! cargo run --release --example timeline_view
+//! ```
+
+use dfrs::core::ids::JobId;
+use dfrs::core::{ClusterSpec, JobSpec};
+use dfrs::sched::Algorithm;
+use dfrs::sim::{simulate, SimConfig};
+
+fn main() {
+    // A tiny contrived workload on 2 nodes that forces pausing and
+    // yield adjustments: a memory hog, a stream of small jobs, and a
+    // late wide job.
+    let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
+    let j = |id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64| {
+        JobSpec::new(JobId(id), submit, tasks, cpu, mem, rt).unwrap()
+    };
+    let jobs = vec![
+        j(0, 0.0, 2, 0.25, 0.9, 900.0),   // memory hog on both nodes
+        j(1, 60.0, 1, 1.0, 0.4, 120.0),   // forces a pause of job 0
+        j(2, 120.0, 1, 1.0, 0.4, 120.0),  //
+        j(3, 400.0, 2, 1.0, 0.5, 300.0),  // wide job
+        j(4, 800.0, 1, 0.25, 0.1, 60.0),  // small late job
+    ];
+
+    let config = SimConfig {
+        record_timeline: true,
+        validate: true,
+        ..SimConfig::default()
+    };
+    let out = simulate(cluster, &jobs, Algorithm::GreedyPmtnMigr.build().as_mut(), &config);
+
+    println!("algorithm: {}   max stretch: {:.2}\n", out.algorithm, out.max_stretch);
+    println!("lane chart over {:.0} s ('#' running, '.' paused):\n", out.makespan);
+    print!("{}", out.timeline.render_ascii(out.makespan, 72));
+
+    println!("\nrunning-jobs profile (time, jobs):");
+    for (t, r) in out.timeline.utilization_profile() {
+        println!("  {t:>7.0} s  {}", "*".repeat(r as usize));
+    }
+
+    println!("\nper-job event log:");
+    for rec in &out.records {
+        let events: Vec<String> = out
+            .timeline
+            .for_job(rec.id)
+            .map(|e| format!("{:?}@{:.0}", std::mem::discriminant(&e.event), e.time))
+            .collect();
+        println!("  {}: {} events, stretch {:.2}", rec.id, events.len(), rec.stretch);
+    }
+}

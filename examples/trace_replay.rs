@@ -1,0 +1,66 @@
+//! Trace replay: run the full SWF → HPC2N-preprocessing → simulation
+//! pipeline, exactly the code path a real archive trace would take.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay [path/to/trace.swf]
+//! ```
+//!
+//! Without an argument, a week of HPC2N-like records is synthesized,
+//! written to SWF text, and parsed back — demonstrating the round trip.
+
+use dfrs::core::ClusterSpec;
+use dfrs::sched::Algorithm;
+use dfrs::sim::{simulate, SimConfig};
+use dfrs::workload::{hpc2n_preprocess, parse_swf, write_swf, Hpc2nLikeGenerator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("replaying {path}");
+            std::fs::read_to_string(&path).expect("cannot read SWF file")
+        }
+        None => {
+            println!("no SWF given; synthesizing one HPC2N-like week");
+            let mut rng = SmallRng::seed_from_u64(99);
+            let gen = Hpc2nLikeGenerator { jobs_per_week: 250.0, ..Default::default() };
+            let records = gen.generate_swf(1, &mut rng);
+            let header = vec![
+                ("Computer".to_string(), "HPC2N-like synthetic".to_string()),
+                ("MaxNodes".to_string(), "120".to_string()),
+            ];
+            write_swf(&header, &records)
+        }
+    };
+
+    let (header, records) = parse_swf(&text).expect("SWF parse failed");
+    for (k, v) in &header {
+        println!("; {k}: {v}");
+    }
+    println!("{} records parsed", records.len());
+
+    // The paper's HPC2N rules: pair even-processor low-memory jobs into
+    // multi-threaded tasks; everything else is one single-core task per
+    // processor.
+    let cluster = ClusterSpec::hpc2n();
+    let trace = hpc2n_preprocess(&records, cluster);
+    println!(
+        "{} schedulable jobs, span {:.1} h, offered load {:.2}",
+        trace.len(),
+        trace.span() / 3600.0,
+        trace.offered_load()
+    );
+
+    let config = SimConfig::with_penalty();
+    for algo in [Algorithm::Easy, Algorithm::GreedyPmtn, Algorithm::DynMcb8AsapPer] {
+        let out = simulate(cluster, trace.jobs(), algo.build().as_mut(), &config);
+        println!(
+            "{:<22} max stretch {:>10.2}   mean {:>7.2}   makespan {:>7.1} h",
+            out.algorithm,
+            out.max_stretch,
+            out.mean_stretch,
+            out.makespan / 3600.0,
+        );
+    }
+}

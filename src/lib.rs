@@ -1,0 +1,35 @@
+//! # dfrs — Dynamic Fractional Resource Scheduling for HPC workloads
+//!
+//! A from-scratch reproduction of Stillwell, Vivien & Casanova,
+//! *"Dynamic Fractional Resource Scheduling for HPC Workloads"*, IEEE
+//! IPDPS 2010. This meta-crate re-exports the whole workspace; see the
+//! README for a guided tour and DESIGN.md for the system inventory.
+//!
+//! ```
+//! use dfrs::core::{ClusterSpec, JobSpec};
+//! use dfrs::core::ids::JobId;
+//! use dfrs::sched::Algorithm;
+//! use dfrs::sim::{simulate, SimConfig};
+//!
+//! // Two memory-light jobs that batch scheduling would serialize share
+//! // the cluster under DFRS and both finish in dedicated time.
+//! let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
+//! let jobs = vec![
+//!     JobSpec::new(JobId(0), 0.0, 2, 0.25, 0.1, 600.0).unwrap(),
+//!     JobSpec::new(JobId(1), 0.0, 2, 0.25, 0.1, 600.0).unwrap(),
+//! ];
+//! let out = simulate(
+//!     cluster,
+//!     &jobs,
+//!     Algorithm::GreedyPmtn.build().as_mut(),
+//!     &SimConfig::default(),
+//! );
+//! assert_eq!(out.max_stretch, 1.0);
+//! ```
+
+pub use dfrs_core as core;
+pub use dfrs_experiments as experiments;
+pub use dfrs_packing as packing;
+pub use dfrs_sched as sched;
+pub use dfrs_sim as sim;
+pub use dfrs_workload as workload;
