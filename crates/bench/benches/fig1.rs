@@ -12,15 +12,9 @@ fn bench_fig1(c: &mut Criterion) {
     g.sample_size(10);
     // (penalty, label): (a) = no penalty, (b) = 5-minute penalty.
     for (penalty, label) in [(0.0, "a"), (300.0, "b")] {
-        g.bench_with_input(
-            BenchmarkId::new("panel", label),
-            &penalty,
-            |b, &penalty| {
-                b.iter(|| {
-                    black_box(fig1::run(1, 60, &[0.3, 0.7], penalty, 5, 1))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("panel", label), &penalty, |b, &penalty| {
+            b.iter(|| black_box(fig1::run(1, 60, &[0.3, 0.7], penalty, 5, 1)))
+        });
     }
     g.finish();
 }

@@ -41,7 +41,11 @@ fn bench_packers(c: &mut Criterion) {
     for n in [64usize, 256, 1024] {
         let its = items(n, 7);
         let bins = n / 3;
-        for packer in [&Mcb8 as &dyn VectorPacker, &FirstFitDecreasing, &BestFitDecreasing] {
+        for packer in [
+            &Mcb8 as &dyn VectorPacker,
+            &FirstFitDecreasing,
+            &BestFitDecreasing,
+        ] {
             g.bench_with_input(BenchmarkId::new(packer.name(), n), &its, |b, its| {
                 b.iter(|| black_box(packer.pack(black_box(its), bins)))
             });
@@ -60,7 +64,13 @@ fn bench_yield_search(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("first-fit", n), &loads, |b, loads| {
             b.iter(|| {
-                black_box(max_min_yield(black_box(loads), 128, &FirstFitDecreasing, 0.01, 0.01))
+                black_box(max_min_yield(
+                    black_box(loads),
+                    128,
+                    &FirstFitDecreasing,
+                    0.01,
+                    0.01,
+                ))
             })
         });
     }

@@ -18,7 +18,10 @@ fn trace() -> Trace {
     let mut rng = SmallRng::seed_from_u64(99);
     let raws = model.generate(120, &mut rng);
     let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    Trace::new(cluster, jobs).unwrap().scale_to_load(0.7).unwrap()
+    Trace::new(cluster, jobs)
+        .unwrap()
+        .scale_to_load(0.7)
+        .unwrap()
 }
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -28,16 +31,28 @@ fn bench_algorithms(c: &mut Criterion) {
     g.sample_size(10);
     for algo in Algorithm::ALL {
         g.bench_with_input(BenchmarkId::new("algo", algo.name()), &t, |b, t| {
-            b.iter(|| {
-                black_box(simulate(t.cluster, t.jobs(), algo.build().as_mut(), &cfg))
-            })
+            b.iter(|| black_box(simulate(t.cluster, t.jobs(), algo.build().as_mut(), &cfg)))
         });
     }
     g.bench_with_input(BenchmarkId::new("algo", "Conservative-BF"), &t, |b, t| {
-        b.iter(|| black_box(simulate(t.cluster, t.jobs(), &mut ConservativeBf::new(), &cfg)))
+        b.iter(|| {
+            black_box(simulate(
+                t.cluster,
+                t.jobs(),
+                &mut ConservativeBf::new(),
+                &cfg,
+            ))
+        })
     });
     g.bench_with_input(BenchmarkId::new("algo", "DynMCB8-fair-per"), &t, |b, t| {
-        b.iter(|| black_box(simulate(t.cluster, t.jobs(), &mut DynMcb8FairPer::new(), &cfg)))
+        b.iter(|| {
+            black_box(simulate(
+                t.cluster,
+                t.jobs(),
+                &mut DynMcb8FairPer::new(),
+                &cfg,
+            ))
+        })
     });
     g.finish();
 }

@@ -34,7 +34,9 @@ fn bench_swf(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(5);
     let records = Hpc2nLikeGenerator::default().generate_swf(4, &mut rng);
     let text = write_swf(&Vec::new(), &records);
-    g.bench_function("parse_4_weeks", |b| b.iter(|| black_box(parse_swf(black_box(&text)))));
+    g.bench_function("parse_4_weeks", |b| {
+        b.iter(|| black_box(parse_swf(black_box(&text))))
+    });
     g.bench_function("write_4_weeks", |b| {
         b.iter(|| black_box(write_swf(&Vec::new(), black_box(&records))))
     });

@@ -12,7 +12,6 @@ use crate::error::CoreError;
 /// CPU) and for Table II's bandwidth accounting (bytes moved per
 /// preemption/migration).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClusterSpec {
     /// Number of compute nodes.
     pub nodes: u32,
@@ -33,12 +32,21 @@ impl ClusterSpec {
             return Err(CoreError::ZeroCount { what: "nodes" });
         }
         if cores_per_node == 0 {
-            return Err(CoreError::ZeroCount { what: "cores_per_node" });
+            return Err(CoreError::ZeroCount {
+                what: "cores_per_node",
+            });
         }
         if !node_memory_gb.is_finite() || node_memory_gb <= 0.0 {
-            return Err(CoreError::NonPositive { what: "node_memory_gb", value: node_memory_gb });
+            return Err(CoreError::NonPositive {
+                what: "node_memory_gb",
+                value: node_memory_gb,
+            });
         }
-        Ok(ClusterSpec { nodes, cores_per_node, node_memory_gb })
+        Ok(ClusterSpec {
+            nodes,
+            cores_per_node,
+            node_memory_gb,
+        })
     }
 
     /// The 128-node quad-core 8 GB cluster of the synthetic experiments.

@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn display_mentions_field_and_value() {
-        let e = CoreError::FractionOutOfRange { what: "cpu_need", value: 1.5 };
+        let e = CoreError::FractionOutOfRange {
+            what: "cpu_need",
+            value: 1.5,
+        };
         let s = e.to_string();
         assert!(s.contains("cpu_need") && s.contains("1.5"));
     }

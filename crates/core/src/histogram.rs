@@ -22,7 +22,13 @@ impl LogHistogram {
     /// Panics on invalid parameters (programmer constants).
     pub fn new(lo: f64, ratio: f64, buckets: usize) -> Self {
         assert!(lo > 0.0 && ratio > 1.0 && buckets >= 1);
-        LogHistogram { lo, ratio, counts: vec![0; buckets], total: 0, sum: 0.0 }
+        LogHistogram {
+            lo,
+            ratio,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0.0,
+        }
     }
 
     /// Suitable default for bounded stretches: 1.0 … ~10⁴ in 40 buckets

@@ -9,12 +9,10 @@ use std::fmt;
 /// Identifier of a job within one trace. Jobs are numbered densely from 0
 /// in submission order, which lets per-job state live in a `Vec`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobId(pub u32);
 
 /// Identifier of a physical node within the cluster, dense from 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl JobId {

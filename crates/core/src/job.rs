@@ -20,7 +20,6 @@ use crate::ids::JobId;
 
 /// An immutable job request.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobSpec {
     /// Dense identifier within the trace (submission order).
     pub id: JobId,
@@ -55,16 +54,28 @@ impl JobSpec {
             return Err(CoreError::ZeroCount { what: "tasks" });
         }
         if !cpu_need.is_finite() || cpu_need <= 0.0 || !approx::le(cpu_need, 1.0) {
-            return Err(CoreError::FractionOutOfRange { what: "cpu_need", value: cpu_need });
+            return Err(CoreError::FractionOutOfRange {
+                what: "cpu_need",
+                value: cpu_need,
+            });
         }
         if !mem_req.is_finite() || mem_req <= 0.0 || !approx::le(mem_req, 1.0) {
-            return Err(CoreError::FractionOutOfRange { what: "mem_req", value: mem_req });
+            return Err(CoreError::FractionOutOfRange {
+                what: "mem_req",
+                value: mem_req,
+            });
         }
         if !submit_time.is_finite() || submit_time < 0.0 {
-            return Err(CoreError::NonPositive { what: "submit_time", value: submit_time });
+            return Err(CoreError::NonPositive {
+                what: "submit_time",
+                value: submit_time,
+            });
         }
         if !runtime.is_finite() || runtime <= 0.0 {
-            return Err(CoreError::NonPositive { what: "runtime", value: runtime });
+            return Err(CoreError::NonPositive {
+                what: "runtime",
+                value: runtime,
+            });
         }
         Ok(JobSpec {
             id,
@@ -141,14 +152,20 @@ mod tests {
     #[test]
     fn cpu_need_out_of_range_rejected() {
         for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
-            assert!(JobSpec::new(JobId(0), 0.0, 1, bad, 0.5, 1.0).is_err(), "cpu {bad}");
+            assert!(
+                JobSpec::new(JobId(0), 0.0, 1, bad, 0.5, 1.0).is_err(),
+                "cpu {bad}"
+            );
         }
     }
 
     #[test]
     fn mem_req_out_of_range_rejected() {
         for bad in [0.0, -0.1, 1.01, f64::NAN] {
-            assert!(JobSpec::new(JobId(0), 0.0, 1, 0.5, bad, 1.0).is_err(), "mem {bad}");
+            assert!(
+                JobSpec::new(JobId(0), 0.0, 1, 0.5, bad, 1.0).is_err(),
+                "mem {bad}"
+            );
         }
     }
 

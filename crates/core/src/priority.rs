@@ -51,7 +51,10 @@ impl Priority {
         virtual_time: f64,
         exponent: f64,
     ) -> Priority {
-        debug_assert!(now + 1e-9 >= submit_time, "priority queried before submission");
+        debug_assert!(
+            now + 1e-9 >= submit_time,
+            "priority queried before submission"
+        );
         debug_assert!(virtual_time >= 0.0);
         debug_assert!(exponent > 0.0);
         if virtual_time <= 0.0 {
@@ -105,7 +108,11 @@ pub struct PriorityKey {
 impl PriorityKey {
     /// Build the key for a job.
     pub fn new(now: f64, submit_time: f64, virtual_time: f64, id: JobId) -> Self {
-        PriorityKey { priority: Priority::compute(now, submit_time, virtual_time), submit_time, id }
+        PriorityKey {
+            priority: Priority::compute(now, submit_time, virtual_time),
+            submit_time,
+            id,
+        }
     }
 
     /// Key under a custom virtual-time exponent (ablation).

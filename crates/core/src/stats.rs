@@ -19,7 +19,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.

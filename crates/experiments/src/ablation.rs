@@ -45,13 +45,27 @@ fn aggregate(
             mean_s.push(row[b].mean_stretch);
             moved.push(row[b].moved_gb);
         }
-        rows.push((builders[b].0.to_string(), max_s.mean(), mean_s.mean(), moved.mean()));
+        rows.push((
+            builders[b].0.to_string(),
+            max_s.mean(),
+            mean_s.mean(),
+            moved.mean(),
+        ));
     }
-    AblationData { title: title.to_string(), rows }
+    AblationData {
+        title: title.to_string(),
+        rows,
+    }
 }
 
 /// Packer ablation on the periodic repacker.
-pub fn packer_ablation(seeds: u64, jobs: usize, load: f64, seed0: u64, threads: usize) -> AblationData {
+pub fn packer_ablation(
+    seeds: u64,
+    jobs: usize,
+    load: f64,
+    seed0: u64,
+    threads: usize,
+) -> AblationData {
     let instances = scaled_instances(seeds, jobs, &[load], seed0);
     let mcb8 = || -> Box<dyn Scheduler> {
         Box::new(DynMcb8AsapPer::with_packer(600.0, PackerChoice::Mcb8))
@@ -64,35 +78,69 @@ pub fn packer_ablation(seeds: u64, jobs: usize, load: f64, seed0: u64, threads: 
     };
     let builders: Vec<SchedulerBuilder> =
         vec![("mcb8", &mcb8), ("first-fit", &ffd), ("best-fit", &bfd)];
-    aggregate("Packer inside the yield search (DynMCB8-asap-per 600)", &instances, &builders, 300.0, threads)
+    aggregate(
+        "Packer inside the yield search (DynMCB8-asap-per 600)",
+        &instances,
+        &builders,
+        300.0,
+        threads,
+    )
 }
 
 /// Priority-exponent ablation on GREEDY-PMTN.
-pub fn priority_ablation(seeds: u64, jobs: usize, load: f64, seed0: u64, threads: usize) -> AblationData {
+pub fn priority_ablation(
+    seeds: u64,
+    jobs: usize,
+    load: f64,
+    seed0: u64,
+    threads: usize,
+) -> AblationData {
     let instances = scaled_instances(seeds, jobs, &[load], seed0);
     let sq = || -> Box<dyn Scheduler> { Box::new(GreedyPmtn::new()) };
     let lin = || -> Box<dyn Scheduler> { Box::new(GreedyPmtn::with_priority_exponent(1.0)) };
     let builders: Vec<SchedulerBuilder> =
         vec![("flow/vt^2 (paper)", &sq), ("flow/vt (no square)", &lin)];
-    aggregate("Priority exponent (Greedy-pmtn)", &instances, &builders, 300.0, threads)
+    aggregate(
+        "Priority exponent (Greedy-pmtn)",
+        &instances,
+        &builders,
+        300.0,
+        threads,
+    )
 }
 
 /// Period sweep on the periodic repacker, with the 5-minute penalty.
-pub fn period_ablation(seeds: u64, jobs: usize, load: f64, seed0: u64, threads: usize) -> AblationData {
+pub fn period_ablation(
+    seeds: u64,
+    jobs: usize,
+    load: f64,
+    seed0: u64,
+    threads: usize,
+) -> AblationData {
     let instances = scaled_instances(seeds, jobs, &[load], seed0);
     let t60 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(60.0)) };
     let t600 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(600.0)) };
     let t3600 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(3600.0)) };
     let builders: Vec<SchedulerBuilder> =
         vec![("T=60", &t60), ("T=600 (paper)", &t600), ("T=3600", &t3600)];
-    aggregate("Scheduling period (DynMCB8-per)", &instances, &builders, 300.0, threads)
+    aggregate(
+        "Scheduling period (DynMCB8-per)",
+        &instances,
+        &builders,
+        300.0,
+        threads,
+    )
 }
 
 impl AblationData {
     /// Render the rows.
     pub fn table(&self) -> TextTable {
-        let mut t =
-            TextTable::new(vec!["variant", "avg max stretch", "avg mean stretch", "avg moved GB"]);
+        let mut t = TextTable::new(vec![
+            "variant",
+            "avg max stretch",
+            "avg mean stretch",
+            "avg moved GB",
+        ]);
         for (name, max_s, mean_s, moved) in &self.rows {
             t.row(vec![
                 name.clone(),
@@ -133,6 +181,11 @@ mod tests {
         let data = period_ablation(1, 40, 0.8, 23, 2);
         // Longer periods move (weakly) less data.
         let moved: Vec<f64> = data.rows.iter().map(|r| r.3).collect();
-        assert!(moved[0] + 1e-9 >= moved[2], "T=60 {} vs T=3600 {}", moved[0], moved[2]);
+        assert!(
+            moved[0] + 1e-9 >= moved[2],
+            "T=60 {} vs T=3600 {}",
+            moved[0],
+            moved[2]
+        );
     }
 }

@@ -1,0 +1,61 @@
+//! Characterizes the paper's three workload families (scaled synthetic,
+//! unscaled synthetic, HPC2N-like) with the Section IV summary
+//! statistics, so a change to the generators is visible before any
+//! simulation is run.
+
+use dfrs_experiments::cli::Opts;
+use dfrs_experiments::instances::{hpc2n_like_instances, scaled_instances, unscaled_instances};
+use dfrs_experiments::Instance;
+use dfrs_workload::{profile, Trace};
+
+fn report(family: &str, instances: &[Instance]) {
+    println!("\n=== {family} ({} instances) ===", instances.len());
+    // Profile the first instance in full; the rest only as a load line,
+    // which is where instances of one family differ.
+    if let Some(first) = instances.first() {
+        let trace = Trace::new(first.cluster, first.jobs.clone()).expect("instance is valid");
+        println!("[{}]\n{}", first.label, profile(&trace).render());
+    }
+    for inst in instances.iter().skip(1) {
+        let trace = Trace::new(inst.cluster, inst.jobs.clone()).expect("instance is valid");
+        let p = profile(&trace);
+        println!(
+            "[{}] jobs {}, offered load {:.3}, serial {:.1}%, <1min {:.1}%",
+            inst.label,
+            p.jobs,
+            p.offered_load,
+            100.0 * p.serial_fraction,
+            100.0 * p.short_fraction
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "Characterization: {} instances × {} jobs, {} loads, {} HPC2N-like weeks",
+        opts.instances,
+        opts.jobs,
+        opts.loads.len(),
+        opts.weeks
+    );
+    report(
+        "unscaled synthetic",
+        &unscaled_instances(opts.instances, opts.jobs, opts.seed),
+    );
+    report(
+        "scaled synthetic",
+        &scaled_instances(opts.instances.min(2), opts.jobs, &opts.loads, opts.seed),
+    );
+    report(
+        "HPC2N-like",
+        &hpc2n_like_instances(opts.weeks, opts.hpc2n_jobs_per_week, opts.seed),
+    );
+}

@@ -33,7 +33,10 @@ fn main() {
         opts.threads,
     );
     let table = data.table();
-    println!("\nFigure {which} — average degradation factor vs load (penalty {}s)", opts.penalty);
+    println!(
+        "\nFigure {which} — average degradation factor vs load (penalty {}s)",
+        opts.penalty
+    );
     println!("{}", table.render());
     if let Some(path) = &opts.csv {
         std::fs::write(path, table.to_csv()).expect("write CSV");

@@ -1,0 +1,67 @@
+//! Replays a real SWF trace (or, without `--swf`, a synthesized
+//! HPC2N-like one) through every algorithm and prints the outcome
+//! metrics — the quickest way to evaluate the full matrix on a trace
+//! that is not part of the paper's families.
+
+use dfrs_experiments::cli::Opts;
+use dfrs_experiments::instances::{hpc2n_like_instances, hpc2n_swf_instances};
+use dfrs_experiments::report::{f2, TextTable};
+use dfrs_experiments::runner::run_matrix;
+use dfrs_sched::Algorithm;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let instances = match &opts.swf {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            hpc2n_swf_instances(&text).expect("SWF parse/preprocess failed")
+        }
+        None => {
+            eprintln!(
+                "no --swf given; synthesizing {} HPC2N-like weeks ({} jobs/week)",
+                opts.weeks, opts.hpc2n_jobs_per_week
+            );
+            hpc2n_like_instances(opts.weeks, opts.hpc2n_jobs_per_week, opts.seed)
+        }
+    };
+    eprintln!(
+        "replaying {} instance(s), penalty {}s",
+        instances.len(),
+        opts.penalty
+    );
+
+    let results = run_matrix(&instances, &Algorithm::ALL, opts.penalty, opts.threads);
+    let mut table = TextTable::new(vec![
+        "algorithm",
+        "max stretch (avg)",
+        "mean stretch (avg)",
+        "preempt/job",
+        "migr/job",
+    ]);
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        let n = results.len() as f64;
+        let avg = |f: &dyn Fn(&dfrs_experiments::RunSummary) -> f64| {
+            results.iter().map(|row| f(&row[a])).sum::<f64>() / n
+        };
+        table.row(vec![
+            algo.name().to_string(),
+            f2(avg(&|s| s.max_stretch)),
+            f2(avg(&|s| s.mean_stretch)),
+            f2(avg(&|s| s.preemptions_per_job())),
+            f2(avg(&|s| s.migrations_per_job())),
+        ]);
+    }
+    println!("\n{}", table.render());
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, table.to_csv()).expect("write CSV");
+        eprintln!("CSV written to {path}");
+    }
+}

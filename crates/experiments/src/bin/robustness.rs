@@ -29,7 +29,10 @@ fn main() {
         opts.threads,
     );
     let table = data.table();
-    println!("\nDegradation factors on the Downey workload family (penalty {}s)", opts.penalty);
+    println!(
+        "\nDegradation factors on the Downey workload family (penalty {}s)",
+        opts.penalty
+    );
     println!("{}", table.render());
     if let Some(path) = &opts.csv {
         std::fs::write(path, table.to_csv()).expect("write CSV");

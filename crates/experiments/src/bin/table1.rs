@@ -17,16 +17,21 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let swf_text = opts.swf.as_ref().map(|p| {
-        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
-    });
+    let swf_text = opts
+        .swf
+        .as_ref()
+        .map(|p| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}")));
     eprintln!(
         "Table I: {} instances × {} jobs, {} loads, {} weeks ({}), penalty {}s, {} threads",
         opts.instances,
         opts.jobs,
         opts.loads.len(),
         opts.weeks,
-        if swf_text.is_some() { "real SWF" } else { "HPC2N-like generator" },
+        if swf_text.is_some() {
+            "real SWF"
+        } else {
+            "HPC2N-like generator"
+        },
         opts.penalty,
         opts.threads
     );
@@ -43,7 +48,10 @@ fn main() {
     };
     let data = table1::run(&cfg);
     let table = data.table();
-    println!("\nTable I — degradation factors (avg / std / max), penalty {}s", opts.penalty);
+    println!(
+        "\nTable I — degradation factors (avg / std / max), penalty {}s",
+        opts.penalty
+    );
     println!("{}", table.render());
     if let Some(path) = &opts.csv {
         std::fs::write(path, table.to_csv()).expect("write CSV");

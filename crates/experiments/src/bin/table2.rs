@@ -14,13 +14,29 @@ fn main() {
         }
     };
     // Table II restricts to the high-load subset of the scaled traces.
-    let high: Vec<f64> = opts.loads.iter().copied().filter(|l| *l >= 0.7 - 1e-9).collect();
-    let high = if high.is_empty() { vec![0.7, 0.8, 0.9] } else { high };
+    let high: Vec<f64> = opts
+        .loads
+        .iter()
+        .copied()
+        .filter(|l| *l >= 0.7 - 1e-9)
+        .collect();
+    let high = if high.is_empty() {
+        vec![0.7, 0.8, 0.9]
+    } else {
+        high
+    };
     eprintln!(
         "Table II: {} instances × {} jobs, loads {:?}, penalty {}s, {} threads",
         opts.instances, opts.jobs, high, opts.penalty, opts.threads
     );
-    let data = table2::run(opts.instances, opts.jobs, &high, opts.penalty, opts.seed, opts.threads);
+    let data = table2::run(
+        opts.instances,
+        opts.jobs,
+        &high,
+        opts.penalty,
+        opts.seed,
+        opts.threads,
+    );
     let table = data.table();
     println!(
         "\nTable II — preemption/migration costs, load ≥ 0.7, penalty {}s; avg (max)",

@@ -54,7 +54,9 @@ impl Opts {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut grab = || {
-                it.next().cloned().ok_or_else(|| format!("missing value after {arg}"))
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("missing value after {arg}"))
             };
             match arg.as_str() {
                 "--instances" => o.instances = grab()?.parse().map_err(|e| format!("{e}"))?,
@@ -86,8 +88,9 @@ impl Opts {
             o.hpc2n_jobs_per_week = 1_100.0;
         }
         if o.threads == 0 {
-            o.threads =
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            o.threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
         }
         if o.loads.iter().any(|l| *l <= 0.0 || l.is_nan()) {
             return Err("loads must be positive".into());
@@ -130,8 +133,22 @@ mod tests {
     #[test]
     fn parses_each_option() {
         let o = parse(&[
-            "--instances", "3", "--jobs", "50", "--loads", "0.2,0.4", "--penalty", "0",
-            "--seed", "9", "--threads", "2", "--weeks", "4", "--csv", "/tmp/x.csv",
+            "--instances",
+            "3",
+            "--jobs",
+            "50",
+            "--loads",
+            "0.2,0.4",
+            "--penalty",
+            "0",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--weeks",
+            "4",
+            "--csv",
+            "/tmp/x.csv",
         ])
         .unwrap();
         assert_eq!(o.instances, 3);

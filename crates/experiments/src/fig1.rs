@@ -46,7 +46,11 @@ pub fn run(
         }
         series.push(stats.iter().map(OnlineStats::mean).collect());
     }
-    Fig1Data { loads: loads.to_vec(), algorithms, series }
+    Fig1Data {
+        loads: loads.to_vec(),
+        algorithms,
+        series,
+    }
 }
 
 impl Fig1Data {

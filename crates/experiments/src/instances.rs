@@ -28,7 +28,12 @@ pub struct Instance {
 
 impl Instance {
     fn from_trace(label: String, load: Option<f64>, trace: &Trace) -> Self {
-        Instance { label, load, cluster: trace.cluster, jobs: trace.jobs().to_vec() }
+        Instance {
+            label,
+            load,
+            cluster: trace.cluster,
+            jobs: trace.jobs().to_vec(),
+        }
     }
 }
 
@@ -56,12 +61,7 @@ pub fn unscaled_instances(seeds: u64, jobs: usize, seed0: u64) -> Vec<Instance> 
 
 /// The scaled synthetic family: each base trace rescaled to each of
 /// `loads` (defaults to the paper's 0.1–0.9).
-pub fn scaled_instances(
-    seeds: u64,
-    jobs: usize,
-    loads: &[f64],
-    seed0: u64,
-) -> Vec<Instance> {
+pub fn scaled_instances(seeds: u64, jobs: usize, loads: &[f64], seed0: u64) -> Vec<Instance> {
     let mut out = Vec::with_capacity(seeds as usize * loads.len());
     for s in 0..seeds {
         let base = synthetic_base(seed0 + s, jobs);
@@ -88,7 +88,10 @@ pub fn paper_loads() -> Vec<f64> {
 /// make laptop-scale runs cheap).
 pub fn hpc2n_like_instances(weeks: u32, jobs_per_week: f64, seed: u64) -> Vec<Instance> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let gen = Hpc2nLikeGenerator { jobs_per_week, ..Hpc2nLikeGenerator::default() };
+    let gen = Hpc2nLikeGenerator {
+        jobs_per_week,
+        ..Hpc2nLikeGenerator::default()
+    };
     gen.generate_weeks(weeks, &mut rng)
         .iter()
         .enumerate()
@@ -121,7 +124,11 @@ mod tests {
             let t = Trace::new(inst.cluster, inst.jobs.clone()).unwrap();
             let measured = t.offered_load();
             let target = inst.load.unwrap();
-            assert!((measured - target).abs() < 1e-6, "{}: {measured}", inst.label);
+            assert!(
+                (measured - target).abs() < 1e-6,
+                "{}: {measured}",
+                inst.label
+            );
         }
     }
 
@@ -136,9 +143,16 @@ mod tests {
     fn scaled_instances_share_job_mix_across_loads() {
         let insts = scaled_instances(1, 40, &[0.2, 0.8], 3);
         let mix = |i: &Instance| -> Vec<(u32, f64)> {
-            i.jobs.iter().map(|j| (j.tasks, j.oracle_runtime())).collect()
+            i.jobs
+                .iter()
+                .map(|j| (j.tasks, j.oracle_runtime()))
+                .collect()
         };
-        assert_eq!(mix(&insts[0]), mix(&insts[1]), "same jobs, different arrival spacing");
+        assert_eq!(
+            mix(&insts[0]),
+            mix(&insts[1]),
+            "same jobs, different arrival spacing"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   system ([`timing`], binary `timing`).
 //!
 //! [`runner`] executes (instance × algorithm) simulations across threads
-//! (crossbeam scoped workers over an atomic work counter) and reduces
+//! (`std::thread::scope` workers over an atomic work counter) and reduces
 //! outcomes to compact [`runner::RunSummary`] values;
 //! [`instances`] materializes the paper's workloads; [`report`] renders
 //! aligned text/CSV tables.

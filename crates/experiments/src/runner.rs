@@ -125,9 +125,9 @@ pub fn run_matrix(
     let results: Mutex<Vec<Vec<Option<RunSummary>>>> =
         Mutex::new(vec![vec![None; algorithms.len()]; instances.len()]);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n_units.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let unit = next.fetch_add(1, Ordering::Relaxed);
                 if unit >= n_units {
                     break;
@@ -135,28 +135,35 @@ pub fn run_matrix(
                 let (i, a) = (unit / algorithms.len(), unit % algorithms.len());
                 let inst = &instances[i];
                 let algo = algorithms[a];
-                let cfg = SimConfig { penalty, ..SimConfig::default() };
-                let outcome =
-                    simulate(inst.cluster, &inst.jobs, algo.build().as_mut(), &cfg);
+                let cfg = SimConfig {
+                    penalty,
+                    ..SimConfig::default()
+                };
+                let outcome = simulate(inst.cluster, &inst.jobs, algo.build().as_mut(), &cfg);
                 let summary = RunSummary::from_outcome(algo, &outcome);
                 results.lock().expect("no poisoned runs")[i][a] = Some(summary);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_inner()
         .expect("scope joined")
         .into_iter()
-        .map(|row| row.into_iter().map(|s| s.expect("all units executed")).collect())
+        .map(|row| {
+            row.into_iter()
+                .map(|s| s.expect("all units executed"))
+                .collect()
+        })
         .collect()
 }
 
 /// A named scheduler factory for ablation matrices (custom
 /// configurations that are not part of [`Algorithm::ALL`]).
-pub type SchedulerBuilder<'a> =
-    (&'a str, &'a (dyn Fn() -> Box<dyn dfrs_sim::Scheduler> + Sync));
+pub type SchedulerBuilder<'a> = (
+    &'a str,
+    &'a (dyn Fn() -> Box<dyn dfrs_sim::Scheduler> + Sync),
+);
 
 /// Like [`run_matrix`] but over arbitrary scheduler factories; returns
 /// `(name, max_stretch, mean_stretch, preemptions, migrations, moved_gb)`
@@ -172,9 +179,9 @@ pub fn run_matrix_with(
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Vec<Option<CustomRun>>>> =
         Mutex::new(vec![vec![None; builders.len()]; instances.len()]);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n_units.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let unit = next.fetch_add(1, Ordering::Relaxed);
                 if unit >= n_units {
                     break;
@@ -182,7 +189,10 @@ pub fn run_matrix_with(
                 let (i, b) = (unit / builders.len(), unit % builders.len());
                 let inst = &instances[i];
                 let (name, build) = builders[b];
-                let cfg = SimConfig { penalty, ..SimConfig::default() };
+                let cfg = SimConfig {
+                    penalty,
+                    ..SimConfig::default()
+                };
                 let out = simulate(inst.cluster, &inst.jobs, build().as_mut(), &cfg);
                 let run = CustomRun {
                     name: name.to_string(),
@@ -195,13 +205,16 @@ pub fn run_matrix_with(
                 results.lock().expect("no poisoned runs")[i][b] = Some(run);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_inner()
         .expect("scope joined")
         .into_iter()
-        .map(|row| row.into_iter().map(|s| s.expect("all units executed")).collect())
+        .map(|row| {
+            row.into_iter()
+                .map(|s| s.expect("all units executed"))
+                .collect()
+        })
         .collect()
 }
 
@@ -225,8 +238,13 @@ pub struct CustomRun {
 /// Per-instance degradation factors: each algorithm's max stretch over
 /// the best max stretch on that instance (Section V).
 pub fn degradation_row(row: &[RunSummary]) -> Vec<f64> {
-    let best = row.iter().map(|s| s.max_stretch).fold(f64::INFINITY, f64::min);
-    row.iter().map(|s| degradation_factor(s.max_stretch, best)).collect()
+    let best = row
+        .iter()
+        .map(|s| s.max_stretch)
+        .fold(f64::INFINITY, f64::min);
+    row.iter()
+        .map(|s| degradation_factor(s.max_stretch, best))
+        .collect()
 }
 
 /// Aggregate degradation statistics per algorithm over a result matrix.

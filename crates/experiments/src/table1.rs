@@ -4,7 +4,9 @@
 use dfrs_core::OnlineStats;
 use dfrs_sched::Algorithm;
 
-use crate::instances::{hpc2n_like_instances, hpc2n_swf_instances, scaled_instances, unscaled_instances, Instance};
+use crate::instances::{
+    hpc2n_like_instances, hpc2n_swf_instances, scaled_instances, unscaled_instances, Instance,
+};
 use crate::report::{f2, TextTable};
 use crate::runner::{degradation_stats, run_matrix};
 
@@ -78,7 +80,10 @@ pub fn run(cfg: &Table1Config) -> Table1Data {
                 acc.merge(s);
             }
         }
-        families.push(FamilyStats { family: "Scaled synthetic traces".into(), per_algo });
+        families.push(FamilyStats {
+            family: "Scaled synthetic traces".into(),
+            per_algo,
+        });
     }
 
     {
@@ -110,7 +115,10 @@ pub fn run(cfg: &Table1Config) -> Table1Data {
         ));
     }
 
-    Table1Data { algorithms, families }
+    Table1Data {
+        algorithms,
+        families,
+    }
 }
 
 impl Table1Data {

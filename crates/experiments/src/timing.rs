@@ -28,11 +28,18 @@ pub struct TimingData {
 
 /// Run `DYNMCB8` over unscaled traces and collect per-decision timings.
 pub fn run(seeds: u64, jobs: usize, seed0: u64) -> TimingData {
-    let cfg = SimConfig { record_decisions: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        record_decisions: true,
+        ..SimConfig::default()
+    };
     let mut samples: Vec<DecisionSample> = Vec::new();
     for inst in unscaled_instances(seeds, jobs, seed0) {
-        let out =
-            simulate(inst.cluster, &inst.jobs, Algorithm::DynMcb8.build().as_mut(), &cfg);
+        let out = simulate(
+            inst.cluster,
+            &inst.jobs,
+            Algorithm::DynMcb8.build().as_mut(),
+            &cfg,
+        );
         samples.extend(out.decisions);
     }
     let bounds = [10u32, 20, 40, 80, 160, u32::MAX];
@@ -48,7 +55,11 @@ pub fn run(seeds: u64, jobs: usize, seed0: u64) -> TimingData {
             }
         }
     }
-    TimingData { buckets, overall, observations: samples.len() as u64 }
+    TimingData {
+        buckets,
+        overall,
+        observations: samples.len() as u64,
+    }
 }
 
 impl TimingData {
@@ -92,7 +103,11 @@ mod tests {
     fn collects_observations_and_buckets() {
         let data = run(1, 40, 5);
         // Submissions + completions ≈ 2 × jobs decisions.
-        assert!(data.observations >= 60, "{} observations", data.observations);
+        assert!(
+            data.observations >= 60,
+            "{} observations",
+            data.observations
+        );
         assert_eq!(data.overall.count(), data.observations);
         let bucketed: u64 = data.buckets.iter().map(|(_, s)| s.count()).sum();
         assert_eq!(bucketed, data.observations);

@@ -60,7 +60,11 @@ mod tests {
     fn items(reqs: &[(f64, f64)]) -> Vec<PackItem> {
         reqs.iter()
             .enumerate()
-            .map(|(i, &(cpu, mem))| PackItem { id: i as u32, cpu, mem })
+            .map(|(i, &(cpu, mem))| PackItem {
+                id: i as u32,
+                cpu,
+                mem,
+            })
             .collect()
     }
 

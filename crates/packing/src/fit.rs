@@ -21,7 +21,11 @@ pub struct BestFitDecreasing;
 
 fn sorted_desc(items: &[PackItem]) -> Vec<PackItem> {
     let mut v = items.to_vec();
-    v.sort_by(|a, b| b.max_component().total_cmp(&a.max_component()).then(a.id.cmp(&b.id)));
+    v.sort_by(|a, b| {
+        b.max_component()
+            .total_cmp(&a.max_component())
+            .then(a.id.cmp(&b.id))
+    });
     v
 }
 
@@ -84,7 +88,11 @@ mod tests {
     fn items(reqs: &[(f64, f64)]) -> Vec<PackItem> {
         reqs.iter()
             .enumerate()
-            .map(|(i, &(cpu, mem))| PackItem { id: i as u32, cpu, mem })
+            .map(|(i, &(cpu, mem))| PackItem {
+                id: i as u32,
+                cpu,
+                mem,
+            })
             .collect()
     }
 

@@ -44,7 +44,10 @@ impl Bin {
     /// Fresh empty bin (capacities are normalized to 1.0).
     #[inline]
     pub fn empty() -> Self {
-        Bin { cpu_used: 0.0, mem_used: 0.0 }
+        Bin {
+            cpu_used: 0.0,
+            mem_used: 0.0,
+        }
     }
 
     /// Remaining CPU capacity.
@@ -94,7 +97,9 @@ impl Packing {
         }
         let mut state = vec![Bin::empty(); bins];
         for item in items {
-            let Some(&b) = self.bin_of.get(item.id as usize) else { return false };
+            let Some(&b) = self.bin_of.get(item.id as usize) else {
+                return false;
+            };
             let b = b as usize;
             if b >= bins {
                 return false;
@@ -102,7 +107,9 @@ impl Packing {
             state[b].cpu_used += item.cpu;
             state[b].mem_used += item.mem;
         }
-        state.iter().all(|b| approx::le(b.cpu_used, 1.0) && approx::le(b.mem_used, 1.0))
+        state
+            .iter()
+            .all(|b| approx::le(b.cpu_used, 1.0) && approx::le(b.mem_used, 1.0))
     }
 }
 
@@ -124,29 +131,57 @@ mod tests {
     #[test]
     fn bin_fits_is_tolerant_at_capacity() {
         let mut b = Bin::empty();
-        let half = PackItem { id: 0, cpu: 0.5, mem: 0.5 };
+        let half = PackItem {
+            id: 0,
+            cpu: 0.5,
+            mem: 0.5,
+        };
         b.place(&half);
         assert!(b.fits(&half));
         b.place(&half);
-        assert!(!b.fits(&PackItem { id: 1, cpu: 1e-6, mem: 0.0 }));
+        assert!(!b.fits(&PackItem {
+            id: 1,
+            cpu: 1e-6,
+            mem: 0.0
+        }));
         // Tolerates rounding noise.
-        assert!(b.fits(&PackItem { id: 2, cpu: 1e-12, mem: 0.0 }));
+        assert!(b.fits(&PackItem {
+            id: 2,
+            cpu: 1e-12,
+            mem: 0.0
+        }));
     }
 
     #[test]
     fn max_component_and_dominance() {
-        let i = PackItem { id: 0, cpu: 0.7, mem: 0.3 };
+        let i = PackItem {
+            id: 0,
+            cpu: 0.7,
+            mem: 0.3,
+        };
         assert_eq!(i.max_component(), 0.7);
         assert!(i.cpu_dominant());
-        let j = PackItem { id: 1, cpu: 0.3, mem: 0.3 };
+        let j = PackItem {
+            id: 1,
+            cpu: 0.3,
+            mem: 0.3,
+        };
         assert!(!j.cpu_dominant(), "ties are memory-dominant");
     }
 
     #[test]
     fn packing_validity_detects_overflow() {
         let items = vec![
-            PackItem { id: 0, cpu: 0.6, mem: 0.1 },
-            PackItem { id: 1, cpu: 0.6, mem: 0.1 },
+            PackItem {
+                id: 0,
+                cpu: 0.6,
+                mem: 0.1,
+            },
+            PackItem {
+                id: 1,
+                cpu: 0.6,
+                mem: 0.1,
+            },
         ];
         let ok = Packing { bin_of: vec![0, 1] };
         assert!(ok.is_valid(&items, 2));

@@ -41,11 +41,17 @@ impl AliveList {
     fn new(mut items: Vec<PackItem>) -> Self {
         // Non-increasing max component; ties by id keep determinism.
         items.sort_by(|a, b| {
-            b.max_component().total_cmp(&a.max_component()).then(a.id.cmp(&b.id))
+            b.max_component()
+                .total_cmp(&a.max_component())
+                .then(a.id.cmp(&b.id))
         });
         let n = items.len();
         let next = (1..=n as u32 + 1).collect();
-        AliveList { items, next, len: n }
+        AliveList {
+            items,
+            next,
+            len: n,
+        }
     }
 
     /// Largest alive item, if any.
@@ -179,7 +185,11 @@ mod tests {
     fn items(reqs: &[(f64, f64)]) -> Vec<PackItem> {
         reqs.iter()
             .enumerate()
-            .map(|(i, &(cpu, mem))| PackItem { id: i as u32, cpu, mem })
+            .map(|(i, &(cpu, mem))| PackItem {
+                id: i as u32,
+                cpu,
+                mem,
+            })
             .collect()
     }
 
@@ -217,7 +227,10 @@ mod tests {
         assert!(p.is_valid(&its, 2));
         // Each bin must hold exactly one of each kind.
         assert_ne!(p.bin_of[0], p.bin_of[2], "two CPU-heavy items can't share");
-        assert_ne!(p.bin_of[1], p.bin_of[3], "two memory-heavy items can't share");
+        assert_ne!(
+            p.bin_of[1], p.bin_of[3],
+            "two memory-heavy items can't share"
+        );
     }
 
     #[test]

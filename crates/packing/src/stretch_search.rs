@@ -57,7 +57,11 @@ fn items_at_target(jobs: &[StretchJob], target: f64, period: f64) -> Vec<PackIte
     for j in jobs {
         let cpu = (j.cpu_need * clamped_yield(j, target, period)).min(1.0);
         for _ in 0..j.tasks {
-            items.push(PackItem { id, cpu, mem: j.mem_req });
+            items.push(PackItem {
+                id,
+                cpu,
+                mem: j.mem_req,
+            });
             id += 1;
         }
     }
@@ -80,7 +84,10 @@ pub fn min_max_estimated_stretch(
 ) -> Option<StretchAllocation> {
     debug_assert!(period > 0.0 && accuracy > 0.0);
     if jobs.is_empty() {
-        return Some(StretchAllocation { target: 1.0, assignments: Vec::new() });
+        return Some(StretchAllocation {
+            target: 1.0,
+            assignments: Vec::new(),
+        });
     }
 
     // Lowest conceivable bound: every job at yield 1.
@@ -107,7 +114,10 @@ pub fn min_max_estimated_stretch(
             cursor += j.tasks as usize;
             assignments.push((j.job, clamped_yield(j, target, period), nodes_of));
         }
-        StretchAllocation { target, assignments }
+        StretchAllocation {
+            target,
+            assignments,
+        }
     };
 
     if let Some(p) = try_pack(s_min) {
@@ -190,7 +200,10 @@ mod tests {
         ];
         let a = min_max_estimated_stretch(&jobs, 1, T, &Mcb8, 0.01).unwrap();
         for (_, y, _) in &a.assignments {
-            assert!(*y >= MIN_STRETCH_PER_YIELD - 1e-12 && *y <= 1.0, "yield {y}");
+            assert!(
+                *y >= MIN_STRETCH_PER_YIELD - 1e-12 && *y <= 1.0,
+                "yield {y}"
+            );
         }
         // Job 1 already has lots of virtual time: it should be at the floor.
         assert!((a.assignments[1].1 - MIN_STRETCH_PER_YIELD).abs() < 1e-9);
@@ -205,12 +218,8 @@ mod tests {
         ];
         let a = min_max_estimated_stretch(&jobs, 3, T, &Mcb8, 0.01).unwrap();
         for (j, (_, y, _)) in jobs.iter().zip(a.assignments.iter()) {
-            let est = dfrs_core::yield_math::estimated_stretch_after(
-                j.flow_time,
-                j.virtual_time,
-                *y,
-                T,
-            );
+            let est =
+                dfrs_core::yield_math::estimated_stretch_after(j.flow_time, j.virtual_time, *y, T);
             // Jobs clamped to the floor may exceed the target; others must
             // meet it (within search tolerance).
             if *y > MIN_STRETCH_PER_YIELD + 1e-12 {
@@ -225,7 +234,10 @@ mod tests {
 
     #[test]
     fn placements_are_within_cluster() {
-        let jobs = vec![sjob(0, 5, 0.5, 0.3, 100.0, 10.0), sjob(1, 2, 0.9, 0.6, 700.0, 3.0)];
+        let jobs = vec![
+            sjob(0, 5, 0.5, 0.3, 100.0, 10.0),
+            sjob(1, 2, 0.9, 0.6, 700.0, 3.0),
+        ];
         let a = min_max_estimated_stretch(&jobs, 4, T, &Mcb8, 0.01).unwrap();
         for (_, _, nodes) in &a.assignments {
             assert!(nodes.iter().all(|&n| n < 4));

@@ -49,7 +49,11 @@ fn items_at_yield(jobs: &[JobLoad], yld: f64) -> Vec<PackItem> {
     for j in jobs {
         let cpu = (j.cpu_need * yld).min(1.0);
         for _ in 0..j.tasks {
-            items.push(PackItem { id, cpu, mem: j.mem_req });
+            items.push(PackItem {
+                id,
+                cpu,
+                mem: j.mem_req,
+            });
             id += 1;
         }
     }
@@ -88,14 +92,20 @@ pub fn max_min_yield(
 ) -> Option<YieldAllocation> {
     debug_assert!(accuracy > 0.0 && min_yield > 0.0 && min_yield <= 1.0);
     if jobs.is_empty() {
-        return Some(YieldAllocation { yield_: 1.0, placements: Vec::new() });
+        return Some(YieldAllocation {
+            yield_: 1.0,
+            placements: Vec::new(),
+        });
     }
 
     let try_pack = |yld: f64| packer.pack(&items_at_yield(jobs, yld), nodes);
 
     // Fast path: everything fits at full speed.
     if let Some(p) = try_pack(1.0) {
-        return Some(YieldAllocation { yield_: 1.0, placements: placements_from(jobs, &p) });
+        return Some(YieldAllocation {
+            yield_: 1.0,
+            placements: placements_from(jobs, &p),
+        });
     }
 
     // The lower probe doubles as the memory-feasibility check.
@@ -112,7 +122,10 @@ pub fn max_min_yield(
             None => hi = mid,
         }
     }
-    Some(YieldAllocation { yield_: lo, placements: placements_from(jobs, &best_pack) })
+    Some(YieldAllocation {
+        yield_: lo,
+        placements: placements_from(jobs, &best_pack),
+    })
 }
 
 #[cfg(test)]
@@ -121,7 +134,12 @@ mod tests {
     use crate::mcb8::Mcb8;
 
     fn job(id: u32, tasks: u32, cpu: f64, mem: f64) -> JobLoad {
-        JobLoad { job: JobId(id), tasks, cpu_need: cpu, mem_req: mem }
+        JobLoad {
+            job: JobId(id),
+            tasks,
+            cpu_need: cpu,
+            mem_req: mem,
+        }
     }
 
     fn run(jobs: &[JobLoad], nodes: usize) -> Option<YieldAllocation> {
@@ -148,8 +166,16 @@ mod tests {
         // Two single-task jobs, each needing 100% CPU and 50% memory, on a
         // 1-node cluster: both must land on the node, max load 2, yield ~0.5.
         let a = run(&[job(0, 1, 1.0, 0.5), job(1, 1, 1.0, 0.5)], 1).unwrap();
-        assert!(a.yield_ <= 0.5 + 1e-9, "yield {} exceeds capacity", a.yield_);
-        assert!(a.yield_ >= 0.5 - 0.01 - 1e-9, "yield {} below accuracy band", a.yield_);
+        assert!(
+            a.yield_ <= 0.5 + 1e-9,
+            "yield {} exceeds capacity",
+            a.yield_
+        );
+        assert!(
+            a.yield_ >= 0.5 - 0.01 - 1e-9,
+            "yield {} below accuracy band",
+            a.yield_
+        );
     }
 
     #[test]
@@ -160,8 +186,12 @@ mod tests {
 
     #[test]
     fn returned_yield_always_packs_validly() {
-        let jobs =
-            vec![job(0, 3, 0.8, 0.2), job(1, 5, 0.3, 0.3), job(2, 2, 1.0, 0.5), job(3, 1, 0.25, 0.4)];
+        let jobs = vec![
+            job(0, 3, 0.8, 0.2),
+            job(1, 5, 0.3, 0.3),
+            job(2, 2, 1.0, 0.5),
+            job(3, 1, 0.25, 0.4),
+        ];
         let a = run(&jobs, 4).unwrap();
         let items = items_at_yield(&jobs, a.yield_);
         // Rebuild the bin assignment from placements and check capacities.
@@ -190,7 +220,11 @@ mod tests {
 
     #[test]
     fn accuracy_parameter_bounds_the_gap() {
-        let jobs = vec![job(0, 1, 1.0, 0.3), job(1, 1, 1.0, 0.3), job(2, 1, 1.0, 0.3)];
+        let jobs = vec![
+            job(0, 1, 1.0, 0.3),
+            job(1, 1, 1.0, 0.3),
+            job(2, 1, 1.0, 0.3),
+        ];
         // On one node: optimal yield = 1/3.
         let coarse = max_min_yield(&jobs, 1, &Mcb8, 0.1, 0.01).unwrap();
         let fine = max_min_yield(&jobs, 1, &Mcb8, 0.001, 0.01).unwrap();
@@ -205,6 +239,10 @@ mod tests {
         assert_eq!(a.placements.len(), 2);
         assert_eq!(a.placements[0].1.len(), 7);
         assert_eq!(a.placements[1].1.len(), 3);
-        assert!(a.placements.iter().flat_map(|(_, p)| p).all(|&n| (n as usize) < 4));
+        assert!(a
+            .placements
+            .iter()
+            .flat_map(|(_, p)| p)
+            .all(|&n| (n as usize) < 4));
     }
 }

@@ -11,7 +11,51 @@ fn arb_items(max_items: usize) -> impl Strategy<Value = Vec<PackItem>> {
     prop::collection::vec((0.0f64..=1.0, 0.001f64..=1.0), 0..max_items).prop_map(|reqs| {
         reqs.into_iter()
             .enumerate()
-            .map(|(i, (cpu, mem))| PackItem { id: i as u32, cpu, mem })
+            .map(|(i, (cpu, mem))| PackItem {
+                id: i as u32,
+                cpu,
+                mem,
+            })
+            .collect()
+    })
+}
+
+fn arb_job_loads(max_jobs: usize) -> impl Strategy<Value = Vec<JobLoad>> {
+    prop::collection::vec((1u32..6, 0.05f64..=1.0, 0.05f64..=1.0), 1..max_jobs).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (tasks, cpu, mem))| JobLoad {
+                job: JobId(i as u32),
+                tasks,
+                cpu_need: cpu,
+                mem_req: mem,
+            })
+            .collect()
+    })
+}
+
+fn arb_stretch_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<StretchJob>> {
+    prop::collection::vec(
+        (
+            1u32..6,
+            0.05f64..=1.0,
+            0.05f64..=0.8,
+            0.0f64..1e5,
+            0.0f64..1e4,
+        ),
+        1..max_jobs,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (tasks, cpu, mem, flow, vt))| StretchJob {
+                job: JobId(i as u32),
+                tasks,
+                cpu_need: cpu,
+                mem_req: mem,
+                flow_time: flow,
+                virtual_time: vt,
+            })
             .collect()
     })
 }
@@ -160,6 +204,98 @@ proptest! {
             let mem: f64 = seed_items.iter().map(|i| i.mem).sum();
             let util = (cpu / bins as f64).max(mem / bins as f64);
             prop_assert!(util > 0.7, "MCB8 failed a loose instance (util {util})");
+        }
+    }
+}
+
+proptest! {
+    /// MCB8 placements never exceed per-node CPU or memory capacity,
+    /// checked by independent per-node accounting (not via
+    /// `Packing::is_valid`, so a bookkeeping bug there cannot hide an
+    /// overcommitting placement).
+    #[test]
+    fn mcb8_never_overcommits_any_node(items in arb_items(60), bins in 1usize..20) {
+        if let Some(p) = Mcb8.pack(&items, bins) {
+            let mut cpu = vec![0.0f64; bins];
+            let mut mem = vec![0.0f64; bins];
+            prop_assert_eq!(p.bin_of.len(), items.len());
+            for (item, &bin) in items.iter().zip(p.bin_of.iter()) {
+                prop_assert!((bin as usize) < bins, "bin {} out of range", bin);
+                cpu[bin as usize] += item.cpu;
+                mem[bin as usize] += item.mem;
+            }
+            for b in 0..bins {
+                prop_assert!(cpu[b] <= 1.0 + 1e-9, "node {b} CPU overcommitted: {}", cpu[b]);
+                prop_assert!(mem[b] <= 1.0 + 1e-9, "node {b} memory overcommitted: {}", mem[b]);
+            }
+        }
+    }
+
+    /// The yield search is monotone in the resources it searches over:
+    /// adding nodes never lowers the achieved max-min yield, and never
+    /// turns a feasible instance infeasible.
+    #[test]
+    fn yield_search_monotone_in_nodes(
+        jobs in arb_job_loads(10),
+        nodes in 1usize..20,
+        extra in 1usize..8,
+    ) {
+        if let Some(a) = max_min_yield(&jobs, nodes, &Mcb8, 0.01, 0.01) {
+            let b = max_min_yield(&jobs, nodes + extra, &Mcb8, 0.01, 0.01);
+            match b {
+                None => prop_assert!(false, "feasible with {nodes} nodes, infeasible with {}", nodes + extra),
+                Some(b) => prop_assert!(
+                    b.yield_ >= a.yield_ - 1e-9,
+                    "yield dropped from {} to {} when adding {extra} nodes",
+                    a.yield_, b.yield_
+                ),
+            }
+        }
+    }
+
+    /// The yield search is monotone in demand: uniformly scaling every
+    /// CPU need down never lowers the achieved yield (the bound searched
+    /// over responds monotonically to the load).
+    #[test]
+    fn yield_search_monotone_in_cpu_demand(
+        jobs in arb_job_loads(10),
+        nodes in 1usize..20,
+        factor in 0.1f64..1.0,
+    ) {
+        if let Some(a) = max_min_yield(&jobs, nodes, &Mcb8, 0.01, 0.01) {
+            let scaled: Vec<JobLoad> =
+                jobs.iter().map(|j| JobLoad { cpu_need: j.cpu_need * factor, ..*j }).collect();
+            match max_min_yield(&scaled, nodes, &Mcb8, 0.01, 0.01) {
+                None => prop_assert!(false, "scaling CPU needs by {factor} broke feasibility"),
+                Some(s) => prop_assert!(
+                    s.yield_ >= a.yield_ - 1e-9,
+                    "yield dropped from {} to {} under lighter demand",
+                    a.yield_, s.yield_
+                ),
+            }
+        }
+    }
+
+    /// The stretch search is monotone in nodes: adding nodes never makes
+    /// the minimized max estimated stretch (the bound it bisects over)
+    /// meaningfully worse, and never breaks feasibility. The 2 % band is
+    /// the search's own relative accuracy.
+    #[test]
+    fn stretch_search_monotone_in_nodes(
+        sjobs in arb_stretch_jobs(10),
+        nodes in 1usize..20,
+        extra in 1usize..8,
+    ) {
+        if let Some(a) = min_max_estimated_stretch(&sjobs, nodes, 600.0, &Mcb8, 0.01) {
+            let b = min_max_estimated_stretch(&sjobs, nodes + extra, 600.0, &Mcb8, 0.01);
+            match b {
+                None => prop_assert!(false, "feasible with {nodes} nodes, infeasible with {}", nodes + extra),
+                Some(b) => prop_assert!(
+                    b.target <= a.target * 1.02 + 1e-9,
+                    "target rose from {} to {} when adding {extra} nodes",
+                    a.target, b.target
+                ),
+            }
         }
     }
 }

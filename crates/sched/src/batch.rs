@@ -186,7 +186,10 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { validate: true, ..SimConfig::default() }
+        SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        }
     }
 
     fn job(id: u32, submit: f64, tasks: u32, rt: f64) -> JobSpec {
@@ -208,9 +211,9 @@ mod tests {
         // must wait even though 2 nodes are free — the FCFS weakness EASY
         // fixes.
         let jobs = vec![
-            job(0, 0.0, 2, 100.0),  // occupies 2 of 4 nodes
-            job(1, 1.0, 4, 50.0),   // head of queue, needs all 4
-            job(2, 2.0, 1, 10.0),   // small job stuck behind
+            job(0, 0.0, 2, 100.0), // occupies 2 of 4 nodes
+            job(1, 1.0, 4, 50.0),  // head of queue, needs all 4
+            job(2, 2.0, 1, 10.0),  // small job stuck behind
         ];
         let out = simulate(cluster(4), &jobs, &mut Fcfs::new(), &cfg());
         assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
@@ -225,7 +228,11 @@ mod tests {
     fn easy_backfills_short_jobs() {
         // Same scenario: EASY backfills job 2 (10 s ≤ shadow 100) onto a
         // free node immediately.
-        let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 1.0, 4, 50.0), job(2, 2.0, 1, 10.0)];
+        let jobs = vec![
+            job(0, 0.0, 2, 100.0),
+            job(1, 1.0, 4, 50.0),
+            job(2, 2.0, 1, 10.0),
+        ];
         let out = simulate(cluster(4), &jobs, &mut Easy::new(), &cfg());
         assert!((out.records[2].first_start.unwrap() - 2.0).abs() < 1e-6);
         // Head still starts exactly at its reservation.
@@ -236,7 +243,11 @@ mod tests {
     fn easy_backfill_never_delays_reservation() {
         // Job 2 runs 200 s — longer than the shadow (100): backfilling it
         // onto the 2 free nodes would delay the head, so EASY must not.
-        let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 1.0, 4, 50.0), job(2, 2.0, 1, 200.0)];
+        let jobs = vec![
+            job(0, 0.0, 2, 100.0),
+            job(1, 1.0, 4, 50.0),
+            job(2, 2.0, 1, 200.0),
+        ];
         let out = simulate(cluster(4), &jobs, &mut Easy::new(), &cfg());
         assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
         assert!(out.records[2].first_start.unwrap() >= 100.0 - 1e-6);
@@ -258,8 +269,9 @@ mod tests {
 
     #[test]
     fn batch_never_preempts() {
-        let jobs: Vec<JobSpec> =
-            (0..6).map(|i| job(i, i as f64, 1 + i % 3, 30.0 + i as f64)).collect();
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|i| job(i, i as f64, 1 + i % 3, 30.0 + i as f64))
+            .collect();
         for sched in [&mut Fcfs::new() as &mut dyn Scheduler, &mut Easy::new()] {
             let out = simulate(cluster(3), &jobs, sched, &cfg());
             assert_eq!(out.preemption_count, 0);

@@ -29,7 +29,10 @@ impl NodeScratch {
 
     /// An empty cluster of `n` nodes.
     pub fn empty(n: usize) -> Self {
-        NodeScratch { mem_free: vec![1.0; n], cpu_load: vec![0.0; n] }
+        NodeScratch {
+            mem_free: vec![1.0; n],
+            cpu_load: vec![0.0; n],
+        }
     }
 
     /// Account one task added to `node`.
@@ -106,13 +109,20 @@ struct AllocJob {
 impl AllocSet {
     /// Empty set over `n_nodes` nodes.
     pub fn new(n_nodes: usize) -> Self {
-        AllocSet { jobs: Vec::new(), n_nodes }
+        AllocSet {
+            jobs: Vec::new(),
+            n_nodes,
+        }
     }
 
     /// Add a job with its (planned or current) placement.
     pub fn push(&mut self, id: JobId, cpu_need: f64, placement: Vec<NodeId>) {
         debug_assert!(!placement.is_empty());
-        self.jobs.push(AllocJob { id, cpu_need, placement });
+        self.jobs.push(AllocJob {
+            id,
+            cpu_need,
+            placement,
+        });
     }
 
     /// Number of jobs.
@@ -184,8 +194,7 @@ impl AllocSet {
                             self.jobs[p].cpu_need * self.jobs[p].placement.len() as f64,
                             j.cpu_need * j.placement.len() as f64,
                         );
-                        ti < tp - approx::EPS
-                            || (approx::eq(ti, tp) && j.id < self.jobs[p].id)
+                        ti < tp - approx::EPS || (approx::eq(ti, tp) && j.id < self.jobs[p].id)
                     }
                 };
                 if better {
@@ -203,8 +212,10 @@ impl AllocSet {
             let mut delta = 1.0 - yields[i];
             for (&node, &count) in &per_node_count {
                 let slack = 1.0 - alloc[node.index()];
-                delta = delta
-                    .min(yield_math::max_yield_increase(slack, job.cpu_need * count as f64));
+                delta = delta.min(yield_math::max_yield_increase(
+                    slack,
+                    job.cpu_need * count as f64,
+                ));
             }
             if delta <= approx::EPS {
                 frozen[i] = true;
@@ -218,7 +229,11 @@ impl AllocSet {
                 yields[i] = 1.0;
             }
         }
-        self.jobs.iter().zip(yields).map(|(j, y)| (j.id, y)).collect()
+        self.jobs
+            .iter()
+            .zip(yields)
+            .map(|(j, y)| (j.id, y))
+            .collect()
     }
 
     /// Convenience: equal-share base followed by the improvement pass.

@@ -168,7 +168,10 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { validate: true, ..SimConfig::default() }
+        SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        }
     }
 
     fn job(id: u32, submit: f64, tasks: u32, rt: f64) -> JobSpec {
@@ -202,7 +205,11 @@ mod tests {
 
     #[test]
     fn backfills_like_easy_when_safe() {
-        let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 1.0, 4, 50.0), job(2, 2.0, 1, 10.0)];
+        let jobs = vec![
+            job(0, 0.0, 2, 100.0),
+            job(1, 1.0, 4, 50.0),
+            job(2, 2.0, 1, 10.0),
+        ];
         let out = simulate(cluster(4), &jobs, &mut ConservativeBf::new(), &cfg());
         assert!((out.records[2].first_start.unwrap() - 2.0).abs() < 1e-6);
         assert!((out.records[1].first_start.unwrap() - 100.0).abs() < 1e-6);
@@ -248,8 +255,9 @@ mod tests {
 
     #[test]
     fn all_jobs_complete_under_churn() {
-        let jobs: Vec<JobSpec> =
-            (0..14).map(|i| job(i, (i as f64) * 7.0, 1 + i % 4, 20.0 + (i as f64) * 11.0)).collect();
+        let jobs: Vec<JobSpec> = (0..14)
+            .map(|i| job(i, (i as f64) * 7.0, 1 + i % 4, 20.0 + (i as f64) * 11.0))
+            .collect();
         let out = simulate(cluster(4), &jobs, &mut ConservativeBf::new(), &cfg());
         assert_eq!(out.records.len(), 14);
         assert_eq!(out.preemption_count, 0);

@@ -78,18 +78,28 @@ pub(crate) struct PackedAllocation {
 /// retries.
 pub(crate) fn packed_allocation(state: &SimState, packer: &dyn VectorPacker) -> PackedAllocation {
     let nodes = state.cluster.nodes().len();
-    let mut candidates: Vec<JobId> =
-        state.jobs_in_system().map(|j| j.spec.id).collect();
+    let mut candidates: Vec<JobId> = state.jobs_in_system().map(|j| j.spec.id).collect();
 
     loop {
         let loads: Vec<JobLoad> = candidates
             .iter()
             .map(|&id| {
                 let s = &state.job(id).spec;
-                JobLoad { job: id, tasks: s.tasks, cpu_need: s.cpu_need, mem_req: s.mem_req }
+                JobLoad {
+                    job: id,
+                    tasks: s.tasks,
+                    cpu_need: s.cpu_need,
+                    mem_req: s.mem_req,
+                }
             })
             .collect();
-        match max_min_yield(&loads, nodes, packer, YIELD_SEARCH_ACCURACY, MIN_STRETCH_PER_YIELD) {
+        match max_min_yield(
+            &loads,
+            nodes,
+            packer,
+            YIELD_SEARCH_ACCURACY,
+            MIN_STRETCH_PER_YIELD,
+        ) {
             Some(alloc) => {
                 let placements: Vec<(JobId, Vec<NodeId>)> = alloc
                     .placements
@@ -101,7 +111,11 @@ pub(crate) fn packed_allocation(state: &SimState, packer: &dyn VectorPacker) -> 
                     .map(|j| j.spec.id)
                     .filter(|id| !candidates.contains(id))
                     .collect();
-                return PackedAllocation { yield_: alloc.yield_, placements, evicted_running };
+                return PackedAllocation {
+                    yield_: alloc.yield_,
+                    placements,
+                    evicted_running,
+                };
             }
             None => {
                 // Evict the lowest-priority candidate and retry.
@@ -192,7 +206,10 @@ impl DynMcb8Per {
     /// Custom period (the paper also probed 60 s and 3600 s).
     pub fn with_period(period: f64) -> Self {
         assert!(period > 0.0);
-        DynMcb8Per { period, packer: PackerChoice::Mcb8 }
+        DynMcb8Per {
+            period,
+            packer: PackerChoice::Mcb8,
+        }
     }
 
     /// Ablation constructor: swap the packing heuristic.
@@ -243,7 +260,10 @@ impl DynMcb8AsapPer {
     /// Custom period.
     pub fn with_period(period: f64) -> Self {
         assert!(period > 0.0);
-        DynMcb8AsapPer { period, packer: PackerChoice::Mcb8 }
+        DynMcb8AsapPer {
+            period,
+            packer: PackerChoice::Mcb8,
+        }
     }
 
     /// Ablation constructor: swap the packing heuristic.
@@ -278,8 +298,7 @@ impl Scheduler for DynMcb8AsapPer {
                 // rebalance yields only.
                 let spec = state.job(id).spec.clone();
                 let mut scratch = NodeScratch::from_state(state);
-                let Some(placement) =
-                    scratch.greedy_place(spec.tasks, spec.cpu_need, spec.mem_req)
+                let Some(placement) = scratch.greedy_place(spec.tasks, spec.cpu_need, spec.mem_req)
                 else {
                     return Plan::noop(); // wait for the next tick
                 };
@@ -313,7 +332,10 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { validate: true, ..SimConfig::default() }
+        SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        }
     }
 
     fn job(id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64) -> JobSpec {
@@ -322,7 +344,10 @@ mod tests {
 
     #[test]
     fn dynmcb8_runs_everything_when_feasible() {
-        let jobs = vec![job(0, 0.0, 2, 0.5, 0.4, 100.0), job(1, 10.0, 1, 0.5, 0.4, 50.0)];
+        let jobs = vec![
+            job(0, 0.0, 2, 0.5, 0.4, 100.0),
+            job(1, 10.0, 1, 0.5, 0.4, 50.0),
+        ];
         let out = simulate(cluster(), &jobs, &mut DynMcb8::new(), &cfg());
         assert_eq!(out.max_stretch, 1.0, "underloaded cluster → no slowdown");
     }
@@ -346,7 +371,10 @@ mod tests {
         // Job 0 fills both nodes' memory; job 1 arrives → one must give
         // way. Job 1 (never run) has infinite priority; job 0 has run →
         // finite → job 0 is evicted.
-        let jobs = vec![job(0, 0.0, 2, 0.25, 1.0, 100.0), job(1, 10.0, 1, 0.25, 0.5, 20.0)];
+        let jobs = vec![
+            job(0, 0.0, 2, 0.25, 1.0, 100.0),
+            job(1, 10.0, 1, 0.25, 0.5, 20.0),
+        ];
         let out = simulate(cluster(), &jobs, &mut DynMcb8::new(), &cfg());
         assert!((out.records[1].first_start.unwrap() - 10.0).abs() < 1e-9);
         assert!(out.preemption_count >= 1);
@@ -357,7 +385,12 @@ mod tests {
     #[test]
     fn per_variant_waits_for_ticks() {
         let jobs = vec![job(0, 10.0, 1, 0.5, 0.2, 50.0)];
-        let out = simulate(cluster(), &jobs, &mut DynMcb8Per::with_period(600.0), &cfg());
+        let out = simulate(
+            cluster(),
+            &jobs,
+            &mut DynMcb8Per::with_period(600.0),
+            &cfg(),
+        );
         assert!((out.records[0].first_start.unwrap() - 600.0).abs() < 1e-9);
         assert!((out.records[0].completion - 650.0).abs() < 1e-6);
     }
@@ -365,7 +398,12 @@ mod tests {
     #[test]
     fn asap_variant_starts_immediately_when_feasible() {
         let jobs = vec![job(0, 10.0, 1, 0.5, 0.2, 50.0)];
-        let out = simulate(cluster(), &jobs, &mut DynMcb8AsapPer::with_period(600.0), &cfg());
+        let out = simulate(
+            cluster(),
+            &jobs,
+            &mut DynMcb8AsapPer::with_period(600.0),
+            &cfg(),
+        );
         assert!((out.records[0].first_start.unwrap() - 10.0).abs() < 1e-9);
         assert!((out.records[0].completion - 60.0).abs() < 1e-6);
     }
@@ -375,8 +413,16 @@ mod tests {
         // Job 0 holds all memory until t=700; job 1 (t=10) can't start
         // greedily and must wait for the tick *after* job 0 completes:
         // ticks at 600 (blocked: job 0 still running), 1200 → starts 1200.
-        let jobs = vec![job(0, 0.0, 2, 0.25, 1.0, 700.0), job(1, 10.0, 1, 0.25, 0.5, 20.0)];
-        let out = simulate(cluster(), &jobs, &mut DynMcb8AsapPer::with_period(600.0), &cfg());
+        let jobs = vec![
+            job(0, 0.0, 2, 0.25, 1.0, 700.0),
+            job(1, 10.0, 1, 0.25, 0.5, 20.0),
+        ];
+        let out = simulate(
+            cluster(),
+            &jobs,
+            &mut DynMcb8AsapPer::with_period(600.0),
+            &cfg(),
+        );
         let start1 = out.records[1].first_start.unwrap();
         // At the t=600 tick the packer CAN fix this by evicting... the
         // eviction loop only evicts when *memory packing fails*; with job
@@ -394,7 +440,10 @@ mod tests {
         // Two CPU-bound jobs on one node (yield 0.5 each). Job 1 finishes
         // at t=100 (vt 50); job 0 keeps yield 0.5 until the t=600 tick.
         let one_node = ClusterSpec::new(1, 4, 8.0).unwrap();
-        let jobs = vec![job(0, 0.0, 1, 1.0, 0.3, 400.0), job(1, 0.0, 1, 1.0, 0.3, 50.0)];
+        let jobs = vec![
+            job(0, 0.0, 1, 1.0, 0.3, 400.0),
+            job(1, 0.0, 1, 1.0, 0.3, 50.0),
+        ];
         let out = simulate(one_node, &jobs, &mut DynMcb8Per::with_period(600.0), &cfg());
         // Both start at tick 600 (PER queues arrivals!): both at 0.5.
         // Job 1 completes at 600 + 100 = 700 (vt 50). Job 0 continues at

@@ -46,7 +46,12 @@ impl DynMcb8FairPer {
     /// Fully parameterized constructor.
     pub fn with_params(period: f64, vt_threshold: f64, alpha: f64) -> Self {
         assert!(period > 0.0 && vt_threshold > 0.0 && alpha >= 0.0);
-        DynMcb8FairPer { period, vt_threshold, alpha, packer: PackerChoice::Mcb8 }
+        DynMcb8FairPer {
+            period,
+            vt_threshold,
+            alpha,
+            packer: PackerChoice::Mcb8,
+        }
     }
 
     /// The damped yield of a job with virtual time `vt`, given base `y`.
@@ -54,7 +59,9 @@ impl DynMcb8FairPer {
         if self.alpha == 0.0 || vt <= self.vt_threshold {
             return y;
         }
-        (y * (self.vt_threshold / vt).powf(self.alpha)).max(MIN_STRETCH_PER_YIELD).min(y)
+        (y * (self.vt_threshold / vt).powf(self.alpha))
+            .max(MIN_STRETCH_PER_YIELD)
+            .min(y)
     }
 
     fn repack(&self, state: &SimState) -> Plan {
@@ -116,7 +123,10 @@ impl Default for DynMcb8FairPer {
 
 impl Scheduler for DynMcb8FairPer {
     fn name(&self) -> String {
-        format!("DynMCB8-fair-per {} (τ={}, α={})", self.period, self.vt_threshold, self.alpha)
+        format!(
+            "DynMCB8-fair-per {} (τ={}, α={})",
+            self.period, self.vt_threshold, self.alpha
+        )
     }
     fn period(&self) -> Option<f64> {
         Some(self.period)
@@ -137,7 +147,10 @@ mod tests {
     use dfrs_sim::{simulate, SimConfig};
 
     fn cfg() -> SimConfig {
-        SimConfig { validate: true, ..SimConfig::default() }
+        SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        }
     }
 
     fn job(id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64) -> JobSpec {
@@ -148,7 +161,10 @@ mod tests {
     fn damping_formula() {
         let s = DynMcb8FairPer::with_params(600.0, 100.0, 0.5);
         assert_eq!(s.damped(1.0, 50.0), 1.0, "young jobs undamped");
-        assert!((s.damped(1.0, 400.0) - 0.5).abs() < 1e-12, "(100/400)^0.5 = 0.5");
+        assert!(
+            (s.damped(1.0, 400.0) - 0.5).abs() < 1e-12,
+            "(100/400)^0.5 = 0.5"
+        );
         assert!(s.damped(1.0, 1e12) >= MIN_STRETCH_PER_YIELD, "floored");
         let off = DynMcb8FairPer::with_params(600.0, 100.0, 0.0);
         assert_eq!(off.damped(0.7, 1e9), 0.7, "alpha 0 disables damping");
@@ -200,15 +216,21 @@ mod tests {
     #[test]
     fn zero_alpha_matches_plain_periodic() {
         let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
-        let jobs: Vec<JobSpec> =
-            (0..6).map(|i| job(i, i as f64 * 500.0, 1 + i % 2, 1.0, 0.3, 2_000.0)).collect();
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|i| job(i, i as f64 * 500.0, 1 + i % 2, 1.0, 0.3, 2_000.0))
+            .collect();
         let a = simulate(
             cluster,
             &jobs,
             &mut DynMcb8FairPer::with_params(600.0, 3_600.0, 0.0),
             &cfg(),
         );
-        let b = simulate(cluster, &jobs, &mut crate::dynmcb8::DynMcb8Per::with_period(600.0), &cfg());
+        let b = simulate(
+            cluster,
+            &jobs,
+            &mut crate::dynmcb8::DynMcb8Per::with_period(600.0),
+            &cfg(),
+        );
         for (ra, rb) in a.records.iter().zip(b.records.iter()) {
             assert!((ra.completion - rb.completion).abs() < 1e-6);
         }

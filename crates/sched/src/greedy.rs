@@ -44,7 +44,10 @@ struct GreedyCore {
 
 impl GreedyCore {
     fn new(flags: GreedyFlags) -> Self {
-        GreedyCore { flags, backoff: HashMap::new() }
+        GreedyCore {
+            flags,
+            backoff: HashMap::new(),
+        }
     }
 
     /// Emit the final plan: pauses, then runs for **every** job that will
@@ -145,7 +148,11 @@ impl GreedyCore {
             let cs = &state.job(cand).spec;
             scratch.remove_job(&state.job(cand).placement, cs.cpu_need, cs.mem_req);
             marked.push(cand);
-            if scratch.clone().greedy_place(spec.tasks, spec.cpu_need, spec.mem_req).is_some() {
+            if scratch
+                .clone()
+                .greedy_place(spec.tasks, spec.cpu_need, spec.mem_req)
+                .is_some()
+            {
                 fits = true;
                 break;
             }
@@ -167,7 +174,11 @@ impl GreedyCore {
             for &n in placement {
                 scratch.add_task(n, cs.cpu_need, cs.mem_req);
             }
-            if scratch.clone().greedy_place(spec.tasks, spec.cpu_need, spec.mem_req).is_none() {
+            if scratch
+                .clone()
+                .greedy_place(spec.tasks, spec.cpu_need, spec.mem_req)
+                .is_none()
+            {
                 // Must pause after all.
                 scratch.remove_job(placement, cs.cpu_need, cs.mem_req);
                 still_marked.push(cand);
@@ -208,7 +219,9 @@ impl GreedyCore {
         // reshuffled (both variants).
         let freshly_paused: Vec<JobId> = paused.clone();
         let mut resumes = Vec::new();
-        self.resume_paused(state, &mut scratch, &mut resumes, |j| !freshly_paused.contains(&j));
+        self.resume_paused(state, &mut scratch, &mut resumes, |j| {
+            !freshly_paused.contains(&j)
+        });
         runs.extend(resumes);
 
         self.emit(state, paused, runs)
@@ -241,7 +254,11 @@ pub struct Greedy(GreedyCore);
 impl Greedy {
     /// Fresh instance.
     pub fn new() -> Self {
-        Greedy(GreedyCore::new(GreedyFlags { pmtn: false, migr: false, priority_exponent: 2.0 }))
+        Greedy(GreedyCore::new(GreedyFlags {
+            pmtn: false,
+            migr: false,
+            priority_exponent: 2.0,
+        }))
     }
 }
 
@@ -343,7 +360,10 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig { validate: true, ..SimConfig::default() }
+        SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        }
     }
 
     fn job(id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64) -> JobSpec {
@@ -354,7 +374,10 @@ mod tests {
     fn greedy_time_shares_cpu_heavy_jobs() {
         // Two 1-task CPU-bound jobs with small memory on a 2-node cluster:
         // each gets its own node at yield 1.0.
-        let jobs = vec![job(0, 0.0, 1, 1.0, 0.1, 100.0), job(1, 0.0, 1, 1.0, 0.1, 100.0)];
+        let jobs = vec![
+            job(0, 0.0, 1, 1.0, 0.1, 100.0),
+            job(1, 0.0, 1, 1.0, 0.1, 100.0),
+        ];
         let out = simulate(cluster(), &jobs, &mut Greedy::new(), &cfg());
         assert_eq!(out.max_stretch, 1.0);
         assert!((out.records[0].completion - 100.0).abs() < 1e-6);
@@ -367,7 +390,11 @@ mod tests {
         let jobs: Vec<JobSpec> = (0..3).map(|i| job(i, 0.0, 2, 1.0, 0.3, 100.0)).collect();
         let out = simulate(cluster(), &jobs, &mut Greedy::new(), &cfg());
         for r in &out.records {
-            assert!((r.completion - 300.0).abs() < 1e-6, "completion {}", r.completion);
+            assert!(
+                (r.completion - 300.0).abs() < 1e-6,
+                "completion {}",
+                r.completion
+            );
         }
         assert!((out.max_stretch - 3.0).abs() < 1e-6);
     }
@@ -377,10 +404,17 @@ mod tests {
         // Job 0 hogs all memory of both nodes for 100 s; job 1 arrives at
         // t=1 and cannot fit → backoff retries at 1+2, +4, ..., until
         // after t=100; it must start eventually and complete.
-        let jobs = vec![job(0, 0.0, 2, 0.25, 1.0, 100.0), job(1, 1.0, 1, 0.25, 0.5, 10.0)];
+        let jobs = vec![
+            job(0, 0.0, 2, 0.25, 1.0, 100.0),
+            job(1, 1.0, 1, 0.25, 0.5, 10.0),
+        ];
         let out = simulate(cluster(), &jobs, &mut Greedy::new(), &cfg());
         let r1 = &out.records[1];
-        assert!(r1.first_start.unwrap() > 100.0, "started at {:?}", r1.first_start);
+        assert!(
+            r1.first_start.unwrap() > 100.0,
+            "started at {:?}",
+            r1.first_start
+        );
         // Backoff: retries at t=3, 7, 15, 31, 63, 127 → starts at 127.
         assert!((r1.first_start.unwrap() - 127.0).abs() < 1e-6);
         assert_eq!(out.preemption_count, 0);
@@ -390,7 +424,10 @@ mod tests {
     fn greedy_pmtn_forces_admission_by_pausing() {
         // Same memory-pressure scenario: PMTN pauses job 0 (the only
         // candidate) to start job 1 immediately at t=1.
-        let jobs = vec![job(0, 0.0, 2, 0.25, 1.0, 100.0), job(1, 1.0, 1, 0.25, 0.5, 10.0)];
+        let jobs = vec![
+            job(0, 0.0, 2, 0.25, 1.0, 100.0),
+            job(1, 1.0, 1, 0.25, 0.5, 10.0),
+        ];
         let out = simulate(cluster(), &jobs, &mut GreedyPmtn::new(), &cfg());
         let r1 = &out.records[1];
         assert!((r1.first_start.unwrap() - 1.0).abs() < 1e-9);
@@ -499,7 +536,10 @@ mod tests {
         // Job 1 completes at t=100 (vt 50). Job 0 has vt 50, then full
         // speed → completes at t=150.
         let tight = ClusterSpec::new(1, 4, 8.0).unwrap();
-        let jobs = vec![job(0, 0.0, 1, 1.0, 0.3, 100.0), job(1, 0.0, 1, 1.0, 0.3, 50.0)];
+        let jobs = vec![
+            job(0, 0.0, 1, 1.0, 0.3, 100.0),
+            job(1, 0.0, 1, 1.0, 0.3, 50.0),
+        ];
         let out = simulate(tight, &jobs, &mut Greedy::new(), &cfg());
         assert!((out.records[1].completion - 100.0).abs() < 1e-6);
         assert!((out.records[0].completion - 150.0).abs() < 1e-6);

@@ -128,8 +128,7 @@ mod tests {
 
     #[test]
     fn all_contains_nine_distinct_algorithms() {
-        let names: std::collections::HashSet<_> =
-            Algorithm::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 9);
     }
 
@@ -138,7 +137,10 @@ mod tests {
         for a in Algorithm::ALL {
             assert_eq!(Algorithm::parse(a.name()), Some(a), "{}", a.name());
         }
-        assert_eq!(Algorithm::parse("dynmcb8-asap-per"), Some(Algorithm::DynMcb8AsapPer));
+        assert_eq!(
+            Algorithm::parse("dynmcb8-asap-per"),
+            Some(Algorithm::DynMcb8AsapPer)
+        );
         assert_eq!(Algorithm::parse("nonsense"), None);
     }
 

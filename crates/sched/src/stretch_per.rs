@@ -38,8 +38,7 @@ impl DynMcb8StretchPer {
 
     fn repack(&self, state: &SimState) -> Plan {
         let nodes = state.cluster.nodes().len();
-        let mut candidates: Vec<JobId> =
-            state.jobs_in_system().map(|j| j.spec.id).collect();
+        let mut candidates: Vec<JobId> = state.jobs_in_system().map(|j| j.spec.id).collect();
 
         loop {
             let sjobs: Vec<StretchJob> = candidates
@@ -118,14 +117,17 @@ impl DynMcb8StretchPer {
                     continue;
                 }
                 let j = state.job(*id);
-                if !placement.iter().all(|&n| approx::pos(1.0 - alloc[n.index()])) {
+                if !placement
+                    .iter()
+                    .all(|&n| approx::pos(1.0 - alloc[n.index()]))
+                {
                     continue;
                 }
                 let flow = (state.now - j.spec.submit_time).max(0.0);
                 let denom = j.virtual_time + yld * t;
                 // −dŜ/dy per unit of total CPU consumed.
-                let benefit = ((flow + t) * t / (denom * denom))
-                    / (j.spec.cpu_need * j.spec.tasks as f64);
+                let benefit =
+                    ((flow + t) * t / (denom * denom)) / (j.spec.cpu_need * j.spec.tasks as f64);
                 if best.is_none_or(|(_, b)| benefit > b) {
                     best = Some((i, benefit));
                 }
@@ -181,7 +183,10 @@ mod tests {
     use dfrs_sim::{simulate, SimConfig};
 
     fn cfg() -> SimConfig {
-        SimConfig { validate: true, ..SimConfig::default() }
+        SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        }
     }
 
     fn job(id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64) -> JobSpec {
@@ -192,7 +197,12 @@ mod tests {
     fn starts_jobs_at_ticks() {
         let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
         let jobs = vec![job(0, 10.0, 1, 0.5, 0.2, 50.0)];
-        let out = simulate(cluster, &jobs, &mut DynMcb8StretchPer::with_period(600.0), &cfg());
+        let out = simulate(
+            cluster,
+            &jobs,
+            &mut DynMcb8StretchPer::with_period(600.0),
+            &cfg(),
+        );
         assert!((out.records[0].first_start.unwrap() - 600.0).abs() < 1e-9);
         assert!((out.records[0].completion - 650.0).abs() < 1e-6);
     }
@@ -203,9 +213,16 @@ mod tests {
         // flow time, no progress) — at the first tick it must get a
         // higher yield than the fresh job 1.
         let cluster = ClusterSpec::new(1, 4, 8.0).unwrap();
-        let jobs = vec![job(0, 0.0, 1, 1.0, 0.3, 300.0), job(1, 590.0, 1, 1.0, 0.3, 300.0)];
-        let out =
-            simulate(cluster, &jobs, &mut DynMcb8StretchPer::with_period(600.0), &cfg());
+        let jobs = vec![
+            job(0, 0.0, 1, 1.0, 0.3, 300.0),
+            job(1, 590.0, 1, 1.0, 0.3, 300.0),
+        ];
+        let out = simulate(
+            cluster,
+            &jobs,
+            &mut DynMcb8StretchPer::with_period(600.0),
+            &cfg(),
+        );
         // Both in system at tick 600. Job 0 flow=600, job 1 flow=10; both
         // vt=0. Estimated stretch at next tick: (flow+T)/(yT). To equalize,
         // y0/y1 = (600+600)/(10+600) ≈ 1.97 → job 0 gets ~2/3 of the CPU
@@ -225,7 +242,12 @@ mod tests {
         // runtime seconds after its tick start.
         let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
         let jobs = vec![job(0, 0.0, 2, 1.0, 0.5, 100.0)];
-        let out = simulate(cluster, &jobs, &mut DynMcb8StretchPer::with_period(600.0), &cfg());
+        let out = simulate(
+            cluster,
+            &jobs,
+            &mut DynMcb8StretchPer::with_period(600.0),
+            &cfg(),
+        );
         assert!((out.records[0].completion - 700.0).abs() < 1e-6);
     }
 

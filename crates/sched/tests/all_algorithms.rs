@@ -27,7 +27,11 @@ fn workload(seed: u64, n: usize, load: f64) -> Vec<JobSpec> {
 }
 
 fn run(algo: Algorithm, jobs: &[JobSpec], penalty: f64) -> SimOutcome {
-    let cfg = SimConfig { penalty, validate: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        penalty,
+        validate: true,
+        ..SimConfig::default()
+    };
     simulate(small_cluster(), jobs, algo.build().as_mut(), &cfg)
 }
 
@@ -78,7 +82,10 @@ fn easy_is_no_worse_than_fcfs_on_mean_stretch() {
             easy_wins += 1;
         }
     }
-    assert!(easy_wins >= total - 1, "EASY beat FCFS on only {easy_wins}/{total} seeds");
+    assert!(
+        easy_wins >= total - 1,
+        "EASY beat FCFS on only {easy_wins}/{total} seeds"
+    );
 }
 
 #[test]
@@ -120,7 +127,10 @@ fn dynmcb8_dominates_on_min_yield_proxy() {
             wins += 1;
         }
     }
-    assert!(wins >= 3, "DynMCB8 (no penalty) beat -PER on only {wins}/4 seeds");
+    assert!(
+        wins >= 3,
+        "DynMCB8 (no penalty) beat -PER on only {wins}/4 seeds"
+    );
 }
 
 #[test]

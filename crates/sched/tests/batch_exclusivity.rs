@@ -17,14 +17,21 @@ fn workload(seed: u64, n: usize) -> (ClusterSpec, Vec<JobSpec>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let raws = model.generate(n, &mut rng);
     let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    let trace = Trace::new(cluster, jobs).unwrap().scale_to_load(0.8).unwrap();
+    let trace = Trace::new(cluster, jobs)
+        .unwrap()
+        .scale_to_load(0.8)
+        .unwrap();
     (cluster, trace.jobs().to_vec())
 }
 
 /// Replay the timeline; assert at most one job occupies a node at any
 /// time and that batch jobs are never adjusted, paused, or migrated.
 fn assert_exclusive(scheduler: &mut dyn Scheduler, cluster: ClusterSpec, jobs: &[JobSpec]) {
-    let cfg = SimConfig { record_timeline: true, validate: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        record_timeline: true,
+        validate: true,
+        ..SimConfig::default()
+    };
     let out = simulate(cluster, jobs, scheduler, &cfg);
     let mut owner: Vec<Option<dfrs_core::JobId>> = vec![None; cluster.nodes as usize];
     let mut nodes_of: std::collections::HashMap<dfrs_core::JobId, Vec<NodeId>> =
@@ -47,7 +54,12 @@ fn assert_exclusive(scheduler: &mut dyn Scheduler, cluster: ClusterSpec, jobs: &
                 let mut uniq = nodes.clone();
                 uniq.sort_unstable();
                 uniq.dedup();
-                assert_eq!(uniq.len(), nodes.len(), "{} shares nodes with itself", e.job);
+                assert_eq!(
+                    uniq.len(),
+                    nodes.len(),
+                    "{} shares nodes with itself",
+                    e.job
+                );
                 nodes_of.insert(e.job, nodes.clone());
             }
             AllocEvent::Complete => {
@@ -90,7 +102,12 @@ fn conservative_never_beats_easy_by_definition_of_aggressiveness() {
     for seed in 0..total {
         let (cluster, jobs) = workload(100 + seed, 50);
         let e = simulate(cluster, &jobs, &mut Easy::new(), &SimConfig::default());
-        let c = simulate(cluster, &jobs, &mut ConservativeBf::new(), &SimConfig::default());
+        let c = simulate(
+            cluster,
+            &jobs,
+            &mut ConservativeBf::new(),
+            &SimConfig::default(),
+        );
         if e.mean_stretch <= c.mean_stretch + 1e-9 {
             easy_wins += 1;
         }

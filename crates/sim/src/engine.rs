@@ -283,7 +283,8 @@ impl Engine<'_> {
         }
         self.completed += 1;
         if self.config.record_timeline {
-            self.timeline.push(now, id, crate::timeline::AllocEvent::Complete);
+            self.timeline
+                .push(now, id, crate::timeline::AllocEvent::Complete);
         }
     }
 
@@ -296,7 +297,10 @@ impl Engine<'_> {
         self.sched_max = self.sched_max.max(wall);
         self.sched_calls += 1;
         if self.config.record_decisions {
-            self.decisions.push(DecisionSample { jobs_in_system: in_system, wall_secs: wall });
+            self.decisions.push(DecisionSample {
+                jobs_in_system: in_system,
+                wall_secs: wall,
+            });
         }
         plan
     }
@@ -312,7 +316,11 @@ impl Engine<'_> {
         for e in &plan.entries {
             match e {
                 PlanEntry::Pause { job } => pauses.push(*job),
-                PlanEntry::Run { job, placement, yld } => {
+                PlanEntry::Run {
+                    job,
+                    placement,
+                    yld,
+                } => {
                     let js = &self.state.jobs[job.index()];
                     assert_eq!(
                         placement.len(),
@@ -351,8 +359,7 @@ impl Engine<'_> {
         debug_assert!(
             {
                 let mut seen = std::collections::HashSet::new();
-                actions.iter().all(|a| seen.insert(a.job))
-                    && pauses.iter().all(|p| seen.insert(*p))
+                actions.iter().all(|a| seen.insert(a.job)) && pauses.iter().all(|p| seen.insert(*p))
             },
             "plan mentions a job twice (pause+run or duplicate run)"
         );
@@ -378,7 +385,9 @@ impl Engine<'_> {
                     let spec = self.state.jobs[a.job.index()].spec.clone();
                     let nodes: Vec<NodeId> = self.state.jobs[a.job.index()].placement.clone();
                     for n in nodes {
-                        self.state.cluster.retarget_task(n, spec.cpu_need, a.old_yld, a.yld);
+                        self.state
+                            .cluster
+                            .retarget_task(n, spec.cpu_need, a.old_yld, a.yld);
                     }
                     self.state.jobs[a.job.index()].yld = a.yld;
                 }
@@ -400,7 +409,8 @@ impl Engine<'_> {
                 "timer for {job} in the past ({at} < {})",
                 self.state.now
             );
-            self.queue.push(at.max(self.state.now), EventKind::Timer(job));
+            self.queue
+                .push(at.max(self.state.now), EventKind::Timer(job));
         }
         if self.config.validate {
             if let Err(msg) = validate::check_invariants(&self.state) {
@@ -411,7 +421,11 @@ impl Engine<'_> {
 
     fn do_pause(&mut self, id: JobId) {
         let j = &mut self.state.jobs[id.index()];
-        assert_eq!(j.status, JobStatus::Running, "plan pauses non-running job {id}");
+        assert_eq!(
+            j.status,
+            JobStatus::Running,
+            "plan pauses non-running job {id}"
+        );
         let (need, mem, yld, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.yld, j.spec.tasks);
         let placement = std::mem::take(&mut j.placement);
         j.status = JobStatus::Paused;
@@ -423,7 +437,8 @@ impl Engine<'_> {
         self.pmtn_count += 1;
         self.pmtn_gb += tasks as f64 * self.state.cluster.spec.task_move_gb(mem);
         if self.config.record_timeline {
-            self.timeline.push(self.state.now, id, crate::timeline::AllocEvent::Pause);
+            self.timeline
+                .push(self.state.now, id, crate::timeline::AllocEvent::Pause);
         }
     }
 
@@ -433,12 +448,14 @@ impl Engine<'_> {
         if self.config.record_timeline {
             use crate::timeline::AllocEvent;
             let ev = match a.kind {
-                RunKind::Start => {
-                    Some(AllocEvent::Start { nodes: a.placement.clone(), yld: a.yld })
-                }
-                RunKind::Resume => {
-                    Some(AllocEvent::Resume { nodes: a.placement.clone(), yld: a.yld })
-                }
+                RunKind::Start => Some(AllocEvent::Start {
+                    nodes: a.placement.clone(),
+                    yld: a.yld,
+                }),
+                RunKind::Resume => Some(AllocEvent::Resume {
+                    nodes: a.placement.clone(),
+                    yld: a.yld,
+                }),
                 RunKind::Adjust if (a.yld - a.old_yld).abs() > 0.0 => {
                     Some(AllocEvent::Adjust { yld: a.yld })
                 }
@@ -457,7 +474,9 @@ impl Engine<'_> {
             RunKind::Start => {
                 // First start: free (no VM state to move yet).
                 for &n in &a.placement {
-                    self.state.cluster.add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                    self.state
+                        .cluster
+                        .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
                 }
                 let j = &mut self.state.jobs[a.job.index()];
                 j.status = JobStatus::Running;
@@ -468,7 +487,9 @@ impl Engine<'_> {
             RunKind::Resume => {
                 // Restore from storage, charge the penalty.
                 for &n in &a.placement {
-                    self.state.cluster.add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                    self.state
+                        .cluster
+                        .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
                 }
                 self.pmtn_gb +=
                     spec.tasks as f64 * self.state.cluster.spec.task_move_gb(spec.mem_req);
@@ -483,7 +504,9 @@ impl Engine<'_> {
                 if (a.yld - a.old_yld).abs() > 0.0 {
                     let nodes: Vec<NodeId> = self.state.jobs[a.job.index()].placement.clone();
                     for n in nodes {
-                        self.state.cluster.retarget_task(n, spec.cpu_need, a.old_yld, a.yld);
+                        self.state
+                            .cluster
+                            .retarget_task(n, spec.cpu_need, a.old_yld, a.yld);
                     }
                     self.state.jobs[a.job.index()].yld = a.yld;
                 }
@@ -491,7 +514,9 @@ impl Engine<'_> {
             RunKind::Migrate { moved } => {
                 // Old tasks were removed in phase 1.
                 for &n in &a.placement {
-                    self.state.cluster.add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                    self.state
+                        .cluster
+                        .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
                 }
                 let gb_per_task = self.state.cluster.spec.task_move_gb(spec.mem_req);
                 let (gb, freeze) = match self.config.migration_mode {
@@ -616,9 +641,17 @@ mod tests {
     #[test]
     fn moved_tasks_counts_multiset_difference() {
         let n = |v: &[u32]| v.iter().map(|&x| NodeId(x)).collect::<Vec<_>>();
-        assert_eq!(moved_tasks(&n(&[0, 1, 2]), &n(&[2, 1, 0])), 0, "permutation is no move");
+        assert_eq!(
+            moved_tasks(&n(&[0, 1, 2]), &n(&[2, 1, 0])),
+            0,
+            "permutation is no move"
+        );
         assert_eq!(moved_tasks(&n(&[0, 1, 2]), &n(&[0, 1, 3])), 1);
-        assert_eq!(moved_tasks(&n(&[0, 0, 1]), &n(&[0, 1, 1])), 1, "multiplicity matters");
+        assert_eq!(
+            moved_tasks(&n(&[0, 0, 1]), &n(&[0, 1, 1])),
+            1,
+            "multiplicity matters"
+        );
         assert_eq!(moved_tasks(&n(&[4, 5]), &n(&[6, 7])), 2);
         assert_eq!(moved_tasks(&n(&[]), &n(&[])), 0);
     }

@@ -64,13 +64,20 @@ pub struct EventQueue {
 impl EventQueue {
     /// Empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedule `kind` at absolute time `time`.
     pub fn push(&mut self, time: f64, kind: EventKind) {
         debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
-        self.heap.push(Entry { time, seq: self.seq, kind });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            kind,
+        });
         self.seq += 1;
     }
 

@@ -41,7 +41,10 @@ pub fn records_from_csv(text: &str) -> Result<Vec<JobRecord>, CoreError> {
     match lines.next() {
         Some((_, h)) if h.trim() == RECORDS_HEADER => {}
         _ => {
-            return Err(CoreError::Parse { line: 1, reason: "missing records header".into() });
+            return Err(CoreError::Parse {
+                line: 1,
+                reason: "missing records header".into(),
+            });
         }
     }
     let mut records = Vec::new();
@@ -72,7 +75,11 @@ pub fn records_from_csv(text: &str) -> Result<Vec<JobRecord>, CoreError> {
         records.push(JobRecord {
             id: JobId(int(f[0])?),
             submit: num(f[1])?,
-            first_start: if f[2].is_empty() { None } else { Some(num(f[2])?) },
+            first_start: if f[2].is_empty() {
+                None
+            } else {
+                Some(num(f[2])?)
+            },
             completion: num(f[3])?,
             dedicated: num(f[4])?,
             turnaround: num(f[5])?,

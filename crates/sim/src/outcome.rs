@@ -173,7 +173,11 @@ mod tests {
     use super::*;
 
     fn outcome_with(records: Vec<JobRecord>, makespan: f64) -> SimOutcome {
-        let mut o = SimOutcome { records, makespan, ..SimOutcome::default() };
+        let mut o = SimOutcome {
+            records,
+            makespan,
+            ..SimOutcome::default()
+        };
         o.finalize_stretches();
         o
     }

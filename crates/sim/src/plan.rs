@@ -69,7 +69,11 @@ impl Plan {
 
     /// Add a run entry (builder style).
     pub fn run(mut self, job: JobId, placement: Vec<NodeId>, yld: f64) -> Self {
-        self.entries.push(PlanEntry::Run { job, placement, yld });
+        self.entries.push(PlanEntry::Run {
+            job,
+            placement,
+            yld,
+        });
         self
     }
 

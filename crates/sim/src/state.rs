@@ -73,7 +73,10 @@ impl JobState {
     /// Is the job in the system (submitted, not finished)?
     #[inline]
     pub fn in_system(&self) -> bool {
-        matches!(self.status, JobStatus::Pending | JobStatus::Running | JobStatus::Paused)
+        matches!(
+            self.status,
+            JobStatus::Pending | JobStatus::Running | JobStatus::Paused
+        )
     }
 
     /// The paper's pause/resume priority key at time `now`.
@@ -138,7 +141,11 @@ pub struct ClusterState {
 impl ClusterState {
     /// All-idle cluster.
     pub fn new(spec: ClusterSpec) -> Self {
-        ClusterState { spec, nodes: vec![NodeState::default(); spec.nodes as usize], busy_nodes: 0 }
+        ClusterState {
+            spec,
+            nodes: vec![NodeState::default(); spec.nodes as usize],
+            busy_nodes: 0,
+        }
     }
 
     /// Per-node states.
@@ -185,8 +192,16 @@ impl ClusterState {
         n.cpu_alloc += cpu_need * yld;
         n.mem_used += mem_req;
         n.task_count += 1;
-        debug_assert!(approx::le(n.mem_used, 1.0), "memory overcommitted: {}", n.mem_used);
-        debug_assert!(approx::le(n.cpu_alloc, 1.0), "CPU overallocated: {}", n.cpu_alloc);
+        debug_assert!(
+            approx::le(n.mem_used, 1.0),
+            "memory overcommitted: {}",
+            n.mem_used
+        );
+        debug_assert!(
+            approx::le(n.cpu_alloc, 1.0),
+            "CPU overallocated: {}",
+            n.cpu_alloc
+        );
     }
 
     /// Remove one task of `job` from `node`.
@@ -212,7 +227,11 @@ impl ClusterState {
         let n = self.node_mut(node);
         n.cpu_alloc += cpu_need * (new_yld - old_yld);
         n.cpu_alloc = n.cpu_alloc.max(0.0);
-        debug_assert!(approx::le(n.cpu_alloc, 1.0), "CPU overallocated: {}", n.cpu_alloc);
+        debug_assert!(
+            approx::le(n.cpu_alloc, 1.0),
+            "CPU overallocated: {}",
+            n.cpu_alloc
+        );
     }
 }
 

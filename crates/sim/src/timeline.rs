@@ -149,7 +149,11 @@ impl Timeline {
             for c in lane.iter_mut().skip(prev_col) {
                 *c = state;
             }
-            out.push_str(&format!("{:>6} |{}|\n", job.to_string(), String::from_utf8(lane).unwrap()));
+            out.push_str(&format!(
+                "{:>6} |{}|\n",
+                job.to_string(),
+                String::from_utf8(lane).unwrap()
+            ));
         }
         out
     }
@@ -165,12 +169,33 @@ mod tests {
 
     fn sample() -> Timeline {
         let mut t = Timeline::default();
-        t.push(0.0, JobId(0), AllocEvent::Start { nodes: n(&[0]), yld: 1.0 });
-        t.push(10.0, JobId(1), AllocEvent::Start { nodes: n(&[1]), yld: 1.0 });
+        t.push(
+            0.0,
+            JobId(0),
+            AllocEvent::Start {
+                nodes: n(&[0]),
+                yld: 1.0,
+            },
+        );
+        t.push(
+            10.0,
+            JobId(1),
+            AllocEvent::Start {
+                nodes: n(&[1]),
+                yld: 1.0,
+            },
+        );
         t.push(10.0, JobId(0), AllocEvent::Adjust { yld: 0.5 });
         t.push(20.0, JobId(0), AllocEvent::Pause);
         t.push(30.0, JobId(1), AllocEvent::Complete);
-        t.push(30.0, JobId(0), AllocEvent::Resume { nodes: n(&[1]), yld: 1.0 });
+        t.push(
+            30.0,
+            JobId(0),
+            AllocEvent::Resume {
+                nodes: n(&[1]),
+                yld: 1.0,
+            },
+        );
         t.push(50.0, JobId(0), AllocEvent::Complete);
         t
     }
@@ -189,7 +214,10 @@ mod tests {
         let profile = t.utilization_profile();
         // t=0: 1 running; t=10: 2; t=20: 1 (pause); t=30: complete then
         // resume → net 1; t=50: 0.
-        assert_eq!(profile, vec![(0.0, 1), (10.0, 2), (20.0, 1), (30.0, 1), (50.0, 0)]);
+        assert_eq!(
+            profile,
+            vec![(0.0, 1), (10.0, 2), (20.0, 1), (30.0, 1), (50.0, 0)]
+        );
     }
 
     #[test]

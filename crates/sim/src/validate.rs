@@ -73,7 +73,13 @@ pub fn check_invariants(state: &SimState) -> Result<(), String> {
     }
 
     let mut busy = 0u32;
-    for (i, (got, want)) in state.cluster.nodes().iter().zip(recomputed.iter()).enumerate() {
+    for (i, (got, want)) in state
+        .cluster
+        .nodes()
+        .iter()
+        .zip(recomputed.iter())
+        .enumerate()
+    {
         if want.mem_used > 1.0 + SUM_TOLERANCE {
             return Err(format!("node n{i} memory overcommitted: {}", want.mem_used));
         }

@@ -39,10 +39,15 @@ impl Scheduler for ImmediateFull {
 #[test]
 fn dedicated_jobs_have_stretch_one() {
     let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 200.0, 4, 50.0)];
-    let out = simulate(cluster(), &jobs, &mut ImmediateFull, &SimConfig {
-        validate: true,
-        ..SimConfig::default()
-    });
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut ImmediateFull,
+        &SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        },
+    );
     assert_eq!(out.records[0].completion, 100.0);
     assert_eq!(out.records[1].completion, 250.0);
     assert_eq!(out.max_stretch, 1.0);
@@ -60,8 +65,7 @@ impl Scheduler for OneNodeEqualShare {
         "one-node-equal-share".into()
     }
     fn on_event(&mut self, _ev: SchedEvent, state: &SimState) -> Plan {
-        let in_system: Vec<JobId> =
-            state.jobs_in_system().map(|j| j.spec.id).collect();
+        let in_system: Vec<JobId> = state.jobs_in_system().map(|j| j.spec.id).collect();
         let share = (1.0 / in_system.len().max(1) as f64).min(1.0);
         let mut plan = Plan::noop();
         for id in in_system {
@@ -82,10 +86,15 @@ fn equal_share_time_sharing_doubles_runtimes() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.3, 100.0).unwrap(),
         JobSpec::new(JobId(1), 0.0, 1, 1.0, 0.3, 100.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig {
-        validate: true,
-        ..SimConfig::default()
-    });
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut OneNodeEqualShare,
+        &SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        },
+    );
     assert!((out.records[0].completion - 200.0).abs() < 1e-6);
     assert!((out.records[1].completion - 200.0).abs() < 1e-6);
     assert!((out.max_stretch - 2.0).abs() < 1e-6);
@@ -100,7 +109,12 @@ fn unequal_lengths_yield_adjusts_at_completion() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.3, 100.0).unwrap(),
         JobSpec::new(JobId(1), 0.0, 1, 1.0, 0.3, 40.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig::default());
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut OneNodeEqualShare,
+        &SimConfig::default(),
+    );
     assert!((out.records[1].completion - 80.0).abs() < 1e-6);
     assert!((out.records[0].completion - 140.0).abs() < 1e-6);
     // Stretches: B: 80/40 = 2; A: 140/100 = 1.4.
@@ -118,15 +132,13 @@ impl Scheduler for PauseResume {
     }
     fn on_event(&mut self, ev: SchedEvent, _state: &SimState) -> Plan {
         match ev {
-            SchedEvent::Submit(JobId(0)) => {
-                Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0)
-            }
+            SchedEvent::Submit(JobId(0)) => Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0),
             SchedEvent::Submit(JobId(1)) => {
-                Plan::noop().pause(JobId(0)).run(JobId(1), vec![NodeId(0)], 1.0)
+                Plan::noop()
+                    .pause(JobId(0))
+                    .run(JobId(1), vec![NodeId(0)], 1.0)
             }
-            SchedEvent::Complete(JobId(1)) => {
-                Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0)
-            }
+            SchedEvent::Complete(JobId(1)) => Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0),
             _ => Plan::noop(),
         }
     }
@@ -141,10 +153,15 @@ fn pause_resume_without_penalty() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.8, 100.0).unwrap(),
         JobSpec::new(JobId(1), 30.0, 1, 1.0, 0.8, 50.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs, &mut PauseResume, &SimConfig {
-        validate: true,
-        ..SimConfig::default()
-    });
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut PauseResume,
+        &SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        },
+    );
     assert!((out.records[1].completion - 80.0).abs() < 1e-6);
     assert!((out.records[0].completion - 150.0).abs() < 1e-6);
     assert_eq!(out.preemption_count, 1);
@@ -162,12 +179,20 @@ fn pause_resume_with_penalty_delays_completion() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.8, 100.0).unwrap(),
         JobSpec::new(JobId(1), 30.0, 1, 1.0, 0.8, 50.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs, &mut PauseResume, &SimConfig {
-        penalty: 300.0,
-        validate: true,
-        ..SimConfig::default()
-    });
-    assert!((out.records[1].completion - 80.0).abs() < 1e-6, "job 1 start is penalty-free");
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut PauseResume,
+        &SimConfig {
+            penalty: 300.0,
+            validate: true,
+            ..SimConfig::default()
+        },
+    );
+    assert!(
+        (out.records[1].completion - 80.0).abs() < 1e-6,
+        "job 1 start is penalty-free"
+    );
     assert!((out.records[0].completion - 450.0).abs() < 1e-6);
     // Stretch of job 0: 450/100 = 4.5.
     assert!((out.max_stretch - 4.5).abs() < 1e-6);
@@ -183,12 +208,12 @@ impl Scheduler for MigrateOnArrival {
     }
     fn on_event(&mut self, ev: SchedEvent, _state: &SimState) -> Plan {
         match ev {
-            SchedEvent::Submit(JobId(0)) => {
-                Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0)
+            SchedEvent::Submit(JobId(0)) => Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0),
+            SchedEvent::Submit(JobId(1)) => {
+                Plan::noop()
+                    .run(JobId(0), vec![NodeId(1)], 1.0)
+                    .run(JobId(1), vec![NodeId(0)], 1.0)
             }
-            SchedEvent::Submit(JobId(1)) => Plan::noop()
-                .run(JobId(0), vec![NodeId(1)], 1.0)
-                .run(JobId(1), vec![NodeId(0)], 1.0),
             _ => Plan::noop(),
         }
     }
@@ -200,11 +225,16 @@ fn migration_charges_penalty_and_double_bandwidth() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 100.0).unwrap(),
         JobSpec::new(JobId(1), 40.0, 1, 1.0, 0.5, 10.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs, &mut MigrateOnArrival, &SimConfig {
-        penalty: 300.0,
-        validate: true,
-        ..SimConfig::default()
-    });
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut MigrateOnArrival,
+        &SimConfig {
+            penalty: 300.0,
+            validate: true,
+            ..SimConfig::default()
+        },
+    );
     // Job 0: vt=40 at migration, frozen 40..340, finishes at 340+60=400.
     assert!((out.records[0].completion - 400.0).abs() < 1e-6);
     assert_eq!(out.migration_count, 1);
@@ -225,11 +255,16 @@ fn yield_only_replan_is_not_a_migration() {
         JobSpec::new(JobId(1), 10.0, 1, 1.0, 0.3, 100.0).unwrap(),
         JobSpec::new(JobId(2), 20.0, 1, 1.0, 0.3, 100.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig {
-        penalty: 300.0,
-        validate: true,
-        ..SimConfig::default()
-    });
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut OneNodeEqualShare,
+        &SimConfig {
+            penalty: 300.0,
+            validate: true,
+            ..SimConfig::default()
+        },
+    );
     assert_eq!(out.migration_count, 0);
     assert_eq!(out.preemption_count, 0);
     assert_eq!(out.migration_gb, 0.0);
@@ -324,12 +359,20 @@ fn abandoning_jobs_is_detected_as_deadlock() {
 #[test]
 fn outcomes_are_deterministic() {
     let jobs: Vec<JobSpec> = (0..20)
-        .map(|i| {
-            JobSpec::new(JobId(i), i as f64 * 13.0, 1, 1.0, 0.04, 50.0 + i as f64).unwrap()
-        })
+        .map(|i| JobSpec::new(JobId(i), i as f64 * 13.0, 1, 1.0, 0.04, 50.0 + i as f64).unwrap())
         .collect();
-    let a = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig::default());
-    let b = simulate(cluster(), &jobs, &mut OneNodeEqualShare, &SimConfig::default());
+    let a = simulate(
+        cluster(),
+        &jobs,
+        &mut OneNodeEqualShare,
+        &SimConfig::default(),
+    );
+    let b = simulate(
+        cluster(),
+        &jobs,
+        &mut OneNodeEqualShare,
+        &SimConfig::default(),
+    );
     assert_eq!(a.records, b.records);
     assert_eq!(a.max_stretch, b.max_stretch);
 }
@@ -351,13 +394,17 @@ fn timeline_records_the_full_story() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.8, 100.0).unwrap(),
         JobSpec::new(JobId(1), 30.0, 1, 1.0, 0.8, 50.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs, &mut PauseResume, &SimConfig {
-        record_timeline: true,
-        ..SimConfig::default()
-    });
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut PauseResume,
+        &SimConfig {
+            record_timeline: true,
+            ..SimConfig::default()
+        },
+    );
     use dfrs_sim::AllocEvent;
-    let kinds: Vec<&AllocEvent> =
-        out.timeline.for_job(JobId(0)).map(|e| &e.event).collect();
+    let kinds: Vec<&AllocEvent> = out.timeline.for_job(JobId(0)).map(|e| &e.event).collect();
     assert!(matches!(kinds[0], AllocEvent::Start { .. }));
     assert!(matches!(kinds[1], AllocEvent::Pause));
     assert!(matches!(kinds[2], AllocEvent::Resume { .. }));
@@ -377,10 +424,15 @@ fn timeline_records_migrations_with_moved_counts() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 100.0).unwrap(),
         JobSpec::new(JobId(1), 40.0, 1, 1.0, 0.5, 10.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs, &mut MigrateOnArrival, &SimConfig {
-        record_timeline: true,
-        ..SimConfig::default()
-    });
+    let out = simulate(
+        cluster(),
+        &jobs,
+        &mut MigrateOnArrival,
+        &SimConfig {
+            record_timeline: true,
+            ..SimConfig::default()
+        },
+    );
     use dfrs_sim::AllocEvent;
     let migr = out
         .timeline
@@ -401,12 +453,17 @@ fn live_migration_halves_bytes_and_shortens_freeze() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.5, 100.0).unwrap(),
         JobSpec::new(JobId(1), 40.0, 1, 1.0, 0.5, 10.0).unwrap(),
     ];
-    let live = simulate(cluster(), &jobs, &mut MigrateOnArrival, &SimConfig {
-        penalty: 300.0,
-        migration_mode: MigrationMode::Live { freeze_secs: 5.0 },
-        validate: true,
-        ..SimConfig::default()
-    });
+    let live = simulate(
+        cluster(),
+        &jobs,
+        &mut MigrateOnArrival,
+        &SimConfig {
+            penalty: 300.0,
+            migration_mode: MigrationMode::Live { freeze_secs: 5.0 },
+            validate: true,
+            ..SimConfig::default()
+        },
+    );
     // Stop-and-copy (earlier test): completion 400, 8 GB. Live: the job
     // freezes 40..45 then finishes its remaining 60 s at 105; one copy
     // of 0.5 × 8 GB = 4 GB.
@@ -418,11 +475,19 @@ fn live_migration_halves_bytes_and_shortens_freeze() {
         JobSpec::new(JobId(0), 0.0, 1, 1.0, 0.8, 100.0).unwrap(),
         JobSpec::new(JobId(1), 30.0, 1, 1.0, 0.8, 50.0).unwrap(),
     ];
-    let out = simulate(cluster(), &jobs2, &mut PauseResume, &SimConfig {
-        penalty: 300.0,
-        migration_mode: MigrationMode::Live { freeze_secs: 5.0 },
-        validate: true,
-        ..SimConfig::default()
-    });
-    assert!((out.records[0].completion - 450.0).abs() < 1e-6, "resume penalty unchanged");
+    let out = simulate(
+        cluster(),
+        &jobs2,
+        &mut PauseResume,
+        &SimConfig {
+            penalty: 300.0,
+            migration_mode: MigrationMode::Live { freeze_secs: 5.0 },
+            validate: true,
+            ..SimConfig::default()
+        },
+    );
+    assert!(
+        (out.records[0].completion - 450.0).abs() < 1e-6,
+        "resume penalty unchanged"
+    );
 }

@@ -29,7 +29,10 @@ impl Scheduler for OnePlan {
 }
 
 fn run_with(plan: Plan) {
-    let cfg = SimConfig { validate: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        validate: true,
+        ..SimConfig::default()
+    };
     simulate(cluster(), &one_job(), &mut OnePlan(Some(plan)), &cfg);
 }
 
@@ -65,7 +68,10 @@ fn memory_overcommit_is_caught() {
     // jobs' worth is not — emulate by a job with mem 0.6 × 2 tasks on
     // one node: 1.2 > 1.
     let jobs = vec![JobSpec::new(JobId(0), 0.0, 2, 0.5, 0.6, 100.0).unwrap()];
-    let cfg = SimConfig { validate: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        validate: true,
+        ..SimConfig::default()
+    };
     let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(0)], 1.0);
     simulate(cluster(), &jobs, &mut OnePlan(Some(plan)), &cfg);
 }
@@ -75,7 +81,10 @@ fn memory_overcommit_is_caught() {
 fn cpu_overallocation_is_caught() {
     // Two full-CPU tasks at yield 1.0 on one node: alloc 2.0 > 1.
     let jobs = vec![JobSpec::new(JobId(0), 0.0, 2, 1.0, 0.2, 100.0).unwrap()];
-    let cfg = SimConfig { validate: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        validate: true,
+        ..SimConfig::default()
+    };
     let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(0)], 1.0);
     simulate(cluster(), &jobs, &mut OnePlan(Some(plan)), &cfg);
 }
@@ -86,7 +95,9 @@ fn timer_in_the_past_panics() {
     let jobs = vec![JobSpec::new(JobId(0), 100.0, 1, 0.5, 0.2, 50.0).unwrap()];
     let cfg = SimConfig::default();
     // Timer at t=10 requested at t=100.
-    let plan = Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0).timer(JobId(0), 10.0);
+    let plan = Plan::noop()
+        .run(JobId(0), vec![NodeId(0)], 1.0)
+        .timer(JobId(0), 10.0);
     simulate(cluster(), &jobs, &mut OnePlan(Some(plan)), &cfg);
 }
 
@@ -108,7 +119,10 @@ fn runaway_event_loops_hit_the_cap() {
             }
         }
     }
-    let cfg = SimConfig { max_events: 1_000, ..SimConfig::default() };
+    let cfg = SimConfig {
+        max_events: 1_000,
+        ..SimConfig::default()
+    };
     simulate(cluster(), &one_job(), &mut TimerLoop, &cfg);
 }
 
@@ -116,7 +130,10 @@ fn runaway_event_loops_hit_the_cap() {
 fn valid_plan_on_the_same_shapes_succeeds() {
     // Sanity twin of the panicking tests: the same job runs fine with a
     // correct plan.
-    let cfg = SimConfig { validate: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        validate: true,
+        ..SimConfig::default()
+    };
     let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(1)], 1.0);
     let out = simulate(cluster(), &one_job(), &mut OnePlan(Some(plan)), &cfg);
     assert_eq!(out.max_stretch, 1.0);

@@ -5,9 +5,7 @@
 
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_core::{ClusterSpec, JobSpec};
-use dfrs_sim::{
-    simulate, AllocEvent, JobStatus, Plan, SchedEvent, Scheduler, SimConfig, SimState,
-};
+use dfrs_sim::{simulate, AllocEvent, JobStatus, Plan, SchedEvent, Scheduler, SimConfig, SimState};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -20,15 +18,16 @@ struct ChaosScheduler {
 
 impl ChaosScheduler {
     fn new(seed: u64) -> Self {
-        ChaosScheduler { rng: SmallRng::seed_from_u64(seed) }
+        ChaosScheduler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Greedy-fill pending/paused jobs onto randomly ordered nodes,
     /// giving everyone a safe equal-share yield.
     fn build_plan(&mut self, state: &SimState, chaos: bool) -> Plan {
         let n_nodes = state.cluster.nodes().len();
-        let mut mem_free: Vec<f64> =
-            state.cluster.nodes().iter().map(|n| n.mem_free()).collect();
+        let mut mem_free: Vec<f64> = state.cluster.nodes().iter().map(|n| n.mem_free()).collect();
 
         let mut plan_pauses: Vec<JobId> = Vec::new();
         let mut placements: Vec<(JobId, Vec<NodeId>)> = Vec::new();
@@ -127,8 +126,7 @@ impl ChaosScheduler {
         let mut load = vec![0.0f64; n_nodes];
         let mut all_runs: Vec<(JobId, Vec<NodeId>)> = Vec::new();
         for j in state.running_jobs() {
-            if plan_pauses.contains(&j.spec.id)
-                || placements.iter().any(|(id, _)| *id == j.spec.id)
+            if plan_pauses.contains(&j.spec.id) || placements.iter().any(|(id, _)| *id == j.spec.id)
             {
                 continue;
             }
@@ -178,7 +176,7 @@ fn jobs_from_seed(seed: u64, n: usize) -> Vec<JobSpec> {
                 JobId(i as u32),
                 rng.gen_range(0.0..5_000.0),
                 rng.gen_range(1..5),
-                [0.25, 0.5, 1.0][rng.gen_range(0..3)],
+                [0.25, 0.5, 1.0][rng.gen_range(0..3usize)],
                 0.1 * rng.gen_range(1..8) as f64,
                 rng.gen_range(10.0..2_000.0),
             )

@@ -30,7 +30,10 @@ pub struct Annotator {
 impl Annotator {
     /// Annotator for the given cluster with the paper's constants.
     pub fn new(cluster: ClusterSpec) -> Self {
-        Annotator { cluster, light_mem_prob: 0.55 }
+        Annotator {
+            cluster,
+            light_mem_prob: 0.55,
+        }
     }
 
     /// CPU need of a job of `tasks` tasks: sequential (one core) for
@@ -93,7 +96,11 @@ mod tests {
     }
 
     fn raw(tasks: u32) -> RawJob {
-        RawJob { submit: 5.0, tasks, runtime: 100.0 }
+        RawJob {
+            submit: 5.0,
+            tasks,
+            runtime: 100.0,
+        }
     }
 
     #[test]
@@ -131,7 +138,10 @@ mod tests {
             }
         }
         let light_frac = light as f64 / n as f64;
-        assert!((light_frac - 0.55).abs() < 0.01, "light fraction {light_frac}");
+        assert!(
+            (light_frac - 0.55).abs() < 0.01,
+            "light fraction {light_frac}"
+        );
         // Heavy deciles 2..=10 roughly uniform: each ≈ 5 % of all jobs.
         for d in 2..=10u32 {
             let f = *heavy_values.get(&d).unwrap_or(&0) as f64 / n as f64;

@@ -88,7 +88,11 @@ pub fn profile(trace: &Trace) -> WorkloadProfile {
     WorkloadProfile {
         jobs: n,
         serial_fraction: frac(serial),
-        pow2_fraction: if parallel > 0 { pow2 as f64 / parallel as f64 } else { 0.0 },
+        pow2_fraction: if parallel > 0 {
+            pow2 as f64 / parallel as f64
+        } else {
+            0.0
+        },
         tasks,
         runtime,
         runtime_hist,
@@ -167,7 +171,11 @@ mod tests {
     #[test]
     fn lublin_profile_matches_model_targets() {
         let p = profile(&lublin_trace(10_000, 1));
-        assert!((p.serial_fraction - 0.244).abs() < 0.03, "serial {}", p.serial_fraction);
+        assert!(
+            (p.serial_fraction - 0.244).abs() < 0.03,
+            "serial {}",
+            p.serial_fraction
+        );
         assert!(p.pow2_fraction > 0.5);
         assert!((p.light_mem_fraction - 0.55).abs() < 0.03);
         // Sequential tasks (24.4 %) have need 0.25; rest are CPU-bound.

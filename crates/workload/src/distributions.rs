@@ -21,8 +21,14 @@ impl Gamma {
     /// Construct, panicking on non-positive parameters (these are
     /// programmer-supplied model constants, not runtime data).
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive");
-        assert!(scale > 0.0 && scale.is_finite(), "gamma scale must be positive");
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "gamma shape must be positive"
+        );
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "gamma scale must be positive"
+        );
         Gamma { shape, scale }
     }
 
@@ -44,7 +50,11 @@ impl Gamma {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         if self.shape < 1.0 {
             // Johnk boost.
-            let boosted = Gamma { shape: self.shape + 1.0, scale: 1.0 }.sample(rng);
+            let boosted = Gamma {
+                shape: self.shape + 1.0,
+                scale: 1.0,
+            }
+            .sample(rng);
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             return boosted * u.powf(1.0 / self.shape) * self.scale;
         }
@@ -63,9 +73,7 @@ impl Gamma {
             let v3 = v * v * v;
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             // Squeeze, then full acceptance test.
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
                 return d * v3 * self.scale;
             }
         }
@@ -88,7 +96,11 @@ pub struct HyperGamma {
 impl HyperGamma {
     /// Construct; `p` is clamped into `[0, 1]`.
     pub fn new(first: Gamma, second: Gamma, p: f64) -> Self {
-        HyperGamma { first, second, p: p.clamp(0.0, 1.0) }
+        HyperGamma {
+            first,
+            second,
+            p: p.clamp(0.0, 1.0),
+        }
     }
 
     /// Mixture mean.
@@ -125,9 +137,17 @@ pub struct TwoStageUniform {
 impl TwoStageUniform {
     /// Construct, panicking unless `low ≤ med ≤ high` and `prob ∈ [0,1]`.
     pub fn new(low: f64, med: f64, high: f64, prob: f64) -> Self {
-        assert!(low <= med && med <= high, "two-stage bounds must be ordered");
+        assert!(
+            low <= med && med <= high,
+            "two-stage bounds must be ordered"
+        );
         assert!((0.0..=1.0).contains(&prob));
-        TwoStageUniform { low, med, high, prob }
+        TwoStageUniform {
+            low,
+            med,
+            high,
+            prob,
+        }
     }
 
     /// Distribution mean.
@@ -168,16 +188,30 @@ mod tests {
     fn gamma_moments_match_theory_shape_above_one() {
         let g = Gamma::new(4.2, 0.94);
         let (mean, var) = sample_stats(|r| g.sample(r), 200_000);
-        assert!((mean - g.mean()).abs() / g.mean() < 0.02, "mean {mean} vs {}", g.mean());
-        assert!((var - g.variance()).abs() / g.variance() < 0.05, "var {var}");
+        assert!(
+            (mean - g.mean()).abs() / g.mean() < 0.02,
+            "mean {mean} vs {}",
+            g.mean()
+        );
+        assert!(
+            (var - g.variance()).abs() / g.variance() < 0.05,
+            "var {var}"
+        );
     }
 
     #[test]
     fn gamma_moments_match_theory_shape_below_one() {
         let g = Gamma::new(0.45, 2.0);
         let (mean, var) = sample_stats(|r| g.sample(r), 300_000);
-        assert!((mean - g.mean()).abs() / g.mean() < 0.03, "mean {mean} vs {}", g.mean());
-        assert!((var - g.variance()).abs() / g.variance() < 0.08, "var {var}");
+        assert!(
+            (mean - g.mean()).abs() / g.mean() < 0.03,
+            "mean {mean} vs {}",
+            g.mean()
+        );
+        assert!(
+            (var - g.variance()).abs() / g.variance() < 0.08,
+            "var {var}"
+        );
     }
 
     #[test]
@@ -199,7 +233,11 @@ mod tests {
     fn hypergamma_mean_interpolates() {
         let h = HyperGamma::new(Gamma::new(2.0, 1.0), Gamma::new(10.0, 2.0), 0.3);
         let (mean, _) = sample_stats(|r| h.sample(r), 200_000);
-        assert!((mean - h.mean()).abs() / h.mean() < 0.02, "mean {mean} vs {}", h.mean());
+        assert!(
+            (mean - h.mean()).abs() / h.mean() < 0.02,
+            "mean {mean} vs {}",
+            h.mean()
+        );
     }
 
     #[test]
@@ -223,7 +261,11 @@ mod tests {
             sum += x;
         }
         let mean = sum / n as f64;
-        assert!((mean - t.mean()).abs() < 0.02, "mean {mean} vs {}", t.mean());
+        assert!(
+            (mean - t.mean()).abs() < 0.02,
+            "mean {mean} vs {}",
+            t.mean()
+        );
     }
 
     #[test]

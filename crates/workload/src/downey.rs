@@ -112,7 +112,11 @@ impl DowneyModel {
             }
             let tasks = self.sample_size(rng);
             let runtime = self.sample_runtime(rng, tasks);
-            jobs.push(RawJob { submit: t, tasks, runtime });
+            jobs.push(RawJob {
+                submit: t,
+                tasks,
+                runtime,
+            });
         }
         jobs
     }
@@ -132,7 +136,11 @@ mod tests {
     #[test]
     fn sizes_are_powers_of_two_within_bounds() {
         for j in gen(5_000, 1) {
-            assert!(j.tasks == 1 || j.tasks.is_power_of_two(), "size {}", j.tasks);
+            assert!(
+                j.tasks == 1 || j.tasks.is_power_of_two(),
+                "size {}",
+                j.tasks
+            );
             assert!(j.tasks <= 128);
         }
     }
@@ -159,8 +167,11 @@ mod tests {
         // decreases with size.
         let jobs = gen(40_000, 4);
         let mean_rt = |pred: &dyn Fn(&RawJob) -> bool| {
-            let sel: Vec<f64> =
-                jobs.iter().filter(|j| pred(j)).map(|j| j.runtime.log2()).collect();
+            let sel: Vec<f64> = jobs
+                .iter()
+                .filter(|j| pred(j))
+                .map(|j| j.runtime.log2())
+                .collect();
             sel.iter().sum::<f64>() / sel.len() as f64
         };
         let small = mean_rt(&|j| j.tasks <= 2);
@@ -176,7 +187,11 @@ mod tests {
         assert!((mean - 430.0).abs() / 430.0 < 0.05, "mean gap {mean}");
         // Exponential: std ≈ mean.
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
-        assert!((var.sqrt() - mean).abs() / mean < 0.1, "std {} vs mean {mean}", var.sqrt());
+        assert!(
+            (var.sqrt() - mean).abs() / mean < 0.1,
+            "std {} vs mean {mean}",
+            var.sqrt()
+        );
     }
 
     #[test]

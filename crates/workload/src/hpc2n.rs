@@ -51,7 +51,9 @@ pub fn hpc2n_preprocess(records: &[SwfRecord], cluster: ClusterSpec) -> Trace {
     let t0 = if t0.is_finite() { t0 } else { 0.0 };
 
     for rec in records {
-        let Some(procs) = rec.effective_procs() else { continue };
+        let Some(procs) = rec.effective_procs() else {
+            continue;
+        };
         if rec.runtime <= 0.0 || rec.submit < 0.0 {
             continue;
         }
@@ -70,9 +72,7 @@ pub fn hpc2n_preprocess(records: &[SwfRecord], cluster: ClusterSpec) -> Trace {
             continue;
         }
         let id = JobId(jobs.len() as u32);
-        if let Ok(job) =
-            JobSpec::new(id, rec.submit - t0, tasks, cpu_need, mem_req, rec.runtime)
-        {
+        if let Ok(job) = JobSpec::new(id, rec.submit - t0, tasks, cpu_need, mem_req, rec.runtime) {
             jobs.push(job);
         }
     }
@@ -133,8 +133,12 @@ impl Hpc2nLikeGenerator {
                 1
             } else {
                 // Power-of-two bias with occasional odd sizes, ≤ 240 procs.
-                let base = 1i64 << rng.gen_range(1..=6);
-                let procs = if rng.gen_bool(0.2) { base * 3 / 2 } else { base };
+                let base = 1i64 << rng.gen_range(1..=6i32);
+                let procs = if rng.gen_bool(0.2) {
+                    base * 3 / 2
+                } else {
+                    base
+                };
                 procs.min(2 * self.cluster.nodes as i64)
             };
             let short = rng.gen_bool(if serial {
@@ -158,7 +162,11 @@ impl Hpc2nLikeGenerator {
                 0.1 * rng.gen_range(2..=10) as f64
             };
             // ~1 % of jobs miss memory info, as in the real trace.
-            let mem_kb = if rng.gen_bool(0.01) { -1.0 } else { frac * node_kb };
+            let mem_kb = if rng.gen_bool(0.01) {
+                -1.0
+            } else {
+                frac * node_kb
+            };
 
             let mut rec = SwfRecord::unknown();
             rec.job_id = id;
@@ -285,8 +293,10 @@ mod tests {
         let frac = serial / recs.len() as f64;
         assert!((frac - 0.70).abs() < 0.05, "serial fraction {frac}");
         // The signature property: lots of short serial jobs.
-        let short_serial =
-            recs.iter().filter(|r| r.used_procs == 1 && r.runtime < 256.0).count() as f64;
+        let short_serial = recs
+            .iter()
+            .filter(|r| r.used_procs == 1 && r.runtime < 256.0)
+            .count() as f64;
         assert!(short_serial / recs.len() as f64 > 0.3);
     }
 

@@ -140,7 +140,10 @@ impl LublinParams {
 
     /// The same defaults with the day/night arrival rhythm enabled.
     pub fn for_cluster_with_daily_cycle(nodes: u32) -> Self {
-        LublinParams { daily_cycle: Some(DailyCycle::lublin_like()), ..Self::for_cluster(nodes) }
+        LublinParams {
+            daily_cycle: Some(DailyCycle::lublin_like()),
+            ..Self::for_cluster(nodes)
+        }
     }
 }
 
@@ -219,7 +222,11 @@ impl LublinModel {
             }
             let tasks = self.sample_size(rng);
             let runtime = self.sample_runtime(rng, tasks);
-            jobs.push(RawJob { submit: t, tasks, runtime });
+            jobs.push(RawJob {
+                submit: t,
+                tasks,
+                runtime,
+            });
         }
         jobs
     }
@@ -258,7 +265,10 @@ mod tests {
     fn powers_of_two_are_overrepresented() {
         let jobs = gen(20_000, 3);
         let parallel: Vec<_> = jobs.iter().filter(|j| j.tasks > 1).collect();
-        let pow2 = parallel.iter().filter(|j| j.tasks.is_power_of_two()).count() as f64;
+        let pow2 = parallel
+            .iter()
+            .filter(|j| j.tasks.is_power_of_two())
+            .count() as f64;
         let frac = pow2 / parallel.len() as f64;
         // Rounding the exponent hits a power of two with prob pow2_prob
         // plus boundary effects from the continuous branch.
@@ -268,7 +278,11 @@ mod tests {
     #[test]
     fn runtimes_respect_clamps() {
         for j in gen(20_000, 4) {
-            assert!(j.runtime >= 1.0 && j.runtime <= 65_536.0, "runtime {}", j.runtime);
+            assert!(
+                j.runtime >= 1.0 && j.runtime <= 65_536.0,
+                "runtime {}",
+                j.runtime
+            );
         }
     }
 
@@ -288,7 +302,10 @@ mod tests {
             }
         }
         assert!(ns > 100 && nl > 100, "not enough samples in size buckets");
-        assert!(large / nl as f64 > small / ns as f64 + 0.5, "no size-runtime correlation");
+        assert!(
+            large / nl as f64 > small / ns as f64 + 0.5,
+            "no size-runtime correlation"
+        );
     }
 
     #[test]
@@ -309,7 +326,10 @@ mod tests {
             let jobs = gen(1_000, 100 + seed);
             let span = jobs.last().unwrap().submit;
             let days = span / 86_400.0;
-            assert!((2.0..10.0).contains(&days), "span {days} days (seed {seed})");
+            assert!(
+                (2.0..10.0).contains(&days),
+                "span {days} days (seed {seed})"
+            );
         }
     }
 
@@ -353,7 +373,10 @@ mod daily_cycle_tests {
         assert!(c.weight_at(14.0 * 3600.0) > 1.4);
         assert!(c.weight_at(3.0 * 3600.0) < 0.6);
         // Wraps across days.
-        assert_eq!(c.weight_at(14.0 * 3600.0), c.weight_at((24.0 + 14.0) * 3600.0));
+        assert_eq!(
+            c.weight_at(14.0 * 3600.0),
+            c.weight_at((24.0 + 14.0) * 3600.0)
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl SwfRecord {
 
     /// Processors to schedule: used if known, else requested.
     pub fn effective_procs(&self) -> Option<u32> {
-        let p = if self.used_procs > 0 { self.used_procs } else { self.req_procs };
+        let p = if self.used_procs > 0 {
+            self.used_procs
+        } else {
+            self.req_procs
+        };
         (p > 0).then_some(p as u32)
     }
 
@@ -99,12 +103,17 @@ fn parse_i(tok: &str, line: usize) -> Result<i64, CoreError> {
     // Some archive files use floats in integer columns; accept and floor.
     tok.parse::<i64>()
         .or_else(|_| tok.parse::<f64>().map(|f| f as i64))
-        .map_err(|_| CoreError::Parse { line, reason: format!("bad integer field {tok:?}") })
+        .map_err(|_| CoreError::Parse {
+            line,
+            reason: format!("bad integer field {tok:?}"),
+        })
 }
 
 fn parse_f(tok: &str, line: usize) -> Result<f64, CoreError> {
-    tok.parse::<f64>()
-        .map_err(|_| CoreError::Parse { line, reason: format!("bad numeric field {tok:?}") })
+    tok.parse::<f64>().map_err(|_| CoreError::Parse {
+        line,
+        reason: format!("bad numeric field {tok:?}"),
+    })
 }
 
 /// Parse an SWF document into header pairs and records.

@@ -103,7 +103,11 @@ impl Trace {
         }
         let mut span = self.span();
         if span <= 0.0 {
-            span = self.jobs.iter().map(|j| j.oracle_runtime()).fold(0.0, f64::max);
+            span = self
+                .jobs
+                .iter()
+                .map(|j| j.oracle_runtime())
+                .fold(0.0, f64::max);
         }
         self.total_node_seconds() / (self.cluster.nodes as f64 * span)
     }
@@ -113,7 +117,10 @@ impl Trace {
     /// preserved).
     pub fn scale_interarrival(&self, factor: f64) -> Result<Trace, CoreError> {
         if !factor.is_finite() || factor <= 0.0 {
-            return Err(CoreError::NonPositive { what: "scale factor", value: factor });
+            return Err(CoreError::NonPositive {
+                what: "scale factor",
+                value: factor,
+            });
         }
         let Some(first) = self.jobs.first() else {
             return Ok(self.clone());
@@ -140,7 +147,10 @@ impl Trace {
     /// targets 0.1–0.9 in steps of 0.1).
     pub fn scale_to_load(&self, target: f64) -> Result<Trace, CoreError> {
         if !target.is_finite() || target <= 0.0 {
-            return Err(CoreError::NonPositive { what: "target load", value: target });
+            return Err(CoreError::NonPositive {
+                what: "target load",
+                value: target,
+            });
         }
         let current = self.offered_load();
         if current == 0.0 {
@@ -211,7 +221,11 @@ mod tests {
     fn new_sorts_and_reindexes() {
         let t = Trace::new(
             cluster(),
-            vec![job(0, 50.0, 1, 10.0), job(1, 10.0, 2, 10.0), job(2, 30.0, 1, 10.0)],
+            vec![
+                job(0, 50.0, 1, 10.0),
+                job(1, 10.0, 2, 10.0),
+                job(2, 30.0, 1, 10.0),
+            ],
         )
         .unwrap();
         let submits: Vec<f64> = t.jobs().iter().map(|j| j.submit_time).collect();
@@ -229,8 +243,11 @@ mod tests {
     #[test]
     fn offered_load_formula() {
         // Two jobs: 2×100 + 1×100 node-seconds = 300 over 4 nodes × 100 s.
-        let t = Trace::new(cluster(), vec![job(0, 0.0, 2, 100.0), job(1, 100.0, 1, 100.0)])
-            .unwrap();
+        let t = Trace::new(
+            cluster(),
+            vec![job(0, 0.0, 2, 100.0), job(1, 100.0, 1, 100.0)],
+        )
+        .unwrap();
         assert!((t.offered_load() - 300.0 / 400.0).abs() < 1e-12);
     }
 
@@ -245,7 +262,11 @@ mod tests {
     fn scale_interarrival_scales_span_linearly() {
         let t = Trace::new(
             cluster(),
-            vec![job(0, 10.0, 1, 5.0), job(1, 20.0, 1, 5.0), job(2, 40.0, 1, 5.0)],
+            vec![
+                job(0, 10.0, 1, 5.0),
+                job(1, 20.0, 1, 5.0),
+                job(2, 40.0, 1, 5.0),
+            ],
         )
         .unwrap();
         let s = t.scale_interarrival(3.0).unwrap();
@@ -257,8 +278,9 @@ mod tests {
 
     #[test]
     fn scale_to_load_hits_target() {
-        let jobs: Vec<JobSpec> =
-            (0..50).map(|i| job(i, i as f64 * 60.0, 1 + (i % 4), 400.0)).collect();
+        let jobs: Vec<JobSpec> = (0..50)
+            .map(|i| job(i, i as f64 * 60.0, 1 + (i % 4), 400.0))
+            .collect();
         let t = Trace::new(cluster(), jobs).unwrap();
         for target in [0.1, 0.5, 0.9] {
             let s = t.scale_to_load(target).unwrap();
@@ -309,7 +331,11 @@ mod tests {
     fn stable_sort_keeps_equal_time_order() {
         let t = Trace::new(
             cluster(),
-            vec![job(7, 10.0, 1, 1.0), job(8, 10.0, 2, 1.0), job(9, 10.0, 3, 1.0)],
+            vec![
+                job(7, 10.0, 1, 1.0),
+                job(8, 10.0, 2, 1.0),
+                job(9, 10.0, 3, 1.0),
+            ],
         )
         .unwrap();
         let tasks: Vec<u32> = t.jobs().iter().map(|j| j.tasks).collect();

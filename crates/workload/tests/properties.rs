@@ -11,7 +11,13 @@ use rand::SeedableRng;
 
 fn arb_jobs(max: usize) -> impl Strategy<Value = Vec<JobSpec>> {
     prop::collection::vec(
-        (0.0f64..1e6, 1u32..16, 0.05f64..=1.0, 0.05f64..=1.0, 1.0f64..1e5),
+        (
+            0.0f64..1e6,
+            1u32..16,
+            0.05f64..=1.0,
+            0.05f64..=1.0,
+            1.0f64..1e5,
+        ),
         1..max,
     )
     .prop_map(|raw| {

@@ -19,7 +19,10 @@ fn main() {
     let model = LublinModel::for_cluster(&cluster);
     let raws = model.generate(300, &mut rng);
     let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    let trace = Trace::new(cluster, jobs).unwrap().scale_to_load(0.7).unwrap();
+    let trace = Trace::new(cluster, jobs)
+        .unwrap()
+        .scale_to_load(0.7)
+        .unwrap();
 
     println!("DynMCB8-asap-per under different periods (load 0.7, penalty 300 s)\n");
     println!(

@@ -24,7 +24,10 @@ fn main() {
     let model = LublinModel::for_cluster(&cluster);
     let raws = model.generate(200, &mut rng);
     let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    let trace = Trace::new(cluster, jobs).unwrap().scale_to_load(0.7).unwrap();
+    let trace = Trace::new(cluster, jobs)
+        .unwrap()
+        .scale_to_load(0.7)
+        .unwrap();
     println!(
         "workload: {} jobs, span {:.1} h, offered load {:.2}",
         trace.len(),

@@ -27,7 +27,10 @@ fn main() {
     let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
     let base = Trace::new(cluster, jobs).unwrap();
 
-    println!("{} under increasing load (250 jobs, penalty 300 s)\n", algo.name());
+    println!(
+        "{} under increasing load (250 jobs, penalty 300 s)\n",
+        algo.name()
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>14} {:>16}",
         "load", "max stretch", "mean stretch", "utilization", "idle node-hours"

@@ -23,7 +23,10 @@ fn main() {
     let model = LublinModel::for_cluster(&cluster);
     let raws = model.generate(jobs, &mut rng);
     let specs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    let trace = Trace::new(cluster, specs).unwrap().scale_to_load(load).unwrap();
+    let trace = Trace::new(cluster, specs)
+        .unwrap()
+        .scale_to_load(load)
+        .unwrap();
 
     println!("load {load}, {jobs} jobs, seed {seed}, penalty 300 s\n");
     let config = SimConfig::with_penalty();

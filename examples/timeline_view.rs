@@ -19,11 +19,11 @@ fn main() {
         JobSpec::new(JobId(id), submit, tasks, cpu, mem, rt).unwrap()
     };
     let jobs = vec![
-        j(0, 0.0, 2, 0.25, 0.9, 900.0),   // memory hog on both nodes
-        j(1, 60.0, 1, 1.0, 0.4, 120.0),   // forces a pause of job 0
-        j(2, 120.0, 1, 1.0, 0.4, 120.0),  //
-        j(3, 400.0, 2, 1.0, 0.5, 300.0),  // wide job
-        j(4, 800.0, 1, 0.25, 0.1, 60.0),  // small late job
+        j(0, 0.0, 2, 0.25, 0.9, 900.0),  // memory hog on both nodes
+        j(1, 60.0, 1, 1.0, 0.4, 120.0),  // forces a pause of job 0
+        j(2, 120.0, 1, 1.0, 0.4, 120.0), //
+        j(3, 400.0, 2, 1.0, 0.5, 300.0), // wide job
+        j(4, 800.0, 1, 0.25, 0.1, 60.0), // small late job
     ];
 
     let config = SimConfig {
@@ -31,10 +31,21 @@ fn main() {
         validate: true,
         ..SimConfig::default()
     };
-    let out = simulate(cluster, &jobs, Algorithm::GreedyPmtnMigr.build().as_mut(), &config);
+    let out = simulate(
+        cluster,
+        &jobs,
+        Algorithm::GreedyPmtnMigr.build().as_mut(),
+        &config,
+    );
 
-    println!("algorithm: {}   max stretch: {:.2}\n", out.algorithm, out.max_stretch);
-    println!("lane chart over {:.0} s ('#' running, '.' paused):\n", out.makespan);
+    println!(
+        "algorithm: {}   max stretch: {:.2}\n",
+        out.algorithm, out.max_stretch
+    );
+    println!(
+        "lane chart over {:.0} s ('#' running, '.' paused):\n",
+        out.makespan
+    );
     print!("{}", out.timeline.render_ascii(out.makespan, 72));
 
     println!("\nrunning-jobs profile (time, jobs):");
@@ -49,6 +60,11 @@ fn main() {
             .for_job(rec.id)
             .map(|e| format!("{:?}@{:.0}", std::mem::discriminant(&e.event), e.time))
             .collect();
-        println!("  {}: {} events, stretch {:.2}", rec.id, events.len(), rec.stretch);
+        println!(
+            "  {}: {} events, stretch {:.2}",
+            rec.id,
+            events.len(),
+            rec.stretch
+        );
     }
 }

@@ -24,7 +24,10 @@ fn main() {
         None => {
             println!("no SWF given; synthesizing one HPC2N-like week");
             let mut rng = SmallRng::seed_from_u64(99);
-            let gen = Hpc2nLikeGenerator { jobs_per_week: 250.0, ..Default::default() };
+            let gen = Hpc2nLikeGenerator {
+                jobs_per_week: 250.0,
+                ..Default::default()
+            };
             let records = gen.generate_swf(1, &mut rng);
             let header = vec![
                 ("Computer".to_string(), "HPC2N-like synthetic".to_string()),
@@ -53,7 +56,11 @@ fn main() {
     );
 
     let config = SimConfig::with_penalty();
-    for algo in [Algorithm::Easy, Algorithm::GreedyPmtn, Algorithm::DynMcb8AsapPer] {
+    for algo in [
+        Algorithm::Easy,
+        Algorithm::GreedyPmtn,
+        Algorithm::DynMcb8AsapPer,
+    ] {
         let out = simulate(cluster, trace.jobs(), algo.build().as_mut(), &config);
         println!(
             "{:<22} max stretch {:>10.2}   mean {:>7.2}   makespan {:>7.1} h",

@@ -11,7 +11,10 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
 
     println!("=== Lublin synthetic trace (128-node quad-core cluster) ===");
     let cluster = ClusterSpec::synthetic();

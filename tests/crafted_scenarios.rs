@@ -7,7 +7,11 @@ use dfrs::sched::Algorithm;
 use dfrs::sim::{simulate, SimConfig, SimOutcome};
 
 fn run(algo: Algorithm, cluster: ClusterSpec, jobs: &[JobSpec], penalty: f64) -> SimOutcome {
-    let cfg = SimConfig { penalty, validate: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        penalty,
+        validate: true,
+        ..SimConfig::default()
+    };
     simulate(cluster, jobs, algo.build().as_mut(), &cfg)
 }
 
@@ -31,7 +35,10 @@ fn fractional_sharing_eliminates_batch_queueing() {
 
     for algo in [Algorithm::Greedy, Algorithm::GreedyPmtn, Algorithm::DynMcb8] {
         let dfrs = run(algo, cluster, &jobs, 0.0);
-        assert_eq!(dfrs.max_stretch, 1.0, "{algo}: all four should run at yield 1");
+        assert_eq!(
+            dfrs.max_stretch, 1.0,
+            "{algo}: all four should run at yield 1"
+        );
     }
 }
 
@@ -92,7 +99,11 @@ fn memory_is_a_hard_constraint_under_churn() {
             120.0,
         ));
     }
-    for algo in [Algorithm::GreedyPmtnMigr, Algorithm::DynMcb8, Algorithm::DynMcb8AsapPer] {
+    for algo in [
+        Algorithm::GreedyPmtnMigr,
+        Algorithm::DynMcb8,
+        Algorithm::DynMcb8AsapPer,
+    ] {
         let out = run(algo, cluster, &jobs, 300.0);
         assert_eq!(out.records.len(), 12, "{algo}");
     }
@@ -107,7 +118,9 @@ fn clairvoyant_easy_still_loses_on_sharing_friendly_load() {
     // Stream of 2-node jobs: no backfill holes exist for EASY to exploit
     // (every job needs the whole cluster width). Memory 0.15 × 6 = 0.9
     // per node, so DFRS can host all six jobs simultaneously.
-    let jobs: Vec<JobSpec> = (0..6).map(|i| job(i, i as f64, 2, 0.25, 0.15, 600.0)).collect();
+    let jobs: Vec<JobSpec> = (0..6)
+        .map(|i| job(i, i as f64, 2, 0.25, 0.15, 600.0))
+        .collect();
     let easy = run(Algorithm::Easy, cluster, &jobs, 0.0);
     let dfrs = run(Algorithm::DynMcb8, cluster, &jobs, 0.0);
     // EASY: strictly sequential → last job waits ~5×600.

@@ -14,11 +14,18 @@ fn trace(seed: u64, n: usize, load: f64) -> Trace {
     let mut rng = SmallRng::seed_from_u64(seed);
     let raws = model.generate(n, &mut rng);
     let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    Trace::new(cluster, jobs).unwrap().scale_to_load(load).unwrap()
+    Trace::new(cluster, jobs)
+        .unwrap()
+        .scale_to_load(load)
+        .unwrap()
 }
 
 fn run(algo: Algorithm, t: &Trace, penalty: f64) -> SimOutcome {
-    let cfg = SimConfig { penalty, validate: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        penalty,
+        validate: true,
+        ..SimConfig::default()
+    };
     simulate(t.cluster, t.jobs(), algo.build().as_mut(), &cfg)
 }
 
@@ -32,7 +39,10 @@ fn full_pipeline_all_algorithms_complete() {
         assert!(out.makespan > 0.0, "{algo}");
         // Every record is consistent.
         for r in &out.records {
-            assert!(r.completion >= r.submit, "{algo}: job finished before submission");
+            assert!(
+                r.completion >= r.submit,
+                "{algo}: job finished before submission"
+            );
             if let Some(s) = r.first_start {
                 assert!(s >= r.submit && s <= r.completion, "{algo}");
             }
@@ -43,7 +53,11 @@ fn full_pipeline_all_algorithms_complete() {
 #[test]
 fn determinism_across_identical_runs() {
     let t = trace(2, 50, 0.7);
-    for algo in [Algorithm::DynMcb8AsapPer, Algorithm::GreedyPmtnMigr, Algorithm::Easy] {
+    for algo in [
+        Algorithm::DynMcb8AsapPer,
+        Algorithm::GreedyPmtnMigr,
+        Algorithm::Easy,
+    ] {
         let a = run(algo, &t, 300.0);
         let b = run(algo, &t, 300.0);
         assert_eq!(a.records, b.records, "{algo}");
@@ -125,7 +139,11 @@ fn mean_stretch_never_exceeds_max() {
 #[test]
 fn idle_plus_busy_bounded_by_cluster_capacity() {
     let t = trace(8, 50, 0.5);
-    for algo in [Algorithm::Easy, Algorithm::DynMcb8Per, Algorithm::GreedyPmtn] {
+    for algo in [
+        Algorithm::Easy,
+        Algorithm::DynMcb8Per,
+        Algorithm::GreedyPmtn,
+    ] {
         let out = run(algo, &t, 300.0);
         let capacity = t.cluster.nodes as f64 * out.makespan;
         assert!(

@@ -1,0 +1,182 @@
+//! Offline, API-compatible subset of the `rand` crate (0.8 API surface).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the narrow slice of `rand` it actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`];
+//! * [`Rng::gen_range`] over half-open and inclusive integer/float ranges;
+//! * [`Rng::gen_bool`];
+//! * [`rngs::SmallRng`] — here xoshiro256++ seeded via SplitMix64, the
+//!   same construction rand 0.8 uses on 64-bit targets.
+//!
+//! Streams are deterministic per seed but are **not** bit-compatible with
+//! upstream `rand`; nothing in the workspace depends on upstream streams.
+
+pub mod rngs;
+
+pub mod uniform {
+    //! Range-to-sample conversion backing [`crate::Rng::gen_range`].
+
+    use crate::RngCore;
+
+    /// A range that can produce a uniformly distributed value of `T`.
+    pub trait SampleRange<T> {
+        /// Draw one value from the range. Panics on an empty range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    #[inline]
+    pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let v = self.start + (self.end - self.start) * unit_f64(rng);
+            // Guard against rounding up to the excluded endpoint.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (a, b) = (*self.start(), *self.end());
+            assert!(a <= b, "cannot sample empty range");
+            a + (b - a) * ((rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64))
+        }
+    }
+
+    impl SampleRange<f32> for core::ops::Range<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let v = self.start + (self.end - self.start) * unit_f64(rng) as f32;
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    /// Uniform `u64` in `[0, n)` by Lemire's multiply-shift with rejection.
+    #[inline]
+    pub(crate) fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo < n {
+                let thresh = n.wrapping_neg() % n;
+                if lo < thresh {
+                    continue;
+                }
+            }
+            return (m >> 64) as u64;
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    let off = below(rng, width);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "cannot sample empty range");
+                    let width = (b as i128 - a as i128) as u128 + 1;
+                    if width > u64::MAX as u128 {
+                        // Only reachable for 128-bit-wide u64/i64 inclusive
+                        // ranges; fall back to plain next_u64.
+                        return (a as i128).wrapping_add(rng.next_u64() as i128) as $t;
+                    }
+                    let off = below(rng, width as u64);
+                    (a as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level convenience methods; blanket-implemented for every
+/// [`RngCore`], mirroring rand 0.8.
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        uniform::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A deterministic RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (as rand 0.8 does).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
