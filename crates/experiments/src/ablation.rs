@@ -7,50 +7,58 @@
 //! 3. **Period** — T ∈ {60, 600, 3600} for the periodic repacker under
 //!    the 5-minute penalty (the paper states 600 matches 60's quality at
 //!    3600's overhead).
+//!
+//! Every variant is a registry [`SchedulerSpec`] — no hand-wired
+//! factory closures — so the same sweeps run from any binary via
+//! `--algo`.
 
 use dfrs_core::OnlineStats;
-use dfrs_sched::dynmcb8::PackerChoice;
-use dfrs_sched::{DynMcb8AsapPer, DynMcb8Per, GreedyPmtn};
-use dfrs_sim::Scheduler;
+use dfrs_scenario::{Campaign, Scenario};
+use dfrs_sched::SchedulerSpec;
 
 use crate::instances::scaled_instances;
 use crate::report::TextTable;
-use crate::runner::{run_matrix_with, SchedulerBuilder};
 
-/// Aggregated ablation rows: `(variant, avg max stretch, avg mean
-/// stretch, avg moves/job-ish aggregate)`.
+/// Aggregated ablation rows.
 #[derive(Debug, Clone)]
 pub struct AblationData {
     /// Table title.
     pub title: String,
-    /// `(name, avg max stretch, avg mean stretch, avg moved GB)` rows.
+    /// `(label, avg max stretch, avg mean stretch, avg moved GB)` rows.
     pub rows: Vec<(String, f64, f64, f64)>,
 }
 
-fn aggregate(
+/// Run `(label, spec)` variants over the instances and aggregate the
+/// stretch/data-movement means per variant.
+pub fn aggregate(
     title: &str,
-    instances: &[crate::Instance],
-    builders: &[SchedulerBuilder<'_>],
+    instances: &[Scenario],
+    variants: &[(&str, &str)],
     penalty: f64,
     threads: usize,
 ) -> AblationData {
-    let results = run_matrix_with(instances, builders, penalty, threads);
-    let mut rows = Vec::with_capacity(builders.len());
-    for b in 0..builders.len() {
+    let specs: Vec<SchedulerSpec> = variants
+        .iter()
+        .map(|(label, s)| {
+            s.parse()
+                .unwrap_or_else(|e| panic!("ablation variant {label}: {e}"))
+        })
+        .collect();
+    let result = Campaign::from_specs(instances, specs)
+        .penalty(penalty)
+        .threads(threads)
+        .run();
+    let mut rows = Vec::with_capacity(variants.len());
+    for (b, (label, _)) in variants.iter().enumerate() {
         let mut max_s = OnlineStats::new();
         let mut mean_s = OnlineStats::new();
         let mut moved = OnlineStats::new();
-        for row in &results {
+        for row in &result.cells {
             max_s.push(row[b].max_stretch);
             mean_s.push(row[b].mean_stretch);
-            moved.push(row[b].moved_gb);
+            moved.push(row[b].moved_gb());
         }
-        rows.push((
-            builders[b].0.to_string(),
-            max_s.mean(),
-            mean_s.mean(),
-            moved.mean(),
-        ));
+        rows.push((label.to_string(), max_s.mean(), mean_s.mean(), moved.mean()));
     }
     AblationData {
         title: title.to_string(),
@@ -67,21 +75,14 @@ pub fn packer_ablation(
     threads: usize,
 ) -> AblationData {
     let instances = scaled_instances(seeds, jobs, &[load], seed0);
-    let mcb8 = || -> Box<dyn Scheduler> {
-        Box::new(DynMcb8AsapPer::with_packer(600.0, PackerChoice::Mcb8))
-    };
-    let ffd = || -> Box<dyn Scheduler> {
-        Box::new(DynMcb8AsapPer::with_packer(600.0, PackerChoice::FirstFit))
-    };
-    let bfd = || -> Box<dyn Scheduler> {
-        Box::new(DynMcb8AsapPer::with_packer(600.0, PackerChoice::BestFit))
-    };
-    let builders: Vec<SchedulerBuilder> =
-        vec![("mcb8", &mcb8), ("first-fit", &ffd), ("best-fit", &bfd)];
     aggregate(
         "Packer inside the yield search (DynMCB8-asap-per 600)",
         &instances,
-        &builders,
+        &[
+            ("mcb8", "dynmcb8-asap-per:t=600,packer=mcb8"),
+            ("first-fit", "dynmcb8-asap-per:t=600,packer=first-fit"),
+            ("best-fit", "dynmcb8-asap-per:t=600,packer=best-fit"),
+        ],
         300.0,
         threads,
     )
@@ -96,14 +97,13 @@ pub fn priority_ablation(
     threads: usize,
 ) -> AblationData {
     let instances = scaled_instances(seeds, jobs, &[load], seed0);
-    let sq = || -> Box<dyn Scheduler> { Box::new(GreedyPmtn::new()) };
-    let lin = || -> Box<dyn Scheduler> { Box::new(GreedyPmtn::with_priority_exponent(1.0)) };
-    let builders: Vec<SchedulerBuilder> =
-        vec![("flow/vt^2 (paper)", &sq), ("flow/vt (no square)", &lin)];
     aggregate(
         "Priority exponent (Greedy-pmtn)",
         &instances,
-        &builders,
+        &[
+            ("flow/vt^2 (paper)", "greedy-pmtn:exponent=2"),
+            ("flow/vt (no square)", "greedy-pmtn:exponent=1"),
+        ],
         300.0,
         threads,
     )
@@ -118,15 +118,14 @@ pub fn period_ablation(
     threads: usize,
 ) -> AblationData {
     let instances = scaled_instances(seeds, jobs, &[load], seed0);
-    let t60 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(60.0)) };
-    let t600 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(600.0)) };
-    let t3600 = || -> Box<dyn Scheduler> { Box::new(DynMcb8Per::with_period(3600.0)) };
-    let builders: Vec<SchedulerBuilder> =
-        vec![("T=60", &t60), ("T=600 (paper)", &t600), ("T=3600", &t3600)];
     aggregate(
         "Scheduling period (DynMCB8-per)",
         &instances,
-        &builders,
+        &[
+            ("T=60", "dynmcb8-per:t=60"),
+            ("T=600 (paper)", "dynmcb8-per:t=600"),
+            ("T=3600", "dynmcb8-per:t=3600"),
+        ],
         300.0,
         threads,
     )

@@ -5,20 +5,18 @@
 
 use dfrs_experiments::cli::Opts;
 use dfrs_experiments::instances::{hpc2n_like_instances, scaled_instances, unscaled_instances};
-use dfrs_experiments::Instance;
-use dfrs_workload::{profile, Trace};
+use dfrs_scenario::Scenario;
+use dfrs_workload::profile;
 
-fn report(family: &str, instances: &[Instance]) {
+fn report(family: &str, instances: &[Scenario]) {
     println!("\n=== {family} ({} instances) ===", instances.len());
     // Profile the first instance in full; the rest only as a load line,
     // which is where instances of one family differ.
     if let Some(first) = instances.first() {
-        let trace = Trace::new(first.cluster, first.jobs.clone()).expect("instance is valid");
-        println!("[{}]\n{}", first.label, profile(&trace).render());
+        println!("[{}]\n{}", first.label, profile(&first.trace()).render());
     }
     for inst in instances.iter().skip(1) {
-        let trace = Trace::new(inst.cluster, inst.jobs.clone()).expect("instance is valid");
-        let p = profile(&trace);
+        let p = profile(&inst.trace());
         println!(
             "[{}] jobs {}, offered load {:.3}, serial {:.1}%, <1min {:.1}%",
             inst.label,

@@ -1,10 +1,12 @@
 //! Regenerates Figure 1: average stretch-degradation factor vs load.
 //!
 //! `--penalty 0` reproduces Figure 1(a), `--penalty 300` (default)
-//! Figure 1(b). Paper scale: `--paper-scale --penalty 0`.
+//! Figure 1(b). Paper scale: `--paper-scale --penalty 0`. Any registry
+//! spec set can replace the paper's nine via `--algo`.
 
 use dfrs_experiments::cli::Opts;
 use dfrs_experiments::fig1;
+use dfrs_sched::Algorithm;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,10 +26,11 @@ fn main() {
         opts.penalty,
         opts.threads
     );
-    let data = fig1::run(
+    let data = fig1::run_specs(
         opts.instances,
         opts.jobs,
         &opts.loads,
+        opts.specs_or(&Algorithm::ALL),
         opts.penalty,
         opts.seed,
         opts.threads,

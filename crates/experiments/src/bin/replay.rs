@@ -1,12 +1,12 @@
 //! Replays a real SWF trace (or, without `--swf`, a synthesized
-//! HPC2N-like one) through every algorithm and prints the outcome
-//! metrics — the quickest way to evaluate the full matrix on a trace
-//! that is not part of the paper's families.
+//! HPC2N-like one) through every algorithm — or any `--algo` spec set —
+//! and prints the outcome metrics: the quickest way to evaluate a
+//! scheduler matrix on a trace that is not part of the paper's families.
 
 use dfrs_experiments::cli::Opts;
 use dfrs_experiments::instances::{hpc2n_like_instances, hpc2n_swf_instances};
 use dfrs_experiments::report::{f2, TextTable};
-use dfrs_experiments::runner::run_matrix;
+use dfrs_scenario::{Campaign, CellResult};
 use dfrs_sched::Algorithm;
 
 fn main() {
@@ -32,13 +32,25 @@ fn main() {
             hpc2n_like_instances(opts.weeks, opts.hpc2n_jobs_per_week, opts.seed)
         }
     };
+    if instances.is_empty() {
+        eprintln!("no instances to replay (empty trace or --weeks 0)");
+        std::process::exit(2);
+    }
     eprintln!(
         "replaying {} instance(s), penalty {}s",
         instances.len(),
         opts.penalty
     );
 
-    let results = run_matrix(&instances, &Algorithm::ALL, opts.penalty, opts.threads);
+    let result = Campaign::from_specs(&instances, opts.specs_or(&Algorithm::ALL))
+        .penalty(opts.penalty)
+        .threads(opts.threads)
+        .on_cell(|u| {
+            if u.done == u.total || u.done % 16 == 0 {
+                eprintln!("  {}/{} cells done", u.done, u.total);
+            }
+        })
+        .run();
     let mut table = TextTable::new(vec![
         "algorithm",
         "max stretch (avg)",
@@ -46,13 +58,13 @@ fn main() {
         "preempt/job",
         "migr/job",
     ]);
-    for (a, algo) in Algorithm::ALL.iter().enumerate() {
-        let n = results.len() as f64;
-        let avg = |f: &dyn Fn(&dfrs_experiments::RunSummary) -> f64| {
-            results.iter().map(|row| f(&row[a])).sum::<f64>() / n
+    for a in 0..result.specs.len() {
+        let n = result.cells.len() as f64;
+        let avg = |f: &dyn Fn(&CellResult) -> f64| {
+            result.cells.iter().map(|row| f(&row[a])).sum::<f64>() / n
         };
         table.row(vec![
-            algo.name().to_string(),
+            result.cells[0][a].name.clone(),
             f2(avg(&|s| s.max_stretch)),
             f2(avg(&|s| s.mean_stretch)),
             f2(avg(&|s| s.preemptions_per_job())),

@@ -1,16 +1,16 @@
-//! Generic sweep: every algorithm × every load × both penalty settings,
-//! emitting one CSV row per (algorithm, load, penalty, instance) with
-//! all recorded metrics — the raw material for custom plots beyond the
-//! paper's figures.
+//! Generic sweep: every algorithm (or `--algo` spec set) × every load ×
+//! both penalty settings, emitting one CSV row per
+//! (scheduler, load, penalty, instance) with all recorded metrics — the
+//! raw material for custom plots beyond the paper's figures.
 //!
 //! ```sh
-//! cargo run --release -p dfrs-experiments --bin sweep -- \
+//! cargo run --release -p dfrs_experiments --bin sweep -- \
 //!     --instances 5 --jobs 300 --loads 0.2,0.5,0.8 --csv results/sweep.csv
 //! ```
 
 use dfrs_experiments::cli::Opts;
 use dfrs_experiments::instances::scaled_instances;
-use dfrs_experiments::runner::run_matrix;
+use dfrs_scenario::Campaign;
 use dfrs_sched::Algorithm;
 
 fn main() {
@@ -22,20 +22,23 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let algos = Algorithm::ALL.to_vec();
+    let specs = opts.specs_or(&Algorithm::ALL);
     let mut csv = String::from(
-        "algorithm,load,penalty,instance,max_stretch,mean_stretch,makespan,\
+        "scheduler,load,penalty,instance,max_stretch,mean_stretch,makespan,\
          preemptions,migrations,preemption_gb,migration_gb\n",
     );
     for &penalty in &[0.0, dfrs_core::constants::RESCHEDULING_PENALTY_SECS] {
         for &load in &opts.loads {
             let instances = scaled_instances(opts.instances, opts.jobs, &[load], opts.seed);
-            let results = run_matrix(&instances, &algos, penalty, opts.threads);
-            for (i, row) in results.iter().enumerate() {
+            let result = Campaign::from_specs(&instances, specs.clone())
+                .penalty(penalty)
+                .threads(opts.threads)
+                .run();
+            for (i, row) in result.cells.iter().enumerate() {
                 for s in row {
                     csv.push_str(&format!(
                         "{},{load},{penalty},{i},{:.4},{:.4},{:.1},{},{},{:.2},{:.2}\n",
-                        s.algorithm.name(),
+                        s.spec,
                         s.max_stretch,
                         s.mean_stretch,
                         s.makespan,

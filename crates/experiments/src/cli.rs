@@ -1,9 +1,14 @@
 //! Minimal hand-rolled CLI parsing shared by the experiment binaries
 //! (keeps the dependency set to the approved list — no clap).
 
+use dfrs_sched::{Algorithm, SchedulerRegistry, SchedulerSpec};
+
 /// Options common to all experiment binaries.
 #[derive(Debug, Clone)]
 pub struct Opts {
+    /// Scheduler specs to run (`--algo`), comma-separated; empty means
+    /// each binary's default set.
+    pub algos: Vec<SchedulerSpec>,
     /// Base traces (seeds) per family.
     pub instances: u64,
     /// Jobs per synthetic trace.
@@ -31,6 +36,7 @@ pub struct Opts {
 impl Default for Opts {
     fn default() -> Self {
         Opts {
+            algos: Vec::new(),
             instances: 10,
             jobs: 400,
             loads: dfrs_core::constants::SCALED_LOADS.to_vec(),
@@ -59,6 +65,13 @@ impl Opts {
                     .ok_or_else(|| format!("missing value after {arg}"))
             };
             match arg.as_str() {
+                "--algo" => {
+                    let reg = SchedulerRegistry::builtin();
+                    for part in grab()?.split(',') {
+                        o.algos
+                            .push(reg.parse(part).map_err(|e| format!("--algo: {e}"))?);
+                    }
+                }
                 "--instances" => o.instances = grab()?.parse().map_err(|e| format!("{e}"))?,
                 "--jobs" => o.jobs = grab()?.parse().map_err(|e| format!("{e}"))?,
                 "--loads" => {
@@ -97,11 +110,23 @@ impl Opts {
         }
         Ok(o)
     }
+
+    /// The specs `--algo` selected, or `default` (usually
+    /// [`Algorithm::ALL`]) when none were given.
+    pub fn specs_or(&self, default: &[Algorithm]) -> Vec<SchedulerSpec> {
+        if self.algos.is_empty() {
+            default.iter().map(Algorithm::spec).collect()
+        } else {
+            self.algos.clone()
+        }
+    }
 }
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "\
 Options:
+  --algo S1,S2,..   scheduler specs to run instead of the default set
+                    (any registry spec, e.g. dynmcb8-per:t=60)
   --instances N     base synthetic traces (default 10; paper: 100)
   --jobs N          jobs per synthetic trace (default 400; paper: 1000)
   --loads L1,L2,..  offered loads (default 0.1..0.9)
@@ -174,5 +199,19 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--loads", "0,-1"]).is_err());
+    }
+
+    #[test]
+    fn algo_specs_parse_and_default() {
+        let o = parse(&["--algo", "fcfs,dynmcb8-per:T=60"]).unwrap();
+        assert_eq!(o.algos.len(), 2);
+        assert_eq!(o.algos[1].to_string(), "dynmcb8-per:t=60");
+        assert_eq!(o.specs_or(&Algorithm::ALL), o.algos);
+
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.specs_or(&Algorithm::ALL).len(), 9);
+
+        let err = parse(&["--algo", "dynmbc8"]).unwrap_err();
+        assert!(err.contains("known:"), "{err}");
     }
 }

@@ -3,26 +3,67 @@
 //! rescheduling penalty.
 
 use dfrs_core::OnlineStats;
-use dfrs_sched::Algorithm;
+use dfrs_scenario::{degradation_row, Campaign};
+use dfrs_sched::SchedulerSpec;
 
 use crate::instances::scaled_instances;
 use crate::report::TextTable;
-use crate::runner::{degradation_row, run_matrix};
 
-/// One figure's data: per load level, per algorithm, the average
+/// One figure's data: per load level, per scheduler spec, the average
 /// degradation factor over the instances at that load.
 #[derive(Debug, Clone)]
 pub struct Fig1Data {
     /// Load grid (x axis).
     pub loads: Vec<f64>,
-    /// Algorithms (series), Table I order.
-    pub algorithms: Vec<Algorithm>,
+    /// Scheduler specs (series), Table I order by default.
+    pub specs: Vec<SchedulerSpec>,
+    /// Display names aligned with `specs`.
+    pub names: Vec<String>,
     /// `series[l][a]` = average degradation at `loads[l]` for
-    /// `algorithms[a]`.
+    /// `specs[a]`.
     pub series: Vec<Vec<f64>>,
 }
 
-/// Run the experiment.
+/// Run the experiment over arbitrary scheduler specs.
+pub fn run_specs(
+    seeds: u64,
+    jobs: usize,
+    loads: &[f64],
+    specs: Vec<SchedulerSpec>,
+    penalty: f64,
+    seed0: u64,
+    threads: usize,
+) -> Fig1Data {
+    let mut series = Vec::with_capacity(loads.len());
+    let mut names: Vec<String> = specs.iter().map(|s| s.to_string()).collect();
+    for &load in loads {
+        // One load at a time keeps the memory footprint flat and lets
+        // the degradation baseline stay per-instance, as in the paper.
+        let instances = scaled_instances(seeds, jobs, &[load], seed0);
+        let result = Campaign::from_specs(&instances, specs.clone())
+            .penalty(penalty)
+            .threads(threads)
+            .run();
+        let mut stats = vec![OnlineStats::new(); specs.len()];
+        for row in &result.cells {
+            for (a, d) in degradation_row(row).into_iter().enumerate() {
+                stats[a].push(d);
+            }
+        }
+        if let Some(row) = result.cells.first() {
+            names = row.iter().map(|c| c.name.clone()).collect();
+        }
+        series.push(stats.iter().map(OnlineStats::mean).collect());
+    }
+    Fig1Data {
+        loads: loads.to_vec(),
+        specs,
+        names,
+        series,
+    }
+}
+
+/// Run the experiment over the paper's nine algorithms.
 pub fn run(
     seeds: u64,
     jobs: usize,
@@ -31,33 +72,18 @@ pub fn run(
     seed0: u64,
     threads: usize,
 ) -> Fig1Data {
-    let algorithms = Algorithm::ALL.to_vec();
-    let mut series = Vec::with_capacity(loads.len());
-    for &load in loads {
-        // One load at a time keeps the memory footprint flat and lets
-        // the degradation baseline stay per-instance, as in the paper.
-        let instances = scaled_instances(seeds, jobs, &[load], seed0);
-        let results = run_matrix(&instances, &algorithms, penalty, threads);
-        let mut stats = vec![OnlineStats::new(); algorithms.len()];
-        for row in &results {
-            for (a, d) in degradation_row(row).into_iter().enumerate() {
-                stats[a].push(d);
-            }
-        }
-        series.push(stats.iter().map(OnlineStats::mean).collect());
-    }
-    Fig1Data {
-        loads: loads.to_vec(),
-        algorithms,
-        series,
-    }
+    let specs = dfrs_sched::Algorithm::ALL
+        .iter()
+        .map(|a| a.spec())
+        .collect();
+    run_specs(seeds, jobs, loads, specs, penalty, seed0, threads)
 }
 
 impl Fig1Data {
-    /// The figure as a table: rows = loads, columns = algorithms.
+    /// The figure as a table: rows = loads, columns = schedulers.
     pub fn table(&self) -> TextTable {
         let mut header = vec!["load".to_string()];
-        header.extend(self.algorithms.iter().map(|a| a.name().to_string()));
+        header.extend(self.names.iter().cloned());
         let mut t = TextTable::new(header);
         for (l, row) in self.loads.iter().zip(self.series.iter()) {
             let mut cells = vec![format!("{l:.1}")];
@@ -93,5 +119,16 @@ mod tests {
         let text = data.table().render();
         assert!(text.contains("FCFS"));
         assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn custom_specs_run_from_strings() {
+        let specs = ["greedy-pmtn", "dynmcb8-per:t=300"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let data = run_specs(1, 25, &[0.5], specs, 300.0, 9, 2);
+        assert_eq!(data.series[0].len(), 2);
+        assert!(data.table().render().contains("DynMCB8-per 300"));
     }
 }

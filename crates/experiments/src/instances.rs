@@ -1,5 +1,5 @@
-//! Workload instance construction for the paper's three experiment
-//! families.
+//! Workload scenario construction for the paper's three experiment
+//! families, on top of [`dfrs_scenario::ScenarioBuilder`].
 //!
 //! * **Scaled synthetic** — `seeds` Lublin base traces × the nine loads
 //!   0.1–0.9 (Section IV-C: 100 × 9 = 900 in the paper);
@@ -8,70 +8,44 @@
 //!   generator (or, when a real SWF file is supplied, from that file).
 
 use dfrs_core::constants::SCALED_LOADS;
-use dfrs_core::{ClusterSpec, JobSpec};
-use dfrs_workload::{Annotator, Hpc2nLikeGenerator, LublinModel, Trace};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-/// One simulatable workload.
-#[derive(Debug, Clone)]
-pub struct Instance {
-    /// Human-readable identity, e.g. `synthetic-s3-load0.5`.
-    pub label: String,
-    /// Target offered load (scaled family only).
-    pub load: Option<f64>,
-    /// The cluster.
-    pub cluster: ClusterSpec,
-    /// Jobs, sorted by submission with dense ids.
-    pub jobs: Vec<JobSpec>,
-}
-
-impl Instance {
-    fn from_trace(label: String, load: Option<f64>, trace: &Trace) -> Self {
-        Instance {
-            label,
-            load,
-            cluster: trace.cluster,
-            jobs: trace.jobs().to_vec(),
-        }
-    }
-}
+use dfrs_scenario::{Scenario, ScenarioBuilder, ScenarioError};
 
 /// One Lublin base trace (seeded), annotated per the paper.
-pub fn synthetic_base(seed: u64, jobs: usize) -> Trace {
-    let cluster = ClusterSpec::synthetic();
-    let model = LublinModel::for_cluster(&cluster);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let raws = model.generate(jobs, &mut rng);
-    let annotated = Annotator::new(cluster)
-        .annotate(&raws, &mut rng)
-        .expect("model output is always annotatable");
-    Trace::new(cluster, annotated).expect("model sizes fit the cluster")
+pub fn synthetic_base(seed: u64, jobs: usize) -> Scenario {
+    ScenarioBuilder::new()
+        .lublin(jobs)
+        .seed(seed)
+        .build()
+        .expect("the Lublin model always yields a valid trace")
 }
 
 /// The unscaled synthetic family: `seeds` base traces.
-pub fn unscaled_instances(seeds: u64, jobs: usize, seed0: u64) -> Vec<Instance> {
+pub fn unscaled_instances(seeds: u64, jobs: usize, seed0: u64) -> Vec<Scenario> {
     (0..seeds)
         .map(|s| {
-            let trace = synthetic_base(seed0 + s, jobs);
-            Instance::from_trace(format!("unscaled-s{s}"), None, &trace)
+            ScenarioBuilder::new()
+                .label(format!("unscaled-s{s}"))
+                .lublin(jobs)
+                .seed(seed0 + s)
+                .build()
+                .expect("the Lublin model always yields a valid trace")
         })
         .collect()
 }
 
 /// The scaled synthetic family: each base trace rescaled to each of
 /// `loads` (defaults to the paper's 0.1–0.9).
-pub fn scaled_instances(seeds: u64, jobs: usize, loads: &[f64], seed0: u64) -> Vec<Instance> {
+pub fn scaled_instances(seeds: u64, jobs: usize, loads: &[f64], seed0: u64) -> Vec<Scenario> {
     let mut out = Vec::with_capacity(seeds as usize * loads.len());
     for s in 0..seeds {
+        // Generate each base trace once and rescale per load — the
+        // paper's construction, and 9× cheaper than regenerating at
+        // every grid point.
         let base = synthetic_base(seed0 + s, jobs);
         for &load in loads {
-            let scaled = base.scale_to_load(load).expect("nonzero span");
-            out.push(Instance::from_trace(
-                format!("scaled-s{s}-load{load:.1}"),
-                Some(load),
-                &scaled,
-            ));
+            let mut scaled = base.scaled_to(load).expect("nonzero span");
+            scaled.label = format!("scaled-s{s}-load{load:.1}");
+            out.push(scaled);
         }
     }
     out
@@ -86,30 +60,22 @@ pub fn paper_loads() -> Vec<f64> {
 /// 182-week trace; see `dfrs_workload::hpc2n`). `jobs_per_week` scales
 /// the weekly volume (the real trace averages ≈ 1,100; smaller values
 /// make laptop-scale runs cheap).
-pub fn hpc2n_like_instances(weeks: u32, jobs_per_week: f64, seed: u64) -> Vec<Instance> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let gen = Hpc2nLikeGenerator {
-        jobs_per_week,
-        ..Hpc2nLikeGenerator::default()
-    };
-    gen.generate_weeks(weeks, &mut rng)
-        .iter()
-        .enumerate()
-        .map(|(i, t)| Instance::from_trace(format!("hpc2n-week{i}"), None, t))
-        .collect()
+pub fn hpc2n_like_instances(weeks: u32, jobs_per_week: f64, seed: u64) -> Vec<Scenario> {
+    ScenarioBuilder::new()
+        .label("hpc2n")
+        .hpc2n_like(weeks, jobs_per_week)
+        .seed(seed)
+        .build_all()
+        .expect("the HPC2N-like generator always yields valid traces")
 }
 
 /// One-week segments from a real SWF file processed by the paper's
 /// HPC2N rules.
-pub fn hpc2n_swf_instances(swf_text: &str) -> Result<Vec<Instance>, dfrs_core::CoreError> {
-    let (_, records) = dfrs_workload::parse_swf(swf_text)?;
-    let trace = dfrs_workload::hpc2n_preprocess(&records, ClusterSpec::hpc2n());
-    Ok(trace
-        .split_weeks()
-        .iter()
-        .enumerate()
-        .map(|(i, t)| Instance::from_trace(format!("hpc2n-swf-week{i}"), None, t))
-        .collect())
+pub fn hpc2n_swf_instances(swf_text: &str) -> Result<Vec<Scenario>, ScenarioError> {
+    ScenarioBuilder::new()
+        .label("hpc2n-swf")
+        .swf_text(swf_text)
+        .build_all()
 }
 
 #[cfg(test)]
@@ -121,8 +87,7 @@ mod tests {
         let insts = scaled_instances(2, 60, &[0.3, 0.7], 0);
         assert_eq!(insts.len(), 4);
         for inst in &insts {
-            let t = Trace::new(inst.cluster, inst.jobs.clone()).unwrap();
-            let measured = t.offered_load();
+            let measured = inst.trace().offered_load();
             let target = inst.load.unwrap();
             assert!(
                 (measured - target).abs() < 1e-6,
@@ -142,7 +107,7 @@ mod tests {
     #[test]
     fn scaled_instances_share_job_mix_across_loads() {
         let insts = scaled_instances(1, 40, &[0.2, 0.8], 3);
-        let mix = |i: &Instance| -> Vec<(u32, f64)> {
+        let mix = |i: &Scenario| -> Vec<(u32, f64)> {
             i.jobs
                 .iter()
                 .map(|j| (j.tasks, j.oracle_runtime()))

@@ -13,11 +13,11 @@
 //! * §V timing study — `DYNMCB8` allocation compute time vs jobs in
 //!   system ([`timing`], binary `timing`).
 //!
-//! [`runner`] executes (instance × algorithm) simulations across threads
-//! (`std::thread::scope` workers over an atomic work counter) and reduces
-//! outcomes to compact [`runner::RunSummary`] values;
-//! [`instances`] materializes the paper's workloads; [`report`] renders
-//! aligned text/CSV tables.
+//! Execution goes through [`dfrs_scenario::Campaign`] — the generic
+//! parallel `(scenario × scheduler spec)` runner — with workloads
+//! materialized by [`instances`] and tables rendered by [`report`].
+//! Any spec the [`dfrs_sched::SchedulerRegistry`] resolves can be run
+//! from the binaries via `--algo` without recompiling.
 //!
 //! Scale: binaries default to a laptop-scale subset and accept
 //! `--paper-scale` for the full 100-instance configuration. Every run is
@@ -29,10 +29,8 @@ pub mod fig1;
 pub mod instances;
 pub mod report;
 pub mod robustness;
-pub mod runner;
 pub mod table1;
 pub mod table2;
 pub mod timing;
 
-pub use instances::Instance;
-pub use runner::{run_matrix, RunSummary};
+pub use dfrs_scenario::{Campaign, CampaignResult, CellResult, Scenario, ScenarioBuilder};

@@ -3,37 +3,26 @@
 //! Lublin's. If DFRS's dominance over batch scheduling only held for
 //! one synthetic model's shapes, it would show up here.
 
-use dfrs_core::{ClusterSpec, OnlineStats};
+use dfrs_core::OnlineStats;
+use dfrs_scenario::{degradation_row, Campaign, Scenario, ScenarioBuilder};
 use dfrs_sched::Algorithm;
-use dfrs_workload::{Annotator, DowneyModel, Trace};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-use crate::instances::Instance;
 use crate::report::TextTable;
-use crate::runner::{degradation_row, run_matrix};
 
-/// Downey-family instances, annotated with the paper's CPU/memory rules
+/// Downey-family scenarios, annotated with the paper's CPU/memory rules
 /// and rescaled to the given loads.
-pub fn downey_instances(seeds: u64, jobs: usize, loads: &[f64], seed0: u64) -> Vec<Instance> {
-    let cluster = ClusterSpec::synthetic();
-    let model = DowneyModel::for_cluster(&cluster);
+pub fn downey_instances(seeds: u64, jobs: usize, loads: &[f64], seed0: u64) -> Vec<Scenario> {
     let mut out = Vec::with_capacity(seeds as usize * loads.len());
     for s in 0..seeds {
-        let mut rng = SmallRng::seed_from_u64(seed0 ^ (0xD014u64) ^ s);
-        let raws = model.generate(jobs, &mut rng);
-        let specs = Annotator::new(cluster)
-            .annotate(&raws, &mut rng)
-            .expect("model output is annotatable");
-        let base = Trace::new(cluster, specs).expect("sizes fit");
+        let base = ScenarioBuilder::new()
+            .downey(jobs)
+            .seed(seed0 ^ (0xD014u64) ^ s)
+            .build()
+            .expect("the Downey model always yields a valid trace");
         for &load in loads {
-            let t = base.scale_to_load(load).expect("nonzero span");
-            out.push(Instance {
-                label: format!("downey-s{s}-load{load:.1}"),
-                load: Some(load),
-                cluster,
-                jobs: t.jobs().to_vec(),
-            });
+            let mut scaled = base.scaled_to(load).expect("nonzero span");
+            scaled.label = format!("downey-s{s}-load{load:.1}");
+            out.push(scaled);
         }
     }
     out
@@ -62,8 +51,11 @@ pub fn run(
     let mut stats = vec![OnlineStats::new(); algorithms.len()];
     for &load in loads {
         let instances = downey_instances(seeds, jobs, &[load], seed0);
-        let results = run_matrix(&instances, &algorithms, penalty, threads);
-        for row in &results {
+        let result = Campaign::over(&instances, &algorithms)
+            .penalty(penalty)
+            .threads(threads)
+            .run();
+        for row in &result.cells {
             for (a, d) in degradation_row(row).into_iter().enumerate() {
                 stats[a].push(d);
             }
@@ -97,8 +89,8 @@ mod tests {
         let insts = downey_instances(2, 40, &[0.4], 3);
         assert_eq!(insts.len(), 2);
         for i in &insts {
-            let t = Trace::new(i.cluster, i.jobs.clone()).unwrap();
-            assert!((t.offered_load() - 0.4).abs() < 1e-6, "{}", i.label);
+            let load = i.trace().offered_load();
+            assert!((load - 0.4).abs() < 1e-6, "{}", i.label);
         }
     }
 

@@ -2,13 +2,13 @@
 //! workload families, all with the 5-minute rescheduling penalty.
 
 use dfrs_core::OnlineStats;
+use dfrs_scenario::{Campaign, Scenario};
 use dfrs_sched::Algorithm;
 
 use crate::instances::{
-    hpc2n_like_instances, hpc2n_swf_instances, scaled_instances, unscaled_instances, Instance,
+    hpc2n_like_instances, hpc2n_swf_instances, scaled_instances, unscaled_instances,
 };
 use crate::report::{f2, TextTable};
-use crate::runner::{degradation_stats, run_matrix};
 
 /// One family's aggregated column triple.
 #[derive(Debug, Clone)]
@@ -53,15 +53,18 @@ pub struct Table1Config {
 
 fn family(
     label: &str,
-    instances: &[Instance],
+    instances: &[Scenario],
     algorithms: &[Algorithm],
     penalty: f64,
     threads: usize,
 ) -> FamilyStats {
-    let results = run_matrix(instances, algorithms, penalty, threads);
+    let result = Campaign::over(instances, algorithms)
+        .penalty(penalty)
+        .threads(threads)
+        .run();
     FamilyStats {
         family: label.to_string(),
-        per_algo: degradation_stats(&results, algorithms.len()),
+        per_algo: result.degradation_stats(),
     }
 }
 
@@ -98,7 +101,7 @@ pub fn run(cfg: &Table1Config) -> Table1Data {
     }
 
     {
-        let instances = match &cfg.swf_text {
+        let instances: Vec<Scenario> = match &cfg.swf_text {
             Some(text) => hpc2n_swf_instances(text).expect("SWF parse failed"),
             None => hpc2n_like_instances(
                 cfg.weeks,

@@ -4,11 +4,11 @@
 //! parentheses.
 
 use dfrs_core::OnlineStats;
+use dfrs_scenario::Campaign;
 use dfrs_sched::Algorithm;
 
 use crate::instances::scaled_instances;
 use crate::report::{avg_max, TextTable};
-use crate::runner::run_matrix;
 
 /// Accumulated cost statistics for one algorithm.
 #[derive(Debug, Clone, Default)]
@@ -50,8 +50,11 @@ pub fn run(
     let mut stats = vec![CostStats::default(); algorithms.len()];
     for &load in high_loads {
         let instances = scaled_instances(seeds, jobs, &[load], seed0);
-        let results = run_matrix(&instances, &algorithms, penalty, threads);
-        for row in &results {
+        let result = Campaign::over(&instances, &algorithms)
+            .penalty(penalty)
+            .threads(threads)
+            .run();
+        for row in &result.cells {
             for (a, s) in row.iter().enumerate() {
                 stats[a].pmtn_bw.push(s.preemption_bandwidth_gbs());
                 stats[a].migr_bw.push(s.migration_bandwidth_gbs());

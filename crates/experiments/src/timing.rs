@@ -10,7 +10,7 @@
 
 use dfrs_core::OnlineStats;
 use dfrs_sched::Algorithm;
-use dfrs_sim::{simulate, DecisionSample, SimConfig};
+use dfrs_sim::{DecisionSample, SimConfig};
 
 use crate::instances::unscaled_instances;
 use crate::report::TextTable;
@@ -34,12 +34,9 @@ pub fn run(seeds: u64, jobs: usize, seed0: u64) -> TimingData {
     };
     let mut samples: Vec<DecisionSample> = Vec::new();
     for inst in unscaled_instances(seeds, jobs, seed0) {
-        let out = simulate(
-            inst.cluster,
-            &inst.jobs,
-            Algorithm::DynMcb8.build().as_mut(),
-            &cfg,
-        );
+        let out = inst
+            .with_config(cfg.clone())
+            .run_scheduler(Algorithm::DynMcb8.build().as_mut());
         samples.extend(out.decisions);
     }
     let bounds = [10u32, 20, 40, 80, 160, u32::MAX];

@@ -1,0 +1,487 @@
+//! One simulatable workload and the fluent builder that materializes it
+//! from any of the paper's workload sources.
+
+use std::fmt;
+
+use dfrs_core::{ClusterSpec, CoreError, JobSpec};
+use dfrs_sched::{SchedulerRegistry, SchedulerSpec, SpecError};
+use dfrs_sim::{simulate, Scheduler, SimConfig, SimOutcome};
+use dfrs_workload::{Annotator, DowneyModel, Hpc2nLikeGenerator, LublinModel, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Where a scenario's jobs come from.
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// The Lublin-Feitelson model (the paper's synthetic family).
+    Lublin {
+        /// Jobs to generate.
+        jobs: usize,
+    },
+    /// The Downey model (cross-model robustness checks).
+    Downey {
+        /// Jobs to generate.
+        jobs: usize,
+    },
+    /// The synthetic HPC2N-like generator, one trace per week.
+    Hpc2nLike {
+        /// Weeks to synthesize.
+        weeks: u32,
+        /// Weekly job volume (the real trace averages ≈ 1,100).
+        jobs_per_week: f64,
+    },
+    /// SWF text processed by the paper's HPC2N rules, one trace per
+    /// week.
+    SwfText {
+        /// Raw Standard-Workload-Format content.
+        text: String,
+    },
+    /// An explicit job list (crafted tests, replays).
+    Jobs {
+        /// Jobs, sorted by submission with dense ids.
+        jobs: Vec<JobSpec>,
+    },
+}
+
+/// Why a [`ScenarioBuilder`] could not produce a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// No workload source was set.
+    MissingSource,
+    /// The source yielded no traces at all (e.g. zero HPC2N weeks, an
+    /// SWF file with no schedulable jobs).
+    NoTraces,
+    /// [`ScenarioBuilder::build`] on a source that yields several
+    /// traces (use [`ScenarioBuilder::build_all`]).
+    MultipleTraces {
+        /// Traces the source produced.
+        count: usize,
+    },
+    /// Target offered load must be positive and finite.
+    InvalidLoad(f64),
+    /// Workload generation, annotation, or SWF parsing failed.
+    Workload(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::MissingSource => {
+                write!(
+                    f,
+                    "no workload source set (lublin/downey/hpc2n_like/swf_text/jobs)"
+                )
+            }
+            ScenarioError::NoTraces => write!(f, "workload source produced no traces"),
+            ScenarioError::MultipleTraces { count } => write!(
+                f,
+                "source produced {count} traces; use build_all() for multi-trace sources"
+            ),
+            ScenarioError::InvalidLoad(l) => write!(f, "invalid offered load {l}"),
+            ScenarioError::Workload(e) => write!(f, "workload construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<CoreError> for ScenarioError {
+    fn from(e: CoreError) -> Self {
+        ScenarioError::Workload(e.to_string())
+    }
+}
+
+/// One simulatable workload: cluster, jobs, and engine config, plus the
+/// identity metadata the experiment tables use.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable identity, e.g. `scaled-s3-load0.5`.
+    pub label: String,
+    /// Target offered load, when the workload was load-scaled.
+    pub load: Option<f64>,
+    /// The cluster.
+    pub cluster: ClusterSpec,
+    /// Jobs, sorted by submission with dense ids.
+    pub jobs: Vec<JobSpec>,
+    /// Engine configuration for runs of this scenario.
+    pub config: SimConfig,
+}
+
+impl Scenario {
+    /// Run one scheduler spec (parsed against the built-in registry)
+    /// over this scenario.
+    ///
+    /// ```
+    /// use dfrs_scenario::ScenarioBuilder;
+    ///
+    /// let out = ScenarioBuilder::new()
+    ///     .lublin(30)
+    ///     .load(0.5)
+    ///     .seed(7)
+    ///     .build()
+    ///     .unwrap()
+    ///     .run("greedy-pmtn")
+    ///     .unwrap();
+    /// assert_eq!(out.records.len(), 30);
+    /// ```
+    pub fn run(&self, spec: &str) -> Result<SimOutcome, SpecError> {
+        let registry = SchedulerRegistry::builtin();
+        let spec = registry.parse(spec)?;
+        self.run_spec(&registry, &spec)
+    }
+
+    /// Run a parsed spec built through an explicit registry (use this
+    /// for user-registered schedulers).
+    pub fn run_spec(
+        &self,
+        registry: &SchedulerRegistry,
+        spec: &SchedulerSpec,
+    ) -> Result<SimOutcome, SpecError> {
+        let mut sched = registry.build(spec)?;
+        Ok(self.run_scheduler(sched.as_mut()))
+    }
+
+    /// Run an already-constructed scheduler.
+    pub fn run_scheduler(&self, scheduler: &mut dyn Scheduler) -> SimOutcome {
+        simulate(self.cluster, &self.jobs, scheduler, &self.config)
+    }
+
+    /// This scenario with a different engine config.
+    pub fn with_config(&self, config: SimConfig) -> Scenario {
+        Scenario {
+            config,
+            ..self.clone()
+        }
+    }
+
+    /// This scenario with its arrival gaps rescaled to `load` (the
+    /// paper's scaled family). Cheaper than rebuilding from the source
+    /// when fanning one base trace out over a load grid; the job mix is
+    /// untouched, only the spacing changes.
+    pub fn scaled_to(&self, load: f64) -> Result<Scenario, ScenarioError> {
+        if !(load > 0.0 && load.is_finite()) {
+            return Err(ScenarioError::InvalidLoad(load));
+        }
+        let scaled = self.trace().scale_to_load(load)?;
+        Ok(Scenario {
+            label: self.label.clone(),
+            load: Some(load),
+            cluster: self.cluster,
+            jobs: scaled.jobs().to_vec(),
+            config: self.config.clone(),
+        })
+    }
+
+    /// The jobs as a [`Trace`] (workload characterization helpers).
+    pub fn trace(&self) -> Trace {
+        Trace::new(self.cluster, self.jobs.clone()).expect("scenario jobs form a valid trace")
+    }
+}
+
+/// Fluent construction of [`Scenario`]s: pick a workload source, then
+/// optionally a cluster, a target load, a seed, and engine knobs.
+///
+/// `build()` materializes the workload deterministically from the seed;
+/// the same builder state always yields byte-identical scenarios.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    label: Option<String>,
+    cluster: Option<ClusterSpec>,
+    source: Option<WorkloadSource>,
+    load: Option<f64>,
+    seed: u64,
+    config: SimConfig,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// A builder with no source, seed 1, and the default [`SimConfig`]
+    /// (no penalty).
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            label: None,
+            cluster: None,
+            source: None,
+            load: None,
+            seed: 1,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Human-readable label (defaults to a description of the source).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The cluster to simulate on. Defaults to the source's natural
+    /// cluster: [`ClusterSpec::synthetic`] for the models,
+    /// [`ClusterSpec::hpc2n`] for the HPC2N sources.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Source: `jobs` Lublin-model jobs.
+    pub fn lublin(mut self, jobs: usize) -> Self {
+        self.source = Some(WorkloadSource::Lublin { jobs });
+        self
+    }
+
+    /// Source: `jobs` Downey-model jobs.
+    pub fn downey(mut self, jobs: usize) -> Self {
+        self.source = Some(WorkloadSource::Downey { jobs });
+        self
+    }
+
+    /// Source: `weeks` HPC2N-like one-week traces (multi-trace; use
+    /// [`build_all`](Self::build_all)).
+    pub fn hpc2n_like(mut self, weeks: u32, jobs_per_week: f64) -> Self {
+        self.source = Some(WorkloadSource::Hpc2nLike {
+            weeks,
+            jobs_per_week,
+        });
+        self
+    }
+
+    /// Source: SWF text through the paper's HPC2N preprocessing, split
+    /// into one-week traces (multi-trace; use
+    /// [`build_all`](Self::build_all)).
+    pub fn swf_text(mut self, text: impl Into<String>) -> Self {
+        self.source = Some(WorkloadSource::SwfText { text: text.into() });
+        self
+    }
+
+    /// Source: an explicit job list.
+    pub fn jobs(mut self, jobs: Vec<JobSpec>) -> Self {
+        self.source = Some(WorkloadSource::Jobs { jobs });
+        self
+    }
+
+    /// Any [`WorkloadSource`] value directly.
+    pub fn source(mut self, source: WorkloadSource) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Rescale arrival gaps to this offered load (the paper's scaled
+    /// family). Applies to every trace the source yields.
+    pub fn load(mut self, load: f64) -> Self {
+        self.load = Some(load);
+        self
+    }
+
+    /// RNG seed for workload generation (default 1). The seed fully
+    /// determines the jobs; two builds with equal state are identical.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Full engine configuration (replaces previous config calls).
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Rescheduling penalty in seconds (Section IV-A; the paper uses
+    /// 0 or 300).
+    pub fn penalty(mut self, penalty: f64) -> Self {
+        self.config.penalty = penalty;
+        self
+    }
+
+    /// Run full invariant validation after every plan (tests).
+    pub fn validate(mut self, validate: bool) -> Self {
+        self.config.validate = validate;
+        self
+    }
+
+    /// Materialize a single scenario. Errors if no source was set, if
+    /// the source yields more than one trace (HPC2N weeks, SWF files —
+    /// use [`build_all`](Self::build_all)), or if generation fails.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let mut all = self.build_all()?;
+        match all.len() {
+            0 => Err(ScenarioError::NoTraces),
+            1 => Ok(all.pop().expect("len checked")),
+            count => Err(ScenarioError::MultipleTraces { count }),
+        }
+    }
+
+    /// Materialize every scenario the source yields (single-trace
+    /// sources yield exactly one; week-split sources yield one per
+    /// week, labeled `{label}-week{i}`).
+    pub fn build_all(self) -> Result<Vec<Scenario>, ScenarioError> {
+        if let Some(load) = self.load {
+            if !(load > 0.0 && load.is_finite()) {
+                return Err(ScenarioError::InvalidLoad(load));
+            }
+        }
+        let source = self.source.as_ref().ok_or(ScenarioError::MissingSource)?;
+        let (traces, base_label) = self.materialize(source)?;
+        let multi = traces.len() > 1;
+        let mut out = Vec::with_capacity(traces.len());
+        for (i, trace) in traces.into_iter().enumerate() {
+            let trace = match self.load {
+                Some(load) => trace.scale_to_load(load)?,
+                None => trace,
+            };
+            let label = match (&self.label, multi) {
+                (Some(l), false) => l.clone(),
+                (Some(l), true) => format!("{l}-week{i}"),
+                (None, false) => base_label.clone(),
+                (None, true) => format!("{base_label}-week{i}"),
+            };
+            out.push(Scenario {
+                label,
+                load: self.load,
+                cluster: trace.cluster,
+                jobs: trace.jobs().to_vec(),
+                config: self.config.clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn materialize(&self, source: &WorkloadSource) -> Result<(Vec<Trace>, String), ScenarioError> {
+        Ok(match source {
+            WorkloadSource::Lublin { jobs } => {
+                let cluster = self.cluster.unwrap_or_else(ClusterSpec::synthetic);
+                let model = LublinModel::for_cluster(&cluster);
+                let mut rng = SmallRng::seed_from_u64(self.seed);
+                let raws = model.generate(*jobs, &mut rng);
+                let specs = Annotator::new(cluster).annotate(&raws, &mut rng)?;
+                (
+                    vec![Trace::new(cluster, specs)?],
+                    format!("lublin-s{}", self.seed),
+                )
+            }
+            WorkloadSource::Downey { jobs } => {
+                let cluster = self.cluster.unwrap_or_else(ClusterSpec::synthetic);
+                let model = DowneyModel::for_cluster(&cluster);
+                let mut rng = SmallRng::seed_from_u64(self.seed);
+                let raws = model.generate(*jobs, &mut rng);
+                let specs = Annotator::new(cluster).annotate(&raws, &mut rng)?;
+                (
+                    vec![Trace::new(cluster, specs)?],
+                    format!("downey-s{}", self.seed),
+                )
+            }
+            WorkloadSource::Hpc2nLike {
+                weeks,
+                jobs_per_week,
+            } => {
+                let mut rng = SmallRng::seed_from_u64(self.seed);
+                let gen = Hpc2nLikeGenerator {
+                    jobs_per_week: *jobs_per_week,
+                    ..Hpc2nLikeGenerator::default()
+                };
+                (gen.generate_weeks(*weeks, &mut rng), "hpc2n".to_string())
+            }
+            WorkloadSource::SwfText { text } => {
+                let (_, records) = dfrs_workload::parse_swf(text)?;
+                let cluster = self.cluster.unwrap_or_else(ClusterSpec::hpc2n);
+                let trace = dfrs_workload::hpc2n_preprocess(&records, cluster);
+                (trace.split_weeks(), "hpc2n-swf".to_string())
+            }
+            WorkloadSource::Jobs { jobs } => {
+                let cluster = self.cluster.unwrap_or_else(ClusterSpec::synthetic);
+                (vec![Trace::new(cluster, jobs.clone())?], "jobs".to_string())
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfrs_core::ids::JobId;
+
+    #[test]
+    fn lublin_build_is_deterministic() {
+        let mk = || {
+            ScenarioBuilder::new()
+                .lublin(40)
+                .load(0.6)
+                .seed(9)
+                .build()
+                .unwrap()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.label, "lublin-s9");
+        assert_eq!(a.load, Some(0.6));
+        let measured = a.trace().offered_load();
+        assert!((measured - 0.6).abs() < 1e-6, "{measured}");
+    }
+
+    #[test]
+    fn multi_trace_sources_require_build_all() {
+        let b = ScenarioBuilder::new().hpc2n_like(3, 120.0).seed(4);
+        assert!(matches!(
+            b.clone().build(),
+            Err(ScenarioError::MultipleTraces { count: 3 })
+        ));
+        let all = b.build_all().unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].label, "hpc2n-week0");
+        assert_eq!(all[0].cluster.nodes, 120);
+    }
+
+    #[test]
+    fn crafted_jobs_and_run() {
+        let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
+        let jobs = vec![
+            JobSpec::new(JobId(0), 0.0, 2, 0.25, 0.1, 600.0).unwrap(),
+            JobSpec::new(JobId(1), 0.0, 2, 0.25, 0.1, 600.0).unwrap(),
+        ];
+        let s = ScenarioBuilder::new()
+            .label("crafted")
+            .cluster(cluster)
+            .jobs(jobs)
+            .build()
+            .unwrap();
+        let out = s.run("greedy-pmtn").unwrap();
+        assert_eq!(out.max_stretch, 1.0);
+        assert!(s.run("no-such-sched").is_err());
+    }
+
+    #[test]
+    fn builder_errors() {
+        assert!(matches!(
+            ScenarioBuilder::new().build(),
+            Err(ScenarioError::MissingSource)
+        ));
+        assert!(matches!(
+            ScenarioBuilder::new().lublin(10).load(-1.0).build(),
+            Err(ScenarioError::InvalidLoad(_))
+        ));
+    }
+
+    #[test]
+    fn penalty_flows_into_config() {
+        let s = ScenarioBuilder::new()
+            .lublin(10)
+            .penalty(300.0)
+            .validate(true)
+            .build()
+            .unwrap();
+        assert_eq!(s.config.penalty, 300.0);
+        assert!(s.config.validate);
+    }
+
+    #[test]
+    fn swf_text_round_trip() {
+        let swf = "1 0 0 3600 4 -1 209715 4 -1 -1 1 1 1 -1 1 -1 -1 -1\n\
+                   2 700000 0 60 1 -1 -1 1 -1 -1 1 1 1 -1 1 -1 -1 -1\n";
+        let all = ScenarioBuilder::new().swf_text(swf).build_all().unwrap();
+        assert_eq!(all.len(), 2, "two weeks, one job each");
+        assert_eq!(all[1].label, "hpc2n-swf-week1");
+    }
+}

@@ -21,10 +21,14 @@
 //! runtime estimates, as in the paper's evaluation); no DFRS algorithm
 //! reads `oracle_runtime`.
 //!
-//! [`registry::Algorithm`] enumerates all nine for experiment harnesses.
+//! [`spec::SchedulerRegistry`] is the open entry point: string-keyed
+//! factories with typed parameters (`"dynmcb8-per:t=300"`), extensible
+//! by user code. [`registry::Algorithm`] enumerates the paper's nine as
+//! a thin shim over the registry for the fixed Table I/II harnesses.
 //! Extensions beyond the paper: [`conservative::ConservativeBf`]
 //! (conservative backfilling) and [`fairness::DynMcb8FairPer`]
-//! (long-job yield damping, the paper's future-work sketch).
+//! (long-job yield damping, the paper's future-work sketch) — both
+//! registered as `conservative-bf` and `dynmcb8-fair-per`.
 //!
 //! ```
 //! use dfrs_core::ids::JobId;
@@ -51,6 +55,7 @@ pub mod dynmcb8;
 pub mod fairness;
 pub mod greedy;
 pub mod registry;
+pub mod spec;
 pub mod stretch_per;
 
 pub use batch::{Easy, Fcfs};
@@ -59,4 +64,5 @@ pub use dynmcb8::{DynMcb8, DynMcb8AsapPer, DynMcb8Per};
 pub use fairness::DynMcb8FairPer;
 pub use greedy::{Greedy, GreedyPmtn, GreedyPmtnMigr};
 pub use registry::Algorithm;
+pub use spec::{SchedulerFactory, SchedulerRegistry, SchedulerSpec, SpecError, SpecParams};
 pub use stretch_per::DynMcb8StretchPer;

@@ -1,12 +1,17 @@
-//! Enumeration of all nine algorithms for experiment harnesses.
+//! The paper's nine algorithms as a closed enum — now a thin
+//! compatibility shim over the open [`crate::SchedulerRegistry`].
+//!
+//! New code should prefer [`SchedulerSpec`] strings (`"dynmcb8-per:t=300"`)
+//! and the registry; `Algorithm` remains for the experiment harnesses
+//! that iterate the paper's fixed Table I/II sets and for its stable
+//! paper-table display names.
+
+use std::str::FromStr;
 
 use dfrs_core::constants::DEFAULT_PERIOD_SECS;
 use dfrs_sim::Scheduler;
 
-use crate::batch::{Easy, Fcfs};
-use crate::dynmcb8::{DynMcb8, DynMcb8AsapPer, DynMcb8Per};
-use crate::greedy::{Greedy, GreedyPmtn, GreedyPmtnMigr};
-use crate::stretch_per::DynMcb8StretchPer;
+use crate::spec::{SchedulerRegistry, SchedulerSpec, SpecError};
 
 /// The nine algorithms of the paper's evaluation, in the order of
 /// Table I.
@@ -71,22 +76,40 @@ impl Algorithm {
         }
     }
 
+    /// The [`SchedulerRegistry`] key this algorithm builds through.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Algorithm::Fcfs => "fcfs",
+            Algorithm::Easy => "easy",
+            Algorithm::Greedy => "greedy",
+            Algorithm::GreedyPmtn => "greedy-pmtn",
+            Algorithm::GreedyPmtnMigr => "greedy-pmtn-migr",
+            Algorithm::DynMcb8 => "dynmcb8",
+            Algorithm::DynMcb8Per => "dynmcb8-per",
+            Algorithm::DynMcb8AsapPer => "dynmcb8-asap-per",
+            Algorithm::DynMcb8StretchPer => "dynmcb8-stretch-per",
+        }
+    }
+
+    /// This algorithm as a registry spec with the paper's default
+    /// parameters (bare key; periodic variants default to T = 600).
+    pub fn spec(&self) -> SchedulerSpec {
+        SchedulerSpec::new(self.key())
+    }
+
+    /// Whether this variant takes a scheduling period.
+    pub fn is_periodic(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::DynMcb8Per | Algorithm::DynMcb8AsapPer | Algorithm::DynMcb8StretchPer
+        )
+    }
+
     /// Parse a (case-insensitive) name as printed by [`Algorithm::name`],
-    /// with or without the period suffix.
+    /// with or without the period suffix. Compatibility wrapper around
+    /// the [`FromStr`] impl, which carries a real [`SpecError`].
     pub fn parse(s: &str) -> Option<Algorithm> {
-        let k = s.trim().to_ascii_lowercase().replace([' ', '_'], "-");
-        Some(match k.as_str() {
-            "fcfs" => Algorithm::Fcfs,
-            "easy" => Algorithm::Easy,
-            "greedy" => Algorithm::Greedy,
-            "greedy-pmtn" => Algorithm::GreedyPmtn,
-            "greedy-pmtn-migr" => Algorithm::GreedyPmtnMigr,
-            "dynmcb8" => Algorithm::DynMcb8,
-            "dynmcb8-per" | "dynmcb8-per-600" => Algorithm::DynMcb8Per,
-            "dynmcb8-asap-per" | "dynmcb8-asap-per-600" => Algorithm::DynMcb8AsapPer,
-            "dynmcb8-stretch-per" | "dynmcb8-stretch-per-600" => Algorithm::DynMcb8StretchPer,
-            _ => return None,
-        })
+        Algorithm::from_str(s).ok()
     }
 
     /// Whether this is one of the two batch baselines.
@@ -100,19 +123,38 @@ impl Algorithm {
     }
 
     /// Build with a custom period for the periodic variants (the paper
-    /// also probed T = 60 and T = 3600).
+    /// also probed T = 60 and T = 3600). Non-periodic algorithms ignore
+    /// the period, as before.
     pub fn build_with_period(&self, period: f64) -> Box<dyn Scheduler> {
-        match self {
-            Algorithm::Fcfs => Box::new(Fcfs::new()),
-            Algorithm::Easy => Box::new(Easy::new()),
-            Algorithm::Greedy => Box::new(Greedy::new()),
-            Algorithm::GreedyPmtn => Box::new(GreedyPmtn::new()),
-            Algorithm::GreedyPmtnMigr => Box::new(GreedyPmtnMigr::new()),
-            Algorithm::DynMcb8 => Box::new(DynMcb8::new()),
-            Algorithm::DynMcb8Per => Box::new(DynMcb8Per::with_period(period)),
-            Algorithm::DynMcb8AsapPer => Box::new(DynMcb8AsapPer::with_period(period)),
-            Algorithm::DynMcb8StretchPer => Box::new(DynMcb8StretchPer::with_period(period)),
-        }
+        let spec = if self.is_periodic() {
+            self.spec().with("t", period)
+        } else {
+            self.spec()
+        };
+        SchedulerRegistry::builtin()
+            .build(&spec)
+            .expect("built-in specs always build")
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = SpecError;
+
+    /// Resolve any spelling the registry accepts for the nine paper
+    /// algorithms: canonical keys, paper-table names with spaces
+    /// (`"DynMCB8-per 600"`), and legacy period suffixes
+    /// (`"dynmcb8-per-600"`). Spec parameters are accepted but not
+    /// retained — `Algorithm` is the paper's fixed configuration; use
+    /// [`SchedulerSpec`] to honor parameters.
+    fn from_str(s: &str) -> Result<Algorithm, SpecError> {
+        let spec = SchedulerRegistry::builtin().parse(s)?;
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.key() == spec.key())
+            .ok_or_else(|| SpecError::UnknownKey {
+                key: spec.key().to_string(),
+                known: Algorithm::ALL.iter().map(|a| a.key().to_string()).collect(),
+            })
     }
 }
 
@@ -130,24 +172,44 @@ mod tests {
     fn all_contains_nine_distinct_algorithms() {
         let names: std::collections::HashSet<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 9);
+        let keys: std::collections::HashSet<_> = Algorithm::ALL.iter().map(|a| a.key()).collect();
+        assert_eq!(keys.len(), 9);
     }
 
     #[test]
     fn parse_round_trips_names() {
         for a in Algorithm::ALL {
             assert_eq!(Algorithm::parse(a.name()), Some(a), "{}", a.name());
+            assert_eq!(a.name().parse::<Algorithm>(), Ok(a), "{}", a.name());
+            assert_eq!(a.key().parse::<Algorithm>(), Ok(a), "{}", a.key());
         }
         assert_eq!(
             Algorithm::parse("dynmcb8-asap-per"),
             Some(Algorithm::DynMcb8AsapPer)
         );
         assert_eq!(Algorithm::parse("nonsense"), None);
+        assert!(matches!(
+            "nonsense".parse::<Algorithm>(),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        // Registry keys outside the nine resolve as specs but not as
+        // paper algorithms.
+        assert!("conservative-bf".parse::<Algorithm>().is_err());
     }
 
     #[test]
     fn build_produces_matching_names() {
         for a in Algorithm::ALL {
             assert_eq!(a.build().name(), a.name());
+        }
+    }
+
+    #[test]
+    fn specs_resolve_through_the_builtin_registry() {
+        let reg = SchedulerRegistry::builtin();
+        for a in Algorithm::ALL {
+            assert!(reg.contains(a.key()), "{}", a.key());
+            assert_eq!(reg.build(&a.spec()).unwrap().name(), a.name());
         }
     }
 

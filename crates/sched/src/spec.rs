@@ -1,0 +1,738 @@
+//! String-keyed scheduler specs and the extensible factory registry.
+//!
+//! The paper's evaluation is a closed set of nine algorithms; the
+//! registry opens that set. A scheduler is named by a [`SchedulerSpec`]
+//! — a kebab-case key plus typed `name=value` parameters — and built by
+//! a [`SchedulerRegistry`] that maps keys to factories:
+//!
+//! ```
+//! use dfrs_sched::{SchedulerRegistry, SchedulerSpec};
+//!
+//! let reg = SchedulerRegistry::builtin();
+//! let spec: SchedulerSpec = "dynmcb8-per:T=300".parse().unwrap();
+//! let sched = reg.build(&spec).unwrap();
+//! assert_eq!(sched.name(), "DynMCB8-per 300");
+//! ```
+//!
+//! User code registers its own factories instead of editing an enum:
+//!
+//! ```
+//! use dfrs_sched::{GreedyPmtn, SchedulerRegistry};
+//!
+//! let mut reg = SchedulerRegistry::builtin();
+//! reg.register_fn("greedy-linear", "GREEDY-PMTN with flow/vt priority", &[], |_| {
+//!     Ok(Box::new(GreedyPmtn::with_priority_exponent(1.0)))
+//! });
+//! assert!(reg.build_str("greedy-linear").is_ok());
+//! ```
+//!
+//! ## Spec grammar
+//!
+//! `key[:name=value[,name=value]*]`. Keys are case-insensitive; spaces
+//! and underscores normalize to hyphens, so the paper-table names
+//! (`"DynMCB8-per 600"`) and the legacy `"dynmcb8-per-600"` suffix form
+//! parse to `dynmcb8-per:t=600`. Parameter names are case-insensitive
+//! (`T=300` and `t=300` are the same spec); values are kept verbatim.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use dfrs_core::constants::DEFAULT_PERIOD_SECS;
+use dfrs_sim::Scheduler;
+
+use crate::batch::{Easy, Fcfs};
+use crate::conservative::ConservativeBf;
+use crate::dynmcb8::{DynMcb8, DynMcb8AsapPer, DynMcb8Per, PackerChoice};
+use crate::fairness::DynMcb8FairPer;
+use crate::greedy::{Greedy, GreedyPmtn, GreedyPmtnMigr};
+use crate::stretch_per::DynMcb8StretchPer;
+
+/// Why a spec failed to parse, resolve, or build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Empty (or all-whitespace) spec string.
+    Empty,
+    /// The key is not registered. Carries the registry's keys so the
+    /// message can point at the nearest valid spelling.
+    UnknownKey {
+        /// The normalized key that failed to resolve.
+        key: String,
+        /// All keys the registry knows, sorted.
+        known: Vec<String>,
+    },
+    /// Malformed parameter list (missing `=`, empty name, …).
+    Syntax {
+        /// The offending fragment.
+        fragment: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A parameter the factory does not accept.
+    UnknownParam {
+        /// The spec key.
+        key: String,
+        /// The rejected parameter name.
+        param: String,
+        /// Parameters the factory accepts.
+        allowed: Vec<String>,
+    },
+    /// A parameter value that failed to parse or validate.
+    InvalidParam {
+        /// The spec key.
+        key: String,
+        /// The parameter name.
+        param: String,
+        /// The rejected value.
+        value: String,
+        /// What a valid value looks like.
+        expected: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "empty scheduler spec"),
+            SpecError::UnknownKey { key, known } => {
+                write!(f, "unknown scheduler {key:?}; known: {}", known.join(", "))?;
+                if let Some(near) = nearest(key, known) {
+                    write!(f, " (did you mean {near:?}?)")?;
+                }
+                Ok(())
+            }
+            SpecError::Syntax { fragment, detail } => {
+                write!(f, "bad spec fragment {fragment:?}: {detail}")
+            }
+            SpecError::UnknownParam {
+                key,
+                param,
+                allowed,
+            } => {
+                if allowed.is_empty() {
+                    write!(f, "scheduler {key:?} takes no parameters, got {param:?}")
+                } else {
+                    write!(
+                        f,
+                        "scheduler {key:?} has no parameter {param:?}; allowed: {}",
+                        allowed.join(", ")
+                    )
+                }
+            }
+            SpecError::InvalidParam {
+                key,
+                param,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value {value:?} for {key}:{param} (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The registry key with the smallest edit distance to `key`, if any is
+/// close enough to plausibly be a typo.
+fn nearest<'a>(key: &str, known: &'a [String]) -> Option<&'a str> {
+    known
+        .iter()
+        .map(|k| (edit_distance(key, k), k.as_str()))
+        .filter(|(d, k)| *d <= 2.max(k.len() / 3))
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, k)| k)
+}
+
+/// Classic O(nm) Levenshtein distance (specs are short).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Typed parameter bag of a [`SchedulerSpec`]: ordered `name → value`
+/// pairs with accessors that produce [`SpecError`]s on bad values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SpecParams {
+    map: BTreeMap<String, String>,
+    key: String,
+}
+
+impl SpecParams {
+    /// Raw value of `name`, if set.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// `name` as a float, or `default` when absent.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, SpecError> {
+        match self.map.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| SpecError::InvalidParam {
+                key: self.key.clone(),
+                param: name.to_string(),
+                value: v.clone(),
+                expected: "a number".into(),
+            }),
+        }
+    }
+
+    /// `name` as a strictly positive float, or `default` when absent.
+    pub fn positive_f64_or(&self, name: &str, default: f64) -> Result<f64, SpecError> {
+        let v = self.f64_or(name, default)?;
+        if v > 0.0 && v.is_finite() {
+            Ok(v)
+        } else {
+            Err(SpecError::InvalidParam {
+                key: self.key.clone(),
+                param: name.to_string(),
+                value: format!("{v}"),
+                expected: "a positive number".into(),
+            })
+        }
+    }
+
+    /// Parameter names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+
+    /// Whether no parameters are set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A parsed scheduler name: registry key plus parameters.
+///
+/// `Display` renders the canonical form (`key` or `key:a=1,b=2` with
+/// sorted parameter names), and [`FromStr`] parses it back — specs
+/// round-trip through their string form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SchedulerSpec {
+    key: String,
+    params: SpecParams,
+}
+
+impl SchedulerSpec {
+    /// A spec with no parameters. The key is normalized (lowercase,
+    /// `_`/space → `-`) but not validated against any registry.
+    pub fn new(key: &str) -> Self {
+        let key = normalize_key(key);
+        SchedulerSpec {
+            params: SpecParams {
+                map: BTreeMap::new(),
+                key: key.clone(),
+            },
+            key,
+        }
+    }
+
+    /// Add (or replace) a parameter; names normalize to lowercase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name or value is empty or contains the grammar's
+    /// reserved characters (`:`, `,`, `=`) — such a spec could not
+    /// round-trip through its `Display` form.
+    pub fn with(mut self, name: &str, value: impl ToString) -> Self {
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.to_string().trim().to_string();
+        for (what, s) in [("parameter name", &name), ("parameter value", &value)] {
+            assert!(
+                !s.is_empty() && !s.contains([':', ',', '=']),
+                "invalid {what} {s:?}: must be non-empty and free of ':', ',', '='"
+            );
+        }
+        self.params.map.insert(name, value);
+        self
+    }
+
+    /// The registry key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &SpecParams {
+        &self.params
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key)?;
+        for (i, (name, value)) in self.params.map.iter().enumerate() {
+            f.write_str(if i == 0 { ":" } else { "," })?;
+            write!(f, "{name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SchedulerSpec {
+    type Err = SpecError;
+
+    /// Parse against the [built-in registry](SchedulerRegistry::builtin).
+    /// For user-extended registries use [`SchedulerRegistry::parse`].
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        SchedulerRegistry::builtin().parse(s)
+    }
+}
+
+fn normalize_key(key: &str) -> String {
+    key.trim().to_ascii_lowercase().replace([' ', '_'], "-")
+}
+
+/// Syntactic split of `key[:params]` without registry validation.
+fn split_spec(s: &str) -> Result<(String, Vec<(String, String)>), SpecError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(SpecError::Empty);
+    }
+    let (key_part, param_part) = match s.split_once(':') {
+        Some((k, p)) => (k, Some(p)),
+        None => (s, None),
+    };
+    let key = normalize_key(key_part);
+    if key.is_empty() {
+        return Err(SpecError::Empty);
+    }
+    let mut params = Vec::new();
+    if let Some(p) = param_part {
+        for frag in p.split(',') {
+            let frag = frag.trim();
+            let (name, value) = frag.split_once('=').ok_or_else(|| SpecError::Syntax {
+                fragment: frag.to_string(),
+                detail: "expected name=value".into(),
+            })?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name.is_empty() || value.is_empty() {
+                return Err(SpecError::Syntax {
+                    fragment: frag.to_string(),
+                    detail: "empty parameter name or value".into(),
+                });
+            }
+            params.push((name, value));
+        }
+    }
+    Ok((key, params))
+}
+
+type BuildFn = dyn Fn(&SpecParams) -> Result<Box<dyn Scheduler>, SpecError> + Send + Sync;
+
+/// One registered scheduler family: a key, a summary line, the
+/// parameter names it accepts, and the factory closure.
+#[derive(Clone)]
+pub struct SchedulerFactory {
+    key: String,
+    summary: String,
+    params: Vec<String>,
+    build: Arc<BuildFn>,
+}
+
+impl SchedulerFactory {
+    /// Create a factory. `params` lists every parameter name the build
+    /// closure reads (lowercase); anything else in a spec is rejected
+    /// before the closure runs.
+    pub fn new(
+        key: &str,
+        summary: &str,
+        params: &[&str],
+        build: impl Fn(&SpecParams) -> Result<Box<dyn Scheduler>, SpecError> + Send + Sync + 'static,
+    ) -> Self {
+        SchedulerFactory {
+            key: normalize_key(key),
+            summary: summary.to_string(),
+            params: params.iter().map(|p| p.to_ascii_lowercase()).collect(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// The registry key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// One-line description for `--help`-style listings.
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+
+    /// Accepted parameter names.
+    pub fn param_names(&self) -> &[String] {
+        &self.params
+    }
+}
+
+impl fmt::Debug for SchedulerFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedulerFactory")
+            .field("key", &self.key)
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+/// String-keyed scheduler factories: the open counterpart of the
+/// closed [`crate::Algorithm`] enum (which is now a thin shim over the
+/// built-in entries here).
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerRegistry {
+    factories: BTreeMap<String, SchedulerFactory>,
+}
+
+impl SchedulerRegistry {
+    /// An empty registry (no keys).
+    pub fn empty() -> Self {
+        SchedulerRegistry::default()
+    }
+
+    /// The built-in registry: the paper's nine algorithms plus the
+    /// repository's extensions (`conservative-bf`, `dynmcb8-fair-per`).
+    /// Construction is cheap; call it on demand.
+    pub fn builtin() -> Self {
+        let mut reg = SchedulerRegistry::empty();
+        reg.register_fn("fcfs", "First-Come-First-Serve batch baseline", &[], |_| {
+            Ok(Box::new(Fcfs::new()))
+        });
+        reg.register_fn(
+            "easy",
+            "EASY backfilling with perfect estimates (batch baseline)",
+            &[],
+            |_| Ok(Box::new(Easy::new())),
+        );
+        reg.register_fn(
+            "conservative-bf",
+            "Conservative backfilling with perfect estimates (extension)",
+            &[],
+            |_| Ok(Box::new(ConservativeBf::new())),
+        );
+        reg.register_fn(
+            "greedy",
+            "GREEDY: fractional CPU, backoff postponing",
+            &[],
+            |_| Ok(Box::new(Greedy::new())),
+        );
+        reg.register_fn(
+            "greedy-pmtn",
+            "GREEDY-PMTN: greedy with priority-based pausing (exponent: priority denominator power, default 2)",
+            &["exponent"],
+            |p| {
+                let e = p.positive_f64_or("exponent", 2.0)?;
+                Ok(if e == 2.0 {
+                    Box::new(GreedyPmtn::new())
+                } else {
+                    Box::new(GreedyPmtn::with_priority_exponent(e))
+                })
+            },
+        );
+        reg.register_fn(
+            "greedy-pmtn-migr",
+            "GREEDY-PMTN-MIGR: greedy with pausing and same-event re-placement",
+            &[],
+            |_| Ok(Box::new(GreedyPmtnMigr::new())),
+        );
+        reg.register_fn(
+            "dynmcb8",
+            "DYNMCB8: MCB8 repack at every event (packer: mcb8|first-fit|best-fit)",
+            &["packer"],
+            |p| Ok(Box::new(DynMcb8::with_packer(parse_packer(p, "dynmcb8")?))),
+        );
+        reg.register_fn(
+            "dynmcb8-per",
+            "DYNMCB8-PER: periodic MCB8 repack (t: period seconds, default 600)",
+            &["t", "packer"],
+            |p| {
+                let t = p.positive_f64_or("t", DEFAULT_PERIOD_SECS)?;
+                Ok(Box::new(DynMcb8Per::with_packer(
+                    t,
+                    parse_packer(p, "dynmcb8-per")?,
+                )))
+            },
+        );
+        reg.register_fn(
+            "dynmcb8-asap-per",
+            "DYNMCB8-ASAP-PER: periodic repack plus greedy admission (t: period seconds, default 600)",
+            &["t", "packer"],
+            |p| {
+                let t = p.positive_f64_or("t", DEFAULT_PERIOD_SECS)?;
+                Ok(Box::new(DynMcb8AsapPer::with_packer(
+                    t,
+                    parse_packer(p, "dynmcb8-asap-per")?,
+                )))
+            },
+        );
+        reg.register_fn(
+            "dynmcb8-stretch-per",
+            "DYNMCB8-STRETCH-PER: periodic repack minimizing estimated stretch (t: period seconds, default 600)",
+            &["t"],
+            |p| {
+                let t = p.positive_f64_or("t", DEFAULT_PERIOD_SECS)?;
+                Ok(Box::new(DynMcb8StretchPer::with_period(t)))
+            },
+        );
+        reg.register_fn(
+            "dynmcb8-fair-per",
+            "DYNMCB8-FAIR-PER: periodic repack with long-job yield damping (t, vt-threshold, alpha)",
+            &["t", "vt-threshold", "alpha"],
+            |p| {
+                let t = p.positive_f64_or("t", DEFAULT_PERIOD_SECS)?;
+                let vt = p.positive_f64_or("vt-threshold", 1_800.0)?;
+                let alpha = p.positive_f64_or("alpha", 1.0)?;
+                Ok(Box::new(DynMcb8FairPer::with_params(t, vt, alpha)))
+            },
+        );
+        reg
+    }
+
+    /// Register (or replace) a factory. Returns `&mut self` so
+    /// registrations chain.
+    pub fn register(&mut self, factory: SchedulerFactory) -> &mut Self {
+        self.factories.insert(factory.key.clone(), factory);
+        self
+    }
+
+    /// Shorthand for [`register`](Self::register) with an inline closure.
+    pub fn register_fn(
+        &mut self,
+        key: &str,
+        summary: &str,
+        params: &[&str],
+        build: impl Fn(&SpecParams) -> Result<Box<dyn Scheduler>, SpecError> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.register(SchedulerFactory::new(key, summary, params, build))
+    }
+
+    /// All registered keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// The factory registered under `key`, if any.
+    pub fn factory(&self, key: &str) -> Option<&SchedulerFactory> {
+        self.factories.get(&normalize_key(key))
+    }
+
+    /// Whether `key` is registered.
+    pub fn contains(&self, key: &str) -> bool {
+        self.factory(key).is_some()
+    }
+
+    /// Parse a spec string against this registry: resolve the key
+    /// (including the legacy `key-600` period-suffix form), validate
+    /// every parameter name, and return the canonical spec.
+    pub fn parse(&self, s: &str) -> Result<SchedulerSpec, SpecError> {
+        let (mut key, mut pairs) = split_spec(s)?;
+        if !self.factories.contains_key(&key) {
+            // Legacy suffix form: "dynmcb8-per-600" → dynmcb8-per:t=600,
+            // accepted when the base key exists and takes a `t` param.
+            if let Some((base, num)) = key.rsplit_once('-') {
+                if num.parse::<f64>().is_ok()
+                    && self
+                        .factories
+                        .get(base)
+                        .is_some_and(|f| f.params.iter().any(|p| p == "t"))
+                {
+                    pairs.insert(0, ("t".to_string(), num.to_string()));
+                    key = base.to_string();
+                }
+            }
+        }
+        let factory = self
+            .factories
+            .get(&key)
+            .ok_or_else(|| SpecError::UnknownKey {
+                key: key.clone(),
+                known: self.keys(),
+            })?;
+        let mut spec = SchedulerSpec::new(&key);
+        for (name, value) in pairs {
+            if !factory.params.contains(&name) {
+                return Err(SpecError::UnknownParam {
+                    key: key.clone(),
+                    param: name,
+                    allowed: factory.params.clone(),
+                });
+            }
+            spec = spec.with(&name, value);
+        }
+        Ok(spec)
+    }
+
+    /// Build a scheduler from a parsed spec.
+    pub fn build(&self, spec: &SchedulerSpec) -> Result<Box<dyn Scheduler>, SpecError> {
+        let factory = self
+            .factories
+            .get(&spec.key)
+            .ok_or_else(|| SpecError::UnknownKey {
+                key: spec.key.clone(),
+                known: self.keys(),
+            })?;
+        for name in spec.params.names() {
+            if !factory.params.iter().any(|p| p == name) {
+                return Err(SpecError::UnknownParam {
+                    key: spec.key.clone(),
+                    param: name.to_string(),
+                    allowed: factory.params.clone(),
+                });
+            }
+        }
+        (factory.build)(&spec.params)
+    }
+
+    /// Parse and build in one step.
+    pub fn build_str(&self, s: &str) -> Result<Box<dyn Scheduler>, SpecError> {
+        self.build(&self.parse(s)?)
+    }
+}
+
+fn parse_packer(p: &SpecParams, key: &str) -> Result<PackerChoice, SpecError> {
+    match p.get("packer") {
+        None | Some("mcb8") => Ok(PackerChoice::Mcb8),
+        Some("first-fit") | Some("ff") | Some("ffd") => Ok(PackerChoice::FirstFit),
+        Some("best-fit") | Some("bf") | Some("bfd") => Ok(PackerChoice::BestFit),
+        Some(other) => Err(SpecError::InvalidParam {
+            key: key.to_string(),
+            param: "packer".into(),
+            value: other.to_string(),
+            expected: "mcb8 | first-fit | best-fit".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_key_and_params() {
+        let spec: SchedulerSpec = "dynmcb8-per:T=300".parse().unwrap();
+        assert_eq!(spec.key(), "dynmcb8-per");
+        assert_eq!(spec.params().get("t"), Some("300"));
+        assert_eq!(spec.to_string(), "dynmcb8-per:t=300");
+        let bare: SchedulerSpec = "fcfs".parse().unwrap();
+        assert!(bare.params().is_empty());
+        assert_eq!(bare.to_string(), "fcfs");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            "fcfs",
+            "greedy-pmtn:exponent=1.5",
+            "dynmcb8-asap-per:packer=first-fit,t=60",
+            "dynmcb8-fair-per:alpha=0.5,t=600,vt-threshold=1800",
+        ] {
+            let spec: SchedulerSpec = s.parse().unwrap();
+            let again: SchedulerSpec = spec.to_string().parse().unwrap();
+            assert_eq!(spec, again, "{s}");
+        }
+    }
+
+    #[test]
+    fn unknown_key_lists_known_keys_and_suggests() {
+        let err = "dynmbc8".parse::<SchedulerSpec>().unwrap_err();
+        match &err {
+            SpecError::UnknownKey { known, .. } => {
+                assert!(known.iter().any(|k| k == "dynmcb8"));
+                assert!(known.iter().any(|k| k == "fcfs"));
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("known:"), "{msg}");
+        assert!(msg.contains("did you mean \"dynmcb8\""), "{msg}");
+    }
+
+    #[test]
+    fn unknown_and_invalid_params_are_rejected() {
+        assert!(matches!(
+            "fcfs:t=600".parse::<SchedulerSpec>(),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            "dynmcb8-per:t=banana"
+                .parse::<SchedulerSpec>()
+                .map(|s| SchedulerRegistry::builtin().build(&s)),
+            Ok(Err(SpecError::InvalidParam { .. }))
+        ));
+        assert!(matches!(
+            "dynmcb8-per:t=-5"
+                .parse::<SchedulerSpec>()
+                .map(|s| SchedulerRegistry::builtin().build(&s)),
+            Ok(Err(SpecError::InvalidParam { .. }))
+        ));
+        assert!(matches!(
+            "dynmcb8-per:oops".parse::<SchedulerSpec>(),
+            Err(SpecError::Syntax { .. })
+        ));
+        assert!(matches!("".parse::<SchedulerSpec>(), Err(SpecError::Empty)));
+    }
+
+    #[test]
+    fn legacy_suffix_and_paper_names_parse() {
+        let a: SchedulerSpec = "dynmcb8-per-600".parse().unwrap();
+        assert_eq!(a.to_string(), "dynmcb8-per:t=600");
+        let b: SchedulerSpec = "DynMCB8-asap-per 600".parse().unwrap();
+        assert_eq!(b.to_string(), "dynmcb8-asap-per:t=600");
+        // A numeric suffix on a key that takes no period is NOT a period.
+        assert!(matches!(
+            "fcfs-600".parse::<SchedulerSpec>(),
+            Err(SpecError::UnknownKey { .. })
+        ));
+    }
+
+    #[test]
+    fn builds_respect_params() {
+        let reg = SchedulerRegistry::builtin();
+        assert_eq!(
+            reg.build_str("dynmcb8-per:T=60").unwrap().name(),
+            "DynMCB8-per 60"
+        );
+        assert_eq!(reg.build_str("greedy-pmtn").unwrap().name(), "Greedy-pmtn");
+        assert!(reg.build_str("dynmcb8:packer=best-fit").is_ok());
+        assert!(reg.build_str("dynmcb8:packer=quantum").is_err());
+    }
+
+    #[test]
+    fn user_registration_extends_and_replaces() {
+        let mut reg = SchedulerRegistry::builtin();
+        assert!(!reg.contains("my-sched"));
+        reg.register_fn("my-sched", "custom", &["t"], |p| {
+            let t = p.positive_f64_or("t", 120.0)?;
+            Ok(Box::new(DynMcb8Per::with_period(t)))
+        });
+        assert!(reg.contains("my-sched"));
+        assert_eq!(
+            reg.build_str("my-sched:t=42").unwrap().name(),
+            "DynMCB8-per 42"
+        );
+        // The legacy suffix rewrite applies to user keys that take `t`.
+        assert_eq!(
+            reg.parse("my-sched-300").unwrap().to_string(),
+            "my-sched:t=300"
+        );
+    }
+
+    #[test]
+    fn edit_distance_sanity() {
+        assert_eq!(edit_distance("fcfs", "fcfs"), 0);
+        assert_eq!(edit_distance("fcfs", "fcf"), 1);
+        assert_eq!(edit_distance("greedy", "greedy-pmtn"), 5);
+    }
+}

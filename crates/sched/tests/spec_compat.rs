@@ -1,0 +1,106 @@
+//! Spec-layer guarantees: property-based parse/display round-trips for
+//! [`SchedulerSpec`], and backward compatibility for every name the old
+//! closed `Algorithm` enum accepted — the paper-table names with
+//! spaces, the canonical keys, and the legacy `-600` period suffixes.
+
+use dfrs_sched::{Algorithm, SchedulerRegistry, SchedulerSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// display(parse(s)) == display(parse(display(parse(s)))) and the
+    /// parsed specs are equal: the canonical form is a fixed point.
+    fn parse_display_round_trip(
+        key_idx in 0usize..11,
+        t in prop::sample::select(vec![1u32, 60, 300, 600, 3600, 86_400]),
+        with_t in prop::sample::select(vec![true, false]),
+        packer in prop::sample::select(vec!["mcb8", "first-fit", "best-fit"]),
+        with_packer in prop::sample::select(vec![true, false]),
+    ) {
+        let reg = SchedulerRegistry::builtin();
+        let keys = reg.keys();
+        let key = &keys[key_idx % keys.len()];
+        let allowed = reg.factory(key).unwrap().param_names().to_vec();
+
+        let mut spec = SchedulerSpec::new(key);
+        if with_t && allowed.iter().any(|p| p == "t") {
+            spec = spec.with("t", t);
+        }
+        if with_packer && allowed.iter().any(|p| p == "packer") {
+            spec = spec.with("packer", packer);
+        }
+
+        let rendered = spec.to_string();
+        let reparsed: SchedulerSpec = rendered.parse().unwrap();
+        prop_assert_eq!(&reparsed, &spec, "parse(display) changed the spec {}", rendered);
+        prop_assert_eq!(reparsed.to_string(), rendered);
+
+        // Whatever the spec, it must build through the registry.
+        prop_assert!(reg.build(&spec).is_ok(), "spec {} failed to build", spec);
+    }
+
+    /// Uppercasing, underscores, and surrounding whitespace never
+    /// change what a spec means.
+    fn parse_is_case_and_separator_insensitive(
+        key_idx in 0usize..11,
+        upper in prop::sample::select(vec![true, false]),
+        pad in prop::sample::select(vec!["", " ", "  "]),
+    ) {
+        let reg = SchedulerRegistry::builtin();
+        let keys = reg.keys();
+        let key = &keys[key_idx % keys.len()];
+        let mut mangled = key.replace('-', "_");
+        if upper {
+            mangled = mangled.to_ascii_uppercase();
+        }
+        let mangled = format!("{pad}{mangled}{pad}");
+        prop_assert_eq!(reg.parse(&mangled).unwrap(), SchedulerSpec::new(key));
+    }
+}
+
+/// Every string `Algorithm::name()` ever printed keeps parsing — to the
+/// same algorithm, through both the enum shim and the registry.
+#[test]
+fn every_algorithm_name_string_keeps_parsing() {
+    for a in Algorithm::ALL {
+        // The paper-table display name ("DynMCB8-per 600").
+        assert_eq!(Algorithm::parse(a.name()), Some(a), "{}", a.name());
+        assert_eq!(a.name().parse::<Algorithm>(), Ok(a), "{}", a.name());
+        // The hyphenated legacy form ("dynmcb8-per-600").
+        let hyphenated = a.name().to_ascii_lowercase().replace(' ', "-");
+        assert_eq!(hyphenated.parse::<Algorithm>(), Ok(a), "{hyphenated}");
+        // The canonical registry key.
+        assert_eq!(a.key().parse::<Algorithm>(), Ok(a), "{}", a.key());
+        // All three resolve to the same registry spec key.
+        let reg = SchedulerRegistry::builtin();
+        assert_eq!(reg.parse(a.name()).unwrap().key(), a.key());
+        assert_eq!(reg.parse(&hyphenated).unwrap().key(), a.key());
+    }
+}
+
+/// The legacy suffix carries its period into the built scheduler.
+#[test]
+fn legacy_suffix_builds_with_that_period() {
+    let reg = SchedulerRegistry::builtin();
+    assert_eq!(
+        reg.build_str("dynmcb8-per-60").unwrap().name(),
+        "DynMCB8-per 60"
+    );
+    assert_eq!(
+        reg.build_str("DynMCB8-stretch-per 600").unwrap().name(),
+        "DynMCB8-stretch-per 600"
+    );
+}
+
+/// Spec errors name the known registry keys, so a typo points at the
+/// fix.
+#[test]
+fn unknown_key_error_is_typo_friendly() {
+    let err = SchedulerRegistry::builtin()
+        .parse("dynmcb8-asap-par")
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("dynmcb8-asap-per"), "{msg}");
+    assert!(msg.contains("fcfs"), "{msg}");
+}

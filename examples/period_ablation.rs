@@ -1,45 +1,46 @@
 //! Period ablation: the paper states (Section III-B) that T = 600 s is
 //! small enough to match T = 60 s quality and large enough to match
-//! T = 3600 s overhead. This example reruns that sweep.
+//! T = 3600 s overhead. This example reruns that sweep through the
+//! scheduler registry — each period is just a spec string.
 //!
 //! ```sh
 //! cargo run --release --example period_ablation
 //! ```
 
-use dfrs::core::ClusterSpec;
-use dfrs::sched::DynMcb8AsapPer;
-use dfrs::sim::{simulate, SimConfig};
-use dfrs::workload::{Annotator, LublinModel, Trace};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use dfrs::{Campaign, ScenarioBuilder};
 
 fn main() {
-    let cluster = ClusterSpec::synthetic();
-    let mut rng = SmallRng::seed_from_u64(31);
-    let model = LublinModel::for_cluster(&cluster);
-    let raws = model.generate(300, &mut rng);
-    let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    let trace = Trace::new(cluster, jobs)
-        .unwrap()
-        .scale_to_load(0.7)
-        .unwrap();
+    let scenarios = vec![ScenarioBuilder::new()
+        .label("period-ablation")
+        .lublin(300)
+        .load(0.7)
+        .seed(31)
+        .penalty(300.0)
+        .build()
+        .expect("the Lublin model always yields a valid trace")];
+
+    let specs: Vec<String> = [60.0, 150.0, 300.0, 600.0, 1800.0, 3600.0]
+        .iter()
+        .map(|t| format!("dynmcb8-asap-per:t={t}"))
+        .collect();
 
     println!("DynMCB8-asap-per under different periods (load 0.7, penalty 300 s)\n");
     println!(
         "{:>8} {:>12} {:>12} {:>8} {:>8} {:>14}",
         "T (s)", "max stretch", "mean stretch", "pmtn", "migr", "moved GB total"
     );
-    let config = SimConfig::with_penalty();
-    for period in [60.0, 150.0, 300.0, 600.0, 1800.0, 3600.0] {
-        let mut sched = DynMcb8AsapPer::with_period(period);
-        let out = simulate(cluster, trace.jobs(), &mut sched, &config);
+    let result = Campaign::new(&scenarios, &specs)
+        .expect("periodic specs are built in")
+        .run();
+    for (spec, cell) in specs.iter().zip(result.cells[0].iter()) {
+        let period = spec.rsplit('=').next().unwrap();
         println!(
-            "{period:>8.0} {:>12.2} {:>12.2} {:>8} {:>8} {:>14.1}",
-            out.max_stretch,
-            out.mean_stretch,
-            out.preemption_count,
-            out.migration_count,
-            out.preemption_gb + out.migration_gb,
+            "{period:>8} {:>12.2} {:>12.2} {:>8} {:>8} {:>14.1}",
+            cell.max_stretch,
+            cell.mean_stretch,
+            cell.preemption_count,
+            cell.migration_count,
+            cell.moved_gb(),
         );
     }
     println!("\nPeriods at or below the 300 s penalty thrash, as the paper observed.");

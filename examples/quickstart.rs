@@ -1,33 +1,28 @@
-//! Quickstart: generate a small synthetic workload, schedule it with a
-//! DFRS algorithm and with EASY backfilling, and compare stretches.
+//! Quickstart: generate a small synthetic workload with the
+//! `ScenarioBuilder`, schedule it with a DFRS algorithm and with EASY
+//! backfilling, and compare stretches.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use dfrs::core::ClusterSpec;
-use dfrs::sched::Algorithm;
-use dfrs::sim::{simulate, SimConfig};
-use dfrs::workload::{Annotator, LublinModel, Trace};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use dfrs::ScenarioBuilder;
 
 fn main() {
-    // 1. A 128-node quad-core cluster, as in the paper's synthetic setup.
-    let cluster = ClusterSpec::synthetic();
+    // One fluent chain replaces the old generate → annotate → scale →
+    // simulate pipeline: 200 jobs from the Lublin-Feitelson model on the
+    // paper's 128-node quad-core cluster, rescaled to offered load 0.7,
+    // with the pessimistic 5-minute rescheduling penalty.
+    let scenario = ScenarioBuilder::new()
+        .label("quickstart")
+        .lublin(200)
+        .load(0.7)
+        .seed(2026)
+        .penalty(300.0)
+        .build()
+        .expect("the Lublin model always yields a valid trace");
 
-    // 2. Generate 200 jobs from the Lublin-Feitelson model, annotate them
-    //    with CPU needs (25 % for sequential tasks, 100 % otherwise) and
-    //    memory requirements (55 % light / 45 % heavy), and rescale the
-    //    arrival gaps to an offered load of 0.7.
-    let mut rng = SmallRng::seed_from_u64(2026);
-    let model = LublinModel::for_cluster(&cluster);
-    let raws = model.generate(200, &mut rng);
-    let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    let trace = Trace::new(cluster, jobs)
-        .unwrap()
-        .scale_to_load(0.7)
-        .unwrap();
+    let trace = scenario.trace();
     println!(
         "workload: {} jobs, span {:.1} h, offered load {:.2}",
         trace.len(),
@@ -35,11 +30,10 @@ fn main() {
         trace.offered_load()
     );
 
-    // 3. Run two schedulers over the same trace with the pessimistic
-    //    5-minute rescheduling penalty.
-    let config = SimConfig::with_penalty();
-    for algo in [Algorithm::Easy, Algorithm::DynMcb8AsapPer] {
-        let out = simulate(cluster, trace.jobs(), algo.build().as_mut(), &config);
+    // Any spec the scheduler registry knows runs by name — including
+    // parameterized variants like "dynmcb8-asap-per:t=300".
+    for spec in ["easy", "dynmcb8-asap-per"] {
+        let out = scenario.run(spec).expect("built-in spec");
         println!(
             "{:<22} max stretch {:>10.2}   mean stretch {:>7.2}   pmtn {:>4}   migr {:>4}",
             out.algorithm,

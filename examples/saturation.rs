@@ -4,43 +4,40 @@
 //! powering nodes down.
 //!
 //! ```sh
-//! cargo run --release --example saturation [algorithm]
+//! cargo run --release --example saturation [scheduler-spec]
 //! ```
 
-use dfrs::core::ClusterSpec;
-use dfrs::sched::Algorithm;
-use dfrs::sim::{simulate, SimConfig};
-use dfrs::workload::{Annotator, LublinModel, Trace};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use dfrs::ScenarioBuilder;
 
 fn main() {
-    let algo = std::env::args()
+    // Any registry spec works here: `greedy-pmtn`, `dynmcb8-per:t=60`,
+    // the paper-table names, ...
+    let spec = std::env::args()
         .nth(1)
-        .and_then(|s| Algorithm::parse(&s))
-        .unwrap_or(Algorithm::DynMcb8AsapPer);
+        .unwrap_or_else(|| "dynmcb8-asap-per".to_string());
 
-    let cluster = ClusterSpec::synthetic();
-    let mut rng = SmallRng::seed_from_u64(7);
-    let model = LublinModel::for_cluster(&cluster);
-    let raws = model.generate(250, &mut rng);
-    let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    let base = Trace::new(cluster, jobs).unwrap();
-
-    println!(
-        "{} under increasing load (250 jobs, penalty 300 s)\n",
-        algo.name()
-    );
+    println!("{spec} under increasing load (250 jobs, penalty 300 s)\n");
     println!(
         "{:>5} {:>12} {:>12} {:>14} {:>16}",
         "load", "max stretch", "mean stretch", "utilization", "idle node-hours"
     );
-    let config = SimConfig::with_penalty();
     for load in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.2] {
-        let trace = base.scale_to_load(load).unwrap();
-        let out = simulate(cluster, trace.jobs(), algo.build().as_mut(), &config);
+        let scenario = ScenarioBuilder::new()
+            .lublin(250)
+            .load(load)
+            .seed(7)
+            .penalty(300.0)
+            .build()
+            .expect("the Lublin model always yields a valid trace");
+        let out = match scenario.run(&spec) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
         // Utilization: allocated CPU integral over total node-time.
-        let node_time = cluster.nodes as f64 * out.makespan;
+        let node_time = scenario.cluster.nodes as f64 * out.makespan;
         println!(
             "{load:>5.1} {:>12.2} {:>12.2} {:>13.1}% {:>16.1}",
             out.max_stretch,

@@ -1,16 +1,13 @@
-//! Algorithm shootout: all nine schedulers on one trace, ranked by the
-//! paper's headline metric (max bounded stretch).
+//! Algorithm shootout: all nine schedulers on one trace via a
+//! `Campaign`, ranked by the paper's headline metric (max bounded
+//! stretch).
 //!
 //! ```sh
 //! cargo run --release --example shootout [load] [jobs] [seed]
 //! ```
 
-use dfrs::core::{ClusterSpec, OnlineStats};
 use dfrs::sched::Algorithm;
-use dfrs::sim::{simulate, SimConfig};
-use dfrs::workload::{Annotator, LublinModel, Trace};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use dfrs::{Campaign, ScenarioBuilder};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -18,45 +15,40 @@ fn main() {
     let jobs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
 
-    let cluster = ClusterSpec::synthetic();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let model = LublinModel::for_cluster(&cluster);
-    let raws = model.generate(jobs, &mut rng);
-    let specs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
-    let trace = Trace::new(cluster, specs)
-        .unwrap()
-        .scale_to_load(load)
-        .unwrap();
+    let scenarios = vec![ScenarioBuilder::new()
+        .label("shootout")
+        .lublin(jobs)
+        .load(load)
+        .seed(seed)
+        .penalty(300.0)
+        .build()
+        .expect("the Lublin model always yields a valid trace")];
 
     println!("load {load}, {jobs} jobs, seed {seed}, penalty 300 s\n");
-    let config = SimConfig::with_penalty();
-    let mut rows: Vec<(String, f64, f64, u64, u64)> = Vec::new();
-    for algo in Algorithm::ALL {
-        let out = simulate(cluster, trace.jobs(), algo.build().as_mut(), &config);
-        let stretches: OnlineStats = out.records.iter().map(|r| r.stretch).collect();
-        rows.push((
-            out.algorithm.clone(),
-            out.max_stretch,
-            stretches.mean(),
-            out.preemption_count,
-            out.migration_count,
-        ));
-    }
-    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
-    let best = rows[0].1;
+    let result = Campaign::over(&scenarios, &Algorithm::ALL)
+        .threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+        .run();
+
+    let mut rows: Vec<&dfrs::CellResult> = result.cells[0].iter().collect();
+    rows.sort_by(|a, b| a.max_stretch.total_cmp(&b.max_stretch));
+    let best = rows[0].max_stretch;
     println!(
         "{:<24} {:>12} {:>12} {:>12} {:>6} {:>6}",
         "algorithm", "max stretch", "degradation", "mean stretch", "pmtn", "migr"
     );
-    for (name, max, mean, p, m) in rows {
+    for cell in rows {
         println!(
             "{:<24} {:>12.2} {:>12.2} {:>12.2} {:>6} {:>6}",
-            name,
-            max,
-            max / best,
-            mean,
-            p,
-            m
+            cell.name,
+            cell.max_stretch,
+            cell.max_stretch / best,
+            cell.mean_stretch,
+            cell.preemption_count,
+            cell.migration_count
         );
     }
 }

@@ -7,36 +7,35 @@
 
 use dfrs::core::ids::JobId;
 use dfrs::core::{ClusterSpec, JobSpec};
-use dfrs::sched::Algorithm;
-use dfrs::sim::{simulate, SimConfig};
+use dfrs::sim::SimConfig;
+use dfrs::ScenarioBuilder;
 
 fn main() {
     // A tiny contrived workload on 2 nodes that forces pausing and
     // yield adjustments: a memory hog, a stream of small jobs, and a
     // late wide job.
-    let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
     let j = |id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64| {
         JobSpec::new(JobId(id), submit, tasks, cpu, mem, rt).unwrap()
     };
-    let jobs = vec![
-        j(0, 0.0, 2, 0.25, 0.9, 900.0),  // memory hog on both nodes
-        j(1, 60.0, 1, 1.0, 0.4, 120.0),  // forces a pause of job 0
-        j(2, 120.0, 1, 1.0, 0.4, 120.0), //
-        j(3, 400.0, 2, 1.0, 0.5, 300.0), // wide job
-        j(4, 800.0, 1, 0.25, 0.1, 60.0), // small late job
-    ];
+    let scenario = ScenarioBuilder::new()
+        .label("timeline-view")
+        .cluster(ClusterSpec::new(2, 4, 8.0).unwrap())
+        .jobs(vec![
+            j(0, 0.0, 2, 0.25, 0.9, 900.0),  // memory hog on both nodes
+            j(1, 60.0, 1, 1.0, 0.4, 120.0),  // forces a pause of job 0
+            j(2, 120.0, 1, 1.0, 0.4, 120.0), //
+            j(3, 400.0, 2, 1.0, 0.5, 300.0), // wide job
+            j(4, 800.0, 1, 0.25, 0.1, 60.0), // small late job
+        ])
+        .config(SimConfig {
+            record_timeline: true,
+            validate: true,
+            ..SimConfig::default()
+        })
+        .build()
+        .expect("crafted jobs are valid");
 
-    let config = SimConfig {
-        record_timeline: true,
-        validate: true,
-        ..SimConfig::default()
-    };
-    let out = simulate(
-        cluster,
-        &jobs,
-        Algorithm::GreedyPmtnMigr.build().as_mut(),
-        &config,
-    );
+    let out = scenario.run("greedy-pmtn-migr").expect("built-in spec");
 
     println!(
         "algorithm: {}   max stretch: {:.2}\n",

@@ -9,9 +9,8 @@
 //! written to SWF text, and parsed back — demonstrating the round trip.
 
 use dfrs::core::ClusterSpec;
-use dfrs::sched::Algorithm;
-use dfrs::sim::{simulate, SimConfig};
 use dfrs::workload::{hpc2n_preprocess, parse_swf, write_swf, Hpc2nLikeGenerator};
+use dfrs::ScenarioBuilder;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -45,7 +44,9 @@ fn main() {
 
     // The paper's HPC2N rules: pair even-processor low-memory jobs into
     // multi-threaded tasks; everything else is one single-core task per
-    // processor.
+    // processor. (ScenarioBuilder::swf_text runs the same preprocessing
+    // but splits into one-week scenarios; here the whole span replays
+    // as one.)
     let cluster = ClusterSpec::hpc2n();
     let trace = hpc2n_preprocess(&records, cluster);
     println!(
@@ -55,13 +56,15 @@ fn main() {
         trace.offered_load()
     );
 
-    let config = SimConfig::with_penalty();
-    for algo in [
-        Algorithm::Easy,
-        Algorithm::GreedyPmtn,
-        Algorithm::DynMcb8AsapPer,
-    ] {
-        let out = simulate(cluster, trace.jobs(), algo.build().as_mut(), &config);
+    let scenario = ScenarioBuilder::new()
+        .label("trace-replay")
+        .cluster(cluster)
+        .jobs(trace.jobs().to_vec())
+        .penalty(300.0)
+        .build()
+        .expect("preprocessed traces are valid");
+    for spec in ["easy", "greedy-pmtn", "dynmcb8-asap-per"] {
+        let out = scenario.run(spec).expect("built-in spec");
         println!(
             "{:<22} max stretch {:>10.2}   mean {:>7.2}   makespan {:>7.1} h",
             out.algorithm,

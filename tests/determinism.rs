@@ -103,6 +103,50 @@ fn same_seed_same_outcome_with_penalty_and_fresh_workload() {
 }
 
 #[test]
+fn registry_spec_reproduces_enum_built_scheduler_byte_identically() {
+    // The acceptance bar for the registry redesign: a spec-built
+    // scheduler is the same scheduler, not a near-copy. T = 300 is
+    // deliberately NOT the default period, so a dropped parameter
+    // would show up immediately.
+    let trace = seeded_trace(29, 60, 0.8);
+    let cfg = SimConfig {
+        penalty: 300.0,
+        validate: true,
+        ..SimConfig::default()
+    };
+    let registry = dfrs::SchedulerRegistry::builtin();
+    for (spec, algo, period) in [
+        ("dynmcb8-per:T=300", Algorithm::DynMcb8Per, 300.0),
+        ("dynmcb8-asap-per:T=300", Algorithm::DynMcb8AsapPer, 300.0),
+        (
+            "dynmcb8-stretch-per-600",
+            Algorithm::DynMcb8StretchPer,
+            600.0,
+        ),
+        ("greedy-pmtn", Algorithm::GreedyPmtn, 600.0),
+        ("FCFS", Algorithm::Fcfs, 600.0),
+    ] {
+        let via_registry = simulate(
+            trace.cluster,
+            trace.jobs(),
+            registry.build_str(spec).unwrap().as_mut(),
+            &cfg,
+        );
+        let via_enum = simulate(
+            trace.cluster,
+            trace.jobs(),
+            algo.build_with_period(period).as_mut(),
+            &cfg,
+        );
+        assert_eq!(
+            fingerprint(&via_registry),
+            fingerprint(&via_enum),
+            "registry spec {spec} diverged from {algo:?} with T={period}"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     // Guard against fingerprint() degenerating into a constant.
     let cfg = SimConfig::default();

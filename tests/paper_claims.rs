@@ -15,8 +15,9 @@
 //! pass over the same code path in the default suite.
 
 use dfrs::experiments::instances::{hpc2n_like_instances, scaled_instances};
-use dfrs::experiments::runner::{degradation_row, run_matrix};
+use dfrs::scenario::degradation_row;
 use dfrs::sched::Algorithm;
+use dfrs::{Campaign, CampaignResult, Scenario};
 
 const ALGOS: [Algorithm; 9] = Algorithm::ALL;
 
@@ -24,15 +25,27 @@ fn idx(a: Algorithm) -> usize {
     ALGOS.iter().position(|x| *x == a).unwrap()
 }
 
+fn run_matrix(
+    instances: &[Scenario],
+    algorithms: &[Algorithm],
+    penalty: f64,
+    threads: usize,
+) -> CampaignResult {
+    Campaign::over(instances, algorithms)
+        .penalty(penalty)
+        .threads(threads)
+        .run()
+}
+
 /// Average degradation per algorithm over instances.
-fn avg_degradation(results: &[Vec<dfrs::experiments::RunSummary>]) -> Vec<f64> {
-    let mut sums = vec![0.0; ALGOS.len()];
-    for row in results {
+fn avg_degradation(result: &CampaignResult) -> Vec<f64> {
+    let mut sums = vec![0.0; result.specs.len()];
+    for row in &result.cells {
         for (a, d) in degradation_row(row).into_iter().enumerate() {
             sums[a] += d;
         }
     }
-    sums.iter().map(|s| s / results.len() as f64).collect()
+    sums.iter().map(|s| s / result.cells.len() as f64).collect()
 }
 
 /// Fast non-ignored pass over the claims pipeline: one small matrix,
@@ -43,7 +56,7 @@ fn paper_claims_smoke() {
     let instances = scaled_instances(2, 40, &[0.7], 100);
     let results = run_matrix(&instances, &ALGOS, 0.0, 2);
     let avg = avg_degradation(&results);
-    assert_eq!(results.len(), instances.len());
+    assert_eq!(results.cells.len(), instances.len());
     assert!(
         avg[idx(Algorithm::DynMcb8)] <= avg[idx(Algorithm::Fcfs)],
         "DynMCB8 ({:.2}) must not trail FCFS ({:.2}) without a penalty",
@@ -166,9 +179,9 @@ fn table2_cost_ordering() {
     let results = run_matrix(&instances, &algos, 300.0, 1);
     let pos = |a: Algorithm| algos.iter().position(|x| *x == a).unwrap();
     let mut migr_per_job = vec![0.0; algos.len()];
-    for row in &results {
+    for row in &results.cells {
         for (i, s) in row.iter().enumerate() {
-            migr_per_job[i] += s.migrations_per_job() / results.len() as f64;
+            migr_per_job[i] += s.migrations_per_job() / results.cells.len() as f64;
         }
     }
     assert_eq!(migr_per_job[pos(Algorithm::GreedyPmtn)], 0.0);
@@ -176,12 +189,12 @@ fn table2_cost_ordering() {
         migr_per_job[pos(Algorithm::DynMcb8)] >= migr_per_job[pos(Algorithm::DynMcb8Per)],
         "event-driven repacking must migrate at least as much as periodic"
     );
-    for row in &results {
+    for row in &results.cells {
         for s in row {
             assert!(
                 s.preemption_bandwidth_gbs() + s.migration_bandwidth_gbs() < 10.0,
                 "{}: implausible bandwidth",
-                s.algorithm.name()
+                s.name
             );
         }
     }
