@@ -1,0 +1,29 @@
+//! End-to-end simulation benches over the three workload families
+//! (Lublin, Downey, HPC2N-like) at the three fixed scales — the
+//! macro-level view of the engine + scheduler hot path that the
+//! `BENCH_sim.json` phases summarize.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfrs_bench::Scale;
+use std::hint::black_box;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenarios");
+    g.sample_size(3);
+    for scale in [Scale::Small, Scale::Medium, Scale::Large] {
+        let scenarios = scale.scenarios();
+        for scenario in &scenarios {
+            for spec in ["greedy-pmtn", "dynmcb8-per"] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{}/{spec}", scenario.label), scale.tag()),
+                    scenario,
+                    |b, scenario| b.iter(|| black_box(scenario.run(spec).expect("builtin spec"))),
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! The `bench` binary: run the phase suite and write `BENCH_sim.json`.
+//!
+//! ```sh
+//! cargo run -p dfrs_bench --release -- --scale small --out BENCH_sim.json
+//! ```
+
+use dfrs_bench::{BenchConfig, BenchReport, Scale};
+
+const USAGE: &str = "\
+Usage: bench [--scale small|medium|large] [--out PATH] [--skip-sweep]
+
+Phases: packing, event_loop, campaign, sweep (see crates/bench).
+Writes the phase timings as JSON to PATH (default BENCH_sim.json).";
+
+fn main() {
+    let mut config = BenchConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("missing value after --scale"));
+                config.scale = Scale::parse(v)
+                    .unwrap_or_else(|| die(&format!("unknown scale {v:?} (small|medium|large)")));
+            }
+            "--out" => {
+                config.out = it
+                    .next()
+                    .unwrap_or_else(|| die("missing value after --out"))
+                    .clone();
+            }
+            "--skip-sweep" => config.skip_sweep = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+
+    eprintln!("running bench phases at scale {} ...", config.scale.tag());
+    let report = BenchReport::measure(config.scale, config.skip_sweep);
+    for (name, phase) in &report.phases {
+        if let Some(w) = phase.get("wall_secs").and_then(|v| v.as_f64()) {
+            eprintln!("  {name:<12} {w:8.3}s");
+        } else if let Some(w) = phase.get("serial_wall_secs").and_then(|v| v.as_f64()) {
+            eprintln!("  {name:<12} {w:8.3}s (serial)");
+        } else if let Some(w) = phase.get("mcb8_wall_secs").and_then(|v| v.as_f64()) {
+            eprintln!("  {name:<12} {w:8.3}s (mcb8)");
+        }
+    }
+    let text = report.to_json().pretty();
+    std::fs::write(&config.out, &text)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", config.out)));
+    eprintln!("report written to {}", config.out);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

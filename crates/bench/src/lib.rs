@@ -1,1 +1,21 @@
-//! Criterion benchmark crate (benches live in benches/).
+//! # dfrs-bench
+//!
+//! The benchmark subsystem: fixed scenario *scales* for repeatable
+//! measurements, a phase-timed report emitted as `BENCH_sim.json`, and
+//! the criterion benches under `benches/`.
+//!
+//! Entry points:
+//!
+//! * `cargo run -p dfrs_bench --release` — run the phase suite at the
+//!   default (small) scale and write `BENCH_sim.json`;
+//! * `cargo bench` — the criterion-shim micro/meso benchmarks;
+//! * `cargo test -p dfrs_bench --release -- --ignored` — the perf
+//!   regression guard, which compares current event-loop throughput
+//!   against the last recorded `BENCH_sim.json`.
+
+pub mod json;
+pub mod report;
+pub mod scales;
+
+pub use report::{BenchConfig, BenchReport};
+pub use scales::Scale;

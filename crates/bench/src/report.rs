@@ -1,0 +1,296 @@
+//! The phase-timed benchmark report behind `BENCH_sim.json`.
+//!
+//! One run times the three layers the tentpole perf work targets, each
+//! as its own phase:
+//!
+//! * **packing** — the MCB8 packer and the yield binary search on
+//!   synthetic instances (the inner loop of every `DynMCB8*` decision);
+//! * **event_loop** — one full simulation of the fixed medium Lublin
+//!   scenario under a cheap scheduler, isolating engine overhead; its
+//!   `events_per_sec` is the number the perf regression guard defends;
+//! * **campaign** — the `scenarios × specs` fan-out at the requested
+//!   scale, serial and parallel;
+//! * **sweep** — the laptop-scale `sweep` workload (2 seeds × 4 loads ×
+//!   9 algorithms × 2 penalties, single-threaded), the end-to-end
+//!   number the ≥2× speedup target is stated against.
+
+use std::time::Instant;
+
+use dfrs_core::ids::JobId;
+use dfrs_packing::{max_min_yield, JobLoad, Mcb8, PackItem, VectorPacker};
+use dfrs_scenario::Campaign;
+use dfrs_sched::Algorithm;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::json::{obj, Value};
+use crate::scales::{medium_lublin, Scale};
+
+/// Wall-clock seconds of the laptop-scale sweep phase measured at the
+/// seed of this PR (commit c2d77df, pre-refactor engine, single thread,
+/// on the reference container). The ratio `baseline / current` recorded
+/// in `BENCH_sim.json` is the tentpole's end-to-end speedup.
+pub const SWEEP_SEED_WALL_SECS: f64 = 9.17;
+
+/// What to run and where to write it.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Workload scale for the campaign phase.
+    pub scale: Scale,
+    /// Output path (default `BENCH_sim.json`).
+    pub out: String,
+    /// Skip the (comparatively slow) sweep phase.
+    pub skip_sweep: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            scale: Scale::Small,
+            out: "BENCH_sim.json".into(),
+            skip_sweep: false,
+        }
+    }
+}
+
+/// The measured report; render with [`BenchReport::to_json`].
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Scale the campaign phase ran at.
+    pub scale: Scale,
+    /// `(phase name, phase json)` in execution order.
+    pub phases: Vec<(String, Value)>,
+}
+
+impl BenchReport {
+    /// Run every phase at `scale`.
+    pub fn measure(scale: Scale, skip_sweep: bool) -> BenchReport {
+        let mut phases = vec![
+            ("packing".to_string(), packing_phase(scale)),
+            ("event_loop".to_string(), event_loop_phase()),
+            ("campaign".to_string(), campaign_phase(scale)),
+        ];
+        if !skip_sweep {
+            phases.push(("sweep".to_string(), sweep_phase()));
+        }
+        BenchReport { scale, phases }
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> Value {
+        obj([
+            ("schema".into(), Value::Str("dfrs-bench-v1".into())),
+            ("scale".into(), Value::Str(self.scale.tag().into())),
+            ("phases".into(), obj(self.phases.iter().cloned())),
+        ])
+    }
+}
+
+fn secs(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}
+
+/// Synthetic pack items mirroring the distribution the paper's
+/// annotator produces (mixed CPU- and memory-dominant tasks).
+fn synthetic_items(n: usize, seed: u64) -> Vec<PackItem> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| PackItem {
+            id: i as u32,
+            cpu: rng.gen_range(0.05..0.7),
+            mem: rng.gen_range(0.05..0.45),
+        })
+        .collect()
+}
+
+fn synthetic_loads(n: usize, seed: u64) -> Vec<JobLoad> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| JobLoad {
+            job: JobId(i as u32),
+            tasks: rng.gen_range(1..6),
+            cpu_need: if rng.gen_bool(0.3) { 0.25 } else { 1.0 },
+            mem_req: 0.1 * rng.gen_range(1..5) as f64,
+        })
+        .collect()
+}
+
+fn packing_phase(scale: Scale) -> Value {
+    let (n_items, n_jobs, nodes, iters) = match scale {
+        Scale::Small => (256, 64, 128, 200),
+        Scale::Medium => (512, 128, 128, 200),
+        Scale::Large => (1024, 256, 256, 200),
+    };
+
+    let items = synthetic_items(n_items, 7);
+    let start = Instant::now();
+    let mut packed = 0u64;
+    for _ in 0..iters {
+        if Mcb8.pack(&items, nodes).is_some() {
+            packed += 1;
+        }
+    }
+    let mcb8_wall = secs(start);
+
+    let loads = synthetic_loads(n_jobs, 7);
+    let start = Instant::now();
+    let mut feasible = 0u64;
+    for _ in 0..iters {
+        if max_min_yield(&loads, nodes, &Mcb8, 0.01, 0.01).is_some() {
+            feasible += 1;
+        }
+    }
+    let search_wall = secs(start);
+
+    obj([
+        ("items".into(), Value::Num(n_items as f64)),
+        ("jobs".into(), Value::Num(n_jobs as f64)),
+        ("nodes".into(), Value::Num(nodes as f64)),
+        ("iterations".into(), Value::Num(iters as f64)),
+        ("mcb8_wall_secs".into(), Value::Num(mcb8_wall)),
+        (
+            "mcb8_us_per_pack".into(),
+            Value::Num(mcb8_wall / iters as f64 * 1e6),
+        ),
+        ("mcb8_packed".into(), Value::Num(packed as f64)),
+        ("yield_search_wall_secs".into(), Value::Num(search_wall)),
+        (
+            "yield_search_us_per_call".into(),
+            Value::Num(search_wall / iters as f64 * 1e6),
+        ),
+        ("yield_search_feasible".into(), Value::Num(feasible as f64)),
+    ])
+}
+
+fn event_loop_phase() -> Value {
+    // Always the fixed medium Lublin scenario (see `scales::medium_lublin`):
+    // the perf guard compares against this exact measurement.
+    let scenario = medium_lublin();
+    let start = Instant::now();
+    let out = scenario.run("greedy-pmtn").expect("builtin spec");
+    let wall = secs(start);
+    obj([
+        ("scenario".into(), Value::Str(scenario.label.clone())),
+        ("scheduler".into(), Value::Str("greedy-pmtn".into())),
+        ("jobs".into(), Value::Num(out.records.len() as f64)),
+        (
+            "events_processed".into(),
+            Value::Num(out.events_processed as f64),
+        ),
+        ("wall_secs".into(), Value::Num(wall)),
+        (
+            "events_per_sec".into(),
+            Value::Num(out.events_processed as f64 / wall),
+        ),
+        ("sched_wall_secs".into(), Value::Num(out.sched_wall_total)),
+        (
+            "engine_wall_secs".into(),
+            Value::Num((wall - out.sched_wall_total).max(0.0)),
+        ),
+    ])
+}
+
+fn campaign_phase(scale: Scale) -> Value {
+    let scenarios = scale.scenarios();
+    let specs = ["fcfs", "greedy-pmtn", "dynmcb8-per", "dynmcb8-stretch-per"];
+
+    let start = Instant::now();
+    let serial = Campaign::new(&scenarios, specs)
+        .expect("builtin specs")
+        .threads(1)
+        .run();
+    let serial_wall = secs(start);
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let start = Instant::now();
+    let parallel = Campaign::new(&scenarios, specs)
+        .expect("builtin specs")
+        .threads(threads)
+        .run();
+    let parallel_wall = secs(start);
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "campaign determinism broke under threads"
+    );
+
+    obj([
+        ("scenarios".into(), Value::Num(scenarios.len() as f64)),
+        ("specs".into(), Value::Num(specs.len() as f64)),
+        ("serial_wall_secs".into(), Value::Num(serial_wall)),
+        ("parallel_threads".into(), Value::Num(threads as f64)),
+        ("parallel_wall_secs".into(), Value::Num(parallel_wall)),
+        (
+            "parallel_speedup".into(),
+            Value::Num(serial_wall / parallel_wall.max(1e-9)),
+        ),
+    ])
+}
+
+fn sweep_phase() -> Value {
+    // Mirrors `cargo run -p dfrs_experiments --bin sweep -- --instances 2
+    // --jobs 400 --loads 0.3,0.5,0.7,0.9 --threads 1`: all nine
+    // algorithms, both penalty settings.
+    let loads = [0.3, 0.5, 0.7, 0.9];
+    let start = Instant::now();
+    let mut cells = 0usize;
+    for penalty in [0.0, dfrs_core::constants::RESCHEDULING_PENALTY_SECS] {
+        for &load in &loads {
+            let instances = dfrs_experiments::instances::scaled_instances(2, 400, &[load], 1);
+            let result = Campaign::over(&instances, &Algorithm::ALL)
+                .penalty(penalty)
+                .threads(1)
+                .run();
+            cells += result.cells.iter().map(Vec::len).sum::<usize>();
+        }
+    }
+    let wall = secs(start);
+    obj([
+        ("cells".into(), Value::Num(cells as f64)),
+        ("wall_secs".into(), Value::Num(wall)),
+        ("seed_wall_secs".into(), Value::Num(SWEEP_SEED_WALL_SECS)),
+        (
+            "seed_wall_note".into(),
+            Value::Str(
+                "seed baseline measured on the reference container at commit c2d77df; \
+                 the speedup ratio is only meaningful on comparable hardware"
+                    .into(),
+            ),
+        ),
+        (
+            "speedup_vs_seed".into(),
+            Value::Num(SWEEP_SEED_WALL_SECS / wall.max(1e-9)),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_inputs_are_deterministic() {
+        assert_eq!(synthetic_items(32, 7), synthetic_items(32, 7));
+        assert_eq!(synthetic_loads(16, 7), synthetic_loads(16, 7));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        // Phases are expensive; check shape machinery on a stub report.
+        let report = BenchReport {
+            scale: Scale::Small,
+            phases: vec![(
+                "packing".into(),
+                obj([("wall_secs".into(), Value::Num(0.5))]),
+            )],
+        };
+        let v = report.to_json();
+        assert_eq!(v.get("scale").unwrap().as_str(), Some("small"));
+        let phases = v.get("phases").unwrap();
+        assert!(phases.get("packing").is_some());
+        let text = v.pretty();
+        assert_eq!(crate::json::parse(&text).unwrap(), v);
+    }
+}

@@ -1,0 +1,130 @@
+//! Fixed workload scales for repeatable benchmark runs.
+//!
+//! Three sizes, each materializing the same three workload families the
+//! paper evaluates (Lublin, Downey, HPC2N-like), with pinned seeds so
+//! two runs of the same binary measure identical simulations.
+
+use dfrs_scenario::{Scenario, ScenarioBuilder};
+
+/// How big a benchmark run is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI smoke size: seconds end to end.
+    Small,
+    /// Laptop size: the scale EXPERIMENTS.md numbers are recorded at.
+    Medium,
+    /// Stress size: minutes; for profiling sessions.
+    Large,
+}
+
+impl Scale {
+    /// Parse a CLI argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// Lowercase tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
+    /// Jobs per synthetic (Lublin/Downey) trace at this scale.
+    pub fn jobs(&self) -> usize {
+        match self {
+            Scale::Small => 150,
+            Scale::Medium => 500,
+            Scale::Large => 1500,
+        }
+    }
+
+    /// HPC2N-like weeks at this scale.
+    pub fn weeks(&self) -> u32 {
+        match self {
+            Scale::Small => 1,
+            Scale::Medium => 2,
+            Scale::Large => 4,
+        }
+    }
+
+    /// The benchmark scenario set at this scale: one Lublin trace, one
+    /// Downey trace, and `weeks` HPC2N-like week segments, all seeded.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = vec![
+            ScenarioBuilder::new()
+                .label(format!("bench-lublin-{}", self.tag()))
+                .lublin(self.jobs())
+                .load(0.7)
+                .seed(1)
+                .build()
+                .expect("lublin scenarios build"),
+            ScenarioBuilder::new()
+                .label(format!("bench-downey-{}", self.tag()))
+                .downey(self.jobs())
+                .load(0.7)
+                .seed(1)
+                .build()
+                .expect("downey scenarios build"),
+        ];
+        out.extend(
+            ScenarioBuilder::new()
+                .label(format!("bench-hpc2n-{}", self.tag()))
+                .hpc2n_like(self.weeks(), 250.0)
+                .seed(1)
+                .build_all()
+                .expect("hpc2n-like scenarios build"),
+        );
+        out
+    }
+}
+
+/// The fixed medium Lublin scenario shared by the `event_loop` phase of
+/// the bench binary and the perf regression guard — both must measure
+/// the same simulation for the 1.5× throughput comparison to be
+/// meaningful.
+pub fn medium_lublin() -> Scenario {
+    ScenarioBuilder::new()
+        .label("bench-lublin-medium")
+        .lublin(Scale::Medium.jobs())
+        .load(0.7)
+        .seed(1)
+        .build()
+        .expect("lublin scenarios build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_tags() {
+        for s in [Scale::Small, Scale::Medium, Scale::Large] {
+            assert_eq!(Scale::parse(s.tag()), Some(s));
+        }
+        assert_eq!(Scale::parse("SMALL"), Some(Scale::Small));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn small_scenarios_materialize() {
+        let scens = Scale::Small.scenarios();
+        assert_eq!(scens.len(), 3, "lublin + downey + 1 week");
+        assert_eq!(scens[0].jobs.len(), 150);
+        assert!(scens[2].label.contains("hpc2n"));
+    }
+
+    #[test]
+    fn medium_lublin_is_deterministic() {
+        let (a, b) = (medium_lublin(), medium_lublin());
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.jobs.len(), 500);
+    }
+}

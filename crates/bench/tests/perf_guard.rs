@@ -1,0 +1,90 @@
+//! Perf regression guard (`#[ignore]`-gated; the CI bench job runs it
+//! right after regenerating `BENCH_sim.json` on the same machine, so
+//! the comparison is apples to apples):
+//!
+//! ```sh
+//! cargo run -p dfrs_bench --release              # writes BENCH_sim.json
+//! cargo test -p dfrs_bench --release -- --ignored
+//! ```
+//!
+//! Event-loop throughput on the fixed medium Lublin scenario must stay
+//! within 1.5× of the recorded value, so a future PR cannot silently
+//! give back the engine-overhaul speedup.
+
+use std::time::Instant;
+
+use dfrs_bench::json;
+use dfrs_bench::scales::medium_lublin;
+
+/// Allowed slowdown versus the recorded number when measured on the
+/// machine that recorded it. Cross-machine runs (CI) widen this via
+/// `DFRS_PERF_MAX_REGRESSION`.
+const MAX_REGRESSION: f64 = 1.5;
+
+fn max_regression() -> f64 {
+    std::env::var("DFRS_PERF_MAX_REGRESSION")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|x| *x >= 1.0)
+        .unwrap_or(MAX_REGRESSION)
+}
+
+fn recorded_events_per_sec() -> f64 {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sim.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun `cargo run -p dfrs_bench --release` first",
+            path.display()
+        )
+    });
+    let report = json::parse(&text).expect("BENCH_sim.json parses");
+    report
+        .get("phases")
+        .and_then(|p| p.get("event_loop"))
+        .and_then(|e| e.get("events_per_sec"))
+        .and_then(|v| v.as_f64())
+        .expect("BENCH_sim.json records phases.event_loop.events_per_sec")
+}
+
+#[test]
+#[ignore = "perf guard; run in the CI bench job against the checked-in BENCH_sim.json"]
+fn event_loop_throughput_within_recorded_bounds() {
+    let max_regression = max_regression();
+    let recorded = recorded_events_per_sec();
+    assert!(recorded > 0.0, "recorded throughput must be positive");
+
+    // Best of three runs of the exact scenario the bench binary times,
+    // so scheduler warm-up and allocator noise don't fail the guard.
+    let scenario = medium_lublin();
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let out = scenario.run("greedy-pmtn").expect("builtin spec");
+        let wall = start.elapsed().as_secs_f64();
+        best = best.max(out.events_processed as f64 / wall);
+    }
+
+    assert!(
+        best * max_regression >= recorded,
+        "event-loop throughput regressed more than {max_regression}x: \
+         current best {best:.0} events/s vs recorded {recorded:.0} events/s \
+         (medium Lublin, greedy-pmtn). If the slowdown is intentional, \
+         regenerate BENCH_sim.json with `cargo run -p dfrs_bench --release`."
+    );
+}
+
+#[test]
+fn bench_report_schema_is_parseable_when_present() {
+    // Non-ignored companion: if a BENCH_sim.json is checked in, it must
+    // parse and carry the fields the guard relies on.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sim.json");
+    if !path.exists() {
+        return;
+    }
+    let recorded = recorded_events_per_sec();
+    assert!(recorded.is_finite() && recorded > 0.0);
+}

@@ -19,7 +19,7 @@ use crate::error::CoreError;
 use crate::ids::JobId;
 
 /// An immutable job request.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobSpec {
     /// Dense identifier within the trace (submission order).
     pub id: JobId,

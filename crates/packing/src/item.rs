@@ -122,6 +122,54 @@ pub trait VectorPacker {
 
     /// Attempt to place every item. Item ids must be dense `0..items.len()`.
     fn pack(&self, items: &[PackItem], bins: usize) -> Option<Packing>;
+
+    /// Allocation-free variant of [`pack`](Self::pack): reuse `scratch`
+    /// buffers and leave the assignment in
+    /// [`PackScratch::bin_of`](crate::PackScratch::bin_of). Returns
+    /// whether every item was placed. The default falls back to `pack`;
+    /// hot-path packers override it.
+    fn pack_into(
+        &self,
+        items: &[PackItem],
+        bins: usize,
+        scratch: &mut crate::scratch::PackScratch,
+    ) -> bool {
+        match self.pack(items, bins) {
+            Some(p) => {
+                scratch.bin_of.clear();
+                scratch.bin_of.extend_from_slice(&p.bin_of);
+                true
+            }
+            None => {
+                scratch.bin_of.clear();
+                false
+            }
+        }
+    }
+
+    /// [`pack_into`](Self::pack_into) over pre-compressed runs: each
+    /// `(first, count)` entry stands for `count` identical items with
+    /// consecutive ids starting at `first.id` (a job's tasks). Repeated
+    /// callers build runs directly — O(jobs) per probe instead of
+    /// O(tasks). The default expands and delegates.
+    fn pack_runs_into(
+        &self,
+        runs: &[(PackItem, u32)],
+        bins: usize,
+        scratch: &mut crate::scratch::PackScratch,
+    ) -> bool {
+        let items: Vec<PackItem> = runs
+            .iter()
+            .flat_map(|&(it, count)| {
+                (0..count).map(move |k| PackItem {
+                    id: it.id + k,
+                    cpu: it.cpu,
+                    mem: it.mem,
+                })
+            })
+            .collect();
+        self.pack_into(&items, bins, scratch)
+    }
 }
 
 #[cfg(test)]

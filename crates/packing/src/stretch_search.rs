@@ -16,6 +16,7 @@ use dfrs_core::ids::JobId;
 use dfrs_core::yield_math;
 
 use crate::item::{PackItem, VectorPacker};
+use crate::scratch::SearchScratch;
 
 /// Per-job inputs to the estimated-stretch minimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,22 +51,26 @@ fn clamped_yield(j: &StretchJob, target: f64, period: f64) -> f64 {
     y.clamp(MIN_STRETCH_PER_YIELD, 1.0)
 }
 
-fn items_at_target(jobs: &[StretchJob], target: f64, period: f64) -> Vec<PackItem> {
-    let total: usize = jobs.iter().map(|j| j.tasks as usize).sum();
-    let mut items = Vec::with_capacity(total);
+fn fill_runs_at_target(
+    jobs: &[StretchJob],
+    target: f64,
+    period: f64,
+    runs: &mut Vec<(PackItem, u32)>,
+) {
+    runs.clear();
     let mut id = 0u32;
     for j in jobs {
         let cpu = (j.cpu_need * clamped_yield(j, target, period)).min(1.0);
-        for _ in 0..j.tasks {
-            items.push(PackItem {
+        runs.push((
+            PackItem {
                 id,
                 cpu,
                 mem: j.mem_req,
-            });
-            id += 1;
-        }
+            },
+            j.tasks,
+        ));
+        id += j.tasks;
     }
-    items
 }
 
 /// Minimize the estimated max stretch over the next period.
@@ -81,6 +86,27 @@ pub fn min_max_estimated_stretch(
     period: f64,
     packer: &dyn VectorPacker,
     accuracy: f64,
+) -> Option<StretchAllocation> {
+    min_max_estimated_stretch_with(
+        jobs,
+        nodes,
+        period,
+        packer,
+        accuracy,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`min_max_estimated_stretch`] with caller-provided scratch buffers;
+/// repeated callers pay zero allocations for the probe loop. Results
+/// are identical to [`min_max_estimated_stretch`].
+pub fn min_max_estimated_stretch_with(
+    jobs: &[StretchJob],
+    nodes: usize,
+    period: f64,
+    packer: &dyn VectorPacker,
+    accuracy: f64,
+    scratch: &mut SearchScratch,
 ) -> Option<StretchAllocation> {
     debug_assert!(period > 0.0 && accuracy > 0.0);
     if jobs.is_empty() {
@@ -104,13 +130,59 @@ pub fn min_max_estimated_stretch(
         .fold(f64::NEG_INFINITY, f64::max)
         .max(s_min);
 
-    let try_pack = |target: f64| packer.pack(&items_at_target(jobs, target, period), nodes);
+    let SearchScratch {
+        runs,
+        pack,
+        best,
+        last_ok,
+        last_fail,
+    } = scratch;
+    last_ok.clear();
+    last_fail.clear();
 
-    let build = |target: f64, packing: crate::item::Packing| {
+    // Yield clamping (floor 0.01, cap 1) makes *distinct* targets
+    // produce byte-identical item instances once every job saturates,
+    // so each probe first checks the two cached instances: the verdict
+    // (and, for feasible probes, `best`, which the cached feasible
+    // probe already wrote) is necessarily the same. Only genuinely new
+    // instances are packed.
+    enum Verdict {
+        CachedOk,
+        Fresh(bool),
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        jobs: &[StretchJob],
+        target: f64,
+        period: f64,
+        nodes: usize,
+        packer: &dyn VectorPacker,
+        runs: &mut Vec<(PackItem, u32)>,
+        pack: &mut crate::scratch::PackScratch,
+        last_ok: &mut Vec<(PackItem, u32)>,
+        last_fail: &mut Vec<(PackItem, u32)>,
+    ) -> Verdict {
+        fill_runs_at_target(jobs, target, period, runs);
+        if runs == last_ok {
+            return Verdict::CachedOk;
+        }
+        if runs == last_fail {
+            return Verdict::Fresh(false);
+        }
+        let ok = packer.pack_runs_into(runs, nodes, pack);
+        if ok {
+            last_ok.clone_from(runs);
+        } else {
+            last_fail.clone_from(runs);
+        }
+        Verdict::Fresh(ok)
+    }
+
+    let build = |target: f64, bin_of: &[u32]| {
         let mut assignments = Vec::with_capacity(jobs.len());
         let mut cursor = 0usize;
         for j in jobs {
-            let nodes_of = packing.bin_of[cursor..cursor + j.tasks as usize].to_vec();
+            let nodes_of = bin_of[cursor..cursor + j.tasks as usize].to_vec();
             cursor += j.tasks as usize;
             assignments.push((j.job, clamped_yield(j, target, period), nodes_of));
         }
@@ -120,20 +192,38 @@ pub fn min_max_estimated_stretch(
         }
     };
 
-    if let Some(p) = try_pack(s_min) {
-        return Some(build(s_min, p));
+    match probe(
+        jobs, s_min, period, nodes, packer, runs, pack, last_ok, last_fail,
+    ) {
+        Verdict::Fresh(true) => return Some(build(s_min, pack.bin_of())),
+        Verdict::CachedOk => unreachable!("first probe cannot hit the cache"),
+        Verdict::Fresh(false) => {}
     }
-    let mut best = try_pack(s_max)?;
+    match probe(
+        jobs, s_max, period, nodes, packer, runs, pack, last_ok, last_fail,
+    ) {
+        Verdict::Fresh(true) => {
+            best.clear();
+            best.extend_from_slice(pack.bin_of());
+        }
+        Verdict::CachedOk => unreachable!("nothing feasible cached yet"),
+        Verdict::Fresh(false) => return None,
+    }
     let mut hi = s_max; // feasible
     let mut lo = s_min; // infeasible
     while hi - lo > accuracy * lo.max(1.0) {
         let mid = 0.5 * (lo + hi);
-        match try_pack(mid) {
-            Some(p) => {
-                best = p;
+        match probe(
+            jobs, mid, period, nodes, packer, runs, pack, last_ok, last_fail,
+        ) {
+            Verdict::Fresh(true) => {
+                best.clear();
+                best.extend_from_slice(pack.bin_of());
                 hi = mid;
             }
-            None => lo = mid,
+            // The cached feasible instance already wrote this `best`.
+            Verdict::CachedOk => hi = mid,
+            Verdict::Fresh(false) => lo = mid,
         }
     }
     Some(build(hi, best))

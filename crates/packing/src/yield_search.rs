@@ -15,7 +15,8 @@
 
 use dfrs_core::ids::JobId;
 
-use crate::item::{PackItem, Packing, VectorPacker};
+use crate::item::{PackItem, VectorPacker};
+use crate::scratch::SearchScratch;
 
 /// Aggregate resource demand of one job: `tasks` identical tasks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,11 +41,30 @@ pub struct YieldAllocation {
     pub placements: Vec<(JobId, Vec<u32>)>,
 }
 
-/// Expand jobs into pack items at a given yield. Item ids number tasks
-/// densely in input order, so id ranges map back to jobs.
+/// Expand jobs into per-job item runs at a given yield, reusing `runs`
+/// storage. Item ids number tasks densely in input order, so id ranges
+/// map back to jobs.
+fn fill_runs_at_yield(jobs: &[JobLoad], yld: f64, runs: &mut Vec<(PackItem, u32)>) {
+    runs.clear();
+    let mut id = 0u32;
+    for j in jobs {
+        let cpu = (j.cpu_need * yld).min(1.0);
+        runs.push((
+            PackItem {
+                id,
+                cpu,
+                mem: j.mem_req,
+            },
+            j.tasks,
+        ));
+        id += j.tasks;
+    }
+}
+
+/// Task-level expansion at a given yield (tests, one-shot callers).
+#[cfg(test)]
 fn items_at_yield(jobs: &[JobLoad], yld: f64) -> Vec<PackItem> {
-    let total: usize = jobs.iter().map(|j| j.tasks as usize).sum();
-    let mut items = Vec::with_capacity(total);
+    let mut items = Vec::new();
     let mut id = 0u32;
     for j in jobs {
         let cpu = (j.cpu_need * yld).min(1.0);
@@ -60,12 +80,12 @@ fn items_at_yield(jobs: &[JobLoad], yld: f64) -> Vec<PackItem> {
     items
 }
 
-/// Translate a packing back into per-job task placements.
-fn placements_from(jobs: &[JobLoad], packing: &Packing) -> Vec<(JobId, Vec<u32>)> {
+/// Translate a bin assignment back into per-job task placements.
+fn placements_from(jobs: &[JobLoad], bin_of: &[u32]) -> Vec<(JobId, Vec<u32>)> {
     let mut out = Vec::with_capacity(jobs.len());
     let mut cursor = 0usize;
     for j in jobs {
-        let nodes = packing.bin_of[cursor..cursor + j.tasks as usize].to_vec();
+        let nodes = bin_of[cursor..cursor + j.tasks as usize].to_vec();
         cursor += j.tasks as usize;
         out.push((j.job, nodes));
     }
@@ -90,6 +110,28 @@ pub fn max_min_yield(
     accuracy: f64,
     min_yield: f64,
 ) -> Option<YieldAllocation> {
+    max_min_yield_with(
+        jobs,
+        nodes,
+        packer,
+        accuracy,
+        min_yield,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// [`max_min_yield`] with caller-provided scratch buffers: repeated
+/// callers (the `DynMCB8*` schedulers, once per event) pay zero
+/// allocations for the probe loop. Results are identical to
+/// [`max_min_yield`].
+pub fn max_min_yield_with(
+    jobs: &[JobLoad],
+    nodes: usize,
+    packer: &dyn VectorPacker,
+    accuracy: f64,
+    min_yield: f64,
+    scratch: &mut SearchScratch,
+) -> Option<YieldAllocation> {
     debug_assert!(accuracy > 0.0 && min_yield > 0.0 && min_yield <= 1.0);
     if jobs.is_empty() {
         return Some(YieldAllocation {
@@ -98,39 +140,57 @@ pub fn max_min_yield(
         });
     }
 
-    let try_pack = |yld: f64| packer.pack(&items_at_yield(jobs, yld), nodes);
+    let SearchScratch {
+        runs, pack, best, ..
+    } = scratch;
+    fn probe(
+        jobs: &[JobLoad],
+        yld: f64,
+        nodes: usize,
+        packer: &dyn VectorPacker,
+        runs: &mut Vec<(PackItem, u32)>,
+        pack: &mut crate::scratch::PackScratch,
+    ) -> bool {
+        fill_runs_at_yield(jobs, yld, runs);
+        packer.pack_runs_into(runs, nodes, pack)
+    }
 
     // Fast path: everything fits at full speed.
-    if let Some(p) = try_pack(1.0) {
+    if probe(jobs, 1.0, nodes, packer, runs, pack) {
         return Some(YieldAllocation {
             yield_: 1.0,
-            placements: placements_from(jobs, &p),
+            placements: placements_from(jobs, pack.bin_of()),
         });
     }
 
     // The lower probe doubles as the memory-feasibility check.
-    let mut best_pack = try_pack(min_yield)?;
+    if !probe(jobs, min_yield, nodes, packer, runs, pack) {
+        return None;
+    }
+    best.clear();
+    best.extend_from_slice(pack.bin_of());
     let mut lo = min_yield;
     let mut hi = 1.0;
     while hi - lo > accuracy {
         let mid = 0.5 * (lo + hi);
-        match try_pack(mid) {
-            Some(p) => {
-                best_pack = p;
-                lo = mid;
-            }
-            None => hi = mid,
+        if probe(jobs, mid, nodes, packer, runs, pack) {
+            best.clear();
+            best.extend_from_slice(pack.bin_of());
+            lo = mid;
+        } else {
+            hi = mid;
         }
     }
     Some(YieldAllocation {
         yield_: lo,
-        placements: placements_from(jobs, &best_pack),
+        placements: placements_from(jobs, best),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::item::Packing;
     use crate::mcb8::Mcb8;
 
     fn job(id: u32, tasks: u32, cpu: f64, mem: f64) -> JobLoad {

@@ -6,7 +6,7 @@
 use dfrs_core::approx;
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_core::yield_math;
-use dfrs_sim::{JobStatus, SimState};
+use dfrs_sim::SimState;
 
 /// Mutable copy of per-node free memory and CPU load that schedulers use
 /// to evaluate placements before committing them to a plan.
@@ -204,13 +204,15 @@ impl AllocSet {
             let Some(i) = pick else { break };
             let job = &self.jobs[i];
             // Tightest increase over hosting nodes: slack / (need × count
-            // of this job's tasks on that node).
-            let mut per_node_count = std::collections::HashMap::new();
-            for &node in &job.placement {
-                *per_node_count.entry(node).or_insert(0u32) += 1;
-            }
+            // of this job's tasks on that node). Placements are short, so
+            // unique nodes are found by scanning (no per-step map); the
+            // running minimum is order-independent.
             let mut delta = 1.0 - yields[i];
-            for (&node, &count) in &per_node_count {
+            for (k, &node) in job.placement.iter().enumerate() {
+                if job.placement[..k].contains(&node) {
+                    continue; // already counted
+                }
+                let count = job.placement[k..].iter().filter(|&&n| n == node).count() as u32;
                 let slack = 1.0 - alloc[node.index()];
                 delta = delta.min(yield_math::max_yield_increase(
                     slack,
@@ -246,14 +248,20 @@ impl AllocSet {
 /// greedy algorithms after membership changes have been decided).
 pub fn alloc_set_of_running(state: &SimState) -> AllocSet {
     let mut set = AllocSet::new(state.cluster.nodes().len());
-    for j in state.jobs.iter().filter(|j| j.status == JobStatus::Running) {
-        set.push(j.spec.id, j.spec.cpu_need, j.placement.clone());
+    for j in state.running_jobs() {
+        set.push(
+            j.spec.id,
+            j.spec.cpu_need,
+            state.placement(j.spec.id).to_vec(),
+        );
     }
     set
 }
 
 /// Jobs in the system ordered by **increasing** priority (pause
-/// candidates first). Reverse for resume order.
+/// candidates first). Reverse for resume order. Only jobs currently in
+/// the system are considered (every caller filters on a status subset
+/// of pending/running/paused anyway).
 pub fn by_increasing_priority<'a>(
     state: &'a SimState,
     filter: impl Fn(&dfrs_sim::JobState) -> bool + 'a,
@@ -269,8 +277,7 @@ pub fn by_increasing_priority_exp<'a>(
     exponent: f64,
 ) -> Vec<JobId> {
     let mut jobs: Vec<_> = state
-        .jobs
-        .iter()
+        .jobs_in_system()
         .filter(|j| filter(j))
         .map(|j| {
             (

@@ -23,7 +23,7 @@ use dfrs_core::constants::{DEFAULT_PERIOD_SECS, MIN_STRETCH_PER_YIELD};
 use dfrs_sim::{Plan, SchedEvent, Scheduler, SimState};
 
 use crate::common::AllocSet;
-use crate::dynmcb8::{packed_allocation, PackerChoice};
+use crate::dynmcb8::{packed_allocation, PackerChoice, RepackScratch};
 
 /// Periodic repacker with long-job yield damping (see module docs).
 #[derive(Debug)]
@@ -35,6 +35,7 @@ pub struct DynMcb8FairPer {
     /// Damping strength; 0 disables damping.
     pub alpha: f64,
     packer: PackerChoice,
+    scratch: RepackScratch,
 }
 
 impl DynMcb8FairPer {
@@ -51,6 +52,7 @@ impl DynMcb8FairPer {
             vt_threshold,
             alpha,
             packer: PackerChoice::Mcb8,
+            scratch: RepackScratch::default(),
         }
     }
 
@@ -64,8 +66,8 @@ impl DynMcb8FairPer {
             .min(y)
     }
 
-    fn repack(&self, state: &SimState) -> Plan {
-        let packed = packed_allocation(state, self.packer.packer());
+    fn repack(&mut self, state: &SimState) -> Plan {
+        let packed = packed_allocation(state, self.packer.packer(), &mut self.scratch);
         let nodes = state.cluster.nodes().len();
 
         // Base yields: uniform Y, damped for long-running jobs.

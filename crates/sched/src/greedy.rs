@@ -71,8 +71,9 @@ impl GreedyCore {
             if new_runs.iter().any(|(id, _)| *id == j.spec.id) {
                 continue;
             }
-            set.push(j.spec.id, j.spec.cpu_need, j.placement.clone());
-            placements.insert(j.spec.id, j.placement.clone());
+            let placement = state.placement(j.spec.id).to_vec();
+            set.push(j.spec.id, j.spec.cpu_need, placement.clone());
+            placements.insert(j.spec.id, placement);
         }
         for (id, placement) in new_runs {
             let spec = &state.job(id).spec;
@@ -116,7 +117,7 @@ impl GreedyCore {
     }
 
     fn on_arrival(&mut self, id: JobId, state: &SimState) -> Plan {
-        let spec = state.job(id).spec.clone();
+        let spec = state.job(id).spec;
         let mut scratch = NodeScratch::from_state(state);
 
         if let Some(placement) = scratch.greedy_place(spec.tasks, spec.cpu_need, spec.mem_req) {
@@ -146,7 +147,7 @@ impl GreedyCore {
         let mut fits = false;
         for cand in order {
             let cs = &state.job(cand).spec;
-            scratch.remove_job(&state.job(cand).placement, cs.cpu_need, cs.mem_req);
+            scratch.remove_job(state.placement(cand), cs.cpu_need, cs.mem_req);
             marked.push(cand);
             if scratch
                 .clone()
@@ -169,7 +170,7 @@ impl GreedyCore {
         let mut still_marked: Vec<JobId> = Vec::new();
         for &cand in marked.iter().rev() {
             let cs = &state.job(cand).spec;
-            let placement = &state.job(cand).placement;
+            let placement = state.placement(cand);
             // Tentatively leave it running.
             for &n in placement {
                 scratch.add_task(n, cs.cpu_need, cs.mem_req);

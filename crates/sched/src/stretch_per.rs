@@ -15,13 +15,17 @@
 use dfrs_core::approx;
 use dfrs_core::constants::DEFAULT_PERIOD_SECS;
 use dfrs_core::ids::{JobId, NodeId};
-use dfrs_packing::{min_max_estimated_stretch, Mcb8, StretchJob};
+use dfrs_packing::{min_max_estimated_stretch_with, Mcb8, SearchScratch, StretchJob};
 use dfrs_sim::{Plan, SchedEvent, Scheduler, SimState};
 
 /// The scheduler. Period defaults to the paper's 600 s.
 #[derive(Debug)]
 pub struct DynMcb8StretchPer {
     period: f64,
+    // Buffers reused across events (never observable in results).
+    search: SearchScratch,
+    sjobs: Vec<StretchJob>,
+    candidates: Vec<JobId>,
 }
 
 impl DynMcb8StretchPer {
@@ -33,29 +37,42 @@ impl DynMcb8StretchPer {
     /// Custom period.
     pub fn with_period(period: f64) -> Self {
         assert!(period > 0.0);
-        DynMcb8StretchPer { period }
+        DynMcb8StretchPer {
+            period,
+            search: SearchScratch::new(),
+            sjobs: Vec::new(),
+            candidates: Vec::new(),
+        }
     }
 
-    fn repack(&self, state: &SimState) -> Plan {
+    fn repack(&mut self, state: &SimState) -> Plan {
         let nodes = state.cluster.nodes().len();
-        let mut candidates: Vec<JobId> = state.jobs_in_system().map(|j| j.spec.id).collect();
+        let candidates = &mut self.candidates;
+        candidates.clear();
+        candidates.extend(state.jobs_in_system().map(|j| j.spec.id));
 
         loop {
-            let sjobs: Vec<StretchJob> = candidates
-                .iter()
-                .map(|&id| {
-                    let j = state.job(id);
-                    StretchJob {
-                        job: id,
-                        tasks: j.spec.tasks,
-                        cpu_need: j.spec.cpu_need,
-                        mem_req: j.spec.mem_req,
-                        flow_time: (state.now - j.spec.submit_time).max(0.0),
-                        virtual_time: j.virtual_time,
-                    }
-                })
-                .collect();
-            match min_max_estimated_stretch(&sjobs, nodes, self.period, &Mcb8, 0.01) {
+            let sjobs = &mut self.sjobs;
+            sjobs.clear();
+            sjobs.extend(candidates.iter().map(|&id| {
+                let j = state.job(id);
+                StretchJob {
+                    job: id,
+                    tasks: j.spec.tasks,
+                    cpu_need: j.spec.cpu_need,
+                    mem_req: j.spec.mem_req,
+                    flow_time: (state.now - j.spec.submit_time).max(0.0),
+                    virtual_time: j.virtual_time,
+                }
+            }));
+            match min_max_estimated_stretch_with(
+                sjobs,
+                nodes,
+                self.period,
+                &Mcb8,
+                0.01,
+                &mut self.search,
+            ) {
                 Some(alloc) => {
                     let mut assignments: Vec<(JobId, f64, Vec<NodeId>)> = alloc
                         .assignments
@@ -64,7 +81,7 @@ impl DynMcb8StretchPer {
                             (id, y, bins.into_iter().map(NodeId).collect::<Vec<_>>())
                         })
                         .collect();
-                    self.improve_average_stretch(state, &mut assignments, nodes);
+                    improve_average_stretch(self.period, state, &mut assignments, nodes);
                     let mut plan = Plan::noop();
                     for j in state.running_jobs() {
                         if !candidates.contains(&j.spec.id) {
@@ -92,66 +109,69 @@ impl DynMcb8StretchPer {
             }
         }
     }
+}
 
-    /// Spend leftover CPU on the jobs with the best marginal reduction of
-    /// estimated stretch per unit of CPU.
-    fn improve_average_stretch(
-        &self,
-        state: &SimState,
-        assignments: &mut [(JobId, f64, Vec<NodeId>)],
-        nodes: usize,
-    ) {
-        let t = self.period;
-        let mut alloc = vec![0.0; nodes];
-        for (id, yld, placement) in assignments.iter() {
-            let need = state.job(*id).spec.cpu_need;
-            for n in placement {
-                alloc[n.index()] += need * yld;
-            }
+/// Spend leftover CPU on the jobs with the best marginal reduction of
+/// estimated stretch per unit of CPU.
+fn improve_average_stretch(
+    period: f64,
+    state: &SimState,
+    assignments: &mut [(JobId, f64, Vec<NodeId>)],
+    nodes: usize,
+) {
+    let t = period;
+    let mut alloc = vec![0.0; nodes];
+    for (id, yld, placement) in assignments.iter() {
+        let need = state.job(*id).spec.cpu_need;
+        for n in placement {
+            alloc[n.index()] += need * yld;
         }
-        let mut frozen = vec![false; assignments.len()];
-        loop {
-            let mut best: Option<(usize, f64)> = None;
-            for (i, (id, yld, placement)) in assignments.iter().enumerate() {
-                if frozen[i] || *yld >= 1.0 - approx::EPS {
-                    continue;
-                }
-                let j = state.job(*id);
-                if !placement
-                    .iter()
-                    .all(|&n| approx::pos(1.0 - alloc[n.index()]))
-                {
-                    continue;
-                }
-                let flow = (state.now - j.spec.submit_time).max(0.0);
-                let denom = j.virtual_time + yld * t;
-                // −dŜ/dy per unit of total CPU consumed.
-                let benefit =
-                    ((flow + t) * t / (denom * denom)) / (j.spec.cpu_need * j.spec.tasks as f64);
-                if best.is_none_or(|(_, b)| benefit > b) {
-                    best = Some((i, benefit));
-                }
-            }
-            let Some((i, _)) = best else { break };
-            let (id, yld, placement) = &assignments[i];
-            let need = state.job(*id).spec.cpu_need;
-            let mut per_node = std::collections::HashMap::new();
-            for &n in placement {
-                *per_node.entry(n).or_insert(0u32) += 1;
-            }
-            let mut delta = 1.0 - yld;
-            for (&n, &count) in &per_node {
-                delta = delta.min((1.0 - alloc[n.index()]) / (need * count as f64));
-            }
-            if delta <= approx::EPS {
-                frozen[i] = true;
+    }
+    let mut frozen = vec![false; assignments.len()];
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (id, yld, placement)) in assignments.iter().enumerate() {
+            if frozen[i] || *yld >= 1.0 - approx::EPS {
                 continue;
             }
-            for &n in &assignments[i].2.clone() {
-                alloc[n.index()] += need * delta;
+            let j = state.job(*id);
+            if !placement
+                .iter()
+                .all(|&n| approx::pos(1.0 - alloc[n.index()]))
+            {
+                continue;
             }
-            assignments[i].1 = (assignments[i].1 + delta).min(1.0);
+            let flow = (state.now - j.spec.submit_time).max(0.0);
+            let denom = j.virtual_time + yld * t;
+            // −dŜ/dy per unit of total CPU consumed.
+            let benefit =
+                ((flow + t) * t / (denom * denom)) / (j.spec.cpu_need * j.spec.tasks as f64);
+            if best.is_none_or(|(_, b)| benefit > b) {
+                best = Some((i, benefit));
+            }
         }
+        let Some((i, _)) = best else { break };
+        let (id, yld, placement) = &assignments[i];
+        let need = state.job(*id).spec.cpu_need;
+        // Unique hosting nodes by scanning (placements are short); the
+        // running minimum is order-independent.
+        let mut delta = 1.0 - yld;
+        for (k, &n) in placement.iter().enumerate() {
+            if placement[..k].contains(&n) {
+                continue; // already counted
+            }
+            let count = placement[k..].iter().filter(|&&m| m == n).count() as u32;
+            delta = delta.min((1.0 - alloc[n.index()]) / (need * count as f64));
+        }
+        if delta <= approx::EPS {
+            frozen[i] = true;
+            continue;
+        }
+        for k in 0..assignments[i].2.len() {
+            let n = assignments[i].2[k];
+            alloc[n.index()] += need * delta;
+        }
+        assignments[i].1 = (assignments[i].1 + delta).min(1.0);
     }
 }
 

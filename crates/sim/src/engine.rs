@@ -6,6 +6,10 @@
 //! integrating virtual time and the idle/busy node integrals, and (b)
 //! letting the scheduler react and applying its plan.
 //!
+//! Hot-path internals (indexed state, the placement arena, versioned
+//! timers, why completions stay derived) are documented in DESIGN.md
+//! §"Engine internals".
+//!
 //! ## Rescheduling-penalty semantics (Section IV-A, made precise)
 //!
 //! The paper charges "5 minutes of wall clock time" per preemption or
@@ -32,7 +36,7 @@ use dfrs_core::{ClusterSpec, JobSpec};
 use crate::event::{EventKind, EventQueue};
 use crate::outcome::{make_record, DecisionSample, SimOutcome};
 use crate::plan::{Plan, PlanEntry, SchedEvent, Scheduler};
-use crate::state::{ClusterState, JobState, JobStatus, SimState};
+use crate::state::{JobStatus, SimState};
 use crate::validate;
 
 /// Virtual-time slack below which a job counts as finished (absorbs the
@@ -67,8 +71,8 @@ pub struct SimConfig {
     pub penalty: f64,
     /// Mechanism used for migrations of running jobs.
     pub migration_mode: MigrationMode,
-    /// Run full invariant validation after every plan (tests; O(jobs) per
-    /// event).
+    /// Run full plan + invariant validation around every plan (tests;
+    /// O(jobs) per event).
     pub validate: bool,
     /// Record one [`DecisionSample`] per scheduler invocation.
     pub record_decisions: bool,
@@ -119,6 +123,11 @@ struct Engine<'a> {
     decisions: Vec<DecisionSample>,
     timeline: crate::timeline::Timeline,
     events_processed: u64,
+    // Reused per-event scratch (never observable in results).
+    actions: Vec<RunAction>,
+    pauses: Vec<JobId>,
+    moved_a: Vec<NodeId>,
+    moved_b: Vec<NodeId>,
 }
 
 /// Run `scheduler` over `jobs` (sorted by submit time, dense ids) on
@@ -132,12 +141,8 @@ pub fn simulate(
     config: &SimConfig,
 ) -> SimOutcome {
     let mut engine = Engine {
-        state: SimState {
-            now: 0.0,
-            cluster: ClusterState::new(cluster),
-            jobs: jobs.iter().cloned().map(JobState::new).collect(),
-        },
-        queue: EventQueue::new(),
+        state: SimState::new(cluster, jobs),
+        queue: EventQueue::new(jobs.len()),
         config,
         completed: 0,
         pmtn_count: 0,
@@ -152,6 +157,10 @@ pub fn simulate(
         decisions: Vec::new(),
         timeline: crate::timeline::Timeline::default(),
         events_processed: 0,
+        actions: Vec::new(),
+        pauses: Vec::new(),
+        moved_a: Vec::new(),
+        moved_b: Vec::new(),
     };
     for (i, j) in jobs.iter().enumerate() {
         debug_assert_eq!(j.id.index(), i, "jobs must have dense ids in order");
@@ -199,19 +208,25 @@ impl Engine<'_> {
             // Then at most one external event at this instant; the loop
             // re-checks completions before the next one.
             if self.queue.peek_time().is_some_and(|t| t <= self.state.now) {
-                let (_, kind) = self.queue.pop().expect("peeked");
+                let (_, kind, valid) = self.queue.pop().expect("peeked");
                 match kind {
                     EventKind::Submit(job) => {
                         let js = &mut self.state.jobs[job.index()];
                         debug_assert_eq!(js.status, JobStatus::Unsubmitted);
                         js.status = JobStatus::Pending;
+                        self.state.index_transition(
+                            job,
+                            JobStatus::Unsubmitted,
+                            JobStatus::Pending,
+                        );
                         let plan = self.call_scheduler(scheduler, SchedEvent::Submit(job));
                         self.apply_plan(plan);
                     }
                     EventKind::Timer(job) => {
-                        // Stale timers (job started or finished meanwhile)
-                        // are dropped silently.
-                        if self.state.jobs[job.index()].status == JobStatus::Pending {
+                        // Stale timers (cancelled when their job started)
+                        // are dropped silently; the pending check guards
+                        // against schedulers timing non-pending jobs.
+                        if valid && self.state.jobs[job.index()].status == JobStatus::Pending {
                             let plan = self.call_scheduler(scheduler, SchedEvent::Timer(job));
                             self.apply_plan(plan);
                         }
@@ -228,9 +243,12 @@ impl Engine<'_> {
     }
 
     /// Earliest completion among running jobs (ties: smallest id).
+    /// Scans the sorted running index — ascending id order, exactly as
+    /// a full job-table scan would.
     fn next_completion(&self) -> Option<(f64, JobId)> {
         let mut best: Option<(f64, JobId)> = None;
-        for j in &self.state.jobs {
+        for &i in self.state.running_ids() {
+            let j = &self.state.jobs[i as usize];
             if let Some(t) = j.completion_time(self.state.now) {
                 if best.is_none_or(|(bt, _)| t < bt) {
                     best = Some((t, j.spec.id));
@@ -240,13 +258,16 @@ impl Engine<'_> {
         best
     }
 
-    /// A running job whose remaining virtual time is (numerically) zero.
+    /// A running job whose remaining virtual time is (numerically) zero
+    /// (smallest id first, via the sorted running index).
     fn due_completion(&self) -> Option<JobId> {
-        self.state
-            .jobs
-            .iter()
-            .find(|j| j.status == JobStatus::Running && j.remaining() <= COMPLETION_TOLERANCE)
-            .map(|j| j.spec.id)
+        for &i in self.state.running_ids() {
+            let j = &self.state.jobs[i as usize];
+            if j.remaining() <= COMPLETION_TOLERANCE {
+                return Some(j.spec.id);
+            }
+        }
+        None
     }
 
     fn advance_to(&mut self, t: f64) {
@@ -258,12 +279,12 @@ impl Engine<'_> {
         let dt = t - now;
         self.idle_ns += self.state.cluster.idle_nodes() as f64 * dt;
         self.busy_ns += self.state.cluster.total_cpu_alloc() * dt;
-        for j in &mut self.state.jobs {
-            if j.status == JobStatus::Running {
-                let from = now.max(j.penalty_until);
-                if t > from {
-                    j.virtual_time += j.yld * (t - from);
-                }
+        for k in 0..self.state.running_ids().len() {
+            let i = self.state.running_ids()[k] as usize;
+            let j = &mut self.state.jobs[i];
+            let from = now.max(j.penalty_until);
+            if t > from {
+                j.virtual_time += j.yld * (t - from);
             }
         }
         self.state.now = t;
@@ -271,16 +292,19 @@ impl Engine<'_> {
 
     fn finish_job(&mut self, id: JobId) {
         let now = self.state.now;
-        let j = &mut self.state.jobs[id.index()];
+        let j = &self.state.jobs[id.index()];
         debug_assert_eq!(j.status, JobStatus::Running);
-        let (need, mem, yld) = (j.spec.cpu_need, j.spec.mem_req, j.yld);
-        let placement = std::mem::take(&mut j.placement);
+        let (need, mem, yld, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.yld, j.spec.tasks);
+        for k in 0..tasks as usize {
+            let node = self.state.placement_raw(id)[k];
+            self.state.cluster.remove_task(node, need, mem, yld);
+        }
+        let j = &mut self.state.jobs[id.index()];
         j.status = JobStatus::Completed;
         j.completion = Some(now);
         j.yld = 0.0;
-        for node in placement {
-            self.state.cluster.remove_task(node, need, mem, yld);
-        }
+        self.state
+            .index_transition(id, JobStatus::Running, JobStatus::Completed);
         self.completed += 1;
         if self.config.record_timeline {
             self.timeline
@@ -308,12 +332,21 @@ impl Engine<'_> {
     /// Apply a plan in two phases — all removals (pauses, migration
     /// departures) strictly before all additions — so that plans which
     /// permute jobs across nodes never trip capacity checks on transient
-    /// intermediate states.
+    /// intermediate states. Placements are read from the plan entries in
+    /// place and copied into the arena; nothing is cloned.
     fn apply_plan(&mut self, plan: Plan) {
+        if self.config.validate {
+            if let Err(e) = validate::check_plan(&self.state, &plan) {
+                panic!("invalid plan at t={}: {e}", self.state.now);
+            }
+        }
+
         // Classify run entries against the *pre-plan* state.
-        let mut actions: Vec<RunAction> = Vec::with_capacity(plan.entries.len());
-        let mut pauses: Vec<JobId> = Vec::new();
-        for e in &plan.entries {
+        let mut actions = std::mem::take(&mut self.actions);
+        let mut pauses = std::mem::take(&mut self.pauses);
+        actions.clear();
+        pauses.clear();
+        for (idx, e) in plan.entries.iter().enumerate() {
             match e {
                 PlanEntry::Pause { job } => pauses.push(*job),
                 PlanEntry::Run {
@@ -337,7 +370,12 @@ impl Engine<'_> {
                         JobStatus::Pending => RunKind::Start,
                         JobStatus::Paused => RunKind::Resume,
                         JobStatus::Running => {
-                            let moved = moved_tasks(&js.placement, placement);
+                            let moved = moved_tasks(
+                                self.state.placement_raw(*job),
+                                placement,
+                                &mut self.moved_a,
+                                &mut self.moved_b,
+                            );
                             if moved == 0 {
                                 RunKind::Adjust
                             } else {
@@ -347,8 +385,8 @@ impl Engine<'_> {
                         st => panic!("plan runs job {job} in status {st:?}"),
                     };
                     actions.push(RunAction {
+                        entry: idx as u32,
                         job: *job,
-                        placement: placement.clone(),
                         yld: yld.min(1.0),
                         kind,
                         old_yld: js.yld,
@@ -374,20 +412,30 @@ impl Engine<'_> {
         for a in &actions {
             match a.kind {
                 RunKind::Migrate { .. } => {
-                    let j = &mut self.state.jobs[a.job.index()];
-                    let (need, mem) = (j.spec.cpu_need, j.spec.mem_req);
-                    let old = std::mem::take(&mut j.placement);
-                    for n in old {
-                        self.state.cluster.remove_task(n, need, mem, a.old_yld);
+                    let j = &self.state.jobs[a.job.index()];
+                    let (need, mem, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.spec.tasks);
+                    for k in 0..tasks as usize {
+                        let node = self.state.placement_raw(a.job)[k];
+                        self.state.cluster.remove_task(node, need, mem, a.old_yld);
                     }
                 }
                 RunKind::Adjust if a.yld < a.old_yld => {
-                    let spec = self.state.jobs[a.job.index()].spec.clone();
-                    let nodes: Vec<NodeId> = self.state.jobs[a.job.index()].placement.clone();
-                    for n in nodes {
+                    // Applied here in phase 1 (a release); recorded here
+                    // too — phase 2 skips this action entirely.
+                    if self.config.record_timeline {
+                        self.timeline.push(
+                            self.state.now,
+                            a.job,
+                            crate::timeline::AllocEvent::Adjust { yld: a.yld },
+                        );
+                    }
+                    let need = self.state.jobs[a.job.index()].spec.cpu_need;
+                    let tasks = self.state.jobs[a.job.index()].spec.tasks;
+                    for k in 0..tasks as usize {
+                        let node = self.state.placement_raw(a.job)[k];
                         self.state
                             .cluster
-                            .retarget_task(n, spec.cpu_need, a.old_yld, a.yld);
+                            .retarget_task(node, need, a.old_yld, a.yld);
                     }
                     self.state.jobs[a.job.index()].yld = a.yld;
                 }
@@ -396,12 +444,18 @@ impl Engine<'_> {
         }
 
         // Phase 2: additions and upward adjustments.
-        for a in actions {
+        for a in &actions {
             if matches!(a.kind, RunKind::Adjust) && a.yld < a.old_yld {
                 continue; // already applied in phase 1
             }
-            self.do_run(a);
+            let placement = match &plan.entries[a.entry as usize] {
+                PlanEntry::Run { placement, .. } => placement.as_slice(),
+                PlanEntry::Pause { .. } => unreachable!("run actions index run entries"),
+            };
+            self.do_run(a, placement);
         }
+        self.actions = actions;
+        self.pauses = pauses;
 
         for (job, at) in plan.timers {
             assert!(
@@ -420,20 +474,23 @@ impl Engine<'_> {
     }
 
     fn do_pause(&mut self, id: JobId) {
-        let j = &mut self.state.jobs[id.index()];
+        let j = &self.state.jobs[id.index()];
         assert_eq!(
             j.status,
             JobStatus::Running,
             "plan pauses non-running job {id}"
         );
         let (need, mem, yld, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.yld, j.spec.tasks);
-        let placement = std::mem::take(&mut j.placement);
+        for k in 0..tasks as usize {
+            let node = self.state.placement_raw(id)[k];
+            self.state.cluster.remove_task(node, need, mem, yld);
+        }
+        let j = &mut self.state.jobs[id.index()];
         j.status = JobStatus::Paused;
         j.yld = 0.0;
         j.preemptions += 1;
-        for node in placement {
-            self.state.cluster.remove_task(node, need, mem, yld);
-        }
+        self.state
+            .index_transition(id, JobStatus::Running, JobStatus::Paused);
         self.pmtn_count += 1;
         self.pmtn_gb += tasks as f64 * self.state.cluster.spec.task_move_gb(mem);
         if self.config.record_timeline {
@@ -442,18 +499,18 @@ impl Engine<'_> {
         }
     }
 
-    fn do_run(&mut self, a: RunAction) {
+    fn do_run(&mut self, a: &RunAction, placement: &[NodeId]) {
         let now = self.state.now;
-        let spec = self.state.jobs[a.job.index()].spec.clone();
+        let spec = self.state.jobs[a.job.index()].spec;
         if self.config.record_timeline {
             use crate::timeline::AllocEvent;
             let ev = match a.kind {
                 RunKind::Start => Some(AllocEvent::Start {
-                    nodes: a.placement.clone(),
+                    nodes: placement.to_vec(),
                     yld: a.yld,
                 }),
                 RunKind::Resume => Some(AllocEvent::Resume {
-                    nodes: a.placement.clone(),
+                    nodes: placement.to_vec(),
                     yld: a.yld,
                 }),
                 RunKind::Adjust if (a.yld - a.old_yld).abs() > 0.0 => {
@@ -461,7 +518,7 @@ impl Engine<'_> {
                 }
                 RunKind::Adjust => None,
                 RunKind::Migrate { moved } => Some(AllocEvent::Migrate {
-                    nodes: a.placement.clone(),
+                    nodes: placement.to_vec(),
                     yld: a.yld,
                     moved,
                 }),
@@ -473,51 +530,59 @@ impl Engine<'_> {
         match a.kind {
             RunKind::Start => {
                 // First start: free (no VM state to move yet).
-                for &n in &a.placement {
+                for &n in placement {
                     self.state
                         .cluster
                         .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
                 }
+                self.state.placement_slot(a.job).copy_from_slice(placement);
                 let j = &mut self.state.jobs[a.job.index()];
                 j.status = JobStatus::Running;
                 j.first_start.get_or_insert(now);
-                j.placement = a.placement;
                 j.yld = a.yld;
+                self.state
+                    .index_transition(a.job, JobStatus::Pending, JobStatus::Running);
+                // Any outstanding backoff timer is now obsolete.
+                self.queue.cancel_timers(a.job);
             }
             RunKind::Resume => {
                 // Restore from storage, charge the penalty.
-                for &n in &a.placement {
+                for &n in placement {
                     self.state
                         .cluster
                         .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
                 }
                 self.pmtn_gb +=
                     spec.tasks as f64 * self.state.cluster.spec.task_move_gb(spec.mem_req);
+                self.state.placement_slot(a.job).copy_from_slice(placement);
                 let j = &mut self.state.jobs[a.job.index()];
                 j.status = JobStatus::Running;
-                j.placement = a.placement;
                 j.yld = a.yld;
                 j.penalty_until = now + self.config.penalty;
+                self.state
+                    .index_transition(a.job, JobStatus::Paused, JobStatus::Running);
             }
             RunKind::Adjust => {
-                // Pure yield adjustment; keep the existing placement vector.
+                // Pure yield adjustment; placement is unchanged.
                 if (a.yld - a.old_yld).abs() > 0.0 {
-                    let nodes: Vec<NodeId> = self.state.jobs[a.job.index()].placement.clone();
-                    for n in nodes {
+                    let tasks = spec.tasks as usize;
+                    for k in 0..tasks {
+                        let node = self.state.placement_raw(a.job)[k];
                         self.state
                             .cluster
-                            .retarget_task(n, spec.cpu_need, a.old_yld, a.yld);
+                            .retarget_task(node, spec.cpu_need, a.old_yld, a.yld);
                     }
                     self.state.jobs[a.job.index()].yld = a.yld;
                 }
             }
             RunKind::Migrate { moved } => {
                 // Old tasks were removed in phase 1.
-                for &n in &a.placement {
+                for &n in placement {
                     self.state
                         .cluster
                         .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
                 }
+                self.state.placement_slot(a.job).copy_from_slice(placement);
                 let gb_per_task = self.state.cluster.spec.task_move_gb(spec.mem_req);
                 let (gb, freeze) = match self.config.migration_mode {
                     MigrationMode::StopAndCopy => {
@@ -532,7 +597,6 @@ impl Engine<'_> {
                 self.migr_gb += gb;
                 self.migr_count += 1;
                 let j = &mut self.state.jobs[a.job.index()];
-                j.placement = a.placement;
                 j.yld = a.yld;
                 j.migrations += 1;
                 j.penalty_until = now + freeze;
@@ -584,6 +648,7 @@ impl Engine<'_> {
             sched_wall_total: self.sched_wall,
             sched_wall_max: self.sched_max,
             sched_calls: self.sched_calls,
+            events_processed: self.events_processed,
             decisions: self.decisions,
             timeline: self.timeline,
             ..SimOutcome::default()
@@ -602,26 +667,36 @@ enum RunKind {
     Migrate { moved: usize },
 }
 
-#[derive(Debug, Clone)]
+/// One classified run entry; the placement is read from the plan entry
+/// at index `entry` (no clone).
+#[derive(Debug, Clone, Copy)]
 struct RunAction {
+    entry: u32,
     job: JobId,
-    placement: Vec<NodeId>,
     yld: f64,
     kind: RunKind,
     old_yld: f64,
 }
 
 /// Number of tasks that change nodes between two placements (multiset
-/// difference; task identity within a job is interchangeable).
-fn moved_tasks(old: &[NodeId], new: &[NodeId]) -> usize {
+/// difference; task identity within a job is interchangeable). `buf_a`
+/// and `buf_b` are caller-owned sort scratch.
+fn moved_tasks(
+    old: &[NodeId],
+    new: &[NodeId],
+    buf_a: &mut Vec<NodeId>,
+    buf_b: &mut Vec<NodeId>,
+) -> usize {
     debug_assert_eq!(old.len(), new.len());
-    let mut a: Vec<NodeId> = old.to_vec();
-    let mut b: Vec<NodeId> = new.to_vec();
-    a.sort_unstable();
-    b.sort_unstable();
+    buf_a.clear();
+    buf_a.extend_from_slice(old);
+    buf_b.clear();
+    buf_b.extend_from_slice(new);
+    buf_a.sort_unstable();
+    buf_b.sort_unstable();
     let (mut i, mut k, mut common) = (0usize, 0usize, 0usize);
-    while i < a.len() && k < b.len() {
-        match a[i].cmp(&b[k]) {
+    while i < buf_a.len() && k < buf_b.len() {
+        match buf_a[i].cmp(&buf_b[k]) {
             std::cmp::Ordering::Equal => {
                 common += 1;
                 i += 1;
@@ -641,18 +716,14 @@ mod tests {
     #[test]
     fn moved_tasks_counts_multiset_difference() {
         let n = |v: &[u32]| v.iter().map(|&x| NodeId(x)).collect::<Vec<_>>();
-        assert_eq!(
-            moved_tasks(&n(&[0, 1, 2]), &n(&[2, 1, 0])),
-            0,
-            "permutation is no move"
-        );
-        assert_eq!(moved_tasks(&n(&[0, 1, 2]), &n(&[0, 1, 3])), 1);
-        assert_eq!(
-            moved_tasks(&n(&[0, 0, 1]), &n(&[0, 1, 1])),
-            1,
-            "multiplicity matters"
-        );
-        assert_eq!(moved_tasks(&n(&[4, 5]), &n(&[6, 7])), 2);
-        assert_eq!(moved_tasks(&n(&[]), &n(&[])), 0);
+        let mt = |a: &[u32], b: &[u32]| {
+            let (mut ba, mut bb) = (Vec::new(), Vec::new());
+            moved_tasks(&n(a), &n(b), &mut ba, &mut bb)
+        };
+        assert_eq!(mt(&[0, 1, 2], &[2, 1, 0]), 0, "permutation is no move");
+        assert_eq!(mt(&[0, 1, 2], &[0, 1, 3]), 1);
+        assert_eq!(mt(&[0, 0, 1], &[0, 1, 1]), 1, "multiplicity matters");
+        assert_eq!(mt(&[4, 5], &[6, 7]), 2);
+        assert_eq!(mt(&[], &[]), 0);
     }
 }

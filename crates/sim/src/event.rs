@@ -1,11 +1,24 @@
-//! External-event queue.
+//! External-event queue with versioned entries.
 //!
 //! Only *external* events live in the queue: submissions (known from the
 //! trace), per-job timers (scheduler backoff), and periodic ticks. Job
 //! completions are **derived** — between decisions yields are constant,
 //! so the engine computes the earliest completion analytically and merges
-//! it with the queue head. A monotonically increasing sequence number
+//! it with the queue head (see DESIGN.md §"Engine internals" for why
+//! they must stay derived). A monotonically increasing sequence number
 //! makes same-instant ordering deterministic (FIFO).
+//!
+//! ## Versioned entries
+//!
+//! Per-job timer entries carry the job's timer *version* at push time;
+//! [`EventQueue::cancel_timers`] bumps the version in O(1), instantly
+//! invalidating every outstanding timer of that job without scanning
+//! the heap (rescheduling is a cancel + push, O(log n) total).
+//! Invalidated entries still pop at their original time — the engine
+//! must observe the same event instants whether or not a timer is
+//! stale, because advancing the clock in different increments changes
+//! the floating-point integrals — but they pop marked stale, so the
+//! engine drops them without a scheduler round.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -29,6 +42,8 @@ struct Entry {
     time: f64,
     seq: u64,
     kind: EventKind,
+    /// Timer version at push time (0 for non-timer events).
+    ver: u32,
 }
 
 impl PartialEq for Entry {
@@ -54,31 +69,49 @@ impl Ord for Entry {
     }
 }
 
-/// Min-heap of timestamped external events with FIFO tie-breaking.
+/// Min-heap of timestamped external events with FIFO tie-breaking and
+/// O(1) timer cancellation (see module docs).
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Entry>,
     seq: u64,
+    /// Current timer version per job; heap entries with an older
+    /// version are stale.
+    timer_ver: Vec<u32>,
 }
 
 impl EventQueue {
-    /// Empty queue.
-    pub fn new() -> Self {
+    /// Empty queue able to track timers for `n_jobs` jobs.
+    pub fn new(n_jobs: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            timer_ver: vec![0; n_jobs],
         }
     }
 
-    /// Schedule `kind` at absolute time `time`.
+    /// Schedule `kind` at absolute time `time`. Timer entries capture
+    /// the job's current version.
     pub fn push(&mut self, time: f64, kind: EventKind) {
         debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
+        let ver = match kind {
+            EventKind::Timer(job) => self.timer_ver[job.index()],
+            _ => 0,
+        };
         self.heap.push(Entry {
             time,
             seq: self.seq,
             kind,
+            ver,
         });
         self.seq += 1;
+    }
+
+    /// Invalidate every outstanding timer of `job` in O(1). Stale
+    /// entries still pop at their scheduled time (the engine's clock
+    /// advances identically either way) but pop as invalid.
+    pub fn cancel_timers(&mut self, job: JobId) {
+        self.timer_ver[job.index()] += 1;
     }
 
     /// Time of the earliest pending event.
@@ -86,12 +119,19 @@ impl EventQueue {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Pop the earliest event.
-    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
-        self.heap.pop().map(|e| (e.time, e.kind))
+    /// Pop the earliest event; the flag is false for a stale (cancelled)
+    /// timer, which the caller drops without a scheduler round.
+    pub fn pop(&mut self) -> Option<(f64, EventKind, bool)> {
+        self.heap.pop().map(|e| {
+            let valid = match e.kind {
+                EventKind::Timer(job) => self.timer_ver[job.index()] == e.ver,
+                _ => true,
+            };
+            (e.time, e.kind, valid)
+        })
     }
 
-    /// Number of pending events.
+    /// Number of pending events (stale entries included).
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -108,19 +148,19 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::new(4);
         q.push(30.0, EventKind::Tick);
         q.push(10.0, EventKind::Submit(JobId(0)));
         q.push(20.0, EventKind::Timer(JobId(1)));
-        assert_eq!(q.pop().unwrap(), (10.0, EventKind::Submit(JobId(0))));
-        assert_eq!(q.pop().unwrap(), (20.0, EventKind::Timer(JobId(1))));
-        assert_eq!(q.pop().unwrap(), (30.0, EventKind::Tick));
+        assert_eq!(q.pop().unwrap(), (10.0, EventKind::Submit(JobId(0)), true));
+        assert_eq!(q.pop().unwrap(), (20.0, EventKind::Timer(JobId(1)), true));
+        assert_eq!(q.pop().unwrap(), (30.0, EventKind::Tick, true));
         assert!(q.pop().is_none());
     }
 
     #[test]
     fn same_instant_is_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::new(4);
         q.push(5.0, EventKind::Submit(JobId(1)));
         q.push(5.0, EventKind::Submit(JobId(2)));
         q.push(5.0, EventKind::Tick);
@@ -131,7 +171,7 @@ mod tests {
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::new(1);
         assert!(q.peek_time().is_none());
         q.push(7.5, EventKind::Tick);
         assert_eq!(q.peek_time(), Some(7.5));
@@ -142,7 +182,7 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::new(1);
         q.push(10.0, EventKind::Tick);
         q.push(1.0, EventKind::Tick);
         assert_eq!(q.pop().unwrap().0, 1.0);
@@ -151,5 +191,39 @@ mod tests {
         assert_eq!(q.pop().unwrap().0, 0.5);
         assert_eq!(q.pop().unwrap().0, 5.0);
         assert_eq!(q.pop().unwrap().0, 10.0);
+    }
+
+    #[test]
+    fn cancelled_timers_pop_stale_at_their_time() {
+        let mut q = EventQueue::new(3);
+        q.push(5.0, EventKind::Timer(JobId(2)));
+        q.push(9.0, EventKind::Timer(JobId(2)));
+        q.push(7.0, EventKind::Timer(JobId(1)));
+        q.cancel_timers(JobId(2));
+        // Entries still fire at their times — the clock must advance
+        // identically — but are flagged stale.
+        assert_eq!(q.pop().unwrap(), (5.0, EventKind::Timer(JobId(2)), false));
+        assert_eq!(q.pop().unwrap(), (7.0, EventKind::Timer(JobId(1)), true));
+        assert_eq!(q.pop().unwrap(), (9.0, EventKind::Timer(JobId(2)), false));
+    }
+
+    #[test]
+    fn timers_pushed_after_cancel_are_valid() {
+        let mut q = EventQueue::new(1);
+        q.push(1.0, EventKind::Timer(JobId(0)));
+        q.cancel_timers(JobId(0));
+        q.push(2.0, EventKind::Timer(JobId(0)));
+        assert_eq!(q.pop().unwrap(), (1.0, EventKind::Timer(JobId(0)), false));
+        assert_eq!(q.pop().unwrap(), (2.0, EventKind::Timer(JobId(0)), true));
+    }
+
+    #[test]
+    fn cancel_is_per_job() {
+        let mut q = EventQueue::new(2);
+        q.push(1.0, EventKind::Timer(JobId(0)));
+        q.push(2.0, EventKind::Timer(JobId(1)));
+        q.cancel_timers(JobId(0));
+        assert!(!q.pop().unwrap().2);
+        assert!(q.pop().unwrap().2);
     }
 }

@@ -74,3 +74,4 @@ pub use outcome::{DecisionSample, JobRecord, SimOutcome};
 pub use plan::{Plan, PlanEntry, SchedEvent, Scheduler};
 pub use state::{ClusterState, JobState, JobStatus, NodeState, SimState};
 pub use timeline::{AllocEvent, Timeline, TimelineEntry};
+pub use validate::{check_invariants, check_plan, PlanError, ValidationError};

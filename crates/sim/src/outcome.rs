@@ -70,6 +70,9 @@ pub struct SimOutcome {
     pub sched_wall_max: f64,
     /// Number of scheduler invocations.
     pub sched_calls: u64,
+    /// Engine event-loop iterations processed (deterministic; the
+    /// denominator of event-throughput measurements).
+    pub events_processed: u64,
     /// Per-invocation samples (populated when requested in `SimConfig`).
     pub decisions: Vec<DecisionSample>,
     /// Full allocation log (populated when `SimConfig::record_timeline`).

@@ -1,5 +1,24 @@
 //! Mutable simulation state: per-job lifecycle and per-node resource
 //! bookkeeping.
+//!
+//! ## Hot-path layout
+//!
+//! The engine touches this state once per event, so the layout avoids
+//! per-event allocation and per-event whole-trace scans:
+//!
+//! * **Placement arena** — every job's task placement lives in one
+//!   preallocated arena (`tasks` slots per job, offsets fixed at
+//!   construction); placing or migrating a job copies node ids into its
+//!   slice instead of allocating a fresh `Vec`.
+//! * **Live/running indexes** — sorted id lists of the jobs in the
+//!   system and the running subset, so per-event scans cost O(live)
+//!   instead of O(trace length). Iteration order equals ascending id —
+//!   identical to a filtered scan of the full job table.
+//! * **Change epochs** — a monotone counter bumped on every observable
+//!   state change (job lifecycle transitions here, per-node load
+//!   changes in [`ClusterState`]). Schedulers use
+//!   [`SimState::change_epoch`] to recognize that nothing changed since
+//!   their last decision and skip provably identical repacks.
 
 use dfrs_core::approx;
 use dfrs_core::ids::{JobId, NodeId};
@@ -21,7 +40,8 @@ pub enum JobStatus {
     Completed,
 }
 
-/// Full dynamic state of one job.
+/// Full dynamic state of one job. Its task placement lives in the
+/// [`SimState`] placement arena ([`SimState::placement`]).
 #[derive(Debug, Clone)]
 pub struct JobState {
     /// The immutable request.
@@ -32,8 +52,6 @@ pub struct JobState {
     pub virtual_time: f64,
     /// Current yield; meaningful only while `Running`.
     pub yld: f64,
-    /// Hosting node of each task; empty unless `Running`.
-    pub placement: Vec<NodeId>,
     /// Wall-clock time until which progress is frozen (rescheduling
     /// penalty after a resume or migration).
     pub penalty_until: f64,
@@ -55,7 +73,6 @@ impl JobState {
             status: JobStatus::Unsubmitted,
             virtual_time: 0.0,
             yld: 0.0,
-            placement: Vec::new(),
             penalty_until: 0.0,
             first_start: None,
             completion: None,
@@ -129,13 +146,17 @@ impl NodeState {
     }
 }
 
-/// The cluster: node states plus aggregate counters.
+/// The cluster: node states plus aggregate counters and change epochs.
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     /// Static description.
     pub spec: ClusterSpec,
     nodes: Vec<NodeState>,
     busy_nodes: u32,
+    /// Bumped on every task add/remove/retarget.
+    epoch: u64,
+    /// Epoch at which each node last changed (dirty-node tracking).
+    node_epoch: Vec<u64>,
 }
 
 impl ClusterState {
@@ -145,6 +166,8 @@ impl ClusterState {
             spec,
             nodes: vec![NodeState::default(); spec.nodes as usize],
             busy_nodes: 0,
+            epoch: 0,
+            node_epoch: vec![0; spec.nodes as usize],
         }
     }
 
@@ -166,6 +189,28 @@ impl ClusterState {
         self.spec.nodes - self.busy_nodes
     }
 
+    /// Monotone counter of node-state mutations.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epoch at which `node` last changed.
+    #[inline]
+    pub fn node_epoch(&self, node: NodeId) -> u64 {
+        self.node_epoch[node.index()]
+    }
+
+    /// Nodes whose load changed strictly after `since` (dirty-node
+    /// tracking for schedulers that cache decisions between events).
+    pub fn dirty_nodes_since(&self, since: u64) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_epoch
+            .iter()
+            .enumerate()
+            .filter(move |(_, &e)| e > since)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
     /// Sum of allocated CPU over all nodes (for utilization integrals).
     pub fn total_cpu_alloc(&self) -> f64 {
         self.nodes.iter().map(|n| n.cpu_alloc).sum()
@@ -174,6 +219,12 @@ impl ClusterState {
     /// Highest CPU load over all nodes (the `Λ` of the greedy yield rule).
     pub fn max_cpu_load(&self) -> f64 {
         self.nodes.iter().map(|n| n.cpu_load).fold(0.0, f64::max)
+    }
+
+    #[inline]
+    fn touch(&mut self, node: NodeId) {
+        self.epoch += 1;
+        self.node_epoch[node.index()] = self.epoch;
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
@@ -202,6 +253,7 @@ impl ClusterState {
             "CPU overallocated: {}",
             n.cpu_alloc
         );
+        self.touch(node);
     }
 
     /// Remove one task of `job` from `node`.
@@ -220,6 +272,7 @@ impl ClusterState {
             n.cpu_alloc = 0.0;
             n.mem_used = 0.0;
         }
+        self.touch(node);
     }
 
     /// Adjust the allocated CPU of a hosted task after a yield change.
@@ -232,6 +285,7 @@ impl ClusterState {
             "CPU overallocated: {}",
             n.cpu_alloc
         );
+        self.touch(node);
     }
 }
 
@@ -244,23 +298,142 @@ pub struct SimState {
     pub cluster: ClusterState,
     /// One entry per trace job, indexed by [`JobId`].
     pub jobs: Vec<JobState>,
+    /// Placement arena: `arena[off[i]..off[i] + tasks_i]` holds job
+    /// `i`'s task placement while it runs.
+    pub(crate) arena: Vec<NodeId>,
+    /// Per-job offsets into `arena`.
+    pub(crate) arena_off: Vec<u32>,
+    /// Sorted ids of jobs in the system (submitted, not completed).
+    pub(crate) live: Vec<u32>,
+    /// Sorted ids of running jobs.
+    pub(crate) running: Vec<u32>,
+    /// Bumped on every job lifecycle transition.
+    pub(crate) epoch: u64,
 }
 
 impl SimState {
+    /// Fresh state: all jobs unsubmitted, all nodes idle, arena
+    /// preallocated (one slot per task of every job).
+    pub fn new(cluster: ClusterSpec, jobs: &[JobSpec]) -> Self {
+        let mut arena_off = Vec::with_capacity(jobs.len());
+        let mut total = 0u32;
+        for j in jobs {
+            arena_off.push(total);
+            total += j.tasks;
+        }
+        SimState {
+            now: 0.0,
+            cluster: ClusterState::new(cluster),
+            jobs: jobs.iter().map(|j| JobState::new(*j)).collect(),
+            arena: vec![NodeId(0); total as usize],
+            arena_off,
+            live: Vec::new(),
+            running: Vec::new(),
+            epoch: 0,
+        }
+    }
+
     /// Access a job by id.
     #[inline]
     pub fn job(&self, id: JobId) -> &JobState {
         &self.jobs[id.index()]
     }
 
-    /// Jobs currently in the system (submitted, not completed).
-    pub fn jobs_in_system(&self) -> impl Iterator<Item = &JobState> {
-        self.jobs.iter().filter(|j| j.in_system())
+    /// The task placement of `id`: one hosting node per task while the
+    /// job is `Running`, empty otherwise.
+    #[inline]
+    pub fn placement(&self, id: JobId) -> &[NodeId] {
+        let j = &self.jobs[id.index()];
+        if j.status == JobStatus::Running {
+            let off = self.arena_off[id.index()] as usize;
+            &self.arena[off..off + j.spec.tasks as usize]
+        } else {
+            &[]
+        }
     }
 
-    /// Running jobs.
+    /// The full arena slice of `id` (regardless of status) for the
+    /// engine to fill before marking the job running.
+    #[inline]
+    pub(crate) fn placement_slot(&mut self, id: JobId) -> &mut [NodeId] {
+        let off = self.arena_off[id.index()] as usize;
+        let tasks = self.jobs[id.index()].spec.tasks as usize;
+        &mut self.arena[off..off + tasks]
+    }
+
+    /// The arena slice of `id` read without the `Running` guard (the
+    /// engine reads it mid-transition, e.g. while vacating a migrating
+    /// job whose status is still `Running` but whose tasks are being
+    /// removed).
+    #[inline]
+    pub(crate) fn placement_raw(&self, id: JobId) -> &[NodeId] {
+        let off = self.arena_off[id.index()] as usize;
+        let tasks = self.jobs[id.index()].spec.tasks as usize;
+        &self.arena[off..off + tasks]
+    }
+
+    /// Monotone counter of observable state changes (job lifecycle +
+    /// node loads). Equal epochs at two instants guarantee that no job
+    /// was submitted, started, paused, resumed, migrated, completed, or
+    /// re-targeted in between (virtual-time accrual is *not* tracked —
+    /// it advances continuously).
+    #[inline]
+    pub fn change_epoch(&self) -> u64 {
+        self.epoch + self.cluster.epoch()
+    }
+
+    /// Jobs currently in the system (submitted, not completed), in
+    /// ascending id order.
+    pub fn jobs_in_system(&self) -> impl Iterator<Item = &JobState> {
+        self.live.iter().map(|&i| &self.jobs[i as usize])
+    }
+
+    /// Running jobs, in ascending id order.
     pub fn running_jobs(&self) -> impl Iterator<Item = &JobState> {
-        self.jobs.iter().filter(|j| j.status == JobStatus::Running)
+        self.running.iter().map(|&i| &self.jobs[i as usize])
+    }
+
+    /// Sorted ids of running jobs (engine hot path).
+    #[inline]
+    pub(crate) fn running_ids(&self) -> &[u32] {
+        &self.running
+    }
+
+    fn index_insert(list: &mut Vec<u32>, id: u32) {
+        match list.binary_search(&id) {
+            Ok(_) => debug_assert!(false, "job {id} already indexed"),
+            Err(pos) => list.insert(pos, id),
+        }
+    }
+
+    fn index_remove(list: &mut Vec<u32>, id: u32) {
+        match list.binary_search(&id) {
+            Ok(pos) => {
+                list.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "job {id} not indexed"),
+        }
+    }
+
+    /// Record a lifecycle transition of `id` from `from` to `to`,
+    /// keeping the live/running indexes and the change epoch in sync.
+    /// The caller sets `jobs[id].status` itself (it owns the rest of
+    /// the transition bookkeeping).
+    pub(crate) fn index_transition(&mut self, id: JobId, from: JobStatus, to: JobStatus) {
+        let raw = id.0;
+        match (from, to) {
+            (JobStatus::Unsubmitted, JobStatus::Pending) => Self::index_insert(&mut self.live, raw),
+            (JobStatus::Pending | JobStatus::Paused, JobStatus::Running) => {
+                Self::index_insert(&mut self.running, raw)
+            }
+            (JobStatus::Running, JobStatus::Paused) => Self::index_remove(&mut self.running, raw),
+            (JobStatus::Running, JobStatus::Completed) => {
+                Self::index_remove(&mut self.running, raw);
+                Self::index_remove(&mut self.live, raw);
+            }
+            (f, t) => debug_assert!(false, "unexpected transition {f:?} -> {t:?}"),
+        }
+        self.epoch += 1;
     }
 }
 
@@ -323,6 +496,21 @@ mod tests {
     }
 
     #[test]
+    fn epochs_mark_dirty_nodes() {
+        let mut c = cluster();
+        let e0 = c.epoch();
+        c.add_task(NodeId(2), 0.3, 0.1, 1.0);
+        c.add_task(NodeId(1), 0.3, 0.1, 1.0);
+        assert!(c.epoch() > e0);
+        let dirty: Vec<NodeId> = c.dirty_nodes_since(e0).collect();
+        assert_eq!(dirty, vec![NodeId(1), NodeId(2)]);
+        let e1 = c.epoch();
+        assert_eq!(c.dirty_nodes_since(e1).count(), 0);
+        c.retarget_task(NodeId(1), 0.3, 1.0, 0.5);
+        assert_eq!(c.dirty_nodes_since(e1).collect::<Vec<_>>(), [NodeId(1)]);
+    }
+
+    #[test]
     fn completion_time_accounts_for_penalty() {
         let mut j = JobState::new(spec(0, 1));
         j.status = JobStatus::Running;
@@ -344,5 +532,36 @@ mod tests {
         assert!(j.in_system());
         j.status = JobStatus::Completed;
         assert!(!j.in_system());
+    }
+
+    #[test]
+    fn sim_state_indexes_follow_transitions() {
+        let cl = ClusterSpec::new(4, 4, 8.0).unwrap();
+        let jobs = vec![spec(0, 2), spec(1, 1), spec(2, 3)];
+        let mut s = SimState::new(cl, &jobs);
+        assert_eq!(s.jobs_in_system().count(), 0);
+        let e0 = s.change_epoch();
+
+        for id in [1u32, 0, 2] {
+            s.jobs[id as usize].status = JobStatus::Pending;
+            s.index_transition(JobId(id), JobStatus::Unsubmitted, JobStatus::Pending);
+        }
+        let ids: Vec<u32> = s.jobs_in_system().map(|j| j.spec.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2], "ascending id order");
+        assert!(s.change_epoch() > e0);
+
+        s.jobs[1].status = JobStatus::Running;
+        s.index_transition(JobId(1), JobStatus::Pending, JobStatus::Running);
+        assert_eq!(s.running_ids(), &[1]);
+
+        s.jobs[1].status = JobStatus::Running;
+        s.placement_slot(JobId(1))[0] = NodeId(3);
+        assert_eq!(s.placement(JobId(1)), &[NodeId(3)]);
+        assert_eq!(s.placement(JobId(0)), &[] as &[NodeId]);
+
+        s.jobs[1].status = JobStatus::Completed;
+        s.index_transition(JobId(1), JobStatus::Running, JobStatus::Completed);
+        assert_eq!(s.running_ids(), &[] as &[u32]);
+        assert_eq!(s.jobs_in_system().count(), 2);
     }
 }

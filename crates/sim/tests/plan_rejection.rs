@@ -1,0 +1,234 @@
+//! Negative-path tests for plan validation: crafted *invalid* plans
+//! must be rejected by `dfrs_sim::check_plan` with the specific typed
+//! error variant — never a panic, never a generic string.
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_sim::{check_plan, Plan, PlanError, SchedEvent, Scheduler, SimConfig, SimState};
+
+/// Run a small simulation and hand the live `SimState` (at the first
+/// submit event) to `check`, so plans are validated against real
+/// engine state.
+fn validate_at_submit(jobs: Vec<JobSpec>, check: impl FnMut(&SimState)) {
+    struct Probe<F: FnMut(&SimState)> {
+        check: Option<F>,
+    }
+    impl<F: FnMut(&SimState)> Scheduler for Probe<F> {
+        fn name(&self) -> String {
+            "probe".into()
+        }
+        fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+            if let SchedEvent::Submit(id) = ev {
+                if let Some(mut check) = self.check.take() {
+                    check(state);
+                }
+                // Keep the simulation finite: a valid round-robin
+                // placement (the crafted jobs all fit one task per
+                // node at full yield).
+                let tasks = state.job(id).spec.tasks as usize;
+                let n_nodes = state.cluster.nodes().len();
+                let nodes = (0..tasks).map(|t| NodeId((t % n_nodes) as u32)).collect();
+                return Plan::noop().run(id, nodes, 1.0);
+            }
+            Plan::noop()
+        }
+    }
+    let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
+    let mut probe = Probe { check: Some(check) };
+    dfrs_sim::simulate(cluster, &jobs, &mut probe, &SimConfig::default());
+}
+
+fn one_job() -> Vec<JobSpec> {
+    vec![JobSpec::new(JobId(0), 0.0, 2, 0.5, 0.4, 100.0).unwrap()]
+}
+
+#[test]
+fn unknown_job_id_is_rejected() {
+    validate_at_submit(one_job(), |state| {
+        let plan = Plan::noop().run(JobId(7), vec![NodeId(0)], 1.0);
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::UnknownJob { job: JobId(7) })
+        );
+        // Same for timers.
+        let plan = Plan::noop().timer(JobId(9), 50.0);
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::UnknownJob { job: JobId(9) })
+        );
+    });
+}
+
+#[test]
+fn duplicate_mention_is_rejected() {
+    validate_at_submit(one_job(), |state| {
+        // Run + run.
+        let plan = Plan::noop()
+            .run(JobId(0), vec![NodeId(0), NodeId(1)], 1.0)
+            .run(JobId(0), vec![NodeId(0), NodeId(1)], 0.5);
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::DuplicateJob { job: JobId(0) })
+        );
+        // Run + pause.
+        let plan = Plan::noop()
+            .run(JobId(0), vec![NodeId(0), NodeId(1)], 1.0)
+            .pause(JobId(0));
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::DuplicateJob { job: JobId(0) })
+        );
+    });
+}
+
+#[test]
+fn over_capacity_memory_is_rejected() {
+    // Two tasks of 0.6 memory on the same node: 1.2 > 1.
+    let jobs = vec![JobSpec::new(JobId(0), 0.0, 2, 0.25, 0.6, 100.0).unwrap()];
+    validate_at_submit(jobs, |state| {
+        let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(0)], 0.5);
+        match check_plan(state, &plan) {
+            Err(PlanError::OverCapacityMemory { node, mem_used }) => {
+                assert_eq!(node, NodeId(0));
+                assert!(mem_used > 1.0, "{mem_used}");
+            }
+            other => panic!("expected OverCapacityMemory, got {other:?}"),
+        }
+        // The same jobs spread across nodes pass.
+        let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(1)], 0.5);
+        assert_eq!(check_plan(state, &plan), Ok(()));
+    });
+}
+
+#[test]
+fn over_capacity_cpu_is_rejected() {
+    // Two full-CPU tasks at yield 1.0 on one node: allocation 2 > 1.
+    let jobs = vec![JobSpec::new(JobId(0), 0.0, 2, 1.0, 0.1, 100.0).unwrap()];
+    validate_at_submit(jobs, |state| {
+        let plan = Plan::noop().run(JobId(0), vec![NodeId(1), NodeId(1)], 1.0);
+        match check_plan(state, &plan) {
+            Err(PlanError::OverCapacityCpu { node, cpu_alloc }) => {
+                assert_eq!(node, NodeId(1));
+                assert!(cpu_alloc > 1.0, "{cpu_alloc}");
+            }
+            other => panic!("expected OverCapacityCpu, got {other:?}"),
+        }
+        // Halving the yield makes it fit.
+        let plan = Plan::noop().run(JobId(0), vec![NodeId(1), NodeId(1)], 0.5);
+        assert_eq!(check_plan(state, &plan), Ok(()));
+    });
+}
+
+#[test]
+fn wrong_task_count_is_rejected() {
+    validate_at_submit(one_job(), |state| {
+        let plan = Plan::noop().run(JobId(0), vec![NodeId(0)], 1.0); // needs 2
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::WrongTaskCount {
+                job: JobId(0),
+                placed: 1,
+                tasks: 2
+            })
+        );
+    });
+}
+
+#[test]
+fn invalid_yields_are_rejected() {
+    validate_at_submit(one_job(), |state| {
+        for bad in [0.0, -0.5, 1.5] {
+            let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(1)], bad);
+            assert_eq!(
+                check_plan(state, &plan),
+                Err(PlanError::InvalidYield {
+                    job: JobId(0),
+                    yld: bad
+                }),
+                "yield {bad}"
+            );
+        }
+    });
+}
+
+#[test]
+fn unknown_node_is_rejected() {
+    validate_at_submit(one_job(), |state| {
+        let plan = Plan::noop().run(JobId(0), vec![NodeId(0), NodeId(5)], 1.0);
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::UnknownNode {
+                job: JobId(0),
+                node: NodeId(5)
+            })
+        );
+    });
+}
+
+#[test]
+fn pausing_a_non_running_job_is_rejected() {
+    validate_at_submit(one_job(), |state| {
+        // Job 0 is Pending at its own submit event.
+        let plan = Plan::noop().pause(JobId(0));
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::PauseNotRunning {
+                job: JobId(0),
+                status: dfrs_sim::JobStatus::Pending
+            })
+        );
+    });
+}
+
+#[test]
+fn timer_in_the_past_is_rejected() {
+    let jobs = vec![JobSpec::new(JobId(0), 100.0, 2, 0.5, 0.4, 50.0).unwrap()];
+    validate_at_submit(jobs, |state| {
+        assert_eq!(state.now, 100.0);
+        let plan = Plan::noop().timer(JobId(0), 10.0);
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::TimerInPast {
+                job: JobId(0),
+                at: 10.0,
+                now: 100.0
+            })
+        );
+    });
+}
+
+#[test]
+fn running_an_unsubmitted_job_is_rejected() {
+    let jobs = vec![
+        JobSpec::new(JobId(0), 0.0, 1, 0.5, 0.2, 50.0).unwrap(),
+        JobSpec::new(JobId(1), 500.0, 1, 0.5, 0.2, 50.0).unwrap(),
+    ];
+    validate_at_submit(jobs, |state| {
+        // At job 0's submit, job 1 has not arrived yet.
+        let plan = Plan::noop().run(JobId(1), vec![NodeId(0)], 1.0);
+        assert_eq!(
+            check_plan(state, &plan),
+            Err(PlanError::InvalidStatus {
+                job: JobId(1),
+                status: dfrs_sim::JobStatus::Unsubmitted
+            })
+        );
+    });
+}
+
+#[test]
+fn valid_plans_pass_and_errors_render() {
+    validate_at_submit(one_job(), |state| {
+        let plan = Plan::noop()
+            .run(JobId(0), vec![NodeId(0), NodeId(1)], 1.0)
+            .timer(JobId(0), 10.0);
+        assert_eq!(check_plan(state, &plan), Ok(()));
+        assert_eq!(check_plan(state, &Plan::noop()), Ok(()));
+    });
+    // Display strings are readable.
+    let e = PlanError::OverCapacityMemory {
+        node: NodeId(3),
+        mem_used: 1.4,
+    };
+    assert!(e.to_string().contains("overcommits"), "{e}");
+}

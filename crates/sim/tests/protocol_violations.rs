@@ -56,7 +56,7 @@ fn oversized_yield_panics() {
 }
 
 #[test]
-#[should_panic(expected = "pauses non-running")]
+#[should_panic(expected = "pauses j0")]
 fn pausing_a_pending_job_panics() {
     run_with(Plan::noop().pause(JobId(0)));
 }

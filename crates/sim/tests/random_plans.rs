@@ -36,7 +36,7 @@ impl ChaosScheduler {
         for j in state.running_jobs() {
             if chaos && self.rng.gen_bool(0.3) {
                 plan_pauses.push(j.spec.id);
-                for &n in &j.placement {
+                for &n in state.placement(j.spec.id) {
                     mem_free[n.index()] += j.spec.mem_req;
                 }
             }
@@ -93,7 +93,7 @@ impl ChaosScheduler {
                 let id = candidates[self.rng.gen_range(0..candidates.len())];
                 let spec = &state.job(id).spec;
                 // Free its current memory, then replace like above.
-                for &n in &state.job(id).placement {
+                for &n in state.placement(id) {
                     mem_free[n.index()] += spec.mem_req;
                 }
                 let start = self.rng.gen_range(0..n_nodes);
@@ -114,7 +114,7 @@ impl ChaosScheduler {
                     placements.push((id, nodes));
                 } else {
                     // Roll back the freeing.
-                    for &n in &state.job(id).placement {
+                    for &n in state.placement(id) {
                         mem_free[n.index()] -= spec.mem_req;
                     }
                 }
@@ -130,7 +130,7 @@ impl ChaosScheduler {
             {
                 continue;
             }
-            all_runs.push((j.spec.id, j.placement.clone()));
+            all_runs.push((j.spec.id, state.placement(j.spec.id).to_vec()));
         }
         all_runs.extend(placements);
         for (id, nodes) in &all_runs {

@@ -1,0 +1,271 @@
+//! Golden-trace snapshot suite.
+//!
+//! Pins the full deterministic `SimOutcome` of every registered paper
+//! algorithm on two fixed scenarios — a crafted memory-pressure trace
+//! and a Lublin seed-1 trace — as checked-in JSON
+//! (`tests/golden/golden_traces.json`). Floats are stored as exact bit
+//! strings: any engine or scheduler change that shifts a **byte** of
+//! any metric fails with a per-field diff.
+//!
+//! Regenerate (after an *intentional* behavior change) with:
+//!
+//! ```sh
+//! DFRS_GOLDEN_REGEN=1 cargo test --test golden_traces
+//! ```
+
+use dfrs::core::ids::JobId;
+use dfrs::core::{ClusterSpec, JobSpec};
+use dfrs::scenario::{Scenario, ScenarioBuilder};
+use dfrs::sched::Algorithm;
+use dfrs::sim::SimOutcome;
+use dfrs_bench::json::{self, bits, obj, Value};
+
+const GOLDEN_PATH: &str = "tests/golden/golden_traces.json";
+
+/// A crafted trace on a small cluster that exercises memory-pressure
+/// evictions, resumes, migrations, multi-task placement, and the
+/// rescheduling penalty for every algorithm family.
+fn crafted_scenario() -> Scenario {
+    let job = |id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64| {
+        JobSpec::new(JobId(id), submit, tasks, cpu, mem, rt).expect("valid crafted job")
+    };
+    let jobs = vec![
+        // A memory hog across the whole cluster — later arrivals must
+        // evict it (or queue on it).
+        job(0, 0.0, 4, 0.25, 0.9, 3_000.0),
+        // CPU-bound multi-task jobs that overload CPU when coresident.
+        job(1, 50.0, 2, 1.0, 0.30, 800.0),
+        job(2, 120.0, 3, 1.0, 0.25, 600.0),
+        // A short sequential job arriving under pressure.
+        job(3, 200.0, 1, 0.5, 0.40, 120.0),
+        // A wide job that needs one task per node.
+        job(4, 400.0, 4, 0.75, 0.45, 900.0),
+        // Burst at the same instant (FIFO tie-breaking).
+        job(5, 700.0, 1, 1.0, 0.20, 300.0),
+        job(6, 700.0, 1, 1.0, 0.20, 300.0),
+        job(7, 700.0, 2, 0.25, 0.55, 450.0),
+        // Late small jobs that fit in leftovers.
+        job(8, 1_500.0, 1, 0.25, 0.10, 60.0),
+        job(9, 1_600.0, 2, 0.5, 0.15, 240.0),
+        // A second memory hog to force another eviction round.
+        job(10, 1_800.0, 2, 0.25, 0.80, 700.0),
+        job(11, 2_000.0, 1, 1.0, 0.35, 500.0),
+    ];
+    ScenarioBuilder::new()
+        .label("crafted")
+        .cluster(ClusterSpec::new(4, 4, 8.0).expect("valid cluster"))
+        .jobs(jobs)
+        .penalty(dfrs::core::constants::RESCHEDULING_PENALTY_SECS)
+        .build()
+        .expect("crafted scenario builds")
+}
+
+/// Lublin model, seed 1, load 0.7, with the paper's 5-minute penalty.
+fn lublin_scenario() -> Scenario {
+    ScenarioBuilder::new()
+        .label("lublin-s1")
+        .lublin(120)
+        .load(0.7)
+        .seed(1)
+        .penalty(dfrs::core::constants::RESCHEDULING_PENALTY_SECS)
+        .build()
+        .expect("lublin scenario builds")
+}
+
+/// One float metric: exact bits plus a human-readable decimal.
+fn metric(x: f64) -> Value {
+    obj([("bits".into(), bits(x)), ("dec".into(), Value::Num(x))])
+}
+
+/// Snapshot every deterministic field of an outcome. Wall-clock fields
+/// (`sched_wall_*`) are intentionally excluded.
+fn snapshot(out: &SimOutcome) -> Value {
+    let jobs: Vec<Value> = out
+        .records
+        .iter()
+        .map(|r| {
+            Value::Arr(vec![
+                Value::Num(r.id.0 as f64),
+                r.first_start.map(bits).unwrap_or(Value::Null),
+                bits(r.completion),
+                bits(r.stretch),
+                Value::Num(r.preemptions as f64),
+                Value::Num(r.migrations as f64),
+            ])
+        })
+        .collect();
+    obj([
+        ("algorithm".into(), Value::Str(out.algorithm.clone())),
+        ("max_stretch".into(), metric(out.max_stretch)),
+        ("mean_stretch".into(), metric(out.mean_stretch)),
+        ("makespan".into(), metric(out.makespan)),
+        (
+            "preemption_count".into(),
+            Value::Num(out.preemption_count as f64),
+        ),
+        (
+            "migration_count".into(),
+            Value::Num(out.migration_count as f64),
+        ),
+        ("preemption_gb".into(), metric(out.preemption_gb)),
+        ("migration_gb".into(), metric(out.migration_gb)),
+        ("idle_node_seconds".into(), metric(out.idle_node_seconds)),
+        ("busy_node_seconds".into(), metric(out.busy_node_seconds)),
+        ("sched_calls".into(), Value::Num(out.sched_calls as f64)),
+        (
+            "events_processed".into(),
+            Value::Num(out.events_processed as f64),
+        ),
+        (
+            "jobs_header".into(),
+            Value::Str("[id, first_start, completion, stretch, preemptions, migrations]".into()),
+        ),
+        ("jobs".into(), Value::Arr(jobs)),
+    ])
+}
+
+fn build_snapshots() -> Value {
+    let scenarios = [crafted_scenario(), lublin_scenario()];
+    let mut top = std::collections::BTreeMap::new();
+    for scenario in &scenarios {
+        let mut per_spec = std::collections::BTreeMap::new();
+        for algo in Algorithm::ALL {
+            let out = scenario
+                .run(algo.key())
+                .expect("all registered specs build");
+            per_spec.insert(algo.key().to_string(), snapshot(&out));
+        }
+        top.insert(scenario.label.clone(), Value::Obj(per_spec));
+    }
+    Value::Obj(top)
+}
+
+/// Recursively diff two snapshot values, collecting readable lines.
+fn diff(path: &str, golden: &Value, current: &Value, out: &mut Vec<String>) {
+    match (golden, current) {
+        (Value::Obj(g), Value::Obj(c)) => {
+            for key in g.keys().chain(c.keys().filter(|k| !g.contains_key(*k))) {
+                let p = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}/{key}")
+                };
+                match (g.get(key), c.get(key)) {
+                    (Some(gv), Some(cv)) => diff(&p, gv, cv, out),
+                    (Some(_), None) => out.push(format!("{p}: missing from current run")),
+                    (None, Some(_)) => out.push(format!("{p}: not in golden file")),
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        (Value::Arr(g), Value::Arr(c)) => {
+            if g.len() != c.len() {
+                out.push(format!(
+                    "{path}: length {} in golden vs {} now",
+                    g.len(),
+                    c.len()
+                ));
+                return;
+            }
+            for (i, (gv, cv)) in g.iter().zip(c.iter()).enumerate() {
+                diff(&format!("{path}[{i}]"), gv, cv, out);
+            }
+        }
+        (g, c) if g == c => {}
+        (g, c) => out.push(format!("{path}: golden {} vs now {}", render(g), render(c))),
+    }
+}
+
+/// Render a scalar for the diff message; bit strings also get decoded
+/// to decimal so the drift is human-readable.
+fn render(v: &Value) -> String {
+    if let Some(x) = v.as_bits_f64() {
+        return format!("{} ({x})", v.as_str().unwrap_or_default());
+    }
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => n.to_string(),
+        Value::Str(s) => format!("{s:?}"),
+        other => other.pretty().trim_end().to_string(),
+    }
+}
+
+fn golden_file() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+#[test]
+fn golden_traces_match() {
+    let current = build_snapshots();
+
+    if std::env::var_os("DFRS_GOLDEN_REGEN").is_some() {
+        // Regeneration guard: two back-to-back builds must agree before
+        // anything is pinned.
+        assert_eq!(
+            current,
+            build_snapshots(),
+            "snapshots are not run-to-run deterministic; refusing to pin"
+        );
+        let path = golden_file();
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, current.pretty()).expect("write golden file");
+        eprintln!("golden snapshots regenerated at {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(golden_file()).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {GOLDEN_PATH}: {e}\n\
+             run `DFRS_GOLDEN_REGEN=1 cargo test --test golden_traces` to create it"
+        )
+    });
+    let golden = json::parse(&text).expect("golden file parses");
+
+    let mut diffs = Vec::new();
+    diff("", &golden, &current, &mut diffs);
+    if !diffs.is_empty() {
+        let total = diffs.len();
+        let shown: Vec<String> = diffs.into_iter().take(40).collect();
+        panic!(
+            "golden trace drift: {total} field(s) changed (first {}):\n  {}\n\
+             if this change is intentional, regenerate with \
+             DFRS_GOLDEN_REGEN=1 cargo test --test golden_traces",
+            shown.len(),
+            shown.join("\n  ")
+        );
+    }
+}
+
+#[test]
+fn golden_covers_all_nine_specs_on_both_scenarios() {
+    let text = std::fs::read_to_string(golden_file()).unwrap_or_else(|e| {
+        panic!("cannot read {GOLDEN_PATH}: {e} (regenerate first)");
+    });
+    let golden = json::parse(&text).expect("golden file parses");
+    let top = golden.as_obj().expect("top-level object");
+    assert_eq!(
+        top.keys().cloned().collect::<Vec<_>>(),
+        vec!["crafted".to_string(), "lublin-s1".to_string()]
+    );
+    for (scenario, specs) in top {
+        let specs = specs.as_obj().expect("per-scenario object");
+        assert_eq!(specs.len(), 9, "{scenario}: expected all nine specs");
+        for algo in Algorithm::ALL {
+            let snap = specs
+                .get(algo.key())
+                .unwrap_or_else(|| panic!("{scenario}: missing {}", algo.key()));
+            assert_eq!(
+                snap.get("algorithm").and_then(Value::as_str),
+                Some(algo.name()),
+                "{scenario}/{}",
+                algo.key()
+            );
+            assert!(
+                !snap.get("jobs").and_then(Value::as_arr).unwrap().is_empty(),
+                "{scenario}/{}: no job records",
+                algo.key()
+            );
+        }
+    }
+}
