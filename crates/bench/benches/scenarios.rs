@@ -1,9 +1,12 @@
 //! End-to-end simulation benches over the three workload families
 //! (Lublin, Downey, HPC2N-like) at the three fixed scales — the
 //! macro-level view of the engine + scheduler hot path that the
-//! `BENCH_sim.json` phases summarize.
+//! `BENCH_sim.json` phases summarize — plus warm-vs-cold repack pairs
+//! that make the cross-event warm-start win visible directly in
+//! `cargo bench` output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfrs_bench::scales::repack_lublin;
 use dfrs_bench::Scale;
 use std::hint::black_box;
 
@@ -25,5 +28,34 @@ fn bench_scenarios(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scenarios);
+/// Warm vs cold pairs: the same pressure trace under each `DynMCB8*`
+/// scheduler with the repack memo on and off. Outcomes are
+/// byte-identical (the repack bench phase asserts it); only the wall
+/// time differs.
+fn bench_repack_warm_vs_cold(c: &mut Criterion) {
+    let scenario = repack_lublin(Scale::Small);
+    let cases = dfrs_bench::scales::repack_cases();
+    let mut g = c.benchmark_group("repack");
+    g.sample_size(5);
+    for (key, build) in cases {
+        for (mode, warm) in [("cold", false), ("warm", true)] {
+            g.bench_with_input(BenchmarkId::new(key, mode), &scenario, |b, scenario| {
+                b.iter(|| {
+                    // A fresh scheduler per iteration: the memo warms
+                    // up within the run, as it does in a campaign.
+                    let mut sched = build(warm);
+                    black_box(dfrs_sim::simulate(
+                        scenario.cluster,
+                        &scenario.jobs,
+                        sched.as_mut(),
+                        &scenario.config,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios, bench_repack_warm_vs_cold);
 criterion_main!(benches);

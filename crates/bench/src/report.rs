@@ -8,8 +8,13 @@
 //! * **event_loop** — one full simulation of the fixed medium Lublin
 //!   scenario under a cheap scheduler, isolating engine overhead; its
 //!   `events_per_sec` is the number the perf regression guard defends;
+//! * **repack** — the `DynMCB8*` schedulers driven over the same
+//!   scenario warm (cross-event repack memo on) and cold (memo off),
+//!   with per-event µs and pack counts; warm and cold outcomes are
+//!   asserted byte-identical before either number is reported;
 //! * **campaign** — the `scenarios × specs` fan-out at the requested
-//!   scale, serial and parallel;
+//!   scale, serial and parallel (threads derived from the machine,
+//!   capped), with per-unit wall times;
 //! * **sweep** — the laptop-scale `sweep` workload (2 seeds × 4 loads ×
 //!   9 algorithms × 2 penalties, single-threaded), the end-to-end
 //!   number the ≥2× speedup target is stated against.
@@ -20,6 +25,7 @@ use dfrs_core::ids::JobId;
 use dfrs_packing::{max_min_yield, JobLoad, Mcb8, PackItem, VectorPacker};
 use dfrs_scenario::Campaign;
 use dfrs_sched::Algorithm;
+use dfrs_sim::{Scheduler, SimOutcome};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,6 +37,16 @@ use crate::scales::{medium_lublin, Scale};
 /// on the reference container). The ratio `baseline / current` recorded
 /// in `BENCH_sim.json` is the tentpole's end-to-end speedup.
 pub const SWEEP_SEED_WALL_SECS: f64 = 9.17;
+
+/// Wall-clock seconds of the same sweep recorded at the previous PR
+/// (commit b639a6f, engine + packer overhaul, before warm-start
+/// repacking) on the reference container.
+pub const SWEEP_PR3_WALL_SECS: f64 = 4.10;
+
+/// Upper bound on the campaign phase's parallel worker count: beyond
+/// this the small/medium matrices have too few cells per worker for
+/// the measurement to say anything about scaling.
+const MAX_CAMPAIGN_THREADS: usize = 8;
 
 /// What to run and where to write it.
 #[derive(Debug, Clone)]
@@ -68,6 +84,7 @@ impl BenchReport {
         let mut phases = vec![
             ("packing".to_string(), packing_phase(scale)),
             ("event_loop".to_string(), event_loop_phase()),
+            ("repack".to_string(), repack_phase(scale)),
             ("campaign".to_string(), campaign_phase(scale)),
         ];
         if !skip_sweep {
@@ -190,6 +207,115 @@ fn event_loop_phase() -> Value {
     ])
 }
 
+/// The simulation a `(scenario, spec)` cell runs, timed, with its
+/// warm-start accounting.
+fn timed_sim(
+    scenario: &dfrs_scenario::Scenario,
+    scheduler: &mut dyn Scheduler,
+) -> (SimOutcome, f64) {
+    let start = Instant::now();
+    let out = dfrs_sim::simulate(
+        scenario.cluster,
+        &scenario.jobs,
+        scheduler,
+        &scenario.config,
+    );
+    let wall = secs(start);
+    (out, wall)
+}
+
+/// Deterministic bytes of an outcome (wall-clock fields excluded) —
+/// the warm-vs-cold identity assertion of the repack phase.
+fn outcome_fingerprint(o: &SimOutcome) -> String {
+    use std::fmt::Write;
+    let mut s = format!(
+        "{}|max={:016x} mean={:016x} mk={:016x} pre={} migr={} ev={}",
+        o.algorithm,
+        o.max_stretch.to_bits(),
+        o.mean_stretch.to_bits(),
+        o.makespan.to_bits(),
+        o.preemption_count,
+        o.migration_count,
+        o.events_processed,
+    );
+    for r in &o.records {
+        write!(s, "|{}:{:016x}", r.id.0, r.completion.to_bits()).expect("string write");
+    }
+    s
+}
+
+fn repack_phase(scale: Scale) -> Value {
+    // The same pinned Lublin trace the event-loop phase uses at medium;
+    // scaled by the requested size. Load 0.7 keeps genuine memory and
+    // CPU pressure in the stream, so the searches actually bisect.
+    let scenario = crate::scales::repack_lublin(scale);
+
+    let mut specs = Vec::new();
+    let mut warm_wall_total = 0.0;
+    let mut cold_wall_total = 0.0;
+    let mut events_total = 0u64;
+    for (key, build) in crate::scales::repack_cases() {
+        let (cold_out, cold_wall) = timed_sim(&scenario, build(false).as_mut());
+        let (warm_out, warm_wall) = timed_sim(&scenario, build(true).as_mut());
+        assert_eq!(
+            outcome_fingerprint(&cold_out),
+            outcome_fingerprint(&warm_out),
+            "{key}: warm-start changed the simulation outcome"
+        );
+        let cold = cold_out.repack.unwrap_or_default();
+        let warm = warm_out.repack.unwrap_or_default();
+        let events = warm_out.events_processed;
+        warm_wall_total += warm_wall;
+        cold_wall_total += cold_wall;
+        events_total += events;
+        specs.push((
+            key.to_string(),
+            obj([
+                ("events".into(), Value::Num(events as f64)),
+                ("cold_wall_secs".into(), Value::Num(cold_wall)),
+                ("warm_wall_secs".into(), Value::Num(warm_wall)),
+                (
+                    "cold_us_per_event".into(),
+                    Value::Num(cold_wall / events.max(1) as f64 * 1e6),
+                ),
+                (
+                    "warm_us_per_event".into(),
+                    Value::Num(warm_wall / events.max(1) as f64 * 1e6),
+                ),
+                ("cold_packs".into(), Value::Num(cold.packs as f64)),
+                ("warm_packs".into(), Value::Num(warm.packs as f64)),
+                (
+                    "warm_packs_saved".into(),
+                    Value::Num(warm.packs_saved as f64),
+                ),
+                ("warm_searches".into(), Value::Num(warm.searches as f64)),
+                (
+                    "warm_search_hits".into(),
+                    Value::Num(warm.search_hits as f64),
+                ),
+            ]),
+        ));
+    }
+
+    obj([
+        ("scenario".into(), Value::Str(scenario.label.clone())),
+        ("jobs".into(), Value::Num(scenario.jobs.len() as f64)),
+        (
+            "cold_us_per_event".into(),
+            Value::Num(cold_wall_total / events_total.max(1) as f64 * 1e6),
+        ),
+        (
+            "warm_us_per_event".into(),
+            Value::Num(warm_wall_total / events_total.max(1) as f64 * 1e6),
+        ),
+        (
+            "warm_speedup".into(),
+            Value::Num(cold_wall_total / warm_wall_total.max(1e-9)),
+        ),
+        ("specs".into(), obj(specs)),
+    ])
+}
+
 fn campaign_phase(scale: Scale) -> Value {
     let scenarios = scale.scenarios();
     let specs = ["fcfs", "greedy-pmtn", "dynmcb8-per", "dynmcb8-stretch-per"];
@@ -201,9 +327,12 @@ fn campaign_phase(scale: Scale) -> Value {
         .run();
     let serial_wall = secs(start);
 
+    // Derive the worker count from the machine instead of hard-coding
+    // it, capped so tiny matrices still have a few cells per worker.
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4);
+        .unwrap_or(4)
+        .min(MAX_CAMPAIGN_THREADS);
     let start = Instant::now();
     let parallel = Campaign::new(&scenarios, specs)
         .expect("builtin specs")
@@ -216,6 +345,23 @@ fn campaign_phase(scale: Scale) -> Value {
         "campaign determinism broke under threads"
     );
 
+    // Per-unit wall times of the parallel run, in the deterministic
+    // (scenario, spec) matrix order — the raw data behind the
+    // cost-aware dispatch order.
+    let mut units = Vec::new();
+    for (i, row) in parallel.cells.iter().enumerate() {
+        for cell in row {
+            units.push(obj([
+                (
+                    "scenario".to_string(),
+                    Value::Str(scenarios[i].label.clone()),
+                ),
+                ("spec".to_string(), Value::Str(cell.spec.to_string())),
+                ("wall_secs".to_string(), Value::Num(cell.wall_secs)),
+            ]));
+        }
+    }
+
     obj([
         ("scenarios".into(), Value::Num(scenarios.len() as f64)),
         ("specs".into(), Value::Num(specs.len() as f64)),
@@ -226,6 +372,7 @@ fn campaign_phase(scale: Scale) -> Value {
             "parallel_speedup".into(),
             Value::Num(serial_wall / parallel_wall.max(1e-9)),
         ),
+        ("unit_wall_secs".into(), Value::Arr(units)),
     ])
 }
 
@@ -251,17 +398,23 @@ fn sweep_phase() -> Value {
         ("cells".into(), Value::Num(cells as f64)),
         ("wall_secs".into(), Value::Num(wall)),
         ("seed_wall_secs".into(), Value::Num(SWEEP_SEED_WALL_SECS)),
+        ("pr3_wall_secs".into(), Value::Num(SWEEP_PR3_WALL_SECS)),
         (
             "seed_wall_note".into(),
             Value::Str(
-                "seed baseline measured on the reference container at commit c2d77df; \
-                 the speedup ratio is only meaningful on comparable hardware"
+                "seed baseline measured on the reference container at commit c2d77df \
+                 (pr3 baseline at b639a6f); the speedup ratios are only meaningful \
+                 on comparable hardware"
                     .into(),
             ),
         ),
         (
             "speedup_vs_seed".into(),
             Value::Num(SWEEP_SEED_WALL_SECS / wall.max(1e-9)),
+        ),
+        (
+            "speedup_vs_pr3".into(),
+            Value::Num(SWEEP_PR3_WALL_SECS / wall.max(1e-9)),
         ),
     ])
 }

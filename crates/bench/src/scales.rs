@@ -100,6 +100,45 @@ pub fn medium_lublin() -> Scenario {
         .expect("lublin scenarios build")
 }
 
+/// The pinned Lublin trace the `repack` phase drives through the
+/// `DynMCB8*` schedulers warm and cold, sized by scale. Load 0.7 keeps
+/// genuine CPU and memory pressure in the stream so the binary searches
+/// actually bisect (an underloaded trace would measure only the
+/// trivial one-probe path).
+pub fn repack_lublin(scale: Scale) -> Scenario {
+    ScenarioBuilder::new()
+        .label(format!("bench-repack-lublin-{}", scale.tag()))
+        .lublin(scale.jobs())
+        .load(0.7)
+        .seed(1)
+        .build()
+        .expect("lublin scenarios build")
+}
+
+/// Builder of one warm- or cold-configured `DynMCB8*` scheduler.
+pub type RepackCaseFn = fn(bool) -> Box<dyn dfrs_sim::Scheduler>;
+
+/// The schedulers the warm-vs-cold measurements cover — the single
+/// source of truth shared by the `repack` phase of `BENCH_sim.json`
+/// and the criterion pairs in `benches/scenarios.rs`, so the two
+/// reports can never drift apart.
+pub fn repack_cases() -> [(&'static str, RepackCaseFn); 4] {
+    [
+        ("dynmcb8", |warm| {
+            Box::new(dfrs_sched::DynMcb8::new().warm(warm))
+        }),
+        ("dynmcb8-per", |warm| {
+            Box::new(dfrs_sched::DynMcb8Per::new().warm(warm))
+        }),
+        ("dynmcb8-asap-per", |warm| {
+            Box::new(dfrs_sched::DynMcb8AsapPer::new().warm(warm))
+        }),
+        ("dynmcb8-stretch-per", |warm| {
+            Box::new(dfrs_sched::DynMcb8StretchPer::new().warm(warm))
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,23 +29,36 @@ fn max_regression() -> f64 {
         .unwrap_or(MAX_REGRESSION)
 }
 
-fn recorded_events_per_sec() -> f64 {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_sim.json");
+/// The report under test: `DFRS_BENCH_REPORT` (a path, for CI runs
+/// against a freshly generated report) or the checked-in
+/// `BENCH_sim.json`.
+fn report_path() -> std::path::PathBuf {
+    match std::env::var_os("DFRS_BENCH_REPORT") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_sim.json"),
+    }
+}
+
+fn load_report() -> json::Value {
+    let path = report_path();
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(
             "cannot read {}: {e}\nrun `cargo run -p dfrs_bench --release` first",
             path.display()
         )
     });
-    let report = json::parse(&text).expect("BENCH_sim.json parses");
-    report
+    json::parse(&text).expect("bench report parses")
+}
+
+fn recorded_events_per_sec() -> f64 {
+    load_report()
         .get("phases")
         .and_then(|p| p.get("event_loop"))
         .and_then(|e| e.get("events_per_sec"))
         .and_then(|v| v.as_f64())
-        .expect("BENCH_sim.json records phases.event_loop.events_per_sec")
+        .expect("bench report records phases.event_loop.events_per_sec")
 }
 
 #[test]
@@ -75,16 +88,61 @@ fn event_loop_throughput_within_recorded_bounds() {
     );
 }
 
+/// The repack phase's warm-vs-cold contract: warm-start repacking must
+/// not be slower per event than cold repacking, within the same
+/// cross-machine tolerance the throughput guard uses
+/// (`DFRS_PERF_MAX_REGRESSION`; CI runs this against the report it just
+/// generated via `DFRS_BENCH_REPORT`). Warm-vs-cold is measured on one
+/// machine in one process, so the ratio is far more stable than the
+/// absolute-throughput guard — the wide tolerance only absorbs CI noise.
+#[test]
+#[ignore = "perf guard; run in the CI bench job against a bench report"]
+fn repack_warm_not_slower_than_cold() {
+    let tolerance = max_regression();
+    let repack = load_report();
+    let repack = repack
+        .get("phases")
+        .and_then(|p| p.get("repack"))
+        .expect("bench report records a repack phase");
+    let warm = repack
+        .get("warm_us_per_event")
+        .and_then(|v| v.as_f64())
+        .expect("repack phase records warm_us_per_event");
+    let cold = repack
+        .get("cold_us_per_event")
+        .and_then(|v| v.as_f64())
+        .expect("repack phase records cold_us_per_event");
+    assert!(
+        warm.is_finite() && cold.is_finite() && warm > 0.0 && cold > 0.0,
+        "degenerate repack measurements: warm {warm} µs/event, cold {cold} µs/event"
+    );
+    assert!(
+        warm <= cold * tolerance,
+        "warm-start repacking is slower than cold: {warm:.1} µs/event vs \
+         {cold:.1} µs/event (tolerance {tolerance}x). If the memo's hit rate \
+         collapsed, its overhead now exceeds its savings."
+    );
+}
+
 #[test]
 fn bench_report_schema_is_parseable_when_present() {
     // Non-ignored companion: if a BENCH_sim.json is checked in, it must
-    // parse and carry the fields the guard relies on.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_sim.json");
-    if !path.exists() {
+    // parse and carry the fields the guards rely on.
+    if !report_path().exists() {
         return;
     }
     let recorded = recorded_events_per_sec();
     assert!(recorded.is_finite() && recorded > 0.0);
+    let report = load_report();
+    let repack = report
+        .get("phases")
+        .and_then(|p| p.get("repack"))
+        .expect("checked-in report records a repack phase");
+    for field in ["warm_us_per_event", "cold_us_per_event", "warm_speedup"] {
+        let v = repack.get(field).and_then(|v| v.as_f64());
+        assert!(
+            v.is_some_and(|v| v.is_finite() && v > 0.0),
+            "repack phase field {field} missing or degenerate: {v:?}"
+        );
+    }
 }

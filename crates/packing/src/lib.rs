@@ -45,6 +45,7 @@ pub mod bounds;
 pub mod fit;
 pub mod item;
 pub mod mcb8;
+pub mod memo;
 pub mod scratch;
 pub mod stretch_search;
 pub mod yield_search;
@@ -53,6 +54,7 @@ pub use bounds::{lower_bound_bins, min_bins_with, provably_infeasible};
 pub use fit::{BestFitDecreasing, FirstFitDecreasing};
 pub use item::{Bin, PackItem, Packing, VectorPacker};
 pub use mcb8::Mcb8;
+pub use memo::{max_min_yield_warm, min_max_estimated_stretch_warm, MemoStats, RepackMemo};
 pub use scratch::{PackScratch, SearchScratch};
 pub use stretch_search::{
     min_max_estimated_stretch, min_max_estimated_stretch_with, StretchAllocation, StretchJob,

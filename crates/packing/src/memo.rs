@@ -1,0 +1,701 @@
+//! Cross-invocation warm-start memoization for the binary searches.
+//!
+//! The `DynMCB8*` schedulers re-run a full yield (or estimated-stretch)
+//! binary search at every scheduling event even though consecutive
+//! events usually differ by exactly one arrival or completion. This
+//! module carries state across invocations in a [`RepackMemo`] so that
+//! repeated structure is recognized and most of a search is skipped
+//! before it starts.
+//!
+//! ## Why byte-identity holds
+//!
+//! Both searches — and the packer probes inside them — are
+//! **deterministic pure functions** of their explicit inputs:
+//!
+//! * [`max_min_yield_with`] depends only on `(jobs, nodes, packer,
+//!   accuracy, min_yield)`. Time never enters: the same job multiset in
+//!   the same order yields bit-for-bit the same `(yield, placements)`
+//!   (or the same infeasibility verdict).
+//! * a single packer probe depends only on `(runs, nodes)`: the same
+//!   expanded item instance produces the same verdict and, when
+//!   feasible, the same `bin_of` assignment.
+//!
+//! The memo therefore only ever **replays** previously computed results
+//! for *identical* inputs — it never extrapolates. A replay is
+//! indistinguishable from re-running the computation, so every
+//! `SimOutcome` downstream stays byte-identical to a cold run; the
+//! `warm == cold` property tests in `tests/warm_equivalence.rs` machine-
+//! check this for random arrival/completion deltas.
+//!
+//! A tempting stronger design — revalidating the previous placement as
+//! a feasibility *certificate* and bisecting only the previous final
+//! bracket — is **not** exact for a heuristic packer: a certificate
+//! proves a packing *exists* at a yield, but the search's verdicts are
+//! "does MCB8 *find* one", and MCB8 can fail feasible instances, so a
+//! certificate-seeded bracket could diverge from the cold verdict path
+//! (DESIGN.md §8). Replay-of-pure-functions is the strongest sound
+//! shortcut, and it is what this module implements.
+//!
+//! ## Where the hits come from
+//!
+//! * **Yield search (whole-search memo).** The search input is the
+//!   in-system job list, which only changes on arrivals, completions
+//!   and evictions. Hits arrive whenever a job set *recurs*: periodic
+//!   repacks under memory pressure (an eviction bumps the change epoch
+//!   every tick, but the job set is unchanged until the next arrival or
+//!   completion, so the whole eviction chain — including the cached
+//!   **infeasible** verdict that drives victim selection — replays
+//!   without a single pack), and event-driven repacks whenever a short
+//!   job arrives and completes with no interleaved event (the set
+//!   returns to one seen two events ago).
+//! * **Stretch search (probe-level memo).** Its inputs include flow and
+//!   virtual times, which drift every event, so whole searches never
+//!   recur. But yield clamping saturates most of the bracket: at large
+//!   targets every job sits at the 0.01 floor and the expanded item
+//!   instance depends *only* on the job set. Those instances — and the
+//!   partially saturated ones nearer the floor — recur across ticks
+//!   while the set is stable, so a small ring of `(runs → verdict,
+//!   assignment)` entries replays them.
+
+use std::collections::VecDeque;
+
+use crate::item::{PackItem, VectorPacker};
+use crate::scratch::SearchScratch;
+use crate::stretch_search::{
+    fill_runs_at_target, search_with, StretchAllocation, StretchJob, StretchProbes,
+};
+use crate::yield_search::{max_min_yield_with, JobLoad, YieldAllocation};
+
+/// Hit/miss/pack accounting of one [`RepackMemo`] (all monotone).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Warm search invocations.
+    pub searches: u64,
+    /// Searches answered entirely from the memo (zero packs).
+    pub search_hits: u64,
+    /// Packer invocations actually executed.
+    pub packs: u64,
+    /// Packer invocations avoided by replaying memoized results.
+    pub packs_saved: u64,
+    /// Stretch probes answered from the probe ring.
+    pub probe_hits: u64,
+}
+
+impl MemoStats {
+    /// Fraction of searches answered without packing (0 when none ran).
+    pub fn search_hit_rate(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            self.search_hits as f64 / self.searches as f64
+        }
+    }
+}
+
+/// One memoized whole yield search: exact inputs, exact output, and how
+/// many packs the cold computation spent (the savings of a replay).
+///
+/// The result is stored *flat* — the achieved yield plus the
+/// concatenated per-task node assignment in input-job order — rather
+/// than as a [`YieldAllocation`], so a miss costs one buffer copy
+/// instead of one allocation per job; entry buffers are recycled
+/// through LRU eviction, so steady-state misses allocate nothing.
+#[derive(Debug, Clone, Default)]
+struct YieldEntry {
+    fingerprint: u64,
+    nodes: usize,
+    jobs: Vec<JobLoad>,
+    /// `Some((yield, flat assignment))` when feasible, `None` when the
+    /// search reported infeasibility.
+    result: Option<(f64, Vec<u32>)>,
+    packs: u64,
+}
+
+impl YieldEntry {
+    /// Rebuild the public allocation (same shape the cold search
+    /// returns; the per-job split is recovered from the task counts).
+    fn unflatten(&self) -> Option<YieldAllocation> {
+        let (yield_, flat) = self.result.as_ref()?;
+        let mut placements = Vec::with_capacity(self.jobs.len());
+        let mut cursor = 0usize;
+        for j in &self.jobs {
+            let nodes = flat[cursor..cursor + j.tasks as usize].to_vec();
+            cursor += j.tasks as usize;
+            placements.push((j.job, nodes));
+        }
+        Some(YieldAllocation {
+            yield_: *yield_,
+            placements,
+        })
+    }
+}
+
+/// One memoized stretch probe: exact expanded instance, verdict, and
+/// (for feasible probes) the assignment. Only *fully clamped* instances
+/// are stored (every yield on the 0.01 floor or the 1.0 cap) — those
+/// are pure functions of the job set and actually recur across ticks;
+/// partially clamped instances embed drifting flow/virtual times and
+/// would only churn the ring.
+#[derive(Debug, Clone, Default)]
+struct ProbeEntry {
+    fingerprint: u64,
+    nodes: usize,
+    runs: Vec<(PackItem, u32)>,
+    ok: bool,
+    bin_of: Vec<u32>,
+}
+
+/// Search parameters a memo is implicitly keyed under. One memo serves
+/// one caller with fixed parameters; a change (packer swap, different
+/// accuracy/floor/period) flushes every entry, so mixed use degrades to
+/// cold rather than to wrong.
+///
+/// The packer is identified by its **address** (which the `&'static`
+/// bound on the warm entry points makes stable for the program's
+/// lifetime) plus its name: two differently configured instances of
+/// the same packer type live at distinct `'static` addresses, so one
+/// can never replay the other's results. The only indistinguishable
+/// pair is two *zero-sized* packer types that report the same name and
+/// happen to share a dangling address — zero-sized packers must use
+/// distinct names (all built-ins do).
+#[derive(Clone, Copy)]
+struct MemoParams {
+    accuracy: f64,
+    floor_or_period: f64,
+    packer: &'static dyn VectorPacker,
+}
+
+impl std::fmt::Debug for MemoParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoParams")
+            .field("accuracy", &self.accuracy)
+            .field("floor_or_period", &self.floor_or_period)
+            .field("packer", &self.packer.name())
+            .finish()
+    }
+}
+
+impl PartialEq for MemoParams {
+    fn eq(&self, other: &Self) -> bool {
+        self.accuracy == other.accuracy
+            && self.floor_or_period == other.floor_or_period
+            && std::ptr::eq(
+                self.packer as *const dyn VectorPacker as *const (),
+                other.packer as *const dyn VectorPacker as *const (),
+            )
+            && self.packer.name() == other.packer.name()
+    }
+}
+
+/// Cross-invocation warm-start state for the yield and stretch binary
+/// searches: a small LRU of whole yield-search results, a ring of
+/// stretch probe results, and the accounting the benchmarks report.
+///
+/// Exactness does not depend on invalidation — entries are keyed by
+/// their complete inputs — so callers invalidate ([`clear`]) only for
+/// hygiene (e.g. when a scheduler instance is reused for a fresh
+/// simulation, detected via the engine's change-epoch machinery going
+/// backwards).
+///
+/// [`clear`]: RepackMemo::clear
+#[derive(Debug)]
+pub struct RepackMemo {
+    enabled: bool,
+    yield_cap: usize,
+    probe_cap: usize,
+    yields: VecDeque<YieldEntry>,
+    probes: VecDeque<ProbeEntry>,
+    params: Option<MemoParams>,
+    stats: MemoStats,
+}
+
+/// Default capacity of the whole-search LRU: deep enough to hold an
+/// eviction chain plus the arrive/complete oscillation window.
+const YIELD_CAP: usize = 64;
+/// Default capacity of the stretch probe ring: one search touches at
+/// most ~25 distinct instances, so this comfortably spans a search plus
+/// the saturated instances that recur across ticks.
+const PROBE_CAP: usize = 64;
+
+impl Default for RepackMemo {
+    fn default() -> Self {
+        RepackMemo::new()
+    }
+}
+
+impl RepackMemo {
+    /// An enabled memo with the default capacities.
+    pub fn new() -> Self {
+        RepackMemo {
+            enabled: true,
+            yield_cap: YIELD_CAP,
+            probe_cap: PROBE_CAP,
+            yields: VecDeque::new(),
+            probes: VecDeque::new(),
+            params: None,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// A memo that never hits (every search runs cold) but still counts
+    /// searches and packs — the baseline side of warm-vs-cold benches.
+    pub fn disabled() -> Self {
+        RepackMemo {
+            enabled: false,
+            ..RepackMemo::new()
+        }
+    }
+
+    /// Enable or disable memoization (stats keep accumulating either
+    /// way). Disabling drops stored entries.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.yields.clear();
+            self.probes.clear();
+        }
+    }
+
+    /// Whether lookups are active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Drop every stored entry (stats survive).
+    pub fn clear(&mut self) {
+        self.yields.clear();
+        self.probes.clear();
+    }
+
+    /// The accumulated accounting.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Flush if the caller's search parameters changed (see
+    /// [`MemoParams`]).
+    fn check_params(
+        &mut self,
+        accuracy: f64,
+        floor_or_period: f64,
+        packer: &'static dyn VectorPacker,
+    ) {
+        let params = MemoParams {
+            accuracy,
+            floor_or_period,
+            packer,
+        };
+        if self.params != Some(params) {
+            self.clear();
+            self.params = Some(params);
+        }
+    }
+}
+
+/// FNV-1a over a stream of words — cheap, deterministic, and platform
+/// independent (used only to pre-filter exact comparisons, so collisions
+/// cost a memcmp, never correctness).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    #[inline]
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn fingerprint_jobs(jobs: &[JobLoad], nodes: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.word(nodes as u64);
+    for j in jobs {
+        h.word(j.job.0 as u64);
+        h.word(j.tasks as u64);
+        h.word(j.cpu_need.to_bits());
+        h.word(j.mem_req.to_bits());
+    }
+    h.0
+}
+
+fn fingerprint_runs(runs: &[(PackItem, u32)], nodes: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.word(nodes as u64);
+    for (it, count) in runs {
+        h.word(it.id as u64);
+        h.word(*count as u64);
+        h.word(it.cpu.to_bits());
+        h.word(it.mem.to_bits());
+    }
+    h.0
+}
+
+/// [`max_min_yield_with`] with cross-invocation warm starting: when the
+/// exact `(jobs, nodes)` input was searched before (the job set
+/// recurred), the stored result — including the infeasible verdict the
+/// eviction loop branches on — is replayed with zero packs. Misses run
+/// the cold search and memoize it. Results are bit-for-bit identical to
+/// the cold entry point (see the module docs for the argument).
+pub fn max_min_yield_warm(
+    jobs: &[JobLoad],
+    nodes: usize,
+    packer: &'static dyn VectorPacker,
+    accuracy: f64,
+    min_yield: f64,
+    scratch: &mut SearchScratch,
+    memo: &mut RepackMemo,
+) -> Option<YieldAllocation> {
+    memo.stats.searches += 1;
+    memo.check_params(accuracy, min_yield, packer);
+    if memo.enabled {
+        let fingerprint = fingerprint_jobs(jobs, nodes);
+        if let Some(i) = memo
+            .yields
+            .iter()
+            .position(|e| e.fingerprint == fingerprint && e.nodes == nodes && e.jobs == jobs)
+        {
+            let entry = memo.yields.remove(i).expect("position came from iter");
+            memo.stats.search_hits += 1;
+            memo.stats.packs_saved += entry.packs;
+            let result = entry.unflatten();
+            memo.yields.push_front(entry); // LRU: refresh on hit
+            return result;
+        }
+        let packs_before = scratch.packs;
+        let result = max_min_yield_with(jobs, nodes, packer, accuracy, min_yield, scratch);
+        let packs = scratch.packs - packs_before;
+        memo.stats.packs += packs;
+        // Recycle the evicted entry's buffers: steady-state misses
+        // allocate nothing beyond what the cold search itself does.
+        let mut entry = if memo.yields.len() >= memo.yield_cap {
+            memo.yields.pop_back().expect("cap > 0")
+        } else {
+            YieldEntry::default()
+        };
+        entry.fingerprint = fingerprint;
+        entry.nodes = nodes;
+        entry.jobs.clear();
+        entry.jobs.extend_from_slice(jobs);
+        entry.packs = packs;
+        match (&result, &mut entry.result) {
+            (Some(a), slot) => {
+                let flat = match slot {
+                    Some((y, flat)) => {
+                        *y = a.yield_;
+                        flat
+                    }
+                    None => {
+                        *slot = Some((a.yield_, Vec::new()));
+                        &mut slot.as_mut().expect("just set").1
+                    }
+                };
+                flat.clear();
+                for (_, nodes_of) in &a.placements {
+                    flat.extend_from_slice(nodes_of);
+                }
+            }
+            (None, slot) => *slot = None,
+        }
+        memo.yields.push_front(entry);
+        return result;
+    }
+    let packs_before = scratch.packs;
+    let result = max_min_yield_with(jobs, nodes, packer, accuracy, min_yield, scratch);
+    memo.stats.packs += scratch.packs - packs_before;
+    result
+}
+
+/// The memo-backed probe oracle: identical instances replay their
+/// stored verdict (and assignment); new instances are packed and
+/// remembered across searches.
+struct MemoProbes<'a> {
+    packer: &'a dyn VectorPacker,
+    runs: &'a mut Vec<(PackItem, u32)>,
+    pack: &'a mut crate::scratch::PackScratch,
+    packs: &'a mut u64,
+    probes: &'a mut VecDeque<ProbeEntry>,
+    probe_cap: usize,
+    stats: &'a mut MemoStats,
+}
+
+impl StretchProbes for MemoProbes<'_> {
+    fn probe(
+        &mut self,
+        jobs: &[StretchJob],
+        target: f64,
+        period: f64,
+        nodes: usize,
+        best: &mut Vec<u32>,
+    ) -> bool {
+        let fully_clamped = fill_runs_at_target(jobs, target, period, self.runs);
+        // Only fully clamped instances are worth remembering: they are
+        // pure functions of the job set (see `fill_runs_at_target`) and
+        // recur across ticks, while every other instance embeds this
+        // tick's flow/virtual times and can never be seen again.
+        if !fully_clamped {
+            *self.packs += 1;
+            self.stats.packs += 1;
+            let ok = self.packer.pack_runs_into(self.runs, nodes, self.pack);
+            if ok {
+                best.clear();
+                best.extend_from_slice(self.pack.bin_of());
+            }
+            return ok;
+        }
+        let fingerprint = fingerprint_runs(self.runs, nodes);
+        if let Some(i) = self
+            .probes
+            .iter()
+            .position(|e| e.fingerprint == fingerprint && e.nodes == nodes && &e.runs == self.runs)
+        {
+            let entry = self.probes.remove(i).expect("position came from iter");
+            self.stats.probe_hits += 1;
+            self.stats.packs_saved += 1;
+            let ok = entry.ok;
+            if ok {
+                best.clear();
+                best.extend_from_slice(&entry.bin_of);
+            }
+            self.probes.push_front(entry);
+            return ok;
+        }
+        *self.packs += 1;
+        self.stats.packs += 1;
+        let ok = self.packer.pack_runs_into(self.runs, nodes, self.pack);
+        if ok {
+            best.clear();
+            best.extend_from_slice(self.pack.bin_of());
+        }
+        // Recycle the evicted entry's buffers (misses allocate nothing
+        // at steady state).
+        let mut entry = if self.probes.len() >= self.probe_cap {
+            self.probes.pop_back().expect("cap > 0")
+        } else {
+            ProbeEntry::default()
+        };
+        entry.fingerprint = fingerprint;
+        entry.nodes = nodes;
+        entry.runs.clone_from(self.runs);
+        entry.ok = ok;
+        entry.bin_of.clear();
+        if ok {
+            entry.bin_of.extend_from_slice(self.pack.bin_of());
+        }
+        self.probes.push_front(entry);
+        ok
+    }
+}
+
+/// [`min_max_estimated_stretch_with`] with cross-invocation warm
+/// starting. Whole stretch searches never recur (their inputs include
+/// flow and virtual times), so memoization happens per probe: the
+/// clamp-saturated instances near the bracket's lax end depend only on
+/// the job set and replay across ticks. Results are bit-for-bit
+/// identical to the cold entry point.
+///
+/// [`min_max_estimated_stretch_with`]: crate::min_max_estimated_stretch_with
+pub fn min_max_estimated_stretch_warm(
+    jobs: &[StretchJob],
+    nodes: usize,
+    period: f64,
+    packer: &'static dyn VectorPacker,
+    accuracy: f64,
+    scratch: &mut SearchScratch,
+    memo: &mut RepackMemo,
+) -> Option<StretchAllocation> {
+    memo.stats.searches += 1;
+    memo.check_params(accuracy, period, packer);
+    if !memo.enabled {
+        let packs_before = scratch.packs;
+        let result =
+            crate::min_max_estimated_stretch_with(jobs, nodes, period, packer, accuracy, scratch);
+        memo.stats.packs += scratch.packs - packs_before;
+        return result;
+    }
+    let SearchScratch {
+        runs,
+        pack,
+        best,
+        packs,
+        ..
+    } = scratch;
+    let packs_before = *packs;
+    let mut probes = MemoProbes {
+        packer,
+        runs,
+        pack,
+        packs,
+        probes: &mut memo.probes,
+        probe_cap: memo.probe_cap,
+        stats: &mut memo.stats,
+    };
+    let result = search_with(jobs, nodes, period, accuracy, &mut probes, best);
+    if *packs == packs_before {
+        memo.stats.search_hits += 1; // answered entirely from the ring
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcb8::Mcb8;
+    use crate::{max_min_yield, min_max_estimated_stretch};
+    use dfrs_core::ids::JobId;
+
+    fn job(id: u32, tasks: u32, cpu: f64, mem: f64) -> JobLoad {
+        JobLoad {
+            job: JobId(id),
+            tasks,
+            cpu_need: cpu,
+            mem_req: mem,
+        }
+    }
+
+    fn sjob(id: u32, tasks: u32, cpu: f64, mem: f64, flow: f64, vt: f64) -> StretchJob {
+        StretchJob {
+            job: JobId(id),
+            tasks,
+            cpu_need: cpu,
+            mem_req: mem,
+            flow_time: flow,
+            virtual_time: vt,
+        }
+    }
+
+    #[test]
+    fn warm_yield_matches_cold_and_hits_on_recurrence() {
+        let jobs = vec![
+            job(0, 3, 0.8, 0.2),
+            job(1, 2, 1.0, 0.5),
+            job(2, 1, 0.3, 0.4),
+        ];
+        let cold = max_min_yield(&jobs, 4, &Mcb8, 0.01, 0.01);
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        let first = max_min_yield_warm(&jobs, 4, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(first, cold);
+        assert_eq!(memo.stats().search_hits, 0);
+        let packs_after_first = memo.stats().packs;
+        let second = max_min_yield_warm(&jobs, 4, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(second, cold);
+        assert_eq!(memo.stats().search_hits, 1);
+        assert_eq!(memo.stats().packs, packs_after_first, "hit must not pack");
+    }
+
+    #[test]
+    fn warm_yield_caches_infeasible_verdicts() {
+        // Three 60%-memory tasks cannot fit on two nodes at any yield.
+        let jobs = vec![job(0, 3, 0.1, 0.6)];
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        assert!(max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo).is_none());
+        let packs = memo.stats().packs;
+        assert!(max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo).is_none());
+        assert_eq!(memo.stats().packs, packs);
+        assert_eq!(memo.stats().search_hits, 1);
+    }
+
+    #[test]
+    fn warm_yield_distinguishes_node_counts_and_sets() {
+        let jobs = vec![job(0, 2, 1.0, 0.3)];
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        let a = max_min_yield_warm(&jobs, 1, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        let b = max_min_yield_warm(&jobs, 4, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(memo.stats().search_hits, 0);
+        assert_ne!(a.unwrap().yield_, b.unwrap().yield_);
+        let more = vec![job(0, 2, 1.0, 0.3), job(1, 1, 0.5, 0.1)];
+        let _ = max_min_yield_warm(&more, 4, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(memo.stats().search_hits, 0);
+    }
+
+    #[test]
+    fn warm_stretch_matches_cold_and_reuses_saturated_probes() {
+        // One node, four CPU-bound jobs: the bracket's lax end clamps
+        // every job to the yield floor, so those probe instances depend
+        // only on the set and recur across ticks.
+        let base = [
+            sjob(0, 1, 1.0, 0.2, 3_000.0, 500.0),
+            sjob(1, 1, 1.0, 0.2, 900.0, 100.0),
+            sjob(2, 1, 1.0, 0.2, 12_000.0, 200.0),
+            sjob(3, 1, 0.8, 0.2, 40_000.0, 50.0),
+        ];
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        // Two ticks 600 s apart: flow and virtual time drift, but the
+        // clamp-saturated instances depend only on the set.
+        for tick in 0..2 {
+            let dt = tick as f64 * 600.0;
+            let jobs: Vec<StretchJob> = base
+                .iter()
+                .map(|j| StretchJob {
+                    flow_time: j.flow_time + dt,
+                    virtual_time: j.virtual_time + 0.01 * dt,
+                    ..*j
+                })
+                .collect();
+            let cold = min_max_estimated_stretch(&jobs, 1, 600.0, &Mcb8, 0.01);
+            let warm = min_max_estimated_stretch_warm(
+                &jobs,
+                1,
+                600.0,
+                &Mcb8,
+                0.01,
+                &mut scratch,
+                &mut memo,
+            );
+            assert_eq!(warm, cold, "tick {tick}");
+        }
+        assert!(
+            memo.stats().probe_hits > 0,
+            "saturated probes should replay across ticks: {:?}",
+            memo.stats()
+        );
+    }
+
+    #[test]
+    fn disabled_memo_never_hits_but_counts() {
+        let jobs = vec![job(0, 2, 1.0, 0.3)];
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::disabled();
+        let a = max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        let b = max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(a, b);
+        assert_eq!(memo.stats().search_hits, 0);
+        assert_eq!(memo.stats().searches, 2);
+        assert!(memo.stats().packs > 0);
+    }
+
+    #[test]
+    fn changed_params_flush_the_memo() {
+        let jobs = vec![job(0, 2, 1.0, 0.3)];
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        let _ = max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        // A different accuracy is a different search; the stale entry
+        // must not answer it.
+        let _ = max_min_yield_warm(&jobs, 2, &Mcb8, 0.001, 0.01, &mut scratch, &mut memo);
+        assert_eq!(memo.stats().search_hits, 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_entry() {
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        memo.yield_cap = 2;
+        let sets: Vec<Vec<JobLoad>> = (0..3).map(|i| vec![job(i, 1 + i, 0.5, 0.2)]).collect();
+        for s in &sets {
+            let _ = max_min_yield_warm(s, 4, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        }
+        // Set 0 was evicted; sets 1 and 2 are still warm.
+        let _ = max_min_yield_warm(&sets[0], 4, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(memo.stats().search_hits, 0);
+        let _ = max_min_yield_warm(&sets[2], 4, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(memo.stats().search_hits, 1);
+    }
+}

@@ -86,6 +86,10 @@ pub struct SearchScratch {
     pub(crate) last_ok: Vec<(PackItem, u32)>,
     /// Runs of the most recent *infeasible* probe.
     pub(crate) last_fail: Vec<(PackItem, u32)>,
+    /// Monotone count of packer invocations made through this scratch —
+    /// the denominator of the warm-start accounting in
+    /// [`crate::RepackMemo`]. Never read by the searches themselves.
+    pub(crate) packs: u64,
 }
 
 impl SearchScratch {

@@ -51,16 +51,24 @@ fn clamped_yield(j: &StretchJob, target: f64, period: f64) -> f64 {
     y.clamp(MIN_STRETCH_PER_YIELD, 1.0)
 }
 
-fn fill_runs_at_target(
+/// Expand jobs into per-job item runs at estimate bound `target`.
+/// Returns whether every yield landed on a clamp boundary (the floor or
+/// 1.0): such instances are pure functions of the job *set* — time
+/// never enters — which is what makes them memoizable across events
+/// ([`crate::memo`]).
+pub(crate) fn fill_runs_at_target(
     jobs: &[StretchJob],
     target: f64,
     period: f64,
     runs: &mut Vec<(PackItem, u32)>,
-) {
+) -> bool {
     runs.clear();
+    let mut fully_clamped = true;
     let mut id = 0u32;
     for j in jobs {
-        let cpu = (j.cpu_need * clamped_yield(j, target, period)).min(1.0);
+        let y = clamped_yield(j, target, period);
+        fully_clamped &= y == MIN_STRETCH_PER_YIELD || y == 1.0;
+        let cpu = (j.cpu_need * y).min(1.0);
         runs.push((
             PackItem {
                 id,
@@ -71,6 +79,7 @@ fn fill_runs_at_target(
         ));
         id += j.tasks;
     }
+    fully_clamped
 }
 
 /// Minimize the estimated max stretch over the next period.
@@ -108,6 +117,104 @@ pub fn min_max_estimated_stretch_with(
     accuracy: f64,
     scratch: &mut SearchScratch,
 ) -> Option<StretchAllocation> {
+    let SearchScratch {
+        runs,
+        pack,
+        best,
+        last_ok,
+        last_fail,
+        packs,
+    } = scratch;
+    last_ok.clear();
+    last_fail.clear();
+    let mut probes = LocalProbes {
+        packer,
+        runs,
+        pack,
+        last_ok,
+        last_fail,
+        packs,
+    };
+    search_with(jobs, nodes, period, accuracy, &mut probes, best)
+}
+
+/// A probe oracle for [`search_with`]: the pack verdict of the item
+/// instance a `(jobs, target)` pair expands to. The contract that keeps
+/// every backend byte-identical to a pack-per-probe loop: the returned
+/// verdict must equal what [`VectorPacker::pack_runs_into`] would return
+/// on that instance, and after a `true` verdict `best` must hold exactly
+/// the `bin_of` that pack would produce. Backends may replay cached
+/// verdicts/assignments because the packer is a deterministic pure
+/// function of `(runs, nodes)` — a replay is indistinguishable from a
+/// fresh pack.
+pub(crate) trait StretchProbes {
+    /// Verdict at `target`; on `true`, leave the instance's assignment
+    /// in `best`.
+    fn probe(
+        &mut self,
+        jobs: &[StretchJob],
+        target: f64,
+        period: f64,
+        nodes: usize,
+        best: &mut Vec<u32>,
+    ) -> bool;
+}
+
+/// The allocation-free single-search backend: packs every genuinely new
+/// instance, short-circuiting only on the two most recent instances of
+/// *this* search. Yield clamping (floor 0.01, cap 1) makes distinct
+/// targets produce byte-identical item instances once every job
+/// saturates, so the single-entry caches absorb most of the saturated
+/// bracket end.
+struct LocalProbes<'a> {
+    packer: &'a dyn VectorPacker,
+    runs: &'a mut Vec<(PackItem, u32)>,
+    pack: &'a mut crate::scratch::PackScratch,
+    last_ok: &'a mut Vec<(PackItem, u32)>,
+    last_fail: &'a mut Vec<(PackItem, u32)>,
+    packs: &'a mut u64,
+}
+
+impl StretchProbes for LocalProbes<'_> {
+    fn probe(
+        &mut self,
+        jobs: &[StretchJob],
+        target: f64,
+        period: f64,
+        nodes: usize,
+        best: &mut Vec<u32>,
+    ) -> bool {
+        let _ = fill_runs_at_target(jobs, target, period, self.runs);
+        if self.runs == self.last_ok {
+            // The probe that populated `last_ok` already left this
+            // instance's assignment in `best`.
+            return true;
+        }
+        if self.runs == self.last_fail {
+            return false;
+        }
+        *self.packs += 1;
+        let ok = self.packer.pack_runs_into(self.runs, nodes, self.pack);
+        if ok {
+            self.last_ok.clone_from(self.runs);
+            best.clear();
+            best.extend_from_slice(self.pack.bin_of());
+        } else {
+            self.last_fail.clone_from(self.runs);
+        }
+        ok
+    }
+}
+
+/// The bisection core shared by the cold and warm entry points.
+pub(crate) fn search_with(
+    jobs: &[StretchJob],
+    nodes: usize,
+    period: f64,
+    accuracy: f64,
+    probes: &mut dyn StretchProbes,
+    best: &mut Vec<u32>,
+) -> Option<StretchAllocation> {
     debug_assert!(period > 0.0 && accuracy > 0.0);
     if jobs.is_empty() {
         return Some(StretchAllocation {
@@ -130,54 +237,6 @@ pub fn min_max_estimated_stretch_with(
         .fold(f64::NEG_INFINITY, f64::max)
         .max(s_min);
 
-    let SearchScratch {
-        runs,
-        pack,
-        best,
-        last_ok,
-        last_fail,
-    } = scratch;
-    last_ok.clear();
-    last_fail.clear();
-
-    // Yield clamping (floor 0.01, cap 1) makes *distinct* targets
-    // produce byte-identical item instances once every job saturates,
-    // so each probe first checks the two cached instances: the verdict
-    // (and, for feasible probes, `best`, which the cached feasible
-    // probe already wrote) is necessarily the same. Only genuinely new
-    // instances are packed.
-    enum Verdict {
-        CachedOk,
-        Fresh(bool),
-    }
-    #[allow(clippy::too_many_arguments)]
-    fn probe(
-        jobs: &[StretchJob],
-        target: f64,
-        period: f64,
-        nodes: usize,
-        packer: &dyn VectorPacker,
-        runs: &mut Vec<(PackItem, u32)>,
-        pack: &mut crate::scratch::PackScratch,
-        last_ok: &mut Vec<(PackItem, u32)>,
-        last_fail: &mut Vec<(PackItem, u32)>,
-    ) -> Verdict {
-        fill_runs_at_target(jobs, target, period, runs);
-        if runs == last_ok {
-            return Verdict::CachedOk;
-        }
-        if runs == last_fail {
-            return Verdict::Fresh(false);
-        }
-        let ok = packer.pack_runs_into(runs, nodes, pack);
-        if ok {
-            last_ok.clone_from(runs);
-        } else {
-            last_fail.clone_from(runs);
-        }
-        Verdict::Fresh(ok)
-    }
-
     let build = |target: f64, bin_of: &[u32]| {
         let mut assignments = Vec::with_capacity(jobs.len());
         let mut cursor = 0usize;
@@ -192,38 +251,20 @@ pub fn min_max_estimated_stretch_with(
         }
     };
 
-    match probe(
-        jobs, s_min, period, nodes, packer, runs, pack, last_ok, last_fail,
-    ) {
-        Verdict::Fresh(true) => return Some(build(s_min, pack.bin_of())),
-        Verdict::CachedOk => unreachable!("first probe cannot hit the cache"),
-        Verdict::Fresh(false) => {}
+    if probes.probe(jobs, s_min, period, nodes, best) {
+        return Some(build(s_min, best));
     }
-    match probe(
-        jobs, s_max, period, nodes, packer, runs, pack, last_ok, last_fail,
-    ) {
-        Verdict::Fresh(true) => {
-            best.clear();
-            best.extend_from_slice(pack.bin_of());
-        }
-        Verdict::CachedOk => unreachable!("nothing feasible cached yet"),
-        Verdict::Fresh(false) => return None,
+    if !probes.probe(jobs, s_max, period, nodes, best) {
+        return None;
     }
     let mut hi = s_max; // feasible
     let mut lo = s_min; // infeasible
     while hi - lo > accuracy * lo.max(1.0) {
         let mid = 0.5 * (lo + hi);
-        match probe(
-            jobs, mid, period, nodes, packer, runs, pack, last_ok, last_fail,
-        ) {
-            Verdict::Fresh(true) => {
-                best.clear();
-                best.extend_from_slice(pack.bin_of());
-                hi = mid;
-            }
-            // The cached feasible instance already wrote this `best`.
-            Verdict::CachedOk => hi = mid,
-            Verdict::Fresh(false) => lo = mid,
+        if probes.probe(jobs, mid, period, nodes, best) {
+            hi = mid;
+        } else {
+            lo = mid;
         }
     }
     Some(build(hi, best))

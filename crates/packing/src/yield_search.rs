@@ -141,7 +141,11 @@ pub fn max_min_yield_with(
     }
 
     let SearchScratch {
-        runs, pack, best, ..
+        runs,
+        pack,
+        best,
+        packs,
+        ..
     } = scratch;
     fn probe(
         jobs: &[JobLoad],
@@ -150,13 +154,15 @@ pub fn max_min_yield_with(
         packer: &dyn VectorPacker,
         runs: &mut Vec<(PackItem, u32)>,
         pack: &mut crate::scratch::PackScratch,
+        packs: &mut u64,
     ) -> bool {
         fill_runs_at_yield(jobs, yld, runs);
+        *packs += 1;
         packer.pack_runs_into(runs, nodes, pack)
     }
 
     // Fast path: everything fits at full speed.
-    if probe(jobs, 1.0, nodes, packer, runs, pack) {
+    if probe(jobs, 1.0, nodes, packer, runs, pack, packs) {
         return Some(YieldAllocation {
             yield_: 1.0,
             placements: placements_from(jobs, pack.bin_of()),
@@ -164,7 +170,7 @@ pub fn max_min_yield_with(
     }
 
     // The lower probe doubles as the memory-feasibility check.
-    if !probe(jobs, min_yield, nodes, packer, runs, pack) {
+    if !probe(jobs, min_yield, nodes, packer, runs, pack, packs) {
         return None;
     }
     best.clear();
@@ -173,7 +179,7 @@ pub fn max_min_yield_with(
     let mut hi = 1.0;
     while hi - lo > accuracy {
         let mid = 0.5 * (lo + hi);
-        if probe(jobs, mid, nodes, packer, runs, pack) {
+        if probe(jobs, mid, nodes, packer, runs, pack, packs) {
             best.clear();
             best.extend_from_slice(pack.bin_of());
             lo = mid;

@@ -40,6 +40,11 @@ pub struct CellResult {
     pub sched_wall_total: f64,
     /// Worst single scheduler invocation in seconds (non-deterministic).
     pub sched_wall_max: f64,
+    /// Wall-clock seconds this cell's simulation took end to end
+    /// (non-deterministic; excluded from fingerprints like the other
+    /// wall-clock fields). Zero when the cell was built from an outcome
+    /// outside a campaign run.
+    pub wall_secs: f64,
 }
 
 impl CellResult {
@@ -58,6 +63,7 @@ impl CellResult {
             n_jobs: o.records.len(),
             sched_wall_total: o.sched_wall_total,
             sched_wall_max: o.sched_wall_max,
+            wall_secs: 0.0,
         }
     }
 
@@ -323,6 +329,7 @@ impl<'a> Campaign<'a> {
         let n_scen = self.scenarios.len();
         let n_spec = self.specs.len();
         let n_units = n_scen * n_spec;
+        let order = self.unit_order();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let results: Mutex<Vec<Vec<Option<CellResult>>>> =
@@ -332,10 +339,11 @@ impl<'a> Campaign<'a> {
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n_units.max(1)) {
                 scope.spawn(|| loop {
-                    let unit = next.fetch_add(1, Ordering::Relaxed);
-                    if unit >= n_units {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= n_units {
                         break;
                     }
+                    let unit = order[slot];
                     let (i, a) = (unit / n_spec, unit % n_spec);
                     let cell = self.run_cell(&self.scenarios[i], &self.specs[a]);
                     // Keep the results mutex free of user code: clone
@@ -374,7 +382,28 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// Cost-aware dispatch order over unit indices: most expensive
+    /// estimated cells first (spec cost hint × scenario size), ties by
+    /// unit index. Purely a scheduling decision — every cell still
+    /// lands at its `(scenario, spec)` slot, so the result matrix (and
+    /// its fingerprint) is unchanged by the order. Running the likely
+    /// stragglers first keeps the parallel tail short: a `DynMCB8`
+    /// cell dispatched last would otherwise hold the whole campaign
+    /// open while every other worker idles.
+    fn unit_order(&self) -> Vec<usize> {
+        let n_spec = self.specs.len();
+        let mut order: Vec<usize> = (0..self.scenarios.len() * n_spec).collect();
+        let cost = |unit: usize| {
+            let scenario = &self.scenarios[unit / n_spec];
+            let spec = &self.specs[unit % n_spec];
+            spec.cost_hint() as u64 * scenario.jobs.len().max(1) as u64
+        };
+        order.sort_by_key(|&u| (std::cmp::Reverse(cost(u)), u));
+        order
+    }
+
     fn run_cell(&self, scenario: &Scenario, spec: &SchedulerSpec) -> CellResult {
+        let started = std::time::Instant::now();
         let mut scheduler = self
             .registry
             .build(spec)
@@ -392,7 +421,9 @@ impl<'a> Campaign<'a> {
             scheduler.as_mut(),
             &config,
         );
-        CellResult::from_outcome(spec.clone(), &outcome)
+        let mut cell = CellResult::from_outcome(spec.clone(), &outcome);
+        cell.wall_secs = started.elapsed().as_secs_f64();
+        cell
     }
 }
 
@@ -517,5 +548,43 @@ mod tests {
     fn unknown_spec_fails_at_construction() {
         let scens = scenarios(1, 10, 0.4, 3);
         assert!(Campaign::new(&scens, ["not-a-scheduler"]).is_err());
+    }
+
+    #[test]
+    fn cost_aware_order_dispatches_expensive_cells_first() {
+        let scens = scenarios(1, 15, 0.4, 3);
+        // fcfs (cheapest) listed first; dynmcb8 (most expensive) last.
+        let campaign = Campaign::new(&scens, ["fcfs", "greedy-pmtn", "dynmcb8"]).unwrap();
+        let order = campaign.unit_order();
+        assert_eq!(order, vec![2, 1, 0], "descending cost, ties by index");
+        // A single worker therefore *completes* cells in cost order.
+        let completion_order = Mutex::new(Vec::new());
+        campaign
+            .on_cell(|u| completion_order.lock().unwrap().push(u.spec))
+            .run();
+        assert_eq!(*completion_order.lock().unwrap(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn cost_aware_order_preserves_matrix_alignment_and_fingerprint() {
+        let scens = scenarios(2, 20, 0.5, 9);
+        let specs = ["dynmcb8-per:t=300", "fcfs", "greedy-pmtn"];
+        let serial = Campaign::new(&scens, specs).unwrap().threads(1).run();
+        let parallel = Campaign::new(&scens, specs).unwrap().threads(4).run();
+        assert_eq!(serial.fingerprint(), parallel.fingerprint());
+        for row in &serial.cells {
+            assert_eq!(row[1].name, "FCFS", "cells stay index-aligned");
+        }
+    }
+
+    #[test]
+    fn cells_record_wall_times() {
+        let scens = scenarios(1, 15, 0.4, 3);
+        let result = Campaign::new(&scens, ["greedy-pmtn"]).unwrap().run();
+        assert!(result.cells[0][0].wall_secs > 0.0);
+        // Wall time never leaks into the deterministic fingerprint.
+        assert!(!result.cells[0][0]
+            .fingerprint()
+            .contains(&format!("{:016x}", result.cells[0][0].wall_secs.to_bits())));
     }
 }

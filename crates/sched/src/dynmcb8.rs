@@ -19,10 +19,10 @@
 use dfrs_core::constants::{DEFAULT_PERIOD_SECS, MIN_STRETCH_PER_YIELD, YIELD_SEARCH_ACCURACY};
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_packing::{
-    max_min_yield_with, BestFitDecreasing, FirstFitDecreasing, JobLoad, Mcb8, SearchScratch,
-    VectorPacker,
+    max_min_yield_warm, BestFitDecreasing, FirstFitDecreasing, JobLoad, Mcb8, RepackMemo,
+    SearchScratch, VectorPacker,
 };
-use dfrs_sim::{Plan, SchedEvent, Scheduler, SimState};
+use dfrs_sim::{Plan, RepackStats, SchedEvent, Scheduler, SimState};
 
 use crate::common::{AllocSet, NodeScratch};
 
@@ -79,6 +79,11 @@ pub(crate) struct PackedAllocation {
 #[derive(Debug, Default)]
 pub(crate) struct RepackScratch {
     search: SearchScratch,
+    /// Cross-event warm-start state: identical `(job set, nodes)`
+    /// searches — including the infeasible verdicts of the eviction
+    /// loop — replay their stored result with zero packs
+    /// (`dfrs_packing::memo` has the exactness argument).
+    pub(crate) memo: RepackMemo,
     loads: Vec<JobLoad>,
     candidates: Vec<JobId>,
     /// [`SimState::change_epoch`] recorded at the last *eviction-free*
@@ -106,8 +111,31 @@ impl RepackScratch {
     pub(crate) fn observe_epoch(&mut self, epoch: u64) {
         if epoch < self.last_seen_epoch {
             self.last_clean_epoch = None;
+            // The warm-start memo is keyed by complete inputs, so stale
+            // entries could never answer wrongly — dropping them on a
+            // new-run detection is hygiene (a fresh trace shares no job
+            // sets with the old one, so the entries are dead weight).
+            self.memo.clear();
         }
         self.last_seen_epoch = self.last_seen_epoch.max(epoch);
+    }
+
+    /// The warm-start accounting in the engine's vocabulary.
+    pub(crate) fn stats(&self) -> RepackStats {
+        memo_stats(&self.memo)
+    }
+}
+
+/// Map `dfrs_packing`'s memo counters into the engine-facing
+/// [`RepackStats`] (probe hits fold into `packs_saved`, where they
+/// already count).
+pub(crate) fn memo_stats(memo: &RepackMemo) -> RepackStats {
+    let s = memo.stats();
+    RepackStats {
+        searches: s.searches,
+        search_hits: s.search_hits,
+        packs: s.packs,
+        packs_saved: s.packs_saved,
     }
 }
 
@@ -117,7 +145,7 @@ impl RepackScratch {
 /// retries.
 pub(crate) fn packed_allocation(
     state: &SimState,
-    packer: &dyn VectorPacker,
+    packer: &'static dyn VectorPacker,
     scratch: &mut RepackScratch,
 ) -> PackedAllocation {
     let nodes = state.cluster.nodes().len();
@@ -137,13 +165,14 @@ pub(crate) fn packed_allocation(
                 mem_req: s.mem_req,
             }
         }));
-        match max_min_yield_with(
+        match max_min_yield_warm(
             loads,
             nodes,
             packer,
             YIELD_SEARCH_ACCURACY,
             MIN_STRETCH_PER_YIELD,
             &mut scratch.search,
+            &mut scratch.memo,
         ) {
             Some(alloc) => {
                 let placements: Vec<(JobId, Vec<NodeId>)> = alloc
@@ -185,7 +214,7 @@ pub(crate) fn packed_allocation(
 /// last eviction-free repack (see [`RepackScratch::last_clean_epoch`]).
 pub(crate) fn repack_all(
     state: &SimState,
-    packer: &dyn VectorPacker,
+    packer: &'static dyn VectorPacker,
     scratch: &mut RepackScratch,
 ) -> Plan {
     let epoch = state.change_epoch();
@@ -235,6 +264,14 @@ impl DynMcb8 {
             scratch: RepackScratch::default(),
         }
     }
+
+    /// Enable or disable cross-event warm starting (on by default;
+    /// results are bit-identical either way — disabling exists for the
+    /// warm-vs-cold benchmarks).
+    pub fn warm(mut self, enabled: bool) -> Self {
+        self.scratch.memo.set_enabled(enabled);
+        self
+    }
 }
 
 impl Scheduler for DynMcb8 {
@@ -252,6 +289,9 @@ impl Scheduler for DynMcb8 {
             }
             _ => Plan::noop(),
         }
+    }
+    fn repack_stats(&self) -> Option<RepackStats> {
+        Some(self.scratch.stats())
     }
 }
 
@@ -284,6 +324,13 @@ impl DynMcb8Per {
             scratch: RepackScratch::default(),
         }
     }
+
+    /// Enable or disable cross-event warm starting (see
+    /// [`DynMcb8::warm`]).
+    pub fn warm(mut self, enabled: bool) -> Self {
+        self.scratch.memo.set_enabled(enabled);
+        self
+    }
 }
 
 impl Default for DynMcb8Per {
@@ -308,6 +355,9 @@ impl Scheduler for DynMcb8Per {
             SchedEvent::Tick => repack_all(state, self.packer.packer(), &mut self.scratch),
             _ => Plan::noop(),
         }
+    }
+    fn repack_stats(&self) -> Option<RepackStats> {
+        Some(self.scratch.stats())
     }
 }
 
@@ -339,6 +389,13 @@ impl DynMcb8AsapPer {
             packer,
             scratch: RepackScratch::default(),
         }
+    }
+
+    /// Enable or disable cross-event warm starting (see
+    /// [`DynMcb8::warm`]).
+    pub fn warm(mut self, enabled: bool) -> Self {
+        self.scratch.memo.set_enabled(enabled);
+        self
     }
 }
 
@@ -389,6 +446,9 @@ impl Scheduler for DynMcb8AsapPer {
             }
             _ => Plan::noop(),
         }
+    }
+    fn repack_stats(&self) -> Option<RepackStats> {
+        Some(self.scratch.stats())
     }
 }
 

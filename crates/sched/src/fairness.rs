@@ -56,6 +56,14 @@ impl DynMcb8FairPer {
         }
     }
 
+    /// Enable or disable cross-event warm starting (on by default;
+    /// results are bit-identical either way — disabling exists for the
+    /// warm-vs-cold benchmarks, see [`crate::DynMcb8::warm`]).
+    pub fn warm(mut self, enabled: bool) -> Self {
+        self.scratch.memo.set_enabled(enabled);
+        self
+    }
+
     /// The damped yield of a job with virtual time `vt`, given base `y`.
     fn damped(&self, y: f64, vt: f64) -> f64 {
         if self.alpha == 0.0 || vt <= self.vt_threshold {
@@ -134,10 +142,14 @@ impl Scheduler for DynMcb8FairPer {
         Some(self.period)
     }
     fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        self.scratch.observe_epoch(state.change_epoch());
         match ev {
             SchedEvent::Tick => self.repack(state),
             _ => Plan::noop(),
         }
+    }
+    fn repack_stats(&self) -> Option<dfrs_sim::RepackStats> {
+        Some(self.scratch.stats())
     }
 }
 

@@ -270,6 +270,29 @@ impl SchedulerSpec {
     pub fn params(&self) -> &SpecParams {
         &self.params
     }
+
+    /// A coarse relative cost estimate of simulating one scenario under
+    /// this spec — a **scheduling hint only** (higher = more expensive),
+    /// used by `Campaign` to dispatch the expensive cells first so a
+    /// straggler never serializes the tail of a parallel run. Never
+    /// affects any simulation result. The weights mirror measured
+    /// laptop-sweep ratios: the search-driven `DynMCB8*` family costs
+    /// 10–70× the list-based baselines, with the stretch variant the
+    /// single most expensive and the event-driven repacker next.
+    pub fn cost_hint(&self) -> u32 {
+        match self.key.as_str() {
+            "dynmcb8-stretch-per" => 70,
+            "dynmcb8" => 50,
+            k if k.starts_with("dynmcb8") => 35,
+            "greedy-pmtn" | "greedy-pmtn-migr" => 10,
+            "greedy" => 6,
+            "easy" | "conservative-bf" => 2,
+            "fcfs" => 1,
+            // Unknown (user-registered) specs: assume mid-weight so they
+            // are neither serialized last nor allowed to straggle.
+            _ => 20,
+        }
+    }
 }
 
 impl fmt::Display for SchedulerSpec {

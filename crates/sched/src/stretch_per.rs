@@ -15,8 +15,8 @@
 use dfrs_core::approx;
 use dfrs_core::constants::DEFAULT_PERIOD_SECS;
 use dfrs_core::ids::{JobId, NodeId};
-use dfrs_packing::{min_max_estimated_stretch_with, Mcb8, SearchScratch, StretchJob};
-use dfrs_sim::{Plan, SchedEvent, Scheduler, SimState};
+use dfrs_packing::{min_max_estimated_stretch_warm, Mcb8, RepackMemo, SearchScratch, StretchJob};
+use dfrs_sim::{Plan, RepackStats, SchedEvent, Scheduler, SimState};
 
 /// The scheduler. Period defaults to the paper's 600 s.
 #[derive(Debug)]
@@ -24,6 +24,14 @@ pub struct DynMcb8StretchPer {
     period: f64,
     // Buffers reused across events (never observable in results).
     search: SearchScratch,
+    /// Cross-tick warm-start state. Whole stretch searches never recur
+    /// (flow and virtual times drift), but the clamp-saturated probe
+    /// instances near the bracket's lax end depend only on the job set
+    /// and replay across ticks (`dfrs_packing::memo`).
+    memo: RepackMemo,
+    /// Highest change epoch seen; a decrease means this instance was
+    /// reused for a fresh simulation and the memo is dropped.
+    last_seen_epoch: u64,
     sjobs: Vec<StretchJob>,
     candidates: Vec<JobId>,
 }
@@ -40,9 +48,26 @@ impl DynMcb8StretchPer {
         DynMcb8StretchPer {
             period,
             search: SearchScratch::new(),
+            memo: RepackMemo::new(),
+            last_seen_epoch: 0,
             sjobs: Vec::new(),
             candidates: Vec::new(),
         }
+    }
+
+    /// Enable or disable cross-tick warm starting (on by default;
+    /// results are bit-identical either way — disabling exists for the
+    /// warm-vs-cold benchmarks).
+    pub fn warm(mut self, enabled: bool) -> Self {
+        self.memo.set_enabled(enabled);
+        self
+    }
+
+    fn observe_epoch(&mut self, epoch: u64) {
+        if epoch < self.last_seen_epoch {
+            self.memo.clear();
+        }
+        self.last_seen_epoch = self.last_seen_epoch.max(epoch);
     }
 
     fn repack(&mut self, state: &SimState) -> Plan {
@@ -65,13 +90,14 @@ impl DynMcb8StretchPer {
                     virtual_time: j.virtual_time,
                 }
             }));
-            match min_max_estimated_stretch_with(
+            match min_max_estimated_stretch_warm(
                 sjobs,
                 nodes,
                 self.period,
                 &Mcb8,
                 0.01,
                 &mut self.search,
+                &mut self.memo,
             ) {
                 Some(alloc) => {
                     let mut assignments: Vec<(JobId, f64, Vec<NodeId>)> = alloc
@@ -189,10 +215,14 @@ impl Scheduler for DynMcb8StretchPer {
         Some(self.period)
     }
     fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        self.observe_epoch(state.change_epoch());
         match ev {
             SchedEvent::Tick => self.repack(state),
             _ => Plan::noop(),
         }
+    }
+    fn repack_stats(&self) -> Option<RepackStats> {
+        Some(crate::dynmcb8::memo_stats(&self.memo))
     }
 }
 

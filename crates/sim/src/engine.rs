@@ -171,7 +171,9 @@ pub fn simulate(
         engine.queue.push(period, EventKind::Tick);
     }
     engine.run(scheduler);
-    engine.into_outcome(scheduler.name())
+    let mut outcome = engine.into_outcome(scheduler.name());
+    outcome.repack = scheduler.repack_stats();
+    outcome
 }
 
 impl Engine<'_> {

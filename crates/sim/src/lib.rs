@@ -71,7 +71,7 @@ pub mod validate;
 pub use engine::{simulate, MigrationMode, SimConfig};
 pub use event::{EventKind, EventQueue};
 pub use outcome::{DecisionSample, JobRecord, SimOutcome};
-pub use plan::{Plan, PlanEntry, SchedEvent, Scheduler};
+pub use plan::{Plan, PlanEntry, RepackStats, SchedEvent, Scheduler};
 pub use state::{ClusterState, JobState, JobStatus, NodeState, SimState};
 pub use timeline::{AllocEvent, Timeline, TimelineEntry};
 pub use validate::{check_invariants, check_plan, PlanError, ValidationError};

@@ -73,6 +73,10 @@ pub struct SimOutcome {
     /// Engine event-loop iterations processed (deterministic; the
     /// denominator of event-throughput measurements).
     pub events_processed: u64,
+    /// Warm-start accounting reported by the scheduler, when it keeps
+    /// any ([`Scheduler::repack_stats`](crate::Scheduler::repack_stats)).
+    /// Observational only — never part of outcome fingerprints.
+    pub repack: Option<crate::plan::RepackStats>,
     /// Per-invocation samples (populated when requested in `SimConfig`).
     pub decisions: Vec<DecisionSample>,
     /// Full allocation log (populated when `SimConfig::record_timeline`).

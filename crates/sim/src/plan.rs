@@ -90,6 +90,22 @@ impl Plan {
     }
 }
 
+/// Warm-start accounting a scheduler can expose after a run (the
+/// `DynMCB8*` family reports its repack-memo counters through this; see
+/// `dfrs_packing::RepackMemo`). Purely observational: the values never
+/// influence scheduling decisions or outcomes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RepackStats {
+    /// Allocation searches the scheduler ran.
+    pub searches: u64,
+    /// Searches answered entirely from warm state (zero packs).
+    pub search_hits: u64,
+    /// Packer invocations actually executed.
+    pub packs: u64,
+    /// Packer invocations avoided by warm-start replay.
+    pub packs_saved: u64,
+}
+
 /// A scheduling policy driven by the simulation engine.
 pub trait Scheduler {
     /// Display name (used in tables; e.g. `"DynMCB8-asap-per 600"`).
@@ -104,6 +120,13 @@ pub trait Scheduler {
     /// React to an event. `state` reflects the world *after* the event's
     /// bookkeeping (e.g. a completed job is already off its nodes).
     fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan;
+
+    /// Warm-start accounting accumulated so far, if this scheduler
+    /// keeps any (the engine copies it into
+    /// [`SimOutcome::repack`](crate::SimOutcome::repack) after a run).
+    fn repack_stats(&self) -> Option<RepackStats> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! Golden-trace snapshot suite.
 //!
 //! Pins the full deterministic `SimOutcome` of every registered paper
-//! algorithm on two fixed scenarios — a crafted memory-pressure trace
-//! and a Lublin seed-1 trace — as checked-in JSON
-//! (`tests/golden/golden_traces.json`). Floats are stored as exact bit
-//! strings: any engine or scheduler change that shifts a **byte** of
-//! any metric fails with a per-field diff.
+//! algorithm on three fixed scenarios — a crafted memory-pressure
+//! trace, a Lublin seed-1 trace, and a bursty HPC2N-like week — as
+//! checked-in JSON (`tests/golden/golden_traces.json`). Floats are
+//! stored as exact bit strings: any engine or scheduler change that
+//! shifts a **byte** of any metric fails with a per-field diff.
 //!
 //! Regenerate (after an *intentional* behavior change) with:
 //!
@@ -72,6 +72,24 @@ fn lublin_scenario() -> Scenario {
         .expect("lublin scenario builds")
 }
 
+/// One HPC2N-like synthetic week (seed 3) with the paper's penalty: a
+/// *bursty* arrival pattern — day/night and weekday cycles with batch
+/// bursts — unlike the steady crafted trace and the Lublin stream.
+/// Pins incremental-repack correctness on the arrive/complete
+/// oscillations and pressure plateaus where the repack memo actually
+/// hits.
+fn hpc2n_scenario() -> Scenario {
+    let mut weeks = ScenarioBuilder::new()
+        .label("hpc2n-s3")
+        .hpc2n_like(1, 220.0)
+        .seed(3)
+        .penalty(dfrs::core::constants::RESCHEDULING_PENALTY_SECS)
+        .build_all()
+        .expect("hpc2n-like scenario builds");
+    assert_eq!(weeks.len(), 1, "one week requested");
+    weeks.remove(0)
+}
+
 /// One float metric: exact bits plus a human-readable decimal.
 fn metric(x: f64) -> Value {
     obj([("bits".into(), bits(x)), ("dec".into(), Value::Num(x))])
@@ -125,7 +143,7 @@ fn snapshot(out: &SimOutcome) -> Value {
 }
 
 fn build_snapshots() -> Value {
-    let scenarios = [crafted_scenario(), lublin_scenario()];
+    let scenarios = [crafted_scenario(), lublin_scenario(), hpc2n_scenario()];
     let mut top = std::collections::BTreeMap::new();
     for scenario in &scenarios {
         let mut per_spec = std::collections::BTreeMap::new();
@@ -238,7 +256,7 @@ fn golden_traces_match() {
 }
 
 #[test]
-fn golden_covers_all_nine_specs_on_both_scenarios() {
+fn golden_covers_all_nine_specs_on_every_scenario() {
     let text = std::fs::read_to_string(golden_file()).unwrap_or_else(|e| {
         panic!("cannot read {GOLDEN_PATH}: {e} (regenerate first)");
     });
@@ -246,7 +264,11 @@ fn golden_covers_all_nine_specs_on_both_scenarios() {
     let top = golden.as_obj().expect("top-level object");
     assert_eq!(
         top.keys().cloned().collect::<Vec<_>>(),
-        vec!["crafted".to_string(), "lublin-s1".to_string()]
+        vec![
+            "crafted".to_string(),
+            "hpc2n-s3".to_string(),
+            "lublin-s1".to_string(),
+        ]
     );
     for (scenario, specs) in top {
         let specs = specs.as_obj().expect("per-scenario object");
