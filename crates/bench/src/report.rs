@@ -85,6 +85,7 @@ impl BenchReport {
             ("packing".to_string(), packing_phase(scale)),
             ("event_loop".to_string(), event_loop_phase()),
             ("repack".to_string(), repack_phase(scale)),
+            ("failures".to_string(), failures_phase(scale)),
             ("campaign".to_string(), campaign_phase(scale)),
         ];
         if !skip_sweep {
@@ -313,6 +314,57 @@ fn repack_phase(scale: Scale) -> Value {
             Value::Num(cold_wall_total / warm_wall_total.max(1e-9)),
         ),
         ("specs".into(), obj(specs)),
+    ])
+}
+
+/// The failure-heavy phase: the pinned churn scenario (aggressive
+/// per-node exponential MTBF/MTTR) driven through one batch baseline
+/// and three DFRS schedulers. Wall time here prices the whole platform
+/// machinery — NodeDown evictions, kill bookkeeping, requeues, and the
+/// extra scheduler rounds — and the recorded restart/lost-work counts
+/// are deterministic, so drift in them flags a semantic change.
+fn failures_phase(scale: Scale) -> Value {
+    let scenario = crate::scales::churn_lublin(scale);
+    let node_events = scenario.config.node_events.len();
+    let specs = ["fcfs", "greedy-pmtn", "dynmcb8", "dynmcb8-per"];
+    let mut per_spec = Vec::new();
+    let mut wall_total = 0.0;
+    for key in specs {
+        let start = Instant::now();
+        let out = scenario.run(key).expect("builtin spec");
+        let wall = secs(start);
+        wall_total += wall;
+        per_spec.push((
+            key.to_string(),
+            obj([
+                ("wall_secs".into(), Value::Num(wall)),
+                (
+                    "events_processed".into(),
+                    Value::Num(out.events_processed as f64),
+                ),
+                ("restarts".into(), Value::Num(out.restart_count as f64)),
+                (
+                    "lost_vt_hours".into(),
+                    Value::Num(out.lost_virtual_seconds / 3_600.0),
+                ),
+                (
+                    "preemptions".into(),
+                    Value::Num(out.preemption_count as f64),
+                ),
+                ("migrations".into(), Value::Num(out.migration_count as f64)),
+                (
+                    "down_node_hours".into(),
+                    Value::Num(out.down_node_seconds / 3_600.0),
+                ),
+            ]),
+        ));
+    }
+    obj([
+        ("scenario".into(), Value::Str(scenario.label.clone())),
+        ("jobs".into(), Value::Num(scenario.jobs.len() as f64)),
+        ("node_events".into(), Value::Num(node_events as f64)),
+        ("wall_secs".into(), Value::Num(wall_total)),
+        ("specs".into(), obj(per_spec)),
     ])
 }
 

@@ -115,6 +115,23 @@ pub fn repack_lublin(scale: Scale) -> Scenario {
         .expect("lublin scenarios build")
 }
 
+/// The failure-heavy phase's scenario: the pinned Lublin trace at load
+/// 0.7 with aggressive per-node exponential churn attached (MTBF two
+/// simulated days, MTTR one hour — enough strikes that failure
+/// handling, not the base workload, dominates the phase). Jobs are
+/// identical to [`repack_lublin`]'s: the failure seed stream is
+/// independent of workload generation.
+pub fn churn_lublin(scale: Scale) -> Scenario {
+    ScenarioBuilder::new()
+        .label(format!("bench-churn-lublin-{}", scale.tag()))
+        .lublin(scale.jobs())
+        .load(0.7)
+        .seed(1)
+        .failures(dfrs_scenario::FailureModel::exp(172_800.0, 3_600.0))
+        .build()
+        .expect("lublin scenarios build")
+}
+
 /// Builder of one warm- or cold-configured `DynMCB8*` scheduler.
 pub type RepackCaseFn = fn(bool) -> Box<dyn dfrs_sim::Scheduler>;
 

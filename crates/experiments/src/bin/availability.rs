@@ -1,0 +1,52 @@
+//! The `availability` study binary: DFRS vs batch baselines on a
+//! platform with node failure/repair churn (see
+//! `dfrs_experiments::availability`).
+//!
+//! ```sh
+//! cargo run --release -p dfrs_experiments --bin availability -- \
+//!     --instances 3 --jobs 200 --mtbf 1209600 --mttr 3600
+//! ```
+//!
+//! Runs every registered scheduler spec (or `--algo` subset) on the
+//! same scaled Lublin workload twice — static cluster vs exponential
+//! MTBF/MTTR churn — with full validation enabled, and prints the
+//! per-spec degradation/restart/lost-work table. Deterministic given
+//! `--seed`.
+
+use dfrs_experiments::availability;
+use dfrs_experiments::cli::Opts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Opts::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let load = availability::study_load(&opts);
+    if opts.loads.len() > 1 && opts.loads.as_slice() != dfrs_core::constants::SCALED_LOADS {
+        eprintln!(
+            "warning: the availability study runs one load point; using {load} and ignoring \
+             the other --loads values"
+        );
+    }
+    eprintln!(
+        "availability study: {} instance(s) x {} jobs at load {load}, per-node MTBF {:.0} s / \
+         MTTR {:.0} s, policy {:?}",
+        opts.instances, opts.jobs, opts.mtbf_secs, opts.mttr_secs, opts.failure_policy
+    );
+    let study = availability::run(&opts);
+    let table = study.table();
+    println!("{}", table.render());
+    println!(
+        "({} node cluster; 'degr' = churn max stretch / static max stretch; \
+         'down %' = mean fraction of nodes out of service)",
+        study.nodes
+    );
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, table.to_csv()).expect("write CSV");
+        eprintln!("CSV written to {path}");
+    }
+}

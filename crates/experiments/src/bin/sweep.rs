@@ -33,6 +33,7 @@ fn main() {
             let result = Campaign::from_specs(&instances, specs.clone())
                 .penalty(penalty)
                 .threads(opts.threads)
+                .migration_opt(opts.migration)
                 .run();
             for (i, row) in result.cells.iter().enumerate() {
                 for s in row {

@@ -2,6 +2,45 @@
 //! (keeps the dependency set to the approved list — no clap).
 
 use dfrs_sched::{Algorithm, SchedulerRegistry, SchedulerSpec};
+use dfrs_sim::{FailurePolicy, MigrationMode};
+
+/// Parse `--migration` values: `stop-and-copy`, `live` (60 s freeze),
+/// or `live:freeze=SECS`.
+pub fn parse_migration(s: &str) -> Result<MigrationMode, String> {
+    let s = s.trim();
+    match s {
+        "stop-and-copy" => Ok(MigrationMode::StopAndCopy),
+        "live" => Ok(MigrationMode::Live { freeze_secs: 60.0 }),
+        _ => match s.strip_prefix("live:freeze=") {
+            Some(v) => {
+                let freeze: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad freeze seconds {v:?} in --migration {s:?}"))?;
+                if freeze.is_finite() && freeze >= 0.0 {
+                    Ok(MigrationMode::Live {
+                        freeze_secs: freeze,
+                    })
+                } else {
+                    Err(format!("freeze seconds must be non-negative, got {v}"))
+                }
+            }
+            None => Err(format!(
+                "unknown migration mode {s:?} (expected stop-and-copy | live | live:freeze=SECS)"
+            )),
+        },
+    }
+}
+
+/// Parse `--failure-policy` values: `restart` or `preserve`.
+pub fn parse_failure_policy(s: &str) -> Result<FailurePolicy, String> {
+    match s.trim() {
+        "restart" => Ok(FailurePolicy::Restart),
+        "preserve" | "pause-preserve" => Ok(FailurePolicy::PausePreserve),
+        other => Err(format!(
+            "unknown failure policy {other:?} (expected restart | preserve)"
+        )),
+    }
+}
 
 /// Options common to all experiment binaries.
 #[derive(Debug, Clone)]
@@ -31,6 +70,16 @@ pub struct Opts {
     pub csv: Option<String>,
     /// Paper-scale preset (100 instances × 1000 jobs × 182 weeks).
     pub paper_scale: bool,
+    /// Migration mechanism override (`--migration`); `None` keeps each
+    /// scenario's configured mode (stop-and-copy by default).
+    pub migration: Option<MigrationMode>,
+    /// Mean time between failures per node (`--mtbf`, seconds) for the
+    /// availability study.
+    pub mtbf_secs: f64,
+    /// Mean time to repair per node (`--mttr`, seconds).
+    pub mttr_secs: f64,
+    /// What a failure does to struck jobs (`--failure-policy`).
+    pub failure_policy: FailurePolicy,
 }
 
 impl Default for Opts {
@@ -48,6 +97,13 @@ impl Default for Opts {
             swf: None,
             csv: None,
             paper_scale: false,
+            migration: None,
+            // Availability-study defaults: one failure every ~14 simulated
+            // days per node, hour-scale repairs — enough churn to strike a
+            // laptop-scale trace several times without drowning it.
+            mtbf_secs: 1_209_600.0,
+            mttr_secs: 3_600.0,
+            failure_policy: FailurePolicy::Restart,
         }
     }
 }
@@ -90,6 +146,10 @@ impl Opts {
                 "--swf" => o.swf = Some(grab()?),
                 "--csv" => o.csv = Some(grab()?),
                 "--paper-scale" => o.paper_scale = true,
+                "--migration" => o.migration = Some(parse_migration(&grab()?)?),
+                "--mtbf" => o.mtbf_secs = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--mttr" => o.mttr_secs = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--failure-policy" => o.failure_policy = parse_failure_policy(&grab()?)?,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument {other}\n{USAGE}")),
             }
@@ -107,6 +167,9 @@ impl Opts {
         }
         if o.loads.iter().any(|l| *l <= 0.0 || l.is_nan()) {
             return Err("loads must be positive".into());
+        }
+        if !(o.mtbf_secs > 0.0 && o.mttr_secs > 0.0) {
+            return Err("mtbf/mttr must be positive".into());
         }
         Ok(o)
     }
@@ -137,7 +200,12 @@ Options:
   --jobs-per-week N HPC2N-like weekly volume (default 300; paper: 1100)
   --swf PATH        use a real HPC2N SWF file instead of the generator
   --csv PATH        also write the table as CSV
-  --paper-scale     preset: 100 instances, 1000 jobs, 182 weeks";
+  --paper-scale     preset: 100 instances, 1000 jobs, 182 weeks
+  --migration M     stop-and-copy | live | live:freeze=SECS
+                    (migration mechanism; default stop-and-copy)
+  --mtbf SECS       per-node mean time between failures (availability)
+  --mttr SECS       per-node mean time to repair (availability)
+  --failure-policy P restart | preserve (what a failure does to jobs)";
 
 #[cfg(test)]
 mod tests {
@@ -199,6 +267,38 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--loads", "0,-1"]).is_err());
+    }
+
+    #[test]
+    fn migration_and_failure_options_parse() {
+        let o = parse(&[
+            "--migration",
+            "live:freeze=45",
+            "--mtbf",
+            "86400",
+            "--mttr",
+            "1800",
+            "--failure-policy",
+            "preserve",
+        ])
+        .unwrap();
+        assert_eq!(o.migration, Some(MigrationMode::Live { freeze_secs: 45.0 }));
+        assert_eq!(o.mtbf_secs, 86_400.0);
+        assert_eq!(o.mttr_secs, 1_800.0);
+        assert_eq!(o.failure_policy, FailurePolicy::PausePreserve);
+
+        assert_eq!(
+            parse(&["--migration", "stop-and-copy"]).unwrap().migration,
+            Some(MigrationMode::StopAndCopy)
+        );
+        assert_eq!(
+            parse(&["--migration", "live"]).unwrap().migration,
+            Some(MigrationMode::Live { freeze_secs: 60.0 })
+        );
+        assert!(parse(&["--migration", "teleport"]).is_err());
+        assert!(parse(&["--migration", "live:freeze=-3"]).is_err());
+        assert!(parse(&["--failure-policy", "shrug"]).is_err());
+        assert!(parse(&["--mtbf", "0"]).is_err());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * Table II — preemption/migration bandwidth and occurrence rates at
 //!   load ≥ 0.7 ([`table2`], binary `table2`);
 //! * §V timing study — `DYNMCB8` allocation compute time vs jobs in
-//!   system ([`timing`], binary `timing`).
+//!   system ([`timing`], binary `timing`);
+//! * availability study (extension) — every registered spec on a
+//!   platform with node failure/repair churn, static vs churn
+//!   ([`availability`], binary `availability`).
 //!
 //! Execution goes through [`dfrs_scenario::Campaign`] — the generic
 //! parallel `(scenario × scheduler spec)` runner — with workloads
@@ -24,6 +27,7 @@
 //! deterministic given `--seed`.
 
 pub mod ablation;
+pub mod availability;
 pub mod cli;
 pub mod fig1;
 pub mod instances;

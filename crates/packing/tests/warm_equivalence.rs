@@ -23,6 +23,20 @@ enum Delta {
     Complete(usize),
 }
 
+/// One event in a history that also churns the platform: job deltas
+/// plus node failures/repairs shrinking and regrowing the available
+/// bin count (the schedulers pack over the available-node slice, so a
+/// node-set change reaches the searches as a different `nodes` value).
+#[derive(Debug, Clone)]
+enum ChurnDelta {
+    Job(Delta),
+    /// Take one node out of service (no-op at 1 available node — the
+    /// schedulers guard the empty slice before searching).
+    NodeDown,
+    /// Return one node to service (no-op at full capacity).
+    NodeUp,
+}
+
 fn arb_deltas(max_len: usize) -> impl Strategy<Value = Vec<Delta>> {
     // (selector, tasks, cpu, mem, completion index): selector < 3 is an
     // arrival, else a completion — a 3:2 arrive/complete mix keeps the
@@ -35,6 +49,21 @@ fn arb_deltas(max_len: usize) -> impl Strategy<Value = Vec<Delta>> {
                 } else {
                     Delta::Complete(k)
                 }
+            },
+        ),
+        1..max_len,
+    )
+}
+
+fn arb_churn_deltas(max_len: usize) -> impl Strategy<Value = Vec<ChurnDelta>> {
+    // Mix: ~3/7 arrive, ~2/7 complete, 1/7 node-down, 1/7 node-up.
+    prop::collection::vec(
+        (0u32..7, 1u32..5, 0.05f64..=1.0, 0.05f64..=0.6, 0usize..64).prop_map(
+            |(sel, t, c, m, k)| match sel {
+                0..=2 => ChurnDelta::Job(Delta::Arrive(t, c, m)),
+                3..=4 => ChurnDelta::Job(Delta::Complete(k)),
+                5 => ChurnDelta::NodeDown,
+                _ => ChurnDelta::NodeUp,
             },
         ),
         1..max_len,
@@ -131,6 +160,107 @@ proptest! {
                 &jobs, nodes, period, &Mcb8, 0.01, &mut scratch, &mut memo,
             );
             prop_assert_eq!(warm, cold, "jobs {:?} nodes {}", jobs, nodes);
+        }
+    }
+
+    /// Platform churn: NodeDown/NodeUp events interleaved into a random
+    /// job history vary the available bin count mid-run — exactly what
+    /// the schedulers' available-node slicing feeds the searches. Warm
+    /// must equal cold at every step even though the memo is *not*
+    /// flushed here (entries are keyed by their complete `(jobs, nodes)`
+    /// inputs, so a membership change can never make a replay wrong;
+    /// the schedulers' flush on node events is hygiene, not load-
+    /// bearing — this test is what proves that).
+    #[test]
+    fn warm_yield_search_equals_cold_under_node_churn(
+        deltas in arb_churn_deltas(32),
+        total_nodes in 2usize..12,
+    ) {
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        let mut live: Vec<(u32, u32, f64, f64)> = Vec::new();
+        let mut next_id = 0u32;
+        let mut avail = total_nodes;
+        for d in &deltas {
+            match d {
+                ChurnDelta::Job(Delta::Arrive(tasks, cpu, mem)) => {
+                    live.push((next_id, *tasks, *cpu, *mem));
+                    next_id += 1;
+                }
+                ChurnDelta::Job(Delta::Complete(k)) => {
+                    if !live.is_empty() {
+                        let k = k % live.len();
+                        live.remove(k);
+                    }
+                }
+                ChurnDelta::NodeDown => avail = avail.saturating_sub(1).max(1),
+                ChurnDelta::NodeUp => avail = (avail + 1).min(total_nodes),
+            }
+            let jobs: Vec<JobLoad> = live
+                .iter()
+                .map(|&(id, tasks, cpu, mem)| JobLoad {
+                    job: JobId(id),
+                    tasks,
+                    cpu_need: cpu,
+                    mem_req: mem,
+                })
+                .collect();
+            let cold = max_min_yield(&jobs, avail, &Mcb8, 0.01, 0.01);
+            let warm = max_min_yield_warm(
+                &jobs, avail, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo,
+            );
+            prop_assert_eq!(warm, cold, "jobs {:?} avail {}", jobs, avail);
+        }
+    }
+
+    /// Same churn interleaving for the stretch search's probe ring.
+    #[test]
+    fn warm_stretch_search_equals_cold_under_node_churn(
+        deltas in arb_churn_deltas(20),
+        total_nodes in 2usize..8,
+        start_flows in prop::collection::vec(0.0f64..5e4, 64),
+    ) {
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        let period = 600.0;
+        let mut live: Vec<(u32, u32, f64, f64)> = Vec::new();
+        let mut next_id = 0u32;
+        let mut avail = total_nodes;
+        for (tick, d) in deltas.iter().enumerate() {
+            let now = tick as f64 * period;
+            match d {
+                ChurnDelta::Job(Delta::Arrive(tasks, cpu, mem)) => {
+                    live.push((next_id, *tasks, *cpu, *mem));
+                    next_id += 1;
+                }
+                ChurnDelta::Job(Delta::Complete(k)) => {
+                    if !live.is_empty() {
+                        let k = k % live.len();
+                        live.remove(k);
+                    }
+                }
+                ChurnDelta::NodeDown => avail = avail.saturating_sub(1).max(1),
+                ChurnDelta::NodeUp => avail = (avail + 1).min(total_nodes),
+            }
+            let jobs: Vec<StretchJob> = live
+                .iter()
+                .map(|&(id, tasks, cpu, mem)| {
+                    let i = id as usize % start_flows.len();
+                    StretchJob {
+                        job: JobId(id),
+                        tasks,
+                        cpu_need: cpu,
+                        mem_req: mem,
+                        flow_time: start_flows[i] + now,
+                        virtual_time: 0.25 * now,
+                    }
+                })
+                .collect();
+            let cold = min_max_estimated_stretch(&jobs, avail, period, &Mcb8, 0.01);
+            let warm = min_max_estimated_stretch_warm(
+                &jobs, avail, period, &Mcb8, 0.01, &mut scratch, &mut memo,
+            );
+            prop_assert_eq!(warm, cold, "jobs {:?} avail {}", jobs, avail);
         }
     }
 

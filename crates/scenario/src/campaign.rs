@@ -34,6 +34,13 @@ pub struct CellResult {
     pub preemption_gb: f64,
     /// GB moved by migrations.
     pub migration_gb: f64,
+    /// Failure-induced job kills (restart policy).
+    pub restart_count: u64,
+    /// Virtual time discarded by those kills (seconds).
+    pub lost_virtual_seconds: f64,
+    /// Integral of out-of-service nodes (node-seconds); zero on a
+    /// static cluster.
+    pub down_node_seconds: f64,
     /// Jobs simulated.
     pub n_jobs: usize,
     /// Total scheduler wall-clock seconds (non-deterministic).
@@ -60,6 +67,9 @@ impl CellResult {
             migration_count: o.migration_count,
             preemption_gb: o.preemption_gb,
             migration_gb: o.migration_gb,
+            restart_count: o.restart_count,
+            lost_virtual_seconds: o.lost_virtual_seconds,
+            down_node_seconds: o.down_node_seconds,
             n_jobs: o.records.len(),
             sched_wall_total: o.sched_wall_total,
             sched_wall_max: o.sched_wall_max,
@@ -133,7 +143,7 @@ impl CellResult {
     pub fn fingerprint(&self) -> String {
         format!(
             "{}|{}|max={:016x} mean={:016x} mk={:016x} pre={} migr={} pre_gb={:016x} \
-             migr_gb={:016x} jobs={}",
+             migr_gb={:016x} rst={} lost={:016x} down={:016x} jobs={}",
             self.spec,
             self.name,
             self.max_stretch.to_bits(),
@@ -143,8 +153,22 @@ impl CellResult {
             self.migration_count,
             self.preemption_gb.to_bits(),
             self.migration_gb.to_bits(),
+            self.restart_count,
+            self.lost_virtual_seconds.to_bits(),
+            self.down_node_seconds.to_bits(),
             self.n_jobs,
         )
+    }
+
+    /// Mean fraction of the cluster out of service over the makespan
+    /// (0 on a static cluster) — the cell-level analogue of
+    /// [`dfrs_sim::SimOutcome::mean_unavailability`].
+    pub fn mean_unavailability(&self, nodes: u32) -> f64 {
+        if self.makespan > 0.0 && nodes > 0 {
+            self.down_node_seconds / (self.makespan * nodes as f64)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -223,6 +247,8 @@ pub struct Campaign<'a> {
     registry: SchedulerRegistry,
     threads: usize,
     penalty: Option<f64>,
+    failure_policy: Option<dfrs_sim::FailurePolicy>,
+    migration: Option<dfrs_sim::MigrationMode>,
     config: Option<SimConfig>,
     observer: Option<Observer<'a>>,
 }
@@ -278,6 +304,8 @@ impl<'a> Campaign<'a> {
             registry,
             threads: 1,
             penalty: None,
+            failure_policy: None,
+            migration: None,
             config: None,
             observer: None,
         }
@@ -293,6 +321,27 @@ impl<'a> Campaign<'a> {
     /// (the former `run_matrix` penalty argument).
     pub fn penalty(mut self, penalty: f64) -> Self {
         self.penalty = Some(penalty);
+        self
+    }
+
+    /// Override every scenario's failure policy for this campaign (the
+    /// scenarios' availability traces are untouched — only what a
+    /// failure does to its victims changes).
+    pub fn failure_policy(mut self, policy: dfrs_sim::FailurePolicy) -> Self {
+        self.failure_policy = Some(policy);
+        self
+    }
+
+    /// Override every scenario's migration mechanism for this campaign.
+    pub fn migration(mut self, mode: dfrs_sim::MigrationMode) -> Self {
+        self.migration = Some(mode);
+        self
+    }
+
+    /// [`migration`](Self::migration) taking an optional mode — CLI
+    /// plumbing where `None` means "keep each scenario's config".
+    pub fn migration_opt(mut self, mode: Option<dfrs_sim::MigrationMode>) -> Self {
+        self.migration = mode.or(self.migration);
         self
     }
 
@@ -414,6 +463,12 @@ impl<'a> Campaign<'a> {
             .unwrap_or_else(|| scenario.config.clone());
         if let Some(p) = self.penalty {
             config.penalty = p;
+        }
+        if let Some(fp) = self.failure_policy {
+            config.failure_policy = fp;
+        }
+        if let Some(m) = self.migration {
+            config.migration_mode = m;
         }
         let outcome = dfrs_sim::simulate(
             scenario.cluster,

@@ -41,4 +41,4 @@ pub mod scenario;
 pub use campaign::{
     degradation_row, degradation_stats, Campaign, CampaignResult, CellResult, CellUpdate,
 };
-pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, WorkloadSource};
+pub use scenario::{FailureModel, Scenario, ScenarioBuilder, ScenarioError, WorkloadSource};

@@ -3,12 +3,180 @@
 
 use std::fmt;
 
+use dfrs_core::ids::NodeId;
 use dfrs_core::{ClusterSpec, CoreError, JobSpec};
 use dfrs_sched::{SchedulerRegistry, SchedulerSpec, SpecError};
-use dfrs_sim::{simulate, Scheduler, SimConfig, SimOutcome};
+use dfrs_sim::{
+    simulate, FailurePolicy, MigrationMode, NodeEvent, Scheduler, SimConfig, SimOutcome,
+};
 use dfrs_workload::{Annotator, DowneyModel, Hpc2nLikeGenerator, LublinModel, Trace};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed salt separating failure-trace randomness from workload
+/// generation: the same builder seed yields the same jobs whether or
+/// not a failure model is attached.
+const FAILURE_SEED_SALT: u64 = 0xFA11_0E5B_94D0_49BB;
+
+/// How the platform misbehaves: the scenario-level description that
+/// materializes into the engine's [`NodeEvent`] availability trace.
+///
+/// Deterministic: the events are a pure function of
+/// `(model, cluster, jobs, seed)` — two builds with equal state yield
+/// byte-identical traces, independent of the workload source's own
+/// randomness.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum FailureModel {
+    /// The paper's static cluster: nodes are eternal.
+    #[default]
+    None,
+    /// Independent per-node exponential failure/repair churn: each node
+    /// alternates an up-time drawn from `Exp(mean = mtbf_secs)` with a
+    /// down-time drawn from `Exp(mean = mttr_secs)`. Failures are
+    /// generated up to `horizon_secs` (default: 1.5 × the trace's last
+    /// submission + its longest runtime, so churn covers the whole
+    /// plausible execution); every failure's repair is emitted even
+    /// past the horizon — an outage is never permanent.
+    Exp {
+        /// Mean time between failures per node (seconds).
+        mtbf_secs: f64,
+        /// Mean time to repair per node (seconds).
+        mttr_secs: f64,
+        /// Explicit churn horizon override (seconds).
+        horizon_secs: Option<f64>,
+    },
+    /// An explicit availability trace, verbatim (replays of recorded
+    /// outages, crafted tests). Every outage must end: a trace whose
+    /// last event for some node is a failure is rejected at build time,
+    /// because a permanently shrunken cluster can hang a simulation (a
+    /// job wider than the survivors retries forever). Append a far-
+    /// future repair to model an outage that outlives the workload.
+    Trace {
+        /// The events, in any order; the engine orders them by time.
+        events: Vec<NodeEvent>,
+    },
+}
+
+impl FailureModel {
+    /// Convenience constructor for the exponential model with the
+    /// default horizon.
+    pub fn exp(mtbf_secs: f64, mttr_secs: f64) -> Self {
+        FailureModel::Exp {
+            mtbf_secs,
+            mttr_secs,
+            horizon_secs: None,
+        }
+    }
+
+    /// Materialize the model into an engine availability trace for
+    /// `cluster` and `jobs`, deterministically from `seed`.
+    fn events(
+        &self,
+        cluster: &ClusterSpec,
+        jobs: &[JobSpec],
+        seed: u64,
+    ) -> Result<Vec<NodeEvent>, ScenarioError> {
+        match self {
+            FailureModel::None => Ok(Vec::new()),
+            FailureModel::Trace { events } => {
+                for ev in events {
+                    if ev.node.index() >= cluster.nodes as usize {
+                        return Err(ScenarioError::InvalidFailureModel(format!(
+                            "availability trace references {} but the cluster has {} nodes",
+                            ev.node, cluster.nodes
+                        )));
+                    }
+                    if !(ev.time.is_finite() && ev.time >= 0.0) {
+                        return Err(ScenarioError::InvalidFailureModel(format!(
+                            "availability trace has invalid event time {}",
+                            ev.time
+                        )));
+                    }
+                }
+                let mut sorted = events.clone();
+                sorted.sort_by(|a, b| a.time.total_cmp(&b.time));
+                // Reject permanent outages: the last transition of
+                // every touched node must be a repair, else a job wider
+                // than the survivors would retry (or deadlock) forever.
+                let mut last_up: std::collections::BTreeMap<u32, bool> =
+                    std::collections::BTreeMap::new();
+                for ev in &sorted {
+                    last_up.insert(ev.node.0, ev.up);
+                }
+                if let Some((node, _)) = last_up.iter().find(|(_, &up)| !up) {
+                    return Err(ScenarioError::InvalidFailureModel(format!(
+                        "availability trace leaves node {node} down forever (its last event \
+                         is a failure); append a repair — outages must end"
+                    )));
+                }
+                Ok(sorted)
+            }
+            FailureModel::Exp {
+                mtbf_secs,
+                mttr_secs,
+                horizon_secs,
+            } => {
+                for (what, v) in [("mtbf_secs", *mtbf_secs), ("mttr_secs", *mttr_secs)] {
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(ScenarioError::InvalidFailureModel(format!(
+                            "{what} must be positive and finite, got {v}"
+                        )));
+                    }
+                }
+                let horizon = match horizon_secs {
+                    Some(h) if !(h.is_finite() && *h > 0.0) => {
+                        return Err(ScenarioError::InvalidFailureModel(format!(
+                            "horizon_secs must be positive and finite, got {h}"
+                        )));
+                    }
+                    Some(h) => *h,
+                    None => default_horizon(jobs),
+                };
+                let mut rng = SmallRng::seed_from_u64(seed ^ FAILURE_SEED_SALT);
+                let exp_draw = |rng: &mut SmallRng, mean: f64| -> f64 {
+                    // Inverse-CDF sampling; `1 - u` keeps ln's argument
+                    // in (0, 1].
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    -mean * (1.0 - u).ln()
+                };
+                let mut events = Vec::new();
+                for node in 0..cluster.nodes {
+                    // One sequential stream: per-node draws are a fixed
+                    // prefix of the stream given the node order, so the
+                    // trace is deterministic in (seed, cluster size).
+                    let mut t = exp_draw(&mut rng, *mtbf_secs);
+                    while t < horizon {
+                        events.push(NodeEvent {
+                            time: t,
+                            node: NodeId(node),
+                            up: false,
+                        });
+                        t += exp_draw(&mut rng, *mttr_secs);
+                        // The matching repair is always emitted, even
+                        // past the horizon: outages end.
+                        events.push(NodeEvent {
+                            time: t,
+                            node: NodeId(node),
+                            up: true,
+                        });
+                        t += exp_draw(&mut rng, *mtbf_secs);
+                    }
+                }
+                events.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.node.0.cmp(&b.node.0)));
+                Ok(events)
+            }
+        }
+    }
+}
+
+/// Default churn horizon: generous cover of the execution window
+/// implied by the jobs themselves (1.5 × last submission + longest
+/// dedicated runtime). Zero when there are no jobs.
+fn default_horizon(jobs: &[JobSpec]) -> f64 {
+    let last_submit = jobs.iter().map(|j| j.submit_time).fold(0.0, f64::max);
+    let longest = jobs.iter().map(|j| j.oracle_runtime()).fold(0.0, f64::max);
+    1.5 * (last_submit + longest)
+}
 
 /// Where a scenario's jobs come from.
 #[derive(Debug, Clone)]
@@ -59,6 +227,9 @@ pub enum ScenarioError {
     },
     /// Target offered load must be positive and finite.
     InvalidLoad(f64),
+    /// The failure model is malformed (non-positive MTBF/MTTR, a trace
+    /// referencing nodes outside the cluster, …).
+    InvalidFailureModel(String),
     /// Workload generation, annotation, or SWF parsing failed.
     Workload(String),
 }
@@ -78,6 +249,7 @@ impl fmt::Display for ScenarioError {
                 "source produced {count} traces; use build_all() for multi-trace sources"
             ),
             ScenarioError::InvalidLoad(l) => write!(f, "invalid offered load {l}"),
+            ScenarioError::InvalidFailureModel(e) => write!(f, "invalid failure model: {e}"),
             ScenarioError::Workload(e) => write!(f, "workload construction failed: {e}"),
         }
     }
@@ -191,6 +363,7 @@ pub struct ScenarioBuilder {
     load: Option<f64>,
     seed: u64,
     config: SimConfig,
+    failures: FailureModel,
 }
 
 impl Default for ScenarioBuilder {
@@ -210,6 +383,7 @@ impl ScenarioBuilder {
             load: None,
             seed: 1,
             config: SimConfig::default(),
+            failures: FailureModel::None,
         }
     }
 
@@ -296,6 +470,31 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Migration mechanism for running jobs (the paper's pessimistic
+    /// stop-and-copy, or live migration for what-if studies). Previously
+    /// reachable only by constructing a raw [`SimConfig`].
+    pub fn migration(mut self, mode: MigrationMode) -> Self {
+        self.config.migration_mode = mode;
+        self
+    }
+
+    /// Platform failure/repair dynamics (default: none — the paper's
+    /// static cluster). The model materializes deterministically at
+    /// [`build`](Self::build) time into the engine's availability
+    /// trace, seeded independently of workload generation: attaching a
+    /// failure model never changes the jobs.
+    pub fn failures(mut self, model: FailureModel) -> Self {
+        self.failures = model;
+        self
+    }
+
+    /// What a node failure does to the jobs it strikes (default:
+    /// [`FailurePolicy::Restart`], the paper-pessimistic choice).
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.config.failure_policy = policy;
+        self
+    }
+
     /// Run full invariant validation after every plan (tests).
     pub fn validate(mut self, validate: bool) -> Self {
         self.config.validate = validate;
@@ -338,12 +537,21 @@ impl ScenarioBuilder {
                 (None, false) => base_label.clone(),
                 (None, true) => format!("{base_label}-week{i}"),
             };
+            let mut config = self.config.clone();
+            // Materialized against the *scaled* jobs: the default
+            // horizon tracks the actual submission window. Per-week
+            // traces draw distinct churn via the week-offset seed.
+            config.node_events = self.failures.events(
+                &trace.cluster,
+                trace.jobs(),
+                self.seed.wrapping_add(i as u64),
+            )?;
             out.push(Scenario {
                 label,
                 load: self.load,
                 cluster: trace.cluster,
                 jobs: trace.jobs().to_vec(),
-                config: self.config.clone(),
+                config,
             });
         }
         Ok(out)
@@ -474,6 +682,125 @@ mod tests {
             .unwrap();
         assert_eq!(s.config.penalty, 300.0);
         assert!(s.config.validate);
+    }
+
+    #[test]
+    fn failure_model_is_deterministic_and_leaves_jobs_alone() {
+        let mk = |failures: FailureModel| {
+            ScenarioBuilder::new()
+                .lublin(30)
+                .load(0.5)
+                .seed(9)
+                .failures(failures)
+                .build()
+                .unwrap()
+        };
+        let plain = mk(FailureModel::None);
+        let churn_a = mk(FailureModel::exp(50_000.0, 4_000.0));
+        let churn_b = mk(FailureModel::exp(50_000.0, 4_000.0));
+        assert_eq!(plain.jobs, churn_a.jobs, "failures never change the jobs");
+        assert!(plain.config.node_events.is_empty());
+        assert!(!churn_a.config.node_events.is_empty());
+        assert_eq!(churn_a.config.node_events, churn_b.config.node_events);
+        // Events are time-ordered and every failure has a repair.
+        let evs = &churn_a.config.node_events;
+        assert!(evs.windows(2).all(|w| w[0].time <= w[1].time));
+        let downs = evs.iter().filter(|e| !e.up).count();
+        let ups = evs.iter().filter(|e| e.up).count();
+        assert_eq!(downs, ups, "outages always end");
+    }
+
+    #[test]
+    fn explicit_availability_traces_are_validated() {
+        let jobs = vec![JobSpec::new(JobId(0), 0.0, 1, 0.25, 0.1, 100.0).unwrap()];
+        let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
+        let bad_node = ScenarioBuilder::new()
+            .cluster(cluster)
+            .jobs(jobs.clone())
+            .failures(FailureModel::Trace {
+                events: vec![dfrs_sim::NodeEvent {
+                    time: 1.0,
+                    node: dfrs_core::ids::NodeId(7),
+                    up: false,
+                }],
+            })
+            .build();
+        assert!(matches!(
+            bad_node,
+            Err(ScenarioError::InvalidFailureModel(_))
+        ));
+        assert!(matches!(
+            ScenarioBuilder::new()
+                .lublin(5)
+                .failures(FailureModel::exp(-1.0, 10.0))
+                .build(),
+            Err(ScenarioError::InvalidFailureModel(_))
+        ));
+        // Permanent outages are rejected: the last event for node 0 is
+        // a failure, which could hang a too-wide workload forever.
+        let permanent = ScenarioBuilder::new()
+            .cluster(cluster)
+            .jobs(jobs)
+            .failures(FailureModel::Trace {
+                events: vec![
+                    dfrs_sim::NodeEvent {
+                        time: 1.0,
+                        node: dfrs_core::ids::NodeId(0),
+                        up: false,
+                    },
+                    dfrs_sim::NodeEvent {
+                        time: 2.0,
+                        node: dfrs_core::ids::NodeId(0),
+                        up: true,
+                    },
+                    dfrs_sim::NodeEvent {
+                        time: 3.0,
+                        node: dfrs_core::ids::NodeId(0),
+                        up: false,
+                    },
+                ],
+            })
+            .build();
+        match permanent {
+            Err(ScenarioError::InvalidFailureModel(msg)) => {
+                assert!(msg.contains("down forever"), "{msg}")
+            }
+            other => panic!("expected permanent-outage rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_policy_and_migration_flow_into_config() {
+        let s = ScenarioBuilder::new()
+            .lublin(10)
+            .failure_policy(dfrs_sim::FailurePolicy::PausePreserve)
+            .migration(dfrs_sim::MigrationMode::Live { freeze_secs: 60.0 })
+            .build()
+            .unwrap();
+        assert_eq!(
+            s.config.failure_policy,
+            dfrs_sim::FailurePolicy::PausePreserve
+        );
+        assert_eq!(
+            s.config.migration_mode,
+            dfrs_sim::MigrationMode::Live { freeze_secs: 60.0 }
+        );
+    }
+
+    #[test]
+    fn churn_scenario_runs_end_to_end() {
+        let out = ScenarioBuilder::new()
+            .lublin(25)
+            .load(0.6)
+            .seed(4)
+            .failures(FailureModel::exp(30_000.0, 2_000.0))
+            .validate(true)
+            .build()
+            .unwrap()
+            .run("greedy-pmtn")
+            .unwrap();
+        assert_eq!(out.records.len(), 25);
+        assert!(out.down_node_seconds > 0.0, "churn actually happened");
     }
 
     #[test]

@@ -8,23 +8,23 @@
 //! with that reservation. Per the paper's conservative methodology, EASY
 //! is given **perfect runtime estimates** (the clairvoyant
 //! `oracle_runtime` accessor) while the DFRS algorithms get nothing.
+//!
+//! Under platform dynamics a failure kills the struck jobs (the engine
+//! resubmits them under the default [`dfrs_sim::FailurePolicy`]); both
+//! schedulers rebuild their queue from the waiting set
+//! ([`crate::common::waiting_jobs`]: pending, plus paused victims of
+//! the preserve policy) in submission order — killed jobs rejoin ahead
+//! of later arrivals, exactly where a resubmission with the original
+//! timestamp would sit — and reschedule. Free lists come from
+//! [`crate::common::free_nodes`], which never offers an out-of-service
+//! node.
 
 use std::collections::VecDeque;
 
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_sim::{JobStatus, Plan, SchedEvent, Scheduler, SimState};
 
-/// Indices of idle nodes, ascending.
-fn free_nodes(state: &SimState) -> Vec<NodeId> {
-    state
-        .cluster
-        .nodes()
-        .iter()
-        .enumerate()
-        .filter(|(_, n)| n.is_idle())
-        .map(|(i, _)| NodeId(i as u32))
-        .collect()
-}
+use crate::common::{free_nodes, waiting_jobs};
 
 /// First-Come-First-Serve: strict FIFO dispatch onto whole nodes.
 #[derive(Debug, Default)]
@@ -65,6 +65,13 @@ impl Scheduler for Fcfs {
                 self.dispatch(state)
             }
             SchedEvent::Complete(_) => self.dispatch(state),
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => {
+                // Killed jobs are Pending again: rebuild the queue from
+                // the pending set (id = submission order, so victims
+                // rejoin at their original rank) and redispatch.
+                self.queue = waiting_jobs(state).into();
+                self.dispatch(state)
+            }
             _ => Plan::noop(),
         }
     }
@@ -130,7 +137,14 @@ impl Easy {
                 break;
             }
         }
-        debug_assert!(shadow.is_finite(), "head can never run: tasks > cluster?");
+        // An infinite shadow means the head cannot run on the nodes
+        // currently in service; that is only legitimate while part of
+        // the cluster is down (the head waits for a repair, and EASY's
+        // aggressive rule lets everything that fits backfill meanwhile).
+        debug_assert!(
+            shadow.is_finite() || state.cluster.down_nodes() > 0,
+            "head can never run: tasks > cluster?"
+        );
         // Nodes free *now* beyond those the reservation will consume are
         // also usable indefinitely; `extra` counts surplus at shadow time.
         let mut extra = extra.min(free.len() as u32);
@@ -170,6 +184,12 @@ impl Scheduler for Easy {
                 self.schedule(state)
             }
             SchedEvent::Complete(_) => self.schedule(state),
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => {
+                // Requeue killed jobs (see `Fcfs`), rebuild the head's
+                // reservation against the surviving nodes, reschedule.
+                self.queue = waiting_jobs(state).into();
+                self.schedule(state)
+            }
             _ => Plan::noop(),
         }
     }
@@ -287,6 +307,100 @@ mod tests {
         let f = simulate(cluster(2), &jobs, &mut Fcfs::new(), &cfg());
         let e = simulate(cluster(2), &jobs, &mut Easy::new(), &cfg());
         assert_eq!(f.max_stretch, e.max_stretch);
+    }
+
+    #[test]
+    fn fcfs_restarts_killed_job_after_repair() {
+        // Job 0 spans both nodes; node 1 fails at t=50 (progress lost)
+        // and is repaired at t=80. The job needs 2 nodes, so it waits
+        // for the repair and reruns from scratch: completes at 180.
+        let jobs = vec![job(0, 0.0, 2, 100.0)];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![
+                dfrs_sim::NodeEvent {
+                    time: 50.0,
+                    node: NodeId(1),
+                    up: false,
+                },
+                dfrs_sim::NodeEvent {
+                    time: 80.0,
+                    node: NodeId(1),
+                    up: true,
+                },
+            ],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(2), &jobs, &mut Fcfs::new(), &cfg);
+        assert_eq!(out.restart_count, 1);
+        assert_eq!(out.records[0].restarts, 1);
+        assert!((out.lost_virtual_seconds - 50.0).abs() < 1e-6);
+        assert!((out.records[0].completion - 180.0).abs() < 1e-6);
+        // 30 s of one node down.
+        assert!((out.down_node_seconds - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fcfs_killed_head_keeps_its_rank() {
+        // Job 0 (1 node) killed at t=10 must restart before job 1 gets
+        // the freed node back, because resubmission keeps the original
+        // submit order.
+        let jobs = vec![job(0, 0.0, 2, 100.0), job(1, 5.0, 2, 100.0)];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![
+                dfrs_sim::NodeEvent {
+                    time: 10.0,
+                    node: NodeId(0),
+                    up: false,
+                },
+                dfrs_sim::NodeEvent {
+                    time: 20.0,
+                    node: NodeId(0),
+                    up: true,
+                },
+            ],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(2), &jobs, &mut Fcfs::new(), &cfg);
+        // Job 0 restarts at the repair (t=20) and job 1 still runs after
+        // it: strict FIFO survives the failure.
+        assert!((out.records[0].completion - 120.0).abs() < 1e-6);
+        assert!((out.records[1].completion - 220.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn easy_reschedules_around_a_down_node() {
+        // 4 nodes; a 4-node head is blocked while one node is down, but
+        // 1-node jobs keep backfilling onto the survivors.
+        let jobs = vec![
+            job(0, 0.0, 4, 100.0),
+            job(1, 5.0, 1, 10.0),
+            job(2, 6.0, 1, 10.0),
+        ];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![
+                dfrs_sim::NodeEvent {
+                    time: 1.0,
+                    node: NodeId(3),
+                    up: false,
+                },
+                dfrs_sim::NodeEvent {
+                    time: 500.0,
+                    node: NodeId(3),
+                    up: true,
+                },
+            ],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(4), &jobs, &mut Easy::new(), &cfg);
+        assert_eq!(out.restart_count, 1, "head killed by the failure");
+        // The short jobs run on surviving nodes long before the repair.
+        assert!(out.records[1].completion < 100.0);
+        assert!(out.records[2].completion < 100.0);
+        // The wide head needs all four nodes: restarts at the repair.
+        assert!((out.records[0].completion - 600.0).abs() < 1e-6);
     }
 
     #[test]

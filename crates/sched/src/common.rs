@@ -1,12 +1,57 @@
-//! Machinery shared by the DFRS algorithms: scratch node state for
-//! incremental placement, the greedy task placer, and the yield
-//! optimization pipeline (equal-share base + the paper's average-yield
-//! improvement heuristic).
+//! Machinery shared by all the algorithms: node-availability views
+//! (which nodes are in service, which are free for whole-node
+//! placement), scratch node state for incremental placement, the greedy
+//! task placer, and the yield optimization pipeline (equal-share base +
+//! the paper's average-yield improvement heuristic).
 
 use dfrs_core::approx;
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_core::yield_math;
 use dfrs_sim::SimState;
+
+/// Ids of the in-service, completely idle nodes, ascending — the
+/// whole-node free list the batch schedulers (FCFS, EASY, conservative
+/// backfilling) draw placements from. Down nodes are never free: they
+/// host nothing *and* accept nothing until repaired.
+pub fn free_nodes(state: &SimState) -> Vec<NodeId> {
+    state
+        .cluster
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|&(i, n)| n.is_idle() && state.cluster.is_up(NodeId(i as u32)))
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// Ids of the in-service nodes, ascending — the bin list the
+/// vector-packing schedulers slice the cluster down to before calling
+/// `dfrs_packing` (bin `b` of a packing over `avail.len()` bins maps
+/// back to physical node `avail[b]`). Reuses `buf` so per-event callers
+/// pay no allocation.
+pub fn available_nodes_into(state: &SimState, buf: &mut Vec<NodeId>) {
+    buf.clear();
+    buf.extend(state.cluster.available_nodes());
+}
+
+/// Jobs waiting to be (re)placed, ascending id (= submission) order —
+/// the queue the batch schedulers rebuild after a platform event.
+/// Covers `Pending` (killed under [`dfrs_sim::FailurePolicy::Restart`],
+/// or never started) and `Paused` (victims of the preserve policy;
+/// batch schedulers never pause on their own, so with no failures this
+/// is exactly the pending set).
+pub fn waiting_jobs(state: &SimState) -> Vec<JobId> {
+    state
+        .jobs_in_system()
+        .filter(|j| {
+            matches!(
+                j.status,
+                dfrs_sim::JobStatus::Pending | dfrs_sim::JobStatus::Paused
+            )
+        })
+        .map(|j| j.spec.id)
+        .collect()
+}
 
 /// Mutable copy of per-node free memory and CPU load that schedulers use
 /// to evaluate placements before committing them to a plan.
@@ -19,11 +64,38 @@ pub struct NodeScratch {
 }
 
 impl NodeScratch {
-    /// Snapshot the current cluster state.
+    /// Snapshot the current cluster state. Out-of-service nodes are
+    /// poisoned (no free memory, infinite load) so the greedy placer
+    /// can never select them; with every node up the snapshot is
+    /// unchanged from the static-cluster behavior.
     pub fn from_state(state: &SimState) -> Self {
         NodeScratch {
-            mem_free: state.cluster.nodes().iter().map(|n| n.mem_free()).collect(),
-            cpu_load: state.cluster.nodes().iter().map(|n| n.cpu_load).collect(),
+            mem_free: state
+                .cluster
+                .nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    if state.cluster.is_up(NodeId(i as u32)) {
+                        n.mem_free()
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                })
+                .collect(),
+            cpu_load: state
+                .cluster
+                .nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    if state.cluster.is_up(NodeId(i as u32)) {
+                        n.cpu_load
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect(),
         }
     }
 

@@ -13,6 +13,8 @@ use std::collections::VecDeque;
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_sim::{JobStatus, Plan, SchedEvent, Scheduler, SimState};
 
+use crate::common::{free_nodes, waiting_jobs};
+
 /// Piecewise-constant future free-node profile: `points[i] = (t_i,
 /// free_i)` means `free_i` nodes are free on `[t_i, t_{i+1})`; the last
 /// segment extends forever.
@@ -54,8 +56,11 @@ impl Profile {
     }
 
     /// Earliest start `s ≥` profile origin such that at least `need`
-    /// nodes are free throughout `[s, s + duration)`.
-    fn find_slot(&self, need: u32, duration: f64) -> f64 {
+    /// nodes are free throughout `[s, s + duration)`, or `None` when no
+    /// start works — possible only while failures keep the in-service
+    /// node count below `need` (the final segment otherwise always has
+    /// enough capacity).
+    fn find_slot(&self, need: u32, duration: f64) -> Option<f64> {
         let candidates: Vec<f64> = self.points.iter().map(|&(t, _)| t).collect();
         'outer: for &s in &candidates {
             if self.free_at(s) < need {
@@ -67,9 +72,9 @@ impl Profile {
                     continue 'outer;
                 }
             }
-            return s;
+            return Some(s);
         }
-        unreachable!("the final segment always has full capacity")
+        None
     }
 
     /// Subtract `need` nodes over `[start, start + duration)`.
@@ -108,14 +113,7 @@ impl ConservativeBf {
     }
 
     fn schedule(&mut self, state: &SimState) -> Plan {
-        let mut free: Vec<NodeId> = state
-            .cluster
-            .nodes()
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.is_idle())
-            .map(|(i, _)| NodeId(i as u32))
-            .collect();
+        let mut free = free_nodes(state);
         let releases: Vec<(f64, u32)> = state
             .jobs
             .iter()
@@ -128,7 +126,17 @@ impl ConservativeBf {
         let mut started: Vec<JobId> = Vec::new();
         for &id in self.queue.iter() {
             let spec = &state.job(id).spec;
-            let start = profile.find_slot(spec.tasks, spec.oracle_runtime());
+            // While failures keep the in-service count below this job's
+            // width, it holds no reservation (nothing to reserve
+            // against); it is reconsidered at the next event — at the
+            // latest the repair's NodeUp.
+            let Some(start) = profile.find_slot(spec.tasks, spec.oracle_runtime()) else {
+                debug_assert!(
+                    state.cluster.down_nodes() > 0,
+                    "slot must exist on a full cluster"
+                );
+                continue;
+            };
             profile.reserve(start, spec.oracle_runtime(), spec.tasks);
             if (start - state.now).abs() < 1e-9 {
                 let placement: Vec<NodeId> = free.drain(..spec.tasks as usize).collect();
@@ -152,6 +160,13 @@ impl Scheduler for ConservativeBf {
                 self.schedule(state)
             }
             SchedEvent::Complete(_) => self.schedule(state),
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => {
+                // Killed jobs are Pending again: rebuild the queue in
+                // submission order and rebuild every reservation against
+                // the surviving nodes.
+                self.queue = waiting_jobs(state).into();
+                self.schedule(state)
+            }
             _ => Plan::noop(),
         }
     }
@@ -182,11 +197,12 @@ mod tests {
     fn profile_find_slot_and_reserve() {
         // 2 free now, 2 more at t=100.
         let mut p = Profile::new(0.0, 2, &[(100.0, 2)]);
-        assert_eq!(p.find_slot(2, 50.0), 0.0);
-        assert_eq!(p.find_slot(4, 10.0), 100.0);
+        assert_eq!(p.find_slot(2, 50.0), Some(0.0));
+        assert_eq!(p.find_slot(4, 10.0), Some(100.0));
+        assert_eq!(p.find_slot(5, 10.0), None, "wider than the cluster");
         p.reserve(0.0, 50.0, 2);
         assert_eq!(p.free_at(10.0), 0);
-        assert_eq!(p.find_slot(1, 10.0), 50.0);
+        assert_eq!(p.find_slot(1, 10.0), Some(50.0));
         p.reserve(100.0, 25.0, 4);
         assert_eq!(p.free_at(110.0), 0);
         assert_eq!(p.free_at(130.0), 4);
@@ -198,9 +214,9 @@ mod tests {
         // job cannot start at 0 or 50; earliest is 100.
         let mut p = Profile::new(0.0, 4, &[]);
         p.reserve(50.0, 50.0, 4);
-        assert_eq!(p.find_slot(4, 60.0), 100.0);
+        assert_eq!(p.find_slot(4, 60.0), Some(100.0));
         // A 40 s job fits before the blocked window.
-        assert_eq!(p.find_slot(4, 40.0), 0.0);
+        assert_eq!(p.find_slot(4, 40.0), Some(0.0));
     }
 
     #[test]
@@ -251,6 +267,37 @@ mod tests {
         ];
         let out = simulate(cluster(4), &jobs, &mut ConservativeBf::new(), &cfg());
         assert!(out.records[2].first_start.unwrap() >= 150.0 - 1e-6);
+    }
+
+    #[test]
+    fn killed_jobs_are_requeued_and_rerun_after_repair() {
+        // A 4-node job is killed when node 2 fails; while the node is
+        // down a 1-node job still runs; the wide job reruns after the
+        // repair with its progress discarded.
+        let jobs = vec![job(0, 0.0, 4, 100.0), job(1, 10.0, 1, 20.0)];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![
+                dfrs_sim::NodeEvent {
+                    time: 30.0,
+                    node: NodeId(2),
+                    up: false,
+                },
+                dfrs_sim::NodeEvent {
+                    time: 200.0,
+                    node: NodeId(2),
+                    up: true,
+                },
+            ],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(4), &jobs, &mut ConservativeBf::new(), &cfg);
+        assert_eq!(out.restart_count, 1);
+        assert!((out.lost_virtual_seconds - 30.0).abs() < 1e-6);
+        // Job 1 runs on a surviving node right after the failure freed
+        // them (it had been queued behind the 4-node job).
+        assert!(out.records[1].completion < 200.0);
+        assert!((out.records[0].completion - 300.0).abs() < 1e-6);
     }
 
     #[test]

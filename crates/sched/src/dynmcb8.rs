@@ -86,6 +86,10 @@ pub(crate) struct RepackScratch {
     pub(crate) memo: RepackMemo,
     loads: Vec<JobLoad>,
     candidates: Vec<JobId>,
+    /// The available-node slice of the last repack: packing runs over
+    /// `avail.len()` anonymous bins and bin `b` maps to physical node
+    /// `avail[b]`. With no failures this is the identity.
+    avail: Vec<NodeId>,
     /// [`SimState::change_epoch`] recorded at the last *eviction-free*
     /// repack decision. A clean repack is a pure function of the
     /// candidate set and the cluster size — not of time — so while the
@@ -124,6 +128,20 @@ impl RepackScratch {
     pub(crate) fn stats(&self) -> RepackStats {
         memo_stats(&self.memo)
     }
+
+    /// The node set changed (a failure or repair). The clean-repack
+    /// epoch memo is stale by construction — the epoch bumped — but is
+    /// dropped here explicitly for clarity; the warm-start memo is
+    /// flushed as well. Its entries are keyed by their complete
+    /// `(jobs, bin count)` inputs, so replays across a membership
+    /// change would still be *correct* (bins are anonymous), but
+    /// entries recorded for a different node set are mostly dead
+    /// weight, and flushing keeps "the memo never outlives the
+    /// platform it measured" as a simple auditable invariant.
+    pub(crate) fn on_node_set_change(&mut self) {
+        self.last_clean_epoch = None;
+        self.memo.clear();
+    }
 }
 
 /// Map `dfrs_packing`'s memo counters into the engine-facing
@@ -143,15 +161,29 @@ pub(crate) fn memo_stats(memo: &RepackMemo) -> RepackStats {
 /// (Section III-B): when memory alone cannot be packed, the
 /// lowest-priority job is dropped from consideration and the search
 /// retries.
+///
+/// Packing runs over the **available-node slice**: `avail.len()`
+/// anonymous bins, bin `b` landing on physical node `avail[b]`. With
+/// every node up the slice is the identity, so failure-free packings
+/// are byte-identical to the static-cluster ones; a packing is a pure
+/// function of `(loads, bin count)` either way, which is what keeps the
+/// warm memo's replays exact across the mapping.
 pub(crate) fn packed_allocation(
     state: &SimState,
     packer: &'static dyn VectorPacker,
     scratch: &mut RepackScratch,
 ) -> PackedAllocation {
-    let nodes = state.cluster.nodes().len();
+    crate::common::available_nodes_into(state, &mut scratch.avail);
+    let avail = &scratch.avail;
+    let nodes = avail.len();
     let candidates = &mut scratch.candidates;
     candidates.clear();
-    candidates.extend(state.jobs_in_system().map(|j| j.spec.id));
+    // With no node in service nothing can be packed (possible only
+    // transiently under heavy churn): every candidate would be evicted
+    // one by one, so skip straight to the empty allocation.
+    if nodes > 0 {
+        candidates.extend(state.jobs_in_system().map(|j| j.spec.id));
+    }
 
     loop {
         let loads = &mut scratch.loads;
@@ -167,7 +199,7 @@ pub(crate) fn packed_allocation(
         }));
         match max_min_yield_warm(
             loads,
-            nodes,
+            nodes.max(1),
             packer,
             YIELD_SEARCH_ACCURACY,
             MIN_STRETCH_PER_YIELD,
@@ -178,7 +210,7 @@ pub(crate) fn packed_allocation(
                 let placements: Vec<(JobId, Vec<NodeId>)> = alloc
                     .placements
                     .into_iter()
-                    .map(|(id, bins)| (id, bins.into_iter().map(NodeId).collect()))
+                    .map(|(id, bins)| (id, bins.into_iter().map(|b| avail[b as usize]).collect()))
                     .collect();
                 let evicted_running = state
                     .running_jobs()
@@ -192,7 +224,12 @@ pub(crate) fn packed_allocation(
                 };
             }
             None => {
-                // Evict the lowest-priority candidate and retry.
+                // Evict the lowest-priority candidate and retry. On the
+                // full cluster a lone job always packs (traces are
+                // validated against it), so this cannot drain the
+                // candidate set; under failures it can — and the empty
+                // set then packs trivially, pausing everything until
+                // capacity returns.
                 let victim = candidates
                     .iter()
                     .copied()
@@ -202,7 +239,7 @@ pub(crate) fn packed_allocation(
                             .priority_key(state.now)
                             .cmp(&state.job(b).priority_key(state.now))
                     })
-                    .expect("a lone job always packs, so candidates is never empty here");
+                    .expect("an empty candidate set packs trivially");
                 candidates.retain(|&c| c != victim);
             }
         }
@@ -287,6 +324,14 @@ impl Scheduler for DynMcb8 {
             SchedEvent::Submit(_) | SchedEvent::Complete(_) => {
                 repack_all(state, self.packer.packer(), &mut self.scratch)
             }
+            // The event-driven variant treats a platform change like any
+            // other membership change: flush the warm memo (the node
+            // set it was recorded against is gone) and repack globally
+            // — killed jobs re-enter, paused victims may resume.
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => {
+                self.scratch.on_node_set_change();
+                repack_all(state, self.packer.packer(), &mut self.scratch)
+            }
             _ => Plan::noop(),
         }
     }
@@ -353,6 +398,13 @@ impl Scheduler for DynMcb8Per {
         self.scratch.observe_epoch(state.change_epoch());
         match ev {
             SchedEvent::Tick => repack_all(state, self.packer.packer(), &mut self.scratch),
+            // Periodic semantics: victims of a failure wait in the
+            // queue like fresh arrivals until the next tick; only the
+            // warm memo is flushed (its node set is gone).
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => {
+                self.scratch.on_node_set_change();
+                Plan::noop()
+            }
             _ => Plan::noop(),
         }
     }
@@ -419,30 +471,16 @@ impl Scheduler for DynMcb8AsapPer {
         self.scratch.observe_epoch(state.change_epoch());
         match ev {
             SchedEvent::Tick => repack_all(state, self.packer.packer(), &mut self.scratch),
-            SchedEvent::Submit(id) => {
-                // Greedy admission without touching anyone's placement:
-                // place the newcomer on least-loaded feasible nodes, then
-                // rebalance yields only.
-                let spec = state.job(id).spec;
-                let mut scratch = NodeScratch::from_state(state);
-                let Some(placement) = scratch.greedy_place(spec.tasks, spec.cpu_need, spec.mem_req)
-                else {
-                    return Plan::noop(); // wait for the next tick
-                };
-                let mut set = AllocSet::new(state.cluster.nodes().len());
-                let mut placements = std::collections::HashMap::new();
-                for j in state.running_jobs() {
-                    let placement = state.placement(j.spec.id).to_vec();
-                    set.push(j.spec.id, j.spec.cpu_need, placement.clone());
-                    placements.insert(j.spec.id, placement);
-                }
-                set.push(id, spec.cpu_need, placement.clone());
-                placements.insert(id, placement);
-                let mut plan = Plan::noop();
-                for (jid, yld) in set.greedy_yields() {
-                    plan = plan.run(jid, placements.remove(&jid).expect("recorded"), yld);
-                }
-                plan
+            SchedEvent::Submit(id) => asap_admit(state, &[id]),
+            // ASAP semantics apply to re-arrivals too: flush the warm
+            // memo, then greedily admit every waiting job — pending
+            // (killed under the restart policy, or backlogged) *and*
+            // paused (preserve-policy victims, which re-enter as
+            // resumes) — that fits the surviving nodes; anything that
+            // does not fit queues for the next tick as usual.
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => {
+                self.scratch.on_node_set_change();
+                asap_admit(state, &crate::common::waiting_jobs(state))
             }
             _ => Plan::noop(),
         }
@@ -450,6 +488,42 @@ impl Scheduler for DynMcb8AsapPer {
     fn repack_stats(&self) -> Option<RepackStats> {
         Some(self.scratch.stats())
     }
+}
+
+/// The ASAP greedy-admission pass: place each of `arrivals` (pending
+/// or paused jobs, in the given order) on the least-loaded feasible
+/// in-service nodes without touching anyone's placement, then
+/// rebalance yields over running + admitted (a paused admittee becomes
+/// a resume). Jobs that do not fit are left queued for the next tick.
+/// A noop when nothing fits.
+fn asap_admit(state: &SimState, arrivals: &[JobId]) -> Plan {
+    let mut scratch = NodeScratch::from_state(state);
+    let mut admitted: Vec<(JobId, Vec<NodeId>)> = Vec::new();
+    for &id in arrivals {
+        let spec = state.job(id).spec;
+        if let Some(placement) = scratch.greedy_place(spec.tasks, spec.cpu_need, spec.mem_req) {
+            admitted.push((id, placement));
+        }
+    }
+    if admitted.is_empty() {
+        return Plan::noop(); // wait for the next tick
+    }
+    let mut set = AllocSet::new(state.cluster.nodes().len());
+    let mut placements = std::collections::HashMap::new();
+    for j in state.running_jobs() {
+        let placement = state.placement(j.spec.id).to_vec();
+        set.push(j.spec.id, j.spec.cpu_need, placement.clone());
+        placements.insert(j.spec.id, placement);
+    }
+    for (id, placement) in admitted {
+        set.push(id, state.job(id).spec.cpu_need, placement.clone());
+        placements.insert(id, placement);
+    }
+    let mut plan = Plan::noop();
+    for (jid, yld) in set.greedy_yields() {
+        plan = plan.run(jid, placements.remove(&jid).expect("recorded"), yld);
+    }
+    plan
 }
 
 #[cfg(test)]
@@ -582,6 +656,117 @@ mod tests {
         // completes at 1300.
         assert!((out.records[1].completion - 700.0).abs() < 5.0);
         assert!((out.records[0].completion - 1300.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn event_driven_repacks_onto_survivors_after_failure() {
+        // Two CPU-bound single-task jobs, one per node. Node 1 fails at
+        // t=10: its job is killed, the NodeDown repack packs both onto
+        // the surviving node (memory allows), and everything completes.
+        let jobs = vec![
+            job(0, 0.0, 1, 1.0, 0.3, 100.0),
+            job(1, 0.0, 1, 1.0, 0.3, 100.0),
+        ];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![dfrs_sim::NodeEvent {
+                time: 10.0,
+                node: NodeId(1),
+                up: false,
+            }],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(), &jobs, &mut DynMcb8::new(), &cfg);
+        assert_eq!(out.restart_count, 1, "exactly one job was on node 1");
+        assert!((out.lost_virtual_seconds - 10.0).abs() < 1e-6);
+        assert_eq!(out.records.len(), 2);
+        // Shared node: both finish, the survivor first.
+        assert!(out.records.iter().all(|r| r.completion > 100.0 - 1e-9));
+    }
+
+    #[test]
+    fn asap_readmits_killed_job_before_the_next_tick() {
+        // The lone job is admitted at submit (t=0, node 0); node 0
+        // fails at t=10 and ASAP re-admits the killed job on node 1 in
+        // the same event — not at the t=600 tick.
+        let jobs = vec![job(0, 0.0, 1, 0.5, 0.2, 100.0)];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![dfrs_sim::NodeEvent {
+                time: 10.0,
+                node: NodeId(0),
+                up: false,
+            }],
+            ..SimConfig::default()
+        };
+        let out = simulate(
+            cluster(),
+            &jobs,
+            &mut DynMcb8AsapPer::with_period(600.0),
+            &cfg,
+        );
+        assert_eq!(out.restart_count, 1);
+        assert!(
+            (out.records[0].completion - 110.0).abs() < 1e-6,
+            "readmitted at the failure instant, got {}",
+            out.records[0].completion
+        );
+    }
+
+    #[test]
+    fn asap_resumes_preserved_victims_before_the_next_tick() {
+        // PausePreserve: the victim is paused with its 10 s of progress
+        // kept and ASAP resumes it on node 1 at the failure instant —
+        // not at the t=600 tick — so it completes at 100 (penalty 0).
+        let jobs = vec![job(0, 0.0, 1, 0.5, 0.2, 100.0)];
+        let cfg = SimConfig {
+            validate: true,
+            failure_policy: dfrs_sim::FailurePolicy::PausePreserve,
+            node_events: vec![dfrs_sim::NodeEvent {
+                time: 10.0,
+                node: NodeId(0),
+                up: false,
+            }],
+            ..SimConfig::default()
+        };
+        let out = simulate(
+            cluster(),
+            &jobs,
+            &mut DynMcb8AsapPer::with_period(600.0),
+            &cfg,
+        );
+        assert_eq!(out.restart_count, 0);
+        assert_eq!(out.preemption_count, 1);
+        assert!(
+            (out.records[0].completion - 100.0).abs() < 1e-6,
+            "resumed at the failure instant with progress kept, got {}",
+            out.records[0].completion
+        );
+    }
+
+    #[test]
+    fn periodic_variant_restarts_victims_at_the_next_tick() {
+        // PER queues re-arrivals: the killed job waits for the tick.
+        let jobs = vec![job(0, 0.0, 1, 0.5, 0.2, 100.0)];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![dfrs_sim::NodeEvent {
+                time: 650.0,
+                node: NodeId(0),
+                up: false,
+            }],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(), &jobs, &mut DynMcb8Per::with_period(600.0), &cfg);
+        // Starts at tick 600 on node 0 (or 1); if it was struck at 650
+        // it reruns from the t=1200 tick. Either way it completes and
+        // the accounting is consistent.
+        if out.restart_count == 1 {
+            assert!((out.records[0].completion - 1300.0).abs() < 1e-6);
+            assert!((out.lost_virtual_seconds - 50.0).abs() < 1e-6);
+        } else {
+            assert!((out.records[0].completion - 700.0).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! * **GREEDY-PMTN-MIGR** additionally lets the jobs paused *at this
 //!   event* be re-placed immediately on different nodes — a migration.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dfrs_core::constants::BACKOFF_CAP_SECS;
 use dfrs_core::ids::{JobId, NodeId};
@@ -40,6 +40,11 @@ struct GreedyFlags {
 struct GreedyCore {
     flags: GreedyFlags,
     backoff: HashMap<JobId, u32>,
+    /// Jobs with an outstanding backoff timer. Kept so the node-event
+    /// rescue pass never arms a second concurrent timer chain for a job
+    /// that already has one (each chain would re-arm itself via
+    /// `on_arrival`, multiplying scheduler rounds under heavy churn).
+    armed: HashSet<JobId>,
 }
 
 impl GreedyCore {
@@ -47,6 +52,7 @@ impl GreedyCore {
         GreedyCore {
             flags,
             backoff: HashMap::new(),
+            armed: HashSet::new(),
         }
     }
 
@@ -117,6 +123,9 @@ impl GreedyCore {
     }
 
     fn on_arrival(&mut self, id: JobId, state: &SimState) -> Plan {
+        // Fresh submit, or this job's timer just fired (consumed): no
+        // outstanding timer either way.
+        self.armed.remove(&id);
         let spec = state.job(id).spec;
         let mut scratch = NodeScratch::from_state(state);
 
@@ -130,10 +139,7 @@ impl GreedyCore {
 
         if !self.flags.pmtn {
             // Postpone with bounded exponential backoff.
-            let count = self.backoff.entry(id).or_insert(0);
-            *count += 1;
-            let delay = (2.0f64).powi(*count as i32).min(BACKOFF_CAP_SECS);
-            return Plan::noop().timer(id, state.now + delay);
+            return Plan::noop().timer(id, self.next_backoff(id, state.now));
         }
 
         // Forced admission. Mark running jobs by increasing priority
@@ -158,12 +164,20 @@ impl GreedyCore {
                 break;
             }
         }
-        assert!(
-            fits,
-            "job {id} cannot start even on an empty cluster (tasks={} nodes={})",
-            spec.tasks,
-            state.cluster.nodes().len()
-        );
+        if !fits {
+            // Even pausing every running job leaves no room — possible
+            // only while failures keep too few nodes in service (the
+            // trace validated against the full cluster). Wait out the
+            // outage with the same bounded backoff GREEDY uses; the
+            // timer redelivers the arrival and forced admission retries.
+            assert!(
+                state.cluster.down_nodes() > 0,
+                "job {id} cannot start even on an empty cluster (tasks={} nodes={})",
+                spec.tasks,
+                state.cluster.nodes().len()
+            );
+            return Plan::noop().timer(id, self.next_backoff(id, state.now));
+        }
 
         // Unmark pass, in decreasing priority: keep a candidate running
         // if the newcomer still fits without pausing it.
@@ -231,18 +245,72 @@ impl GreedyCore {
     fn on_completion(&mut self, state: &SimState) -> Plan {
         let mut scratch = NodeScratch::from_state(state);
         let mut runs = Vec::new();
-        if self.flags.pmtn {
-            self.resume_paused(state, &mut scratch, &mut runs, |_| true);
-        }
+        // Unconditional (not PMTN-gated): plain GREEDY never pauses on
+        // its own, so without failures this resumes nothing and
+        // behavior is unchanged — but victims of the preserve failure
+        // policy must be resumable by every variant.
+        self.resume_paused(state, &mut scratch, &mut runs, |_| true);
         // Even without resumes, freed capacity changes the equal-share
         // yield and the improvement slack.
         self.emit(state, Vec::new(), runs)
+    }
+
+    /// The bounded exponential backoff instant for `id` (attempt count
+    /// bumped, job marked as holding a timer).
+    fn next_backoff(&mut self, id: JobId, now: f64) -> f64 {
+        let count = self.backoff.entry(id).or_insert(0);
+        *count += 1;
+        self.armed.insert(id);
+        now + (2.0f64).powi(*count as i32).min(BACKOFF_CAP_SECS)
+    }
+
+    /// Platform event (failure or repair): the engine already evicted
+    /// the victims — `Pending` with zero progress under the restart
+    /// policy, `Paused` under preserve. Try to (re)start every pending
+    /// job greedily (highest priority first; a killed job's zero
+    /// virtual time makes its priority infinite, so victims go first),
+    /// resume paused jobs where room remains, and give any job that
+    /// does not fit a backoff timer so it is never stranded — its timer
+    /// redelivers the arrival, where the PMTN variants may force
+    /// admission.
+    fn on_node_event(&mut self, state: &SimState) -> Plan {
+        let mut scratch = NodeScratch::from_state(state);
+        let mut runs: Vec<(JobId, Vec<NodeId>)> = Vec::new();
+        let mut timers: Vec<(JobId, f64)> = Vec::new();
+        let order = by_increasing_priority_exp(
+            state,
+            |j| j.status == JobStatus::Pending,
+            self.flags.priority_exponent,
+        );
+        for id in order.into_iter().rev() {
+            let spec = &state.job(id).spec;
+            match scratch.greedy_place(spec.tasks, spec.cpu_need, spec.mem_req) {
+                Some(p) => {
+                    // Starting cancels any outstanding timer in the
+                    // engine; mirror that here.
+                    self.armed.remove(&id);
+                    runs.push((id, p));
+                }
+                // One live timer chain per job: a backlogged arrival
+                // already holds one and will retry on its own.
+                None if !self.armed.contains(&id) => {
+                    timers.push((id, self.next_backoff(id, state.now)));
+                }
+                None => {}
+            }
+        }
+        // Unconditional for the same reason as in `on_completion`.
+        self.resume_paused(state, &mut scratch, &mut runs, |_| true);
+        let mut plan = self.emit(state, Vec::new(), runs);
+        plan.timers.extend(timers);
+        plan
     }
 
     fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
         match ev {
             SchedEvent::Submit(id) | SchedEvent::Timer(id) => self.on_arrival(id, state),
             SchedEvent::Complete(_) => self.on_completion(state),
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => self.on_node_event(state),
             SchedEvent::Tick => Plan::noop(),
         }
     }
@@ -520,6 +588,122 @@ mod tests {
         // So: 1 preemption (job 0), 0 migrations.
         assert_eq!(out.preemption_count, 1);
         assert!((out.records[2].first_start.unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn killed_job_restarts_on_surviving_node() {
+        // Job 0 runs alone; greedy places its single task on node 0.
+        // Node 0 fails at t=10: the job loses 10 s of progress and the
+        // rescue pass restarts it immediately on node 1.
+        let jobs = vec![job(0, 0.0, 1, 0.5, 0.3, 100.0)];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![
+                dfrs_sim::NodeEvent {
+                    time: 10.0,
+                    node: NodeId(0),
+                    up: false,
+                },
+                dfrs_sim::NodeEvent {
+                    time: 5_000.0,
+                    node: NodeId(0),
+                    up: true,
+                },
+            ],
+            ..SimConfig::default()
+        };
+        for sched in [
+            &mut Greedy::new() as &mut dyn dfrs_sim::Scheduler,
+            &mut GreedyPmtn::new(),
+            &mut GreedyPmtnMigr::new(),
+        ] {
+            let out = simulate(cluster(), &jobs, sched, &cfg);
+            assert_eq!(out.restart_count, 1);
+            assert!((out.lost_virtual_seconds - 10.0).abs() < 1e-6);
+            assert!(
+                (out.records[0].completion - 110.0).abs() < 1e-6,
+                "restart from scratch at t=10: {}",
+                out.records[0].completion
+            );
+        }
+    }
+
+    #[test]
+    fn preserve_policy_resumes_with_progress_kept() {
+        // Same failure, but under PausePreserve the job keeps its 10 s
+        // of virtual time and resumes on node 1: completes at 100.
+        let jobs = vec![job(0, 0.0, 1, 0.5, 0.3, 100.0)];
+        let cfg = SimConfig {
+            validate: true,
+            failure_policy: dfrs_sim::FailurePolicy::PausePreserve,
+            node_events: vec![dfrs_sim::NodeEvent {
+                time: 10.0,
+                node: NodeId(0),
+                up: false,
+            }],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(), &jobs, &mut Greedy::new(), &cfg);
+        assert_eq!(out.restart_count, 0);
+        assert_eq!(out.lost_virtual_seconds, 0.0);
+        assert_eq!(out.preemption_count, 1, "failure pause is a preemption");
+        assert!((out.records[0].completion - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preserve_policy_charges_penalty_on_failure_resume() {
+        let jobs = vec![job(0, 0.0, 1, 0.5, 0.3, 100.0)];
+        let cfg = SimConfig {
+            validate: true,
+            penalty: 300.0,
+            failure_policy: dfrs_sim::FailurePolicy::PausePreserve,
+            node_events: vec![dfrs_sim::NodeEvent {
+                time: 10.0,
+                node: NodeId(0),
+                up: false,
+            }],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(), &jobs, &mut GreedyPmtn::new(), &cfg);
+        // Resumes at t=10 on node 1 but progress is frozen until t=310,
+        // then 90 s remain.
+        assert!((out.records[0].completion - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wide_job_waits_out_an_outage_with_backoff() {
+        // A 2-task job needs both nodes; one is down from t=0 until
+        // t=400. Forced admission cannot help (too few nodes), so the
+        // job retries on backoff timers and starts after the repair.
+        let jobs = vec![job(0, 1.0, 2, 0.5, 0.8, 50.0)];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![
+                dfrs_sim::NodeEvent {
+                    time: 0.0,
+                    node: NodeId(1),
+                    up: false,
+                },
+                dfrs_sim::NodeEvent {
+                    time: 400.0,
+                    node: NodeId(1),
+                    up: true,
+                },
+            ],
+            ..SimConfig::default()
+        };
+        for sched in [
+            &mut Greedy::new() as &mut dyn dfrs_sim::Scheduler,
+            &mut GreedyPmtn::new(),
+        ] {
+            let out = simulate(cluster(), &jobs, sched, &cfg);
+            let start = out.records[0].first_start.unwrap();
+            assert!(
+                (start - 400.0).abs() < 1e-6,
+                "rescued at the repair, got {start}"
+            );
+            assert!((out.records[0].completion - 450.0).abs() < 1e-6);
+        }
     }
 
     #[test]

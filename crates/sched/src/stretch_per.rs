@@ -34,6 +34,9 @@ pub struct DynMcb8StretchPer {
     last_seen_epoch: u64,
     sjobs: Vec<StretchJob>,
     candidates: Vec<JobId>,
+    /// Available-node slice of the last repack (bin `b` → `avail[b]`;
+    /// identity with every node up).
+    avail: Vec<NodeId>,
 }
 
 impl DynMcb8StretchPer {
@@ -52,6 +55,7 @@ impl DynMcb8StretchPer {
             last_seen_epoch: 0,
             sjobs: Vec::new(),
             candidates: Vec::new(),
+            avail: Vec::new(),
         }
     }
 
@@ -71,10 +75,16 @@ impl DynMcb8StretchPer {
     }
 
     fn repack(&mut self, state: &SimState) -> Plan {
-        let nodes = state.cluster.nodes().len();
+        // Pack over the available-node slice: `avail.len()` anonymous
+        // bins, bin `b` on physical node `avail[b]` (identity with
+        // every node up; see `dynmcb8::packed_allocation`).
+        crate::common::available_nodes_into(state, &mut self.avail);
+        let nodes = self.avail.len();
         let candidates = &mut self.candidates;
         candidates.clear();
-        candidates.extend(state.jobs_in_system().map(|j| j.spec.id));
+        if nodes > 0 {
+            candidates.extend(state.jobs_in_system().map(|j| j.spec.id));
+        }
 
         loop {
             let sjobs = &mut self.sjobs;
@@ -92,7 +102,7 @@ impl DynMcb8StretchPer {
             }));
             match min_max_estimated_stretch_warm(
                 sjobs,
-                nodes,
+                nodes.max(1),
                 self.period,
                 &Mcb8,
                 0.01,
@@ -100,14 +110,26 @@ impl DynMcb8StretchPer {
                 &mut self.memo,
             ) {
                 Some(alloc) => {
+                    let avail = &self.avail;
                     let mut assignments: Vec<(JobId, f64, Vec<NodeId>)> = alloc
                         .assignments
                         .into_iter()
                         .map(|(id, y, bins)| {
-                            (id, y, bins.into_iter().map(NodeId).collect::<Vec<_>>())
+                            (
+                                id,
+                                y,
+                                bins.into_iter()
+                                    .map(|b| avail[b as usize])
+                                    .collect::<Vec<_>>(),
+                            )
                         })
                         .collect();
-                    improve_average_stretch(self.period, state, &mut assignments, nodes);
+                    improve_average_stretch(
+                        self.period,
+                        state,
+                        &mut assignments,
+                        state.cluster.nodes().len(),
+                    );
                     let mut plan = Plan::noop();
                     for j in state.running_jobs() {
                         if !candidates.contains(&j.spec.id) {
@@ -218,6 +240,13 @@ impl Scheduler for DynMcb8StretchPer {
         self.observe_epoch(state.change_epoch());
         match ev {
             SchedEvent::Tick => self.repack(state),
+            // Periodic semantics: victims wait for the next tick; the
+            // probe ring is flushed because its instances were expanded
+            // against a node set that no longer exists.
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => {
+                self.memo.clear();
+                Plan::noop()
+            }
             _ => Plan::noop(),
         }
     }

@@ -63,6 +63,41 @@ pub enum MigrationMode {
     },
 }
 
+/// What happens to a running job when a node hosting one of its tasks
+/// fails.
+///
+/// Failures strike whole jobs: a parallel job that loses one task loses
+/// its synchronized state, so every task leaves the cluster (the
+/// healthy-node ones included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Paper-pessimistic default: the struck job loses all accrued
+    /// virtual time and is resubmitted (`Pending`, progress zero). The
+    /// lost progress is metered in
+    /// [`SimOutcome::lost_virtual_seconds`].
+    #[default]
+    Restart,
+    /// Optimistic alternative: the job is paused and preserved, reusing
+    /// the pause bookkeeping (occurrence + storage traffic) — the
+    /// semantics of continuous checkpointing to network storage. A
+    /// later resume pays the usual rescheduling penalty.
+    PausePreserve,
+}
+
+/// One platform availability event: `node` leaves (`up == false`) or
+/// rejoins (`up == true`) service at `time`. Produced by the scenario
+/// layer's failure models and consumed by the engine as an external
+/// queue event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeEvent {
+    /// Absolute simulation time (seconds).
+    pub time: f64,
+    /// The node affected.
+    pub node: NodeId,
+    /// `true` for a repair, `false` for a failure.
+    pub up: bool,
+}
+
 /// Engine knobs.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -71,6 +106,13 @@ pub struct SimConfig {
     pub penalty: f64,
     /// Mechanism used for migrations of running jobs.
     pub migration_mode: MigrationMode,
+    /// What a node failure does to the jobs it strikes.
+    pub failure_policy: FailurePolicy,
+    /// Platform availability trace: node failures and repairs delivered
+    /// as external events (empty = the static cluster of the paper).
+    /// Duplicate transitions (down on a down node, up on an up node)
+    /// are dropped without a scheduler round.
+    pub node_events: Vec<NodeEvent>,
     /// Run full plan + invariant validation around every plan (tests;
     /// O(jobs) per event).
     pub validate: bool,
@@ -87,6 +129,8 @@ impl Default for SimConfig {
         SimConfig {
             penalty: 0.0,
             migration_mode: MigrationMode::StopAndCopy,
+            failure_policy: FailurePolicy::Restart,
+            node_events: Vec::new(),
             validate: false,
             record_decisions: false,
             record_timeline: false,
@@ -115,8 +159,11 @@ struct Engine<'a> {
     migr_count: u64,
     pmtn_gb: f64,
     migr_gb: f64,
+    restart_count: u64,
+    lost_vt: f64,
     idle_ns: f64,
     busy_ns: f64,
+    down_ns: f64,
     sched_wall: f64,
     sched_max: f64,
     sched_calls: u64,
@@ -149,8 +196,11 @@ pub fn simulate(
         migr_count: 0,
         pmtn_gb: 0.0,
         migr_gb: 0.0,
+        restart_count: 0,
+        lost_vt: 0.0,
         idle_ns: 0.0,
         busy_ns: 0.0,
+        down_ns: 0.0,
         sched_wall: 0.0,
         sched_max: 0.0,
         sched_calls: 0,
@@ -169,6 +219,20 @@ pub fn simulate(
     if let Some(period) = scheduler.period() {
         assert!(period > 0.0, "scheduler period must be positive");
         engine.queue.push(period, EventKind::Tick);
+    }
+    for ev in &config.node_events {
+        assert!(
+            ev.node.index() < cluster.nodes as usize,
+            "node event references nonexistent {} (cluster has {} nodes)",
+            ev.node,
+            cluster.nodes
+        );
+        let kind = if ev.up {
+            EventKind::NodeUp(ev.node)
+        } else {
+            EventKind::NodeDown(ev.node)
+        };
+        engine.queue.push(ev.time, kind);
     }
     engine.run(scheduler);
     let mut outcome = engine.into_outcome(scheduler.name());
@@ -239,6 +303,22 @@ impl Engine<'_> {
                         let plan = self.call_scheduler(scheduler, SchedEvent::Tick);
                         self.apply_plan(plan);
                     }
+                    EventKind::NodeDown(node) => {
+                        // Duplicate transitions (explicit availability
+                        // traces may contain them) are dropped silently.
+                        if self.state.cluster.is_up(node) {
+                            self.fail_node(node);
+                            let plan = self.call_scheduler(scheduler, SchedEvent::NodeDown(node));
+                            self.apply_plan(plan);
+                        }
+                    }
+                    EventKind::NodeUp(node) => {
+                        if !self.state.cluster.is_up(node) {
+                            self.state.cluster.set_node_up(node, true);
+                            let plan = self.call_scheduler(scheduler, SchedEvent::NodeUp(node));
+                            self.apply_plan(plan);
+                        }
+                    }
                 }
             }
         }
@@ -281,6 +361,7 @@ impl Engine<'_> {
         let dt = t - now;
         self.idle_ns += self.state.cluster.idle_nodes() as f64 * dt;
         self.busy_ns += self.state.cluster.total_cpu_alloc() * dt;
+        self.down_ns += self.state.cluster.down_nodes() as f64 * dt;
         for k in 0..self.state.running_ids().len() {
             let i = self.state.running_ids()[k] as usize;
             let j = &mut self.state.jobs[i];
@@ -311,6 +392,57 @@ impl Engine<'_> {
         if self.config.record_timeline {
             self.timeline
                 .push(now, id, crate::timeline::AllocEvent::Complete);
+        }
+    }
+
+    /// Take `node` out of service: every running job with a task there
+    /// is struck (all its tasks leave the cluster, healthy-node ones
+    /// included — a parallel job that loses one task loses its
+    /// synchronized state) under the configured [`FailurePolicy`], then
+    /// the node is marked down. The scheduler is notified *after* this
+    /// bookkeeping, mirroring how completions are delivered.
+    fn fail_node(&mut self, node: NodeId) {
+        // Victims in ascending id order (the running index's order).
+        let mut victims: Vec<JobId> = Vec::new();
+        for &i in self.state.running_ids() {
+            let id = JobId(i);
+            if self.state.placement_raw(id).contains(&node) {
+                victims.push(id);
+            }
+        }
+        for id in victims {
+            match self.config.failure_policy {
+                FailurePolicy::Restart => self.kill_job(id),
+                FailurePolicy::PausePreserve => self.do_pause(id),
+            }
+        }
+        self.state.cluster.set_node_up(node, false);
+    }
+
+    /// [`FailurePolicy::Restart`]: evict every task of `id` and resubmit
+    /// the job with its progress discarded. Unlike a pause, nothing
+    /// crosses storage — the state died with the node.
+    fn kill_job(&mut self, id: JobId) {
+        let j = &self.state.jobs[id.index()];
+        debug_assert_eq!(j.status, JobStatus::Running);
+        let (need, mem, yld, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.yld, j.spec.tasks);
+        for k in 0..tasks as usize {
+            let node = self.state.placement_raw(id)[k];
+            self.state.cluster.remove_task(node, need, mem, yld);
+        }
+        let j = &mut self.state.jobs[id.index()];
+        self.lost_vt += j.virtual_time;
+        j.virtual_time = 0.0;
+        j.yld = 0.0;
+        j.penalty_until = 0.0;
+        j.status = JobStatus::Pending;
+        j.restarts += 1;
+        self.restart_count += 1;
+        self.state
+            .index_transition(id, JobStatus::Running, JobStatus::Pending);
+        if self.config.record_timeline {
+            self.timeline
+                .push(self.state.now, id, crate::timeline::AllocEvent::Kill);
         }
     }
 
@@ -634,6 +766,7 @@ impl Engine<'_> {
                 j.spec.oracle_runtime(),
                 j.preemptions,
                 j.migrations,
+                j.restarts,
             ));
         }
         let makespan = records.iter().map(|r| r.completion).fold(0.0, f64::max);
@@ -645,8 +778,11 @@ impl Engine<'_> {
             migration_count: self.migr_count,
             preemption_gb: self.pmtn_gb,
             migration_gb: self.migr_gb,
+            restart_count: self.restart_count,
+            lost_virtual_seconds: self.lost_vt,
             idle_node_seconds: self.idle_ns,
             busy_node_seconds: self.busy_ns,
+            down_node_seconds: self.down_ns,
             sched_wall_total: self.sched_wall,
             sched_wall_max: self.sched_max,
             sched_calls: self.sched_calls,

@@ -1,12 +1,15 @@
 //! External-event queue with versioned entries.
 //!
 //! Only *external* events live in the queue: submissions (known from the
-//! trace), per-job timers (scheduler backoff), and periodic ticks. Job
-//! completions are **derived** — between decisions yields are constant,
-//! so the engine computes the earliest completion analytically and merges
-//! it with the queue head (see DESIGN.md §"Engine internals" for why
-//! they must stay derived). A monotonically increasing sequence number
-//! makes same-instant ordering deterministic (FIFO).
+//! trace), per-job timers (scheduler backoff), periodic ticks, and
+//! platform events (node failures and repairs, known from the scenario's
+//! availability trace). Job completions are **derived** — between
+//! decisions yields are constant, so the engine computes the earliest
+//! completion analytically and merges it with the queue head (see
+//! DESIGN.md §"Engine internals" for why they must stay derived; §9 for
+//! why failures, like submissions, are external). A monotonically
+//! increasing sequence number makes same-instant ordering deterministic
+//! (FIFO).
 //!
 //! ## Versioned entries
 //!
@@ -23,7 +26,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use dfrs_core::ids::JobId;
+use dfrs_core::ids::{JobId, NodeId};
 
 /// What an external event does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +38,11 @@ pub enum EventKind {
     Timer(JobId),
     /// Periodic scheduling event (the `-PER` algorithms).
     Tick,
+    /// A node fails and leaves service (platform event from the
+    /// scenario's availability trace).
+    NodeDown(NodeId),
+    /// A failed node is repaired and returns to service.
+    NodeUp(NodeId),
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -11,7 +11,7 @@ use crate::outcome::{JobRecord, SimOutcome};
 
 /// CSV header for per-job records.
 pub const RECORDS_HEADER: &str =
-    "job,submit,first_start,completion,dedicated,turnaround,stretch,preemptions,migrations";
+    "job,submit,first_start,completion,dedicated,turnaround,stretch,preemptions,migrations,restarts";
 
 /// Serialize the per-job records of an outcome to CSV (header included).
 pub fn records_to_csv(outcome: &SimOutcome) -> String {
@@ -20,7 +20,7 @@ pub fn records_to_csv(outcome: &SimOutcome) -> String {
     out.push('\n');
     for r in &outcome.records {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{}\n",
             r.id.0,
             r.submit,
             r.first_start.map(|s| s.to_string()).unwrap_or_default(),
@@ -30,6 +30,7 @@ pub fn records_to_csv(outcome: &SimOutcome) -> String {
             r.stretch,
             r.preemptions,
             r.migrations,
+            r.restarts,
         ));
     }
     out
@@ -54,10 +55,10 @@ pub fn records_from_csv(text: &str) -> Result<Vec<JobRecord>, CoreError> {
             continue;
         }
         let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 9 {
+        if f.len() != 10 {
             return Err(CoreError::Parse {
                 line: lineno,
-                reason: format!("expected 9 fields, found {}", f.len()),
+                reason: format!("expected 10 fields, found {}", f.len()),
             });
         }
         let num = |s: &str| -> Result<f64, CoreError> {
@@ -86,6 +87,7 @@ pub fn records_from_csv(text: &str) -> Result<Vec<JobRecord>, CoreError> {
             stretch: num(f[6])?,
             preemptions: int(f[7])?,
             migrations: int(f[8])?,
+            restarts: int(f[9])?,
         });
     }
     Ok(records)
@@ -115,8 +117,8 @@ mod tests {
         let mut o = SimOutcome {
             algorithm: "test".into(),
             records: vec![
-                make_record(JobId(0), 0.0, Some(5.0), 105.0, 100.0, 1, 2),
-                make_record(JobId(1), 10.0, None, 40.0, 25.0, 0, 0),
+                make_record(JobId(0), 0.0, Some(5.0), 105.0, 100.0, 1, 2, 1),
+                make_record(JobId(1), 10.0, None, 40.0, 25.0, 0, 0, 0),
             ],
             makespan: 105.0,
             ..SimOutcome::default()
@@ -149,7 +151,7 @@ mod tests {
             Err(CoreError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
-        let bad_number = format!("{RECORDS_HEADER}\n1,x,,4,5,6,7,8,9\n");
+        let bad_number = format!("{RECORDS_HEADER}\n1,x,,4,5,6,7,8,9,0\n");
         assert!(records_from_csv(&bad_number).is_err());
     }
 

@@ -15,9 +15,10 @@
 //!   Between scheduler decisions yields are constant, so completions are
 //!   computed exactly rather than time-stepped.
 //! * Schedulers ([`Scheduler`]) are driven by events — job submission,
-//!   job completion, per-job timers (backoff), periodic ticks — and
-//!   respond with [`Plan`]s: pause entries and full `(placement, yield)`
-//!   run entries. The engine diffs plans against current state to count
+//!   job completion, per-job timers (backoff), periodic ticks, and
+//!   platform events (node failure/repair, [`SchedEvent::NodeDown`] /
+//!   [`SchedEvent::NodeUp`]) — and respond with [`Plan`]s: pause
+//!   entries and full `(placement, yield)` run entries. The engine diffs plans against current state to count
 //!   **preemptions** and **migrations**, to charge the optional
 //!   **rescheduling penalty** (300 s of frozen progress after a resume or
 //!   migration, Section IV-A), and to meter the bytes moved through
@@ -68,7 +69,7 @@ pub mod state;
 pub mod timeline;
 pub mod validate;
 
-pub use engine::{simulate, MigrationMode, SimConfig};
+pub use engine::{simulate, FailurePolicy, MigrationMode, NodeEvent, SimConfig};
 pub use event::{EventKind, EventQueue};
 pub use outcome::{DecisionSample, JobRecord, SimOutcome};
 pub use plan::{Plan, PlanEntry, RepackStats, SchedEvent, Scheduler};

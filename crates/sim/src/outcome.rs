@@ -25,6 +25,9 @@ pub struct JobRecord {
     pub preemptions: u32,
     /// Move-while-running occurrences.
     pub migrations: u32,
+    /// Node-failure kills (progress lost, job resubmitted; see
+    /// [`crate::FailurePolicy::Restart`]).
+    pub restarts: u32,
 }
 
 /// One scheduler-invocation timing sample (for the paper's §V timing
@@ -58,12 +61,22 @@ pub struct SimOutcome {
     pub preemption_gb: f64,
     /// GB moved through storage by migrations (save + restore).
     pub migration_gb: f64,
+    /// Jobs killed by node failures and resubmitted from scratch
+    /// ([`crate::FailurePolicy::Restart`]); occurrences, like
+    /// preemptions.
+    pub restart_count: u64,
+    /// Accrued virtual time discarded by those kills (seconds) — work
+    /// the cluster performed and lost.
+    pub lost_virtual_seconds: f64,
     /// Integral of idle nodes over time (node-seconds) — the energy
     /// observation of Section II-B2.
     pub idle_node_seconds: f64,
     /// Integral of allocated CPU over time (node-seconds of useful
     /// allocation).
     pub busy_node_seconds: f64,
+    /// Integral of out-of-service nodes over time (node-seconds);
+    /// zero on the paper's static cluster.
+    pub down_node_seconds: f64,
     /// Scheduler wall-clock: total seconds across invocations.
     pub sched_wall_total: f64,
     /// Scheduler wall-clock: worst single invocation.
@@ -139,6 +152,26 @@ impl SimOutcome {
         }
     }
 
+    /// Failure-induced restarts per job (the availability study's
+    /// occurrence-rate analogue of Table II).
+    pub fn restarts_per_job(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.restart_count as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Mean fraction of the cluster out of service over the makespan
+    /// (0 on a static cluster).
+    pub fn mean_unavailability(&self, nodes: u32) -> f64 {
+        if self.makespan > 0.0 && nodes > 0 {
+            self.down_node_seconds / (self.makespan * nodes as f64)
+        } else {
+            0.0
+        }
+    }
+
     /// Build the stretch aggregates from the records (called by the
     /// engine after the run).
     pub(crate) fn finalize_stretches(&mut self) {
@@ -152,6 +185,7 @@ impl SimOutcome {
 }
 
 /// Compute a job record from raw times.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn make_record(
     id: JobId,
     submit: f64,
@@ -160,6 +194,7 @@ pub(crate) fn make_record(
     dedicated: f64,
     preemptions: u32,
     migrations: u32,
+    restarts: u32,
 ) -> JobRecord {
     let turnaround = completion - submit;
     JobRecord {
@@ -172,6 +207,7 @@ pub(crate) fn make_record(
         stretch: bounded_stretch(turnaround, dedicated),
         preemptions,
         migrations,
+        restarts,
     }
 }
 
@@ -191,7 +227,7 @@ mod tests {
 
     fn rec(stretch_inputs: (f64, f64)) -> JobRecord {
         let (turnaround, dedicated) = stretch_inputs;
-        make_record(JobId(0), 0.0, Some(0.0), turnaround, dedicated, 0, 0)
+        make_record(JobId(0), 0.0, Some(0.0), turnaround, dedicated, 0, 0, 0)
     }
 
     #[test]
@@ -224,10 +260,22 @@ mod tests {
 
     #[test]
     fn record_computes_bounded_stretch() {
-        let r = make_record(JobId(3), 100.0, Some(150.0), 400.0, 10.0, 1, 2);
+        let r = make_record(JobId(3), 100.0, Some(150.0), 400.0, 10.0, 1, 2, 3);
         assert_eq!(r.turnaround, 300.0);
         assert!((r.stretch - 10.0).abs() < 1e-12); // max(300,30)/max(10,30)
         assert_eq!(r.preemptions, 1);
         assert_eq!(r.migrations, 2);
+        assert_eq!(r.restarts, 3);
+    }
+
+    #[test]
+    fn availability_rates() {
+        let mut o = outcome_with(vec![rec((100.0, 50.0)); 4], 1_000.0);
+        o.restart_count = 2;
+        o.down_node_seconds = 500.0;
+        assert!((o.restarts_per_job() - 0.5).abs() < 1e-12);
+        // 500 down node-seconds over 1000 s × 10 nodes = 5 %.
+        assert!((o.mean_unavailability(10) - 0.05).abs() < 1e-12);
+        assert_eq!(o.mean_unavailability(0), 0.0);
     }
 }

@@ -23,6 +23,13 @@ pub enum SchedEvent {
     Timer(JobId),
     /// Periodic scheduling event ([`Scheduler::period`]).
     Tick,
+    /// `node` just failed. The engine has already taken it out of
+    /// service and evicted its resident jobs under the configured
+    /// [`crate::FailurePolicy`] — victims are `Pending` (progress lost)
+    /// or `Paused` (progress preserved) in the state the scheduler sees.
+    NodeDown(NodeId),
+    /// `node` was just repaired and is back in service (idle).
+    NodeUp(NodeId),
 }
 
 /// One desired state change.

@@ -63,6 +63,9 @@ pub struct JobState {
     pub preemptions: u32,
     /// Times this job was moved while running (migration occurrences).
     pub migrations: u32,
+    /// Times this job was killed by a node failure and resubmitted with
+    /// its progress discarded ([`crate::FailurePolicy::Restart`]).
+    pub restarts: u32,
 }
 
 impl JobState {
@@ -78,6 +81,7 @@ impl JobState {
             completion: None,
             preemptions: 0,
             migrations: 0,
+            restarts: 0,
         }
     }
 
@@ -146,13 +150,19 @@ impl NodeState {
     }
 }
 
-/// The cluster: node states plus aggregate counters and change epochs.
+/// The cluster: node states plus aggregate counters, an up/down bit per
+/// node (platform dynamics), and change epochs.
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     /// Static description.
     pub spec: ClusterSpec,
     nodes: Vec<NodeState>,
     busy_nodes: u32,
+    /// Up/down bit per node; a down node hosts no tasks and is invisible
+    /// to [`available_nodes`](Self::available_nodes).
+    node_up: Vec<bool>,
+    /// Number of nodes currently in service.
+    up_count: u32,
     /// Bumped on every task add/remove/retarget.
     epoch: u64,
     /// Epoch at which each node last changed (dirty-node tracking).
@@ -160,12 +170,14 @@ pub struct ClusterState {
 }
 
 impl ClusterState {
-    /// All-idle cluster.
+    /// All-idle cluster, every node in service.
     pub fn new(spec: ClusterSpec) -> Self {
         ClusterState {
             spec,
             nodes: vec![NodeState::default(); spec.nodes as usize],
             busy_nodes: 0,
+            node_up: vec![true; spec.nodes as usize],
+            up_count: spec.nodes,
             epoch: 0,
             node_epoch: vec![0; spec.nodes as usize],
         }
@@ -183,10 +195,62 @@ impl ClusterState {
         self.busy_nodes
     }
 
-    /// Number of idle nodes.
+    /// Number of idle nodes *in service* (down nodes are not idle
+    /// capacity — they are gone until repaired).
     #[inline]
     pub fn idle_nodes(&self) -> u32 {
-        self.spec.nodes - self.busy_nodes
+        self.up_count - self.busy_nodes
+    }
+
+    /// Whether `node` is in service.
+    #[inline]
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.node_up[node.index()]
+    }
+
+    /// Number of nodes currently in service.
+    #[inline]
+    pub fn up_nodes(&self) -> u32 {
+        self.up_count
+    }
+
+    /// Number of nodes currently out of service.
+    #[inline]
+    pub fn down_nodes(&self) -> u32 {
+        self.spec.nodes - self.up_count
+    }
+
+    /// Ids of the nodes currently in service, ascending — the
+    /// **available-node view** that placement (packing bins, greedy
+    /// scratch, batch free lists) consumes. With no failures this is
+    /// every node, so failure-free behavior is unchanged.
+    pub fn available_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_up
+            .iter()
+            .enumerate()
+            .filter(|(_, &up)| up)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Take `node` out of service or return it. The engine evicts every
+    /// resident task *before* marking a node down; bumps the change
+    /// epoch so schedulers caching decisions observe the node-set
+    /// change. No-op when the bit already has the requested value.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        if self.node_up[node.index()] == up {
+            return;
+        }
+        debug_assert!(
+            up || self.nodes[node.index()].task_count == 0,
+            "{node} taken down while hosting tasks"
+        );
+        self.node_up[node.index()] = up;
+        self.up_count = if up {
+            self.up_count + 1
+        } else {
+            self.up_count - 1
+        };
+        self.touch(node);
     }
 
     /// Monotone counter of node-state mutations.
@@ -232,8 +296,10 @@ impl ClusterState {
     }
 
     /// Place one task of `job` (at `yld`) on `node`. Panics (debug) on
-    /// memory overcommitment — callers must have checked feasibility.
+    /// memory overcommitment — callers must have checked feasibility —
+    /// and on placement onto a node that is out of service.
     pub fn add_task(&mut self, node: NodeId, cpu_need: f64, mem_req: f64, yld: f64) {
+        debug_assert!(self.node_up[node.index()], "task placed on down {node}");
         let n = self.node_mut(node);
         if n.task_count == 0 {
             self.busy_nodes += 1;
@@ -427,6 +493,9 @@ impl SimState {
                 Self::index_insert(&mut self.running, raw)
             }
             (JobStatus::Running, JobStatus::Paused) => Self::index_remove(&mut self.running, raw),
+            // Node failure under FailurePolicy::Restart: the job is
+            // resubmitted with its progress discarded.
+            (JobStatus::Running, JobStatus::Pending) => Self::index_remove(&mut self.running, raw),
             (JobStatus::Running, JobStatus::Completed) => {
                 Self::index_remove(&mut self.running, raw);
                 Self::index_remove(&mut self.live, raw);
@@ -508,6 +577,40 @@ mod tests {
         assert_eq!(c.dirty_nodes_since(e1).count(), 0);
         c.retarget_task(NodeId(1), 0.3, 1.0, 0.5);
         assert_eq!(c.dirty_nodes_since(e1).collect::<Vec<_>>(), [NodeId(1)]);
+    }
+
+    #[test]
+    fn up_down_bit_and_available_view() {
+        let mut c = cluster();
+        assert_eq!(c.up_nodes(), 4);
+        assert_eq!(c.down_nodes(), 0);
+        assert_eq!(c.available_nodes().count(), 4);
+        let e0 = c.epoch();
+        c.set_node_up(NodeId(2), false);
+        assert!(!c.is_up(NodeId(2)));
+        assert_eq!(c.up_nodes(), 3);
+        assert_eq!(c.down_nodes(), 1);
+        assert_eq!(
+            c.available_nodes().collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+        assert!(c.epoch() > e0, "node-set changes bump the epoch");
+        // Idempotent: repeating the same bit is a no-op (no epoch bump).
+        let e1 = c.epoch();
+        c.set_node_up(NodeId(2), false);
+        assert_eq!(c.epoch(), e1);
+        c.set_node_up(NodeId(2), true);
+        assert_eq!(c.up_nodes(), 4);
+    }
+
+    #[test]
+    fn down_nodes_are_not_idle_capacity() {
+        let mut c = cluster();
+        c.add_task(NodeId(0), 0.3, 0.1, 1.0);
+        assert_eq!(c.idle_nodes(), 3);
+        c.set_node_up(NodeId(3), false);
+        assert_eq!(c.idle_nodes(), 2, "a down node is not idle");
+        assert_eq!(c.busy_nodes(), 1);
     }
 
     #[test]

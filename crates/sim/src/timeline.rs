@@ -35,6 +35,10 @@ pub enum AllocEvent {
     },
     /// Evicted from the cluster.
     Pause,
+    /// Killed by a node failure under
+    /// [`crate::FailurePolicy::Restart`]: progress discarded, job
+    /// resubmitted.
+    Kill,
     /// Returned from a pause.
     Resume {
         /// Hosting node per task.
@@ -98,7 +102,7 @@ impl Timeline {
         for e in &self.entries {
             let delta = match e.event {
                 AllocEvent::Start { .. } | AllocEvent::Resume { .. } => 1,
-                AllocEvent::Pause | AllocEvent::Complete => -1,
+                AllocEvent::Pause | AllocEvent::Complete | AllocEvent::Kill => -1,
                 _ => 0,
             };
             if delta == 0 {
@@ -142,6 +146,9 @@ impl Timeline {
                     | AllocEvent::Migrate { .. }
                     | AllocEvent::Adjust { .. } => b'#',
                     AllocEvent::Pause => b'.',
+                    // A killed job is back to waiting (its progress is
+                    // gone), rendered like the pre-start gap.
+                    AllocEvent::Kill => b' ',
                     AllocEvent::Complete => b' ',
                 };
                 prev_col = col;

@@ -42,6 +42,13 @@ pub enum ValidationError {
         /// The nonexistent node.
         node: NodeId,
     },
+    /// A running job holds a task on a node that is out of service.
+    TaskOnDownNode {
+        /// Offending job.
+        job: JobId,
+        /// The down node.
+        node: NodeId,
+    },
     /// A completed job has no completion timestamp.
     MissingCompletion {
         /// Offending job.
@@ -106,6 +113,9 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::UnknownNode { job, node } => {
                 write!(f, "{job} placed on nonexistent {node}")
+            }
+            ValidationError::TaskOnDownNode { job, node } => {
+                write!(f, "{job} holds a task on out-of-service {node}")
             }
             ValidationError::MissingCompletion { job } => {
                 write!(f, "{job} completed without a completion time")
@@ -178,6 +188,12 @@ pub fn check_invariants(state: &SimState) -> Result<(), ValidationError> {
                             node,
                         });
                     };
+                    if !state.cluster.is_up(node) {
+                        return Err(ValidationError::TaskOnDownNode {
+                            job: j.spec.id,
+                            node,
+                        });
+                    }
                     ns.cpu_load += j.spec.cpu_need;
                     ns.cpu_alloc += j.spec.cpu_need * j.yld;
                     ns.mem_used += j.spec.mem_req;
@@ -297,6 +313,15 @@ pub enum PlanError {
         /// The nonexistent node.
         node: NodeId,
     },
+    /// A placement references a node that is out of service (failed,
+    /// not yet repaired). Schedulers must consume the available-node
+    /// view ([`crate::ClusterState::available_nodes`]).
+    NodeUnavailable {
+        /// Target job.
+        job: JobId,
+        /// The down node.
+        node: NodeId,
+    },
     /// The entry runs a job that is unsubmitted or completed.
     InvalidStatus {
         /// Target job.
@@ -351,6 +376,9 @@ impl fmt::Display for PlanError {
             }
             PlanError::UnknownNode { job, node } => {
                 write!(f, "plan places {job} on nonexistent {node}")
+            }
+            PlanError::NodeUnavailable { job, node } => {
+                write!(f, "plan places {job} on out-of-service {node}")
             }
             PlanError::InvalidStatus { job, status } => {
                 write!(f, "plan runs {job} in status {status:?}")
@@ -431,6 +459,9 @@ pub fn check_plan(state: &SimState, plan: &Plan) -> Result<(), PlanError> {
                 }
                 if let Some(&node) = placement.iter().find(|n| n.index() >= n_nodes) {
                     return Err(PlanError::UnknownNode { job: *job, node });
+                }
+                if let Some(&node) = placement.iter().find(|&&n| !state.cluster.is_up(n)) {
+                    return Err(PlanError::NodeUnavailable { job: *job, node });
                 }
             }
         }

@@ -1,0 +1,205 @@
+//! Engine-level platform-dynamics tests: node failures and repairs as
+//! external events, the two failure policies, the down-node guards in
+//! plan validation, and determinism of churn runs. Scheduler-specific
+//! failure behavior is tested in `dfrs_sched`.
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_sim::{
+    check_plan, simulate, FailurePolicy, NodeEvent, Plan, PlanError, SchedEvent, Scheduler,
+    SimConfig, SimState,
+};
+
+fn cluster(n: u32) -> ClusterSpec {
+    ClusterSpec::new(n, 4, 8.0).unwrap()
+}
+
+fn job(id: u32, submit: f64, tasks: u32, rt: f64) -> JobSpec {
+    JobSpec::new(JobId(id), submit, tasks, 0.5, 0.3, rt).unwrap()
+}
+
+fn churn_cfg(events: Vec<NodeEvent>, policy: FailurePolicy) -> SimConfig {
+    SimConfig {
+        validate: true,
+        record_timeline: true,
+        failure_policy: policy,
+        node_events: events,
+        ..SimConfig::default()
+    }
+}
+
+fn down(time: f64, node: u32) -> NodeEvent {
+    NodeEvent {
+        time,
+        node: NodeId(node),
+        up: false,
+    }
+}
+
+fn up(time: f64, node: u32) -> NodeEvent {
+    NodeEvent {
+        time,
+        node: NodeId(node),
+        up: true,
+    }
+}
+
+/// Pin-every-task-on-its-id scheduler: job `i` runs on node `i` at
+/// yield 1; killed jobs are restarted on the node again once it is up,
+/// paused jobs resumed likewise. Minimal but failure-aware.
+struct PinById;
+
+impl PinById {
+    fn replace(&self, state: &SimState) -> Plan {
+        let mut plan = Plan::noop();
+        for j in state.jobs_in_system() {
+            let node = NodeId(j.spec.id.0);
+            let placeable = matches!(
+                j.status,
+                dfrs_sim::JobStatus::Pending | dfrs_sim::JobStatus::Paused
+            );
+            if placeable && state.cluster.is_up(node) {
+                plan = plan.run(j.spec.id, vec![node; j.spec.tasks as usize], 1.0);
+            }
+        }
+        plan
+    }
+}
+
+impl Scheduler for PinById {
+    fn name(&self) -> String {
+        "pin-by-id".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        match ev {
+            SchedEvent::Submit(_)
+            | SchedEvent::Complete(_)
+            | SchedEvent::NodeDown(_)
+            | SchedEvent::NodeUp(_) => self.replace(state),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[test]
+fn restart_policy_discards_progress_and_meters_it() {
+    let jobs = vec![job(0, 0.0, 1, 100.0)];
+    let cfg = churn_cfg(vec![down(40.0, 0), up(70.0, 0)], FailurePolicy::Restart);
+    let out = simulate(cluster(2), &jobs, &mut PinById, &cfg);
+    assert_eq!(out.restart_count, 1);
+    assert_eq!(out.records[0].restarts, 1);
+    assert!((out.lost_virtual_seconds - 40.0).abs() < 1e-9);
+    // Restarted at the repair: 70 + 100.
+    assert!((out.records[0].completion - 170.0).abs() < 1e-6);
+    // The kill is not a preemption and moves nothing through storage.
+    assert_eq!(out.preemption_count, 0);
+    assert_eq!(out.preemption_gb, 0.0);
+    // 30 s with one node down.
+    assert!((out.down_node_seconds - 30.0).abs() < 1e-9);
+    assert!(out
+        .timeline
+        .entries
+        .iter()
+        .any(|e| matches!(e.event, dfrs_sim::AllocEvent::Kill)));
+}
+
+#[test]
+fn pause_preserve_policy_reuses_pause_bookkeeping() {
+    let jobs = vec![job(0, 0.0, 1, 100.0)];
+    let cfg = churn_cfg(
+        vec![down(40.0, 0), up(70.0, 0)],
+        FailurePolicy::PausePreserve,
+    );
+    let out = simulate(cluster(2), &jobs, &mut PinById, &cfg);
+    assert_eq!(out.restart_count, 0);
+    assert_eq!(out.lost_virtual_seconds, 0.0);
+    assert_eq!(out.preemption_count, 1, "failure pause is a preemption");
+    assert!(out.preemption_gb > 0.0, "checkpoint traffic is metered");
+    // 40 s of progress kept: resumes at 70, 60 s remain.
+    assert!((out.records[0].completion - 130.0).abs() < 1e-6);
+}
+
+#[test]
+fn only_resident_jobs_are_struck() {
+    // Job 0 on node 0, job 1 on node 1; node 1 fails.
+    let jobs = vec![job(0, 0.0, 1, 100.0), job(1, 0.0, 1, 100.0)];
+    let cfg = churn_cfg(vec![down(10.0, 1), up(20.0, 1)], FailurePolicy::Restart);
+    let out = simulate(cluster(2), &jobs, &mut PinById, &cfg);
+    assert_eq!(out.records[0].restarts, 0, "job 0's node never failed");
+    assert_eq!(out.records[1].restarts, 1);
+    assert!((out.records[0].completion - 100.0).abs() < 1e-6);
+    assert!((out.records[1].completion - 120.0).abs() < 1e-6);
+}
+
+#[test]
+fn duplicate_transitions_are_dropped() {
+    let jobs = vec![job(0, 0.0, 1, 50.0)];
+    // Double-down and double-up around a single real outage.
+    let cfg = churn_cfg(
+        vec![down(10.0, 0), down(12.0, 0), up(20.0, 0), up(22.0, 0)],
+        FailurePolicy::Restart,
+    );
+    let out = simulate(cluster(2), &jobs, &mut PinById, &cfg);
+    assert_eq!(out.restart_count, 1, "the second down strikes nothing");
+    assert!((out.down_node_seconds - 10.0).abs() < 1e-9);
+    assert!((out.records[0].completion - 70.0).abs() < 1e-6);
+}
+
+#[test]
+fn plans_may_not_place_on_down_nodes() {
+    let jobs = vec![job(0, 0.0, 1, 50.0)];
+    let mut state = SimState::new(cluster(2), &jobs);
+    state.cluster.set_node_up(NodeId(1), false);
+    // A submit must happen for the job to be placeable; drive the state
+    // manually through the public check_plan only.
+    let plan = Plan::noop().run(JobId(0), vec![NodeId(1)], 1.0);
+    // Job is unsubmitted, so that error fires first; flip to a pending
+    // check by using a plan against node 0 first to confirm baseline.
+    let err = check_plan(&state, &plan).unwrap_err();
+    assert!(matches!(err, PlanError::InvalidStatus { .. }));
+    // Now with a pending job: rejected specifically for the down node
+    // (submit at t=5, strictly after the failure at t=0).
+    let jobs2 = vec![job(0, 5.0, 1, 50.0)];
+    let cfg = SimConfig {
+        validate: true,
+        node_events: vec![down(0.0, 1)],
+        ..SimConfig::default()
+    };
+    struct PlaceOnDown;
+    impl Scheduler for PlaceOnDown {
+        fn name(&self) -> String {
+            "place-on-down".into()
+        }
+        fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+            match ev {
+                SchedEvent::Submit(id) => {
+                    let err =
+                        check_plan(state, &Plan::noop().run(id, vec![NodeId(1)], 1.0)).unwrap_err();
+                    assert!(
+                        matches!(err, PlanError::NodeUnavailable { node, .. } if node == NodeId(1)),
+                        "{err}"
+                    );
+                    Plan::noop().run(id, vec![NodeId(0)], 1.0)
+                }
+                _ => Plan::noop(),
+            }
+        }
+    }
+    let out = simulate(cluster(2), &jobs2, &mut PlaceOnDown, &cfg);
+    assert_eq!(out.records.len(), 1);
+}
+
+#[test]
+fn churn_runs_are_deterministic() {
+    let jobs: Vec<JobSpec> = (0..3).map(|i| job(i, i as f64 * 5.0, 1, 80.0)).collect();
+    let events = vec![down(30.0, 1), up(90.0, 1), down(120.0, 2), up(150.0, 2)];
+    let run = || {
+        let cfg = churn_cfg(events.clone(), FailurePolicy::Restart);
+        let out = simulate(cluster(4), &jobs, &mut PinById, &cfg);
+        out.records
+            .iter()
+            .map(|r| (r.completion.to_bits(), r.restarts))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -161,7 +161,7 @@ impl Scheduler for Shuffler {
             // Progress guarantee: completions and ticks never shuffle,
             // so stuck jobs always get a clean start attempt.
             SchedEvent::Complete(_) | SchedEvent::Tick => self.plan(state, false),
-            SchedEvent::Timer(_) => Plan::noop(),
+            SchedEvent::Timer(_) | SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => Plan::noop(),
         }
     }
 }
@@ -209,7 +209,10 @@ fn replay_and_check(jobs: &[JobSpec], out: &SimOutcome, penalty: f64) {
     let mut completions: HashMap<JobId, u32> = HashMap::new();
 
     let spec_of = |id: JobId| &jobs[id.index()];
-    let mut integrate = |running: &mut HashMap<JobId, Running>, id: JobId, until: f64| {
+    let integrate = |running: &mut HashMap<JobId, Running>,
+                     vt: &mut HashMap<JobId, f64>,
+                     id: JobId,
+                     until: f64| {
         if let Some(r) = running.get_mut(&id) {
             *vt.entry(id).or_insert(0.0) += r.yld * (until - r.since);
             r.since = until;
@@ -237,7 +240,7 @@ fn replay_and_check(jobs: &[JobSpec], out: &SimOutcome, penalty: f64) {
                 (None, Some((nodes.clone(), *yld)))
             }
             AllocEvent::Adjust { yld } => {
-                integrate(&mut running, id, e.time);
+                integrate(&mut running, &mut vt, id, e.time);
                 let r = running.get_mut(&id).expect("adjust of a non-running job");
                 // Retarget allocation only.
                 for n in &r.nodes {
@@ -248,22 +251,30 @@ fn replay_and_check(jobs: &[JobSpec], out: &SimOutcome, penalty: f64) {
                 (None, None)
             }
             AllocEvent::Migrate { nodes, yld, .. } => {
-                integrate(&mut running, id, e.time);
+                integrate(&mut running, &mut vt, id, e.time);
                 let old = running.remove(&id).expect("migrate of a non-running job");
                 (Some((old.nodes, old.yld)), Some((nodes.clone(), *yld)))
             }
             AllocEvent::Pause => {
                 *pauses.entry(id).or_insert(0) += 1;
-                integrate(&mut running, id, e.time);
+                integrate(&mut running, &mut vt, id, e.time);
                 let old = running.remove(&id).expect("pause of a non-running job");
                 (Some((old.nodes, old.yld)), None)
             }
             AllocEvent::Complete => {
                 *completions.entry(id).or_insert(0) += 1;
-                integrate(&mut running, id, e.time);
+                integrate(&mut running, &mut vt, id, e.time);
                 let old = running
                     .remove(&id)
                     .expect("completion of a non-running job");
+                (Some((old.nodes, old.yld)), None)
+            }
+            AllocEvent::Kill => {
+                // Node failure under the restart policy: the job leaves
+                // the cluster and its accrued virtual time is discarded.
+                integrate(&mut running, &mut vt, id, e.time);
+                let old = running.remove(&id).expect("kill of a non-running job");
+                vt.insert(id, 0.0);
                 (Some((old.nodes, old.yld)), None)
             }
         };
@@ -284,7 +295,7 @@ fn replay_and_check(jobs: &[JobSpec], out: &SimOutcome, penalty: f64) {
                 *c += spec.cpu_need * yld;
                 assert!(*c <= 1.0 + TOL, "node {n} CPU over capacity: {c}");
             }
-            integrate(&mut running, id, e.time);
+            integrate(&mut running, &mut vt, id, e.time);
             running.insert(
                 id,
                 Running {

@@ -58,7 +58,8 @@ pub use dfrs_sim as sim;
 pub use dfrs_workload as workload;
 
 pub use dfrs_scenario::{
-    Campaign, CampaignResult, CellResult, CellUpdate, Scenario, ScenarioBuilder, ScenarioError,
-    WorkloadSource,
+    Campaign, CampaignResult, CellResult, CellUpdate, FailureModel, Scenario, ScenarioBuilder,
+    ScenarioError, WorkloadSource,
 };
 pub use dfrs_sched::{Algorithm, SchedulerRegistry, SchedulerSpec, SpecError};
+pub use dfrs_sim::{FailurePolicy, MigrationMode, NodeEvent};

@@ -1,0 +1,114 @@
+//! Integration pins for platform dynamics (the acceptance criteria of
+//! the availability tentpole):
+//!
+//! * every registered scheduler spec completes a churn scenario with
+//!   full plan/invariant validation enabled — no validation errors, no
+//!   stranded jobs;
+//! * the availability study is deterministic: same seed, same table;
+//! * `FailureModel::None` (the default) leaves configs event-free, so
+//!   the golden-trace suite's scenarios are untouched by construction.
+
+use dfrs::{Campaign, FailureModel, FailurePolicy, ScenarioBuilder, SchedulerRegistry};
+
+/// A small but genuinely churned scenario: load 0.7 Lublin trace with
+/// several failures striking during execution.
+fn churn_scenario(policy: FailurePolicy) -> dfrs::Scenario {
+    ScenarioBuilder::new()
+        .label("churn-pin")
+        .lublin(50)
+        .load(0.7)
+        .seed(11)
+        .validate(true)
+        .failures(FailureModel::exp(60_000.0, 3_000.0))
+        .failure_policy(policy)
+        .build()
+        .expect("churn scenario builds")
+}
+
+#[test]
+fn every_registry_spec_completes_a_churn_scenario_under_validation() {
+    for policy in [FailurePolicy::Restart, FailurePolicy::PausePreserve] {
+        let scenario = churn_scenario(policy);
+        assert!(
+            !scenario.config.node_events.is_empty(),
+            "the churn model produced no events"
+        );
+        let registry = SchedulerRegistry::builtin();
+        for key in registry.keys() {
+            // `validate: true` panics on any invalid plan or invariant
+            // violation, so completion alone is the assertion.
+            let out = scenario.run(&key).expect("registry specs build");
+            assert_eq!(out.records.len(), 50, "{key} under {policy:?}");
+            match policy {
+                FailurePolicy::Restart => {
+                    assert_eq!(out.preemption_gb, out.preemption_gb.abs());
+                    assert!(out.lost_virtual_seconds >= 0.0, "{key}: negative lost work");
+                }
+                FailurePolicy::PausePreserve => {
+                    assert_eq!(out.restart_count, 0, "{key}: preserve never kills");
+                    assert_eq!(out.lost_virtual_seconds, 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn churn_campaigns_are_deterministic_across_threads() {
+    let scenarios = vec![churn_scenario(FailurePolicy::Restart)];
+    let specs = [
+        "fcfs",
+        "easy",
+        "greedy-pmtn",
+        "dynmcb8",
+        "dynmcb8-per:t=300",
+    ];
+    let serial = Campaign::new(&scenarios, specs).unwrap().threads(1).run();
+    let parallel = Campaign::new(&scenarios, specs).unwrap().threads(4).run();
+    assert_eq!(serial.fingerprint(), parallel.fingerprint());
+    // Failures actually happened and are visible in the new fields.
+    assert!(serial.cells[0].iter().all(|c| c.down_node_seconds > 0.0));
+    assert!(serial.cells[0].iter().any(|c| c.restart_count > 0));
+}
+
+#[test]
+fn failure_free_default_attaches_no_events() {
+    // The golden-trace scenarios rely on this: with no failure model,
+    // the config carries no node events and the engine path through
+    // platform dynamics is never taken.
+    let s = ScenarioBuilder::new()
+        .lublin(20)
+        .seed(1)
+        .build()
+        .expect("builds");
+    assert!(s.config.node_events.is_empty());
+    let out = s.run("greedy-pmtn").expect("runs");
+    assert_eq!(out.restart_count, 0);
+    assert_eq!(out.down_node_seconds, 0.0);
+    assert_eq!(out.lost_virtual_seconds, 0.0);
+}
+
+#[test]
+fn availability_study_same_seed_same_table() {
+    use dfrs::experiments::availability;
+    use dfrs::experiments::cli::Opts;
+    let opts = Opts {
+        instances: 1,
+        jobs: 30,
+        seed: 7,
+        threads: 2,
+        penalty: 0.0,
+        mtbf_secs: 50_000.0,
+        mttr_secs: 2_500.0,
+        ..Opts::default()
+    };
+    let a = availability::run(&opts);
+    let b = availability::run(&opts);
+    assert_eq!(a.table().to_csv(), b.table().to_csv());
+    assert_eq!(a.churn.fingerprint(), b.churn.fingerprint());
+    assert_eq!(
+        a.rows.len(),
+        SchedulerRegistry::builtin().keys().len(),
+        "the study covers every registered spec"
+    );
+}
