@@ -12,6 +12,9 @@
 //!   scenario warm (cross-event repack memo on) and cold (memo off),
 //!   with per-event µs and pack counts; warm and cold outcomes are
 //!   asserted byte-identical before either number is reported;
+//! * **drf** — the GPU-annotated Lublin trace under the GPU-clamped
+//!   yield scheduler and the DRF family, pricing the dominant-share
+//!   bisection against the yield bisection;
 //! * **campaign** — the `scenarios × specs` fan-out at the requested
 //!   scale, serial and parallel (threads derived from the machine,
 //!   capped), with per-unit wall times;
@@ -86,6 +89,7 @@ impl BenchReport {
             ("event_loop".to_string(), event_loop_phase()),
             ("repack".to_string(), repack_phase(scale)),
             ("failures".to_string(), failures_phase(scale)),
+            ("drf".to_string(), drf_phase(scale)),
             ("campaign".to_string(), campaign_phase(scale)),
         ];
         if !skip_sweep {
@@ -363,6 +367,55 @@ fn failures_phase(scale: Scale) -> Value {
         ("scenario".into(), Value::Str(scenario.label.clone())),
         ("jobs".into(), Value::Num(scenario.jobs.len() as f64)),
         ("node_events".into(), Value::Num(node_events as f64)),
+        ("wall_secs".into(), Value::Num(wall_total)),
+        ("specs".into(), obj(per_spec)),
+    ])
+}
+
+/// The multi-resource phase: the pinned GPU-annotated Lublin trace
+/// driven through the GPU-clamped yield scheduler and the DRF family.
+/// Wall time prices the dominant-share bisection against the yield
+/// bisection on the same workload, and the recorded stretch/preemption
+/// metrics are deterministic, so drift in them flags a semantic change
+/// in either the DRF search or the clamp.
+fn drf_phase(scale: Scale) -> Value {
+    let scenario = crate::scales::gpu_lublin(scale);
+    let specs = ["dynmcb8", "dynmcb8-drf", "dynmcb8-drf-per:t=600"];
+    let mut per_spec = Vec::new();
+    let mut wall_total = 0.0;
+    for key in specs {
+        let start = Instant::now();
+        let out = scenario.run(key).expect("builtin spec");
+        let wall = secs(start);
+        wall_total += wall;
+        let repack = out.repack.unwrap_or_default();
+        per_spec.push((
+            key.to_string(),
+            obj([
+                ("wall_secs".into(), Value::Num(wall)),
+                (
+                    "events_processed".into(),
+                    Value::Num(out.events_processed as f64),
+                ),
+                ("max_stretch".into(), Value::Num(out.max_stretch)),
+                ("mean_stretch".into(), Value::Num(out.mean_stretch)),
+                (
+                    "preemptions".into(),
+                    Value::Num(out.preemption_count as f64),
+                ),
+                ("migrations".into(), Value::Num(out.migration_count as f64)),
+                ("searches".into(), Value::Num(repack.searches as f64)),
+                ("packs".into(), Value::Num(repack.packs as f64)),
+            ]),
+        ));
+    }
+    obj([
+        ("scenario".into(), Value::Str(scenario.label.clone())),
+        ("jobs".into(), Value::Num(scenario.jobs.len() as f64)),
+        (
+            "gpu_jobs".into(),
+            Value::Num(scenario.jobs.iter().filter(|j| j.gpu_need > 0.0).count() as f64),
+        ),
         ("wall_secs".into(), Value::Num(wall_total)),
         ("specs".into(), obj(per_spec)),
     ])

@@ -132,6 +132,22 @@ pub fn churn_lublin(scale: Scale) -> Scenario {
         .expect("lublin scenarios build")
 }
 
+/// The multi-resource phase's scenario: the pinned Lublin trace at load
+/// 0.7 with 40% of the jobs GPU-annotated (deterministic per-trace
+/// salt; see `ScenarioBuilder::gpu_frac`). Jobs are otherwise identical
+/// to [`repack_lublin`]'s: annotation only adds a GPU demand, never
+/// touches CPU, memory, or submit times.
+pub fn gpu_lublin(scale: Scale) -> Scenario {
+    ScenarioBuilder::new()
+        .label(format!("bench-gpu-lublin-{}", scale.tag()))
+        .lublin(scale.jobs())
+        .load(0.7)
+        .seed(1)
+        .gpu_frac(0.4)
+        .build()
+        .expect("lublin scenarios build")
+}
+
 /// Builder of one warm- or cold-configured `DynMCB8*` scheduler.
 pub type RepackCaseFn = fn(bool) -> Box<dyn dfrs_sim::Scheduler>;
 

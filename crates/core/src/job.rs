@@ -17,6 +17,7 @@
 use crate::approx;
 use crate::error::CoreError;
 use crate::ids::JobId;
+use crate::resources::ResourceVec;
 
 /// An immutable job request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +32,12 @@ pub struct JobSpec {
     pub cpu_need: f64,
     /// Per-task memory requirement, fraction of one node's memory in `(0, 1]`.
     pub mem_req: f64,
+    /// Per-task GPU need, fraction of one node's GPU capacity in
+    /// `[0, 1]`. Zero (the default — every constructor that predates the
+    /// resource-vector model) means "no GPU demand" and reproduces the
+    /// paper's two-resource model exactly. Like CPU, GPU is *fluid*:
+    /// the allocation scales with the yield.
+    pub gpu_need: f64,
     /// Dedicated-mode execution time in seconds (> 0). Oracle data — see
     /// the module docs.
     runtime: f64,
@@ -83,8 +90,39 @@ impl JobSpec {
             tasks,
             cpu_need: cpu_need.min(1.0),
             mem_req: mem_req.min(1.0),
+            gpu_need: 0.0,
             runtime,
         })
+    }
+
+    /// This job with a per-task GPU need attached (fraction of one
+    /// node's GPU capacity in `[0, 1]`; zero removes the demand).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::FractionOutOfRange`] when `gpu_need` is
+    /// negative, above 1, or not finite.
+    pub fn with_gpu(mut self, gpu_need: f64) -> Result<Self, CoreError> {
+        if !gpu_need.is_finite() || gpu_need < 0.0 || !approx::le(gpu_need, 1.0) {
+            return Err(CoreError::FractionOutOfRange {
+                what: "gpu_need",
+                value: gpu_need,
+            });
+        }
+        self.gpu_need = gpu_need.min(1.0);
+        Ok(self)
+    }
+
+    /// Per-task demand across every modeled resource dimension.
+    #[inline]
+    pub fn resources(&self) -> ResourceVec {
+        ResourceVec::new(self.cpu_need, self.mem_req, self.gpu_need)
+    }
+
+    /// The job's dominant *fluid* demand — `max(cpu_need, gpu_need)`,
+    /// the denominator of the DRF dominant-share objective.
+    #[inline]
+    pub fn dominant_fluid_need(&self) -> f64 {
+        self.resources().dominant_fluid()
     }
 
     /// The dedicated-mode execution time. **Clairvoyant accessor**: only
@@ -193,6 +231,21 @@ mod tests {
         assert!((j.total_cpu_need() - 1.0).abs() < 1e-12);
         assert!((j.total_mem() - 0.4).abs() < 1e-12);
         assert!((j.node_seconds() - 4.0 * 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_defaults_to_zero_and_validates() {
+        let j = ok_job();
+        assert_eq!(j.gpu_need, 0.0);
+        let g = j.with_gpu(0.75).unwrap();
+        assert_eq!(g.gpu_need, 0.75);
+        assert_eq!(g.resources().0, [0.25, 0.1, 0.75]);
+        assert_eq!(g.dominant_fluid_need(), 0.75);
+        assert_eq!(j.dominant_fluid_need(), 0.25, "no GPU: CPU dominates");
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(ok_job().with_gpu(bad).is_err(), "gpu {bad}");
+        }
+        assert_eq!(ok_job().with_gpu(0.0).unwrap().gpu_need, 0.0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod histogram;
 pub mod ids;
 pub mod job;
 pub mod priority;
+pub mod resources;
 pub mod stats;
 pub mod stretch;
 pub mod yield_math;
@@ -44,4 +45,5 @@ pub use histogram::LogHistogram;
 pub use ids::{JobId, NodeId};
 pub use job::JobSpec;
 pub use priority::Priority;
+pub use resources::{ResourceVec, DIM_CPU, DIM_FLUID, DIM_GPU, DIM_MEM, RESOURCE_DIMS};
 pub use stats::OnlineStats;

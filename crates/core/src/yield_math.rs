@@ -59,6 +59,30 @@ pub fn yield_for_target_stretch(
     ((flow_time + period) / target - virtual_time) / period
 }
 
+/// A job's **dominant share** under DRF: the fraction of the cluster's
+/// scarcest (for this job) fluid resource it is allocated. With yield
+/// `y` and dominant fluid need `d = max(cpu_need, gpu_need)`, every
+/// fluid allocation is `need·y`, so the dominant share is simply `d·y`.
+/// Memory is rigid and enters only through packing feasibility.
+#[inline]
+pub fn dominant_share(dominant_fluid_need: f64, yld: f64) -> f64 {
+    debug_assert!(dominant_fluid_need >= 0.0);
+    debug_assert!((0.0..=1.0 + approx::EPS).contains(&yld), "yield {yld}");
+    dominant_fluid_need * yld
+}
+
+/// Invert [`dominant_share`]: the yield that grants a job dominant
+/// share `s`, clamped into `[0, 1]` (a share at or above the job's
+/// dominant need means full speed — yield never exceeds 1).
+#[inline]
+pub fn yield_for_dominant_share(dominant_fluid_need: f64, share: f64) -> f64 {
+    debug_assert!(share >= 0.0);
+    if dominant_fluid_need <= 0.0 {
+        return 1.0; // no fluid demand: the job runs at full speed free
+    }
+    (share / dominant_fluid_need).min(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +123,21 @@ mod tests {
         // A very lax target needs a negative yield (already better).
         let y = yield_for_target_stretch(100.0, 5_000.0, 10.0, 600.0);
         assert!(y < 0.0);
+    }
+
+    #[test]
+    fn dominant_share_round_trips_through_yield() {
+        for d in [0.05, 0.4, 1.0] {
+            for y in [0.01, 0.5, 1.0] {
+                let s = dominant_share(d, y);
+                let back = yield_for_dominant_share(d, s);
+                assert!((back - y).abs() < 1e-12, "d={d} y={y} back={back}");
+            }
+        }
+        // Shares above the need clamp the yield at 1.
+        assert_eq!(yield_for_dominant_share(0.5, 2.0), 1.0);
+        // Degenerate zero-demand jobs run at full speed.
+        assert_eq!(yield_for_dominant_share(0.0, 0.3), 1.0);
     }
 
     #[test]

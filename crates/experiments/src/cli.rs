@@ -80,6 +80,9 @@ pub struct Opts {
     pub mttr_secs: f64,
     /// What a failure does to struck jobs (`--failure-policy`).
     pub failure_policy: FailurePolicy,
+    /// Fraction of jobs annotated with a GPU demand (`--gpu-frac`) for
+    /// the DRF study; `0` leaves every trace CPU+memory only.
+    pub gpu_frac: f64,
 }
 
 impl Default for Opts {
@@ -104,6 +107,9 @@ impl Default for Opts {
             mtbf_secs: 1_209_600.0,
             mttr_secs: 3_600.0,
             failure_policy: FailurePolicy::Restart,
+            // DRF-study default: strike a bit under half the jobs with
+            // a GPU demand so dominant shares actually differ.
+            gpu_frac: 0.4,
         }
     }
 }
@@ -150,6 +156,7 @@ impl Opts {
                 "--mtbf" => o.mtbf_secs = grab()?.parse().map_err(|e| format!("{e}"))?,
                 "--mttr" => o.mttr_secs = grab()?.parse().map_err(|e| format!("{e}"))?,
                 "--failure-policy" => o.failure_policy = parse_failure_policy(&grab()?)?,
+                "--gpu-frac" => o.gpu_frac = grab()?.parse().map_err(|e| format!("{e}"))?,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument {other}\n{USAGE}")),
             }
@@ -170,6 +177,9 @@ impl Opts {
         }
         if !(o.mtbf_secs > 0.0 && o.mttr_secs > 0.0) {
             return Err("mtbf/mttr must be positive".into());
+        }
+        if !((0.0..=1.0).contains(&o.gpu_frac) && o.gpu_frac.is_finite()) {
+            return Err("gpu-frac must be in [0, 1]".into());
         }
         Ok(o)
     }
@@ -205,7 +215,8 @@ Options:
                     (migration mechanism; default stop-and-copy)
   --mtbf SECS       per-node mean time between failures (availability)
   --mttr SECS       per-node mean time to repair (availability)
-  --failure-policy P restart | preserve (what a failure does to jobs)";
+  --failure-policy P restart | preserve (what a failure does to jobs)
+  --gpu-frac F      fraction of jobs given a GPU demand (DRF study)";
 
 #[cfg(test)]
 mod tests {
@@ -299,6 +310,15 @@ mod tests {
         assert!(parse(&["--migration", "live:freeze=-3"]).is_err());
         assert!(parse(&["--failure-policy", "shrug"]).is_err());
         assert!(parse(&["--mtbf", "0"]).is_err());
+    }
+
+    #[test]
+    fn gpu_frac_parses_and_is_bounded() {
+        assert_eq!(parse(&["--gpu-frac", "0.25"]).unwrap().gpu_frac, 0.25);
+        assert_eq!(parse(&["--gpu-frac", "0"]).unwrap().gpu_frac, 0.0);
+        assert!(parse(&["--gpu-frac", "1.5"]).is_err());
+        assert!(parse(&["--gpu-frac", "-0.1"]).is_err());
+        assert!(parse(&["--gpu-frac", "NaN"]).is_err());
     }
 
     #[test]

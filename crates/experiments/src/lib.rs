@@ -14,7 +14,10 @@
 //!   system ([`timing`], binary `timing`);
 //! * availability study (extension) — every registered spec on a
 //!   platform with node failure/repair churn, static vs churn
-//!   ([`availability`], binary `availability`).
+//!   ([`availability`], binary `availability`);
+//! * DRF study (extension) — max-min yield vs max-min dominant share
+//!   on GPU-annotated workloads, CPU-only vs annotated
+//!   ([`drf`], binary `drf`).
 //!
 //! Execution goes through [`dfrs_scenario::Campaign`] — the generic
 //! parallel `(scenario × scheduler spec)` runner — with workloads
@@ -29,6 +32,7 @@
 pub mod ablation;
 pub mod availability;
 pub mod cli;
+pub mod drf;
 pub mod fig1;
 pub mod instances;
 pub mod report;

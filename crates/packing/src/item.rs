@@ -32,41 +32,61 @@ impl PackItem {
 }
 
 /// Running state of one node while packing.
+///
+/// Bins carry an **explicit capacity vector**: nothing in `fits`/`place`
+/// assumes unit capacity, so heterogeneous nodes pack through the same
+/// code path. [`Bin::empty`] yields the paper's normalized unit bin
+/// (both capacities exactly `1.0`), keeping the historical arithmetic
+/// bit-identical.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bin {
     /// CPU already committed.
     pub cpu_used: f64,
     /// Memory already committed.
     pub mem_used: f64,
+    /// CPU capacity of this bin.
+    pub cpu_cap: f64,
+    /// Memory capacity of this bin.
+    pub mem_cap: f64,
 }
 
 impl Bin {
-    /// Fresh empty bin (capacities are normalized to 1.0).
+    /// Fresh empty bin with the paper's normalized unit capacities.
     #[inline]
     pub fn empty() -> Self {
+        Bin::with_caps(1.0, 1.0)
+    }
+
+    /// Fresh empty bin with explicit capacities.
+    #[inline]
+    pub fn with_caps(cpu_cap: f64, mem_cap: f64) -> Self {
+        debug_assert!(cpu_cap >= 0.0 && mem_cap >= 0.0);
         Bin {
             cpu_used: 0.0,
             mem_used: 0.0,
+            cpu_cap,
+            mem_cap,
         }
     }
 
     /// Remaining CPU capacity.
     #[inline]
     pub fn cpu_free(&self) -> f64 {
-        1.0 - self.cpu_used
+        self.cpu_cap - self.cpu_used
     }
 
     /// Remaining memory capacity.
     #[inline]
     pub fn mem_free(&self) -> f64 {
-        1.0 - self.mem_used
+        self.mem_cap - self.mem_used
     }
 
     /// Whether `item` fits within both remaining capacities (tolerant
     /// comparison).
     #[inline]
     pub fn fits(&self, item: &PackItem) -> bool {
-        approx::le(self.cpu_used + item.cpu, 1.0) && approx::le(self.mem_used + item.mem, 1.0)
+        approx::le(self.cpu_used + item.cpu, self.cpu_cap)
+            && approx::le(self.mem_used + item.mem, self.mem_cap)
     }
 
     /// Commit `item` into the bin.
@@ -109,7 +129,7 @@ impl Packing {
         }
         state
             .iter()
-            .all(|b| approx::le(b.cpu_used, 1.0) && approx::le(b.mem_used, 1.0))
+            .all(|b| approx::le(b.cpu_used, b.cpu_cap) && approx::le(b.mem_used, b.mem_cap))
     }
 }
 
@@ -198,6 +218,58 @@ mod tests {
             cpu: 1e-12,
             mem: 0.0
         }));
+    }
+
+    #[test]
+    fn explicit_caps_govern_fits_and_place() {
+        // A bin with a non-unit memory capacity: the old hardcoded-1.0
+        // check would wrongly accept items that overflow it.
+        let mut b = Bin::with_caps(2.0, 0.5);
+        let item = PackItem {
+            id: 0,
+            cpu: 1.5,
+            mem: 0.5,
+        };
+        // Exactly at capacity in the non-CPU dimension: the approx::le
+        // boundary accepts it.
+        assert!(b.fits(&item));
+        b.place(&item);
+        assert_eq!(b.cpu_free(), 0.5);
+        assert_eq!(b.mem_free(), 0.0);
+        // One epsilon over (beyond the approx tolerance) does not fit.
+        let over = PackItem {
+            id: 1,
+            cpu: 0.0,
+            mem: 1e-6,
+        };
+        assert!(!b.fits(&over));
+        // Unit bins reject what only the larger capacity admitted.
+        assert!(!Bin::empty().fits(&PackItem {
+            id: 2,
+            cpu: 1.5,
+            mem: 0.1
+        }));
+    }
+
+    #[test]
+    fn at_capacity_boundary_in_memory_dimension() {
+        // Negative-path pair for the capacity bugfix: an item landing
+        // *exactly* at a fractional memory capacity places; an epsilon
+        // beyond the tolerance is refused.
+        let cap = 0.7;
+        let b = Bin::with_caps(1.0, cap);
+        let exact = PackItem {
+            id: 0,
+            cpu: 0.1,
+            mem: cap,
+        };
+        assert!(b.fits(&exact), "exact boundary must pass approx::le");
+        let sliver = PackItem {
+            id: 1,
+            cpu: 0.1,
+            mem: cap + 1e-6,
+        };
+        assert!(!b.fits(&sliver), "an epsilon over must not fit");
     }
 
     #[test]

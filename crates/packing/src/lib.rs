@@ -42,21 +42,30 @@
 //! ```
 
 pub mod bounds;
+pub mod drf_search;
 pub mod fit;
 pub mod item;
 pub mod mcb8;
 pub mod memo;
 pub mod scratch;
 pub mod stretch_search;
+pub mod vecpack;
 pub mod yield_search;
 
 pub use bounds::{lower_bound_bins, min_bins_with, provably_infeasible};
+pub use drf_search::{
+    drf_feasible_at_share, max_min_dominant_share, DrfAllocation, DrfJob, DrfSearchScratch,
+    DRF_DIMS,
+};
 pub use fit::{BestFitDecreasing, FirstFitDecreasing};
 pub use item::{Bin, PackItem, Packing, VectorPacker};
 pub use mcb8::Mcb8;
-pub use memo::{max_min_yield_warm, min_max_estimated_stretch_warm, MemoStats, RepackMemo};
+pub use memo::{
+    max_min_yield_warm, min_max_estimated_stretch_warm, MemoStats, RepackMemo, UNIT_CAPS,
+};
 pub use scratch::{PackScratch, SearchScratch};
 pub use stretch_search::{
     min_max_estimated_stretch, min_max_estimated_stretch_with, StretchAllocation, StretchJob,
 };
+pub use vecpack::{assignment_is_valid, McbVec, VecBin, VecItem, VecPackScratch};
 pub use yield_search::{max_min_yield, max_min_yield_with, JobLoad, YieldAllocation};

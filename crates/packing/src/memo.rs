@@ -104,6 +104,7 @@ impl MemoStats {
 struct YieldEntry {
     fingerprint: u64,
     nodes: usize,
+    caps: u64,
     jobs: Vec<JobLoad>,
     /// `Some((yield, flat assignment))` when feasible, `None` when the
     /// search reported infeasibility.
@@ -140,6 +141,7 @@ impl YieldEntry {
 struct ProbeEntry {
     fingerprint: u64,
     nodes: usize,
+    caps: u64,
     runs: Vec<(PackItem, u32)>,
     ok: bool,
     bin_of: Vec<u32>,
@@ -206,6 +208,7 @@ pub struct RepackMemo {
     yields: VecDeque<YieldEntry>,
     probes: VecDeque<ProbeEntry>,
     params: Option<MemoParams>,
+    caps: u64,
     stats: MemoStats,
 }
 
@@ -233,6 +236,7 @@ impl RepackMemo {
             yields: VecDeque::new(),
             probes: VecDeque::new(),
             params: None,
+            caps: UNIT_CAPS,
             stats: MemoStats::default(),
         }
     }
@@ -265,6 +269,39 @@ impl RepackMemo {
     pub fn clear(&mut self) {
         self.yields.clear();
         self.probes.clear();
+    }
+
+    /// Declare the **capacity identity** of the bins behind subsequent
+    /// searches: a caller-computed hash of the available node *set* and
+    /// each node's capacity vector (see [`RepackMemo::caps_identity`]).
+    ///
+    /// The memo keys every entry under this word in addition to the bin
+    /// *count* that reaches the search signature, closing the latent
+    /// hole where two different node sets (or capacity mixes) of equal
+    /// size could replay each other's results. Entries stored under a
+    /// different identity stay resident — they answer again when that
+    /// identity returns (e.g. a node repairs) — so churn costs cold
+    /// searches, never a flush.
+    pub fn set_caps_identity(&mut self, caps: u64) {
+        self.caps = caps;
+    }
+
+    /// The capacity identity currently in force (defaults to
+    /// [`UNIT_CAPS`], the homogeneous all-nodes-up unit cluster).
+    pub fn caps_identity_now(&self) -> u64 {
+        self.caps
+    }
+
+    /// Hash a capacity description into an identity word: feed one
+    /// `u64` per available node (its id, or its id plus capacity bits
+    /// for heterogeneous clusters). Deterministic and order-sensitive —
+    /// callers must feed nodes in a canonical (sorted) order.
+    pub fn caps_identity(words: impl IntoIterator<Item = u64>) -> u64 {
+        let mut h = Fnv::new();
+        for w in words {
+            h.word(w);
+        }
+        h.0
     }
 
     /// The accumulated accounting.
@@ -310,9 +347,16 @@ impl Fnv {
     }
 }
 
-fn fingerprint_jobs(jobs: &[JobLoad], nodes: usize) -> u64 {
+/// Capacity identity of the default homogeneous unit cluster with every
+/// node up — the state every memo starts in. Distinct from
+/// `Fnv::new().0` only for documentation; any fixed word works because
+/// identities only ever compare for equality.
+pub const UNIT_CAPS: u64 = 0;
+
+fn fingerprint_jobs(jobs: &[JobLoad], nodes: usize, caps: u64) -> u64 {
     let mut h = Fnv::new();
     h.word(nodes as u64);
+    h.word(caps);
     for j in jobs {
         h.word(j.job.0 as u64);
         h.word(j.tasks as u64);
@@ -322,9 +366,10 @@ fn fingerprint_jobs(jobs: &[JobLoad], nodes: usize) -> u64 {
     h.0
 }
 
-fn fingerprint_runs(runs: &[(PackItem, u32)], nodes: usize) -> u64 {
+fn fingerprint_runs(runs: &[(PackItem, u32)], nodes: usize, caps: u64) -> u64 {
     let mut h = Fnv::new();
     h.word(nodes as u64);
+    h.word(caps);
     for (it, count) in runs {
         h.word(it.id as u64);
         h.word(*count as u64);
@@ -352,12 +397,11 @@ pub fn max_min_yield_warm(
     memo.stats.searches += 1;
     memo.check_params(accuracy, min_yield, packer);
     if memo.enabled {
-        let fingerprint = fingerprint_jobs(jobs, nodes);
-        if let Some(i) = memo
-            .yields
-            .iter()
-            .position(|e| e.fingerprint == fingerprint && e.nodes == nodes && e.jobs == jobs)
-        {
+        let caps = memo.caps;
+        let fingerprint = fingerprint_jobs(jobs, nodes, caps);
+        if let Some(i) = memo.yields.iter().position(|e| {
+            e.fingerprint == fingerprint && e.nodes == nodes && e.caps == caps && e.jobs == jobs
+        }) {
             let entry = memo.yields.remove(i).expect("position came from iter");
             memo.stats.search_hits += 1;
             memo.stats.packs_saved += entry.packs;
@@ -378,6 +422,7 @@ pub fn max_min_yield_warm(
         };
         entry.fingerprint = fingerprint;
         entry.nodes = nodes;
+        entry.caps = caps;
         entry.jobs.clear();
         entry.jobs.extend_from_slice(jobs);
         entry.packs = packs;
@@ -419,6 +464,7 @@ struct MemoProbes<'a> {
     packs: &'a mut u64,
     probes: &'a mut VecDeque<ProbeEntry>,
     probe_cap: usize,
+    caps: u64,
     stats: &'a mut MemoStats,
 }
 
@@ -446,12 +492,14 @@ impl StretchProbes for MemoProbes<'_> {
             }
             return ok;
         }
-        let fingerprint = fingerprint_runs(self.runs, nodes);
-        if let Some(i) = self
-            .probes
-            .iter()
-            .position(|e| e.fingerprint == fingerprint && e.nodes == nodes && &e.runs == self.runs)
-        {
+        let caps = self.caps;
+        let fingerprint = fingerprint_runs(self.runs, nodes, caps);
+        if let Some(i) = self.probes.iter().position(|e| {
+            e.fingerprint == fingerprint
+                && e.nodes == nodes
+                && e.caps == caps
+                && &e.runs == self.runs
+        }) {
             let entry = self.probes.remove(i).expect("position came from iter");
             self.stats.probe_hits += 1;
             self.stats.packs_saved += 1;
@@ -479,6 +527,7 @@ impl StretchProbes for MemoProbes<'_> {
         };
         entry.fingerprint = fingerprint;
         entry.nodes = nodes;
+        entry.caps = caps;
         entry.runs.clone_from(self.runs);
         entry.ok = ok;
         entry.bin_of.clear();
@@ -531,6 +580,7 @@ pub fn min_max_estimated_stretch_warm(
         packs,
         probes: &mut memo.probes,
         probe_cap: memo.probe_cap,
+        caps: memo.caps,
         stats: &mut memo.stats,
     };
     let result = search_with(jobs, nodes, period, accuracy, &mut probes, best);
@@ -681,6 +731,26 @@ mod tests {
         // must not answer it.
         let _ = max_min_yield_warm(&jobs, 2, &Mcb8, 0.001, 0.01, &mut scratch, &mut memo);
         assert_eq!(memo.stats().search_hits, 0);
+    }
+
+    #[test]
+    fn caps_identity_keys_entries_not_just_node_count() {
+        let jobs = vec![job(0, 2, 1.0, 0.3)];
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        let a = max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        // Same node *count*, different node *set*: the entry stored
+        // under the old identity must not answer.
+        memo.set_caps_identity(RepackMemo::caps_identity([0u64, 3u64]));
+        let b = max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(a, b, "pure search: same count gives the same result");
+        assert_eq!(memo.stats().search_hits, 0);
+        // The original identity returning (node repaired) finds its
+        // entry still resident — churn never flushes.
+        memo.set_caps_identity(UNIT_CAPS);
+        let c = max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+        assert_eq!(c, a);
+        assert_eq!(memo.stats().search_hits, 1);
     }
 
     #[test]

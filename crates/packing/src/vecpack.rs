@@ -1,0 +1,612 @@
+//! The dimension-generic MCB packer: `McbVec<D>`.
+//!
+//! [`crate::Mcb8`] is the hand-specialized two-resource engine on the
+//! golden hot path; this module is the same heuristic written against a
+//! compile-time dimension count `D`, so the scheduling stack can pack
+//! (CPU, memory, GPU) — or any future vector — through one code path:
+//!
+//! 1. split the tasks into `D` dominance lists, one per **dominant
+//!    dimension** (the index of the largest requirement, ties toward
+//!    the higher index — exactly MCB8's "CPU-dominant iff `cpu > mem`"
+//!    split when `D = 2`);
+//! 2. sort each list by non-increasing largest requirement;
+//! 3. on the open bin, try the lists in order of the bin's residual
+//!    capacities, **most-depleted dimension's opposing list first**
+//!    (i.e. dimensions ordered by free capacity descending): picking an
+//!    item whose dominant demand sits in the freest dimension steers
+//!    every residual back toward balance, the generalization of MCB8's
+//!    two-list imbalance rule.
+//!
+//! Bins carry an explicit capacity vector — heterogeneous nodes pack
+//! through the same code, and the unit-capacity instance reproduces the
+//! historical arithmetic exactly.
+//!
+//! ## Exactness of the accelerators
+//!
+//! Every `Mcb8` scan accelerator generalizes per-dimension with the
+//! same arguments (see `mcb8.rs`):
+//!
+//! * each list is sorted by exactly its primary requirement (for items
+//!   in list `d`, the max component *is* `req[d]`), so the items
+//!   failing the primary-capacity check form a prefix a binary search
+//!   with the same arithmetic skips;
+//! * suffix minima are kept for every **secondary** dimension: when for
+//!   any secondary dimension even the smallest requirement ahead
+//!   overflows, no item ahead can fit and the walk stops;
+//! * identical items produce identical verdicts, so one failure skips
+//!   the whole run;
+//! * bin capacities only shrink while a bin is open and `fits` is
+//!   monotone, so a per-bin cursor resumes past known failures.
+//!
+//! ## Degeneracy
+//!
+//! `McbVec::<2>` is **byte-identical** to `Mcb8` on every instance (the
+//! `vecpack_degenerate` proptests machine-check this): the split, the
+//! sort comparator, the list preference order (free-capacity tie →
+//! larger head → higher dimension index, reproducing "ties are
+//! memory-dominant" and the `(None, _) => prefer mem` corner), the
+//! early rejects and every capacity comparison use the same arithmetic
+//! in the same sequence.
+
+use dfrs_core::approx::EPS;
+use dfrs_core::resources::dominant_dim;
+
+/// One task to place: a point in the `D`-dimensional requirement space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VecItem<const D: usize> {
+    /// Caller-assigned unique id, dense `0..n` within one pack call.
+    pub id: u32,
+    /// Per-dimension requirement, `req[d] ∈ [0, cap[d]]`.
+    pub req: [f64; D],
+}
+
+impl<const D: usize> VecItem<D> {
+    /// The largest requirement — the MCB sort key.
+    #[inline]
+    pub fn max_component(&self) -> f64 {
+        let mut m = f64::NEG_INFINITY;
+        for d in 0..D {
+            m = m.max(self.req[d]);
+        }
+        m
+    }
+
+    /// The dominance-list index of this item (ties toward the higher
+    /// dimension index; see [`dominant_dim`]).
+    #[inline]
+    pub fn dominant(&self) -> usize {
+        dominant_dim(&self.req)
+    }
+}
+
+/// Running state of one bin while packing: usage plus an explicit
+/// capacity vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VecBin<const D: usize> {
+    /// Committed per dimension.
+    pub used: [f64; D],
+    /// Capacity per dimension.
+    pub cap: [f64; D],
+}
+
+impl<const D: usize> VecBin<D> {
+    /// Fresh empty bin with the given capacities.
+    #[inline]
+    pub fn new(cap: [f64; D]) -> Self {
+        VecBin {
+            used: [0.0; D],
+            cap,
+        }
+    }
+
+    /// Remaining capacity in dimension `d`.
+    #[inline]
+    pub fn free(&self, d: usize) -> f64 {
+        self.cap[d] - self.used[d]
+    }
+
+    /// Whether `item` fits in every dimension (the same `used + req <=
+    /// cap + EPS` arithmetic as [`crate::Bin::fits`]).
+    #[inline]
+    pub fn fits(&self, item: &VecItem<D>) -> bool {
+        for d in 0..D {
+            if self.used[d] + item.req[d] > self.cap[d] + EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Commit `item`.
+    #[inline]
+    pub fn place(&mut self, item: &VecItem<D>) {
+        debug_assert!(self.fits(item));
+        for d in 0..D {
+            self.used[d] += item.req[d];
+        }
+    }
+}
+
+/// Per-dominance-list buffers, reused across packs.
+#[derive(Debug, Clone)]
+struct ListBufs<const D: usize> {
+    /// Input runs `(first item, count)` whose dominant dimension is
+    /// this list's.
+    runs: Vec<(VecItem<D>, u32)>,
+    /// Sorted expanded items.
+    items: Vec<VecItem<D>>,
+    /// Path-compressed liveness skips (`items.len() + 1` slots).
+    skip: Vec<u32>,
+    /// `sufmin[s][i] = min(req[s] over items[i..])`, one column per
+    /// secondary dimension (the primary column stays empty).
+    sufmin: Vec<Vec<f64>>,
+    /// `run[i]` = end (exclusive) of the maximal run of items identical
+    /// to item `i`.
+    run: Vec<u32>,
+    /// Alive-prefix cursor for the current bin.
+    cursor: usize,
+}
+
+impl<const D: usize> Default for ListBufs<D> {
+    fn default() -> Self {
+        ListBufs {
+            runs: Vec::new(),
+            items: Vec::new(),
+            skip: Vec::new(),
+            sufmin: (0..D).map(|_| Vec::new()).collect(),
+            run: Vec::new(),
+            cursor: 0,
+        }
+    }
+}
+
+impl<const D: usize> ListBufs<D> {
+    /// Sort this list's runs with the MCB comparator and rebuild the
+    /// expanded arrays and accelerators (see `AliveList::build` in
+    /// `mcb8.rs` for why run-level sorting equals task-level sorting).
+    fn build(&mut self) {
+        self.runs.sort_unstable_by(|a, b| {
+            b.0.max_component()
+                .total_cmp(&a.0.max_component())
+                .then(a.0.id.cmp(&b.0.id))
+        });
+        self.items.clear();
+        for &(it, count) in self.runs.iter() {
+            for k in 0..count {
+                self.items.push(VecItem {
+                    id: it.id + k,
+                    req: it.req,
+                });
+            }
+        }
+        let n = self.items.len();
+        self.skip.clear();
+        self.skip.extend(0..=n as u32);
+        for col in self.sufmin.iter_mut() {
+            col.clear();
+            col.resize(n, f64::INFINITY);
+        }
+        self.run.clear();
+        self.run.resize(n, 0);
+        let mut acc = [f64::INFINITY; D];
+        for i in (0..n).rev() {
+            for (s, col) in self.sufmin.iter_mut().enumerate() {
+                acc[s] = acc[s].min(self.items[i].req[s]);
+                col[i] = acc[s];
+            }
+            let same_as_next = i + 1 < n && self.items[i].req == self.items[i + 1].req;
+            self.run[i] = if same_as_next {
+                self.run[i + 1]
+            } else {
+                i as u32 + 1
+            };
+        }
+        self.cursor = 0;
+    }
+
+    /// First alive index `>= i`, with path compression.
+    fn first_alive(&mut self, mut i: usize) -> usize {
+        loop {
+            let p = self.skip[i] as usize;
+            if p == i {
+                return i;
+            }
+            let gp = self.skip[p];
+            self.skip[i] = gp;
+            i = gp as usize;
+        }
+    }
+
+    /// Largest alive item's max component, or `-inf` when empty — the
+    /// head key of the balanced-bin tie-break.
+    fn head_key(&mut self) -> f64 {
+        let i = self.first_alive(0);
+        match self.items.get(i) {
+            Some(it) => it.max_component(),
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Find and remove the first (largest) alive item that fits `bin`,
+    /// where `dim` is this list's primary dimension. Exact-equivalent
+    /// to a scan from the head (module docs).
+    fn take_first_fit(&mut self, dim: usize, bin: &VecBin<D>) -> Option<VecItem<D>> {
+        let n = self.items.len();
+        let p_used = bin.used[dim];
+        let p_cap = bin.cap[dim];
+        let start = if p_used == 0.0
+            && self
+                .items
+                .first()
+                .is_none_or(|it| it.req[dim] <= p_cap + EPS)
+        {
+            // Empty primary dimension and the largest primary demand
+            // fits this bin's capacity: no item can fail the primary
+            // check. (Uniform-capacity packs always land here, matching
+            // Mcb8's `p_used == 0.0` fast path byte-for-byte; a
+            // heterogeneous bin smaller than the cluster maximum must
+            // still run the prefix search.)
+            0
+        } else {
+            self.items
+                .partition_point(|it| p_used + it.req[dim] > p_cap + EPS)
+        };
+        let mut i = self.first_alive(start.max(self.cursor));
+        'walk: while i < n {
+            for s in 0..D {
+                if s != dim && bin.used[s] + self.sufmin[s][i] > bin.cap[s] + EPS {
+                    break 'walk;
+                }
+            }
+            let mut ok = true;
+            for s in 0..D {
+                if s != dim && bin.used[s] + self.items[i].req[s] > bin.cap[s] + EPS {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let item = self.items[i];
+                debug_assert!(bin.fits(&item));
+                self.skip[i] = i as u32 + 1;
+                self.cursor = i;
+                return Some(item);
+            }
+            i = self.first_alive(self.run[i] as usize);
+        }
+        self.cursor = n;
+        None
+    }
+}
+
+/// Reusable buffers for one [`McbVec`] invocation; hold one per
+/// repeated caller (the DRF search keeps one per scheduler).
+#[derive(Debug, Clone)]
+pub struct VecPackScratch<const D: usize> {
+    lists: Vec<ListBufs<D>>,
+    /// Output: bin of the item with id `i`, `u32::MAX` while unplaced.
+    bin_of: Vec<u32>,
+}
+
+impl<const D: usize> Default for VecPackScratch<D> {
+    fn default() -> Self {
+        VecPackScratch {
+            lists: (0..D).map(|_| ListBufs::default()).collect(),
+            bin_of: Vec::new(),
+        }
+    }
+}
+
+impl<const D: usize> VecPackScratch<D> {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        VecPackScratch::default()
+    }
+
+    /// The bin assignment left by the last successful
+    /// [`McbVec::pack_runs_into`]: `bin_of()[i]` is the bin of the item
+    /// with id `i`.
+    pub fn bin_of(&self) -> &[u32] {
+        &self.bin_of
+    }
+}
+
+/// The dimension-generic MCB packer. Stateless; construct freely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McbVec<const D: usize>;
+
+impl<const D: usize> McbVec<D> {
+    /// Attempt to place every run (`(first, count)` groups of identical
+    /// items with consecutive ids) into `caps.len()` bins with the
+    /// given per-bin capacity vectors. Returns whether every item was
+    /// placed; the assignment is left in [`VecPackScratch::bin_of`].
+    pub fn pack_runs_into(
+        &self,
+        runs: &[(VecItem<D>, u32)],
+        caps: &[[f64; D]],
+        scratch: &mut VecPackScratch<D>,
+    ) -> bool {
+        scratch.bin_of.clear();
+        if runs.is_empty() {
+            return true;
+        }
+        let bins = caps.len();
+
+        // Cheap necessary conditions, evaluated with the exact
+        // per-item addition sequence (`mcb8.rs` documents why the
+        // big-item pairwise bound is sound against the fits tolerance;
+        // it needs uniform capacities, so it is gated on them).
+        let uniform = caps.windows(2).all(|w| w[0] == w[1]);
+        let mut max_cap = [f64::NEG_INFINITY; D];
+        for cap in caps {
+            for d in 0..D {
+                max_cap[d] = max_cap[d].max(cap[d]);
+            }
+        }
+        let mut n = 0usize;
+        let mut sums = [0.0f64; D];
+        let mut big = [0usize; D];
+        for &(it, count) in runs {
+            if it
+                .req
+                .iter()
+                .zip(max_cap.iter())
+                .any(|(&r, &c)| r > c + EPS)
+            {
+                return false;
+            }
+            for _ in 0..count {
+                for (s, &r) in sums.iter_mut().zip(it.req.iter()) {
+                    *s += r;
+                }
+            }
+            n += count as usize;
+            if uniform {
+                for d in 0..D {
+                    big[d] += ((it.req[d] > 0.5 * caps[0][d] + EPS) as usize) * count as usize;
+                }
+            }
+        }
+        for d in 0..D {
+            // Uniform capacities use the historical `bins × cap` total
+            // (exact for the unit case); heterogeneous bins sum.
+            let total = if uniform {
+                bins as f64 * caps[0][d]
+            } else {
+                caps.iter().map(|c| c[d]).sum()
+            };
+            if sums[d] > total + EPS {
+                return false;
+            }
+            if uniform && big[d] > bins {
+                return false;
+            }
+        }
+
+        // Partition runs into the D dominance lists and build each.
+        for list in scratch.lists.iter_mut() {
+            list.runs.clear();
+        }
+        for &(it, count) in runs {
+            scratch.lists[it.dominant()].runs.push((it, count));
+        }
+        for list in scratch.lists.iter_mut() {
+            list.build();
+        }
+
+        scratch.bin_of.resize(n, u32::MAX);
+        let mut placed = 0usize;
+
+        for (b, cap) in caps.iter().enumerate() {
+            if placed == n {
+                break;
+            }
+            let mut bin = VecBin::new(*cap);
+            for list in scratch.lists.iter_mut() {
+                list.cursor = 0;
+            }
+            loop {
+                // Order the lists by the bin's residual capacities,
+                // freest dimension first; a free-capacity tie prefers
+                // the list with the larger head, then the higher
+                // dimension index (module docs: this degenerates to
+                // MCB8's `prefer_mem` rule exactly).
+                let mut heads = [f64::NEG_INFINITY; D];
+                for (d, h) in heads.iter_mut().enumerate() {
+                    *h = scratch.lists[d].head_key();
+                }
+                let mut order = [0usize; D];
+                for (d, o) in order.iter_mut().enumerate() {
+                    *o = d;
+                }
+                // Insertion sort with the pairwise "a before b"
+                // predicate: deterministic for small fixed D.
+                for i in 1..D {
+                    let mut j = i;
+                    while j > 0 {
+                        let (a, b) = (order[j], order[j - 1]);
+                        let before = if dfrs_core::approx::eq(bin.free(a), bin.free(b)) {
+                            if heads[a] == heads[b] {
+                                a > b
+                            } else {
+                                heads[a] > heads[b]
+                            }
+                        } else {
+                            bin.free(a) > bin.free(b)
+                        };
+                        if before {
+                            order.swap(j, j - 1);
+                            j -= 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+
+                let mut picked = None;
+                for &d in order.iter() {
+                    if let Some(item) = scratch.lists[d].take_first_fit(d, &bin) {
+                        picked = Some(item);
+                        break;
+                    }
+                }
+                match picked {
+                    Some(item) => {
+                        bin.place(&item);
+                        scratch.bin_of[item.id as usize] = b as u32;
+                        placed += 1;
+                        if placed == n {
+                            break;
+                        }
+                    }
+                    None => break, // nothing fits; open the next bin
+                }
+            }
+        }
+
+        placed == n
+    }
+
+    /// One-shot convenience over expanded items and uniform unit bins
+    /// (tests, examples). Returns the assignment when everything fits.
+    pub fn pack_unit(&self, items: &[VecItem<D>], bins: usize) -> Option<Vec<u32>> {
+        let mut scratch = VecPackScratch::new();
+        let caps = vec![[1.0; D]; bins];
+        let mut runs: Vec<(VecItem<D>, u32)> = Vec::new();
+        for it in items {
+            match runs.last_mut() {
+                Some((first, count)) if first.req == it.req && first.id + *count == it.id => {
+                    *count += 1;
+                }
+                _ => runs.push((*it, 1)),
+            }
+        }
+        self.pack_runs_into(&runs, &caps, &mut scratch)
+            .then(|| scratch.bin_of.clone())
+    }
+}
+
+/// Validate an assignment: every item placed exactly once, no bin over
+/// capacity in any dimension (tests and debug assertions).
+pub fn assignment_is_valid<const D: usize>(
+    items: &[VecItem<D>],
+    caps: &[[f64; D]],
+    bin_of: &[u32],
+) -> bool {
+    if bin_of.len() != items.len() {
+        return false;
+    }
+    let mut used = vec![[0.0f64; D]; caps.len()];
+    for item in items {
+        let Some(&b) = bin_of.get(item.id as usize) else {
+            return false;
+        };
+        let b = b as usize;
+        if b >= caps.len() {
+            return false;
+        }
+        for (u, &r) in used[b].iter_mut().zip(item.req.iter()) {
+            *u += r;
+        }
+    }
+    used.iter()
+        .zip(caps.iter())
+        .all(|(u, c)| (0..D).all(|d| u[d] <= c[d] + EPS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items3(reqs: &[[f64; 3]]) -> Vec<VecItem<3>> {
+        reqs.iter()
+            .enumerate()
+            .map(|(i, &req)| VecItem { id: i as u32, req })
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_packs_trivially() {
+        assert!(McbVec::<3>.pack_unit(&[], 0).is_some());
+        assert!(McbVec::<3>.pack_unit(&[], 4).is_some());
+    }
+
+    #[test]
+    fn oversized_item_fails_in_any_dimension() {
+        for d in 0..3 {
+            let mut req = [0.1; 3];
+            req[d] = 1.2;
+            assert!(
+                McbVec::<3>.pack_unit(&items3(&[req]), 4).is_none(),
+                "dim {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_capacity_binds_even_with_free_cpu_and_memory() {
+        // Three items needing 60% GPU each: two nodes can host at most
+        // two, whatever their CPU/memory slack.
+        let its = items3(&[[0.1, 0.1, 0.6]; 3]);
+        assert!(McbVec::<3>.pack_unit(&its, 2).is_none());
+        assert!(McbVec::<3>.pack_unit(&its, 3).is_some());
+    }
+
+    #[test]
+    fn complementary_items_share_bins_across_three_dimensions() {
+        // CPU-heavy, memory-heavy and GPU-heavy items are mutually
+        // complementary: three per bin, two bins.
+        let its = items3(&[
+            [0.8, 0.1, 0.05],
+            [0.1, 0.8, 0.05],
+            [0.05, 0.1, 0.8],
+            [0.8, 0.1, 0.05],
+            [0.1, 0.8, 0.05],
+            [0.05, 0.1, 0.8],
+        ]);
+        let bin_of = McbVec::<3>.pack_unit(&its, 2).unwrap();
+        assert!(assignment_is_valid(&its, &[[1.0; 3]; 2], &bin_of));
+    }
+
+    #[test]
+    fn heterogeneous_capacities_govern_placement() {
+        // One GPU node, one CPU-only node; the GPU item must land on
+        // bin 0 and the result must respect the zero GPU capacity.
+        let caps = [[1.0, 1.0, 1.0], [1.0, 1.0, 0.0]];
+        let its = items3(&[[0.2, 0.2, 0.9], [0.9, 0.2, 0.0]]);
+        let mut scratch = VecPackScratch::new();
+        let runs: Vec<_> = its.iter().map(|&it| (it, 1u32)).collect();
+        assert!(McbVec::<3>.pack_runs_into(&runs, &caps, &mut scratch));
+        assert!(assignment_is_valid(&its, &caps, scratch.bin_of()));
+        assert_eq!(scratch.bin_of()[0], 0, "GPU item needs the GPU node");
+    }
+
+    #[test]
+    fn deterministic_across_repeat_calls() {
+        let its = items3(&[
+            [0.5, 0.3, 0.2],
+            [0.5, 0.3, 0.2],
+            [0.3, 0.5, 0.1],
+            [0.2, 0.1, 0.6],
+        ]);
+        let a = McbVec::<3>.pack_unit(&its, 2).unwrap();
+        let b = McbVec::<3>.pack_unit(&its, 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_gpu_degenerates_to_two_dimensional_behavior() {
+        // With every GPU requirement zero, the GPU dominance list stays
+        // empty and packing matches the 2-dim problem (the proptests in
+        // tests/vecpack_degenerate.rs pin byte-identity against Mcb8).
+        let its = items3(&[
+            [0.9, 0.1, 0.0],
+            [0.1, 0.9, 0.0],
+            [0.9, 0.1, 0.0],
+            [0.1, 0.9, 0.0],
+        ]);
+        let bin_of = McbVec::<3>.pack_unit(&its, 2).unwrap();
+        assert!(assignment_is_valid(&its, &[[1.0; 3]; 2], &bin_of));
+        assert_ne!(bin_of[0], bin_of[2], "two CPU-heavy items can't share");
+    }
+}

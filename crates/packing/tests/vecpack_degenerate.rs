@@ -1,0 +1,190 @@
+//! Properties of the dimension-generic packer and the DRF search.
+//!
+//! The load-bearing one is **degeneracy**: `McbVec::<2>` must be
+//! byte-identical to the hand-specialized `Mcb8` — same feasibility
+//! verdict, same `bin_of` assignment — on arbitrary instances. That is
+//! the contract that lets the stack carry one generic engine for the
+//! N-dimensional schedulers while the golden-trace suite keeps pinning
+//! the historical two-resource path.
+
+use dfrs_core::ids::JobId;
+use dfrs_packing::{
+    assignment_is_valid, drf_feasible_at_share, max_min_dominant_share, DrfJob, DrfSearchScratch,
+    Mcb8, McbVec, PackItem, PackScratch, VecItem, VecPackScratch, VectorPacker,
+};
+use proptest::prelude::*;
+
+fn arb_items3(max_items: usize) -> impl Strategy<Value = Vec<VecItem<3>>> {
+    prop::collection::vec((0.0f64..=1.0, 0.001f64..=1.0, 0.0f64..=1.0), 0..max_items).prop_map(
+        |reqs| {
+            reqs.into_iter()
+                .enumerate()
+                .map(|(i, (cpu, mem, gpu))| VecItem {
+                    id: i as u32,
+                    req: [cpu, mem, gpu],
+                })
+                .collect()
+        },
+    )
+}
+
+/// Random 2-dim instances as parallel (PackItem, VecItem<2>) lists.
+fn arb_items2(max_items: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..=1.0, 0.001f64..=1.0), 0..max_items)
+}
+
+fn arb_drf_jobs(max_jobs: usize) -> impl Strategy<Value = Vec<DrfJob>> {
+    prop::collection::vec(
+        (1u32..5, 0.05f64..=1.0, 0.05f64..=0.8, 0.0f64..=1.0),
+        1..max_jobs,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (tasks, cpu, mem, gpu))| DrfJob {
+                job: JobId(i as u32),
+                tasks,
+                cpu_need: cpu,
+                mem_req: mem,
+                gpu_need: gpu,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// A successful pack never oversubscribes any bin in any of the
+    /// three dimensions.
+    #[test]
+    fn mcbvec_never_oversubscribes_any_dimension(
+        items in arb_items3(40),
+        bins in 1usize..12,
+    ) {
+        if let Some(bin_of) = McbVec::<3>.pack_unit(&items, bins) {
+            let caps = vec![[1.0f64; 3]; bins];
+            prop_assert!(
+                assignment_is_valid(&items, &caps, &bin_of),
+                "oversubscribed: items {:?} bins {}", items, bins
+            );
+        }
+    }
+
+    /// Heterogeneous capacity vectors are respected per bin.
+    #[test]
+    fn mcbvec_respects_heterogeneous_caps(
+        items in arb_items3(24),
+        caps in prop::collection::vec(
+            (0.5f64..=1.0, 0.5f64..=1.0, 0.0f64..=1.0), 1..8
+        ),
+    ) {
+        let caps: Vec<[f64; 3]> = caps.into_iter().map(|(c, m, g)| [c, m, g]).collect();
+        let runs: Vec<(VecItem<3>, u32)> = items.iter().map(|&it| (it, 1u32)).collect();
+        let mut scratch = VecPackScratch::new();
+        if McbVec::<3>.pack_runs_into(&runs, &caps, &mut scratch) {
+            prop_assert!(
+                assignment_is_valid(&items, &caps, scratch.bin_of()),
+                "cap overflow: items {:?} caps {:?}", items, caps
+            );
+        }
+    }
+
+    /// The 2-dim degenerate instance is byte-identical to `Mcb8`: same
+    /// verdict, same assignment, item for item.
+    #[test]
+    fn mcbvec2_is_byte_identical_to_mcb8(
+        reqs in arb_items2(48),
+        bins in 0usize..12,
+    ) {
+        let pack_items: Vec<PackItem> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cpu, mem))| PackItem { id: i as u32, cpu, mem })
+            .collect();
+        let vec_items: Vec<VecItem<2>> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cpu, mem))| VecItem { id: i as u32, req: [cpu, mem] })
+            .collect();
+        let mut scratch = PackScratch::new();
+        let ok8 = Mcb8.pack_into(&pack_items, bins, &mut scratch);
+        let vec_result = McbVec::<2>.pack_unit(&vec_items, bins);
+        prop_assert_eq!(ok8, vec_result.is_some(), "verdicts differ: {:?} bins {}", reqs, bins);
+        if let Some(bin_of) = vec_result {
+            prop_assert_eq!(
+                scratch.bin_of(),
+                &bin_of[..],
+                "assignments differ: {:?} bins {}", reqs, bins
+            );
+        }
+    }
+
+    /// The DRF search returns a valid allocation whose minimum dominant
+    /// share is maximal within the binary-search tolerance: every yield
+    /// respects the floor and cap, the placement never oversubscribes,
+    /// and (unless everyone already runs at full speed) a share target
+    /// two tolerances higher is infeasible for the same packer.
+    #[test]
+    fn drf_min_dominant_share_is_maximal(
+        jobs in arb_drf_jobs(8),
+        nodes in 1usize..8,
+    ) {
+        let accuracy = 0.01;
+        let min_yield = 0.01;
+        let mut scratch = DrfSearchScratch::new();
+        let Some(alloc) =
+            max_min_dominant_share(&jobs, nodes, accuracy, min_yield, &mut scratch)
+        else {
+            // Infeasible even at the floor: the floor profile itself
+            // must fail to pack.
+            prop_assert!(!drf_feasible_at_share(&jobs, nodes, 0.0, min_yield));
+            return Ok(());
+        };
+        // Yields in range, per-job share consistent with the minimum.
+        let mut expanded: Vec<VecItem<3>> = Vec::new();
+        let mut id = 0u32;
+        for (j, (jid, y, places)) in jobs.iter().zip(alloc.allocations.iter()) {
+            prop_assert_eq!(j.job, *jid);
+            prop_assert_eq!(places.len(), j.tasks as usize);
+            prop_assert!(*y >= min_yield - 1e-12 && *y <= 1.0 + 1e-12, "yield {}", y);
+            prop_assert!(
+                j.dominant_need() * *y >= alloc.min_dominant_share - 1e-12,
+                "job below the reported minimum share"
+            );
+            for _ in 0..j.tasks {
+                expanded.push(VecItem {
+                    id,
+                    req: [
+                        (j.cpu_need * *y).min(1.0),
+                        j.mem_req,
+                        (j.gpu_need * *y).min(1.0),
+                    ],
+                });
+                id += 1;
+            }
+        }
+        let bin_of: Vec<u32> = alloc
+            .allocations
+            .iter()
+            .flat_map(|(_, _, places)| places.iter().copied())
+            .collect();
+        let caps = vec![[1.0f64; 3]; nodes];
+        prop_assert!(assignment_is_valid(&expanded, &caps, &bin_of));
+        // Maximality within tolerance, via the bracket certificate: the
+        // returned target packs, the terminal infeasible target (at
+        // most `accuracy` above it) does not. A share level above a
+        // full-speed job's demand cannot change that job's allocation,
+        // so maximality is stated on the bisection bracket rather than
+        // on `min_dominant_share` itself.
+        prop_assert!(drf_feasible_at_share(&jobs, nodes, alloc.target_share, min_yield));
+        if let Some(hi) = alloc.infeasible_share {
+            prop_assert!(
+                !drf_feasible_at_share(&jobs, nodes, hi, min_yield),
+                "bracket end still packs: hi {} jobs {:?} nodes {}", hi, jobs, nodes
+            );
+            prop_assert!(hi - alloc.target_share <= accuracy + 1e-12);
+        } else {
+            // Fast path: everyone at full speed.
+            prop_assert!(alloc.allocations.iter().all(|(_, y, _)| *y == 1.0));
+        }
+    }
+}

@@ -18,6 +18,11 @@ use rand::{Rng, SeedableRng};
 /// not a failure model is attached.
 const FAILURE_SEED_SALT: u64 = 0xFA11_0E5B_94D0_49BB;
 
+/// Seed salt separating GPU-demand annotation from workload generation
+/// and failure-trace randomness: attaching a GPU fraction never changes
+/// which jobs are generated or when nodes fail.
+const GPU_SEED_SALT: u64 = 0x6B0_D3A1_57E2_C4F7;
+
 /// How the platform misbehaves: the scenario-level description that
 /// materializes into the engine's [`NodeEvent`] availability trace.
 ///
@@ -227,6 +232,8 @@ pub enum ScenarioError {
     },
     /// Target offered load must be positive and finite.
     InvalidLoad(f64),
+    /// GPU-annotated job fraction must lie in `[0, 1]`.
+    InvalidGpuFraction(f64),
     /// The failure model is malformed (non-positive MTBF/MTTR, a trace
     /// referencing nodes outside the cluster, …).
     InvalidFailureModel(String),
@@ -249,6 +256,9 @@ impl fmt::Display for ScenarioError {
                 "source produced {count} traces; use build_all() for multi-trace sources"
             ),
             ScenarioError::InvalidLoad(l) => write!(f, "invalid offered load {l}"),
+            ScenarioError::InvalidGpuFraction(g) => {
+                write!(f, "invalid GPU job fraction {g} (must be in [0, 1])")
+            }
             ScenarioError::InvalidFailureModel(e) => write!(f, "invalid failure model: {e}"),
             ScenarioError::Workload(e) => write!(f, "workload construction failed: {e}"),
         }
@@ -364,6 +374,7 @@ pub struct ScenarioBuilder {
     seed: u64,
     config: SimConfig,
     failures: FailureModel,
+    gpu_frac: Option<f64>,
 }
 
 impl Default for ScenarioBuilder {
@@ -384,6 +395,7 @@ impl ScenarioBuilder {
             seed: 1,
             config: SimConfig::default(),
             failures: FailureModel::None,
+            gpu_frac: None,
         }
     }
 
@@ -495,6 +507,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Annotate this fraction of jobs (in `[0, 1]`) with a GPU demand
+    /// drawn uniformly from `[0.05, 1]` per task, deterministically
+    /// from the seed (salted independently of workload generation and
+    /// failure churn — the jobs, their CPU/memory demands, and the
+    /// availability trace are byte-identical with or without this
+    /// call). The default (and `0.0`) leaves every job GPU-free, which
+    /// is the paper's two-resource workload exactly.
+    pub fn gpu_frac(mut self, frac: f64) -> Self {
+        self.gpu_frac = Some(frac);
+        self
+    }
+
     /// Run full invariant validation after every plan (tests).
     pub fn validate(mut self, validate: bool) -> Self {
         self.config.validate = validate;
@@ -522,6 +546,11 @@ impl ScenarioBuilder {
                 return Err(ScenarioError::InvalidLoad(load));
             }
         }
+        if let Some(frac) = self.gpu_frac {
+            if !((0.0..=1.0).contains(&frac) && frac.is_finite()) {
+                return Err(ScenarioError::InvalidGpuFraction(frac));
+            }
+        }
         let source = self.source.as_ref().ok_or(ScenarioError::MissingSource)?;
         let (traces, base_label) = self.materialize(source)?;
         let multi = traces.len() > 1;
@@ -546,11 +575,24 @@ impl ScenarioBuilder {
                 trace.jobs(),
                 self.seed.wrapping_add(i as u64),
             )?;
+            let mut jobs = trace.jobs().to_vec();
+            if let Some(frac) = self.gpu_frac {
+                if frac > 0.0 {
+                    let mut rng =
+                        SmallRng::seed_from_u64(self.seed.wrapping_add(i as u64) ^ GPU_SEED_SALT);
+                    for j in jobs.iter_mut() {
+                        if rng.gen_range(0.0..1.0) < frac {
+                            let g = rng.gen_range(0.05..=1.0);
+                            *j = j.with_gpu(g).expect("drawn GPU demand is in (0, 1]");
+                        }
+                    }
+                }
+            }
             out.push(Scenario {
                 label,
                 load: self.load,
                 cluster: trace.cluster,
-                jobs: trace.jobs().to_vec(),
+                jobs,
                 config,
             });
         }
@@ -801,6 +843,56 @@ mod tests {
             .unwrap();
         assert_eq!(out.records.len(), 25);
         assert!(out.down_node_seconds > 0.0, "churn actually happened");
+    }
+
+    #[test]
+    fn gpu_frac_is_deterministic_and_leaves_cpu_mem_alone() {
+        let mk = |frac: Option<f64>| {
+            let b = ScenarioBuilder::new().lublin(40).load(0.5).seed(9);
+            match frac {
+                Some(f) => b.gpu_frac(f),
+                None => b,
+            }
+            .build()
+            .unwrap()
+        };
+        let plain = mk(None);
+        let zero = mk(Some(0.0));
+        let gpu_a = mk(Some(0.5));
+        let gpu_b = mk(Some(0.5));
+        assert_eq!(plain.jobs, zero.jobs, "frac 0 is the identity");
+        assert_eq!(gpu_a.jobs, gpu_b.jobs, "annotation is deterministic");
+        let annotated = gpu_a.jobs.iter().filter(|j| j.gpu_need > 0.0).count();
+        assert!(
+            annotated > 0 && annotated < gpu_a.jobs.len(),
+            "a strict subset carries GPU demand, got {annotated}/40"
+        );
+        for (p, g) in plain.jobs.iter().zip(gpu_a.jobs.iter()) {
+            assert_eq!(p.id, g.id);
+            assert_eq!(p.submit_time, g.submit_time);
+            assert_eq!(p.cpu_need, g.cpu_need);
+            assert_eq!(p.mem_req, g.mem_req);
+            assert!(g.gpu_need >= 0.0 && g.gpu_need <= 1.0);
+        }
+        assert!(matches!(
+            ScenarioBuilder::new().lublin(5).gpu_frac(1.5).build(),
+            Err(ScenarioError::InvalidGpuFraction(_))
+        ));
+    }
+
+    #[test]
+    fn gpu_scenario_runs_under_drf() {
+        let out = ScenarioBuilder::new()
+            .lublin(20)
+            .load(0.6)
+            .seed(3)
+            .gpu_frac(0.4)
+            .validate(true)
+            .build()
+            .unwrap()
+            .run("dynmcb8-drf")
+            .unwrap();
+        assert_eq!(out.records.len(), 20);
     }
 
     #[test]

@@ -175,6 +175,7 @@ pub struct AllocSet {
 struct AllocJob {
     id: JobId,
     cpu_need: f64,
+    gpu_need: f64,
     placement: Vec<NodeId>,
 }
 
@@ -187,12 +188,17 @@ impl AllocSet {
         }
     }
 
-    /// Add a job with its (planned or current) placement.
-    pub fn push(&mut self, id: JobId, cpu_need: f64, placement: Vec<NodeId>) {
+    /// Add a job with its (planned or current) placement. `gpu_need`
+    /// is the job's fluid GPU demand (0 for the paper's CPU+memory
+    /// workloads); it never steers the yield optimization — the yield
+    /// family stays GPU-oblivious in its objective — but it feeds the
+    /// final feasibility clamp (see [`gpu_clamp`](Self::optimized_yields)).
+    pub fn push(&mut self, id: JobId, cpu_need: f64, gpu_need: f64, placement: Vec<NodeId>) {
         debug_assert!(!placement.is_empty());
         self.jobs.push(AllocJob {
             id,
             cpu_need,
+            gpu_need,
             placement,
         });
     }
@@ -303,6 +309,35 @@ impl AllocSet {
                 yields[i] = 1.0;
             }
         }
+        // GPU feasibility clamp: the optimization above is deliberately
+        // GPU-oblivious (the paper's objective is CPU-only), so on a
+        // GPU-annotated workload it can promise more fluid GPU than a
+        // node has. Scale each GPU consumer down by the worst
+        // oversubscription among its hosting nodes — sufficient in one
+        // pass, since every consumer on an oversubscribed node shrinks
+        // by at least that node's factor. With no GPU demand this is a
+        // guarded no-op, keeping GPU-free runs bit-identical.
+        if self.jobs.iter().any(|j| j.gpu_need > 0.0) {
+            let mut gpu = vec![0.0; self.n_nodes];
+            for (j, y) in self.jobs.iter().zip(&yields) {
+                for &node in &j.placement {
+                    gpu[node.index()] += j.gpu_need * y;
+                }
+            }
+            for (j, y) in self.jobs.iter().zip(yields.iter_mut()) {
+                if j.gpu_need <= 0.0 {
+                    continue;
+                }
+                let mut factor = 1.0f64;
+                for &node in &j.placement {
+                    let load = gpu[node.index()];
+                    if load > 1.0 {
+                        factor = factor.min(load.recip());
+                    }
+                }
+                *y *= factor;
+            }
+        }
         self.jobs
             .iter()
             .zip(yields)
@@ -324,10 +359,45 @@ pub fn alloc_set_of_running(state: &SimState) -> AllocSet {
         set.push(
             j.spec.id,
             j.spec.cpu_need,
+            j.spec.gpu_need,
             state.placement(j.spec.id).to_vec(),
         );
     }
     set
+}
+
+/// The GPU feasibility clamp of [`AllocSet::optimized_yields`] for the
+/// `(job, yield, placement)` assignment shape the stretch scheduler
+/// works in: scale each GPU consumer's yield down by the worst
+/// oversubscription among its hosting nodes. A guarded no-op on
+/// GPU-free workloads (bit-identical runs).
+pub fn gpu_clamp_assignments(
+    n_nodes: usize,
+    gpu_of: impl Fn(JobId) -> f64,
+    assignments: &mut [(JobId, f64, Vec<NodeId>)],
+) {
+    if !assignments.iter().any(|(id, _, _)| gpu_of(*id) > 0.0) {
+        return;
+    }
+    let mut gpu = vec![0.0; n_nodes];
+    for (id, yld, placement) in assignments.iter() {
+        for &node in placement {
+            gpu[node.index()] += gpu_of(*id) * yld;
+        }
+    }
+    for (id, yld, placement) in assignments.iter_mut() {
+        if gpu_of(*id) <= 0.0 {
+            continue;
+        }
+        let mut factor = 1.0f64;
+        for &node in placement.iter() {
+            let load = gpu[node.index()];
+            if load > 1.0 {
+                factor = factor.min(load.recip());
+            }
+        }
+        *yld *= factor;
+    }
 }
 
 /// Jobs in the system ordered by **increasing** priority (pause
@@ -425,9 +495,9 @@ mod tests {
     #[test]
     fn equal_share_yield_of_allocation() {
         let mut set = AllocSet::new(2);
-        set.push(JobId(0), 1.0, vec![NodeId(0)]);
-        set.push(JobId(1), 1.0, vec![NodeId(0)]);
-        set.push(JobId(2), 0.5, vec![NodeId(1)]);
+        set.push(JobId(0), 1.0, 0.0, vec![NodeId(0)]);
+        set.push(JobId(1), 1.0, 0.0, vec![NodeId(0)]);
+        set.push(JobId(2), 0.5, 0.0, vec![NodeId(1)]);
         assert!((set.equal_share_yield() - 0.5).abs() < 1e-12);
     }
 
@@ -436,9 +506,9 @@ mod tests {
         // Node 0 overloaded (2 × need 1.0), node 1 has one small job: the
         // small job must end at yield 1.0, the others stay at 0.5.
         let mut set = AllocSet::new(2);
-        set.push(JobId(0), 1.0, vec![NodeId(0)]);
-        set.push(JobId(1), 1.0, vec![NodeId(0)]);
-        set.push(JobId(2), 0.5, vec![NodeId(1)]);
+        set.push(JobId(0), 1.0, 0.0, vec![NodeId(0)]);
+        set.push(JobId(1), 1.0, 0.0, vec![NodeId(0)]);
+        set.push(JobId(2), 0.5, 0.0, vec![NodeId(1)]);
         let yields = set.greedy_yields();
         assert!((yields[0].1 - 0.5).abs() < 1e-9);
         assert!((yields[1].1 - 0.5).abs() < 1e-9);
@@ -455,10 +525,10 @@ mod tests {
         // 0.2) on node 1. Base = 1/1.0 = 1.0... loads: n0=1.0, n1=0.6 →
         // base 1.0, everyone full. Overload n0: A,D both need 1.0.
         let mut set = AllocSet::new(2);
-        set.push(JobId(0), 1.0, vec![NodeId(0)]); // A
-        set.push(JobId(1), 1.0, vec![NodeId(0)]); // D
-        set.push(JobId(2), 0.4, vec![NodeId(1)]); // B
-        set.push(JobId(3), 0.2, vec![NodeId(1)]); // C
+        set.push(JobId(0), 1.0, 0.0, vec![NodeId(0)]); // A
+        set.push(JobId(1), 1.0, 0.0, vec![NodeId(0)]); // D
+        set.push(JobId(2), 0.4, 0.0, vec![NodeId(1)]); // B
+        set.push(JobId(3), 0.2, 0.0, vec![NodeId(1)]); // C
         let yields = set.greedy_yields();
         // Base = 0.5. Node 1 slack = 1 − 0.3 = 0.7. C (total need 0.2)
         // picked first → raised to 1.0 (consumes 0.1); B raised with
@@ -473,8 +543,8 @@ mod tests {
         // One node: jobs with needs 1.0 + 0.5 → base yield 1/1.5 = 2/3.
         // alloc = 1.0 exactly; no slack; yields stay at base.
         let mut set = AllocSet::new(1);
-        set.push(JobId(0), 1.0, vec![NodeId(0)]);
-        set.push(JobId(1), 0.5, vec![NodeId(0)]);
+        set.push(JobId(0), 1.0, 0.0, vec![NodeId(0)]);
+        set.push(JobId(1), 0.5, 0.0, vec![NodeId(0)]);
         let yields = set.greedy_yields();
         assert!((yields[0].1 - 2.0 / 3.0).abs() < 1e-9);
         assert!((yields[1].1 - 2.0 / 3.0).abs() < 1e-9);
@@ -488,8 +558,8 @@ mod tests {
         // Slack n0 = 1 − 1/3 = 2/3; slack n1 = 0. Nothing improvable on
         // n1 → job 0 frozen by n1, job 1 frozen by n1.
         let mut set = AllocSet::new(2);
-        set.push(JobId(0), 0.5, vec![NodeId(0), NodeId(1)]);
-        set.push(JobId(1), 1.0, vec![NodeId(1)]);
+        set.push(JobId(0), 0.5, 0.0, vec![NodeId(0), NodeId(1)]);
+        set.push(JobId(1), 1.0, 0.0, vec![NodeId(1)]);
         let yields = set.greedy_yields();
         assert!((yields[0].1 - 2.0 / 3.0).abs() < 1e-9);
         assert!((yields[1].1 - 2.0 / 3.0).abs() < 1e-9);
@@ -500,12 +570,42 @@ mod tests {
         // Job 0 has both tasks on node 0 (need 0.4 each), job 1 need 1.0
         // also on node 0: load = 1.8, base = 1/1.8. Slack = 0. Frozen.
         let mut set = AllocSet::new(1);
-        set.push(JobId(0), 0.4, vec![NodeId(0), NodeId(0)]);
-        set.push(JobId(1), 1.0, vec![NodeId(0)]);
+        set.push(JobId(0), 0.4, 0.0, vec![NodeId(0), NodeId(0)]);
+        set.push(JobId(1), 1.0, 0.0, vec![NodeId(0)]);
         let yields = set.greedy_yields();
         for (_, y) in yields {
             assert!((y - 1.0 / 1.8).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn gpu_clamp_scales_consumers_to_capacity() {
+        // Two GPU-1.0 jobs on one node would allocate 2.0 GPUs at
+        // yield 1.0 → each ends at 0.5; the GPU-free job is untouched.
+        let mut set = AllocSet::new(1);
+        set.push(JobId(0), 0.2, 1.0, vec![NodeId(0)]);
+        set.push(JobId(1), 0.2, 1.0, vec![NodeId(0)]);
+        set.push(JobId(2), 0.2, 0.0, vec![NodeId(0)]);
+        let yields = set.greedy_yields();
+        assert!((yields[0].1 - 0.5).abs() < 1e-9, "{}", yields[0].1);
+        assert!((yields[1].1 - 0.5).abs() < 1e-9, "{}", yields[1].1);
+        assert!((yields[2].1 - 1.0).abs() < 1e-9, "{}", yields[2].1);
+    }
+
+    #[test]
+    fn gpu_clamp_assignments_uses_worst_hosting_node() {
+        let gpu = |id: JobId| if id.0 == 2 { 0.0 } else { 0.8 };
+        let mut a = vec![
+            (JobId(0), 1.0, vec![NodeId(0), NodeId(1)]),
+            (JobId(1), 1.0, vec![NodeId(1)]),
+            (JobId(2), 1.0, vec![NodeId(0)]),
+        ];
+        gpu_clamp_assignments(2, gpu, &mut a);
+        // Node 1's load is 1.6 → jobs 0 and 1 scale by 1/1.6; node 0
+        // (0.8) is fine and the GPU-free job keeps its full yield.
+        assert!((a[0].1 - 1.0 / 1.6).abs() < 1e-9, "{}", a[0].1);
+        assert!((a[1].1 - 1.0 / 1.6).abs() < 1e-9, "{}", a[1].1);
+        assert_eq!(a[2].1, 1.0);
     }
 
     #[test]

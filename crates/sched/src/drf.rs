@@ -1,0 +1,394 @@
+//! Multi-resource DFRS with DRF fairness: `DYNMCB8-DRF` and
+//! `DYNMCB8-DRF-PER-T`.
+//!
+//! The paper's DYNMCB8 family maximizes the minimum **yield** — the
+//! right objective when CPU is the only fluid resource. With a second
+//! fluid dimension (GPU) a uniform yield over-rewards jobs whose
+//! dominant demand is small: a job needing `(cpu 0.1, gpu 0.9)` and one
+//! needing `(cpu 0.9, gpu 0.1)` at the same yield consume very
+//! different fractions of their bottleneck resource. These schedulers
+//! instead maximize the minimum **dominant share** `d_i · y_i`
+//! (Ghodsi et al.'s Dominant Resource Fairness, NSDI 2011), where
+//! `d_i = max(cpu_i, gpu_i)` is job *i*'s dominant fluid demand — so
+//! each job's yield is set by a common share target rather than being
+//! the target itself. Memory stays rigid, exactly as in the paper.
+//!
+//! The search ([`dfrs_packing::max_min_dominant_share`]) bisects the
+//! share target over the dimension-generic MCB packer; with every
+//! `gpu_need` at zero the dominant share *is* the CPU fraction and the
+//! objective degenerates to the paper's max-min yield.
+//!
+//! When not even the yield-floor profile packs (memory or rigid
+//! over-subscription), candidates are evicted under the **DRF
+//! preemption ordering**: the job with the largest total dominant-share
+//! demand `d_i · tasks_i` goes first (ties to the lower paper priority
+//! key) — the biggest bottleneck consumer yields capacity, mirroring
+//! how DRF charges each job by its dominant resource.
+//!
+//! * [`DynMcb8Drf`] repacks at every submission, completion, and
+//!   platform event (the `DYNMCB8` cadence);
+//! * [`DynMcb8DrfPer`] repacks every `T` seconds (the `DYNMCB8-PER`
+//!   cadence; arrivals and failure victims wait for the next tick).
+
+use dfrs_core::constants::{DEFAULT_PERIOD_SECS, MIN_STRETCH_PER_YIELD, YIELD_SEARCH_ACCURACY};
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_packing::{max_min_dominant_share, DrfJob, DrfSearchScratch};
+use dfrs_sim::{Plan, RepackStats, SchedEvent, Scheduler, SimState};
+
+/// Reusable buffers for the DRF repack pipeline, plus the clean-epoch
+/// skip shared with the classic family. The DRF search runs cold (no
+/// warm-start memo yet): its per-job yields make result replay a
+/// different, larger state than the uniform-yield memo covers.
+#[derive(Debug, Default)]
+struct DrfRepackScratch {
+    search: DrfSearchScratch,
+    djobs: Vec<DrfJob>,
+    candidates: Vec<JobId>,
+    /// Available-node slice of the last repack (bin `b` → `avail[b]`;
+    /// identity with every node up — see `dynmcb8::packed_allocation`).
+    avail: Vec<NodeId>,
+    /// Searches run (for [`RepackStats`]; every one is cold).
+    searches: u64,
+    /// Epoch of the last eviction-free repack (see
+    /// `dynmcb8::RepackScratch::last_clean_epoch` for the argument).
+    last_clean_epoch: Option<u64>,
+    /// New-run detection, as in `dynmcb8::RepackScratch`.
+    last_seen_epoch: u64,
+}
+
+impl DrfRepackScratch {
+    fn observe_epoch(&mut self, epoch: u64) {
+        if epoch < self.last_seen_epoch {
+            self.last_clean_epoch = None;
+        }
+        self.last_seen_epoch = self.last_seen_epoch.max(epoch);
+    }
+
+    fn stats(&self) -> RepackStats {
+        RepackStats {
+            searches: self.searches,
+            search_hits: 0,
+            packs: self.search.packs,
+            packs_saved: 0,
+        }
+    }
+}
+
+/// The DRF repack pipeline: eviction loop + dominant-share bisection,
+/// then a plan with **per-job** yields (no uniform-yield improvement
+/// pass — the search already assigns each job the yield its dominant
+/// demand warrants, and a CPU-only improvement step would skew the GPU
+/// shares it just balanced).
+fn drf_repack_all(state: &SimState, scratch: &mut DrfRepackScratch) -> Plan {
+    let epoch = state.change_epoch();
+    if scratch.last_clean_epoch == Some(epoch) {
+        return Plan::noop();
+    }
+    crate::common::available_nodes_into(state, &mut scratch.avail);
+    let nodes = scratch.avail.len();
+    let candidates = &mut scratch.candidates;
+    candidates.clear();
+    if nodes > 0 {
+        candidates.extend(state.jobs_in_system().map(|j| j.spec.id));
+    }
+    let in_system = state.jobs_in_system().count();
+
+    let alloc = loop {
+        let djobs = &mut scratch.djobs;
+        djobs.clear();
+        djobs.extend(candidates.iter().map(|&id| {
+            let s = &state.job(id).spec;
+            DrfJob {
+                job: id,
+                tasks: s.tasks,
+                cpu_need: s.cpu_need,
+                mem_req: s.mem_req,
+                gpu_need: s.gpu_need,
+            }
+        }));
+        scratch.searches += 1;
+        match max_min_dominant_share(
+            djobs,
+            nodes.max(1),
+            YIELD_SEARCH_ACCURACY,
+            MIN_STRETCH_PER_YIELD,
+            &mut scratch.search,
+        ) {
+            Some(alloc) => break alloc,
+            None => {
+                // DRF preemption ordering: drop the candidate with the
+                // largest total dominant-share demand (ties to the
+                // lower paper priority key) and retry. An empty set
+                // packs trivially, so this terminates.
+                let victim = candidates
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        let d = |id: JobId| {
+                            let s = &state.job(id).spec;
+                            s.dominant_fluid_need() * s.tasks as f64
+                        };
+                        d(a).total_cmp(&d(b)).then_with(|| {
+                            // max_by keeps the *later* of equal
+                            // elements; compare reversed so the lower
+                            // priority key wins the tie.
+                            state
+                                .job(b)
+                                .priority_key(state.now)
+                                .cmp(&state.job(a).priority_key(state.now))
+                        })
+                    })
+                    .expect("an empty candidate set packs trivially");
+                candidates.retain(|&c| c != victim);
+            }
+        }
+    };
+
+    let clean = alloc.allocations.len() == in_system;
+    scratch.last_clean_epoch = clean.then_some(epoch);
+
+    let mut plan = Plan::noop();
+    for j in state.running_jobs() {
+        if !candidates.contains(&j.spec.id) {
+            plan = plan.pause(j.spec.id);
+        }
+    }
+    let avail = &scratch.avail;
+    for (id, yld, bins) in alloc.allocations {
+        let placement: Vec<NodeId> = bins.into_iter().map(|b| avail[b as usize]).collect();
+        plan = plan.run(id, placement, yld);
+    }
+    plan
+}
+
+/// `DYNMCB8-DRF`: dominant-share repack at every submission,
+/// completion, and platform event.
+#[derive(Debug, Default)]
+pub struct DynMcb8Drf {
+    scratch: DrfRepackScratch,
+}
+
+impl DynMcb8Drf {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        DynMcb8Drf::default()
+    }
+}
+
+impl Scheduler for DynMcb8Drf {
+    fn name(&self) -> String {
+        "DynMCB8-drf".into()
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        self.scratch.observe_epoch(state.change_epoch());
+        match ev {
+            SchedEvent::Submit(_)
+            | SchedEvent::Complete(_)
+            | SchedEvent::NodeDown(_)
+            | SchedEvent::NodeUp(_) => drf_repack_all(state, &mut self.scratch),
+            _ => Plan::noop(),
+        }
+    }
+    fn repack_stats(&self) -> Option<RepackStats> {
+        Some(self.scratch.stats())
+    }
+}
+
+/// `DYNMCB8-DRF-PER-T`: dominant-share repack every `T` seconds;
+/// arrivals and failure victims wait for the next tick.
+#[derive(Debug)]
+pub struct DynMcb8DrfPer {
+    period: f64,
+    scratch: DrfRepackScratch,
+}
+
+impl DynMcb8DrfPer {
+    /// The family default, T = 600 s.
+    pub fn new() -> Self {
+        Self::with_period(DEFAULT_PERIOD_SECS)
+    }
+
+    /// Custom period.
+    pub fn with_period(period: f64) -> Self {
+        assert!(period > 0.0);
+        DynMcb8DrfPer {
+            period,
+            scratch: DrfRepackScratch::default(),
+        }
+    }
+}
+
+impl Default for DynMcb8DrfPer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for DynMcb8DrfPer {
+    fn name(&self) -> String {
+        format!("DynMCB8-drf-per {}", self.period)
+    }
+    fn period(&self) -> Option<f64> {
+        Some(self.period)
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        self.scratch.observe_epoch(state.change_epoch());
+        match ev {
+            SchedEvent::Tick => drf_repack_all(state, &mut self.scratch),
+            // Periodic semantics: victims wait for the next tick. The
+            // clean-epoch memo is already stale (the epoch bumped).
+            _ => Plan::noop(),
+        }
+    }
+    fn repack_stats(&self) -> Option<RepackStats> {
+        Some(self.scratch.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfrs_core::{ClusterSpec, JobSpec};
+    use dfrs_sim::{simulate, SimConfig};
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::new(2, 4, 8.0).unwrap()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            validate: true,
+            ..SimConfig::default()
+        }
+    }
+
+    fn job(id: u32, submit: f64, tasks: u32, cpu: f64, mem: f64, rt: f64) -> JobSpec {
+        JobSpec::new(JobId(id), submit, tasks, cpu, mem, rt).unwrap()
+    }
+
+    fn gpu_job(id: u32, submit: f64, cpu: f64, mem: f64, gpu: f64, rt: f64) -> JobSpec {
+        job(id, submit, 1, cpu, mem, rt).with_gpu(gpu).unwrap()
+    }
+
+    #[test]
+    fn runs_everything_when_feasible() {
+        let jobs = vec![
+            job(0, 0.0, 2, 0.5, 0.4, 100.0),
+            job(1, 10.0, 1, 0.5, 0.4, 50.0),
+        ];
+        let out = simulate(cluster(), &jobs, &mut DynMcb8Drf::new(), &cfg());
+        assert_eq!(out.max_stretch, 1.0, "underloaded cluster → no slowdown");
+    }
+
+    #[test]
+    fn cpu_only_overload_degenerates_to_equal_yields() {
+        // Four 1-task CPU-bound jobs, 2 nodes: with no GPU demand the
+        // dominant share is the CPU fraction → uniform yield ~0.5,
+        // exactly the classic DYNMCB8 outcome.
+        let jobs: Vec<JobSpec> = (0..4).map(|i| job(i, 0.0, 1, 1.0, 0.3, 100.0)).collect();
+        let out = simulate(cluster(), &jobs, &mut DynMcb8Drf::new(), &cfg());
+        for r in &out.records {
+            assert!(
+                (r.completion - 200.0).abs() < 5.0,
+                "completion {} (share accuracy band)",
+                r.completion
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_contention_is_shared_by_dominant_demand() {
+        // Two GPU-saturating jobs forced onto one node by memory: each
+        // has dominant demand 1.0 (GPU), so the equalized share gives
+        // each yield ~0.5 even though CPU alone would fit both.
+        let one_node = ClusterSpec::new(1, 4, 8.0).unwrap();
+        let jobs = vec![
+            gpu_job(0, 0.0, 0.2, 0.3, 1.0, 100.0),
+            gpu_job(1, 0.0, 0.2, 0.3, 1.0, 100.0),
+        ];
+        let out = simulate(one_node, &jobs, &mut DynMcb8Drf::new(), &cfg());
+        for r in &out.records {
+            assert!(
+                (r.completion - 200.0).abs() < 5.0,
+                "GPU-bound pair should each progress at ~0.5, completion {}",
+                r.completion
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_dominance_beats_uniform_yield() {
+        // A GPU-heavy and a CPU-heavy job on one node: their dominant
+        // dimensions differ, so both can run near full speed — DRF
+        // finds yields ≳0.9 where a uniform-yield search would stop at
+        // the first dimension hitting 1.0 combined.
+        let one_node = ClusterSpec::new(1, 4, 8.0).unwrap();
+        let jobs = vec![
+            gpu_job(0, 0.0, 0.1, 0.3, 0.9, 90.0),
+            gpu_job(1, 0.0, 0.9, 0.3, 0.1, 90.0),
+        ];
+        let out = simulate(one_node, &jobs, &mut DynMcb8Drf::new(), &cfg());
+        for r in &out.records {
+            assert!(
+                r.completion < 105.0,
+                "complementary jobs should barely slow down, completion {}",
+                r.completion
+            );
+        }
+    }
+
+    #[test]
+    fn evicts_largest_dominant_consumer_on_memory_pressure() {
+        // Job 0 fills both nodes' memory; job 1 arrives and memory no
+        // longer packs. Job 0 has the larger total dominant demand
+        // (2 tasks × 0.25 vs 1 × 0.25) → it is evicted, job 1 runs.
+        let jobs = vec![
+            job(0, 0.0, 2, 0.25, 1.0, 100.0),
+            job(1, 10.0, 1, 0.25, 0.5, 20.0),
+        ];
+        let out = simulate(cluster(), &jobs, &mut DynMcb8Drf::new(), &cfg());
+        assert!((out.records[1].first_start.unwrap() - 10.0).abs() < 1e-9);
+        assert!(out.preemption_count >= 1);
+        assert!((out.records[0].completion - 120.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_variant_waits_for_ticks() {
+        let jobs = vec![job(0, 10.0, 1, 0.5, 0.2, 50.0)];
+        let out = simulate(
+            cluster(),
+            &jobs,
+            &mut DynMcb8DrfPer::with_period(600.0),
+            &cfg(),
+        );
+        assert!((out.records[0].first_start.unwrap() - 600.0).abs() < 1e-9);
+        assert!((out.records[0].completion - 650.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn survives_node_failure_and_repacks() {
+        let jobs = vec![
+            job(0, 0.0, 1, 1.0, 0.3, 100.0),
+            job(1, 0.0, 1, 1.0, 0.3, 100.0),
+        ];
+        let cfg = SimConfig {
+            validate: true,
+            node_events: vec![dfrs_sim::NodeEvent {
+                time: 10.0,
+                node: NodeId(1),
+                up: false,
+            }],
+            ..SimConfig::default()
+        };
+        let out = simulate(cluster(), &jobs, &mut DynMcb8Drf::new(), &cfg);
+        assert_eq!(out.restart_count, 1, "exactly one job was on node 1");
+        assert_eq!(out.records.len(), 2);
+        assert!(out.records.iter().all(|r| r.completion > 100.0 - 1e-9));
+    }
+
+    #[test]
+    fn names_include_period() {
+        assert_eq!(DynMcb8Drf::new().name(), "DynMCB8-drf");
+        assert_eq!(DynMcb8DrfPer::new().name(), "DynMCB8-drf-per 600");
+    }
+}

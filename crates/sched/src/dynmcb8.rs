@@ -131,16 +131,17 @@ impl RepackScratch {
 
     /// The node set changed (a failure or repair). The clean-repack
     /// epoch memo is stale by construction — the epoch bumped — but is
-    /// dropped here explicitly for clarity; the warm-start memo is
-    /// flushed as well. Its entries are keyed by their complete
-    /// `(jobs, bin count)` inputs, so replays across a membership
-    /// change would still be *correct* (bins are anonymous), but
-    /// entries recorded for a different node set are mostly dead
-    /// weight, and flushing keeps "the memo never outlives the
-    /// platform it measured" as a simple auditable invariant.
+    /// dropped here explicitly for clarity. The warm-start memo is
+    /// **not** flushed: every entry carries the platform identity of
+    /// the available-node set it was recorded against (see
+    /// [`RepackMemo::set_caps_identity`], folded into each fingerprint
+    /// by [`packed_allocation`]), so entries from other memberships can
+    /// never answer — and when an identity returns (a repaired node
+    /// restores a previous set) its entries resume answering instead of
+    /// having been thrown away. Correctness no longer depends on this
+    /// hook being called at all.
     pub(crate) fn on_node_set_change(&mut self) {
         self.last_clean_epoch = None;
-        self.memo.clear();
     }
 }
 
@@ -174,6 +175,14 @@ pub(crate) fn packed_allocation(
     scratch: &mut RepackScratch,
 ) -> PackedAllocation {
     crate::common::available_nodes_into(state, &mut scratch.avail);
+    // Key the warm memo by the *identity* of the available-node set,
+    // not just its size: two memberships of equal size are different
+    // platforms, and an entry recorded under one must not answer under
+    // the other (same-count churn keeps `nodes` — and thus the rest of
+    // the fingerprint — unchanged).
+    scratch.memo.set_caps_identity(RepackMemo::caps_identity(
+        scratch.avail.iter().map(|n| n.index() as u64),
+    ));
     let avail = &scratch.avail;
     let nodes = avail.len();
     let candidates = &mut scratch.candidates;
@@ -267,7 +276,8 @@ pub(crate) fn repack_all(
     scratch.last_clean_epoch = clean.then_some(epoch);
     let mut set = AllocSet::new(state.cluster.nodes().len());
     for (id, placement) in &packed.placements {
-        set.push(*id, state.job(*id).spec.cpu_need, placement.clone());
+        let spec = &state.job(*id).spec;
+        set.push(*id, spec.cpu_need, spec.gpu_need, placement.clone());
     }
     let yields = set.optimized_yields(packed.yield_);
     let mut plan = Plan::noop();
@@ -512,11 +522,17 @@ fn asap_admit(state: &SimState, arrivals: &[JobId]) -> Plan {
     let mut placements = std::collections::HashMap::new();
     for j in state.running_jobs() {
         let placement = state.placement(j.spec.id).to_vec();
-        set.push(j.spec.id, j.spec.cpu_need, placement.clone());
+        set.push(
+            j.spec.id,
+            j.spec.cpu_need,
+            j.spec.gpu_need,
+            placement.clone(),
+        );
         placements.insert(j.spec.id, placement);
     }
     for (id, placement) in admitted {
-        set.push(id, state.job(id).spec.cpu_need, placement.clone());
+        let spec = &state.job(id).spec;
+        set.push(id, spec.cpu_need, spec.gpu_need, placement.clone());
         placements.insert(id, placement);
     }
     let mut plan = Plan::noop();

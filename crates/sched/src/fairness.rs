@@ -20,6 +20,7 @@
 
 use dfrs_core::approx;
 use dfrs_core::constants::{DEFAULT_PERIOD_SECS, MIN_STRETCH_PER_YIELD};
+use dfrs_core::ids::{JobId, NodeId};
 use dfrs_sim::{Plan, SchedEvent, Scheduler, SimState};
 
 use crate::common::AllocSet;
@@ -90,7 +91,8 @@ impl DynMcb8FairPer {
         let mut young_idx = Vec::new();
         for (i, (id, placement)) in packed.placements.iter().enumerate() {
             if state.job(*id).virtual_time <= self.vt_threshold {
-                set_young.push(*id, state.job(*id).spec.cpu_need, placement.clone());
+                let spec = &state.job(*id).spec;
+                set_young.push(*id, spec.cpu_need, spec.gpu_need, placement.clone());
                 young_idx.push(i);
             }
         }
@@ -104,7 +106,8 @@ impl DynMcb8FairPer {
             // re-damp long jobs afterwards (reductions stay feasible).
             let mut set_all = AllocSet::new(nodes);
             for (id, placement) in &packed.placements {
-                set_all.push(*id, state.job(*id).spec.cpu_need, placement.clone());
+                let spec = &state.job(*id).spec;
+                set_all.push(*id, spec.cpu_need, spec.gpu_need, placement.clone());
             }
             let improved = set_all.optimized_yields(packed.yield_);
             for (i, (_, y)) in improved.iter().enumerate() {
@@ -113,11 +116,26 @@ impl DynMcb8FairPer {
             }
         }
 
+        // Final GPU feasibility pass: the damped base path above never
+        // ran through `AllocSet`'s clamp, so clamp the assembled
+        // assignments here (a no-op on GPU-free workloads, and on
+        // yields the improvement path already clamped).
+        let mut assignments: Vec<(JobId, f64, Vec<NodeId>)> = packed
+            .placements
+            .into_iter()
+            .zip(yields)
+            .map(|((id, placement), yld)| (id, yld, placement))
+            .collect();
+        crate::common::gpu_clamp_assignments(
+            nodes,
+            |id| state.job(id).spec.gpu_need,
+            &mut assignments,
+        );
         let mut plan = Plan::noop();
         for id in &packed.evicted_running {
             plan = plan.pause(*id);
         }
-        for ((id, placement), yld) in packed.placements.into_iter().zip(yields) {
+        for (id, yld, placement) in assignments {
             debug_assert!(yld > 0.0 && yld <= 1.0 + approx::EPS);
             plan = plan.run(id, placement, yld.min(1.0));
         }

@@ -78,12 +78,17 @@ impl GreedyCore {
                 continue;
             }
             let placement = state.placement(j.spec.id).to_vec();
-            set.push(j.spec.id, j.spec.cpu_need, placement.clone());
+            set.push(
+                j.spec.id,
+                j.spec.cpu_need,
+                j.spec.gpu_need,
+                placement.clone(),
+            );
             placements.insert(j.spec.id, placement);
         }
         for (id, placement) in new_runs {
             let spec = &state.job(id).spec;
-            set.push(id, spec.cpu_need, placement.clone());
+            set.push(id, spec.cpu_need, spec.gpu_need, placement.clone());
             placements.insert(id, placement);
         }
         let mut plan = Plan::noop();

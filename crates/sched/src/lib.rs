@@ -26,9 +26,12 @@
 //! by user code. [`registry::Algorithm`] enumerates the paper's nine as
 //! a thin shim over the registry for the fixed Table I/II harnesses.
 //! Extensions beyond the paper: [`conservative::ConservativeBf`]
-//! (conservative backfilling) and [`fairness::DynMcb8FairPer`]
-//! (long-job yield damping, the paper's future-work sketch) — both
-//! registered as `conservative-bf` and `dynmcb8-fair-per`.
+//! (conservative backfilling), [`fairness::DynMcb8FairPer`]
+//! (long-job yield damping, the paper's future-work sketch), and the
+//! multi-resource [`drf::DynMcb8Drf`] / [`drf::DynMcb8DrfPer`] family
+//! (max-min **dominant share** over CPU+GPU instead of max-min yield)
+//! — registered as `conservative-bf`, `dynmcb8-fair-per`,
+//! `dynmcb8-drf`, and `dynmcb8-drf-per`.
 //!
 //! ```
 //! use dfrs_core::ids::JobId;
@@ -51,6 +54,7 @@
 pub mod batch;
 pub mod common;
 pub mod conservative;
+pub mod drf;
 pub mod dynmcb8;
 pub mod fairness;
 pub mod greedy;
@@ -60,6 +64,7 @@ pub mod stretch_per;
 
 pub use batch::{Easy, Fcfs};
 pub use conservative::ConservativeBf;
+pub use drf::{DynMcb8Drf, DynMcb8DrfPer};
 pub use dynmcb8::{DynMcb8, DynMcb8AsapPer, DynMcb8Per};
 pub use fairness::DynMcb8FairPer;
 pub use greedy::{Greedy, GreedyPmtn, GreedyPmtnMigr};

@@ -44,6 +44,7 @@ use dfrs_sim::Scheduler;
 
 use crate::batch::{Easy, Fcfs};
 use crate::conservative::ConservativeBf;
+use crate::drf::{DynMcb8Drf, DynMcb8DrfPer};
 use crate::dynmcb8::{DynMcb8, DynMcb8AsapPer, DynMcb8Per, PackerChoice};
 use crate::fairness::DynMcb8FairPer;
 use crate::greedy::{Greedy, GreedyPmtn, GreedyPmtnMigr};
@@ -507,6 +508,21 @@ impl SchedulerRegistry {
             |p| {
                 let t = p.positive_f64_or("t", DEFAULT_PERIOD_SECS)?;
                 Ok(Box::new(DynMcb8StretchPer::with_period(t)))
+            },
+        );
+        reg.register_fn(
+            "dynmcb8-drf",
+            "DYNMCB8-DRF: event-driven repack maximizing the minimum dominant share (DRF, extension)",
+            &[],
+            |_| Ok(Box::new(DynMcb8Drf::new())),
+        );
+        reg.register_fn(
+            "dynmcb8-drf-per",
+            "DYNMCB8-DRF-PER: periodic dominant-share repack (t: period seconds, default 600)",
+            &["t"],
+            |p| {
+                let t = p.positive_f64_or("t", DEFAULT_PERIOD_SECS)?;
+                Ok(Box::new(DynMcb8DrfPer::with_period(t)))
             },
         );
         reg.register_fn(

@@ -79,6 +79,12 @@ impl DynMcb8StretchPer {
         // bins, bin `b` on physical node `avail[b]` (identity with
         // every node up; see `dynmcb8::packed_allocation`).
         crate::common::available_nodes_into(state, &mut self.avail);
+        // Fold the available-node-set identity into every memo
+        // fingerprint (see `dynmcb8::packed_allocation`): entries from
+        // other memberships never answer, returning identities resume.
+        self.memo.set_caps_identity(RepackMemo::caps_identity(
+            self.avail.iter().map(|n| n.index() as u64),
+        ));
         let nodes = self.avail.len();
         let candidates = &mut self.candidates;
         candidates.clear();
@@ -129,6 +135,14 @@ impl DynMcb8StretchPer {
                         state,
                         &mut assignments,
                         state.cluster.nodes().len(),
+                    );
+                    // Stretch optimization is GPU-oblivious like the
+                    // yield family's; clamp GPU consumers to capacity
+                    // (guarded no-op on GPU-free workloads).
+                    crate::common::gpu_clamp_assignments(
+                        state.cluster.nodes().len(),
+                        |id| state.job(id).spec.gpu_need,
+                        &mut assignments,
                     );
                     let mut plan = Plan::noop();
                     for j in state.running_jobs() {
@@ -240,13 +254,11 @@ impl Scheduler for DynMcb8StretchPer {
         self.observe_epoch(state.change_epoch());
         match ev {
             SchedEvent::Tick => self.repack(state),
-            // Periodic semantics: victims wait for the next tick; the
-            // probe ring is flushed because its instances were expanded
-            // against a node set that no longer exists.
-            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => {
-                self.memo.clear();
-                Plan::noop()
-            }
+            // Periodic semantics: victims wait for the next tick. The
+            // memo is left alone — its entries are keyed by the
+            // available-node-set identity (set at each repack), so the
+            // vanished membership's entries simply stop matching.
+            SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => Plan::noop(),
             _ => Plan::noop(),
         }
     }

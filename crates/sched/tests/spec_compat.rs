@@ -11,8 +11,9 @@ proptest! {
 
     /// display(parse(s)) == display(parse(display(parse(s)))) and the
     /// parsed specs are equal: the canonical form is a fixed point.
+    #[test]
     fn parse_display_round_trip(
-        key_idx in 0usize..11,
+        key_idx in 0usize..13,
         t in prop::sample::select(vec![1u32, 60, 300, 600, 3600, 86_400]),
         with_t in prop::sample::select(vec![true, false]),
         packer in prop::sample::select(vec!["mcb8", "first-fit", "best-fit"]),
@@ -42,8 +43,9 @@ proptest! {
 
     /// Uppercasing, underscores, and surrounding whitespace never
     /// change what a spec means.
+    #[test]
     fn parse_is_case_and_separator_insensitive(
-        key_idx in 0usize..11,
+        key_idx in 0usize..13,
         upper in prop::sample::select(vec![true, false]),
         pad in prop::sample::select(vec!["", " ", "  "]),
     ) {
@@ -91,6 +93,80 @@ fn legacy_suffix_builds_with_that_period() {
         reg.build_str("DynMCB8-stretch-per 600").unwrap().name(),
         "DynMCB8-stretch-per 600"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The DRF family round-trips through the spec grammar with any
+    /// period, and the periodic variant carries it into the built
+    /// scheduler's display name.
+    #[test]
+    fn drf_specs_round_trip_and_build(
+        t in prop::sample::select(vec![1u32, 60, 300, 600, 3600, 86_400]),
+    ) {
+        let reg = SchedulerRegistry::builtin();
+        let spec = SchedulerSpec::new("dynmcb8-drf-per").with("t", t);
+        let rendered = spec.to_string();
+        prop_assert_eq!(&rendered.parse::<SchedulerSpec>().unwrap(), &spec);
+        prop_assert_eq!(
+            reg.build(&spec).unwrap().name(),
+            format!("DynMCB8-drf-per {t}")
+        );
+        // The legacy numeric-suffix spelling resolves to the same spec.
+        prop_assert_eq!(reg.parse(&format!("dynmcb8-drf-per-{t}")).unwrap(), spec);
+    }
+
+    /// The suffix rewrite never eats the `-drf` tail of the family
+    /// name: `dynmcb8-drf` is not a period spelling of `dynmcb8`, and
+    /// a numeric suffix on the (parameterless) event-driven key stays
+    /// an unknown key instead of colliding with anything.
+    #[test]
+    fn drf_keys_do_not_collide_with_legacy_suffix_rewrites(
+        n in prop::sample::select(vec![1u32, 60, 600, 3600]),
+    ) {
+        let reg = SchedulerRegistry::builtin();
+        prop_assert_eq!(reg.parse("dynmcb8-drf").unwrap(), SchedulerSpec::new("dynmcb8-drf"));
+        prop_assert!(matches!(
+            reg.parse(&format!("dynmcb8-drf-{n}")),
+            Err(dfrs_sched::SpecError::UnknownKey { .. })
+        ));
+    }
+}
+
+/// The DRF factories reject parameters they don't take, listing what
+/// they do.
+#[test]
+fn drf_family_rejects_unknown_params() {
+    use dfrs_sched::SpecError;
+    let reg = SchedulerRegistry::builtin();
+    match reg.parse("dynmcb8-drf:t=600") {
+        Err(SpecError::UnknownParam {
+            key,
+            param,
+            allowed,
+        }) => {
+            assert_eq!(key, "dynmcb8-drf");
+            assert_eq!(param, "t");
+            assert!(allowed.is_empty(), "event-driven drf takes no params");
+        }
+        other => panic!("expected UnknownParam, got {other:?}"),
+    }
+    match reg.parse("dynmcb8-drf-per:packer=mcb8") {
+        Err(SpecError::UnknownParam { key, allowed, .. }) => {
+            assert_eq!(key, "dynmcb8-drf-per");
+            assert_eq!(allowed, vec!["t".to_string()]);
+        }
+        other => panic!("expected UnknownParam, got {other:?}"),
+    }
+    assert!(matches!(
+        reg.build_str("dynmcb8-drf-per:t=0"),
+        Err(SpecError::InvalidParam { .. })
+    ));
+    assert!(matches!(
+        reg.build_str("dynmcb8-drf-per:t=banana"),
+        Err(SpecError::InvalidParam { .. })
+    ));
 }
 
 /// Spec errors name the known registry keys, so a typo points at the

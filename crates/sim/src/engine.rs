@@ -377,10 +377,16 @@ impl Engine<'_> {
         let now = self.state.now;
         let j = &self.state.jobs[id.index()];
         debug_assert_eq!(j.status, JobStatus::Running);
-        let (need, mem, yld, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.yld, j.spec.tasks);
+        let (need, mem, gpu, yld, tasks) = (
+            j.spec.cpu_need,
+            j.spec.mem_req,
+            j.spec.gpu_need,
+            j.yld,
+            j.spec.tasks,
+        );
         for k in 0..tasks as usize {
             let node = self.state.placement_raw(id)[k];
-            self.state.cluster.remove_task(node, need, mem, yld);
+            self.state.cluster.remove_task(node, need, mem, gpu, yld);
         }
         let j = &mut self.state.jobs[id.index()];
         j.status = JobStatus::Completed;
@@ -425,10 +431,16 @@ impl Engine<'_> {
     fn kill_job(&mut self, id: JobId) {
         let j = &self.state.jobs[id.index()];
         debug_assert_eq!(j.status, JobStatus::Running);
-        let (need, mem, yld, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.yld, j.spec.tasks);
+        let (need, mem, gpu, yld, tasks) = (
+            j.spec.cpu_need,
+            j.spec.mem_req,
+            j.spec.gpu_need,
+            j.yld,
+            j.spec.tasks,
+        );
         for k in 0..tasks as usize {
             let node = self.state.placement_raw(id)[k];
-            self.state.cluster.remove_task(node, need, mem, yld);
+            self.state.cluster.remove_task(node, need, mem, gpu, yld);
         }
         let j = &mut self.state.jobs[id.index()];
         self.lost_vt += j.virtual_time;
@@ -547,10 +559,17 @@ impl Engine<'_> {
             match a.kind {
                 RunKind::Migrate { .. } => {
                     let j = &self.state.jobs[a.job.index()];
-                    let (need, mem, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.spec.tasks);
+                    let (need, mem, gpu, tasks) = (
+                        j.spec.cpu_need,
+                        j.spec.mem_req,
+                        j.spec.gpu_need,
+                        j.spec.tasks,
+                    );
                     for k in 0..tasks as usize {
                         let node = self.state.placement_raw(a.job)[k];
-                        self.state.cluster.remove_task(node, need, mem, a.old_yld);
+                        self.state
+                            .cluster
+                            .remove_task(node, need, mem, gpu, a.old_yld);
                     }
                 }
                 RunKind::Adjust if a.yld < a.old_yld => {
@@ -564,12 +583,13 @@ impl Engine<'_> {
                         );
                     }
                     let need = self.state.jobs[a.job.index()].spec.cpu_need;
+                    let gpu = self.state.jobs[a.job.index()].spec.gpu_need;
                     let tasks = self.state.jobs[a.job.index()].spec.tasks;
                     for k in 0..tasks as usize {
                         let node = self.state.placement_raw(a.job)[k];
                         self.state
                             .cluster
-                            .retarget_task(node, need, a.old_yld, a.yld);
+                            .retarget_task(node, need, gpu, a.old_yld, a.yld);
                     }
                     self.state.jobs[a.job.index()].yld = a.yld;
                 }
@@ -614,10 +634,16 @@ impl Engine<'_> {
             JobStatus::Running,
             "plan pauses non-running job {id}"
         );
-        let (need, mem, yld, tasks) = (j.spec.cpu_need, j.spec.mem_req, j.yld, j.spec.tasks);
+        let (need, mem, gpu, yld, tasks) = (
+            j.spec.cpu_need,
+            j.spec.mem_req,
+            j.spec.gpu_need,
+            j.yld,
+            j.spec.tasks,
+        );
         for k in 0..tasks as usize {
             let node = self.state.placement_raw(id)[k];
-            self.state.cluster.remove_task(node, need, mem, yld);
+            self.state.cluster.remove_task(node, need, mem, gpu, yld);
         }
         let j = &mut self.state.jobs[id.index()];
         j.status = JobStatus::Paused;
@@ -665,9 +691,13 @@ impl Engine<'_> {
             RunKind::Start => {
                 // First start: free (no VM state to move yet).
                 for &n in placement {
-                    self.state
-                        .cluster
-                        .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                    self.state.cluster.add_task(
+                        n,
+                        spec.cpu_need,
+                        spec.mem_req,
+                        spec.gpu_need,
+                        a.yld,
+                    );
                 }
                 self.state.placement_slot(a.job).copy_from_slice(placement);
                 let j = &mut self.state.jobs[a.job.index()];
@@ -682,9 +712,13 @@ impl Engine<'_> {
             RunKind::Resume => {
                 // Restore from storage, charge the penalty.
                 for &n in placement {
-                    self.state
-                        .cluster
-                        .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                    self.state.cluster.add_task(
+                        n,
+                        spec.cpu_need,
+                        spec.mem_req,
+                        spec.gpu_need,
+                        a.yld,
+                    );
                 }
                 self.pmtn_gb +=
                     spec.tasks as f64 * self.state.cluster.spec.task_move_gb(spec.mem_req);
@@ -702,9 +736,13 @@ impl Engine<'_> {
                     let tasks = spec.tasks as usize;
                     for k in 0..tasks {
                         let node = self.state.placement_raw(a.job)[k];
-                        self.state
-                            .cluster
-                            .retarget_task(node, spec.cpu_need, a.old_yld, a.yld);
+                        self.state.cluster.retarget_task(
+                            node,
+                            spec.cpu_need,
+                            spec.gpu_need,
+                            a.old_yld,
+                            a.yld,
+                        );
                     }
                     self.state.jobs[a.job.index()].yld = a.yld;
                 }
@@ -712,9 +750,13 @@ impl Engine<'_> {
             RunKind::Migrate { moved } => {
                 // Old tasks were removed in phase 1.
                 for &n in placement {
-                    self.state
-                        .cluster
-                        .add_task(n, spec.cpu_need, spec.mem_req, a.yld);
+                    self.state.cluster.add_task(
+                        n,
+                        spec.cpu_need,
+                        spec.mem_req,
+                        spec.gpu_need,
+                        a.yld,
+                    );
                 }
                 self.state.placement_slot(a.job).copy_from_slice(placement);
                 let gb_per_task = self.state.cluster.spec.task_move_gb(spec.mem_req);

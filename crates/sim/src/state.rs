@@ -126,6 +126,11 @@ pub struct NodeState {
     pub cpu_alloc: f64,
     /// Sum of memory requirements (must stay ≤ 1 — hard constraint).
     pub mem_used: f64,
+    /// Sum of allocated GPU fractions (`need × yield`; must stay ≤ 1).
+    /// GPU is fluid like CPU: allocations scale with the yield. Zero
+    /// whenever no hosted job declares GPU demand, so the paper's
+    /// two-resource scenarios never observe it.
+    pub gpu_alloc: f64,
     /// Number of hosted tasks.
     pub task_count: u32,
 }
@@ -141,6 +146,12 @@ impl NodeState {
     #[inline]
     pub fn cpu_slack(&self) -> f64 {
         1.0 - self.cpu_alloc
+    }
+
+    /// Remaining allocatable GPU.
+    #[inline]
+    pub fn gpu_slack(&self) -> f64 {
+        1.0 - self.gpu_alloc
     }
 
     /// True when no task is placed here (candidate for power-down).
@@ -298,7 +309,7 @@ impl ClusterState {
     /// Place one task of `job` (at `yld`) on `node`. Panics (debug) on
     /// memory overcommitment — callers must have checked feasibility —
     /// and on placement onto a node that is out of service.
-    pub fn add_task(&mut self, node: NodeId, cpu_need: f64, mem_req: f64, yld: f64) {
+    pub fn add_task(&mut self, node: NodeId, cpu_need: f64, mem_req: f64, gpu_need: f64, yld: f64) {
         debug_assert!(self.node_up[node.index()], "task placed on down {node}");
         let n = self.node_mut(node);
         if n.task_count == 0 {
@@ -308,6 +319,7 @@ impl ClusterState {
         n.cpu_load += cpu_need;
         n.cpu_alloc += cpu_need * yld;
         n.mem_used += mem_req;
+        n.gpu_alloc += gpu_need * yld;
         n.task_count += 1;
         debug_assert!(
             approx::le(n.mem_used, 1.0),
@@ -319,16 +331,29 @@ impl ClusterState {
             "CPU overallocated: {}",
             n.cpu_alloc
         );
+        debug_assert!(
+            approx::le(n.gpu_alloc, 1.0),
+            "GPU overallocated: {}",
+            n.gpu_alloc
+        );
         self.touch(node);
     }
 
     /// Remove one task of `job` from `node`.
-    pub fn remove_task(&mut self, node: NodeId, cpu_need: f64, mem_req: f64, yld: f64) {
+    pub fn remove_task(
+        &mut self,
+        node: NodeId,
+        cpu_need: f64,
+        mem_req: f64,
+        gpu_need: f64,
+        yld: f64,
+    ) {
         let n = self.node_mut(node);
         debug_assert!(n.task_count > 0, "removing task from empty node");
         n.cpu_load = (n.cpu_load - cpu_need).max(0.0);
         n.cpu_alloc = (n.cpu_alloc - cpu_need * yld).max(0.0);
         n.mem_used = (n.mem_used - mem_req).max(0.0);
+        n.gpu_alloc = (n.gpu_alloc - gpu_need * yld).max(0.0);
         n.task_count -= 1;
         if n.task_count == 0 {
             self.busy_nodes -= 1;
@@ -337,19 +362,35 @@ impl ClusterState {
             n.cpu_load = 0.0;
             n.cpu_alloc = 0.0;
             n.mem_used = 0.0;
+            n.gpu_alloc = 0.0;
         }
         self.touch(node);
     }
 
-    /// Adjust the allocated CPU of a hosted task after a yield change.
-    pub fn retarget_task(&mut self, node: NodeId, cpu_need: f64, old_yld: f64, new_yld: f64) {
+    /// Adjust the allocated fluid resources (CPU, GPU) of a hosted task
+    /// after a yield change.
+    pub fn retarget_task(
+        &mut self,
+        node: NodeId,
+        cpu_need: f64,
+        gpu_need: f64,
+        old_yld: f64,
+        new_yld: f64,
+    ) {
         let n = self.node_mut(node);
         n.cpu_alloc += cpu_need * (new_yld - old_yld);
         n.cpu_alloc = n.cpu_alloc.max(0.0);
+        n.gpu_alloc += gpu_need * (new_yld - old_yld);
+        n.gpu_alloc = n.gpu_alloc.max(0.0);
         debug_assert!(
             approx::le(n.cpu_alloc, 1.0),
             "CPU overallocated: {}",
             n.cpu_alloc
+        );
+        debug_assert!(
+            approx::le(n.gpu_alloc, 1.0),
+            "GPU overallocated: {}",
+            n.gpu_alloc
         );
         self.touch(node);
     }
@@ -521,13 +562,13 @@ mod tests {
     #[test]
     fn add_remove_round_trips_node_state() {
         let mut c = cluster();
-        c.add_task(NodeId(1), 0.5, 0.25, 0.8);
+        c.add_task(NodeId(1), 0.5, 0.25, 0.0, 0.8);
         assert_eq!(c.busy_nodes(), 1);
         let n = c.nodes()[1];
         assert!((n.cpu_load - 0.5).abs() < 1e-12);
         assert!((n.cpu_alloc - 0.4).abs() < 1e-12);
         assert!((n.mem_used - 0.25).abs() < 1e-12);
-        c.remove_task(NodeId(1), 0.5, 0.25, 0.8);
+        c.remove_task(NodeId(1), 0.5, 0.25, 0.0, 0.8);
         assert_eq!(c.busy_nodes(), 0);
         assert_eq!(c.nodes()[1], NodeState::default());
     }
@@ -535,8 +576,8 @@ mod tests {
     #[test]
     fn retarget_updates_allocation_only() {
         let mut c = cluster();
-        c.add_task(NodeId(0), 0.5, 0.1, 1.0);
-        c.retarget_task(NodeId(0), 0.5, 1.0, 0.4);
+        c.add_task(NodeId(0), 0.5, 0.1, 0.0, 1.0);
+        c.retarget_task(NodeId(0), 0.5, 0.0, 1.0, 0.4);
         let n = c.nodes()[0];
         assert!((n.cpu_alloc - 0.2).abs() < 1e-12);
         assert!((n.cpu_load - 0.5).abs() < 1e-12);
@@ -545,12 +586,12 @@ mod tests {
     #[test]
     fn idle_counting_tracks_multiple_tasks_per_node() {
         let mut c = cluster();
-        c.add_task(NodeId(2), 0.3, 0.1, 1.0);
-        c.add_task(NodeId(2), 0.3, 0.1, 1.0);
+        c.add_task(NodeId(2), 0.3, 0.1, 0.0, 1.0);
+        c.add_task(NodeId(2), 0.3, 0.1, 0.0, 1.0);
         assert_eq!(c.busy_nodes(), 1);
-        c.remove_task(NodeId(2), 0.3, 0.1, 1.0);
+        c.remove_task(NodeId(2), 0.3, 0.1, 0.0, 1.0);
         assert_eq!(c.busy_nodes(), 1);
-        c.remove_task(NodeId(2), 0.3, 0.1, 1.0);
+        c.remove_task(NodeId(2), 0.3, 0.1, 0.0, 1.0);
         assert_eq!(c.busy_nodes(), 0);
         assert_eq!(c.idle_nodes(), 4);
     }
@@ -558,9 +599,9 @@ mod tests {
     #[test]
     fn max_cpu_load_over_nodes() {
         let mut c = cluster();
-        c.add_task(NodeId(0), 1.0, 0.1, 0.5);
-        c.add_task(NodeId(0), 1.0, 0.1, 0.5);
-        c.add_task(NodeId(3), 0.7, 0.1, 1.0);
+        c.add_task(NodeId(0), 1.0, 0.1, 0.0, 0.5);
+        c.add_task(NodeId(0), 1.0, 0.1, 0.0, 0.5);
+        c.add_task(NodeId(3), 0.7, 0.1, 0.0, 1.0);
         assert!((c.max_cpu_load() - 2.0).abs() < 1e-12);
     }
 
@@ -568,14 +609,14 @@ mod tests {
     fn epochs_mark_dirty_nodes() {
         let mut c = cluster();
         let e0 = c.epoch();
-        c.add_task(NodeId(2), 0.3, 0.1, 1.0);
-        c.add_task(NodeId(1), 0.3, 0.1, 1.0);
+        c.add_task(NodeId(2), 0.3, 0.1, 0.0, 1.0);
+        c.add_task(NodeId(1), 0.3, 0.1, 0.0, 1.0);
         assert!(c.epoch() > e0);
         let dirty: Vec<NodeId> = c.dirty_nodes_since(e0).collect();
         assert_eq!(dirty, vec![NodeId(1), NodeId(2)]);
         let e1 = c.epoch();
         assert_eq!(c.dirty_nodes_since(e1).count(), 0);
-        c.retarget_task(NodeId(1), 0.3, 1.0, 0.5);
+        c.retarget_task(NodeId(1), 0.3, 0.0, 1.0, 0.5);
         assert_eq!(c.dirty_nodes_since(e1).collect::<Vec<_>>(), [NodeId(1)]);
     }
 
@@ -606,7 +647,7 @@ mod tests {
     #[test]
     fn down_nodes_are_not_idle_capacity() {
         let mut c = cluster();
-        c.add_task(NodeId(0), 0.3, 0.1, 1.0);
+        c.add_task(NodeId(0), 0.3, 0.1, 0.0, 1.0);
         assert_eq!(c.idle_nodes(), 3);
         c.set_node_up(NodeId(3), false);
         assert_eq!(c.idle_nodes(), 2, "a down node is not idle");

@@ -77,6 +77,13 @@ pub enum ValidationError {
         /// Recomputed CPU allocation.
         cpu_alloc: f64,
     },
+    /// A node's recomputed GPU allocation exceeds capacity.
+    GpuOverallocated {
+        /// Offending node.
+        node: NodeId,
+        /// Recomputed GPU allocation.
+        gpu_alloc: f64,
+    },
     /// Incrementally maintained node state drifted from the recomputed
     /// truth.
     BookkeepingDrift {
@@ -133,6 +140,9 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::CpuOverallocated { node, cpu_alloc } => {
                 write!(f, "{node} CPU overallocated: {cpu_alloc}")
+            }
+            ValidationError::GpuOverallocated { node, gpu_alloc } => {
+                write!(f, "{node} GPU overallocated: {gpu_alloc}")
             }
             ValidationError::BookkeepingDrift {
                 node,
@@ -196,6 +206,7 @@ pub fn check_invariants(state: &SimState) -> Result<(), ValidationError> {
                     }
                     ns.cpu_load += j.spec.cpu_need;
                     ns.cpu_alloc += j.spec.cpu_need * j.yld;
+                    ns.gpu_alloc += j.spec.gpu_need * j.yld;
                     ns.mem_used += j.spec.mem_req;
                     ns.task_count += 1;
                 }
@@ -252,8 +263,15 @@ pub fn check_invariants(state: &SimState) -> Result<(), ValidationError> {
                 cpu_alloc: want.cpu_alloc,
             });
         }
+        if want.gpu_alloc > 1.0 + SUM_TOLERANCE {
+            return Err(ValidationError::GpuOverallocated {
+                node,
+                gpu_alloc: want.gpu_alloc,
+            });
+        }
         if (got.cpu_load - want.cpu_load).abs() > SUM_TOLERANCE
             || (got.cpu_alloc - want.cpu_alloc).abs() > SUM_TOLERANCE
+            || (got.gpu_alloc - want.gpu_alloc).abs() > SUM_TOLERANCE
             || (got.mem_used - want.mem_used).abs() > SUM_TOLERANCE
             || got.task_count != want.task_count
         {
@@ -350,6 +368,13 @@ pub enum PlanError {
         /// Its CPU allocation after the plan.
         cpu_alloc: f64,
     },
+    /// Applying the plan would exceed a node's GPU capacity.
+    OverCapacityGpu {
+        /// Overflowing node.
+        node: NodeId,
+        /// Its GPU allocation after the plan.
+        gpu_alloc: f64,
+    },
     /// A timer is scheduled in the past.
     TimerInPast {
         /// Target job.
@@ -391,6 +416,9 @@ impl fmt::Display for PlanError {
             }
             PlanError::OverCapacityCpu { node, cpu_alloc } => {
                 write!(f, "plan overallocates {node} CPU: {cpu_alloc}")
+            }
+            PlanError::OverCapacityGpu { node, gpu_alloc } => {
+                write!(f, "plan overallocates {node} GPU: {gpu_alloc}")
             }
             PlanError::TimerInPast { job, at, now } => {
                 write!(f, "plan sets timer for {job} in the past ({at} < {now})")
@@ -490,12 +518,14 @@ pub fn check_plan(state: &SimState, plan: &Plan) -> Result<(), PlanError> {
     // incrementally — the disagreement window is a few ulps).
     let mut mem = vec![0.0f64; n_nodes];
     let mut cpu = vec![0.0f64; n_nodes];
+    let mut gpu = vec![0.0f64; n_nodes];
     for j in state.running_jobs() {
         let touched = seen[j.spec.id.index()];
         for &node in state.placement(j.spec.id) {
             if !touched {
                 mem[node.index()] += j.spec.mem_req;
                 cpu[node.index()] += j.spec.cpu_need * j.yld;
+                gpu[node.index()] += j.spec.gpu_need * j.yld;
             }
         }
     }
@@ -519,6 +549,14 @@ pub fn check_plan(state: &SimState, plan: &Plan) -> Result<(), PlanError> {
                     return Err(PlanError::OverCapacityCpu {
                         node,
                         cpu_alloc: *c,
+                    });
+                }
+                let g = &mut gpu[node.index()];
+                *g += spec.gpu_need * yld.min(1.0);
+                if !approx::le(*g, 1.0) {
+                    return Err(PlanError::OverCapacityGpu {
+                        node,
+                        gpu_alloc: *g,
                     });
                 }
             }
@@ -551,8 +589,8 @@ mod tests {
         s.index_transition(JobId(0), JobStatus::Pending, JobStatus::Running);
         s.placement_slot(JobId(0))
             .copy_from_slice(&[NodeId(0), NodeId(1)]);
-        s.cluster.add_task(NodeId(0), 0.5, 0.4, yld);
-        s.cluster.add_task(NodeId(1), 0.5, 0.4, yld);
+        s.cluster.add_task(NodeId(0), 0.5, 0.4, 0.0, yld);
+        s.cluster.add_task(NodeId(1), 0.5, 0.4, 0.0, yld);
     }
 
     #[test]
@@ -572,7 +610,7 @@ mod tests {
         let mut s = base_state();
         run_job0(&mut s, 1.0);
         // Engine-side allocation silently dropped -> drift.
-        s.cluster.remove_task(NodeId(0), 0.5, 0.4, 1.0);
+        s.cluster.remove_task(NodeId(0), 0.5, 0.4, 0.0, 1.0);
         let err = check_invariants(&s).unwrap_err();
         assert!(
             matches!(err, ValidationError::BookkeepingDrift { node, .. } if node == NodeId(0)),
