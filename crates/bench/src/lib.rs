@@ -13,7 +13,7 @@
 //!   regression guard, which compares current event-loop throughput
 //!   against the last recorded `BENCH_sim.json`.
 
-pub mod json;
+pub use dfrs_core::json;
 pub mod report;
 pub mod scales;
 

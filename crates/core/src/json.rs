@@ -2,10 +2,12 @@
 //!
 //! The build environment has no registry access, so `serde` is not
 //! available; this module implements the small slice of JSON the
-//! benchmark subsystem needs — `BENCH_sim.json` emission, the perf
-//! regression guard that reads it back, and the golden-trace snapshot
-//! suite. Floats that must round-trip **bit-exactly** (golden metrics)
-//! are stored as `"0x<16 hex digits>"` bit strings, not JSON numbers.
+//! workspace needs — `BENCH_sim.json` emission, the perf regression
+//! guard that reads it back, the golden-trace snapshot suites, the
+//! engine's snapshot/restore format, and the `dfrs-serve` line
+//! protocol. Floats that must round-trip **bit-exactly** (golden
+//! metrics, snapshot state) are stored as `"0x<16 hex digits>"` bit
+//! strings, not JSON numbers.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -82,6 +84,47 @@ impl Value {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Single-line rendering (no trailing newline) for line-delimited
+    /// protocols. Objects are sorted maps, so output is diff-stable.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_string(out, s),
+            Value::Arr(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {

@@ -33,6 +33,7 @@ pub mod error;
 pub mod histogram;
 pub mod ids;
 pub mod job;
+pub mod json;
 pub mod priority;
 pub mod resources;
 pub mod stats;

@@ -70,7 +70,9 @@ impl CellResult {
             restart_count: o.restart_count,
             lost_virtual_seconds: o.lost_virtual_seconds,
             down_node_seconds: o.down_node_seconds,
-            n_jobs: o.records.len(),
+            // Streamed outcomes carry no records; the online counter is
+            // the same number on the materialized path.
+            n_jobs: o.jobs_completed as usize,
             sched_wall_total: o.sched_wall_total,
             sched_wall_max: o.sched_wall_max,
             wall_secs: 0.0,
@@ -379,6 +381,15 @@ impl<'a> Campaign<'a> {
         let n_spec = self.specs.len();
         let n_units = n_scen * n_spec;
         let order = self.unit_order();
+        // Resolve each scenario's effective config once, up front. A
+        // cell used to clone the whole SimConfig — availability trace
+        // included — per (scenario, spec) pair; now the `n_spec` cells
+        // of a row share one borrowed copy.
+        let configs: Vec<SimConfig> = self
+            .scenarios
+            .iter()
+            .map(|s| self.effective_config(s))
+            .collect();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let results: Mutex<Vec<Vec<Option<CellResult>>>> =
@@ -394,7 +405,7 @@ impl<'a> Campaign<'a> {
                     }
                     let unit = order[slot];
                     let (i, a) = (unit / n_spec, unit % n_spec);
-                    let cell = self.run_cell(&self.scenarios[i], &self.specs[a]);
+                    let cell = self.run_cell(&self.scenarios[i], &self.specs[a], &configs[i]);
                     // Keep the results mutex free of user code: clone
                     // for the observer, store, then notify under the
                     // observer's own lock so a slow callback (file
@@ -451,12 +462,10 @@ impl<'a> Campaign<'a> {
         order
     }
 
-    fn run_cell(&self, scenario: &Scenario, spec: &SchedulerSpec) -> CellResult {
-        let started = std::time::Instant::now();
-        let mut scheduler = self
-            .registry
-            .build(spec)
-            .unwrap_or_else(|e| panic!("spec {spec} failed to build: {e}"));
+    /// The config a given scenario's cells run under: the campaign-wide
+    /// override (or the scenario's own config), with the per-knob
+    /// overrides applied on top.
+    fn effective_config(&self, scenario: &Scenario) -> SimConfig {
         let mut config = self
             .config
             .clone()
@@ -470,12 +479,31 @@ impl<'a> Campaign<'a> {
         if let Some(m) = self.migration {
             config.migration_mode = m;
         }
-        let outcome = dfrs_sim::simulate(
+        config
+    }
+
+    fn run_cell(
+        &self,
+        scenario: &Scenario,
+        spec: &SchedulerSpec,
+        config: &SimConfig,
+    ) -> CellResult {
+        let started = std::time::Instant::now();
+        let mut scheduler = self
+            .registry
+            .build(spec)
+            .unwrap_or_else(|e| panic!("spec {spec} failed to build: {e}"));
+        // Cells borrow the jobs through the source adapter and drop
+        // records at the sink: a campaign only keeps aggregates, so the
+        // per-job vector was allocated just to be thrown away.
+        let outcome = dfrs_sim::simulate_stream(
             scenario.cluster,
-            &scenario.jobs,
+            &mut scenario.stream(),
+            &mut dfrs_sim::DiscardRecords,
             scheduler.as_mut(),
-            &config,
-        );
+            config,
+        )
+        .unwrap_or_else(|e| panic!("cell {spec} on {} failed: {e}", scenario.label));
         let mut cell = CellResult::from_outcome(spec.clone(), &outcome);
         cell.wall_secs = started.elapsed().as_secs_f64();
         cell

@@ -1,0 +1,177 @@
+//! `dfrs-serve` — the DFRS scheduler as a long-lived daemon.
+//!
+//! Reads NDJSON commands from stdin (default) or a Unix socket and
+//! writes NDJSON events; see the crate docs of `dfrs_serve` for the
+//! command set. Examples:
+//!
+//! ```text
+//! printf '%s\n' \
+//!   '{"cmd":"submit","time":0,"cpu":0.5,"mem":0.25,"runtime":600}' \
+//!   '{"cmd":"drain"}' '{"cmd":"shutdown"}' \
+//!   | dfrs-serve --spec dynmcb8-per:t=300 --nodes 4
+//!
+//! dfrs-serve --spec dynmcb8-drf --socket /tmp/dfrs.sock
+//! dfrs-serve --restore /tmp/checkpoint.json
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::exit;
+
+use dfrs_core::ClusterSpec;
+use dfrs_serve::{Daemon, Flow};
+use dfrs_sim::SimConfig;
+
+const USAGE: &str = "\
+dfrs-serve: streaming DFRS scheduler daemon (NDJSON in, NDJSON out)
+
+USAGE:
+  dfrs-serve --spec SPEC [OPTIONS]
+  dfrs-serve --restore PATH [OPTIONS]
+
+OPTIONS:
+  --spec SPEC       scheduler registry spec (e.g. fcfs, greedy-pmtn,
+                    dynmcb8-per:t=300, dynmcb8-drf)
+  --restore PATH    resume from a dfrs-snapshot-v1 file written by the
+                    snapshot command (the spec is read from the file)
+  --nodes N         cluster nodes            [default: 128]
+  --cores N         cores per node           [default: 4]
+  --mem GB          memory per node in GB    [default: 8]
+  --penalty SECS    rescheduling penalty     [default: 0]
+  --validate        check every plan and engine invariant
+  --socket PATH     serve on a Unix socket instead of stdin/stdout
+  --help            this text
+";
+
+struct Args {
+    spec: Option<String>,
+    restore: Option<String>,
+    nodes: u32,
+    cores: u32,
+    mem: f64,
+    penalty: f64,
+    validate: bool,
+    socket: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let synthetic = ClusterSpec::synthetic();
+    let mut args = Args {
+        spec: None,
+        restore: None,
+        nodes: synthetic.nodes,
+        cores: synthetic.cores_per_node,
+        mem: synthetic.node_memory_gb,
+        penalty: 0.0,
+        validate: false,
+        socket: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value (see --help)"))
+        };
+        match flag.as_str() {
+            "--spec" => args.spec = Some(value()?),
+            "--restore" => args.restore = Some(value()?),
+            "--nodes" => args.nodes = num(&value()?)? as u32,
+            "--cores" => args.cores = num(&value()?)? as u32,
+            "--mem" => args.mem = num(&value()?)?,
+            "--penalty" => args.penalty = num(&value()?)?,
+            "--validate" => args.validate = true,
+            "--socket" => args.socket = Some(value()?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn num(s: &str) -> Result<f64, String> {
+    s.parse::<f64>().map_err(|_| format!("bad number {s:?}"))
+}
+
+fn build_daemon(args: &Args) -> Result<Daemon, String> {
+    if let Some(path) = &args.restore {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        return Daemon::restore(&text);
+    }
+    let spec = args
+        .spec
+        .as_deref()
+        .ok_or("either --spec or --restore is required (see --help)")?;
+    let cluster = ClusterSpec::new(args.nodes, args.cores, args.mem).map_err(|e| e.to_string())?;
+    let config = SimConfig {
+        penalty: args.penalty,
+        validate: args.validate,
+        ..SimConfig::default()
+    };
+    Daemon::new(cluster, spec, config)
+}
+
+/// Feed `input` lines to the daemon, writing events to `output` with a
+/// flush after every command (clients block on responses).
+fn serve(
+    daemon: &mut Daemon,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<Flow> {
+    writeln!(output, "{}", daemon.ready_event().compact())?;
+    output.flush()?;
+    for line in input.lines() {
+        let (events, flow) = daemon.handle_line(&line?);
+        for e in &events {
+            writeln!(output, "{}", e.compact())?;
+        }
+        output.flush()?;
+        if flow == Flow::Shutdown {
+            return Ok(Flow::Shutdown);
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+fn serve_socket(daemon: &mut Daemon, path: &str) -> Result<(), String> {
+    let _ = std::fs::remove_file(path);
+    let listener =
+        std::os::unix::net::UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
+    // Connections are served one at a time against the same session;
+    // a client hanging up just ends its connection, not the daemon.
+    loop {
+        let (stream, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        match serve(daemon, reader, stream) {
+            Ok(Flow::Shutdown) => {
+                let _ = std::fs::remove_file(path);
+                return Ok(());
+            }
+            Ok(Flow::Continue) => {}
+            // A dropped connection mid-write is the client's problem.
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+            Err(e) => return Err(format!("socket i/o: {e}")),
+        }
+    }
+}
+
+fn main() {
+    let result = parse_args().and_then(|args| {
+        let mut daemon = build_daemon(&args)?;
+        match &args.socket {
+            Some(path) => serve_socket(&mut daemon, path),
+            None => serve(
+                &mut daemon,
+                std::io::stdin().lock(),
+                std::io::stdout().lock(),
+            )
+            .map(|_| ())
+            .map_err(|e| format!("stdio: {e}")),
+        }
+    });
+    if let Err(e) = result {
+        eprintln!("dfrs-serve: {e}");
+        exit(2);
+    }
+}

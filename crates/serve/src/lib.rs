@@ -1,0 +1,506 @@
+//! # dfrs-serve
+//!
+//! The streaming service mode of the DFRS workspace: a long-lived
+//! scheduler daemon built on [`dfrs_sim::SimSession`]. Clients drive a
+//! simulated cluster one command at a time over an NDJSON line
+//! protocol — submit jobs, fail and repair nodes, advance the clock —
+//! and the daemon answers with the placement, preemption, and
+//! migration decisions the configured scheduler makes, plus a record
+//! line per finished job.
+//!
+//! The protocol lives in [`Daemon`]; the `dfrs-serve` binary wires it
+//! to stdin/stdout or a Unix socket. One command object per line in,
+//! zero or more event objects per line out:
+//!
+//! | command | fields | effect |
+//! |---|---|---|
+//! | `submit` | `time?`, `tasks?`, `cpu`, `mem`, `runtime`, `gpu?`, `id?` | admit a job (ids are assigned densely; a given `id` must match) |
+//! | `node-down` / `node-up` | `time?`, `node` | platform event at `time` (default: now) |
+//! | `advance` | `time` | run the clock forward, firing everything due |
+//! | `drain` | | run until every admitted job completed |
+//! | `stats` | | one `stats` event, no state change |
+//! | `snapshot` | `path?` | quiescent-state snapshot to `path`, or inline |
+//! | `shutdown` | | final `shutdown` event, then the daemon exits |
+//!
+//! Every response event carries an `"event"` key: `ready`, `submitted`,
+//! `decision`, `record`, `node`, `advanced`, `drained`, `stats`,
+//! `snapshot`, `shutdown`, or `error`. Errors never kill the daemon —
+//! the engine's typed [`dfrs_sim::SimError`] values surface as `error`
+//! events and the session keeps serving.
+//!
+//! Output is deterministic: same command lines, same event lines, byte
+//! for byte — which is what the checked-in golden transcript in CI
+//! asserts, and what makes the snapshot/restore cycle testable (the
+//! resumed daemon must emit exactly what the uninterrupted one would
+//! have).
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::json::{self, obj, Value};
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_sched::SchedulerRegistry;
+use dfrs_sim::{snapshot_spec, AllocEvent, JobRecord, SimConfig, SimSession, TimelineEntry};
+
+/// Whether the daemon should keep reading commands after a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep serving.
+    Continue,
+    /// A `shutdown` command was processed; stop reading.
+    Shutdown,
+}
+
+/// The protocol engine: one [`SimSession`] plus the command dispatch.
+/// Transport-free — the binary (stdin/stdout, Unix socket) and the
+/// tests both feed lines through [`Daemon::handle_line`].
+pub struct Daemon {
+    session: SimSession,
+}
+
+impl Daemon {
+    /// Fresh daemon: build `spec` through the built-in scheduler
+    /// registry and open a session at `t = 0`. The session always
+    /// records the allocation timeline (drained into `decision` events
+    /// after every command, so memory stays flat).
+    ///
+    /// # Errors
+    /// The registry's message when `spec` does not parse or build.
+    pub fn new(cluster: ClusterSpec, spec: &str, mut config: SimConfig) -> Result<Self, String> {
+        let scheduler = SchedulerRegistry::builtin()
+            .build_str(spec)
+            .map_err(|e| e.to_string())?;
+        config.record_timeline = true;
+        Ok(Daemon {
+            session: SimSession::new(cluster, spec, scheduler, config),
+        })
+    }
+
+    /// Resume a daemon from the text of a `dfrs-snapshot-v1` document:
+    /// read the registry spec recorded in it, rebuild the scheduler,
+    /// and restore the session. The resumed daemon continues
+    /// byte-identically to the one that wrote the snapshot.
+    ///
+    /// # Errors
+    /// A human-readable message when the text is not a well-formed
+    /// snapshot or its spec no longer builds.
+    pub fn restore(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| format!("snapshot: {e}"))?;
+        let spec = snapshot_spec(&doc)
+            .ok_or_else(|| "snapshot: missing scheduler spec".to_string())?
+            .to_string();
+        let scheduler = SchedulerRegistry::builtin()
+            .build_str(&spec)
+            .map_err(|e| format!("snapshot spec {spec:?}: {e}"))?;
+        let session = SimSession::restore(&doc, scheduler)?;
+        Ok(Daemon { session })
+    }
+
+    /// Direct access to the underlying session (tests, embedding).
+    pub fn session(&self) -> &SimSession {
+        &self.session
+    }
+
+    /// The `ready` banner emitted once at startup.
+    pub fn ready_event(&self) -> Value {
+        let spec = self.session.state().cluster.spec;
+        obj([
+            ("event".into(), Value::Str("ready".into())),
+            ("spec".into(), Value::Str(self.session.spec().into())),
+            ("nodes".into(), Value::Num(spec.nodes as f64)),
+            ("now".into(), Value::Num(self.session.now())),
+            (
+                "admitted".into(),
+                Value::Num(self.session.admitted() as f64),
+            ),
+        ])
+    }
+
+    /// Process one command line; returns the response events (already
+    /// ordered) and whether to keep serving. Blank lines and `#`
+    /// comments produce no events. A malformed or failing command
+    /// produces a single `error` event and the daemon keeps serving.
+    pub fn handle_line(&mut self, line: &str) -> (Vec<Value>, Flow) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return (Vec::new(), Flow::Continue);
+        }
+        match self.dispatch(line) {
+            Ok(out) => out,
+            Err(message) => (
+                vec![obj([
+                    ("event".into(), Value::Str("error".into())),
+                    ("message".into(), Value::Str(message)),
+                ])],
+                Flow::Continue,
+            ),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<(Vec<Value>, Flow), String> {
+        let v = json::parse(line).map_err(|e| format!("bad command line: {e}"))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "command object needs a \"cmd\" string".to_string())?;
+        match cmd {
+            "submit" => self.submit(&v),
+            "node-down" => self.node_event(&v, false),
+            "node-up" => self.node_event(&v, true),
+            "advance" => self.advance(&v),
+            "drain" => self.drain(),
+            "stats" => Ok((vec![self.stats_event()], Flow::Continue)),
+            "snapshot" => self.snapshot(&v),
+            "shutdown" => {
+                let mut done = self.stats_event();
+                if let Value::Obj(m) = &mut done {
+                    m.insert("event".into(), Value::Str("shutdown".into()));
+                }
+                Ok((vec![done], Flow::Shutdown))
+            }
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+
+    fn submit(&mut self, v: &Value) -> Result<(Vec<Value>, Flow), String> {
+        let time = opt_num(v, "time")?.unwrap_or_else(|| self.session.now());
+        let tasks = opt_num(v, "tasks")?.unwrap_or(1.0) as u32;
+        let cpu = req_num(v, "cpu")?;
+        let mem = req_num(v, "mem")?;
+        let runtime = req_num(v, "runtime")?;
+        let next = JobId(self.session.state().jobs.len() as u32);
+        if let Some(want) = opt_num(v, "id")? {
+            if want as u32 != next.0 {
+                return Err(format!("job id {want} out of order; the next id is {next}"));
+            }
+        }
+        let mut job =
+            JobSpec::new(next, time, tasks, cpu, mem, runtime).map_err(|e| e.to_string())?;
+        if let Some(gpu) = opt_num(v, "gpu")? {
+            job = job.with_gpu(gpu).map_err(|e| e.to_string())?;
+        }
+        let id = self.session.submit(job).map_err(|e| e.to_string())?;
+        let mut events = vec![obj([
+            ("event".into(), Value::Str("submitted".into())),
+            ("job".into(), Value::Num(id.0 as f64)),
+            ("time".into(), Value::Num(time)),
+        ])];
+        self.drain_outputs(&mut events);
+        Ok((events, Flow::Continue))
+    }
+
+    fn node_event(&mut self, v: &Value, up: bool) -> Result<(Vec<Value>, Flow), String> {
+        let time = opt_num(v, "time")?.unwrap_or_else(|| self.session.now());
+        let node = NodeId(req_num(v, "node")? as u32);
+        self.session
+            .node_event(time, node, up)
+            .map_err(|e| e.to_string())?;
+        let mut events = vec![obj([
+            ("event".into(), Value::Str("node".into())),
+            ("node".into(), Value::Num(node.0 as f64)),
+            ("up".into(), Value::Bool(up)),
+            ("time".into(), Value::Num(time)),
+        ])];
+        self.drain_outputs(&mut events);
+        Ok((events, Flow::Continue))
+    }
+
+    fn advance(&mut self, v: &Value) -> Result<(Vec<Value>, Flow), String> {
+        let time = req_num(v, "time")?;
+        self.session.advance_to(time).map_err(|e| e.to_string())?;
+        let mut events = Vec::new();
+        self.drain_outputs(&mut events);
+        events.push(obj([
+            ("event".into(), Value::Str("advanced".into())),
+            ("now".into(), Value::Num(self.session.now())),
+        ]));
+        Ok((events, Flow::Continue))
+    }
+
+    fn drain(&mut self) -> Result<(Vec<Value>, Flow), String> {
+        self.session.drain().map_err(|e| e.to_string())?;
+        let mut events = Vec::new();
+        self.drain_outputs(&mut events);
+        events.push(obj([
+            ("event".into(), Value::Str("drained".into())),
+            ("now".into(), Value::Num(self.session.now())),
+            (
+                "completed".into(),
+                Value::Num(self.session.completed() as f64),
+            ),
+        ]));
+        Ok((events, Flow::Continue))
+    }
+
+    fn snapshot(&mut self, v: &Value) -> Result<(Vec<Value>, Flow), String> {
+        let doc = self.session.snapshot().map_err(|e| e.to_string())?;
+        let event = match v.get("path").and_then(Value::as_str) {
+            Some(path) => {
+                let text = doc.pretty();
+                std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+                obj([
+                    ("event".into(), Value::Str("snapshot".into())),
+                    ("path".into(), Value::Str(path.into())),
+                    ("bytes".into(), Value::Num(text.len() as f64)),
+                ])
+            }
+            None => obj([
+                ("event".into(), Value::Str("snapshot".into())),
+                ("data".into(), doc),
+            ]),
+        };
+        Ok((vec![event], Flow::Continue))
+    }
+
+    fn stats_event(&self) -> Value {
+        obj([
+            ("event".into(), Value::Str("stats".into())),
+            ("spec".into(), Value::Str(self.session.spec().into())),
+            ("now".into(), Value::Num(self.session.now())),
+            ("live".into(), Value::Num(self.session.live_jobs() as f64)),
+            (
+                "admitted".into(),
+                Value::Num(self.session.admitted() as f64),
+            ),
+            (
+                "completed".into(),
+                Value::Num(self.session.completed() as f64),
+            ),
+            (
+                "events_processed".into(),
+                Value::Num(self.session.events_processed() as f64),
+            ),
+            ("quiescent".into(), Value::Bool(self.session.is_quiescent())),
+        ])
+    }
+
+    /// Pull everything the last command produced out of the session:
+    /// timeline entries become `decision` events, completed jobs become
+    /// `record` events.
+    fn drain_outputs(&mut self, out: &mut Vec<Value>) {
+        for e in self.session.take_timeline() {
+            out.push(decision_event(&e));
+        }
+        for r in self.session.take_records() {
+            out.push(record_event(&r));
+        }
+    }
+}
+
+fn decision_event(e: &TimelineEntry) -> Value {
+    let nodes = |ns: &[NodeId]| Value::Arr(ns.iter().map(|n| Value::Num(n.0 as f64)).collect());
+    let mut pairs: Vec<(String, Value)> = vec![
+        ("event".into(), Value::Str("decision".into())),
+        ("time".into(), Value::Num(e.time)),
+        ("job".into(), Value::Num(e.job.0 as f64)),
+    ];
+    let action = match &e.event {
+        AllocEvent::Start { nodes: ns, yld } => {
+            pairs.push(("nodes".into(), nodes(ns)));
+            pairs.push(("yield".into(), Value::Num(*yld)));
+            "start"
+        }
+        AllocEvent::Adjust { yld } => {
+            pairs.push(("yield".into(), Value::Num(*yld)));
+            "adjust"
+        }
+        AllocEvent::Migrate {
+            nodes: ns,
+            yld,
+            moved,
+        } => {
+            pairs.push(("nodes".into(), nodes(ns)));
+            pairs.push(("yield".into(), Value::Num(*yld)));
+            pairs.push(("moved".into(), Value::Num(*moved as f64)));
+            "migrate"
+        }
+        AllocEvent::Pause => "pause",
+        AllocEvent::Kill => "kill",
+        AllocEvent::Resume { nodes: ns, yld } => {
+            pairs.push(("nodes".into(), nodes(ns)));
+            pairs.push(("yield".into(), Value::Num(*yld)));
+            "resume"
+        }
+        AllocEvent::Complete => "complete",
+    };
+    pairs.push(("action".into(), Value::Str(action.into())));
+    obj(pairs)
+}
+
+fn record_event(r: &JobRecord) -> Value {
+    obj([
+        ("event".into(), Value::Str("record".into())),
+        ("job".into(), Value::Num(r.id.0 as f64)),
+        ("submit".into(), Value::Num(r.submit)),
+        (
+            "start".into(),
+            r.first_start.map_or(Value::Null, Value::Num),
+        ),
+        ("completion".into(), Value::Num(r.completion)),
+        ("turnaround".into(), Value::Num(r.turnaround)),
+        ("stretch".into(), Value::Num(r.stretch)),
+        ("preemptions".into(), Value::Num(r.preemptions as f64)),
+        ("migrations".into(), Value::Num(r.migrations as f64)),
+        ("restarts".into(), Value::Num(r.restarts as f64)),
+    ])
+}
+
+fn req_num(v: &Value, key: &str) -> Result<f64, String> {
+    opt_num(v, key)?.ok_or_else(|| format!("command needs a numeric {key:?} field"))
+}
+
+fn opt_num(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} is not a number")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daemon(spec: &str) -> Daemon {
+        Daemon::new(
+            ClusterSpec::new(4, 4, 8.0).unwrap(),
+            spec,
+            SimConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn lines(d: &mut Daemon, line: &str) -> Vec<String> {
+        let (events, _) = d.handle_line(line);
+        events.iter().map(Value::compact).collect()
+    }
+
+    #[test]
+    fn submit_emits_decisions_and_records() {
+        let mut d = daemon("greedy-pmtn");
+        let out = lines(
+            &mut d,
+            r#"{"cmd":"submit","time":0,"cpu":0.5,"mem":0.2,"runtime":100}"#,
+        );
+        assert!(out[0].contains(r#""event":"submitted""#), "{out:?}");
+        assert!(
+            out.iter().any(|l| l.contains(r#""action":"start""#)),
+            "{out:?}"
+        );
+        let out = lines(&mut d, r#"{"cmd":"drain"}"#);
+        assert!(
+            out.iter().any(|l| l.contains(r#""event":"record""#)),
+            "{out:?}"
+        );
+        assert!(out.last().unwrap().contains(r#""event":"drained""#));
+    }
+
+    #[test]
+    fn errors_keep_the_daemon_serving() {
+        let mut d = daemon("fcfs");
+        for bad in [
+            "not json",
+            r#"{"nocmd":1}"#,
+            r#"{"cmd":"warp"}"#,
+            r#"{"cmd":"submit","cpu":0.5,"mem":0.2}"#,
+            r#"{"cmd":"submit","time":-5,"cpu":0.5,"mem":0.2,"runtime":10}"#,
+            r#"{"cmd":"node-down","node":99}"#,
+            r#"{"cmd":"advance","time":-1}"#,
+        ] {
+            let (events, flow) = d.handle_line(bad);
+            assert_eq!(flow, Flow::Continue, "{bad}");
+            assert_eq!(events.len(), 1, "{bad}");
+            assert_eq!(events[0].get("event").unwrap().as_str(), Some("error"));
+        }
+        // Still alive and consistent.
+        let out = lines(
+            &mut d,
+            r#"{"cmd":"submit","time":0,"cpu":0.5,"mem":0.2,"runtime":10}"#,
+        );
+        assert!(out[0].contains(r#""job":0"#), "{out:?}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut d = daemon("fcfs");
+        assert!(d.handle_line("").0.is_empty());
+        assert!(d.handle_line("  # scripted pause").0.is_empty());
+    }
+
+    #[test]
+    fn explicit_out_of_order_id_is_rejected() {
+        let mut d = daemon("fcfs");
+        let (events, _) =
+            d.handle_line(r#"{"cmd":"submit","id":3,"cpu":0.5,"mem":0.2,"runtime":10}"#);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("error"));
+        let (events, _) =
+            d.handle_line(r#"{"cmd":"submit","id":0,"cpu":0.5,"mem":0.2,"runtime":10}"#);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("submitted"));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        let script_prefix = [
+            r#"{"cmd":"submit","time":0,"tasks":2,"cpu":0.5,"mem":0.25,"runtime":600}"#,
+            r#"{"cmd":"submit","time":10,"cpu":1.0,"mem":0.5,"runtime":300}"#,
+            r#"{"cmd":"node-down","time":60,"node":1}"#,
+            r#"{"cmd":"node-up","time":120,"node":1}"#,
+            r#"{"cmd":"drain"}"#,
+        ];
+        let script_suffix = [
+            r#"{"cmd":"submit","time":2000,"cpu":0.5,"mem":0.25,"runtime":120}"#,
+            r#"{"cmd":"submit","time":2030,"tasks":3,"cpu":0.75,"mem":0.3,"runtime":400}"#,
+            r#"{"cmd":"drain"}"#,
+            r#"{"cmd":"stats"}"#,
+        ];
+        let spec = "dynmcb8-per:t=300";
+
+        // Uninterrupted daemon.
+        let mut a = daemon(spec);
+        for line in script_prefix {
+            a.handle_line(line);
+        }
+        let a_suffix: Vec<String> = script_suffix
+            .iter()
+            .flat_map(|l| lines(&mut a, l))
+            .collect();
+
+        // Snapshot after the prefix, restore from the *text* form, and
+        // replay the suffix: byte-identical events.
+        let mut b = daemon(spec);
+        for line in script_prefix {
+            b.handle_line(line);
+        }
+        let (events, _) = b.handle_line(r#"{"cmd":"snapshot"}"#);
+        let doc = events[0].get("data").unwrap();
+        let mut b = Daemon::restore(&doc.pretty()).unwrap();
+        let b_suffix: Vec<String> = script_suffix
+            .iter()
+            .flat_map(|l| lines(&mut b, l))
+            .collect();
+
+        assert_eq!(a_suffix, b_suffix);
+    }
+
+    #[test]
+    fn snapshot_of_a_busy_session_is_an_error_event() {
+        let mut d = daemon("fcfs");
+        d.handle_line(r#"{"cmd":"submit","time":0,"cpu":0.5,"mem":0.2,"runtime":100}"#);
+        let (events, _) = d.handle_line(r#"{"cmd":"snapshot"}"#);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("error"));
+        assert!(events[0]
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("quiescen"));
+    }
+
+    #[test]
+    fn shutdown_stops_the_flow() {
+        let mut d = daemon("fcfs");
+        let (events, flow) = d.handle_line(r#"{"cmd":"shutdown"}"#);
+        assert_eq!(flow, Flow::Shutdown);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("shutdown"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Unix-socket transport test: the same protocol served over
+//! `--socket` must behave exactly like stdin/stdout, survive a client
+//! hanging up, and exit on `shutdown`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn connect(path: &str, child: &mut Child) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return s,
+            Err(_) if Instant::now() < deadline => {
+                if let Some(status) = child.try_wait().expect("try_wait") {
+                    panic!("daemon exited early: {status}");
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("cannot connect to {path}: {e}"),
+        }
+    }
+}
+
+fn send(stream: &mut UnixStream, reader: &mut impl BufRead, line: &str) -> Vec<String> {
+    writeln!(stream, "{line}").expect("write command");
+    stream.flush().expect("flush");
+    // One response line per event; commands used here emit a known
+    // terminal event, so read until we see it.
+    let mut events = Vec::new();
+    loop {
+        let mut buf = String::new();
+        if reader.read_line(&mut buf).expect("read event") == 0 {
+            return events;
+        }
+        let done = [
+            "\"submitted\"",
+            "\"drained\"",
+            "\"stats\"",
+            "\"shutdown\"",
+            "\"error\"",
+        ]
+        .iter()
+        .any(|t| buf.contains(t));
+        events.push(buf.trim_end().to_string());
+        if done {
+            return events;
+        }
+    }
+}
+
+#[test]
+fn socket_serves_the_same_protocol() {
+    let dir = std::env::temp_dir().join(format!("dfrs-serve-sock-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let sock = dir.join("daemon.sock");
+    let sock = sock.to_str().expect("utf-8 path");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dfrs-serve"))
+        .args(["--spec", "greedy-pmtn", "--nodes", "4", "--socket", sock])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+
+    // First client: submit a job, then hang up mid-session.
+    {
+        let mut stream = connect(sock, &mut child);
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut ready = String::new();
+        reader.read_line(&mut ready).expect("ready banner");
+        assert!(ready.contains("\"event\":\"ready\""), "{ready}");
+        let events = send(
+            &mut stream,
+            &mut reader,
+            r#"{"cmd":"submit","time":0,"cpu":0.5,"mem":0.2,"runtime":50}"#,
+        );
+        assert!(
+            events.iter().any(|l| l.contains("\"submitted\"")),
+            "{events:?}"
+        );
+    }
+
+    // Second client: the session survived the hang-up — the job is
+    // still live — and shutdown stops the daemon.
+    let mut stream = connect(sock, &mut child);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut ready = String::new();
+    reader.read_line(&mut ready).expect("ready banner");
+    assert!(ready.contains("\"admitted\":1"), "{ready}");
+    let events = send(&mut stream, &mut reader, r#"{"cmd":"drain"}"#);
+    assert!(
+        events.iter().any(|l| l.contains("\"drained\"")),
+        "{events:?}"
+    );
+    let events = send(&mut stream, &mut reader, r#"{"cmd":"shutdown"}"#);
+    assert!(
+        events.iter().any(|l| l.contains("\"shutdown\"")),
+        "{events:?}"
+    );
+
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success());
+    assert!(!std::path::Path::new(sock).exists(), "socket file removed");
+}

@@ -6,7 +6,23 @@
 //! integrating virtual time and the idle/busy node integrals, and (b)
 //! letting the scheduler react and applying its plan.
 //!
-//! Hot-path internals (indexed state, the placement arena, versioned
+//! ## Streaming loop
+//!
+//! Submissions arrive from a pull-based [`SubmissionSource`] with
+//! one-job lookahead — the engine holds at most one not-yet-due
+//! submission in memory — and completed-job records leave through a
+//! [`RecordSink`] as soon as every lower id has also completed, at which
+//! point the job's state is evicted from the windowed
+//! [`crate::state::JobStore`]. Live-set memory is therefore bounded by
+//! the number of jobs in the system (plus the completed-prefix lag), not
+//! by trace length. The materialized entry point ([`simulate`]) is the
+//! trivial adapter: a slice source feeding a `Vec` sink, byte-identical
+//! to the historical all-in-memory loop (the golden suites pin this).
+//! Within an instant, arrivals are handled before queue events — they
+//! carried the lowest sequence numbers when submissions lived in the
+//! materialized queue — and completions before either.
+//!
+//! Hot-path internals (indexed state, per-job placement slots, versioned
 //! timers, why completions stay derived) are documented in DESIGN.md
 //! §"Engine internals".
 //!
@@ -33,10 +49,12 @@ use dfrs_core::approx;
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_core::{ClusterSpec, JobSpec};
 
+use crate::error::SimError;
 use crate::event::{EventKind, EventQueue};
 use crate::outcome::{make_record, DecisionSample, SimOutcome};
 use crate::plan::{Plan, PlanEntry, SchedEvent, Scheduler};
-use crate::state::{JobStatus, SimState};
+use crate::source::{RecordSink, SliceSource, SubmissionSource};
+use crate::state::{JobState, JobStatus, SimState};
 use crate::validate;
 
 /// Virtual-time slack below which a job counts as finished (absorbs the
@@ -119,8 +137,12 @@ pub struct SimConfig {
     /// Record one [`DecisionSample`] per scheduler invocation.
     pub record_decisions: bool,
     /// Record the full allocation [`crate::timeline::Timeline`].
+    /// Off by default — streaming runs must not accumulate unbounded
+    /// per-decision state (the serve daemon drains the log between
+    /// commands instead).
     pub record_timeline: bool,
-    /// Hard cap on processed events (runaway-scheduler guard).
+    /// Hard cap on processed events (runaway-scheduler guard); trips as
+    /// [`SimError::EventCapExceeded`].
     pub max_events: u64,
 }
 
@@ -149,27 +171,43 @@ impl SimConfig {
     }
 }
 
-struct Engine<'a> {
-    state: SimState,
-    queue: EventQueue,
-    config: &'a SimConfig,
-    completed: usize,
+/// The engine proper, shared between the one-shot drivers
+/// ([`simulate_stream`]) and the long-lived [`crate::SimSession`]. Holds
+/// no reference to the config or the scheduler — both are passed into
+/// each method so a session can own all three side by side.
+pub(crate) struct EngineCore {
+    pub(crate) state: SimState,
+    pub(crate) queue: EventQueue,
+    /// Jobs admitted so far (= `state.jobs.len()`, kept as a counter for
+    /// symmetry with `completed`).
+    pub(crate) admitted: usize,
+    pub(crate) completed: usize,
     // Accounting.
-    pmtn_count: u64,
-    migr_count: u64,
-    pmtn_gb: f64,
-    migr_gb: f64,
-    restart_count: u64,
-    lost_vt: f64,
-    idle_ns: f64,
-    busy_ns: f64,
-    down_ns: f64,
-    sched_wall: f64,
-    sched_max: f64,
-    sched_calls: u64,
-    decisions: Vec<DecisionSample>,
-    timeline: crate::timeline::Timeline,
-    events_processed: u64,
+    pub(crate) pmtn_count: u64,
+    pub(crate) migr_count: u64,
+    pub(crate) pmtn_gb: f64,
+    pub(crate) migr_gb: f64,
+    pub(crate) restart_count: u64,
+    pub(crate) lost_vt: f64,
+    pub(crate) idle_ns: f64,
+    pub(crate) busy_ns: f64,
+    pub(crate) down_ns: f64,
+    pub(crate) sched_wall: f64,
+    pub(crate) sched_max: f64,
+    pub(crate) sched_calls: u64,
+    pub(crate) events_processed: u64,
+    // Online record aggregates, folded in emission (= id) order with the
+    // same operations the materialized path used over its records vector,
+    // so streamed aggregates are bit-identical.
+    pub(crate) makespan: f64,
+    pub(crate) stretch_max: f64,
+    pub(crate) stretch_sum: f64,
+    // High-water marks of the bounded live set (memory-flatness proof
+    // for endless feeds).
+    pub(crate) peak_live: usize,
+    pub(crate) peak_resident: usize,
+    pub(crate) decisions: Vec<DecisionSample>,
+    pub(crate) timeline: crate::timeline::Timeline,
     // Reused per-event scratch (never observable in results).
     actions: Vec<RunAction>,
     pauses: Vec<JobId>,
@@ -178,156 +216,342 @@ struct Engine<'a> {
 }
 
 /// Run `scheduler` over `jobs` (sorted by submit time, dense ids) on
-/// `cluster`. Panics on scheduler protocol violations (invalid plans)
-/// and on deadlock (jobs in the system with no way to ever progress) —
-/// both are bugs, not data conditions.
+/// `cluster`. Panics on scheduler protocol violations (invalid plans),
+/// on deadlock (jobs in the system with no way to ever progress), and on
+/// the event cap — all bugs, not data conditions. Fallible callers use
+/// [`try_simulate`] or [`simulate_stream`].
 pub fn simulate(
     cluster: ClusterSpec,
     jobs: &[JobSpec],
     scheduler: &mut dyn Scheduler,
     config: &SimConfig,
 ) -> SimOutcome {
-    let mut engine = Engine {
-        state: SimState::new(cluster, jobs),
-        queue: EventQueue::new(jobs.len()),
-        config,
-        completed: 0,
-        pmtn_count: 0,
-        migr_count: 0,
-        pmtn_gb: 0.0,
-        migr_gb: 0.0,
-        restart_count: 0,
-        lost_vt: 0.0,
-        idle_ns: 0.0,
-        busy_ns: 0.0,
-        down_ns: 0.0,
-        sched_wall: 0.0,
-        sched_max: 0.0,
-        sched_calls: 0,
-        decisions: Vec::new(),
-        timeline: crate::timeline::Timeline::default(),
-        events_processed: 0,
-        actions: Vec::new(),
-        pauses: Vec::new(),
-        moved_a: Vec::new(),
-        moved_b: Vec::new(),
-    };
-    for (i, j) in jobs.iter().enumerate() {
-        debug_assert_eq!(j.id.index(), i, "jobs must have dense ids in order");
-        engine.queue.push(j.submit_time, EventKind::Submit(j.id));
-    }
-    if let Some(period) = scheduler.period() {
-        assert!(period > 0.0, "scheduler period must be positive");
-        engine.queue.push(period, EventKind::Tick);
-    }
-    for ev in &config.node_events {
-        assert!(
-            ev.node.index() < cluster.nodes as usize,
-            "node event references nonexistent {} (cluster has {} nodes)",
-            ev.node,
-            cluster.nodes
-        );
-        let kind = if ev.up {
-            EventKind::NodeUp(ev.node)
-        } else {
-            EventKind::NodeDown(ev.node)
-        };
-        engine.queue.push(ev.time, kind);
-    }
-    engine.run(scheduler);
-    let mut outcome = engine.into_outcome(scheduler.name());
-    outcome.repack = scheduler.repack_stats();
-    outcome
+    try_simulate(cluster, jobs, scheduler, config).unwrap_or_else(|e| panic!("{e}"))
 }
 
-impl Engine<'_> {
-    fn run(&mut self, scheduler: &mut dyn Scheduler) {
-        let total = self.state.jobs.len();
-        while self.completed < total {
-            self.events_processed += 1;
-            assert!(
-                self.events_processed <= self.config.max_events,
-                "event cap exceeded ({}) — runaway scheduler?",
-                self.config.max_events
-            );
+/// [`simulate`], but engine-level failures (deadlock, event cap, bad
+/// submission order) come back as [`SimError`] values.
+///
+/// # Errors
+/// Returns [`SimError`] when the run cannot make progress or the
+/// workload violates the submission contract.
+pub fn try_simulate(
+    cluster: ClusterSpec,
+    jobs: &[JobSpec],
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    let mut source = SliceSource::new(jobs);
+    let mut records = Vec::with_capacity(jobs.len());
+    let mut outcome = simulate_stream(cluster, &mut source, &mut records, scheduler, config)?;
+    outcome.records = records;
+    Ok(outcome)
+}
 
-            let next_completion = self.next_completion();
-            let next_ext = self.queue.peek_time();
-            let t_next = match (next_completion, next_ext) {
-                (Some((tc, _)), Some(te)) => tc.min(te),
-                (Some((tc, _)), None) => tc,
-                (None, Some(te)) => te,
-                (None, None) => self.deadlock_panic(),
+/// Run `scheduler` against a pull-based submission feed, streaming
+/// completed-job records into `sink`. Memory stays bounded by the live
+/// set: the trace is never materialized and
+/// [`SimOutcome::records`] comes back empty (aggregates are folded
+/// online and are bit-identical to the materialized path's).
+///
+/// # Errors
+/// Returns [`SimError`] when the run cannot make progress or the source
+/// violates the submission contract (dense ids, non-decreasing times).
+pub fn simulate_stream(
+    cluster: ClusterSpec,
+    source: &mut dyn SubmissionSource,
+    sink: &mut dyn RecordSink,
+    scheduler: &mut dyn Scheduler,
+    config: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    let mut core = EngineCore::new(cluster);
+    core.install_clock_events(&*scheduler, config);
+    core.run_stream(scheduler, source, sink, config)?;
+    let mut outcome = core.into_outcome(scheduler.name());
+    outcome.repack = scheduler.repack_stats();
+    Ok(outcome)
+}
+
+impl EngineCore {
+    pub(crate) fn new(cluster: ClusterSpec) -> Self {
+        EngineCore {
+            state: SimState::empty(cluster),
+            queue: EventQueue::new(),
+            admitted: 0,
+            completed: 0,
+            pmtn_count: 0,
+            migr_count: 0,
+            pmtn_gb: 0.0,
+            migr_gb: 0.0,
+            restart_count: 0,
+            lost_vt: 0.0,
+            idle_ns: 0.0,
+            busy_ns: 0.0,
+            down_ns: 0.0,
+            sched_wall: 0.0,
+            sched_max: 0.0,
+            sched_calls: 0,
+            events_processed: 0,
+            makespan: 0.0,
+            stretch_max: 0.0,
+            stretch_sum: 0.0,
+            peak_live: 0,
+            peak_resident: 0,
+            decisions: Vec::new(),
+            timeline: crate::timeline::Timeline::default(),
+            actions: Vec::new(),
+            pauses: Vec::new(),
+            moved_a: Vec::new(),
+            moved_b: Vec::new(),
+        }
+    }
+
+    /// Seed the queue with the scheduler's first tick and the scenario's
+    /// availability trace. Called exactly once, before any event runs
+    /// (a restored session must *not* call this — its queue already
+    /// carries these, materialized, from the snapshot).
+    pub(crate) fn install_clock_events(&mut self, scheduler: &dyn Scheduler, config: &SimConfig) {
+        if let Some(period) = scheduler.period() {
+            assert!(period > 0.0, "scheduler period must be positive");
+            self.queue.push(period, EventKind::Tick);
+        }
+        for ev in &config.node_events {
+            assert!(
+                ev.node.index() < self.state.cluster.spec.nodes as usize,
+                "node event references nonexistent {} (cluster has {} nodes)",
+                ev.node,
+                self.state.cluster.spec.nodes
+            );
+            let kind = if ev.up {
+                EventKind::NodeUp(ev.node)
+            } else {
+                EventKind::NodeDown(ev.node)
             };
+            self.queue.push(ev.time, kind);
+        }
+    }
+
+    /// The full streaming loop: pull, advance, settle completions, admit
+    /// or dispatch one queue event — until source and live set are both
+    /// drained.
+    pub(crate) fn run_stream(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        source: &mut dyn SubmissionSource,
+        sink: &mut dyn RecordSink,
+        config: &SimConfig,
+    ) -> Result<(), SimError> {
+        let mut pending = self.pull(source)?;
+        while pending.is_some() || self.completed < self.admitted {
+            self.bump_events(config)?;
+
+            let mut t_next = f64::INFINITY;
+            if let Some((tc, _)) = self.next_completion() {
+                t_next = t_next.min(tc);
+            }
+            if let Some(te) = self.queue.peek_time() {
+                t_next = t_next.min(te);
+            }
+            if let Some(j) = pending.as_ref() {
+                t_next = t_next.min(j.submit_time);
+            }
+            if t_next == f64::INFINITY {
+                return Err(self.deadlock());
+            }
             self.advance_to(t_next);
 
             // Finalize every completion due now, one scheduler round each.
-            while let Some(job) = self.due_completion() {
-                self.finish_job(job);
-                let plan = self.call_scheduler(scheduler, SchedEvent::Complete(job));
-                self.apply_plan(plan);
-                if self.completed == total {
-                    return;
-                }
+            self.settle_completions(scheduler, config, sink);
+            if pending.is_none() && self.completed == self.admitted {
+                return Ok(());
             }
 
-            // Then at most one external event at this instant; the loop
-            // re-checks completions before the next one.
-            if self.queue.peek_time().is_some_and(|t| t <= self.state.now) {
-                let (_, kind, valid) = self.queue.pop().expect("peeked");
-                match kind {
-                    EventKind::Submit(job) => {
-                        let js = &mut self.state.jobs[job.index()];
-                        debug_assert_eq!(js.status, JobStatus::Unsubmitted);
-                        js.status = JobStatus::Pending;
-                        self.state.index_transition(
-                            job,
-                            JobStatus::Unsubmitted,
-                            JobStatus::Pending,
-                        );
-                        let plan = self.call_scheduler(scheduler, SchedEvent::Submit(job));
-                        self.apply_plan(plan);
-                    }
-                    EventKind::Timer(job) => {
-                        // Stale timers (cancelled when their job started)
-                        // are dropped silently; the pending check guards
-                        // against schedulers timing non-pending jobs.
-                        if valid && self.state.jobs[job.index()].status == JobStatus::Pending {
-                            let plan = self.call_scheduler(scheduler, SchedEvent::Timer(job));
-                            self.apply_plan(plan);
-                        }
-                    }
-                    EventKind::Tick => {
-                        let period = scheduler.period().expect("tick without a period");
-                        self.queue.push(self.state.now + period, EventKind::Tick);
-                        let plan = self.call_scheduler(scheduler, SchedEvent::Tick);
-                        self.apply_plan(plan);
-                    }
-                    EventKind::NodeDown(node) => {
-                        // Duplicate transitions (explicit availability
-                        // traces may contain them) are dropped silently.
-                        if self.state.cluster.is_up(node) {
-                            self.fail_node(node);
-                            let plan = self.call_scheduler(scheduler, SchedEvent::NodeDown(node));
-                            self.apply_plan(plan);
-                        }
-                    }
-                    EventKind::NodeUp(node) => {
-                        if !self.state.cluster.is_up(node) {
-                            self.state.cluster.set_node_up(node, true);
-                            let plan = self.call_scheduler(scheduler, SchedEvent::NodeUp(node));
-                            self.apply_plan(plan);
-                        }
-                    }
+            // Then at most one arrival or queue event at this instant;
+            // the loop re-checks completions before the next one.
+            // Arrivals go first — they carried the lowest sequence
+            // numbers when submissions lived in the materialized queue.
+            if pending
+                .as_ref()
+                .is_some_and(|j| j.submit_time <= self.state.now)
+            {
+                let spec = pending.take().expect("checked is_some");
+                let id = self.admit(spec);
+                let plan = self.call_scheduler(scheduler, SchedEvent::Submit(id), config);
+                self.apply_plan(plan, config);
+                pending = self.pull(source)?;
+            } else {
+                self.handle_due_queue_event(scheduler, config);
+            }
+        }
+        Ok(())
+    }
+
+    /// Count one engine iteration against the runaway guard.
+    pub(crate) fn bump_events(&mut self, config: &SimConfig) -> Result<(), SimError> {
+        self.events_processed += 1;
+        if self.events_processed > config.max_events {
+            return Err(SimError::EventCapExceeded {
+                max_events: config.max_events,
+            });
+        }
+        Ok(())
+    }
+
+    /// Pull and validate the next submission from the source.
+    pub(crate) fn pull(
+        &mut self,
+        source: &mut dyn SubmissionSource,
+    ) -> Result<Option<JobSpec>, SimError> {
+        let Some(spec) = source.next_job() else {
+            return Ok(None);
+        };
+        let expected = JobId(self.state.jobs.len() as u32);
+        if spec.id != expected {
+            return Err(SimError::NonDenseSubmission {
+                expected,
+                got: spec.id,
+            });
+        }
+        if !spec.submit_time.is_finite() || spec.submit_time < self.state.now {
+            return Err(SimError::SubmissionOutOfOrder {
+                job: spec.id,
+                time: spec.submit_time,
+                now: self.state.now,
+            });
+        }
+        Ok(Some(spec))
+    }
+
+    /// Admit `spec` into the live set as `Pending` (the caller delivers
+    /// the `Submit` scheduler round).
+    pub(crate) fn admit(&mut self, spec: JobSpec) -> JobId {
+        let id = spec.id;
+        let mut js = JobState::new(spec);
+        js.status = JobStatus::Pending;
+        self.state.jobs.push(js);
+        self.state
+            .index_transition(id, JobStatus::Unsubmitted, JobStatus::Pending);
+        self.admitted += 1;
+        self.peak_live = self.peak_live.max(self.state.live.len());
+        self.peak_resident = self.peak_resident.max(self.state.jobs.resident());
+        id
+    }
+
+    /// Finalize every completion due at the current instant, one
+    /// scheduler round each, streaming records out as the completed
+    /// prefix grows.
+    pub(crate) fn settle_completions(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        config: &SimConfig,
+        sink: &mut dyn RecordSink,
+    ) {
+        while let Some(job) = self.due_completion() {
+            self.finish_job(job, config);
+            let plan = self.call_scheduler(scheduler, SchedEvent::Complete(job), config);
+            self.apply_plan(plan, config);
+            self.drain_completed(sink);
+        }
+    }
+
+    /// Emit and evict the completed prefix of the job store: records
+    /// leave in id order (exactly the order the materialized records
+    /// vector had), aggregates fold online with the same operations the
+    /// post-hoc pass used, and retired jobs' timer versions are dropped.
+    pub(crate) fn drain_completed(&mut self, sink: &mut dyn RecordSink) {
+        let mut evicted = false;
+        while self
+            .state
+            .jobs
+            .front()
+            .is_some_and(|j| j.status == JobStatus::Completed)
+        {
+            let j = self.state.jobs.evict_front().expect("front checked");
+            let completion = j
+                .completion
+                .unwrap_or_else(|| panic!("job {} never completed", j.spec.id));
+            let rec = make_record(
+                j.spec.id,
+                j.spec.submit_time,
+                j.first_start,
+                completion,
+                j.spec.oracle_runtime(),
+                j.preemptions,
+                j.migrations,
+                j.restarts,
+            );
+            self.makespan = f64::max(self.makespan, rec.completion);
+            self.stretch_max = f64::max(self.stretch_max, rec.stretch);
+            self.stretch_sum += rec.stretch;
+            sink.record(rec);
+            evicted = true;
+        }
+        if evicted {
+            self.queue.retire_below(self.state.jobs.first_resident());
+        }
+    }
+
+    /// Dispatch at most one queue event due at the current instant.
+    /// Returns whether one was consumed.
+    pub(crate) fn handle_due_queue_event(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        config: &SimConfig,
+    ) -> bool {
+        if !self.queue.peek_time().is_some_and(|t| t <= self.state.now) {
+            return false;
+        }
+        let (_, kind, valid) = self.queue.pop().expect("peeked");
+        match kind {
+            EventKind::Submit(job) => {
+                unreachable!("streaming queue holds no submissions ({job})")
+            }
+            EventKind::Timer(job) => {
+                // Stale timers (cancelled when their job started, or
+                // retired with an evicted job) are dropped silently; the
+                // pending check guards against schedulers timing
+                // non-pending jobs.
+                if valid
+                    && self
+                        .state
+                        .jobs
+                        .get(job.index())
+                        .is_some_and(|j| j.status == JobStatus::Pending)
+                {
+                    let plan = self.call_scheduler(scheduler, SchedEvent::Timer(job), config);
+                    self.apply_plan(plan, config);
+                }
+            }
+            EventKind::Tick => {
+                let period = scheduler.period().expect("tick without a period");
+                self.queue.push(self.state.now + period, EventKind::Tick);
+                let plan = self.call_scheduler(scheduler, SchedEvent::Tick, config);
+                self.apply_plan(plan, config);
+            }
+            EventKind::NodeDown(node) => {
+                // Duplicate transitions (explicit availability traces
+                // may contain them) are dropped silently.
+                if self.state.cluster.is_up(node) {
+                    self.fail_node(node, config);
+                    let plan = self.call_scheduler(scheduler, SchedEvent::NodeDown(node), config);
+                    self.apply_plan(plan, config);
+                }
+            }
+            EventKind::NodeUp(node) => {
+                if !self.state.cluster.is_up(node) {
+                    self.state.cluster.set_node_up(node, true);
+                    let plan = self.call_scheduler(scheduler, SchedEvent::NodeUp(node), config);
+                    self.apply_plan(plan, config);
                 }
             }
         }
+        true
     }
 
     /// Earliest completion among running jobs (ties: smallest id).
     /// Scans the sorted running index — ascending id order, exactly as
     /// a full job-table scan would.
-    fn next_completion(&self) -> Option<(f64, JobId)> {
+    pub(crate) fn next_completion(&self) -> Option<(f64, JobId)> {
         let mut best: Option<(f64, JobId)> = None;
         for &i in self.state.running_ids() {
             let j = &self.state.jobs[i as usize];
@@ -342,7 +566,7 @@ impl Engine<'_> {
 
     /// A running job whose remaining virtual time is (numerically) zero
     /// (smallest id first, via the sorted running index).
-    fn due_completion(&self) -> Option<JobId> {
+    pub(crate) fn due_completion(&self) -> Option<JobId> {
         for &i in self.state.running_ids() {
             let j = &self.state.jobs[i as usize];
             if j.remaining() <= COMPLETION_TOLERANCE {
@@ -352,7 +576,7 @@ impl Engine<'_> {
         None
     }
 
-    fn advance_to(&mut self, t: f64) {
+    pub(crate) fn advance_to(&mut self, t: f64) {
         let now = self.state.now;
         debug_assert!(t + approx::EPS >= now, "time went backwards: {now} -> {t}");
         if t <= now {
@@ -373,7 +597,7 @@ impl Engine<'_> {
         self.state.now = t;
     }
 
-    fn finish_job(&mut self, id: JobId) {
+    fn finish_job(&mut self, id: JobId, config: &SimConfig) {
         let now = self.state.now;
         let j = &self.state.jobs[id.index()];
         debug_assert_eq!(j.status, JobStatus::Running);
@@ -395,7 +619,7 @@ impl Engine<'_> {
         self.state
             .index_transition(id, JobStatus::Running, JobStatus::Completed);
         self.completed += 1;
-        if self.config.record_timeline {
+        if config.record_timeline {
             self.timeline
                 .push(now, id, crate::timeline::AllocEvent::Complete);
         }
@@ -407,7 +631,7 @@ impl Engine<'_> {
     /// synchronized state) under the configured [`FailurePolicy`], then
     /// the node is marked down. The scheduler is notified *after* this
     /// bookkeeping, mirroring how completions are delivered.
-    fn fail_node(&mut self, node: NodeId) {
+    pub(crate) fn fail_node(&mut self, node: NodeId, config: &SimConfig) {
         // Victims in ascending id order (the running index's order).
         let mut victims: Vec<JobId> = Vec::new();
         for &i in self.state.running_ids() {
@@ -417,9 +641,9 @@ impl Engine<'_> {
             }
         }
         for id in victims {
-            match self.config.failure_policy {
-                FailurePolicy::Restart => self.kill_job(id),
-                FailurePolicy::PausePreserve => self.do_pause(id),
+            match config.failure_policy {
+                FailurePolicy::Restart => self.kill_job(id, config),
+                FailurePolicy::PausePreserve => self.do_pause(id, config),
             }
         }
         self.state.cluster.set_node_up(node, false);
@@ -428,7 +652,7 @@ impl Engine<'_> {
     /// [`FailurePolicy::Restart`]: evict every task of `id` and resubmit
     /// the job with its progress discarded. Unlike a pause, nothing
     /// crosses storage — the state died with the node.
-    fn kill_job(&mut self, id: JobId) {
+    fn kill_job(&mut self, id: JobId, config: &SimConfig) {
         let j = &self.state.jobs[id.index()];
         debug_assert_eq!(j.status, JobStatus::Running);
         let (need, mem, gpu, yld, tasks) = (
@@ -452,13 +676,18 @@ impl Engine<'_> {
         self.restart_count += 1;
         self.state
             .index_transition(id, JobStatus::Running, JobStatus::Pending);
-        if self.config.record_timeline {
+        if config.record_timeline {
             self.timeline
                 .push(self.state.now, id, crate::timeline::AllocEvent::Kill);
         }
     }
 
-    fn call_scheduler(&mut self, scheduler: &mut dyn Scheduler, ev: SchedEvent) -> Plan {
+    pub(crate) fn call_scheduler(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        ev: SchedEvent,
+        config: &SimConfig,
+    ) -> Plan {
         let in_system = self.state.jobs_in_system().count() as u32;
         let start = Instant::now();
         let plan = scheduler.on_event(ev, &self.state);
@@ -466,7 +695,7 @@ impl Engine<'_> {
         self.sched_wall += wall;
         self.sched_max = self.sched_max.max(wall);
         self.sched_calls += 1;
-        if self.config.record_decisions {
+        if config.record_decisions {
             self.decisions.push(DecisionSample {
                 jobs_in_system: in_system,
                 wall_secs: wall,
@@ -479,9 +708,9 @@ impl Engine<'_> {
     /// departures) strictly before all additions — so that plans which
     /// permute jobs across nodes never trip capacity checks on transient
     /// intermediate states. Placements are read from the plan entries in
-    /// place and copied into the arena; nothing is cloned.
-    fn apply_plan(&mut self, plan: Plan) {
-        if self.config.validate {
+    /// place and copied into the per-job slots; nothing is cloned.
+    pub(crate) fn apply_plan(&mut self, plan: Plan, config: &SimConfig) {
+        if config.validate {
             if let Err(e) = validate::check_plan(&self.state, &plan) {
                 panic!("invalid plan at t={}: {e}", self.state.now);
             }
@@ -553,7 +782,7 @@ impl Engine<'_> {
         // per-node capacity monotone below its final value, so transient
         // states never overshoot even when a plan permutes jobs.
         for &job in &pauses {
-            self.do_pause(job);
+            self.do_pause(job, config);
         }
         for a in &actions {
             match a.kind {
@@ -575,7 +804,7 @@ impl Engine<'_> {
                 RunKind::Adjust if a.yld < a.old_yld => {
                     // Applied here in phase 1 (a release); recorded here
                     // too — phase 2 skips this action entirely.
-                    if self.config.record_timeline {
+                    if config.record_timeline {
                         self.timeline.push(
                             self.state.now,
                             a.job,
@@ -606,7 +835,7 @@ impl Engine<'_> {
                 PlanEntry::Run { placement, .. } => placement.as_slice(),
                 PlanEntry::Pause { .. } => unreachable!("run actions index run entries"),
             };
-            self.do_run(a, placement);
+            self.do_run(a, placement, config);
         }
         self.actions = actions;
         self.pauses = pauses;
@@ -620,14 +849,14 @@ impl Engine<'_> {
             self.queue
                 .push(at.max(self.state.now), EventKind::Timer(job));
         }
-        if self.config.validate {
+        if config.validate {
             if let Err(msg) = validate::check_invariants(&self.state) {
                 panic!("invariant violation at t={}: {msg}", self.state.now);
             }
         }
     }
 
-    fn do_pause(&mut self, id: JobId) {
+    fn do_pause(&mut self, id: JobId, config: &SimConfig) {
         let j = &self.state.jobs[id.index()];
         assert_eq!(
             j.status,
@@ -653,16 +882,16 @@ impl Engine<'_> {
             .index_transition(id, JobStatus::Running, JobStatus::Paused);
         self.pmtn_count += 1;
         self.pmtn_gb += tasks as f64 * self.state.cluster.spec.task_move_gb(mem);
-        if self.config.record_timeline {
+        if config.record_timeline {
             self.timeline
                 .push(self.state.now, id, crate::timeline::AllocEvent::Pause);
         }
     }
 
-    fn do_run(&mut self, a: &RunAction, placement: &[NodeId]) {
+    fn do_run(&mut self, a: &RunAction, placement: &[NodeId], config: &SimConfig) {
         let now = self.state.now;
         let spec = self.state.jobs[a.job.index()].spec;
-        if self.config.record_timeline {
+        if config.record_timeline {
             use crate::timeline::AllocEvent;
             let ev = match a.kind {
                 RunKind::Start => Some(AllocEvent::Start {
@@ -726,7 +955,7 @@ impl Engine<'_> {
                 let j = &mut self.state.jobs[a.job.index()];
                 j.status = JobStatus::Running;
                 j.yld = a.yld;
-                j.penalty_until = now + self.config.penalty;
+                j.penalty_until = now + config.penalty;
                 self.state
                     .index_transition(a.job, JobStatus::Paused, JobStatus::Running);
             }
@@ -760,10 +989,10 @@ impl Engine<'_> {
                 }
                 self.state.placement_slot(a.job).copy_from_slice(placement);
                 let gb_per_task = self.state.cluster.spec.task_move_gb(spec.mem_req);
-                let (gb, freeze) = match self.config.migration_mode {
+                let (gb, freeze) = match config.migration_mode {
                     MigrationMode::StopAndCopy => {
                         // Save + restore through storage.
-                        (2.0 * moved as f64 * gb_per_task, self.config.penalty)
+                        (2.0 * moved as f64 * gb_per_task, config.penalty)
                     }
                     MigrationMode::Live { freeze_secs } => {
                         // One node-to-node copy; short brownout.
@@ -780,42 +1009,31 @@ impl Engine<'_> {
         }
     }
 
-    fn deadlock_panic(&self) -> ! {
-        let stuck: Vec<String> = self
-            .state
-            .jobs_in_system()
-            .map(|j| format!("{}({:?})", j.spec.id, j.status))
-            .collect();
-        panic!(
-            "simulation deadlock at t={}: no events, no running jobs, {} jobs stuck: {}",
-            self.state.now,
-            stuck.len(),
-            stuck.join(", ")
-        );
+    /// The typed form of the old deadlock panic: nothing can ever make
+    /// progress again.
+    pub(crate) fn deadlock(&self) -> SimError {
+        SimError::Deadlock {
+            now: self.state.now,
+            stuck: self
+                .state
+                .jobs_in_system()
+                .map(|j| (j.spec.id, j.status))
+                .collect(),
+        }
     }
 
-    fn into_outcome(self, algorithm: String) -> SimOutcome {
-        let mut records = Vec::with_capacity(self.state.jobs.len());
-        for j in &self.state.jobs {
-            let completion = j
-                .completion
-                .unwrap_or_else(|| panic!("job {} never completed", j.spec.id));
-            records.push(make_record(
-                j.spec.id,
-                j.spec.submit_time,
-                j.first_start,
-                completion,
-                j.spec.oracle_runtime(),
-                j.preemptions,
-                j.migrations,
-                j.restarts,
-            ));
-        }
-        let makespan = records.iter().map(|r| r.completion).fold(0.0, f64::max);
-        let mut outcome = SimOutcome {
+    pub(crate) fn into_outcome(self, algorithm: String) -> SimOutcome {
+        let mean_stretch = if self.completed == 0 {
+            0.0
+        } else {
+            self.stretch_sum / self.completed as f64
+        };
+        SimOutcome {
             algorithm,
-            records,
-            makespan,
+            records: Vec::new(),
+            max_stretch: self.stretch_max,
+            mean_stretch,
+            makespan: self.makespan,
             preemption_count: self.pmtn_count,
             migration_count: self.migr_count,
             preemption_gb: self.pmtn_gb,
@@ -829,12 +1047,13 @@ impl Engine<'_> {
             sched_wall_max: self.sched_max,
             sched_calls: self.sched_calls,
             events_processed: self.events_processed,
+            jobs_completed: self.completed as u64,
+            peak_live_jobs: self.peak_live as u64,
+            peak_resident_jobs: self.peak_resident as u64,
             decisions: self.decisions,
             timeline: self.timeline,
             ..SimOutcome::default()
-        };
-        outcome.finalize_stretches();
-        outcome
+        }
     }
 }
 

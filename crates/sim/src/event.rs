@@ -24,7 +24,7 @@
 //! engine drops them without a scheduler round.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use dfrs_core::ids::{JobId, NodeId};
 
@@ -77,36 +77,54 @@ impl Ord for Entry {
     }
 }
 
+/// One serialized queue entry: `(time, seq, kind, ver)` — the snapshot
+/// row format produced by [`EventQueue::snapshot_parts`] and consumed
+/// by [`EventQueue::restore_parts`].
+pub(crate) type QueueEntryRow = (f64, u64, EventKind, u32);
+
 /// Min-heap of timestamped external events with FIFO tie-breaking and
 /// O(1) timer cancellation (see module docs).
+///
+/// Timer versions live in a *windowed* table aligned with the
+/// [`crate::state::JobStore`] eviction window: versions of evicted
+/// (completed) jobs are retired, and any heap entry referencing an id
+/// below the window base pops stale — a completed job's timers were
+/// dropped without a scheduler round before, so behavior is identical
+/// while memory stays bounded on endless feeds.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Entry>,
     seq: u64,
-    /// Current timer version per job; heap entries with an older
-    /// version are stale.
-    timer_ver: Vec<u32>,
+    /// Ids below this have retired timer versions (always stale).
+    timer_base: usize,
+    /// Current timer version for job `timer_base + k`; heap entries
+    /// with an older version are stale. Grown on demand.
+    timer_ver: VecDeque<u32>,
 }
 
 impl EventQueue {
-    /// Empty queue able to track timers for `n_jobs` jobs.
-    pub fn new(n_jobs: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            timer_ver: vec![0; n_jobs],
-        }
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Current version of `job`'s timers; `None` once retired.
+    #[inline]
+    fn ver_of(&self, job: JobId) -> Option<u32> {
+        job.index()
+            .checked_sub(self.timer_base)
+            .and_then(|k| self.timer_ver.get(k).copied().or(Some(0)))
     }
 
     /// Schedule `kind` at absolute time `time`. Timer entries capture
-    /// the job's current version.
+    /// the job's current version (0 for a retired job — it pops stale).
     pub fn push(&mut self, time: f64, kind: EventKind) {
         debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
         let ver = match kind {
-            EventKind::Timer(job) => self.timer_ver[job.index()],
+            EventKind::Timer(job) => self.ver_of(job).unwrap_or(0),
             _ => 0,
         };
-        self.heap.push(Entry {
+        self.push_raw(Entry {
             time,
             seq: self.seq,
             kind,
@@ -115,11 +133,31 @@ impl EventQueue {
         self.seq += 1;
     }
 
+    fn push_raw(&mut self, e: Entry) {
+        self.heap.push(e);
+    }
+
     /// Invalidate every outstanding timer of `job` in O(1). Stale
     /// entries still pop at their scheduled time (the engine's clock
-    /// advances identically either way) but pop as invalid.
+    /// advances identically either way) but pop as invalid. No-op for
+    /// an evicted job — its entries are stale already.
     pub fn cancel_timers(&mut self, job: JobId) {
-        self.timer_ver[job.index()] += 1;
+        let Some(k) = job.index().checked_sub(self.timer_base) else {
+            return;
+        };
+        if k >= self.timer_ver.len() {
+            self.timer_ver.resize(k + 1, 0);
+        }
+        self.timer_ver[k] += 1;
+    }
+
+    /// Retire timer versions of every job below `base` (evicted by the
+    /// job store); their outstanding entries pop stale.
+    pub(crate) fn retire_below(&mut self, base: usize) {
+        while self.timer_base < base {
+            self.timer_ver.pop_front();
+            self.timer_base += 1;
+        }
     }
 
     /// Time of the earliest pending event.
@@ -127,12 +165,13 @@ impl EventQueue {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Pop the earliest event; the flag is false for a stale (cancelled)
-    /// timer, which the caller drops without a scheduler round.
+    /// Pop the earliest event; the flag is false for a stale (cancelled
+    /// or retired) timer, which the caller drops without a scheduler
+    /// round.
     pub fn pop(&mut self) -> Option<(f64, EventKind, bool)> {
         self.heap.pop().map(|e| {
             let valid = match e.kind {
-                EventKind::Timer(job) => self.timer_ver[job.index()] == e.ver,
+                EventKind::Timer(job) => self.ver_of(job) == Some(e.ver),
                 _ => true,
             };
             (e.time, e.kind, valid)
@@ -148,6 +187,40 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Rebuild a queue from [`EventQueue::snapshot_parts`] output.
+    pub(crate) fn restore_parts(entries: &[QueueEntryRow], seq: u64, timer_base: usize) -> Self {
+        let mut q = EventQueue {
+            heap: BinaryHeap::with_capacity(entries.len()),
+            seq,
+            timer_base,
+            timer_ver: VecDeque::new(),
+        };
+        for &(time, eseq, kind, ver) in entries {
+            q.push_raw(Entry {
+                time,
+                seq: eseq,
+                kind,
+                ver,
+            });
+        }
+        q
+    }
+
+    /// Snapshot support: every pending entry as `(time, seq, kind, ver)`
+    /// in deterministic `(time, seq)` order, plus the sequence counter
+    /// and the timer-version window base. Only meaningful at quiescence
+    /// (no live jobs), when every outstanding timer is necessarily
+    /// stale and the version window is empty.
+    pub(crate) fn snapshot_parts(&self) -> (Vec<QueueEntryRow>, u64, usize) {
+        let mut entries: Vec<QueueEntryRow> = self
+            .heap
+            .iter()
+            .map(|e| (e.time, e.seq, e.kind, e.ver))
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        (entries, self.seq, self.timer_base)
+    }
 }
 
 #[cfg(test)]
@@ -156,7 +229,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new(4);
+        let mut q = EventQueue::new();
         q.push(30.0, EventKind::Tick);
         q.push(10.0, EventKind::Submit(JobId(0)));
         q.push(20.0, EventKind::Timer(JobId(1)));
@@ -168,7 +241,7 @@ mod tests {
 
     #[test]
     fn same_instant_is_fifo() {
-        let mut q = EventQueue::new(4);
+        let mut q = EventQueue::new();
         q.push(5.0, EventKind::Submit(JobId(1)));
         q.push(5.0, EventKind::Submit(JobId(2)));
         q.push(5.0, EventKind::Tick);
@@ -179,7 +252,7 @@ mod tests {
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new(1);
+        let mut q = EventQueue::new();
         assert!(q.peek_time().is_none());
         q.push(7.5, EventKind::Tick);
         assert_eq!(q.peek_time(), Some(7.5));
@@ -190,7 +263,7 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new(1);
+        let mut q = EventQueue::new();
         q.push(10.0, EventKind::Tick);
         q.push(1.0, EventKind::Tick);
         assert_eq!(q.pop().unwrap().0, 1.0);
@@ -203,7 +276,7 @@ mod tests {
 
     #[test]
     fn cancelled_timers_pop_stale_at_their_time() {
-        let mut q = EventQueue::new(3);
+        let mut q = EventQueue::new();
         q.push(5.0, EventKind::Timer(JobId(2)));
         q.push(9.0, EventKind::Timer(JobId(2)));
         q.push(7.0, EventKind::Timer(JobId(1)));
@@ -217,7 +290,7 @@ mod tests {
 
     #[test]
     fn timers_pushed_after_cancel_are_valid() {
-        let mut q = EventQueue::new(1);
+        let mut q = EventQueue::new();
         q.push(1.0, EventKind::Timer(JobId(0)));
         q.cancel_timers(JobId(0));
         q.push(2.0, EventKind::Timer(JobId(0)));
@@ -227,7 +300,7 @@ mod tests {
 
     #[test]
     fn cancel_is_per_job() {
-        let mut q = EventQueue::new(2);
+        let mut q = EventQueue::new();
         q.push(1.0, EventKind::Timer(JobId(0)));
         q.push(2.0, EventKind::Timer(JobId(1)));
         q.cancel_timers(JobId(0));

@@ -114,17 +114,16 @@ mod tests {
     use crate::outcome::make_record;
 
     fn sample_outcome() -> SimOutcome {
-        let mut o = SimOutcome {
+        SimOutcome {
             algorithm: "test".into(),
             records: vec![
                 make_record(JobId(0), 0.0, Some(5.0), 105.0, 100.0, 1, 2, 1),
                 make_record(JobId(1), 10.0, None, 40.0, 25.0, 0, 0, 0),
             ],
             makespan: 105.0,
+            jobs_completed: 2,
             ..SimOutcome::default()
-        };
-        o.finalize_stretches();
-        o
+        }
     }
 
     #[test]

@@ -27,11 +27,18 @@
 //!   clairvoyant runtime accessor used by the batch baselines is explicit
 //!   ([`dfrs_core::JobSpec::oracle_runtime`]).
 //!
-//! ## Entry point
+//! ## Entry points
 //!
 //! [`simulate`] runs one scheduler over one job list and returns a
 //! [`SimOutcome`] with per-job records and the aggregate metrics every
-//! table and figure of the paper is computed from.
+//! table and figure of the paper is computed from. It is a thin wrapper
+//! over the streaming core, [`simulate_stream`], which pulls
+//! submissions from a [`SubmissionSource`] and emits completed-job
+//! records through a [`RecordSink`] — memory stays bounded by the live
+//! set, and the two paths are byte-identical by construction. For
+//! open-ended operation (submissions arriving over time, node events on
+//! command, snapshot/restore at quiescence) there is [`SimSession`],
+//! the command-driven session behind the `dfrs-serve` daemon.
 //!
 //! ```
 //! use dfrs_core::ids::{JobId, NodeId};
@@ -61,18 +68,26 @@
 //! ```
 
 pub mod engine;
+pub mod error;
 pub mod event;
 pub mod export;
 pub mod outcome;
 pub mod plan;
+pub mod session;
+pub mod source;
 pub mod state;
 pub mod timeline;
 pub mod validate;
 
-pub use engine::{simulate, FailurePolicy, MigrationMode, NodeEvent, SimConfig};
+pub use engine::{
+    simulate, simulate_stream, try_simulate, FailurePolicy, MigrationMode, NodeEvent, SimConfig,
+};
+pub use error::SimError;
 pub use event::{EventKind, EventQueue};
 pub use outcome::{DecisionSample, JobRecord, SimOutcome};
 pub use plan::{Plan, PlanEntry, RepackStats, SchedEvent, Scheduler};
-pub use state::{ClusterState, JobState, JobStatus, NodeState, SimState};
+pub use session::{snapshot_spec, SimSession, SNAPSHOT_SCHEMA};
+pub use source::{DiscardRecords, FnSink, IterSource, RecordSink, SliceSource, SubmissionSource};
+pub use state::{ClusterState, JobState, JobStatus, JobStore, NodeState, SimState};
 pub use timeline::{AllocEvent, Timeline, TimelineEntry};
 pub use validate::{check_invariants, check_plan, PlanError, ValidationError};

@@ -41,11 +41,19 @@ pub struct DecisionSample {
 }
 
 /// Aggregate outcome of one simulation run.
+///
+/// All aggregates are folded online by the engine in record-emission
+/// (= id) order, so a streamed run ([`crate::simulate_stream`]) that
+/// discards its records still reports bit-identical aggregates to a
+/// materialized one.
 #[derive(Debug, Clone, Default)]
 pub struct SimOutcome {
     /// Scheduler display name.
     pub algorithm: String,
-    /// Per-job records, indexed by job id.
+    /// Per-job records, indexed by job id. Populated by the materialized
+    /// entry points ([`crate::simulate`] / [`crate::try_simulate`]);
+    /// empty for [`crate::simulate_stream`] runs, whose records went to
+    /// the sink instead.
     pub records: Vec<JobRecord>,
     /// Maximum bounded stretch — the paper's headline metric.
     pub max_stretch: f64,
@@ -86,6 +94,16 @@ pub struct SimOutcome {
     /// Engine event-loop iterations processed (deterministic; the
     /// denominator of event-throughput measurements).
     pub events_processed: u64,
+    /// Jobs that completed (the per-job rate denominator — equals
+    /// `records.len()` on materialized runs, where every record is
+    /// retained).
+    pub jobs_completed: u64,
+    /// High-water mark of jobs simultaneously in the system.
+    pub peak_live_jobs: u64,
+    /// High-water mark of resident [`crate::state::JobStore`] entries
+    /// (live set plus the completed prefix awaiting emission) — the
+    /// memory bound a streamed run actually held.
+    pub peak_resident_jobs: u64,
     /// Warm-start accounting reported by the scheduler, when it keeps
     /// any ([`Scheduler::repack_stats`](crate::Scheduler::repack_stats)).
     /// Observational only — never part of outcome fingerprints.
@@ -136,29 +154,29 @@ impl SimOutcome {
 
     /// Preemptions per job (Table II).
     pub fn preemptions_per_job(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.jobs_completed == 0 {
             0.0
         } else {
-            self.preemption_count as f64 / self.records.len() as f64
+            self.preemption_count as f64 / self.jobs_completed as f64
         }
     }
 
     /// Migrations per job (Table II).
     pub fn migrations_per_job(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.jobs_completed == 0 {
             0.0
         } else {
-            self.migration_count as f64 / self.records.len() as f64
+            self.migration_count as f64 / self.jobs_completed as f64
         }
     }
 
     /// Failure-induced restarts per job (the availability study's
     /// occurrence-rate analogue of Table II).
     pub fn restarts_per_job(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.jobs_completed == 0 {
             0.0
         } else {
-            self.restart_count as f64 / self.records.len() as f64
+            self.restart_count as f64 / self.jobs_completed as f64
         }
     }
 
@@ -170,17 +188,6 @@ impl SimOutcome {
         } else {
             0.0
         }
-    }
-
-    /// Build the stretch aggregates from the records (called by the
-    /// engine after the run).
-    pub(crate) fn finalize_stretches(&mut self) {
-        self.max_stretch = self.records.iter().map(|r| r.stretch).fold(0.0, f64::max);
-        self.mean_stretch = if self.records.is_empty() {
-            0.0
-        } else {
-            self.records.iter().map(|r| r.stretch).sum::<f64>() / self.records.len() as f64
-        };
     }
 }
 
@@ -215,14 +222,23 @@ pub(crate) fn make_record(
 mod tests {
     use super::*;
 
+    /// Outcome with aggregates folded the way the engine folds them
+    /// online (same ops, same order).
     fn outcome_with(records: Vec<JobRecord>, makespan: f64) -> SimOutcome {
-        let mut o = SimOutcome {
+        let max_stretch = records.iter().map(|r| r.stretch).fold(0.0, f64::max);
+        let mean_stretch = if records.is_empty() {
+            0.0
+        } else {
+            records.iter().map(|r| r.stretch).sum::<f64>() / records.len() as f64
+        };
+        SimOutcome {
+            jobs_completed: records.len() as u64,
             records,
             makespan,
+            max_stretch,
+            mean_stretch,
             ..SimOutcome::default()
-        };
-        o.finalize_stretches();
-        o
+        }
     }
 
     fn rec(stretch_inputs: (f64, f64)) -> JobRecord {

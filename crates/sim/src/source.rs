@@ -1,0 +1,146 @@
+//! Pull-based job submission and push-based record emission.
+//!
+//! The streaming engine loop ([`crate::simulate_stream`]) never holds
+//! the whole workload: it pulls the next [`JobSpec`] from a
+//! [`SubmissionSource`] exactly when the previous one has been admitted
+//! (one-job lookahead), and streams each finished job's
+//! [`JobRecord`] out through a [`RecordSink`] as soon
+//! as every lower-id job has also completed. The materialized path
+//! ([`crate::simulate`]) is the trivial composition: a [`SliceSource`]
+//! over a `Vec<JobSpec>` feeding a `Vec<JobRecord>` sink — byte-identical
+//! outcomes, since the engine sees the same pull order either way.
+//!
+//! Sources must yield jobs with **dense, in-order ids** (`j0, j1, …`)
+//! and **non-decreasing, finite submit times**; the engine validates
+//! both at pull time and surfaces violations as
+//! [`SimError`](crate::SimError) values rather than panics, so a
+//! long-lived daemon can reject bad input and keep serving.
+
+use dfrs_core::job::JobSpec;
+
+use crate::outcome::JobRecord;
+
+/// A pull-based feed of job submissions, consumed in submit-time order.
+pub trait SubmissionSource {
+    /// The next job to arrive, or `None` when the feed is exhausted.
+    fn next_job(&mut self) -> Option<JobSpec>;
+
+    /// Total number of jobs, when known up front (lets the engine
+    /// pre-reserve; purely an optimization hint).
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streams a workload already materialized as a slice (the adapter the
+/// batch path uses — clones each spec on pull, never the whole vector).
+pub struct SliceSource<'a> {
+    jobs: &'a [JobSpec],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Source over `jobs` in slice order (callers keep workloads sorted
+    /// by submit time with dense ids).
+    pub fn new(jobs: &'a [JobSpec]) -> Self {
+        SliceSource { jobs, pos: 0 }
+    }
+}
+
+impl SubmissionSource for SliceSource<'_> {
+    fn next_job(&mut self) -> Option<JobSpec> {
+        let j = self.jobs.get(self.pos)?;
+        self.pos += 1;
+        Some(*j)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.jobs.len())
+    }
+}
+
+/// Adapts any `Iterator<Item = JobSpec>` (generator closures, channel
+/// receivers, decoded feeds) into a [`SubmissionSource`].
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = JobSpec>> IterSource<I> {
+    /// Wrap `iter`; items must follow the source contract (dense ids,
+    /// non-decreasing submit times).
+    pub fn new(iter: I) -> Self {
+        IterSource { iter }
+    }
+}
+
+impl<I: Iterator<Item = JobSpec>> SubmissionSource for IterSource<I> {
+    fn next_job(&mut self) -> Option<JobSpec> {
+        self.iter.next()
+    }
+}
+
+/// Receives completed-job records as they leave the engine's live
+/// window (in job-id order — the same order the batch path's
+/// materialized `records` vector has always used).
+pub trait RecordSink {
+    /// Accept one finished job's record.
+    fn record(&mut self, rec: JobRecord);
+}
+
+/// The materialized sink: collect every record.
+impl RecordSink for Vec<JobRecord> {
+    fn record(&mut self, rec: JobRecord) {
+        self.push(rec);
+    }
+}
+
+/// Drops records on the floor — for throughput benchmarks and daemon
+/// runs where per-job records are forwarded elsewhere before discard.
+pub struct DiscardRecords;
+
+impl RecordSink for DiscardRecords {
+    fn record(&mut self, _rec: JobRecord) {}
+}
+
+/// Forwards each record to a closure (the serve daemon's NDJSON
+/// emitter).
+pub struct FnSink<F: FnMut(JobRecord)>(pub F);
+
+impl<F: FnMut(JobRecord)> RecordSink for FnSink<F> {
+    fn record(&mut self, rec: JobRecord) {
+        (self.0)(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfrs_core::ids::JobId;
+
+    fn spec(i: u32, t: f64) -> JobSpec {
+        JobSpec::new(JobId(i), t, 1, 1.0, 0.1, 100.0).unwrap()
+    }
+
+    #[test]
+    fn slice_source_yields_in_order_with_hint() {
+        let jobs = vec![spec(0, 0.0), spec(1, 5.0)];
+        let mut s = SliceSource::new(&jobs);
+        assert_eq!(s.size_hint(), Some(2));
+        assert_eq!(s.next_job().unwrap().id, JobId(0));
+        assert_eq!(s.next_job().unwrap().id, JobId(1));
+        assert!(s.next_job().is_none());
+        assert!(s.next_job().is_none());
+    }
+
+    #[test]
+    fn iter_source_wraps_generators() {
+        let mut s = IterSource::new((0..3).map(|i| spec(i, i as f64)));
+        assert!(s.size_hint().is_none());
+        let mut n = 0;
+        while let Some(j) = s.next_job() {
+            assert_eq!(j.id, JobId(n));
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+}

@@ -6,10 +6,14 @@
 //! The engine touches this state once per event, so the layout avoids
 //! per-event allocation and per-event whole-trace scans:
 //!
-//! * **Placement arena** — every job's task placement lives in one
-//!   preallocated arena (`tasks` slots per job, offsets fixed at
-//!   construction); placing or migrating a job copies node ids into its
-//!   slice instead of allocating a fresh `Vec`.
+//! * **Windowed job store** — [`JobStore`] keeps only the *resident*
+//!   jobs (admitted, plus a completed prefix not yet streamed out) in a
+//!   deque indexed by dense job id. The streaming engine admits jobs as
+//!   a [`crate::SubmissionSource`] yields them and evicts the completed
+//!   prefix after emitting each record, so live-set memory stays
+//!   bounded no matter how long the feed is. Each job's task placement
+//!   is a per-job boxed slice filled in place (no per-event `Vec`
+//!   allocation).
 //! * **Live/running indexes** — sorted id lists of the jobs in the
 //!   system and the running subset, so per-event scans cost O(live)
 //!   instead of O(trace length). Iteration order equals ascending id —
@@ -19,6 +23,9 @@
 //!   changes in [`ClusterState`]). Schedulers use
 //!   [`SimState::change_epoch`] to recognize that nothing changed since
 //!   their last decision and skip provably identical repacks.
+
+use std::collections::VecDeque;
+use std::ops::{Index, IndexMut};
 
 use dfrs_core::approx;
 use dfrs_core::ids::{JobId, NodeId};
@@ -40,12 +47,14 @@ pub enum JobStatus {
     Completed,
 }
 
-/// Full dynamic state of one job. Its task placement lives in the
-/// [`SimState`] placement arena ([`SimState::placement`]).
+/// Full dynamic state of one job, including its task placement slots
+/// (read through [`SimState::placement`]).
 #[derive(Debug, Clone)]
 pub struct JobState {
     /// The immutable request.
     pub spec: JobSpec,
+    /// One hosting-node slot per task; meaningful only while `Running`.
+    pub(crate) placement: Box<[NodeId]>,
     /// Lifecycle phase.
     pub status: JobStatus,
     /// Accrued virtual time (integral of yield since submission).
@@ -72,6 +81,7 @@ impl JobState {
     /// Fresh state for a spec.
     pub fn new(spec: JobSpec) -> Self {
         JobState {
+            placement: vec![NodeId(0); spec.tasks as usize].into_boxed_slice(),
             spec,
             status: JobStatus::Unsubmitted,
             virtual_time: 0.0,
@@ -192,6 +202,26 @@ impl ClusterState {
             epoch: 0,
             node_epoch: vec![0; spec.nodes as usize],
         }
+    }
+
+    /// Rebuild a cluster from snapshot parts: all nodes idle (snapshots
+    /// are taken at quiescence, when nothing is placed) with the
+    /// down-node set and both epoch counters restored exactly, so every
+    /// future epoch value matches the uninterrupted run.
+    pub(crate) fn restore(
+        spec: ClusterSpec,
+        down: &[NodeId],
+        epoch: u64,
+        node_epoch: Vec<u64>,
+    ) -> Self {
+        let mut c = ClusterState::new(spec);
+        for &n in down {
+            c.node_up[n.index()] = false;
+        }
+        c.up_count = spec.nodes - down.len() as u32;
+        c.epoch = epoch;
+        c.node_epoch = node_epoch;
+        c
     }
 
     /// Per-node states.
@@ -396,6 +426,126 @@ impl ClusterState {
     }
 }
 
+/// Resident job table with a sliding eviction window.
+///
+/// Jobs are admitted in dense-id order; the completed *prefix* is
+/// evicted (after its records stream out through a
+/// [`crate::RecordSink`]), so memory holds only `[base, base + resident)`
+/// — the jobs still in the system plus completed jobs waiting for a
+/// lower id to finish. Indexing is by dense job id; `len()` counts every
+/// job ever admitted, preserving the `total = jobs.len()` arithmetic of
+/// the materialized engine. Accessing an evicted or not-yet-admitted id
+/// through `[]` panics; use [`JobStore::get`] where eviction is legal.
+#[derive(Debug, Default)]
+pub struct JobStore {
+    /// Ids below this are completed and evicted.
+    base: usize,
+    /// Resident jobs, `window[k]` holding id `base + k`.
+    window: VecDeque<JobState>,
+}
+
+impl JobStore {
+    /// Empty store whose next admitted id is `base` (snapshot restore).
+    pub(crate) fn with_base(base: usize) -> Self {
+        JobStore {
+            base,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// Total jobs ever admitted (evicted ones included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.base + self.window.len()
+    }
+
+    /// True when no job was ever admitted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of resident (non-evicted) jobs.
+    #[inline]
+    pub fn resident(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Smallest resident id — everything below it is evicted.
+    #[inline]
+    pub fn first_resident(&self) -> usize {
+        self.base
+    }
+
+    /// The job with dense id `i`, when resident.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&JobState> {
+        i.checked_sub(self.base).and_then(|k| self.window.get(k))
+    }
+
+    #[inline]
+    fn get_mut(&mut self, i: usize) -> Option<&mut JobState> {
+        i.checked_sub(self.base)
+            .and_then(|k| self.window.get_mut(k))
+    }
+
+    /// Resident jobs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = &JobState> {
+        self.window.iter()
+    }
+
+    /// Admit the next job (its id must be `len()`; the engine checks).
+    pub(crate) fn push(&mut self, job: JobState) {
+        self.window.push_back(job);
+    }
+
+    /// Evict the front job; callers only do this once it has completed
+    /// and its record has been emitted.
+    pub(crate) fn evict_front(&mut self) -> Option<JobState> {
+        let j = self.window.pop_front()?;
+        self.base += 1;
+        Some(j)
+    }
+
+    /// The lowest-id resident job, if any.
+    #[inline]
+    pub(crate) fn front(&self) -> Option<&JobState> {
+        self.window.front()
+    }
+}
+
+impl Index<usize> for JobStore {
+    type Output = JobState;
+    #[inline]
+    fn index(&self, i: usize) -> &JobState {
+        self.get(i).unwrap_or_else(|| {
+            panic!(
+                "job {i} is not resident (ids below {} evicted, {} admitted)",
+                self.base,
+                self.len()
+            )
+        })
+    }
+}
+
+impl IndexMut<usize> for JobStore {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut JobState {
+        let (base, len) = (self.base, self.len());
+        self.get_mut(i).unwrap_or_else(|| {
+            panic!("job {i} is not resident (ids below {base} evicted, {len} admitted)")
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a JobStore {
+    type Item = &'a JobState;
+    type IntoIter = std::collections::vec_deque::Iter<'a, JobState>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.window.iter()
+    }
+}
+
 /// Read view handed to schedulers: current time, cluster, jobs.
 #[derive(Debug)]
 pub struct SimState {
@@ -403,13 +553,9 @@ pub struct SimState {
     pub now: f64,
     /// Node bookkeeping.
     pub cluster: ClusterState,
-    /// One entry per trace job, indexed by [`JobId`].
-    pub jobs: Vec<JobState>,
-    /// Placement arena: `arena[off[i]..off[i] + tasks_i]` holds job
-    /// `i`'s task placement while it runs.
-    pub(crate) arena: Vec<NodeId>,
-    /// Per-job offsets into `arena`.
-    pub(crate) arena_off: Vec<u32>,
+    /// One entry per admitted job, indexed by [`JobId`]; completed
+    /// prefixes are evicted by the streaming engine.
+    pub jobs: JobStore,
     /// Sorted ids of jobs in the system (submitted, not completed).
     pub(crate) live: Vec<u32>,
     /// Sorted ids of running jobs.
@@ -419,21 +565,23 @@ pub struct SimState {
 }
 
 impl SimState {
-    /// Fresh state: all jobs unsubmitted, all nodes idle, arena
-    /// preallocated (one slot per task of every job).
+    /// Fresh state with every trace job resident and unsubmitted, all
+    /// nodes idle (the materialized construction; the streaming engine
+    /// starts from [`SimState::empty`] and admits jobs as they arrive).
     pub fn new(cluster: ClusterSpec, jobs: &[JobSpec]) -> Self {
-        let mut arena_off = Vec::with_capacity(jobs.len());
-        let mut total = 0u32;
+        let mut state = SimState::empty(cluster);
         for j in jobs {
-            arena_off.push(total);
-            total += j.tasks;
+            state.jobs.push(JobState::new(*j));
         }
+        state
+    }
+
+    /// Fresh state with no jobs admitted yet.
+    pub fn empty(cluster: ClusterSpec) -> Self {
         SimState {
             now: 0.0,
             cluster: ClusterState::new(cluster),
-            jobs: jobs.iter().map(|j| JobState::new(*j)).collect(),
-            arena: vec![NodeId(0); total as usize],
-            arena_off,
+            jobs: JobStore::default(),
             live: Vec::new(),
             running: Vec::new(),
             epoch: 0,
@@ -452,31 +600,26 @@ impl SimState {
     pub fn placement(&self, id: JobId) -> &[NodeId] {
         let j = &self.jobs[id.index()];
         if j.status == JobStatus::Running {
-            let off = self.arena_off[id.index()] as usize;
-            &self.arena[off..off + j.spec.tasks as usize]
+            &j.placement
         } else {
             &[]
         }
     }
 
-    /// The full arena slice of `id` (regardless of status) for the
+    /// The full placement slice of `id` (regardless of status) for the
     /// engine to fill before marking the job running.
     #[inline]
     pub(crate) fn placement_slot(&mut self, id: JobId) -> &mut [NodeId] {
-        let off = self.arena_off[id.index()] as usize;
-        let tasks = self.jobs[id.index()].spec.tasks as usize;
-        &mut self.arena[off..off + tasks]
+        &mut self.jobs[id.index()].placement
     }
 
-    /// The arena slice of `id` read without the `Running` guard (the
+    /// The placement slice of `id` read without the `Running` guard (the
     /// engine reads it mid-transition, e.g. while vacating a migrating
     /// job whose status is still `Running` but whose tasks are being
     /// removed).
     #[inline]
     pub(crate) fn placement_raw(&self, id: JobId) -> &[NodeId] {
-        let off = self.arena_off[id.index()] as usize;
-        let tasks = self.jobs[id.index()].spec.tasks as usize;
-        &self.arena[off..off + tasks]
+        &self.jobs[id.index()].placement
     }
 
     /// Monotone counter of observable state changes (job lifecycle +

@@ -79,6 +79,13 @@ impl Timeline {
         self.entries.push(TimelineEntry { time, job, event });
     }
 
+    /// Drain every entry, leaving the timeline empty (the serve daemon
+    /// pulls decision events out between commands so a long-lived
+    /// session never accumulates an unbounded log).
+    pub fn take_entries(&mut self) -> Vec<TimelineEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -437,16 +437,22 @@ impl std::error::Error for PlanError {}
 pub fn check_plan(state: &SimState, plan: &Plan) -> Result<(), PlanError> {
     let n_jobs = state.jobs.len();
     let n_nodes = state.cluster.nodes().len();
-    let mut seen = vec![false; n_jobs];
+    // Duplicate tracking is window-relative so validation memory stays
+    // bounded on streamed runs; evicted ids (always completed) fail the
+    // status checks below before duplicate tracking matters.
+    let base = state.jobs.first_resident();
+    let mut seen = vec![false; state.jobs.resident()];
 
     let mut check_job = |job: JobId| -> Result<(), PlanError> {
         if job.index() >= n_jobs {
             return Err(PlanError::UnknownJob { job });
         }
-        if seen[job.index()] {
-            return Err(PlanError::DuplicateJob { job });
+        if let Some(k) = job.index().checked_sub(base) {
+            if seen[k] {
+                return Err(PlanError::DuplicateJob { job });
+            }
+            seen[k] = true;
         }
-        seen[job.index()] = true;
         Ok(())
     };
 
@@ -454,7 +460,11 @@ pub fn check_plan(state: &SimState, plan: &Plan) -> Result<(), PlanError> {
         match e {
             PlanEntry::Pause { job } => {
                 check_job(*job)?;
-                let status = state.job(*job).status;
+                // An evicted id is a completed job streamed out already.
+                let status = state
+                    .jobs
+                    .get(job.index())
+                    .map_or(JobStatus::Completed, |j| j.status);
                 if status != JobStatus::Running {
                     return Err(PlanError::PauseNotRunning { job: *job, status });
                 }
@@ -465,7 +475,12 @@ pub fn check_plan(state: &SimState, plan: &Plan) -> Result<(), PlanError> {
                 yld,
             } => {
                 check_job(*job)?;
-                let j = state.job(*job);
+                let Some(j) = state.jobs.get(job.index()) else {
+                    return Err(PlanError::InvalidStatus {
+                        job: *job,
+                        status: JobStatus::Completed,
+                    });
+                };
                 if matches!(j.status, JobStatus::Unsubmitted | JobStatus::Completed) {
                     return Err(PlanError::InvalidStatus {
                         job: *job,
@@ -520,7 +535,7 @@ pub fn check_plan(state: &SimState, plan: &Plan) -> Result<(), PlanError> {
     let mut cpu = vec![0.0f64; n_nodes];
     let mut gpu = vec![0.0f64; n_nodes];
     for j in state.running_jobs() {
-        let touched = seen[j.spec.id.index()];
+        let touched = seen[j.spec.id.index() - base];
         for &node in state.placement(j.spec.id) {
             if !touched {
                 mem[node.index()] += j.spec.mem_req;

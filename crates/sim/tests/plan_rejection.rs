@@ -198,20 +198,19 @@ fn timer_in_the_past_is_rejected() {
 }
 
 #[test]
-fn running_an_unsubmitted_job_is_rejected() {
+fn running_a_future_job_is_rejected() {
     let jobs = vec![
         JobSpec::new(JobId(0), 0.0, 1, 0.5, 0.2, 50.0).unwrap(),
         JobSpec::new(JobId(1), 500.0, 1, 0.5, 0.2, 50.0).unwrap(),
     ];
     validate_at_submit(jobs, |state| {
-        // At job 0's submit, job 1 has not arrived yet.
+        // At job 0's submit, job 1 has not arrived: the streaming
+        // engine has not even pulled it from the source, so its id is
+        // simply unknown (jobs no longer pre-exist as `Unsubmitted`).
         let plan = Plan::noop().run(JobId(1), vec![NodeId(0)], 1.0);
         assert_eq!(
             check_plan(state, &plan),
-            Err(PlanError::InvalidStatus {
-                job: JobId(1),
-                status: dfrs_sim::JobStatus::Unsubmitted
-            })
+            Err(PlanError::UnknownJob { job: JobId(1) })
         );
     });
 }
