@@ -7,9 +7,12 @@
 use dfrs_bench::{BenchConfig, BenchReport, Scale};
 
 const USAGE: &str = "\
-Usage: bench [--scale small|medium|large] [--out PATH] [--skip-sweep]
+Usage: bench [--scale small|medium|large|huge] [--out PATH] [--skip-sweep]
 
-Phases: packing, event_loop, campaign, sweep (see crates/bench).
+Phases: packing, event_loop, streaming, repack, failures, drf,
+campaign, sweep — plus, at --scale huge, the sharding phase (a
+100k-node cluster fed one million streamed jobs, shards=1 vs shards=4;
+the other phases run at their small sizes). See crates/bench.
 Writes the phase timings as JSON to PATH (default BENCH_sim.json).";
 
 fn main() {
@@ -22,8 +25,9 @@ fn main() {
                 let v = it
                     .next()
                     .unwrap_or_else(|| die("missing value after --scale"));
-                config.scale = Scale::parse(v)
-                    .unwrap_or_else(|| die(&format!("unknown scale {v:?} (small|medium|large)")));
+                config.scale = Scale::parse(v).unwrap_or_else(|| {
+                    die(&format!("unknown scale {v:?} (small|medium|large|huge)"))
+                });
             }
             "--out" => {
                 config.out = it

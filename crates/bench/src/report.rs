@@ -97,6 +97,9 @@ impl BenchReport {
             ("drf".to_string(), drf_phase(scale)),
             ("campaign".to_string(), campaign_phase(scale)),
         ];
+        if scale == Scale::Huge {
+            phases.push(("huge".to_string(), huge_phase()));
+        }
         if !skip_sweep {
             phases.push(("sweep".to_string(), sweep_phase()));
         }
@@ -144,7 +147,9 @@ fn synthetic_loads(n: usize, seed: u64) -> Vec<JobLoad> {
 
 fn packing_phase(scale: Scale) -> Value {
     let (n_items, n_jobs, nodes, iters) = match scale {
-        Scale::Small => (256, 64, 128, 200),
+        // Huge's extra work lives in the sharding phase; the packing
+        // micro-benchmark stays at the small sizes.
+        Scale::Small | Scale::Huge => (256, 64, 128, 200),
         Scale::Medium => (512, 128, 128, 200),
         Scale::Large => (1024, 256, 256, 200),
     };
@@ -296,6 +301,113 @@ fn streaming_phase() -> Value {
             Value::Num(out.peak_resident_jobs as f64),
         ),
         ("makespan".into(), Value::Num(out.makespan)),
+    ])
+}
+
+/// Cluster size of the `huge` sharding phase: two orders of magnitude
+/// past the paper's testbed, so the per-event full-cluster work the
+/// `DynMCB8*` schedulers do (available-node slice, platform identity,
+/// packing bins) is what the phase prices.
+const HUGE_NODES: u32 = 102_400;
+
+/// Jobs the `huge` phase streams through each arm (never materialized).
+const HUGE_JOBS: usize = 1_000_000;
+
+/// Shard count of the sharded arm; the speedup is stated against the
+/// bare (shards=1) arm of the same inner scheduler.
+const HUGE_SHARDS: u32 = 4;
+
+/// Inner scheduler of both arms.
+const HUGE_INNER: &str = "dynmcb8";
+
+/// One arm of the `huge` phase: `jobs` generated jobs pulled through
+/// the streaming engine on the 100k-node cluster under `spec`. The feed
+/// (~1 s mean arrival gap, 1-task jobs, mean runtime ~500 s) holds the
+/// live set near 500 jobs — small against the cluster, so every repack
+/// takes the fast all-fit path and the measurement isolates the
+/// per-event cluster-sized work that sharding divides.
+fn huge_arm(spec: &str, jobs: usize) -> (SimOutcome, f64) {
+    use dfrs_sim::{simulate_stream, DiscardRecords, IterSource, SimConfig};
+
+    let cluster = dfrs_core::ClusterSpec::new(HUGE_NODES, 4, 8.0).expect("valid huge cluster");
+    let mut rng = SmallRng::seed_from_u64(97);
+    let mut t = 0.0;
+    let feed = (0..jobs).map(move |i| {
+        t += rng.gen_range(0.6..1.4);
+        let cpu = [0.25, 0.5, 1.0][rng.gen_range(0..3usize)];
+        let mem = 0.05 * rng.gen_range(1..7) as f64;
+        let runtime = rng.gen_range(300.0..700.0);
+        dfrs_core::JobSpec::new(JobId(i as u32), t, 1, cpu, mem, runtime)
+            .expect("generated job is valid")
+    });
+
+    let mut scheduler = dfrs_sched::SchedulerRegistry::builtin()
+        .build_str(spec)
+        .expect("builtin spec");
+    let start = Instant::now();
+    let out = simulate_stream(
+        cluster,
+        &mut IterSource::new(feed),
+        &mut DiscardRecords,
+        scheduler.as_mut(),
+        &SimConfig::default(),
+    )
+    .expect("huge run completes");
+    let wall = secs(start);
+    assert_eq!(out.jobs_completed as usize, jobs, "{spec}: run drained");
+    (out, wall)
+}
+
+fn huge_arm_json(spec: &str, out: &SimOutcome, wall: f64) -> Value {
+    obj([
+        ("spec".into(), Value::Str(spec.into())),
+        ("wall_secs".into(), Value::Num(wall)),
+        ("sched_wall_secs".into(), Value::Num(out.sched_wall_total)),
+        (
+            "events_processed".into(),
+            Value::Num(out.events_processed as f64),
+        ),
+        (
+            "peak_resident_jobs".into(),
+            Value::Num(out.peak_resident_jobs as f64),
+        ),
+        ("makespan".into(), Value::Num(out.makespan)),
+    ])
+}
+
+/// The `huge` phase (`--scale huge` only): the intra-run sharding
+/// speedup at cluster sizes where one scheduler instance's per-event
+/// work is dominated by cluster-sized scans. Both arms stream the same
+/// million-job feed; the sharded arm routes each event to one shard,
+/// whose view holds `nodes/shards` nodes, so the serial per-event work
+/// shrinks by the shard count.
+fn huge_phase() -> Value {
+    huge_phase_sized(HUGE_JOBS)
+}
+
+fn huge_phase_sized(jobs: usize) -> Value {
+    let bare = HUGE_INNER.to_string();
+    let sharded = format!("sharded:{HUGE_INNER}:shards={HUGE_SHARDS}");
+    let (bare_out, bare_wall) = huge_arm(&bare, jobs);
+    let (sharded_out, sharded_wall) = huge_arm(&sharded, jobs);
+    obj([
+        ("nodes".into(), Value::Num(HUGE_NODES as f64)),
+        ("jobs".into(), Value::Num(jobs as f64)),
+        ("shards".into(), Value::Num(HUGE_SHARDS as f64)),
+        ("inner".into(), Value::Str(HUGE_INNER.into())),
+        ("shards1".into(), huge_arm_json(&bare, &bare_out, bare_wall)),
+        (
+            format!("shards{HUGE_SHARDS}"),
+            huge_arm_json(&sharded, &sharded_out, sharded_wall),
+        ),
+        (
+            "sched_speedup".into(),
+            Value::Num(bare_out.sched_wall_total / sharded_out.sched_wall_total.max(1e-9)),
+        ),
+        (
+            "wall_speedup".into(),
+            Value::Num(bare_wall / sharded_wall.max(1e-9)),
+        ),
     ])
 }
 
@@ -619,6 +731,13 @@ mod tests {
     fn synthetic_inputs_are_deterministic() {
         assert_eq!(synthetic_items(32, 7), synthetic_items(32, 7));
         assert_eq!(synthetic_loads(16, 7), synthetic_loads(16, 7));
+    }
+
+    #[test]
+    #[ignore = "manual sizing probe: a 1/50-scale huge phase, for tuning"]
+    fn huge_probe() {
+        let v = huge_phase_sized(HUGE_JOBS / 50);
+        eprintln!("{}", v.pretty());
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub enum Scale {
     Medium,
     /// Stress size: minutes; for profiling sessions.
     Large,
+    /// Sharding-demo size: adds the `huge` phase (a ≥100k-node cluster
+    /// fed one million streamed jobs, shards=1 vs shards=4). Every
+    /// other phase runs at the small sizes so regeneration stays
+    /// dominated by the sharding measurement itself.
+    Huge,
 }
 
 impl Scale {
@@ -24,6 +29,7 @@ impl Scale {
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             "large" => Some(Scale::Large),
+            "huge" => Some(Scale::Huge),
             _ => None,
         }
     }
@@ -34,13 +40,14 @@ impl Scale {
             Scale::Small => "small",
             Scale::Medium => "medium",
             Scale::Large => "large",
+            Scale::Huge => "huge",
         }
     }
 
     /// Jobs per synthetic (Lublin/Downey) trace at this scale.
     pub fn jobs(&self) -> usize {
         match self {
-            Scale::Small => 150,
+            Scale::Small | Scale::Huge => 150,
             Scale::Medium => 500,
             Scale::Large => 1500,
         }
@@ -49,7 +56,7 @@ impl Scale {
     /// HPC2N-like weeks at this scale.
     pub fn weeks(&self) -> u32 {
         match self {
-            Scale::Small => 1,
+            Scale::Small | Scale::Huge => 1,
             Scale::Medium => 2,
             Scale::Large => 4,
         }
@@ -178,11 +185,11 @@ mod tests {
 
     #[test]
     fn parse_round_trips_tags() {
-        for s in [Scale::Small, Scale::Medium, Scale::Large] {
+        for s in [Scale::Small, Scale::Medium, Scale::Large, Scale::Huge] {
             assert_eq!(Scale::parse(s.tag()), Some(s));
         }
         assert_eq!(Scale::parse("SMALL"), Some(Scale::Small));
-        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::parse("giant"), None);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub struct Opts {
     /// Fraction of jobs annotated with a GPU demand (`--gpu-frac`) for
     /// the DRF study; `0` leaves every trace CPU+memory only.
     pub gpu_frac: f64,
+    /// Cluster shards (`--shards`); above 1, every selected spec is
+    /// wrapped in `sharded:<spec>:shards=N`.
+    pub shards: u32,
 }
 
 impl Default for Opts {
@@ -110,6 +113,7 @@ impl Default for Opts {
             // DRF-study default: strike a bit under half the jobs with
             // a GPU demand so dominant shares actually differ.
             gpu_frac: 0.4,
+            shards: 1,
         }
     }
 }
@@ -157,6 +161,7 @@ impl Opts {
                 "--mttr" => o.mttr_secs = grab()?.parse().map_err(|e| format!("{e}"))?,
                 "--failure-policy" => o.failure_policy = parse_failure_policy(&grab()?)?,
                 "--gpu-frac" => o.gpu_frac = grab()?.parse().map_err(|e| format!("{e}"))?,
+                "--shards" => o.shards = grab()?.parse().map_err(|e| format!("{e}"))?,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument {other}\n{USAGE}")),
             }
@@ -181,17 +186,38 @@ impl Opts {
         if !((0.0..=1.0).contains(&o.gpu_frac) && o.gpu_frac.is_finite()) {
             return Err("gpu-frac must be in [0, 1]".into());
         }
+        if o.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
         Ok(o)
     }
 
     /// The specs `--algo` selected, or `default` (usually
-    /// [`Algorithm::ALL`]) when none were given.
+    /// [`Algorithm::ALL`]) when none were given. With `--shards N` for
+    /// `N > 1`, every spec is wrapped in `sharded:<spec>:shards=N`
+    /// (specs already sharded are left alone — nesting is rejected by
+    /// the registry grammar).
     pub fn specs_or(&self, default: &[Algorithm]) -> Vec<SchedulerSpec> {
-        if self.algos.is_empty() {
+        let specs = if self.algos.is_empty() {
             default.iter().map(Algorithm::spec).collect()
         } else {
             self.algos.clone()
+        };
+        if self.shards <= 1 {
+            return specs;
         }
+        let reg = SchedulerRegistry::builtin();
+        specs
+            .into_iter()
+            .map(|s| {
+                let text = s.to_string();
+                if text.starts_with("sharded:") {
+                    return s;
+                }
+                reg.parse(&format!("sharded:{text}:shards={}", self.shards))
+                    .expect("wrapping a canonical spec in sharded: cannot fail")
+            })
+            .collect()
     }
 }
 
@@ -216,7 +242,9 @@ Options:
   --mtbf SECS       per-node mean time between failures (availability)
   --mttr SECS       per-node mean time to repair (availability)
   --failure-policy P restart | preserve (what a failure does to jobs)
-  --gpu-frac F      fraction of jobs given a GPU demand (DRF study)";
+  --gpu-frac F      fraction of jobs given a GPU demand (DRF study)
+  --shards N        partition the cluster: wrap every spec in
+                    sharded:<spec>:shards=N (default 1 = unsharded)";
 
 #[cfg(test)]
 mod tests {
@@ -319,6 +347,26 @@ mod tests {
         assert!(parse(&["--gpu-frac", "1.5"]).is_err());
         assert!(parse(&["--gpu-frac", "-0.1"]).is_err());
         assert!(parse(&["--gpu-frac", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn shards_wrap_every_selected_spec() {
+        let o = parse(&["--algo", "fcfs,dynmcb8-per:T=60", "--shards", "4"]).unwrap();
+        let specs = o.specs_or(&Algorithm::ALL);
+        assert_eq!(specs[0].to_string(), "sharded:fcfs:shards=4");
+        assert_eq!(specs[1].to_string(), "sharded:dynmcb8-per:t=60:shards=4");
+
+        // Already-sharded specs are not double-wrapped.
+        let o = parse(&["--algo", "sharded:fcfs:shards=2", "--shards", "4"]).unwrap();
+        assert_eq!(
+            o.specs_or(&Algorithm::ALL)[0].to_string(),
+            "sharded:fcfs:shards=2"
+        );
+
+        // shards=1 leaves everything bare; 0 is rejected.
+        let o = parse(&["--algo", "fcfs", "--shards", "1"]).unwrap();
+        assert_eq!(o.specs_or(&Algorithm::ALL)[0].to_string(), "fcfs");
+        assert!(parse(&["--shards", "0"]).is_err());
     }
 
     #[test]

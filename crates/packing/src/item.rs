@@ -136,7 +136,12 @@ impl Packing {
 /// A bi-dimensional vector-packing heuristic: place all `items` into
 /// `bins` unit bins, or report failure (`None`). Heuristics are
 /// incomplete: `None` does not prove infeasibility.
-pub trait VectorPacker {
+/// `Send + Sync` is a supertrait requirement: packers are stateless
+/// configuration shared by `&'static` reference from scheduler
+/// instances, and schedulers must be `Send` so composite runners (the
+/// sharded coordinator, campaign thread pools) can fan them out across
+/// scoped threads.
+pub trait VectorPacker: Send + Sync {
     /// Human-readable name for reports and benches.
     fn name(&self) -> &'static str;
 

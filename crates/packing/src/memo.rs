@@ -399,10 +399,14 @@ pub fn max_min_yield_warm(
     if memo.enabled {
         let caps = memo.caps;
         let fingerprint = fingerprint_jobs(jobs, nodes, caps);
-        if let Some(i) = memo.yields.iter().position(|e| {
-            e.fingerprint == fingerprint && e.nodes == nodes && e.caps == caps && e.jobs == jobs
-        }) {
-            let entry = memo.yields.remove(i).expect("position came from iter");
+        let hit = memo
+            .yields
+            .iter()
+            .position(|e| {
+                e.fingerprint == fingerprint && e.nodes == nodes && e.caps == caps && e.jobs == jobs
+            })
+            .and_then(|i| memo.yields.remove(i));
+        if let Some(entry) = hit {
             memo.stats.search_hits += 1;
             memo.stats.packs_saved += entry.packs;
             let result = entry.unflatten();
@@ -414,9 +418,10 @@ pub fn max_min_yield_warm(
         let packs = scratch.packs - packs_before;
         memo.stats.packs += packs;
         // Recycle the evicted entry's buffers: steady-state misses
-        // allocate nothing beyond what the cold search itself does.
+        // allocate nothing beyond what the cold search itself does. A
+        // zero-cap memo recycles one slot forever instead of panicking.
         let mut entry = if memo.yields.len() >= memo.yield_cap {
-            memo.yields.pop_back().expect("cap > 0")
+            memo.yields.pop_back().unwrap_or_default()
         } else {
             YieldEntry::default()
         };
@@ -428,16 +433,8 @@ pub fn max_min_yield_warm(
         entry.packs = packs;
         match (&result, &mut entry.result) {
             (Some(a), slot) => {
-                let flat = match slot {
-                    Some((y, flat)) => {
-                        *y = a.yield_;
-                        flat
-                    }
-                    None => {
-                        *slot = Some((a.yield_, Vec::new()));
-                        &mut slot.as_mut().expect("just set").1
-                    }
-                };
+                let (y, flat) = slot.get_or_insert_with(|| (a.yield_, Vec::new()));
+                *y = a.yield_;
                 flat.clear();
                 for (_, nodes_of) in &a.placements {
                     flat.extend_from_slice(nodes_of);
@@ -494,13 +491,17 @@ impl StretchProbes for MemoProbes<'_> {
         }
         let caps = self.caps;
         let fingerprint = fingerprint_runs(self.runs, nodes, caps);
-        if let Some(i) = self.probes.iter().position(|e| {
-            e.fingerprint == fingerprint
-                && e.nodes == nodes
-                && e.caps == caps
-                && &e.runs == self.runs
-        }) {
-            let entry = self.probes.remove(i).expect("position came from iter");
+        let hit = self
+            .probes
+            .iter()
+            .position(|e| {
+                e.fingerprint == fingerprint
+                    && e.nodes == nodes
+                    && e.caps == caps
+                    && &e.runs == self.runs
+            })
+            .and_then(|i| self.probes.remove(i));
+        if let Some(entry) = hit {
             self.stats.probe_hits += 1;
             self.stats.packs_saved += 1;
             let ok = entry.ok;
@@ -519,9 +520,9 @@ impl StretchProbes for MemoProbes<'_> {
             best.extend_from_slice(self.pack.bin_of());
         }
         // Recycle the evicted entry's buffers (misses allocate nothing
-        // at steady state).
+        // at steady state); a zero probe cap recycles one slot forever.
         let mut entry = if self.probes.len() >= self.probe_cap {
-            self.probes.pop_back().expect("cap > 0")
+            self.probes.pop_back().unwrap_or_default()
         } else {
             ProbeEntry::default()
         };
@@ -751,6 +752,37 @@ mod tests {
         let c = max_min_yield_warm(&jobs, 2, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
         assert_eq!(c, a);
         assert_eq!(memo.stats().search_hits, 1);
+    }
+
+    #[test]
+    fn zero_caps_degrade_gracefully() {
+        // A zero-capacity memo must not panic on the recycle path: every
+        // miss recycles the single resident slot and results stay
+        // identical to the cold search.
+        let jobs = vec![
+            job(0, 2, 1.0, 0.3),
+            job(1, 1, 0.5, 0.2),
+            job(2, 3, 0.8, 0.1),
+        ];
+        let cold = max_min_yield(&jobs, 4, &Mcb8, 0.01, 0.01);
+        let mut scratch = SearchScratch::new();
+        let mut memo = RepackMemo::new();
+        memo.yield_cap = 0;
+        memo.probe_cap = 0;
+        for _ in 0..3 {
+            let warm = max_min_yield_warm(&jobs, 4, &Mcb8, 0.01, 0.01, &mut scratch, &mut memo);
+            assert_eq!(warm, cold);
+        }
+        assert!(memo.yields.len() <= 1, "zero cap keeps one recycled slot");
+        let sjobs = [
+            sjob(0, 1, 1.0, 0.2, 3_000.0, 500.0),
+            sjob(1, 1, 1.0, 0.2, 900.0, 100.0),
+        ];
+        let cold_s = min_max_estimated_stretch(&sjobs, 1, 600.0, &Mcb8, 0.01);
+        let warm_s =
+            min_max_estimated_stretch_warm(&sjobs, 1, 600.0, &Mcb8, 0.01, &mut scratch, &mut memo);
+        assert_eq!(warm_s, cold_s);
+        assert!(memo.probes.len() <= 1);
     }
 
     #[test]

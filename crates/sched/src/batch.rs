@@ -72,6 +72,12 @@ impl Scheduler for Fcfs {
                 self.queue = waiting_jobs(state).into();
                 self.dispatch(state)
             }
+            SchedEvent::Withdraw(id) => {
+                // Rebalanced to another shard: purge, or the stale entry
+                // would head-block the queue forever.
+                self.queue.retain(|&q| q != id);
+                Plan::noop()
+            }
             _ => Plan::noop(),
         }
     }
@@ -189,6 +195,11 @@ impl Scheduler for Easy {
                 // reservation against the surviving nodes, reschedule.
                 self.queue = waiting_jobs(state).into();
                 self.schedule(state)
+            }
+            SchedEvent::Withdraw(id) => {
+                // Rebalanced to another shard: purge the stale entry.
+                self.queue.retain(|&q| q != id);
+                Plan::noop()
             }
             _ => Plan::noop(),
         }

@@ -180,11 +180,17 @@ struct AllocJob {
 }
 
 impl AllocSet {
-    /// Empty set over `n_nodes` nodes.
+    /// Empty set. `n_nodes` is the cluster size the caller works over,
+    /// but the per-node buffers are sized by the highest node actually
+    /// pushed: they are only ever indexed at placement nodes and folded
+    /// with identities (zero load, zero demand) elsewhere, so the
+    /// tighter bound is outcome-identical — and a mostly-idle huge
+    /// cluster doesn't pay cluster-sized zeroing per allocation set.
     pub fn new(n_nodes: usize) -> Self {
+        let _ = n_nodes;
         AllocSet {
             jobs: Vec::new(),
-            n_nodes,
+            n_nodes: 0,
         }
     }
 
@@ -195,6 +201,9 @@ impl AllocSet {
     /// final feasibility clamp (see [`gpu_clamp`](Self::optimized_yields)).
     pub fn push(&mut self, id: JobId, cpu_need: f64, gpu_need: f64, placement: Vec<NodeId>) {
         debug_assert!(!placement.is_empty());
+        for n in &placement {
+            self.n_nodes = self.n_nodes.max(n.index() + 1);
+        }
         self.jobs.push(AllocJob {
             id,
             cpu_need,

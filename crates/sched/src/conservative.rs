@@ -167,6 +167,12 @@ impl Scheduler for ConservativeBf {
                 self.queue = waiting_jobs(state).into();
                 self.schedule(state)
             }
+            SchedEvent::Withdraw(id) => {
+                // Rebalanced to another shard: purge, or the stale entry
+                // would hold a phantom reservation in every later pass.
+                self.queue.retain(|&q| q != id);
+                Plan::noop()
+            }
             _ => Plan::noop(),
         }
     }

@@ -90,6 +90,14 @@ pub(crate) struct RepackScratch {
     /// `avail.len()` anonymous bins and bin `b` maps to physical node
     /// `avail[b]`. With no failures this is the identity.
     avail: Vec<NodeId>,
+    /// [`ClusterState::membership_epoch`] the `avail` slice and its
+    /// platform identity were computed at. While unchanged, both are
+    /// still exact (the slice is a pure function of the membership), so
+    /// per-event repacks skip the cluster-sized rebuild and rehash —
+    /// the dominant per-event cost on very large clusters.
+    avail_membership: Option<u64>,
+    /// `RepackMemo::caps_identity` of `avail`, cached alongside it.
+    avail_identity: u64,
     /// [`SimState::change_epoch`] recorded at the last *eviction-free*
     /// repack decision. A clean repack is a pure function of the
     /// candidate set and the cluster size — not of time — so while the
@@ -120,6 +128,10 @@ impl RepackScratch {
             // new-run detection is hygiene (a fresh trace shares no job
             // sets with the old one, so the entries are dead weight).
             self.memo.clear();
+            // The new run's cluster may share a membership counter with
+            // the old one's; the cached available-node slice must not
+            // answer for it.
+            self.avail_membership = None;
         }
         self.last_seen_epoch = self.last_seen_epoch.max(epoch);
     }
@@ -174,15 +186,22 @@ pub(crate) fn packed_allocation(
     packer: &'static dyn VectorPacker,
     scratch: &mut RepackScratch,
 ) -> PackedAllocation {
-    crate::common::available_nodes_into(state, &mut scratch.avail);
-    // Key the warm memo by the *identity* of the available-node set,
-    // not just its size: two memberships of equal size are different
-    // platforms, and an entry recorded under one must not answer under
-    // the other (same-count churn keeps `nodes` — and thus the rest of
-    // the fingerprint — unchanged).
-    scratch.memo.set_caps_identity(RepackMemo::caps_identity(
-        scratch.avail.iter().map(|n| n.index() as u64),
-    ));
+    // The slice and its identity are pure functions of the node
+    // membership: recompute them only when it changed (both are
+    // cluster-sized, and most events change no membership).
+    let membership = state.cluster.membership_epoch();
+    if scratch.avail_membership != Some(membership) {
+        crate::common::available_nodes_into(state, &mut scratch.avail);
+        // Key the warm memo by the *identity* of the available-node set,
+        // not just its size: two memberships of equal size are different
+        // platforms, and an entry recorded under one must not answer
+        // under the other (same-count churn keeps `nodes` — and thus
+        // the rest of the fingerprint — unchanged).
+        scratch.avail_identity =
+            RepackMemo::caps_identity(scratch.avail.iter().map(|n| n.index() as u64));
+        scratch.avail_membership = Some(membership);
+    }
+    scratch.memo.set_caps_identity(scratch.avail_identity);
     let avail = &scratch.avail;
     let nodes = avail.len();
     let candidates = &mut scratch.candidates;

@@ -317,6 +317,13 @@ impl GreedyCore {
             SchedEvent::Complete(_) => self.on_completion(state),
             SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => self.on_node_event(state),
             SchedEvent::Tick => Plan::noop(),
+            SchedEvent::Withdraw(id) => {
+                // The job leaves this scheduler's jurisdiction: drop its
+                // timer bookkeeping so a stale chain can never re-arm.
+                self.armed.remove(&id);
+                self.backoff.remove(&id);
+                Plan::noop()
+            }
         }
     }
 }

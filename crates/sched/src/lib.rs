@@ -59,6 +59,7 @@ pub mod dynmcb8;
 pub mod fairness;
 pub mod greedy;
 pub mod registry;
+pub mod sharded;
 pub mod spec;
 pub mod stretch_per;
 
@@ -69,5 +70,6 @@ pub use dynmcb8::{DynMcb8, DynMcb8AsapPer, DynMcb8Per};
 pub use fairness::DynMcb8FairPer;
 pub use greedy::{Greedy, GreedyPmtn, GreedyPmtnMigr};
 pub use registry::Algorithm;
+pub use sharded::Sharded;
 pub use spec::{SchedulerFactory, SchedulerRegistry, SchedulerSpec, SpecError, SpecParams};
 pub use stretch_per::DynMcb8StretchPer;

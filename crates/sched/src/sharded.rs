@@ -1,0 +1,820 @@
+//! Sharded scheduling: partition the cluster, run one independent
+//! inner scheduler per shard, coordinate through a thin deterministic
+//! layer (ROADMAP item 2).
+//!
+//! ## Model
+//!
+//! The coordinator splits the `M` nodes into `N` contiguous shards
+//! ([`dfrs_sim::partition`]) and owns one inner [`Scheduler`] instance
+//! plus one [`ShardView`] per shard. Inners never see the global
+//! [`SimState`]; each sees its view — an ordinary shard-sized state —
+//! so every registered algorithm works unmodified. Jobs are routed to
+//! one shard at a time (least normalized load, ties to the lowest
+//! shard index) and rebalanced between shards when the queues skew;
+//! a rebalanced job leaves its old shard via [`SchedEvent::Withdraw`]
+//! and arrives at the new one as a fresh local submission carrying its
+//! accrued virtual time, so a paused migrant resumes through the
+//! engine's ordinary pause/resume machinery (penalty included).
+//!
+//! ## Determinism
+//!
+//! Everything is deterministic by construction, mirroring the
+//! `Campaign` parallel==serial discipline:
+//!
+//! * shard boundaries depend only on `(M, N)`;
+//! * routing and rebalancing read only view load counts, with
+//!   lowest-index tie-breaks;
+//! * the periodic tick fans out to the inners on scoped threads (when
+//!   more than one hardware thread is available), but each inner's
+//!   plan depends only on its own view, and plans are merged in shard
+//!   index order — thread interleaving cannot reach any output;
+//! * the merged plan is emitted per job in ascending global id.
+//!
+//! ## Plan merging
+//!
+//! Within one event the coordinator may deliver several inner events
+//! (a completion plus a rebalancing round, say) whose plans can touch
+//! the same job more than once. Raw concatenation would trip the
+//! engine's one-mention-per-job discipline, so the coordinator instead
+//! mirrors every inner plan into its view immediately and then emits
+//! one **net** entry per touched job: the difference between the job's
+//! final view state and its pre-plan global state. The engine's own
+//! diffing then classifies starts, resumes, migrations, and yield
+//! adjustments exactly as if the net entry had been written directly.
+//!
+//! ## Wide jobs
+//!
+//! A job with more tasks than any single shard has in-service nodes
+//! cannot be routed — shards do not overlap, and one-task-per-node is
+//! the only capacity promise that holds for **every** registered
+//! inner (batch algorithms never co-locate tasks). Such jobs wait at
+//! the coordinator itself and are placed directly across shard
+//! boundaries on **borrowed** nodes: nodes that are in service and
+//! idle in their owning view. A borrowed node is marked down in its
+//! view (the inner sees an ordinary capacity loss, exactly like a
+//! failure, and cannot double-book it) and returns with a `NodeUp`
+//! when the wide job completes. Wide placement is one task per node
+//! at full yield; only a job wider than the whole in-service cluster
+//! falls back to stacking tasks per node up to the memory capacity
+//! with the yield scaled so CPU/GPU allocations fit. Routing and
+//! rebalancing are feasibility-aware: a job is only ever admitted to
+//! a shard that could host it when empty, so no shard can wedge on a
+//! job it can never place. Wide placement is strict FIFO by global id
+//! — a later, narrower wide job never overtakes an earlier one.
+//!
+//! ## Limitations
+//!
+//! Inner-visible virtual times and penalty windows are refreshed from
+//! the global state before every delivery, so within a single
+//! multi-delivery event they can lag the plan being assembled — a
+//! deterministic, one-event-bounded staleness. A wide job waits until
+//! enough simultaneously idle nodes exist; under sustained load the
+//! inners keep their shards busy, so it may start much later than it
+//! would on the unsharded cluster.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::JobSpec;
+
+use dfrs_sim::shard::{partition, ShardView};
+use dfrs_sim::{JobStatus, Plan, RepackStats, SchedEvent, Scheduler, SimState};
+
+/// The sharded coordinator. Built via the registry's
+/// `sharded:<inner>:shards=N` spec family (see [`crate::spec`]); the
+/// `shards=1` case never constructs this type — the registry returns
+/// the bare inner scheduler, making single-shard operation byte-
+/// identical to the unsharded scheduler by construction.
+pub struct Sharded {
+    inners: Vec<Box<dyn Scheduler>>,
+    views: Vec<ShardView>,
+    /// Global job id → (shard index, shard-local id).
+    assign: HashMap<JobId, (usize, JobId)>,
+    period: Option<f64>,
+    /// Jobs no single shard can host, waiting at the coordinator for a
+    /// cross-shard placement; ascending global id = submission FIFO.
+    wide_waiting: BTreeSet<JobId>,
+    /// Wide jobs currently running → the nodes borrowed for them
+    /// (global ids, ascending, deduplicated).
+    wide_running: HashMap<JobId, Vec<NodeId>>,
+    /// Borrowed global node → the wide job holding it.
+    borrowed_by: HashMap<NodeId, JobId>,
+}
+
+impl Sharded {
+    /// Coordinator over `inners.len()` shards (one pre-built inner
+    /// instance per shard; at least 2 — use the bare inner for 1).
+    pub fn new(inners: Vec<Box<dyn Scheduler>>) -> Self {
+        assert!(inners.len() >= 2, "Sharded needs at least 2 inners");
+        let period = inners[0].period();
+        Sharded {
+            inners,
+            views: Vec::new(),
+            assign: HashMap::new(),
+            period,
+            wide_waiting: BTreeSet::new(),
+            wide_running: HashMap::new(),
+            borrowed_by: HashMap::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inners.len()
+    }
+
+    /// Lazily build the views at the first event (the cluster size is
+    /// only known from the state), clamping the shard count to the
+    /// node count, and adopt whatever jobs are already in the system
+    /// (a restored session): waiting jobs are routed normally; a
+    /// running job is adopted by the shard holding its placement, or
+    /// left unmanaged (it completes on its own) if it straddles one.
+    fn init(&mut self, state: &SimState) {
+        if !self.views.is_empty() {
+            return;
+        }
+        let nodes = state.cluster.spec.nodes;
+        if (self.inners.len() as u32) > nodes {
+            self.inners.truncate(nodes as usize);
+        }
+        self.views = partition(nodes, self.inners.len() as u32)
+            .into_iter()
+            .map(|(lo, count)| ShardView::new(&state.cluster.spec, lo, count))
+            .collect();
+        let ids: Vec<JobId> = state.jobs_in_system().map(|j| j.spec.id).collect();
+        for g in ids {
+            let js = state.job(g);
+            match js.status {
+                JobStatus::Pending | JobStatus::Paused => match self.route(&js.spec) {
+                    Some(s) => {
+                        let local = self.views[s].admit(js);
+                        self.assign.insert(g, (s, local));
+                    }
+                    None => {
+                        self.wide_waiting.insert(g);
+                    }
+                },
+                JobStatus::Running => {
+                    let placement = state.placement(g);
+                    let s = self
+                        .views
+                        .iter()
+                        .position(|v| placement.iter().all(|&n| v.owns_node(n)));
+                    if let Some(s) = s {
+                        let local = self.views[s].adopt_running(js, placement);
+                        self.assign.insert(g, (s, local));
+                    } else {
+                        // Straddles shard boundaries (a snapshot taken
+                        // under a different scheduler). If it holds its
+                        // nodes exclusively, adopt it as a coordinator-
+                        // placed wide job (nodes borrowed, returned on
+                        // completion); otherwise leave it unmanaged —
+                        // it completes on its own.
+                        let mut nodes: Vec<NodeId> = placement.to_vec();
+                        nodes.sort_unstable();
+                        nodes.dedup();
+                        let exclusive = nodes.iter().all(|&n| {
+                            let own = placement.iter().filter(|&&m| m == n).count() as u32;
+                            state.cluster.nodes()[n.index()].task_count == own
+                        });
+                        if exclusive {
+                            for &n in &nodes {
+                                self.borrowed_by.insert(n, g);
+                                let s = self.owner_of(n);
+                                let ln = self.views[s].local_node(n);
+                                self.views[s].mirror_node_event(ln, false, state);
+                            }
+                            self.wide_running.insert(g, nodes);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Tasks of `spec` that fit one empty node by memory (the only
+    /// rigid resource — CPU and GPU scale with the yield), accumulated
+    /// with a strict `<= 1.0` so this never claims feasible what a
+    /// packer's `<= 1 + EPS` bin check would reject. At least 1
+    /// (`mem_req` is in `(0, 1]`). Used only by the wide-placement
+    /// stacking fallback for jobs wider than the in-service cluster.
+    fn tasks_per_node(spec: &JobSpec) -> u32 {
+        let mut used = 0.0;
+        let mut k = 0;
+        while k < spec.tasks && used + spec.mem_req <= 1.0 {
+            used += spec.mem_req;
+            k += 1;
+        }
+        k.max(1)
+    }
+
+    /// Whether `spec` could be hosted by this shard at all, were the
+    /// shard otherwise empty. One task per in-service node is the only
+    /// promise every inner honors (batch algorithms never co-locate
+    /// tasks), so that is the bar — fluid inners remain free to pack
+    /// tighter than this *inside* a shard.
+    fn fits_shard(view: &ShardView, spec: &JobSpec) -> bool {
+        spec.tasks <= view.state().cluster.up_nodes()
+    }
+
+    /// Least-loaded shard (jobs in system per node, compared exactly
+    /// with cross-multiplied integers, ties to the lowest index) among
+    /// those that can host `spec` at all; `None` when no single shard
+    /// can — the job then waits at the coordinator for a cross-shard
+    /// wide placement.
+    fn route(&self, spec: &JobSpec) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for i in 0..self.views.len() {
+            if !Self::fits_shard(&self.views[i], spec) {
+                continue;
+            }
+            let Some(b) = best else {
+                best = Some(i);
+                continue;
+            };
+            let (ci, ni) = (
+                self.views[i].in_system() as u64,
+                u64::from(self.views[i].node_count()),
+            );
+            let (cb, nb) = (
+                self.views[b].in_system() as u64,
+                u64::from(self.views[b].node_count()),
+            );
+            if ci * nb < cb * ni {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Index of the shard owning global node `n`.
+    fn owner_of(&self, n: NodeId) -> usize {
+        self.views
+            .iter()
+            .position(|v| v.owns_node(n))
+            .expect("node outside every shard")
+    }
+
+    /// Deliver `ev` to shard `s`'s inner against its freshly refreshed
+    /// view, mirror the plan into the view, and record every job the
+    /// plan touched plus its timers.
+    fn deliver(&mut self, s: usize, ev: SchedEvent, state: &SimState, out: &mut MergeState) {
+        self.views[s].refresh(state.now, state);
+        let plan = self.inners[s].on_event(ev, self.views[s].state());
+        self.absorb(s, plan, out);
+    }
+
+    /// Mirror an already-obtained plan for shard `s` (tick fan-out path).
+    fn absorb(&mut self, s: usize, plan: Plan, out: &mut MergeState) {
+        let view = &mut self.views[s];
+        for e in &plan.entries {
+            let local = match e {
+                dfrs_sim::PlanEntry::Run { job, .. } => *job,
+                dfrs_sim::PlanEntry::Pause { job } => *job,
+            };
+            out.touched.insert(view.global_job(local));
+        }
+        for &(local, at) in &plan.timers {
+            out.timers.push((view.global_job(local), at));
+        }
+        view.mirror_plan(&plan);
+    }
+
+    /// Move waiting jobs from overloaded to underloaded shards until no
+    /// single move strictly improves the normalized-load imbalance.
+    /// Jobs already touched by this event's plans are pinned (moving
+    /// them would contradict the net entries about to be emitted).
+    fn rebalance(&mut self, state: &SimState, out: &mut MergeState) {
+        loop {
+            // Most and least loaded shard (normalized, exact).
+            let (mut hi, mut lo) = (0usize, 0usize);
+            for i in 1..self.views.len() {
+                let (ci, ni) = (
+                    self.views[i].in_system() as u64,
+                    u64::from(self.views[i].node_count()),
+                );
+                let cmp = |j: usize| {
+                    (
+                        self.views[j].in_system() as u64,
+                        u64::from(self.views[j].node_count()),
+                    )
+                };
+                let (ch, nh) = cmp(hi);
+                let (cl, nl) = cmp(lo);
+                if ci * nh > ch * ni {
+                    hi = i;
+                }
+                if ci * nl < cl * ni {
+                    lo = i;
+                }
+            }
+            if hi == lo {
+                return;
+            }
+            let (ch, nh) = (
+                self.views[hi].in_system() as u64,
+                u64::from(self.views[hi].node_count()),
+            );
+            let (cl, nl) = (
+                self.views[lo].in_system() as u64,
+                u64::from(self.views[lo].node_count()),
+            );
+            // Moving one job helps only if the source stays at least as
+            // loaded as the destination becomes.
+            if ch * nl <= (cl + 1) * nh {
+                return;
+            }
+            // Oldest movable (waiting, untouched) job on the hot shard
+            // that the destination could actually host.
+            let candidate = self.views[hi]
+                .waiting_locals()
+                .into_iter()
+                .map(|l| (self.views[hi].global_job(l), l))
+                .filter(|(g, _)| !out.touched.contains(g))
+                .filter(|(g, _)| Self::fits_shard(&self.views[lo], &state.job(*g).spec))
+                .min();
+            let Some((g, local)) = candidate else {
+                return;
+            };
+            self.views[hi].withdraw(local);
+            self.assign.remove(&g);
+            self.deliver(hi, SchedEvent::Withdraw(local), state, out);
+            let dest_local = self.views[lo].admit(state.job(g));
+            self.assign.insert(g, (lo, dest_local));
+            self.deliver(lo, SchedEvent::Submit(dest_local), state, out);
+        }
+    }
+
+    /// After shard `s` lost capacity, re-route any of its waiting jobs
+    /// it can no longer host at all (they would wedge there forever).
+    fn reroute_infeasible(&mut self, s: usize, state: &SimState, out: &mut MergeState) {
+        let stuck: Vec<(JobId, JobId)> = self.views[s]
+            .waiting_locals()
+            .into_iter()
+            .map(|l| (self.views[s].global_job(l), l))
+            .filter(|(g, _)| !out.touched.contains(g))
+            .filter(|(g, _)| !Self::fits_shard(&self.views[s], &state.job(*g).spec))
+            .collect();
+        for (g, local) in stuck {
+            self.views[s].withdraw(local);
+            self.assign.remove(&g);
+            self.deliver(s, SchedEvent::Withdraw(local), state, out);
+            match self.route(&state.job(g).spec) {
+                Some(d) => {
+                    let dl = self.views[d].admit(state.job(g));
+                    self.assign.insert(g, (d, dl));
+                    self.deliver(d, SchedEvent::Submit(dl), state, out);
+                }
+                None => {
+                    self.wide_waiting.insert(g);
+                }
+            }
+        }
+    }
+
+    /// Place waiting wide jobs (strict FIFO by global id) on idle nodes
+    /// borrowed across shard boundaries; stops at the first job that
+    /// cannot be placed right now. Each borrowed node is marked down in
+    /// its owning view and announced to the inner as a `NodeDown`.
+    fn place_wide(&mut self, state: &SimState, out: &mut MergeState) {
+        while let Some(&g) = self.wide_waiting.iter().next() {
+            let spec = state.job(g).spec;
+            let Some((placement, nodes, yld)) = self.wide_placement(state, &spec) else {
+                return;
+            };
+            self.wide_waiting.remove(&g);
+            for &n in &nodes {
+                self.borrowed_by.insert(n, g);
+                let s = self.owner_of(n);
+                let ln = self.views[s].local_node(n);
+                self.views[s].mirror_node_event(ln, false, state);
+                self.deliver(s, SchedEvent::NodeDown(ln), state, out);
+            }
+            self.wide_running.insert(g, nodes);
+            out.wide.push((g, placement, yld));
+        }
+    }
+
+    /// A concrete cross-shard placement for `spec` on borrowable nodes
+    /// — in service, not already borrowed, and idle in their owning
+    /// view (the view, not the global state, already reflects this
+    /// event's plans) — or `None` when there is not enough idle
+    /// capacity right now. One task per node at full yield; a job
+    /// wider than the whole in-service cluster instead splits its
+    /// tasks near-evenly over the fewest nodes that hold them by
+    /// memory, with the yield scaled so CPU/GPU allocations fit.
+    /// Returns `(placement, distinct nodes, yield)`.
+    fn wide_placement(
+        &self,
+        state: &SimState,
+        spec: &JobSpec,
+    ) -> Option<(Vec<NodeId>, Vec<NodeId>, f64)> {
+        let per = if spec.tasks <= state.cluster.up_nodes() {
+            1
+        } else {
+            u64::from(Self::tasks_per_node(spec))
+        };
+        let needed = u64::from(spec.tasks).div_ceil(per) as usize;
+        let mut nodes = Vec::with_capacity(needed);
+        for (i, ns) in state.cluster.nodes().iter().enumerate() {
+            let n = NodeId(i as u32);
+            if !state.cluster.is_up(n) || ns.task_count != 0 || self.borrowed_by.contains_key(&n) {
+                continue;
+            }
+            let view = &self.views[self.owner_of(n)];
+            let ln = view.local_node(n);
+            if view.state().cluster.nodes()[ln.index()].task_count != 0
+                || !view.state().cluster.is_up(ln)
+            {
+                continue;
+            }
+            nodes.push(n);
+            if nodes.len() == needed {
+                break;
+            }
+        }
+        if nodes.len() < needed {
+            return None;
+        }
+        let base = spec.tasks as usize / needed;
+        let rem = spec.tasks as usize % needed;
+        let mut placement = Vec::with_capacity(spec.tasks as usize);
+        let mut max_k = 0usize;
+        for (i, &n) in nodes.iter().enumerate() {
+            let k = base + usize::from(i < rem);
+            max_k = max_k.max(k);
+            placement.extend(std::iter::repeat_n(n, k));
+        }
+        let mut yld = (1.0 / (max_k as f64 * spec.cpu_need)).min(1.0);
+        if spec.gpu_need > 0.0 {
+            yld = yld.min(1.0 / (max_k as f64 * spec.gpu_need));
+        }
+        Some((placement, nodes, yld))
+    }
+
+    /// Return borrowed nodes to their shards: marked back up in the
+    /// owning views, announced to the inners as `NodeUp` (exactly as a
+    /// repair would arrive).
+    fn release_nodes(&mut self, nodes: &[NodeId], state: &SimState, out: &mut MergeState) {
+        for &n in nodes {
+            self.borrowed_by.remove(&n);
+            let s = self.owner_of(n);
+            let ln = self.views[s].local_node(n);
+            self.views[s].mirror_node_event(ln, true, state);
+            self.deliver(s, SchedEvent::NodeUp(ln), state, out);
+        }
+    }
+
+    /// Emit the net plan: one entry per touched job, ascending global
+    /// id, diffing the job's final view state against its pre-plan
+    /// global state (see module docs), plus the coordinator's own wide
+    /// placements.
+    fn emit(&self, state: &SimState, out: MergeState) -> Plan {
+        let mut plan = Plan::noop();
+        for g in out.touched {
+            let Some(&(s, local)) = self.assign.get(&g) else {
+                continue;
+            };
+            let view = &self.views[s];
+            let vj = view.state().job(local);
+            let gj = state.job(g);
+            match vj.status {
+                JobStatus::Running => {
+                    let placement: Vec<NodeId> = view
+                        .state()
+                        .placement(local)
+                        .iter()
+                        .map(|&n| view.global_node(n))
+                        .collect();
+                    let unchanged = gj.status == JobStatus::Running
+                        && gj.yld == vj.yld
+                        && state.placement(g) == placement.as_slice();
+                    if !unchanged {
+                        plan = plan.run(g, placement, vj.yld);
+                    }
+                }
+                JobStatus::Paused if gj.status == JobStatus::Running => {
+                    plan = plan.pause(g);
+                }
+                _ => {}
+            }
+        }
+        for (g, placement, yld) in out.wide {
+            plan = plan.run(g, placement, yld);
+        }
+        plan.timers = out.timers;
+        plan
+    }
+}
+
+/// Accumulator for one event's deliveries: which global jobs any inner
+/// plan mentioned, the translated timers, and the coordinator's own
+/// wide placements (jobs no inner knows about).
+#[derive(Default)]
+struct MergeState {
+    touched: BTreeSet<JobId>,
+    timers: Vec<(JobId, f64)>,
+    wide: Vec<(JobId, Vec<NodeId>, f64)>,
+}
+
+impl Scheduler for Sharded {
+    fn name(&self) -> String {
+        format!("Sharded[{}] {}", self.inners.len(), self.inners[0].name())
+    }
+
+    fn period(&self) -> Option<f64> {
+        self.period
+    }
+
+    fn on_event(&mut self, ev: SchedEvent, state: &SimState) -> Plan {
+        self.init(state);
+        let mut out = MergeState::default();
+        match ev {
+            SchedEvent::Submit(g) => {
+                // `init` adopts every job already in the system — on the
+                // run's first event that includes the job this very
+                // Submit announces, so only admit if it isn't placed yet
+                // (it may also already sit in the wide queue).
+                if !self.wide_waiting.contains(&g) && !self.wide_running.contains_key(&g) {
+                    let routed = match self.assign.get(&g) {
+                        Some(&(s, local)) => Some((s, local)),
+                        None => {
+                            let spec = state.job(g).spec;
+                            match self.route(&spec) {
+                                Some(s) => {
+                                    let local = self.views[s].admit(state.job(g));
+                                    self.assign.insert(g, (s, local));
+                                    Some((s, local))
+                                }
+                                None => {
+                                    self.wide_waiting.insert(g);
+                                    None
+                                }
+                            }
+                        }
+                    };
+                    if let Some((s, local)) = routed {
+                        self.deliver(s, SchedEvent::Submit(local), state, &mut out);
+                    }
+                }
+            }
+            SchedEvent::Complete(g) => {
+                if let Some(nodes) = self.wide_running.remove(&g) {
+                    // A wide job finished: its borrowed nodes go home.
+                    self.release_nodes(&nodes, state, &mut out);
+                    self.rebalance(state, &mut out);
+                } else if let Some((s, local)) = self.assign.remove(&g) {
+                    self.views[s].mirror_complete(local);
+                    self.deliver(s, SchedEvent::Complete(local), state, &mut out);
+                    self.rebalance(state, &mut out);
+                }
+                // Unknown ids are unmanaged adoptions: nothing to do.
+            }
+            SchedEvent::Timer(g) => {
+                // Routed to the *current* owner — the job may have been
+                // rebalanced (or finished) since the timer was armed.
+                if let Some(&(s, local)) = self.assign.get(&g) {
+                    self.deliver(s, SchedEvent::Timer(local), state, &mut out);
+                }
+            }
+            SchedEvent::NodeDown(n) if self.borrowed_by.contains_key(&n) => {
+                // A borrowed node failed. The engine has already struck
+                // the wide job (it is waiting again globally); return
+                // the surviving borrowed nodes and requeue the job. The
+                // failed node itself stays down in its view — it has
+                // been since the borrow — until the repair arrives.
+                let w = self.borrowed_by[&n];
+                let nodes = self
+                    .wide_running
+                    .remove(&w)
+                    .expect("borrow map out of sync");
+                self.borrowed_by.remove(&n);
+                let survivors: Vec<NodeId> = nodes.into_iter().filter(|&m| m != n).collect();
+                self.release_nodes(&survivors, state, &mut out);
+                self.wide_waiting.insert(w);
+                self.rebalance(state, &mut out);
+            }
+            SchedEvent::NodeDown(n) | SchedEvent::NodeUp(n) => {
+                let up = matches!(ev, SchedEvent::NodeUp(_));
+                let s = self
+                    .views
+                    .iter()
+                    .position(|v| v.owns_node(n))
+                    .expect("node event for a node outside every shard");
+                let ln = self.views[s].local_node(n);
+                self.views[s].mirror_node_event(ln, up, state);
+                let local_ev = if up {
+                    SchedEvent::NodeUp(ln)
+                } else {
+                    SchedEvent::NodeDown(ln)
+                };
+                self.deliver(s, local_ev, state, &mut out);
+                if !up {
+                    // Waiting jobs the shrunken shard can no longer
+                    // host at all would wedge there; move them out.
+                    self.reroute_infeasible(s, state, &mut out);
+                }
+                self.rebalance(state, &mut out);
+            }
+            SchedEvent::Tick => {
+                self.rebalance(state, &mut out);
+                for v in &mut self.views {
+                    v.refresh(state.now, state);
+                }
+                let plans = self.fan_out_tick();
+                for (s, plan) in plans.into_iter().enumerate() {
+                    self.absorb(s, plan, &mut out);
+                }
+            }
+            SchedEvent::Withdraw(_) => {
+                // Nothing outer to us withdraws jobs (nesting is
+                // rejected at spec parse time).
+            }
+        }
+        self.place_wide(state, &mut out);
+        self.emit(state, out)
+    }
+
+    fn repack_stats(&self) -> Option<RepackStats> {
+        let mut sum = RepackStats::default();
+        let mut any = false;
+        for inner in &self.inners {
+            if let Some(s) = inner.repack_stats() {
+                any = true;
+                sum.searches += s.searches;
+                sum.search_hits += s.search_hits;
+                sum.packs += s.packs;
+                sum.packs_saved += s.packs_saved;
+            }
+        }
+        any.then_some(sum)
+    }
+}
+
+impl Sharded {
+    /// Run every inner's tick against its view, in parallel on scoped
+    /// threads when the host has more than one hardware thread (each
+    /// plan depends only on its own view, so the serial fallback is
+    /// result-identical — the `Campaign` discipline).
+    fn fan_out_tick(&mut self) -> Vec<Plan> {
+        let parallel = self.inners.len() > 1
+            && std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                > 1;
+        if !parallel {
+            return self
+                .inners
+                .iter_mut()
+                .zip(&self.views)
+                .map(|(inner, view)| inner.on_event(SchedEvent::Tick, view.state()))
+                .collect();
+        }
+        let mut plans: Vec<Option<Plan>> = Vec::new();
+        plans.resize_with(self.inners.len(), || None);
+        std::thread::scope(|scope| {
+            for ((inner, view), slot) in self
+                .inners
+                .iter_mut()
+                .zip(&self.views)
+                .zip(plans.iter_mut())
+            {
+                scope.spawn(move || {
+                    *slot = Some(inner.on_event(SchedEvent::Tick, view.state()));
+                });
+            }
+        });
+        plans
+            .into_iter()
+            .map(|p| p.expect("scoped tick thread always fills its slot"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Sharded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sharded")
+            .field("shards", &self.inners.len())
+            .field("inner", &self.inners[0].name())
+            .field("jobs", &self.assign.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SchedulerRegistry;
+    use dfrs_core::{ClusterSpec, JobSpec};
+    use dfrs_sim::{simulate, SimConfig};
+
+    fn jobs(n: u32) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| JobSpec::new(JobId(i), i as f64 * 10.0, 2, 0.5, 0.2, 400.0).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_runs_all_jobs_to_completion() {
+        let cluster = ClusterSpec::new(8, 4, 8.0).unwrap();
+        let reg = SchedulerRegistry::builtin();
+        let mut sched = reg.build_str("sharded:dynmcb8-per:t=600:shards=2").unwrap();
+        let out = simulate(cluster, &jobs(12), sched.as_mut(), &SimConfig::default());
+        assert_eq!(out.records.len(), 12);
+        assert!(out.records.iter().all(|r| r.completion.is_finite()));
+    }
+
+    #[test]
+    fn sharded_name_reports_shards_and_inner() {
+        let reg = SchedulerRegistry::builtin();
+        let sched = reg.build_str("sharded:greedy:shards=3").unwrap();
+        assert_eq!(sched.name(), "Sharded[3] Greedy");
+    }
+
+    #[test]
+    fn shards_clamped_to_node_count() {
+        // 2 nodes, 4 shards requested: must still run correctly.
+        let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
+        let reg = SchedulerRegistry::builtin();
+        let mut sched = reg.build_str("sharded:greedy:shards=4").unwrap();
+        let out = simulate(cluster, &jobs(4), sched.as_mut(), &SimConfig::default());
+        assert_eq!(out.records.len(), 4);
+    }
+
+    #[test]
+    fn wide_job_runs_across_one_node_shards() {
+        // 4 shards of 1 node each; a 4-task memory hog (0.85/node) can
+        // never fit inside any shard — the coordinator must place it
+        // across shard boundaries once the cluster drains.
+        let cluster = ClusterSpec::new(4, 4, 8.0).unwrap();
+        let specs = vec![
+            JobSpec::new(JobId(0), 0.0, 2, 0.5, 0.3, 400.0).unwrap(),
+            JobSpec::new(JobId(1), 10.0, 1, 1.0, 0.2, 300.0).unwrap(),
+            JobSpec::new(JobId(2), 20.0, 4, 0.25, 0.85, 500.0).unwrap(),
+            JobSpec::new(JobId(3), 30.0, 1, 0.5, 0.1, 100.0).unwrap(),
+        ];
+        let reg = SchedulerRegistry::builtin();
+        let mut sched = reg.build_str("sharded:dynmcb8:shards=4").unwrap();
+        let out = simulate(cluster, &specs, sched.as_mut(), &SimConfig::default());
+        assert_eq!(out.records.len(), 4);
+        assert!(out.records.iter().all(|r| r.completion.is_finite()));
+    }
+
+    #[test]
+    fn wide_job_stacks_tasks_and_scales_yield() {
+        // 2 shards of 1 node. The 4-task job (mem 0.4 → 2 tasks/node,
+        // cpu 1.0 → yield 1/2) runs alone from t=0 on borrowed nodes:
+        // 2 nodes × 2 tasks at yield 0.5, so runtime 100 takes 200s.
+        let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
+        let specs = vec![JobSpec::new(JobId(0), 0.0, 4, 1.0, 0.4, 100.0).unwrap()];
+        let reg = SchedulerRegistry::builtin();
+        let mut sched = reg.build_str("sharded:dynmcb8:shards=2").unwrap();
+        let out = simulate(cluster, &specs, sched.as_mut(), &SimConfig::default());
+        assert_eq!(out.records.len(), 1);
+        let r = &out.records[0];
+        assert_eq!(r.first_start, Some(0.0));
+        assert!(
+            (r.completion - 200.0).abs() < 1e-6,
+            "completion {}",
+            r.completion
+        );
+    }
+
+    #[test]
+    fn wide_placement_is_fifo_and_releases_nodes() {
+        // Two consecutive wide jobs: the second must wait for the
+        // first's borrowed nodes to come home, then run to completion.
+        let cluster = ClusterSpec::new(2, 4, 8.0).unwrap();
+        let specs = vec![
+            JobSpec::new(JobId(0), 0.0, 2, 0.5, 0.9, 100.0).unwrap(),
+            JobSpec::new(JobId(1), 1.0, 2, 0.5, 0.9, 100.0).unwrap(),
+        ];
+        let reg = SchedulerRegistry::builtin();
+        let mut sched = reg.build_str("sharded:greedy:shards=2").unwrap();
+        let out = simulate(cluster, &specs, sched.as_mut(), &SimConfig::default());
+        assert_eq!(out.records.len(), 2);
+        let by_id = |i: u32| out.records.iter().find(|r| r.id == JobId(i)).unwrap();
+        assert!((by_id(0).completion - 100.0).abs() < 1e-6);
+        // Job 1 starts only when job 0's nodes are returned.
+        assert!(by_id(1).first_start.unwrap() >= 100.0 - 1e-9);
+        assert!(by_id(1).completion.is_finite());
+    }
+
+    #[test]
+    fn routing_balances_across_shards() {
+        // Many single-task jobs arriving together spread over shards:
+        // with 2 shards of 4 nodes and 8 one-node jobs, both shards
+        // must host some work (makespan stays flat).
+        let cluster = ClusterSpec::new(8, 4, 8.0).unwrap();
+        let specs: Vec<JobSpec> = (0..8)
+            .map(|i| JobSpec::new(JobId(i), 0.0, 1, 1.0, 0.5, 100.0).unwrap())
+            .collect();
+        let reg = SchedulerRegistry::builtin();
+        let mut sched = reg.build_str("sharded:greedy:shards=2").unwrap();
+        let out = simulate(cluster, &specs, sched.as_mut(), &SimConfig::default());
+        assert_eq!(out.records.len(), 8);
+        // All 8 fit at once (8 nodes, 1 node each): no queueing at all.
+        assert!(out.makespan <= 100.0 + 1e-9, "makespan {}", out.makespan);
+    }
+}

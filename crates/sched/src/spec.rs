@@ -282,6 +282,13 @@ impl SchedulerSpec {
     /// single most expensive and the event-driven repacker next.
     pub fn cost_hint(&self) -> u32 {
         match self.key.as_str() {
+            // Sharding reduces the superlinear inner work but adds
+            // coordination; bill it as the inner plus a small overhead.
+            "sharded" => self
+                .params
+                .get("inner")
+                .and_then(|i| i.parse::<SchedulerSpec>().ok())
+                .map_or(40, |i| i.cost_hint().saturating_add(5)),
             "dynmcb8-stretch-per" => 70,
             "dynmcb8" => 50,
             k if k.starts_with("dynmcb8") => 35,
@@ -298,6 +305,16 @@ impl SchedulerSpec {
 
 impl fmt::Display for SchedulerSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The sharded family renders in its own grammar
+        // (`sharded:<inner>:shards=N`) because the inner spec may
+        // itself contain the reserved `:`/`=`/`,` characters.
+        if self.key == "sharded" {
+            if let (Some(inner), Some(shards)) =
+                (self.params.get("inner"), self.params.get("shards"))
+            {
+                return write!(f, "sharded:{inner}:shards={shards}");
+            }
+        }
         f.write_str(&self.key)?;
         for (i, (name, value)) in self.params.map.iter().enumerate() {
             f.write_str(if i == 0 { ":" } else { "," })?;
@@ -526,6 +543,25 @@ impl SchedulerRegistry {
             },
         );
         reg.register_fn(
+            "sharded",
+            "Sharded coordinator: sharded:<inner-spec>:shards=N partitions the cluster and runs one inner instance per shard (defaults: dynmcb8-per, 2 shards)",
+            &["inner", "shards"],
+            // `build` resolves sharded specs against the calling
+            // registry before consulting factories; this fallback (hit
+            // only when the factory is invoked directly) resolves the
+            // inner spec against the built-ins.
+            |p| {
+                let mut spec = SchedulerSpec::new("sharded");
+                if let Some(v) = p.get("inner") {
+                    spec.params.map.insert("inner".into(), v.to_string());
+                }
+                if let Some(v) = p.get("shards") {
+                    spec.params.map.insert("shards".into(), v.to_string());
+                }
+                SchedulerRegistry::builtin().build_sharded(&spec)
+            },
+        );
+        reg.register_fn(
             "dynmcb8-fair-per",
             "DYNMCB8-FAIR-PER: periodic repack with long-job yield damping (t, vt-threshold, alpha)",
             &["t", "vt-threshold", "alpha"],
@@ -576,6 +612,16 @@ impl SchedulerRegistry {
     /// (including the legacy `key-600` period-suffix form), validate
     /// every parameter name, and return the canonical spec.
     pub fn parse(&self, s: &str) -> Result<SchedulerSpec, SpecError> {
+        // `sharded:<inner>:shards=N` has its own grammar: the inner
+        // spec may itself contain `:`/`=`/`,`, so it cannot go through
+        // the ordinary name=value parameter parser.
+        if let Some(rest) = s
+            .trim()
+            .split_once(':')
+            .and_then(|(head, rest)| (normalize_key(head) == "sharded").then_some(rest))
+        {
+            return self.parse_sharded(s, rest);
+        }
         let (mut key, mut pairs) = split_spec(s)?;
         if !self.factories.contains_key(&key) {
             // Legacy suffix form: "dynmcb8-per-600" → dynmcb8-per:t=600,
@@ -613,8 +659,73 @@ impl SchedulerRegistry {
         Ok(spec)
     }
 
+    /// Parse the tail of `sharded:<inner-spec>:shards=N` (`full` is the
+    /// whole spec string, for error messages).
+    fn parse_sharded(&self, full: &str, rest: &str) -> Result<SchedulerSpec, SpecError> {
+        let (inner_str, shards_str) =
+            rest.rsplit_once(":shards=")
+                .ok_or_else(|| SpecError::Syntax {
+                    fragment: full.trim().to_string(),
+                    detail: "expected sharded:<inner-spec>:shards=N".into(),
+                })?;
+        let shards: u32 = shards_str
+            .trim()
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| SpecError::InvalidParam {
+                key: "sharded".into(),
+                param: "shards".into(),
+                value: shards_str.trim().to_string(),
+                expected: "an integer >= 1".into(),
+            })?;
+        let inner = self.parse(inner_str)?;
+        if inner.key() == "sharded" {
+            return Err(SpecError::Syntax {
+                fragment: full.trim().to_string(),
+                detail: "nested sharded specs are not supported".into(),
+            });
+        }
+        let mut spec = SchedulerSpec::new("sharded");
+        spec.params.map.insert("inner".into(), inner.to_string());
+        spec.params.map.insert("shards".into(), shards.to_string());
+        Ok(spec)
+    }
+
+    /// Build the sharded coordinator for a parsed `sharded` spec,
+    /// resolving the inner spec against **this** registry (so
+    /// user-registered inner keys work). `shards=1` returns the bare
+    /// inner scheduler — single-shard operation is byte-identical to
+    /// the unsharded algorithm by construction, not by testing.
+    fn build_sharded(&self, spec: &SchedulerSpec) -> Result<Box<dyn Scheduler>, SpecError> {
+        let inner = spec.params.get("inner").unwrap_or("dynmcb8-per");
+        let shards: u32 = spec
+            .params
+            .get("shards")
+            .unwrap_or("2")
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| SpecError::InvalidParam {
+                key: "sharded".into(),
+                param: "shards".into(),
+                value: spec.params.get("shards").unwrap_or("").to_string(),
+                expected: "an integer >= 1".into(),
+            })?;
+        if shards == 1 {
+            return self.build_str(inner);
+        }
+        let inners = (0..shards)
+            .map(|_| self.build_str(inner))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Box::new(crate::sharded::Sharded::new(inners)))
+    }
+
     /// Build a scheduler from a parsed spec.
     pub fn build(&self, spec: &SchedulerSpec) -> Result<Box<dyn Scheduler>, SpecError> {
+        if spec.key == "sharded" {
+            return self.build_sharded(spec);
+        }
         let factory = self
             .factories
             .get(&spec.key)
@@ -766,6 +877,64 @@ mod tests {
             reg.parse("my-sched-300").unwrap().to_string(),
             "my-sched:t=300"
         );
+    }
+
+    #[test]
+    fn sharded_specs_parse_build_and_round_trip() {
+        let reg = SchedulerRegistry::builtin();
+        let spec = reg.parse("sharded:dynmcb8-per:t=300:shards=4").unwrap();
+        assert_eq!(spec.key(), "sharded");
+        assert_eq!(spec.params().get("inner"), Some("dynmcb8-per:t=300"));
+        assert_eq!(spec.params().get("shards"), Some("4"));
+        assert_eq!(spec.to_string(), "sharded:dynmcb8-per:t=300:shards=4");
+        let again = reg.parse(&spec.to_string()).unwrap();
+        assert_eq!(spec, again);
+        // Inner normalization applies (paper-name inner).
+        let spec = reg.parse("sharded:DynMCB8-per 600:shards=2").unwrap();
+        assert_eq!(spec.to_string(), "sharded:dynmcb8-per:t=600:shards=2");
+        // shards=1 builds the *bare* inner (passthrough by construction).
+        let one = reg.build_str("sharded:greedy:shards=1").unwrap();
+        assert_eq!(one.name(), "Greedy");
+        let four = reg.build_str("sharded:greedy:shards=4").unwrap();
+        assert_eq!(four.name(), "Sharded[4] Greedy");
+    }
+
+    #[test]
+    fn sharded_spec_errors_are_typed() {
+        let reg = SchedulerRegistry::builtin();
+        // Missing shards suffix.
+        assert!(matches!(
+            reg.parse("sharded:greedy"),
+            Err(SpecError::Syntax { .. })
+        ));
+        // Bad shard counts.
+        for s in ["sharded:greedy:shards=0", "sharded:greedy:shards=two"] {
+            assert!(matches!(
+                reg.parse(s),
+                Err(SpecError::InvalidParam { param, .. }) if param == "shards"
+            ));
+        }
+        // Unknown inner key propagates the inner error.
+        assert!(matches!(
+            reg.parse("sharded:nope:shards=2"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        // Nesting is rejected.
+        assert!(matches!(
+            reg.parse("sharded:sharded:greedy:shards=2:shards=2"),
+            Err(SpecError::Syntax { .. })
+        ));
+        // The sharded period follows the inner scheduler.
+        let s = reg.build_str("sharded:dynmcb8-per:t=120:shards=2").unwrap();
+        assert_eq!(s.period(), Some(120.0));
+        // cost_hint bills inner + coordination.
+        let spec = reg
+            .parse("sharded:dynmcb8-stretch-per:shards=2")
+            .unwrap_or_else(|_| {
+                reg.parse("sharded:dynmcb8-stretch-per:t=600:shards=2")
+                    .unwrap()
+            });
+        assert_eq!(spec.cost_hint(), 75);
     }
 
     #[test]

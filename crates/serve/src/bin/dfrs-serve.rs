@@ -37,6 +37,9 @@ OPTIONS:
   --cores N         cores per node           [default: 4]
   --mem GB          memory per node in GB    [default: 8]
   --penalty SECS    rescheduling penalty     [default: 0]
+  --shards N        partition the cluster and run one scheduler
+                    instance per shard (wraps SPEC in
+                    sharded:SPEC:shards=N; 1 leaves SPEC unchanged)
   --validate        check every plan and engine invariant
   --socket PATH     serve on a Unix socket instead of stdin/stdout
   --help            this text
@@ -49,6 +52,7 @@ struct Args {
     cores: u32,
     mem: f64,
     penalty: f64,
+    shards: u32,
     validate: bool,
     socket: Option<String>,
 }
@@ -62,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         cores: synthetic.cores_per_node,
         mem: synthetic.node_memory_gb,
         penalty: 0.0,
+        shards: 1,
         validate: false,
         socket: None,
     };
@@ -78,6 +83,12 @@ fn parse_args() -> Result<Args, String> {
             "--cores" => args.cores = num(&value()?)? as u32,
             "--mem" => args.mem = num(&value()?)?,
             "--penalty" => args.penalty = num(&value()?)?,
+            "--shards" => {
+                args.shards = num(&value()?)? as u32;
+                if args.shards == 0 {
+                    return Err("--shards needs at least 1".into());
+                }
+            }
             "--validate" => args.validate = true,
             "--socket" => args.socket = Some(value()?),
             "--help" | "-h" => {
@@ -96,20 +107,28 @@ fn num(s: &str) -> Result<f64, String> {
 
 fn build_daemon(args: &Args) -> Result<Daemon, String> {
     if let Some(path) = &args.restore {
+        if args.shards != 1 {
+            return Err("--shards cannot be combined with --restore (the spec — sharded or not — is read from the snapshot)".into());
+        }
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        return Daemon::restore(&text);
+        return Daemon::restore(&text).map_err(|e| e.to_string());
     }
     let spec = args
         .spec
         .as_deref()
         .ok_or("either --spec or --restore is required (see --help)")?;
+    let spec = if args.shards > 1 {
+        format!("sharded:{spec}:shards={}", args.shards)
+    } else {
+        spec.to_string()
+    };
     let cluster = ClusterSpec::new(args.nodes, args.cores, args.mem).map_err(|e| e.to_string())?;
     let config = SimConfig {
         penalty: args.penalty,
         validate: args.validate,
         ..SimConfig::default()
     };
-    Daemon::new(cluster, spec, config)
+    Daemon::new(cluster, &spec, config).map_err(|e| e.to_string())
 }
 
 /// Feed `input` lines to the daemon, writing events to `output` with a

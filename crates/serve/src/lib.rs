@@ -34,11 +34,58 @@
 //! resumed daemon must emit exactly what the uninterrupted one would
 //! have).
 
+use std::fmt;
+
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_core::json::{self, obj, Value};
 use dfrs_core::{ClusterSpec, JobSpec};
-use dfrs_sched::SchedulerRegistry;
-use dfrs_sim::{snapshot_spec, AllocEvent, JobRecord, SimConfig, SimSession, TimelineEntry};
+use dfrs_sched::{SchedulerRegistry, SpecError};
+use dfrs_sim::{
+    snapshot_spec, AllocEvent, JobRecord, SimConfig, SimError, SimSession, TimelineEntry,
+};
+
+/// Why a daemon could not be constructed or restored. Command-level
+/// failures never use this — they become `error` events and the daemon
+/// keeps serving; this type is for the startup paths where there is no
+/// session to keep alive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonError {
+    /// The scheduler spec did not parse or build.
+    Spec(SpecError),
+    /// The snapshot document was rejected by the session (malformed,
+    /// truncated, or not quiescent).
+    Sim(SimError),
+    /// The snapshot text was not parseable JSON or lacked the recorded
+    /// scheduler spec.
+    Snapshot {
+        /// What was wrong with the text.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Spec(e) => write!(f, "{e}"),
+            DaemonError::Sim(e) => write!(f, "{e}"),
+            DaemonError::Snapshot { detail } => write!(f, "snapshot: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<SpecError> for DaemonError {
+    fn from(e: SpecError) -> Self {
+        DaemonError::Spec(e)
+    }
+}
+
+impl From<SimError> for DaemonError {
+    fn from(e: SimError) -> Self {
+        DaemonError::Sim(e)
+    }
+}
 
 /// Whether the daemon should keep reading commands after a line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,11 +110,13 @@ impl Daemon {
     /// after every command, so memory stays flat).
     ///
     /// # Errors
-    /// The registry's message when `spec` does not parse or build.
-    pub fn new(cluster: ClusterSpec, spec: &str, mut config: SimConfig) -> Result<Self, String> {
-        let scheduler = SchedulerRegistry::builtin()
-            .build_str(spec)
-            .map_err(|e| e.to_string())?;
+    /// [`DaemonError::Spec`] when `spec` does not parse or build.
+    pub fn new(
+        cluster: ClusterSpec,
+        spec: &str,
+        mut config: SimConfig,
+    ) -> Result<Self, DaemonError> {
+        let scheduler = SchedulerRegistry::builtin().build_str(spec)?;
         config.record_timeline = true;
         Ok(Daemon {
             session: SimSession::new(cluster, spec, scheduler, config),
@@ -80,16 +129,20 @@ impl Daemon {
     /// byte-identically to the one that wrote the snapshot.
     ///
     /// # Errors
-    /// A human-readable message when the text is not a well-formed
-    /// snapshot or its spec no longer builds.
-    pub fn restore(text: &str) -> Result<Self, String> {
-        let doc = json::parse(text).map_err(|e| format!("snapshot: {e}"))?;
+    /// [`DaemonError::Snapshot`] when the text is not parseable JSON or
+    /// records no spec, [`DaemonError::Spec`] when that spec no longer
+    /// builds, [`DaemonError::Sim`] when the session rejects the
+    /// document.
+    pub fn restore(text: &str) -> Result<Self, DaemonError> {
+        let doc = json::parse(text).map_err(|e| DaemonError::Snapshot {
+            detail: e.to_string(),
+        })?;
         let spec = snapshot_spec(&doc)
-            .ok_or_else(|| "snapshot: missing scheduler spec".to_string())?
+            .ok_or_else(|| DaemonError::Snapshot {
+                detail: "missing scheduler spec".into(),
+            })?
             .to_string();
-        let scheduler = SchedulerRegistry::builtin()
-            .build_str(&spec)
-            .map_err(|e| format!("snapshot spec {spec:?}: {e}"))?;
+        let scheduler = SchedulerRegistry::builtin().build_str(&spec)?;
         let session = SimSession::restore(&doc, scheduler)?;
         Ok(Daemon { session })
     }
@@ -494,6 +547,34 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("quiescen"));
+    }
+
+    #[test]
+    fn construction_failures_are_typed() {
+        let cluster = ClusterSpec::new(4, 4, 8.0).unwrap();
+        let err = Daemon::new(cluster, "no-such-scheduler", SimConfig::default())
+            .err()
+            .unwrap();
+        assert!(matches!(err, DaemonError::Spec(_)), "{err}");
+
+        let err = Daemon::restore("not json at all").err().unwrap();
+        assert!(matches!(err, DaemonError::Snapshot { .. }), "{err}");
+        assert!(err.to_string().starts_with("snapshot:"), "{err}");
+
+        let err = Daemon::restore("{}").err().unwrap();
+        assert!(matches!(err, DaemonError::Snapshot { .. }), "{err}");
+        assert!(err.to_string().contains("missing scheduler spec"), "{err}");
+
+        // Well-formed JSON with a spec but nothing else: the session
+        // rejects it with a typed SimError.
+        let err = Daemon::restore(r#"{"spec": "fcfs"}"#).err().unwrap();
+        assert!(
+            matches!(
+                err,
+                DaemonError::Sim(dfrs_sim::SimError::SnapshotMalformed { .. })
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -523,8 +523,15 @@ impl EngineCore {
                 }
             }
             EventKind::Tick => {
-                let period = scheduler.period().expect("tick without a period");
-                self.queue.push(self.state.now + period, EventKind::Tick);
+                // Re-arm from the scheduler's *current* period: a
+                // scheduler may stop ticking (`period()` -> `None`)
+                // mid-run, e.g. after a restore under a different spec.
+                // The already-queued tick is delivered once more and
+                // simply not re-armed instead of panicking on the stale
+                // queue entry.
+                if let Some(period) = scheduler.period() {
+                    self.queue.push(self.state.now + period, EventKind::Tick);
+                }
                 let plan = self.call_scheduler(scheduler, SchedEvent::Tick, config);
                 self.apply_plan(plan, config);
             }

@@ -68,6 +68,12 @@ pub enum SimError {
         /// Jobs still in the system.
         live: usize,
     },
+    /// A snapshot document handed to [`crate::SimSession::restore`] was
+    /// not a well-formed `dfrs-snapshot-v1` snapshot.
+    SnapshotMalformed {
+        /// What was wrong with the document.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -114,6 +120,8 @@ impl fmt::Display for SimError {
                     "snapshot requires quiescence, but {live} jobs are still in the system"
                 )
             }
+            // Details carry their own "snapshot:" prefix.
+            SimError::SnapshotMalformed { detail } => write!(f, "{detail}"),
         }
     }
 }

@@ -74,6 +74,7 @@ pub mod export;
 pub mod outcome;
 pub mod plan;
 pub mod session;
+pub mod shard;
 pub mod source;
 pub mod state;
 pub mod timeline;
@@ -87,6 +88,7 @@ pub use event::{EventKind, EventQueue};
 pub use outcome::{DecisionSample, JobRecord, SimOutcome};
 pub use plan::{Plan, PlanEntry, RepackStats, SchedEvent, Scheduler};
 pub use session::{snapshot_spec, SimSession, SNAPSHOT_SCHEMA};
+pub use shard::{partition, ShardView};
 pub use source::{DiscardRecords, FnSink, IterSource, RecordSink, SliceSource, SubmissionSource};
 pub use state::{ClusterState, JobState, JobStatus, JobStore, NodeState, SimState};
 pub use timeline::{AllocEvent, Timeline, TimelineEntry};

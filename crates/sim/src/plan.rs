@@ -30,6 +30,13 @@ pub enum SchedEvent {
     NodeDown(NodeId),
     /// `node` was just repaired and is back in service (idle).
     NodeUp(NodeId),
+    /// `job` is being taken away from this scheduler's jurisdiction by
+    /// an outer coordinator (shard rebalancing): forget any queued or
+    /// per-job state for it. Only ever `Pending` or `Paused` jobs are
+    /// withdrawn, and the engine itself never emits this event — it is
+    /// delivered by composite schedulers (see `dfrs_sched`'s sharded
+    /// coordinator) to their inner instances.
+    Withdraw(JobId),
 }
 
 /// One desired state change.
@@ -114,7 +121,12 @@ pub struct RepackStats {
 }
 
 /// A scheduling policy driven by the simulation engine.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so composite schedulers (the sharded
+/// coordinator, [`dfrs_scenario`-style campaign runners]) can fan
+/// instances out across scoped threads; every scheduler in the tree is
+/// plain owned data, so this costs implementors nothing.
+pub trait Scheduler: Send {
     /// Display name (used in tables; e.g. `"DynMCB8-asap-per 600"`).
     fn name(&self) -> String;
 

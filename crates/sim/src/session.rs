@@ -481,9 +481,13 @@ impl SimSession {
     /// timings restart at zero.
     ///
     /// # Errors
-    /// A human-readable message when the document is not a well-formed
-    /// `dfrs-snapshot-v1` snapshot.
-    pub fn restore(v: &Value, scheduler: Box<dyn Scheduler>) -> Result<Self, String> {
+    /// [`SimError::SnapshotMalformed`] when the document is not a
+    /// well-formed `dfrs-snapshot-v1` snapshot.
+    pub fn restore(v: &Value, scheduler: Box<dyn Scheduler>) -> Result<Self, SimError> {
+        Self::restore_impl(v, scheduler).map_err(|detail| SimError::SnapshotMalformed { detail })
+    }
+
+    fn restore_impl(v: &Value, scheduler: Box<dyn Scheduler>) -> Result<Self, String> {
         let schema = str_field(v, "schema")?;
         if schema != SNAPSHOT_SCHEMA {
             return Err(format!(
@@ -888,14 +892,16 @@ mod tests {
 
     #[test]
     fn restore_rejects_malformed_documents() {
-        assert!(SimSession::restore(&Value::Null, Box::new(RoundRobin))
+        let err = SimSession::restore(&Value::Null, Box::new(RoundRobin))
             .err()
-            .unwrap()
-            .contains("missing field"));
+            .unwrap();
+        assert!(matches!(err, SimError::SnapshotMalformed { .. }), "{err}");
+        assert!(err.to_string().contains("missing field"));
         let bogus = obj([("schema".into(), Value::Str("nope".into()))]);
         assert!(SimSession::restore(&bogus, Box::new(RoundRobin))
             .err()
             .unwrap()
+            .to_string()
             .contains("schema"));
     }
 }

@@ -1,0 +1,593 @@
+//! Per-shard [`SimState`] views for hierarchical (sharded) scheduling.
+//!
+//! A sharded coordinator partitions the cluster's nodes into `N`
+//! contiguous ranges and runs one independent inner scheduler per
+//! range. Each inner instance must see an ordinary [`SimState`] — that
+//! is the whole point: existing algorithms work unmodified — so every
+//! shard owns a [`ShardView`]: a real `SimState` over a shard-sized
+//! [`ClusterState`](crate::ClusterState) plus the id maps between the
+//! shard-local world and the global one.
+//!
+//! The view is maintained **incrementally** by the coordinator from the
+//! only three sources of global mutation it witnesses:
+//!
+//! 1. plans its inner schedulers returned (mirrored via
+//!    [`ShardView::mirror_plan`] with the engine's own
+//!    classification: start/resume adds, migrate remove+add, pure
+//!    yield changes retarget — so per-node arithmetic replays the
+//!    engine's operations and stays within the same `EPS` tolerances);
+//! 2. engine lifecycle events (completion, node failure/repair),
+//!    mirrored before the inner scheduler is notified, matching the
+//!    engine's "state reflects the event's bookkeeping" contract;
+//! 3. the continuous virtual-time accrual of running jobs, copied from
+//!    the global state by [`ShardView::refresh`] before every
+//!    delivery (`O(running jobs in shard)`).
+//!
+//! Job ids inside a view are **local and dense** (the [`JobStore`]
+//! window requires density); [`ShardView::global_job`] translates a
+//! local id back. Node ids translate by offset: local node `k` is
+//! global node `lo + k`.
+//!
+//! Withdrawn jobs (rebalanced away by the coordinator) and completed
+//! jobs are marked `Completed` locally and evicted once they reach the
+//! window front, exactly like the streaming engine's eviction.
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::ClusterSpec;
+
+use crate::plan::{Plan, PlanEntry};
+use crate::state::{JobState, JobStatus, SimState};
+
+/// Contiguous near-equal node partition: shard `i` of `shards` gets
+/// `nodes/shards` nodes plus one of the `nodes % shards` remainder
+/// nodes (lowest shards first). Returns `(lo, count)` per shard; every
+/// `count` is at least 1 when `shards <= nodes`.
+pub fn partition(nodes: u32, shards: u32) -> Vec<(u32, u32)> {
+    assert!(shards >= 1 && shards <= nodes, "invalid shard count");
+    let (base, rem) = (nodes / shards, nodes % shards);
+    let mut out = Vec::with_capacity(shards as usize);
+    let mut lo = 0;
+    for i in 0..shards {
+        let count = base + u32::from(i < rem);
+        out.push((lo, count));
+        lo += count;
+    }
+    out
+}
+
+/// One shard's private world: a shard-sized [`SimState`] plus the
+/// local↔global id maps. See the module docs for the maintenance
+/// protocol.
+#[derive(Debug)]
+pub struct ShardView {
+    state: SimState,
+    lo: u32,
+    count: u32,
+    /// `global_of[local]` = global job id (grows monotonically; local
+    /// ids are never reused).
+    global_of: Vec<u32>,
+}
+
+impl ShardView {
+    /// View over global nodes `[lo, lo + count)` of a cluster described
+    /// by `spec` (same per-node cores and memory).
+    pub fn new(spec: &ClusterSpec, lo: u32, count: u32) -> Self {
+        let shard_spec = ClusterSpec::new(count, spec.cores_per_node, spec.node_memory_gb)
+            .expect("a shard of a valid cluster spec is a valid cluster spec");
+        ShardView {
+            state: SimState::empty(shard_spec),
+            lo,
+            count,
+            global_of: Vec::new(),
+        }
+    }
+
+    /// The shard-local state handed to the inner scheduler.
+    #[inline]
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// First global node of this shard.
+    #[inline]
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Number of nodes in this shard.
+    #[inline]
+    pub fn node_count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether `node` (global) belongs to this shard.
+    #[inline]
+    pub fn owns_node(&self, node: NodeId) -> bool {
+        node.0 >= self.lo && node.0 < self.lo + self.count
+    }
+
+    /// Global → local node id (caller guarantees ownership).
+    #[inline]
+    pub fn local_node(&self, node: NodeId) -> NodeId {
+        debug_assert!(self.owns_node(node));
+        NodeId(node.0 - self.lo)
+    }
+
+    /// Local → global node id.
+    #[inline]
+    pub fn global_node(&self, node: NodeId) -> NodeId {
+        debug_assert!(node.0 < self.count);
+        NodeId(node.0 + self.lo)
+    }
+
+    /// Local → global job id.
+    #[inline]
+    pub fn global_job(&self, local: JobId) -> JobId {
+        JobId(self.global_of[local.index()])
+    }
+
+    /// Jobs currently in this shard's system (its load metric for
+    /// routing and rebalancing).
+    #[inline]
+    pub fn in_system(&self) -> usize {
+        self.state.live.len()
+    }
+
+    /// Total CPU demand of the jobs in this shard's system (coarse
+    /// pressure metric for routing and rebalancing).
+    pub fn total_cpu_demand(&self) -> f64 {
+        self.state
+            .jobs_in_system()
+            .map(|j| j.spec.total_cpu_need())
+            .sum()
+    }
+
+    /// Local ids of waiting (`Pending` or `Paused`) jobs, ascending.
+    pub fn waiting_locals(&self) -> Vec<JobId> {
+        self.state
+            .jobs_in_system()
+            .filter(|j| matches!(j.status, JobStatus::Pending | JobStatus::Paused))
+            .map(|j| j.spec.id)
+            .collect()
+    }
+
+    /// Admit `global` (a job the coordinator routed here) as a fresh
+    /// local `Pending` job, carrying over its accrued virtual time and
+    /// penalty window (a `Paused` migrant keeps its progress — the
+    /// resume at this shard goes through the engine's ordinary
+    /// pause/resume machinery). Returns the local id.
+    pub fn admit(&mut self, global: &JobState) -> JobId {
+        let local = JobId(self.state.jobs.len() as u32);
+        let mut spec = global.spec;
+        spec.id = local;
+        let mut js = JobState::new(spec);
+        js.status = JobStatus::Pending;
+        js.virtual_time = global.virtual_time;
+        js.penalty_until = global.penalty_until;
+        self.state.jobs.push(js);
+        self.state
+            .index_transition(local, JobStatus::Unsubmitted, JobStatus::Pending);
+        self.global_of.push(global.spec.id.0);
+        local
+    }
+
+    /// Adopt a job that is already `Running` with every task inside
+    /// this shard (coordinator initialization against a non-empty
+    /// state, e.g. a restored session). `placement` is global.
+    pub fn adopt_running(&mut self, global: &JobState, placement: &[NodeId]) -> JobId {
+        let local = self.admit(global);
+        let spec = self.state.jobs[local.index()].spec;
+        for &n in placement {
+            let ln = self.local_node(n);
+            self.state
+                .cluster
+                .add_task(ln, spec.cpu_need, spec.mem_req, spec.gpu_need, global.yld);
+        }
+        for (slot, &n) in self.state.placement_slot(local).iter_mut().zip(placement) {
+            *slot = NodeId(n.0 - self.lo);
+        }
+        let js = &mut self.state.jobs[local.index()];
+        js.status = JobStatus::Running;
+        js.yld = global.yld;
+        js.first_start = global.first_start;
+        self.state
+            .index_transition(local, JobStatus::Pending, JobStatus::Running);
+        local
+    }
+
+    /// Remove a waiting job from this shard's jurisdiction (it is being
+    /// rebalanced elsewhere). The job must be `Pending` or `Paused`
+    /// (it holds no tasks); it is marked `Completed` locally so the
+    /// window can evict it.
+    pub fn withdraw(&mut self, local: JobId) {
+        let js = &mut self.state.jobs[local.index()];
+        debug_assert!(
+            matches!(js.status, JobStatus::Pending | JobStatus::Paused),
+            "withdrawing {local} in status {:?}",
+            js.status
+        );
+        js.status = JobStatus::Completed;
+        match self.state.live.binary_search(&local.0) {
+            Ok(pos) => {
+                self.state.live.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "withdrawn {local} not in live index"),
+        }
+        self.state.epoch += 1;
+        self.evict_completed();
+    }
+
+    /// Mirror a completion the engine just finalized: free the tasks,
+    /// retire the job locally.
+    pub fn mirror_complete(&mut self, local: JobId) {
+        let js = &self.state.jobs[local.index()];
+        debug_assert_eq!(js.status, JobStatus::Running, "completing {local}");
+        let (need, mem, gpu, yld, tasks) = (
+            js.spec.cpu_need,
+            js.spec.mem_req,
+            js.spec.gpu_need,
+            js.yld,
+            js.spec.tasks,
+        );
+        for k in 0..tasks as usize {
+            let node = self.state.placement_raw(local)[k];
+            self.state.cluster.remove_task(node, need, mem, gpu, yld);
+        }
+        let js = &mut self.state.jobs[local.index()];
+        js.status = JobStatus::Completed;
+        js.completion = Some(self.state.now);
+        js.yld = 0.0;
+        self.state
+            .index_transition(local, JobStatus::Running, JobStatus::Completed);
+        self.evict_completed();
+    }
+
+    /// Mirror a node availability transition. For a failure the
+    /// engine has already struck every resident job globally (victims
+    /// are `Pending` or `Paused` per the failure policy); the same
+    /// eviction replays here, with each victim's post-event status
+    /// copied from `global`.
+    pub fn mirror_node_event(&mut self, local_node: NodeId, up: bool, global: &SimState) {
+        if !up {
+            let mut victims: Vec<JobId> = Vec::new();
+            for &i in self.state.running.iter() {
+                let id = JobId(i);
+                if self.state.placement_raw(id).contains(&local_node) {
+                    victims.push(id);
+                }
+            }
+            for local in victims {
+                let js = &self.state.jobs[local.index()];
+                let (need, mem, gpu, yld, tasks) = (
+                    js.spec.cpu_need,
+                    js.spec.mem_req,
+                    js.spec.gpu_need,
+                    js.yld,
+                    js.spec.tasks,
+                );
+                for k in 0..tasks as usize {
+                    let node = self.state.placement_raw(local)[k];
+                    self.state.cluster.remove_task(node, need, mem, gpu, yld);
+                }
+                let g = &global.jobs[self.global_of[local.index()] as usize];
+                debug_assert!(
+                    matches!(g.status, JobStatus::Pending | JobStatus::Paused),
+                    "victim {local} globally {:?}",
+                    g.status
+                );
+                let js = &mut self.state.jobs[local.index()];
+                js.status = g.status;
+                js.virtual_time = g.virtual_time;
+                js.penalty_until = g.penalty_until;
+                js.yld = 0.0;
+                self.state
+                    .index_transition(local, JobStatus::Running, g.status);
+            }
+        }
+        self.state.cluster.set_node_up(local_node, up);
+    }
+
+    /// Mirror a plan this shard's inner scheduler returned (local ids,
+    /// local nodes), replaying the engine's two-phase application:
+    /// all releases (pauses, migration departures, yield decreases)
+    /// before any addition, with the same per-case arithmetic
+    /// (start/resume add, same-placement yield change retarget) so the
+    /// view's node loads track the global ones operation for operation.
+    pub fn mirror_plan(&mut self, plan: &Plan) {
+        // Phase 1: releases.
+        for e in &plan.entries {
+            match e {
+                PlanEntry::Pause { job } => {
+                    let js = &self.state.jobs[job.index()];
+                    debug_assert_eq!(js.status, JobStatus::Running, "pausing {job}");
+                    let (need, mem, gpu, yld, tasks) = (
+                        js.spec.cpu_need,
+                        js.spec.mem_req,
+                        js.spec.gpu_need,
+                        js.yld,
+                        js.spec.tasks,
+                    );
+                    for k in 0..tasks as usize {
+                        let node = self.state.placement_raw(*job)[k];
+                        self.state.cluster.remove_task(node, need, mem, gpu, yld);
+                    }
+                    let js = &mut self.state.jobs[job.index()];
+                    js.status = JobStatus::Paused;
+                    js.yld = 0.0;
+                    js.preemptions += 1;
+                    self.state
+                        .index_transition(*job, JobStatus::Running, JobStatus::Paused);
+                }
+                PlanEntry::Run {
+                    job,
+                    placement,
+                    yld,
+                } => {
+                    let js = &self.state.jobs[job.index()];
+                    if js.status != JobStatus::Running {
+                        continue;
+                    }
+                    let (need, gpu, old_yld) = (js.spec.cpu_need, js.spec.gpu_need, js.yld);
+                    if placement.as_slice() == self.state.placement_raw(*job) {
+                        // Pure yield change; decreases release in
+                        // phase 1, increases wait for phase 2.
+                        if *yld < old_yld {
+                            for k in 0..placement.len() {
+                                let node = self.state.placement_raw(*job)[k];
+                                self.state
+                                    .cluster
+                                    .retarget_task(node, need, gpu, old_yld, *yld);
+                            }
+                            self.state.jobs[job.index()].yld = *yld;
+                        }
+                    } else {
+                        // Migration: vacate the old placement now.
+                        let (mem, tasks) = (js.spec.mem_req, js.spec.tasks);
+                        for k in 0..tasks as usize {
+                            let node = self.state.placement_raw(*job)[k];
+                            self.state
+                                .cluster
+                                .remove_task(node, need, mem, gpu, old_yld);
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 2: additions and upward adjustments.
+        for e in &plan.entries {
+            let PlanEntry::Run {
+                job,
+                placement,
+                yld,
+            } = e
+            else {
+                continue;
+            };
+            let js = &self.state.jobs[job.index()];
+            let spec = js.spec;
+            let yld = yld.min(1.0);
+            match js.status {
+                JobStatus::Pending | JobStatus::Paused => {
+                    let from = js.status;
+                    for &n in placement {
+                        self.state.cluster.add_task(
+                            n,
+                            spec.cpu_need,
+                            spec.mem_req,
+                            spec.gpu_need,
+                            yld,
+                        );
+                    }
+                    self.state.placement_slot(*job).copy_from_slice(placement);
+                    let js = &mut self.state.jobs[job.index()];
+                    js.status = JobStatus::Running;
+                    js.first_start.get_or_insert(self.state.now);
+                    js.yld = yld;
+                    self.state.index_transition(*job, from, JobStatus::Running);
+                }
+                JobStatus::Running => {
+                    if placement.as_slice() == self.state.placement_raw(*job) {
+                        let old_yld = js.yld;
+                        if yld > old_yld {
+                            for k in 0..placement.len() {
+                                let node = self.state.placement_raw(*job)[k];
+                                self.state.cluster.retarget_task(
+                                    node,
+                                    spec.cpu_need,
+                                    spec.gpu_need,
+                                    old_yld,
+                                    yld,
+                                );
+                            }
+                            self.state.jobs[job.index()].yld = yld;
+                        }
+                    } else {
+                        // Migration arrival (departure ran in phase 1).
+                        for &n in placement {
+                            self.state.cluster.add_task(
+                                n,
+                                spec.cpu_need,
+                                spec.mem_req,
+                                spec.gpu_need,
+                                yld,
+                            );
+                        }
+                        self.state.placement_slot(*job).copy_from_slice(placement);
+                        let js = &mut self.state.jobs[job.index()];
+                        js.yld = yld;
+                        js.migrations += 1;
+                    }
+                }
+                st => debug_assert!(false, "plan runs {job} in status {st:?}"),
+            }
+        }
+    }
+
+    /// Bring the view's clock and its running jobs' continuously
+    /// advancing fields (virtual time, penalty window) up to date from
+    /// the global state. Called before every event delivery.
+    pub fn refresh(&mut self, now: f64, global: &SimState) {
+        self.state.now = now;
+        for k in 0..self.state.running.len() {
+            let i = self.state.running[k] as usize;
+            let gid = self.global_of[i] as usize;
+            // A job evicted from the global window is already
+            // completed; its mirror event is on the way.
+            if let Some(g) = global.jobs.get(gid) {
+                let j = &mut self.state.jobs[i];
+                j.virtual_time = g.virtual_time;
+                j.penalty_until = g.penalty_until;
+            }
+        }
+    }
+
+    /// Translate a local plan into global ids (jobs and nodes).
+    pub fn translate_plan(&self, plan: Plan) -> Plan {
+        Plan {
+            entries: plan
+                .entries
+                .into_iter()
+                .map(|e| match e {
+                    PlanEntry::Run {
+                        job,
+                        mut placement,
+                        yld,
+                    } => {
+                        for n in placement.iter_mut() {
+                            *n = self.global_node(*n);
+                        }
+                        PlanEntry::Run {
+                            job: self.global_job(job),
+                            placement,
+                            yld,
+                        }
+                    }
+                    PlanEntry::Pause { job } => PlanEntry::Pause {
+                        job: self.global_job(job),
+                    },
+                })
+                .collect(),
+            timers: plan
+                .timers
+                .into_iter()
+                .map(|(j, t)| (self.global_job(j), t))
+                .collect(),
+        }
+    }
+
+    /// Evict the completed window prefix (records are the global
+    /// engine's business; the view just drops retired jobs).
+    fn evict_completed(&mut self) {
+        while self
+            .state
+            .jobs
+            .front()
+            .is_some_and(|j| j.status == JobStatus::Completed)
+        {
+            self.state.jobs.evict_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfrs_core::JobSpec;
+
+    fn spec4() -> ClusterSpec {
+        ClusterSpec::new(10, 4, 8.0).unwrap()
+    }
+
+    fn gjob(id: u32, tasks: u32) -> JobState {
+        let mut js = JobState::new(JobSpec::new(JobId(id), 0.0, tasks, 0.5, 0.25, 100.0).unwrap());
+        js.status = JobStatus::Pending;
+        js
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_near_equal() {
+        let parts = partition(10, 3);
+        assert_eq!(parts, vec![(0, 4), (4, 3), (7, 3)]);
+        let parts = partition(8, 4);
+        assert_eq!(parts, vec![(0, 2), (2, 2), (4, 2), (6, 2)]);
+        let parts = partition(5, 5);
+        assert_eq!(parts.len(), 5);
+        assert!(parts.iter().all(|&(_, c)| c == 1));
+    }
+
+    #[test]
+    fn admit_assigns_dense_local_ids_and_maps_back() {
+        let mut v = ShardView::new(&spec4(), 4, 3);
+        let a = v.admit(&gjob(17, 1));
+        let b = v.admit(&gjob(99, 2));
+        assert_eq!(a, JobId(0));
+        assert_eq!(b, JobId(1));
+        assert_eq!(v.global_job(a), JobId(17));
+        assert_eq!(v.global_job(b), JobId(99));
+        assert_eq!(v.in_system(), 2);
+        assert_eq!(v.state().cluster.spec.nodes, 3);
+    }
+
+    #[test]
+    fn node_translation_offsets_by_lo() {
+        let v = ShardView::new(&spec4(), 4, 3);
+        assert!(v.owns_node(NodeId(4)) && v.owns_node(NodeId(6)));
+        assert!(!v.owns_node(NodeId(3)) && !v.owns_node(NodeId(7)));
+        assert_eq!(v.local_node(NodeId(5)), NodeId(1));
+        assert_eq!(v.global_node(NodeId(1)), NodeId(5));
+    }
+
+    #[test]
+    fn mirror_plan_and_complete_round_trip() {
+        let mut v = ShardView::new(&spec4(), 0, 3);
+        let l = v.admit(&gjob(3, 2));
+        let plan = Plan::noop().run(l, vec![NodeId(0), NodeId(1)], 1.0);
+        v.mirror_plan(&plan);
+        assert_eq!(v.state().job(l).status, JobStatus::Running);
+        assert_eq!(v.state().cluster.busy_nodes(), 2);
+        v.mirror_complete(l);
+        assert_eq!(v.in_system(), 0);
+        assert_eq!(v.state().cluster.busy_nodes(), 0);
+        // The retired local id was evicted from the window.
+        assert!(v.state().jobs.get(l.index()).is_none());
+    }
+
+    #[test]
+    fn withdraw_removes_waiting_job_from_view() {
+        let mut v = ShardView::new(&spec4(), 0, 3);
+        let a = v.admit(&gjob(1, 1));
+        let b = v.admit(&gjob(2, 1));
+        v.withdraw(a);
+        assert_eq!(v.in_system(), 1);
+        assert_eq!(v.waiting_locals(), vec![b]);
+    }
+
+    #[test]
+    fn translate_plan_maps_jobs_and_nodes_global() {
+        let mut v = ShardView::new(&spec4(), 4, 3);
+        let l = v.admit(&gjob(42, 1));
+        let p = v.translate_plan(Plan::noop().run(l, vec![NodeId(2)], 0.5).timer(l, 9.0));
+        match &p.entries[0] {
+            PlanEntry::Run { job, placement, .. } => {
+                assert_eq!(*job, JobId(42));
+                assert_eq!(placement.as_slice(), &[NodeId(6)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(p.timers, vec![(JobId(42), 9.0)]);
+    }
+
+    #[test]
+    fn migrant_keeps_virtual_time() {
+        let mut v = ShardView::new(&spec4(), 0, 3);
+        let mut g = gjob(7, 1);
+        g.status = JobStatus::Paused;
+        g.virtual_time = 33.5;
+        g.penalty_until = 40.0;
+        let l = v.admit(&g);
+        let j = v.state().job(l);
+        assert_eq!(j.status, JobStatus::Pending);
+        assert_eq!(j.virtual_time, 33.5);
+        assert_eq!(j.penalty_until, 40.0);
+    }
+}

@@ -179,6 +179,13 @@ pub struct ClusterState {
     pub spec: ClusterSpec,
     nodes: Vec<NodeState>,
     busy_nodes: u32,
+    /// Ids of the nodes hosting at least one task, ascending. Lets the
+    /// per-event utilization integrals sum allocated CPU over busy
+    /// nodes only — bit-identical to the full scan, since idle nodes'
+    /// contributions are exactly `+0.0` (snapped on last removal) and
+    /// adding `+0.0` never changes a non-negative partial sum — while
+    /// costing `O(busy)` instead of `O(all nodes)` on huge clusters.
+    busy_ids: Vec<u32>,
     /// Up/down bit per node; a down node hosts no tasks and is invisible
     /// to [`available_nodes`](Self::available_nodes).
     node_up: Vec<bool>,
@@ -188,6 +195,11 @@ pub struct ClusterState {
     epoch: u64,
     /// Epoch at which each node last changed (dirty-node tracking).
     node_epoch: Vec<u64>,
+    /// Bumped only when a node leaves or rejoins service — unlike
+    /// `epoch`, never by load changes. Schedulers key caches of the
+    /// available-node set on this, so a no-churn run computes that set
+    /// once instead of once per event.
+    membership_epoch: u64,
 }
 
 impl ClusterState {
@@ -197,10 +209,12 @@ impl ClusterState {
             spec,
             nodes: vec![NodeState::default(); spec.nodes as usize],
             busy_nodes: 0,
+            busy_ids: Vec::new(),
             node_up: vec![true; spec.nodes as usize],
             up_count: spec.nodes,
             epoch: 0,
             node_epoch: vec![0; spec.nodes as usize],
+            membership_epoch: 0,
         }
     }
 
@@ -221,6 +235,11 @@ impl ClusterState {
         c.up_count = spec.nodes - down.len() as u32;
         c.epoch = epoch;
         c.node_epoch = node_epoch;
+        // Snapshots don't carry the membership counter; any value no
+        // smaller than past ones keeps it monotone, and `epoch` counts
+        // a superset of membership changes. Schedulers are rebuilt on
+        // restore, so their membership-keyed caches start empty anyway.
+        c.membership_epoch = epoch;
         c
     }
 
@@ -291,7 +310,16 @@ impl ClusterState {
         } else {
             self.up_count - 1
         };
+        self.membership_epoch += 1;
         self.touch(node);
+    }
+
+    /// Monotone counter of node-membership changes (see the field doc).
+    /// Equal values at two instants of one run guarantee the
+    /// available-node set is unchanged between them.
+    #[inline]
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
     }
 
     /// Monotone counter of node-state mutations.
@@ -317,13 +345,26 @@ impl ClusterState {
     }
 
     /// Sum of allocated CPU over all nodes (for utilization integrals).
+    ///
+    /// Summed over the busy-node index in ascending id order — the
+    /// same sequence of non-zero terms the historical full scan added
+    /// (idle nodes contribute exactly `+0.0`, the additive identity
+    /// here), so the result is bit-identical at `O(busy)` cost.
     pub fn total_cpu_alloc(&self) -> f64 {
-        self.nodes.iter().map(|n| n.cpu_alloc).sum()
+        self.busy_ids
+            .iter()
+            .map(|&i| self.nodes[i as usize].cpu_alloc)
+            .sum()
     }
 
-    /// Highest CPU load over all nodes (the `Λ` of the greedy yield rule).
+    /// Highest CPU load over all nodes (the `Λ` of the greedy yield
+    /// rule). Idle nodes carry load exactly `0.0` — the fold's seed —
+    /// so scanning only busy nodes is exact.
     pub fn max_cpu_load(&self) -> f64 {
-        self.nodes.iter().map(|n| n.cpu_load).fold(0.0, f64::max)
+        self.busy_ids
+            .iter()
+            .map(|&i| self.nodes[i as usize].cpu_load)
+            .fold(0.0, f64::max)
     }
 
     #[inline]
@@ -344,6 +385,9 @@ impl ClusterState {
         let n = self.node_mut(node);
         if n.task_count == 0 {
             self.busy_nodes += 1;
+            let id = node.index() as u32;
+            let pos = self.busy_ids.partition_point(|&b| b < id);
+            self.busy_ids.insert(pos, id);
         }
         let n = self.node_mut(node);
         n.cpu_load += cpu_need;
@@ -387,6 +431,12 @@ impl ClusterState {
         n.task_count -= 1;
         if n.task_count == 0 {
             self.busy_nodes -= 1;
+            let id = node.index() as u32;
+            if let Ok(pos) = self.busy_ids.binary_search(&id) {
+                self.busy_ids.remove(pos);
+            } else {
+                debug_assert!(false, "{node} missing from the busy index");
+            }
             // Snap residues so long simulations don't accumulate drift.
             let n = self.node_mut(node);
             n.cpu_load = 0.0;

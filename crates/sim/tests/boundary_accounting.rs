@@ -1,0 +1,214 @@
+//! Boundary cases of the per-node time integrals (`idle_node_seconds`,
+//! `busy_node_seconds`, `down_node_seconds`): node events landing
+//! exactly at the simulation end or exactly on a tick boundary, and
+//! failures whose repair never happens before the run drains.
+//!
+//! The engine integrates over `[now, t]` *before* applying the events
+//! due at `t`, and the run loop returns as soon as the job set drains —
+//! same-instant queue events after the final completion are never
+//! processed. These tests pin those conventions.
+
+use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_sim::{simulate, JobStatus, NodeEvent, Plan, SchedEvent, Scheduler, SimConfig};
+
+fn cluster(n: u32) -> ClusterSpec {
+    ClusterSpec::new(n, 4, 8.0).unwrap()
+}
+
+/// Single-task job with CPU need 1.0 so `busy_node_seconds` reads
+/// directly as seconds of occupied node.
+fn job(id: u32, submit: f64, rt: f64) -> JobSpec {
+    JobSpec::new(JobId(id), submit, 1, 1.0, 0.3, rt).unwrap()
+}
+
+fn down(time: f64, node: u32) -> NodeEvent {
+    NodeEvent {
+        time,
+        node: NodeId(node),
+        up: false,
+    }
+}
+
+fn up(time: f64, node: u32) -> NodeEvent {
+    NodeEvent {
+        time,
+        node: NodeId(node),
+        up: true,
+    }
+}
+
+fn cfg(events: Vec<NodeEvent>) -> SimConfig {
+    SimConfig {
+        validate: true,
+        node_events: events,
+        ..SimConfig::default()
+    }
+}
+
+/// Pins job `i` to node `i` at yield 1 and logs every event delivery as
+/// `(time, tag)` so tests can assert same-instant ordering.
+#[derive(Default)]
+struct PinLogger {
+    log: Vec<(f64, &'static str)>,
+    period: Option<f64>,
+}
+
+impl PinLogger {
+    fn with_period(period: f64) -> Self {
+        PinLogger {
+            log: Vec::new(),
+            period: Some(period),
+        }
+    }
+
+    fn place_all(&self, state: &dfrs_sim::SimState) -> Plan {
+        let mut plan = Plan::noop();
+        for j in state.jobs_in_system() {
+            let node = NodeId(j.spec.id.0);
+            let placeable = matches!(j.status, JobStatus::Pending | JobStatus::Paused);
+            if placeable && state.cluster.is_up(node) {
+                plan = plan.run(j.spec.id, vec![node], 1.0);
+            }
+        }
+        plan
+    }
+}
+
+impl Scheduler for PinLogger {
+    fn name(&self) -> String {
+        "pin-logger".into()
+    }
+    fn period(&self) -> Option<f64> {
+        self.period
+    }
+    fn on_event(&mut self, ev: SchedEvent, state: &dfrs_sim::SimState) -> Plan {
+        let tag = match ev {
+            SchedEvent::Submit(_) => "submit",
+            SchedEvent::Complete(_) => "complete",
+            SchedEvent::Tick => "tick",
+            SchedEvent::Timer(_) => "timer",
+            SchedEvent::NodeDown(_) => "down",
+            SchedEvent::NodeUp(_) => "up",
+            SchedEvent::Withdraw(_) => "withdraw",
+        };
+        self.log.push((state.now, tag));
+        match ev {
+            SchedEvent::Submit(_)
+            | SchedEvent::Complete(_)
+            | SchedEvent::Tick
+            | SchedEvent::NodeDown(_)
+            | SchedEvent::NodeUp(_) => self.place_all(state),
+            _ => Plan::noop(),
+        }
+    }
+}
+
+#[test]
+fn unrepaired_failure_accrues_down_time_until_the_run_drains() {
+    // Node 1 (never hosting anything) fails at t=30; the repair at
+    // t=500 is queued far past the last completion at t=100, so the
+    // integrals stop at the makespan: down is exactly 100 − 30.
+    let jobs = vec![job(0, 0.0, 100.0)];
+    let mut s = PinLogger::default();
+    let out = simulate(
+        cluster(2),
+        &jobs,
+        &mut s,
+        &cfg(vec![down(30.0, 1), up(500.0, 1)]),
+    );
+    assert_eq!(out.makespan, 100.0);
+    assert_eq!(out.down_node_seconds, 70.0);
+    // Node 1 was idle for [0, 30) and down afterwards; node 0 was busy
+    // throughout, so it never contributes idle time.
+    assert_eq!(out.idle_node_seconds, 30.0);
+    assert_eq!(out.busy_node_seconds, 100.0);
+    // The repair was never delivered.
+    assert!(!s.log.iter().any(|&(_, tag)| tag == "up"), "{:?}", s.log);
+}
+
+#[test]
+fn failure_exactly_at_simulation_end_accrues_nothing() {
+    // The down event and the final completion share t=100. Completions
+    // settle first and drain the run, so the failure is never processed:
+    // zero down seconds, and the scheduler never hears about it.
+    let jobs = vec![job(0, 0.0, 100.0)];
+    let mut s = PinLogger::default();
+    let out = simulate(cluster(2), &jobs, &mut s, &cfg(vec![down(100.0, 1)]));
+    assert_eq!(out.makespan, 100.0);
+    assert_eq!(out.down_node_seconds, 0.0);
+    assert_eq!(out.idle_node_seconds, 100.0);
+    assert!(!s.log.iter().any(|&(_, tag)| tag == "down"), "{:?}", s.log);
+}
+
+#[test]
+fn down_up_window_is_exact() {
+    // Failure at 25, repair at 75, run ends at 100: the spectator node
+    // contributes exactly 50 down seconds and 50 idle seconds.
+    let jobs = vec![job(0, 0.0, 100.0)];
+    let mut s = PinLogger::default();
+    let out = simulate(
+        cluster(2),
+        &jobs,
+        &mut s,
+        &cfg(vec![down(25.0, 1), up(75.0, 1)]),
+    );
+    assert_eq!(out.down_node_seconds, 50.0);
+    assert_eq!(out.idle_node_seconds, 50.0);
+    assert_eq!(out.busy_node_seconds, 100.0);
+    let downs: Vec<_> = s.log.iter().filter(|&&(_, t)| t == "down").collect();
+    let ups: Vec<_> = s.log.iter().filter(|&&(_, t)| t == "up").collect();
+    assert_eq!((downs.len(), ups.len()), (1, 1));
+}
+
+#[test]
+fn failure_on_a_tick_boundary_keeps_the_integrals_exact() {
+    // A periodic scheduler ticks at 50, 100, …; node 1 fails exactly at
+    // t=50 and repairs exactly at t=150 (both tick instants). The
+    // integration happens once per advance regardless of how many
+    // same-instant events fire, so the window is exactly 100 s and
+    // nothing is double-counted.
+    let jobs = vec![job(0, 0.0, 200.0)];
+    let mut s = PinLogger::with_period(50.0);
+    let out = simulate(
+        cluster(2),
+        &jobs,
+        &mut s,
+        &cfg(vec![down(50.0, 1), up(150.0, 1)]),
+    );
+    assert_eq!(out.makespan, 200.0);
+    assert_eq!(out.down_node_seconds, 100.0);
+    assert_eq!(out.idle_node_seconds, 100.0);
+    assert_eq!(out.busy_node_seconds, 200.0);
+    // Both boundary events were delivered, at exactly their tick times.
+    assert!(s.log.contains(&(50.0, "down")), "{:?}", s.log);
+    assert!(s.log.contains(&(150.0, "up")), "{:?}", s.log);
+
+    // Same-instant ordering is deterministic: a second run produces the
+    // identical delivery log.
+    let mut s2 = PinLogger::with_period(50.0);
+    let out2 = simulate(
+        cluster(2),
+        &jobs,
+        &mut s2,
+        &cfg(vec![down(50.0, 1), up(150.0, 1)]),
+    );
+    assert_eq!(s.log, s2.log);
+    assert_eq!(out.down_node_seconds, out2.down_node_seconds);
+}
+
+#[test]
+fn integrals_partition_node_time() {
+    // Across a churny run, every node second is exactly one of busy
+    // (here yield 1 × cpu 1 jobs, so busy ≡ occupied), idle, or down.
+    let jobs = vec![job(0, 0.0, 80.0), job(1, 10.0, 120.0)];
+    let events = vec![down(20.0, 2), up(60.0, 2), down(90.0, 3)];
+    let mut s = PinLogger::default();
+    let out = simulate(cluster(4), &jobs, &mut s, &cfg(events));
+    let total = 4.0 * out.makespan;
+    let accounted = out.busy_node_seconds + out.idle_node_seconds + out.down_node_seconds;
+    assert!(
+        (total - accounted).abs() < 1e-9,
+        "total {total} != accounted {accounted}"
+    );
+}

@@ -161,7 +161,10 @@ impl Scheduler for Shuffler {
             // Progress guarantee: completions and ticks never shuffle,
             // so stuck jobs always get a clean start attempt.
             SchedEvent::Complete(_) | SchedEvent::Tick => self.plan(state, false),
-            SchedEvent::Timer(_) | SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => Plan::noop(),
+            SchedEvent::Timer(_)
+            | SchedEvent::NodeDown(_)
+            | SchedEvent::NodeUp(_)
+            | SchedEvent::Withdraw(_) => Plan::noop(),
         }
     }
 }

@@ -9,11 +9,11 @@ use dfrs_sim::{check_plan, Plan, PlanError, SchedEvent, Scheduler, SimConfig, Si
 /// Run a small simulation and hand the live `SimState` (at the first
 /// submit event) to `check`, so plans are validated against real
 /// engine state.
-fn validate_at_submit(jobs: Vec<JobSpec>, check: impl FnMut(&SimState)) {
-    struct Probe<F: FnMut(&SimState)> {
+fn validate_at_submit(jobs: Vec<JobSpec>, check: impl FnMut(&SimState) + Send) {
+    struct Probe<F: FnMut(&SimState) + Send> {
         check: Option<F>,
     }
-    impl<F: FnMut(&SimState)> Scheduler for Probe<F> {
+    impl<F: FnMut(&SimState) + Send> Scheduler for Probe<F> {
         fn name(&self) -> String {
             "probe".into()
         }

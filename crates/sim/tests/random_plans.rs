@@ -163,7 +163,10 @@ impl Scheduler for ChaosScheduler {
             SchedEvent::Submit(_) => self.build_plan(state, true),
             // Progress guarantee: ticks and completions never pause.
             SchedEvent::Tick | SchedEvent::Complete(_) => self.build_plan(state, false),
-            SchedEvent::Timer(_) | SchedEvent::NodeDown(_) | SchedEvent::NodeUp(_) => Plan::noop(),
+            SchedEvent::Timer(_)
+            | SchedEvent::NodeDown(_)
+            | SchedEvent::NodeUp(_)
+            | SchedEvent::Withdraw(_) => Plan::noop(),
         }
     }
 }

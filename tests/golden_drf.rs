@@ -89,7 +89,9 @@ fn build_snapshots() -> Value {
     for scenario in &scenarios {
         let mut per_spec = std::collections::BTreeMap::new();
         for spec in SPECS {
-            let out = scenario.run(spec).expect("all pinned specs build");
+            let out = scenario
+                .run(&golden_util::suite_spec(spec))
+                .expect("all pinned specs build");
             per_spec.insert(spec.to_string(), snapshot(&out));
         }
         top.insert(scenario.label.clone(), Value::Obj(per_spec));

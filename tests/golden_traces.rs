@@ -99,7 +99,7 @@ fn build_snapshots() -> Value {
         let mut per_spec = std::collections::BTreeMap::new();
         for algo in Algorithm::ALL {
             let out = scenario
-                .run(algo.key())
+                .run(&golden_util::suite_spec(algo.key()))
                 .expect("all registered specs build");
             per_spec.insert(algo.key().to_string(), snapshot(&out));
         }

@@ -111,6 +111,31 @@ fn render(v: &Value) -> String {
     }
 }
 
+/// Shard count the suites run under, from `DFRS_SHARDS` (unset → the
+/// bare specs). `1` wraps every spec in `sharded:<spec>:shards=1`,
+/// which must stay **byte-identical** to the pinned bare goldens (the
+/// registry builds the bare scheduler in that case); higher counts
+/// replace the byte comparison with a replay-stability check (see
+/// [`check_or_regen`]).
+pub fn shards() -> Option<u32> {
+    let raw = std::env::var("DFRS_SHARDS").ok()?;
+    let n: u32 = raw
+        .trim()
+        .parse()
+        .expect("DFRS_SHARDS must be a positive integer");
+    assert!(n >= 1, "DFRS_SHARDS must be at least 1");
+    Some(n)
+}
+
+/// `spec` as the suite actually runs it: wrapped in the sharded
+/// coordinator when `DFRS_SHARDS` is set.
+pub fn suite_spec(spec: &str) -> String {
+    match shards() {
+        Some(n) => format!("sharded:{spec}:shards={n}"),
+        None => spec.to_string(),
+    }
+}
+
 /// The absolute path of a golden file given its repo-relative path.
 pub fn golden_file(rel: &str) -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
@@ -123,6 +148,24 @@ pub fn golden_file(rel: &str) -> std::path::PathBuf {
 /// failure hints (e.g. `cargo test --test golden_drf`).
 pub fn check_or_regen(rel: &str, regen_cmd: &str, build: impl Fn() -> Value) {
     let current = build();
+
+    if let Some(n) = shards().filter(|&n| n > 1) {
+        assert!(
+            std::env::var_os("DFRS_GOLDEN_REGEN").is_none(),
+            "refusing to pin golden files from a sharded (DFRS_SHARDS={n}) run; \
+             goldens are recorded from the bare specs"
+        );
+        // Byte-identity against the pinned file is a shards=1 property.
+        // At higher counts the suite instead pins replay stability: two
+        // builds of the full snapshot document must agree bit for bit
+        // (deterministic merge order, no dependence on thread timing).
+        assert_eq!(
+            current,
+            build(),
+            "sharded (DFRS_SHARDS={n}) snapshots are not run-to-run deterministic"
+        );
+        return;
+    }
 
     if std::env::var_os("DFRS_GOLDEN_REGEN").is_some() {
         // Regeneration guard: two back-to-back builds must agree before
