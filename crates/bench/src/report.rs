@@ -12,6 +12,11 @@
 //!   streaming engine without ever materializing the trace, asserting
 //!   the resident job window stays flat (the `dfrs-serve` memory
 //!   claim) and recording feed throughput;
+//! * **recovery** — the crash-safety price: the same NDJSON command
+//!   script driven through the `dfrs-serve` daemon bare and with the
+//!   write-ahead journal attached at each fsync policy, plus the
+//!   journal-replay throughput of `Daemon::recover` (the restart cost
+//!   after a crash);
 //! * **repack** — the `DynMCB8*` schedulers driven over the same
 //!   scenario warm (cross-event repack memo on) and cold (memo off),
 //!   with per-event µs and pack counts; warm and cold outcomes are
@@ -92,6 +97,7 @@ impl BenchReport {
             ("packing".to_string(), packing_phase(scale)),
             ("event_loop".to_string(), event_loop_phase()),
             ("streaming".to_string(), streaming_phase()),
+            ("recovery".to_string(), recovery_phase(scale)),
             ("repack".to_string(), repack_phase(scale)),
             ("failures".to_string(), failures_phase(scale)),
             ("drf".to_string(), drf_phase(scale)),
@@ -301,6 +307,121 @@ fn streaming_phase() -> Value {
             Value::Num(out.peak_resident_jobs as f64),
         ),
         ("makespan".into(), Value::Num(out.makespan)),
+    ])
+}
+
+/// Journaled commands the recovery phase drives, by scale (huge keeps
+/// the small size — its extra work lives in the sharding phase).
+fn recovery_commands(scale: Scale) -> usize {
+    match scale {
+        Scale::Small | Scale::Huge => 2_000,
+        Scale::Medium => 10_000,
+        Scale::Large => 20_000,
+    }
+}
+
+/// The recovery phase: price the crash-safety machinery. The same
+/// deterministic NDJSON command script is driven through the
+/// `dfrs-serve` daemon bare (no journal) and with the write-ahead
+/// journal attached at each fsync policy; then the journal is
+/// recovered with `Daemon::recover`, measuring replay throughput (the
+/// restart cost after a crash). The bare, journaled, and recovered
+/// daemons are asserted to land in the identical state before any
+/// number is reported.
+fn recovery_phase(scale: Scale) -> Value {
+    use dfrs_serve::journal::FsyncPolicy;
+    use dfrs_serve::Daemon;
+    use dfrs_sim::SimConfig;
+
+    let n = recovery_commands(scale);
+    // Deterministic command feed shaped like the streaming phase's
+    // (~0.6 utilization on the synthetic cluster), ending in a drain.
+    let mut rng = SmallRng::seed_from_u64(43);
+    let mut t = 0.0;
+    let mut script: Vec<String> = (0..n - 1)
+        .map(|_| {
+            t += rng.gen_range(2.0..6.0);
+            let cpu = [0.25, 0.5, 1.0][rng.gen_range(0..3usize)];
+            let mem = 0.05 * rng.gen_range(1..7) as f64;
+            let runtime = rng.gen_range(60.0..600.0);
+            format!(r#"{{"cmd":"submit","time":{t},"cpu":{cpu},"mem":{mem},"runtime":{runtime}}}"#)
+        })
+        .collect();
+    script.push(r#"{"cmd":"drain"}"#.to_string());
+
+    let cluster = dfrs_core::ClusterSpec::synthetic();
+    let mk = || Daemon::new(cluster, "greedy-pmtn", SimConfig::default()).expect("builtin spec");
+    let stats = |d: &mut Daemon| d.handle_line(r#"{"cmd":"stats"}"#).0[0].compact();
+    let run = |d: &mut Daemon| {
+        let start = Instant::now();
+        for line in &script {
+            d.handle_line(line);
+        }
+        secs(start)
+    };
+
+    // Baseline: the same commands with no journal attached.
+    let mut plain = mk();
+    let plain_wall = run(&mut plain);
+    let reference = stats(&mut plain);
+
+    // Journaled, at each fsync policy. The `never` journal is kept for
+    // the replay measurement below.
+    let dir = std::env::temp_dir().join(format!("dfrs-bench-recovery-{}", std::process::id()));
+    let mut journaled = Vec::new();
+    for (tag, policy) in [
+        ("always", FsyncPolicy::Always),
+        ("interval_64", FsyncPolicy::Interval(64)),
+        ("never", FsyncPolicy::Never),
+    ] {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut d = mk();
+        d.attach_journal(&dir, policy).expect("fresh journal dir");
+        let wall = run(&mut d);
+        assert_eq!(stats(&mut d), reference, "journaling changed the outcome");
+        journaled.push((
+            tag.to_string(),
+            obj([
+                ("wall_secs".into(), Value::Num(wall)),
+                (
+                    "cmds_per_sec".into(),
+                    Value::Num(script.len() as f64 / wall.max(1e-9)),
+                ),
+                (
+                    "overhead_ratio".into(),
+                    Value::Num(wall / plain_wall.max(1e-9)),
+                ),
+            ]),
+        ));
+    }
+
+    // Replay: rebuild the daemon from the `never` journal.
+    let start = Instant::now();
+    let (mut recovered, recovery) =
+        Daemon::recover(&dir, FsyncPolicy::Never).expect("journal recovers");
+    let replay_wall = secs(start);
+    assert_eq!(recovery.replayed as usize, script.len());
+    assert_eq!(stats(&mut recovered), reference, "replay diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    obj([
+        ("commands".into(), Value::Num(script.len() as f64)),
+        ("scheduler".into(), Value::Str("greedy-pmtn".into())),
+        ("plain_wall_secs".into(), Value::Num(plain_wall)),
+        (
+            "plain_cmds_per_sec".into(),
+            Value::Num(script.len() as f64 / plain_wall.max(1e-9)),
+        ),
+        ("journaled".into(), obj(journaled)),
+        (
+            "replayed_lines".into(),
+            Value::Num(recovery.replayed as f64),
+        ),
+        ("replay_wall_secs".into(), Value::Num(replay_wall)),
+        (
+            "replay_lines_per_sec".into(),
+            Value::Num(recovery.replayed as f64 / replay_wall.max(1e-9)),
+        ),
     ])
 }
 

@@ -145,4 +145,32 @@ fn bench_report_schema_is_parseable_when_present() {
             "repack phase field {field} missing or degenerate: {v:?}"
         );
     }
+    let recovery = report
+        .get("phases")
+        .and_then(|p| p.get("recovery"))
+        .expect("checked-in report records a recovery phase");
+    for field in [
+        "plain_cmds_per_sec",
+        "replay_lines_per_sec",
+        "replay_wall_secs",
+    ] {
+        let v = recovery.get(field).and_then(|v| v.as_f64());
+        assert!(
+            v.is_some_and(|v| v.is_finite() && v > 0.0),
+            "recovery phase field {field} missing or degenerate: {v:?}"
+        );
+    }
+    let journaled = recovery
+        .get("journaled")
+        .expect("recovery phase records per-fsync-policy results");
+    for policy in ["always", "interval_64", "never"] {
+        let ratio = journaled
+            .get(policy)
+            .and_then(|p| p.get("overhead_ratio"))
+            .and_then(|v| v.as_f64());
+        assert!(
+            ratio.is_some_and(|r| r.is_finite() && r > 0.0),
+            "recovery phase fsync policy {policy} missing or degenerate: {ratio:?}"
+        );
+    }
 }

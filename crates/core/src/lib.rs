@@ -27,6 +27,7 @@
 //! * All randomness lives in `dfrs-workload`; this crate is deterministic.
 
 pub mod approx;
+pub mod checksum;
 pub mod cluster;
 pub mod constants;
 pub mod error;

@@ -627,9 +627,20 @@ impl Scheduler for Sharded {
                     self.absorb(s, plan, &mut out);
                 }
             }
-            SchedEvent::Withdraw(_) => {
-                // Nothing outer to us withdraws jobs (nesting is
-                // rejected at spec parse time).
+            SchedEvent::Withdraw(g) => {
+                // The session canceled a pending/paused job: drop every
+                // trace of it. (A running cancel frees resources and
+                // arrives as `Complete` instead; a wide job holding
+                // borrowed nodes is running by definition, so only the
+                // waiting set needs checking here.)
+                if !self.wide_waiting.remove(&g) {
+                    if let Some((s, local)) = self.assign.remove(&g) {
+                        self.views[s].withdraw(local);
+                        self.deliver(s, SchedEvent::Withdraw(local), state, &mut out);
+                        self.rebalance(state, &mut out);
+                    }
+                }
+                // Unknown ids are unmanaged adoptions: nothing to do.
             }
         }
         self.place_wide(state, &mut out);

@@ -33,23 +33,45 @@
 //! asserts, and what makes the snapshot/restore cycle testable (the
 //! resumed daemon must emit exactly what the uninterrupted one would
 //! have).
+//!
+//! ## Crash safety
+//!
+//! With a [`journal`] attached (`--journal DIR`), every state-mutating
+//! command is appended to a write-ahead log *before* it is applied, and
+//! [`Daemon::recover`] rebuilds a crashed daemon from the newest
+//! snapshot plus a replay of the journal suffix — byte-identical to
+//! never having crashed, because the simulation runs on sim time and
+//! replay goes through this very command loop. Scheduler faults are
+//! contained by [`quarantine`]: a panicking tick or invalid plan
+//! cancels the offending job with a typed `error` event instead of
+//! poisoning the daemon. The [`chaos`] module provides the seeded
+//! crash points the recovery tests and CI chaos matrix are built on.
 
 use std::fmt;
+use std::path::Path;
 
 use dfrs_core::ids::{JobId, NodeId};
 use dfrs_core::json::{self, obj, Value};
 use dfrs_core::{ClusterSpec, JobSpec};
 use dfrs_sched::{SchedulerRegistry, SpecError};
 use dfrs_sim::{
-    snapshot_spec, AllocEvent, JobRecord, SimConfig, SimError, SimSession, TimelineEntry,
+    snapshot_spec, AllocEvent, JobRecord, Scheduler, SimConfig, SimError, SimSession, TimelineEntry,
 };
 
-/// Why a daemon could not be constructed or restored. Command-level
-/// failures never use this — they become `error` events and the daemon
-/// keeps serving; this type is for the startup paths where there is no
-/// session to keep alive.
+pub mod chaos;
+pub mod journal;
+pub mod quarantine;
+
+use chaos::{ChaosAction, ChaosPlan, ChaosState};
+use journal::{FsyncPolicy, Journal, JournalError};
+use quarantine::{QuarantineGuard, QuarantineLog};
+
+/// Why a daemon could not be constructed, restored, or recovered.
+/// Command-level failures never use this — they become `error` events
+/// and the daemon keeps serving; this type is for the startup paths
+/// where there is no session to keep alive.
 #[derive(Debug, Clone, PartialEq)]
-pub enum DaemonError {
+pub enum ServeError {
     /// The scheduler spec did not parse or build.
     Spec(SpecError),
     /// The snapshot document was rejected by the session (malformed,
@@ -61,29 +83,42 @@ pub enum DaemonError {
         /// What was wrong with the text.
         detail: String,
     },
+    /// The write-ahead journal could not be created, appended, or
+    /// recovered.
+    Journal(JournalError),
 }
 
-impl fmt::Display for DaemonError {
+/// The pre-journal name of [`ServeError`], kept for embedders.
+pub type DaemonError = ServeError;
+
+impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DaemonError::Spec(e) => write!(f, "{e}"),
-            DaemonError::Sim(e) => write!(f, "{e}"),
-            DaemonError::Snapshot { detail } => write!(f, "snapshot: {detail}"),
+            ServeError::Spec(e) => write!(f, "{e}"),
+            ServeError::Sim(e) => write!(f, "{e}"),
+            ServeError::Snapshot { detail } => write!(f, "snapshot: {detail}"),
+            ServeError::Journal(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for DaemonError {}
+impl std::error::Error for ServeError {}
 
-impl From<SpecError> for DaemonError {
+impl From<SpecError> for ServeError {
     fn from(e: SpecError) -> Self {
-        DaemonError::Spec(e)
+        ServeError::Spec(e)
     }
 }
 
-impl From<SimError> for DaemonError {
+impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {
-        DaemonError::Sim(e)
+        ServeError::Sim(e)
+    }
+}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> Self {
+        ServeError::Journal(e)
     }
 }
 
@@ -94,6 +129,27 @@ pub enum Flow {
     Continue,
     /// A `shutdown` command was processed; stop reading.
     Shutdown,
+    /// A seeded [`chaos`] crash point fired: the process must die *now*
+    /// without flushing anything (the binary calls
+    /// [`std::process::abort`]; in-process tests drop the daemon).
+    Crashed,
+}
+
+/// Default cap on accepted command-line length (bytes). Oversized
+/// lines yield a typed `error` event and are not applied.
+pub const MAX_LINE_DEFAULT: usize = 64 * 1024;
+
+/// What [`Daemon::recover`] did, for the startup banner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// Sequence number covered by the snapshot recovery started from.
+    pub covered: u64,
+    /// Journaled commands replayed on top of it.
+    pub replayed: u64,
+    /// Last sequence number in the journal after recovery.
+    pub last_seq: u64,
+    /// The torn final record, when one was dropped.
+    pub torn: Option<journal::TornTail>,
 }
 
 /// The protocol engine: one [`SimSession`] plus the command dispatch.
@@ -101,6 +157,10 @@ pub enum Flow {
 /// tests both feed lines through [`Daemon::handle_line`].
 pub struct Daemon {
     session: SimSession,
+    journal: Option<Journal>,
+    chaos: Option<ChaosState>,
+    qlog: QuarantineLog,
+    max_line: usize,
 }
 
 impl Daemon {
@@ -111,16 +171,93 @@ impl Daemon {
     ///
     /// # Errors
     /// [`DaemonError::Spec`] when `spec` does not parse or build.
-    pub fn new(
+    pub fn new(cluster: ClusterSpec, spec: &str, config: SimConfig) -> Result<Self, ServeError> {
+        let scheduler = SchedulerRegistry::builtin().build_str(spec)?;
+        Ok(Self::with_scheduler(cluster, spec, scheduler, config))
+    }
+
+    /// Fresh daemon around a caller-supplied scheduler (tests and
+    /// embedders; the registry is bypassed, `spec` is only recorded).
+    /// Like every constructor, the scheduler is wrapped in the
+    /// [`quarantine::QuarantineGuard`].
+    pub fn with_scheduler(
         cluster: ClusterSpec,
         spec: &str,
+        scheduler: Box<dyn Scheduler>,
         mut config: SimConfig,
-    ) -> Result<Self, DaemonError> {
-        let scheduler = SchedulerRegistry::builtin().build_str(spec)?;
+    ) -> Self {
         config.record_timeline = true;
-        Ok(Daemon {
-            session: SimSession::new(cluster, spec, scheduler, config),
-        })
+        let qlog = QuarantineLog::default();
+        let guarded = Box::new(QuarantineGuard::new(scheduler, qlog.clone()));
+        Daemon {
+            session: SimSession::new(cluster, spec, guarded, config),
+            journal: None,
+            chaos: None,
+            qlog,
+            max_line: MAX_LINE_DEFAULT,
+        }
+    }
+
+    /// Attach a fresh write-ahead journal in `dir`: the current
+    /// (quiescent) state becomes the base snapshot, and every further
+    /// mutating command is journaled before it is applied.
+    ///
+    /// # Errors
+    /// [`ServeError::Sim`] when the session is not quiescent (attach at
+    /// startup); [`ServeError::Journal`] when `dir` already holds a
+    /// journal or on I/O failure.
+    pub fn attach_journal(&mut self, dir: &Path, policy: FsyncPolicy) -> Result<(), ServeError> {
+        let doc = self.session.snapshot()?;
+        self.journal = Some(Journal::create(dir, policy, &doc.pretty())?);
+        Ok(())
+    }
+
+    /// Arm a seeded crash point (effective only with a journal
+    /// attached; see [`chaos`]).
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = Some(ChaosState::new(plan));
+    }
+
+    /// Cap accepted command-line length (default
+    /// [`MAX_LINE_DEFAULT`]).
+    pub fn set_max_line(&mut self, bytes: usize) {
+        self.max_line = bytes;
+    }
+
+    /// Rebuild a crashed daemon from its journal directory: load the
+    /// newest snapshot, replay the journaled command suffix through the
+    /// ordinary command loop (a torn final record is dropped and
+    /// truncated), and reopen the journal for appends. The recovered
+    /// daemon is byte-identical to one that never crashed.
+    ///
+    /// # Errors
+    /// [`ServeError::Journal`] on a missing or damaged journal,
+    /// [`ServeError::Spec`] / [`ServeError::Sim`] /
+    /// [`ServeError::Snapshot`] when the base snapshot no longer
+    /// restores.
+    pub fn recover(dir: &Path, policy: FsyncPolicy) -> Result<(Daemon, Recovery), ServeError> {
+        let rec = journal::scan(dir)?;
+        let mut daemon = Daemon::restore(&rec.snapshot)?;
+        // Journaled lines were accepted once; replay must not re-limit
+        // them (the caller may have lowered max_line since).
+        daemon.max_line = usize::MAX;
+        for line in &rec.lines {
+            // Replay outputs are discarded — the original run already
+            // delivered them. Failing commands fail identically, which
+            // is all determinism needs.
+            let (_events, _flow) = daemon.handle_line(line);
+        }
+        daemon.max_line = MAX_LINE_DEFAULT;
+        daemon.journal = Some(Journal::resume(dir, policy, &rec)?);
+        Ok((
+            daemon,
+            Recovery {
+                covered: rec.covered,
+                replayed: rec.lines.len() as u64,
+                last_seq: rec.last_seq,
+                torn: rec.torn,
+            },
+        ))
     }
 
     /// Resume a daemon from the text of a `dfrs-snapshot-v1` document:
@@ -133,18 +270,26 @@ impl Daemon {
     /// records no spec, [`DaemonError::Spec`] when that spec no longer
     /// builds, [`DaemonError::Sim`] when the session rejects the
     /// document.
-    pub fn restore(text: &str) -> Result<Self, DaemonError> {
-        let doc = json::parse(text).map_err(|e| DaemonError::Snapshot {
+    pub fn restore(text: &str) -> Result<Self, ServeError> {
+        let doc = json::parse(text).map_err(|e| ServeError::Snapshot {
             detail: e.to_string(),
         })?;
         let spec = snapshot_spec(&doc)
-            .ok_or_else(|| DaemonError::Snapshot {
+            .ok_or_else(|| ServeError::Snapshot {
                 detail: "missing scheduler spec".into(),
             })?
             .to_string();
         let scheduler = SchedulerRegistry::builtin().build_str(&spec)?;
-        let session = SimSession::restore(&doc, scheduler)?;
-        Ok(Daemon { session })
+        let qlog = QuarantineLog::default();
+        let guarded = Box::new(QuarantineGuard::new(scheduler, qlog.clone()));
+        let session = SimSession::restore(&doc, guarded)?;
+        Ok(Daemon {
+            session,
+            journal: None,
+            chaos: None,
+            qlog,
+            max_line: MAX_LINE_DEFAULT,
+        })
     }
 
     /// Direct access to the underlying session (tests, embedding).
@@ -152,10 +297,11 @@ impl Daemon {
         &self.session
     }
 
-    /// The `ready` banner emitted once at startup.
+    /// The `ready` banner emitted once at startup. Journaled daemons
+    /// also report the journal directory and last sequence number.
     pub fn ready_event(&self) -> Value {
         let spec = self.session.state().cluster.spec;
-        obj([
+        let mut pairs = vec![
             ("event".into(), Value::Str("ready".into())),
             ("spec".into(), Value::Str(self.session.spec().into())),
             ("nodes".into(), Value::Num(spec.nodes as f64)),
@@ -163,6 +309,26 @@ impl Daemon {
             (
                 "admitted".into(),
                 Value::Num(self.session.admitted() as f64),
+            ),
+        ];
+        if let Some(j) = &self.journal {
+            pairs.push(("journal".into(), Value::Str(j.dir().display().to_string())));
+            pairs.push(("journal_seq".into(), Value::Num(j.last_seq() as f64)));
+        }
+        obj(pairs)
+    }
+
+    /// The `recovered` banner a recovering binary emits after
+    /// [`Daemon::recover`].
+    pub fn recovered_event(recovery: &Recovery) -> Value {
+        obj([
+            ("event".into(), Value::Str("recovered".into())),
+            ("covered".into(), Value::Num(recovery.covered as f64)),
+            ("replayed".into(), Value::Num(recovery.replayed as f64)),
+            ("journal_seq".into(), Value::Num(recovery.last_seq as f64)),
+            (
+                "torn_dropped".into(),
+                Value::Num(recovery.torn.as_ref().map_or(0, |t| t.dropped) as f64),
             ),
         ])
     }
@@ -172,6 +338,25 @@ impl Daemon {
     /// comments produce no events. A malformed or failing command
     /// produces a single `error` event and the daemon keeps serving.
     pub fn handle_line(&mut self, line: &str) -> (Vec<Value>, Flow) {
+        if line.len() > self.max_line {
+            // Checked before any parsing: the line is discarded whole
+            // and the session is untouched.
+            return (
+                vec![obj([
+                    ("event".into(), Value::Str("error".into())),
+                    ("kind".into(), Value::Str("oversize".into())),
+                    (
+                        "message".into(),
+                        Value::Str(format!(
+                            "line of {} bytes exceeds the {}-byte limit",
+                            line.len(),
+                            self.max_line
+                        )),
+                    ),
+                ])],
+                Flow::Continue,
+            );
+        }
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             return (Vec::new(), Flow::Continue);
@@ -194,6 +379,19 @@ impl Daemon {
             .get("cmd")
             .and_then(Value::as_str)
             .ok_or_else(|| "command object needs a \"cmd\" string".to_string())?;
+        // Write-ahead: state-mutating commands hit the journal before
+        // the session. A journal failure means the command is NOT
+        // applied; a seeded chaos point turns into an immediate crash.
+        if self.journal.is_some()
+            && matches!(
+                cmd,
+                "submit" | "node-down" | "node-up" | "advance" | "drain"
+            )
+        {
+            if let Some(flow) = self.journal_append(line)? {
+                return Ok((Vec::new(), flow));
+            }
+        }
         match cmd {
             "submit" => self.submit(&v),
             "node-down" => self.node_event(&v, false),
@@ -210,6 +408,32 @@ impl Daemon {
                 Ok((vec![done], Flow::Shutdown))
             }
             other => Err(format!("unknown command {other:?}")),
+        }
+    }
+
+    /// Write-ahead append of `line`, with the chaos hook. `Ok(Some)`
+    /// means a seeded crash fired and the caller must return
+    /// [`Flow::Crashed`] without applying the command.
+    fn journal_append(&mut self, line: &str) -> Result<Option<Flow>, String> {
+        let action = self
+            .chaos
+            .as_mut()
+            .map_or(ChaosAction::Proceed, ChaosState::on_append);
+        let j = self.journal.as_mut().expect("caller checked journal");
+        match action {
+            ChaosAction::CrashBefore => Ok(Some(Flow::Crashed)),
+            ChaosAction::Torn { keep } => {
+                j.append_torn(line, keep).map_err(|e| e.to_string())?;
+                Ok(Some(Flow::Crashed))
+            }
+            ChaosAction::Proceed => {
+                j.append(line).map_err(|e| e.to_string())?;
+                Ok(None)
+            }
+            ChaosAction::CrashAfter => {
+                j.append(line).map_err(|e| e.to_string())?;
+                Ok(Some(Flow::Crashed))
+            }
         }
     }
 
@@ -237,6 +461,7 @@ impl Daemon {
             ("time".into(), Value::Num(time)),
         ])];
         self.drain_outputs(&mut events);
+        self.process_quarantines(&mut events);
         Ok((events, Flow::Continue))
     }
 
@@ -253,6 +478,7 @@ impl Daemon {
             ("time".into(), Value::Num(time)),
         ])];
         self.drain_outputs(&mut events);
+        self.process_quarantines(&mut events);
         Ok((events, Flow::Continue))
     }
 
@@ -261,6 +487,7 @@ impl Daemon {
         self.session.advance_to(time).map_err(|e| e.to_string())?;
         let mut events = Vec::new();
         self.drain_outputs(&mut events);
+        self.process_quarantines(&mut events);
         events.push(obj([
             ("event".into(), Value::Str("advanced".into())),
             ("now".into(), Value::Num(self.session.now())),
@@ -268,39 +495,88 @@ impl Daemon {
         Ok((events, Flow::Continue))
     }
 
-    fn drain(&mut self) -> Result<(Vec<Value>, Flow), String> {
-        self.session.drain().map_err(|e| e.to_string())?;
-        let mut events = Vec::new();
-        self.drain_outputs(&mut events);
-        events.push(obj([
+    /// The `drained` ack. Journaled daemons also report the last journal
+    /// sequence number, so clients know what is durable.
+    fn drained_event(&self) -> Value {
+        let mut pairs = vec![
             ("event".into(), Value::Str("drained".into())),
             ("now".into(), Value::Num(self.session.now())),
             (
                 "completed".into(),
                 Value::Num(self.session.completed() as f64),
             ),
-        ]));
+        ];
+        if let Some(j) = &self.journal {
+            pairs.push(("journal_seq".into(), Value::Num(j.last_seq() as f64)));
+        }
+        obj(pairs)
+    }
+
+    fn drain(&mut self) -> Result<(Vec<Value>, Flow), String> {
+        let mut events = Vec::new();
+        if let Err(e) = self.session.drain() {
+            // A scheduler fault (quarantine pending) can leave the drain
+            // deadlocked on a job the guard wants canceled. Cancel and
+            // retry once; a drain that fails with nothing quarantined is
+            // the client's problem and reports as a plain error.
+            if self.qlog.is_empty() {
+                return Err(e.to_string());
+            }
+            self.drain_outputs(&mut events);
+            if self.process_quarantines(&mut events) == 0 {
+                events.push(obj([
+                    ("event".into(), Value::Str("error".into())),
+                    ("message".into(), Value::Str(e.to_string())),
+                ]));
+                return Ok((events, Flow::Continue));
+            }
+            if let Err(e2) = self.session.drain() {
+                self.drain_outputs(&mut events);
+                self.process_quarantines(&mut events);
+                events.push(obj([
+                    ("event".into(), Value::Str("error".into())),
+                    ("message".into(), Value::Str(e2.to_string())),
+                ]));
+                return Ok((events, Flow::Continue));
+            }
+        }
+        self.drain_outputs(&mut events);
+        self.process_quarantines(&mut events);
+        events.push(self.drained_event());
         Ok((events, Flow::Continue))
     }
 
     fn snapshot(&mut self, v: &Value) -> Result<(Vec<Value>, Flow), String> {
         let doc = self.session.snapshot().map_err(|e| e.to_string())?;
-        let event = match v.get("path").and_then(Value::as_str) {
+        let text = doc.pretty();
+        // Journal integration: the snapshot anchors a segment rotation
+        // (or, under chaos, a torn temp file and a crash).
+        let mut journal_seq = None;
+        if let Some(j) = &mut self.journal {
+            if let Some(keep) = self.chaos.as_mut().and_then(ChaosState::on_snapshot) {
+                j.torn_snapshot(&text, keep).map_err(|e| e.to_string())?;
+                return Ok((Vec::new(), Flow::Crashed));
+            }
+            journal_seq = Some(j.mark_snapshot(&text).map_err(|e| e.to_string())?);
+        }
+        let mut pairs = match v.get("path").and_then(Value::as_str) {
             Some(path) => {
-                let text = doc.pretty();
                 std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
-                obj([
+                vec![
                     ("event".into(), Value::Str("snapshot".into())),
                     ("path".into(), Value::Str(path.into())),
                     ("bytes".into(), Value::Num(text.len() as f64)),
-                ])
+                ]
             }
-            None => obj([
+            None => vec![
                 ("event".into(), Value::Str("snapshot".into())),
                 ("data".into(), doc),
-            ]),
+            ],
         };
-        Ok((vec![event], Flow::Continue))
+        if let Some(covered) = journal_seq {
+            pairs.push(("journal_seq".into(), Value::Num(covered as f64)));
+        }
+        Ok((vec![obj(pairs)], Flow::Continue))
     }
 
     fn stats_event(&self) -> Value {
@@ -334,6 +610,59 @@ impl Daemon {
         }
         for r in self.session.take_records() {
             out.push(record_event(&r));
+        }
+    }
+
+    /// Act on quarantine notes the guard pushed during the last
+    /// command: emit a typed `error` event per fault and cancel the
+    /// attributed job. Canceling may itself tick the (faulty) scheduler
+    /// and produce more notes, so loop until the log is dry. Returns
+    /// the number of jobs successfully canceled.
+    fn process_quarantines(&mut self, out: &mut Vec<Value>) -> usize {
+        let mut canceled = 0;
+        let mut reported: Vec<(Option<JobId>, String)> = Vec::new();
+        loop {
+            let notes = self.qlog.take();
+            if notes.is_empty() {
+                return canceled;
+            }
+            for note in notes {
+                let key = (note.job, note.reason.clone());
+                if reported.contains(&key) {
+                    // The same fault repeats every round the bad entry
+                    // reappears in; one report is enough.
+                    continue;
+                }
+                reported.push(key);
+                let mut pairs = vec![
+                    ("event".into(), Value::Str("error".into())),
+                    ("kind".into(), Value::Str("quarantine".into())),
+                ];
+                if let Some(j) = note.job {
+                    pairs.push(("job".into(), Value::Num(j.0 as f64)));
+                }
+                pairs.push(("message".into(), Value::Str(note.reason)));
+                out.push(obj(pairs));
+                let Some(job) = note.job else { continue };
+                match self.session.cancel(job) {
+                    Ok(()) => {
+                        canceled += 1;
+                        self.drain_outputs(out);
+                    }
+                    // Already canceled (a duplicate attribution) or
+                    // already gone: nothing left to contain.
+                    Err(SimError::NotCancelable { .. }) | Err(SimError::UnknownJob { .. }) => {}
+                    Err(e) => out.push(obj([
+                        ("event".into(), Value::Str("error".into())),
+                        ("kind".into(), Value::Str("quarantine".into())),
+                        ("job".into(), Value::Num(job.0 as f64)),
+                        (
+                            "message".into(),
+                            Value::Str(format!("canceling quarantined {job}: {e}")),
+                        ),
+                    ])),
+                }
+            }
         }
     }
 }
@@ -373,6 +702,10 @@ fn decision_event(e: &TimelineEntry) -> Value {
             "resume"
         }
         AllocEvent::Complete => "complete",
+        AllocEvent::Cancel { was_running } => {
+            pairs.push(("was_running".into(), Value::Bool(*was_running)));
+            "cancel"
+        }
     };
     pairs.push(("action".into(), Value::Str(action.into())));
     obj(pairs)
@@ -410,6 +743,11 @@ fn opt_num(v: &Value, key: &str) -> Result<Option<f64>, String> {
     }
 }
 
+// Unwrap audit: production paths in this crate return typed errors
+// (`ServeError`, `JournalError`) — the only `expect`s left state the
+// invariant that makes them unreachable (e.g. "caller checked
+// journal"). The unwraps below are test assertions, where panicking
+// with a backtrace *is* the failure report.
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -125,6 +125,69 @@ fn smoke_and_resume_transcripts_match_golden() {
     check_or_regen("resume.transcript", &transcript);
 }
 
+/// Where the journal smoke scripts keep their write-ahead log and
+/// snapshot (fixed paths: the `ready` event echoes the journal dir, so
+/// it is part of the pinned bytes).
+const JOURNAL_DIR: &str = "/tmp/dfrs-serve-journal-golden";
+const JOURNAL_SNAPSHOT: &str = "/tmp/dfrs-serve-journal.snapshot.json";
+
+/// Like [`run`], but the daemon must die on a seeded chaos abort.
+fn run_aborts(args: &[&str], input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dfrs-serve"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dfrs-serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write commands");
+    let out = child.wait_with_output().expect("dfrs-serve runs");
+    assert!(
+        !out.status.success(),
+        "the seeded crash point should have aborted the daemon"
+    );
+    String::from_utf8(out.stdout).expect("utf-8 transcript")
+}
+
+#[test]
+fn journaled_crash_and_recovery_transcripts_match_golden() {
+    // Part 1: journaled daemon with a seeded post-append crash — the
+    // 6th journaled command is made durable, then the process aborts
+    // (kill -9 semantics) before applying or acknowledging it.
+    let _ = std::fs::remove_dir_all(JOURNAL_DIR);
+    let commands = std::fs::read_to_string(golden("journal.commands")).expect("journal.commands");
+    let args: Vec<&str> = SMOKE_ARGS
+        .iter()
+        .copied()
+        .chain([
+            "--journal",
+            JOURNAL_DIR,
+            "--fsync",
+            "interval:2",
+            "--chaos",
+            "post-append:6",
+        ])
+        .collect();
+    let transcript = run_aborts(&args, &commands);
+    check_or_regen("journal.transcript", &transcript);
+    assert!(
+        std::fs::metadata(JOURNAL_SNAPSHOT).is_ok(),
+        "journal script should have written {JOURNAL_SNAPSHOT}"
+    );
+
+    // Part 2: recover from the journal (newest snapshot + replay of the
+    // unacknowledged suffix) and finish the workload.
+    let commands = std::fs::read_to_string(golden("journal-resume.commands"))
+        .expect("journal-resume.commands");
+    let transcript = run(&["--restore", "--journal", JOURNAL_DIR], &commands);
+    check_or_regen("journal-resume.transcript", &transcript);
+}
+
 #[test]
 fn transcripts_are_run_to_run_deterministic() {
     let commands = std::fs::read_to_string(golden("smoke.commands")).expect("smoke.commands");

@@ -689,6 +689,59 @@ impl EngineCore {
         }
     }
 
+    /// Remove `id` from the system at the current instant without
+    /// finishing its work: an operator or quarantine *cancel*. Running
+    /// jobs free their tasks; pending and paused jobs simply leave the
+    /// queue. Either way the job transitions to `Completed` (so the
+    /// normal drain path emits its record and quiescence is reachable)
+    /// and its accrued virtual time counts as lost work. Returns
+    /// whether the job held cluster resources.
+    pub(crate) fn cancel_job(&mut self, id: JobId, config: &SimConfig) -> Result<bool, SimError> {
+        let Some(j) = self.state.jobs.get(id.index()) else {
+            return Err(SimError::UnknownJob { job: id });
+        };
+        let status = j.status;
+        let was_running = status == JobStatus::Running;
+        match status {
+            JobStatus::Running => {
+                let (need, mem, gpu, yld, tasks) = (
+                    j.spec.cpu_need,
+                    j.spec.mem_req,
+                    j.spec.gpu_need,
+                    j.yld,
+                    j.spec.tasks,
+                );
+                for k in 0..tasks as usize {
+                    let node = self.state.placement_raw(id)[k];
+                    self.state.cluster.remove_task(node, need, mem, gpu, yld);
+                }
+            }
+            JobStatus::Pending | JobStatus::Paused => {}
+            st => {
+                return Err(SimError::NotCancelable {
+                    job: id,
+                    status: st,
+                })
+            }
+        }
+        let j = &mut self.state.jobs[id.index()];
+        self.lost_vt += j.virtual_time;
+        j.status = JobStatus::Completed;
+        j.completion = Some(self.state.now);
+        j.yld = 0.0;
+        self.state
+            .index_transition(id, status, JobStatus::Completed);
+        self.completed += 1;
+        if config.record_timeline {
+            self.timeline.push(
+                self.state.now,
+                id,
+                crate::timeline::AllocEvent::Cancel { was_running },
+            );
+        }
+        Ok(was_running)
+    }
+
     pub(crate) fn call_scheduler(
         &mut self,
         scheduler: &mut dyn Scheduler,

@@ -74,6 +74,19 @@ pub enum SimError {
         /// What was wrong with the document.
         detail: String,
     },
+    /// A session command referenced a job that has never been
+    /// submitted (or whose record has already been drained).
+    UnknownJob {
+        /// The nonexistent job.
+        job: JobId,
+    },
+    /// A cancel referenced a job that is no longer in the system.
+    NotCancelable {
+        /// The job.
+        job: JobId,
+        /// Its status at the time of the cancel.
+        status: JobStatus,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -122,6 +135,15 @@ impl fmt::Display for SimError {
             }
             // Details carry their own "snapshot:" prefix.
             SimError::SnapshotMalformed { detail } => write!(f, "{detail}"),
+            SimError::UnknownJob { job } => {
+                write!(
+                    f,
+                    "{job} does not exist (never submitted, or already drained)"
+                )
+            }
+            SimError::NotCancelable { job, status } => {
+                write!(f, "{job} cannot be canceled: status is {status:?}")
+            }
         }
     }
 }

@@ -54,7 +54,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::outcome::{JobRecord, SimOutcome};
 use crate::plan::{SchedEvent, Scheduler};
 use crate::source::SliceSource;
-use crate::state::{JobStore, SimState};
+use crate::state::{JobStatus, JobStore, SimState};
 use crate::timeline::TimelineEntry;
 
 /// Snapshot schema identifier (bump on any incompatible change).
@@ -311,6 +311,53 @@ impl SimSession {
             &mut self.records,
             &self.config,
         )
+    }
+
+    /// Cancel a job: remove it from the system at the current instant
+    /// without finishing its work. A pending or paused job is first
+    /// *withdrawn* from the scheduler ([`SchedEvent::Withdraw`]), so
+    /// composite schedulers can drop their bookkeeping; a running job
+    /// frees its tasks and the scheduler sees an ordinary
+    /// [`SchedEvent::Complete`] round — from its point of view a cancel
+    /// is indistinguishable from an early completion, so waiting jobs
+    /// get the freed capacity immediately. The canceled job's record is
+    /// emitted through the normal drain path (its completion time is
+    /// the cancel instant; accrued progress counts as lost work).
+    ///
+    /// This is what the serve layer's quarantine uses to excise a job
+    /// whose plan round failed, so the daemon can keep serving.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownJob`] when the id was never admitted (or its
+    /// record was already drained); [`SimError::NotCancelable`] when the
+    /// job has already completed. The session is untouched on error.
+    pub fn cancel(&mut self, id: JobId) -> Result<(), SimError> {
+        let status = match self.core.state.jobs.get(id.index()) {
+            None => return Err(SimError::UnknownJob { job: id }),
+            Some(j) => j.status,
+        };
+        if matches!(status, JobStatus::Pending | JobStatus::Paused) {
+            let plan = self.core.call_scheduler(
+                &mut *self.scheduler,
+                SchedEvent::Withdraw(id),
+                &self.config,
+            );
+            self.core.apply_plan(plan, &self.config);
+        }
+        // Re-read the status: the withdraw round may have moved the job
+        // (legal, if pointless); `cancel_job` validates whatever holds
+        // now and errors on already-completed jobs.
+        let was_running = self.core.cancel_job(id, &self.config)?;
+        if was_running {
+            let plan = self.core.call_scheduler(
+                &mut *self.scheduler,
+                SchedEvent::Complete(id),
+                &self.config,
+            );
+            self.core.apply_plan(plan, &self.config);
+        }
+        self.core.drain_completed(&mut self.records);
+        Ok(())
     }
 
     /// Records emitted since the last call (in completion-prefix order,
@@ -888,6 +935,70 @@ mod tests {
         assert_eq!(o.restart_count, 1);
         // Restarted at the repair round: full runtime from t=50.
         assert_eq!(o.makespan, 150.0);
+    }
+
+    #[test]
+    fn cancel_running_job_frees_resources() {
+        let mut s = SimSession::new(
+            cluster(),
+            "round-robin",
+            Box::new(RoundRobin),
+            SimConfig::default(),
+        );
+        s.submit(job(0, 0.0, 100.0)).unwrap();
+        s.advance_to(10.0).unwrap();
+        s.cancel(JobId(0)).unwrap();
+        // The job is gone, its resources are free, and the session is
+        // quiescent without a drain.
+        assert!(s.is_quiescent());
+        assert_eq!(s.state().cluster.total_cpu_alloc(), 0.0);
+        let recs = s.take_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].completion, 10.0);
+        // Accrued progress counts as lost work.
+        assert_eq!(s.outcome().lost_virtual_seconds, 10.0);
+    }
+
+    #[test]
+    fn cancel_pending_job_unwedges_drain() {
+        let mut s = SimSession::new(
+            cluster(),
+            "round-robin",
+            Box::new(RoundRobin),
+            SimConfig::default(),
+        );
+        // j0 targets node 0 (id % nodes), which is down: it waits
+        // forever, and a drain would deadlock.
+        s.node_event(0.0, NodeId(0), false).unwrap();
+        s.submit(job(0, 5.0, 100.0)).unwrap();
+        assert!(matches!(s.drain(), Err(SimError::Deadlock { .. })));
+        s.cancel(JobId(0)).unwrap();
+        s.drain().unwrap();
+        let recs = s.take_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].first_start, None);
+        assert_eq!(recs[0].completion, 5.0);
+    }
+
+    #[test]
+    fn cancel_validation() {
+        let mut s = SimSession::new(
+            cluster(),
+            "round-robin",
+            Box::new(RoundRobin),
+            SimConfig::default(),
+        );
+        assert_eq!(
+            s.cancel(JobId(0)),
+            Err(SimError::UnknownJob { job: JobId(0) })
+        );
+        s.submit(job(0, 0.0, 10.0)).unwrap();
+        s.drain().unwrap();
+        // Completed and drained: the record window has moved past it.
+        assert_eq!(
+            s.cancel(JobId(0)),
+            Err(SimError::UnknownJob { job: JobId(0) })
+        );
     }
 
     #[test]

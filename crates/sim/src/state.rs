@@ -734,6 +734,11 @@ impl SimState {
                 Self::index_remove(&mut self.running, raw);
                 Self::index_remove(&mut self.live, raw);
             }
+            // Cancel of a job that never held (or no longer holds)
+            // resources: only the live index knows about it.
+            (JobStatus::Pending | JobStatus::Paused, JobStatus::Completed) => {
+                Self::index_remove(&mut self.live, raw);
+            }
             (f, t) => debug_assert!(false, "unexpected transition {f:?} -> {t:?}"),
         }
         self.epoch += 1;

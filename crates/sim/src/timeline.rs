@@ -48,6 +48,16 @@ pub enum AllocEvent {
     },
     /// Finished.
     Complete,
+    /// Removed from the system without completing (quarantined by the
+    /// serve layer, or withdrawn by an operator). Unlike [`Kill`], the
+    /// job does not come back.
+    ///
+    /// [`Kill`]: AllocEvent::Kill
+    Cancel {
+        /// Whether the job held cluster resources when canceled (the
+        /// running-job count drops only in that case).
+        was_running: bool,
+    },
 }
 
 /// One timeline record.
@@ -110,6 +120,7 @@ impl Timeline {
             let delta = match e.event {
                 AllocEvent::Start { .. } | AllocEvent::Resume { .. } => 1,
                 AllocEvent::Pause | AllocEvent::Complete | AllocEvent::Kill => -1,
+                AllocEvent::Cancel { was_running: true } => -1,
                 _ => 0,
             };
             if delta == 0 {
@@ -156,7 +167,7 @@ impl Timeline {
                     // A killed job is back to waiting (its progress is
                     // gone), rendered like the pre-start gap.
                     AllocEvent::Kill => b' ',
-                    AllocEvent::Complete => b' ',
+                    AllocEvent::Complete | AllocEvent::Cancel { .. } => b' ',
                 };
                 prev_col = col;
             }

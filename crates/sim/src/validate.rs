@@ -386,6 +386,39 @@ pub enum PlanError {
     },
 }
 
+impl PlanError {
+    /// The job the violation is attributable to, when the variant names
+    /// one. The over-capacity variants name only the overflowing node —
+    /// attribution there needs a scan of the plan's entries (the serve
+    /// layer's quarantine does exactly that).
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            PlanError::UnknownJob { job }
+            | PlanError::DuplicateJob { job }
+            | PlanError::WrongTaskCount { job, .. }
+            | PlanError::InvalidYield { job, .. }
+            | PlanError::UnknownNode { job, .. }
+            | PlanError::NodeUnavailable { job, .. }
+            | PlanError::InvalidStatus { job, .. }
+            | PlanError::PauseNotRunning { job, .. }
+            | PlanError::TimerInPast { job, .. } => Some(*job),
+            PlanError::OverCapacityMemory { .. }
+            | PlanError::OverCapacityCpu { .. }
+            | PlanError::OverCapacityGpu { .. } => None,
+        }
+    }
+
+    /// The node the violation names, for the capacity variants.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            PlanError::OverCapacityMemory { node, .. }
+            | PlanError::OverCapacityCpu { node, .. }
+            | PlanError::OverCapacityGpu { node, .. } => Some(*node),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -280,6 +280,21 @@ fn replay_and_check(jobs: &[JobSpec], out: &SimOutcome, penalty: f64) {
                 vt.insert(id, 0.0);
                 (Some((old.nodes, old.yld)), None)
             }
+            AllocEvent::Cancel { was_running } => {
+                // Operator/quarantine cancel: the job leaves for good.
+                // Only a running cancel releases resources.
+                if *was_running {
+                    integrate(&mut running, &mut vt, id, e.time);
+                    let old = running.remove(&id).expect("cancel of a non-running job");
+                    (Some((old.nodes, old.yld)), None)
+                } else {
+                    assert!(
+                        !running.contains_key(&id),
+                        "{id}: non-running cancel while running"
+                    );
+                    (None, None)
+                }
+            }
         };
         if let Some((nodes, old_yld)) = leave {
             for n in nodes {

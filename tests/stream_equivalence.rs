@@ -220,4 +220,73 @@ proptest! {
             );
         }
     }
+
+    /// Snapshot/restore under the sharded coordinator: the same
+    /// checkpoint-between-bursts property, but with the cluster
+    /// partitioned into 4 shards (2 nodes each) and bursts salted with
+    /// wide jobs — jobs no shard can hold, which the coordinator places
+    /// by borrowing nodes across shard boundaries. Both bursts carry
+    /// wide jobs, so borrows happen on either side of the checkpoint
+    /// and the restored coordinator must rebuild its routing state from
+    /// the snapshot alone.
+    #[test]
+    fn sharded_snapshot_restore_reproduces_uninterrupted_fingerprint(
+        seed in 0u64..10_000,
+        n1 in 3usize..10,
+        n2 in 3usize..10,
+        wide_tasks in 4u32..=6,
+        penalty in prop::sample::select(vec![0.0, 300.0]),
+    ) {
+        // A wide job: too many memory-heavy tasks for a 2-node shard
+        // (2 tasks of 0.4 fit one node, so 4..=6 tasks need 2.. nodes
+        // and at full shard occupancy force coordinator borrows).
+        let wide = |id: usize, t: f64| {
+            JobSpec::new(JobId(id as u32), t, wide_tasks, 0.5, 0.4, 200.0)
+                .expect("valid wide job")
+        };
+        let mut burst1 = burst(seed, n1, 0, 0.0);
+        burst1.push(wide(n1, burst1.last().map_or(5.0, |j| j.submit_time + 5.0)));
+        let mut burst2 = burst(seed.wrapping_add(1), n2, n1 + 1, 1_000_000.0);
+        burst2.push(wide(
+            n1 + 1 + n2,
+            burst2.last().map_or(1_000_005.0, |j| j.submit_time + 5.0),
+        ));
+        let config = SimConfig { penalty, ..SimConfig::default() };
+
+        for inner in ["fcfs", "greedy-pmtn", "dynmcb8-per:t=300"] {
+            let spec = format!("sharded:{inner}:shards=4");
+            let run_burst =
+                |s: &mut SimSession, jobs: &[JobSpec]| -> Result<(), dfrs::sim::SimError> {
+                    for job in jobs {
+                        s.submit(*job)?;
+                    }
+                    s.drain()
+                };
+
+            let mut plain = SimSession::new(cluster(), &spec, build(&spec), config.clone());
+            run_burst(&mut plain, &burst1).unwrap_or_else(|e| panic!("{spec} burst1: {e}"));
+            run_burst(&mut plain, &burst2).unwrap_or_else(|e| panic!("{spec} burst2: {e}"));
+
+            let mut front = SimSession::new(cluster(), &spec, build(&spec), config.clone());
+            run_burst(&mut front, &burst1).unwrap_or_else(|e| panic!("{spec} burst1: {e}"));
+            prop_assert!(front.is_quiescent());
+            let mut carried = front.take_records();
+            let doc = front.snapshot().unwrap_or_else(|e| panic!("{spec} snapshot: {e}"));
+            let text = doc.pretty();
+            drop(front);
+
+            let reparsed = json::parse(&text).expect("snapshot text parses");
+            let mut resumed = SimSession::restore(&reparsed, build(&spec))
+                .unwrap_or_else(|e| panic!("{spec} restore: {e}"));
+            run_burst(&mut resumed, &burst2).unwrap_or_else(|e| panic!("{spec} burst2: {e}"));
+
+            let mut resumed_out = resumed.outcome();
+            carried.extend(resumed_out.records);
+            resumed_out.records = carried;
+            prop_assert_eq!(
+                fingerprint(&plain.outcome()), fingerprint(&resumed_out),
+                "{} checkpointed run diverged from uninterrupted run", spec
+            );
+        }
+    }
 }
