@@ -173,4 +173,58 @@ fn bench_report_schema_is_parseable_when_present() {
             "recovery phase fsync policy {policy} missing or degenerate: {ratio:?}"
         );
     }
+    let pool = report
+        .get("phases")
+        .and_then(|p| p.get("pool"))
+        .expect("checked-in report records a pool phase");
+    for field in [
+        "scoped_us_per_tick",
+        "pool_us_per_tick",
+        "per_record_cmds_per_sec",
+        "group_commit_cmds_per_sec",
+    ] {
+        let v = pool.get(field).and_then(|v| v.as_f64());
+        assert!(
+            v.is_some_and(|v| v.is_finite() && v > 0.0),
+            "pool phase field {field} missing or degenerate: {v:?}"
+        );
+    }
+}
+
+/// A parallel speedup is a claim about threads that actually ran: a
+/// report generated on a single-hardware-thread host must not record
+/// one (two back-to-back serial runs differ only by noise), and a
+/// multi-thread report must record a finite, positive ratio.
+#[test]
+fn campaign_speedup_claims_are_honest() {
+    if !report_path().exists() {
+        return;
+    }
+    let report = load_report();
+    let campaign = report
+        .get("phases")
+        .and_then(|p| p.get("campaign"))
+        .expect("checked-in report records a campaign phase");
+    let threads = campaign
+        .get("parallel_threads")
+        .and_then(|v| v.as_f64())
+        .expect("campaign phase records parallel_threads");
+    assert!(
+        threads >= 1.0 && threads.fract() == 0.0,
+        "campaign parallel_threads degenerate: {threads}"
+    );
+    let speedup = campaign.get("parallel_speedup").and_then(|v| v.as_f64());
+    if threads < 2.0 {
+        assert!(
+            speedup.is_none(),
+            "campaign claims a parallel speedup ({speedup:?}) measured on a \
+             single thread — that number is serial-vs-serial noise"
+        );
+    } else {
+        assert!(
+            speedup.is_some_and(|s| s.is_finite() && s > 0.0),
+            "campaign ran {threads} threads but records no usable \
+             parallel_speedup: {speedup:?}"
+        );
+    }
 }

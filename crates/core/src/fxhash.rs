@@ -1,0 +1,99 @@
+//! A tiny fixed-seed hasher for internal lookup tables.
+//!
+//! The standard library's `RandomState` pays SipHash's per-lookup cost
+//! to defend against adversarial keys — a non-concern for the
+//! scheduler's own id-keyed tables, which sit on per-event hot paths
+//! (the sharded coordinator consults its assignment map once per
+//! touched job per event). This is the word-folding multiply hash used
+//! by the Rust compiler itself (Firefox's "FxHash"): one rotate, one
+//! xor, one multiply per word.
+//!
+//! Unlike `RandomState`, the seed is fixed, so iteration order of an
+//! [`FxHashMap`] is reproducible across runs — nothing may *depend* on
+//! that order (no deterministic output ever hinges on map iteration),
+//! but reproducibility can only help debugging.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the compiler's FxHash (a truncation of π's digits).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state. Construct via `Default` (as `HashMap` does).
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            self.word(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.word(n as u64);
+    }
+}
+
+/// A `HashMap` keyed by the fixed-seed hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by the fixed-seed hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_hash() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"abcdefghi"), hash(b"abcdefghi"));
+        assert_ne!(hash(b"abcdefghi"), hash(b"abcdefghj"));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.remove(&11), Some("eleven"));
+        assert!(!m.contains_key(&11));
+    }
+}

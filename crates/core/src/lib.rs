@@ -31,10 +31,12 @@ pub mod checksum;
 pub mod cluster;
 pub mod constants;
 pub mod error;
+pub mod fxhash;
 pub mod histogram;
 pub mod ids;
 pub mod job;
 pub mod json;
+pub mod pool;
 pub mod priority;
 pub mod resources;
 pub mod stats;

@@ -343,7 +343,6 @@ impl VectorPacker for Mcb8 {
 
         bin_of.resize(n, u32::MAX); // cleared above, so all-MAX
         let mut placed = 0usize;
-
         for b in 0..bins {
             if placed == n {
                 break;
@@ -388,7 +387,6 @@ impl VectorPacker for Mcb8 {
                 }
             }
         }
-
         placed == n
     }
 }

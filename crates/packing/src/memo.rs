@@ -329,9 +329,11 @@ impl RepackMemo {
     }
 }
 
-/// FNV-1a over a stream of words — cheap, deterministic, and platform
-/// independent (used only to pre-filter exact comparisons, so collisions
-/// cost a memcmp, never correctness).
+/// Xor-multiply-rotate mix over a stream of words — cheap, deterministic,
+/// and platform independent (used only to pre-filter exact comparisons, so
+/// collisions cost a memcmp, never correctness). One multiply per word
+/// instead of FNV's eight byte rounds; fingerprints live only in memory,
+/// so the mixing function is free to change between builds.
 struct Fnv(u64);
 
 impl Fnv {
@@ -340,10 +342,9 @@ impl Fnv {
     }
     #[inline]
     fn word(&mut self, w: u64) {
-        for byte in w.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        self.0 = (self.0 ^ w)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(26);
     }
 }
 

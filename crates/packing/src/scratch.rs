@@ -68,6 +68,21 @@ impl PackScratch {
     }
 }
 
+/// One self-contained probe evaluation slot: its own runs buffer and
+/// packer scratch, so speculative bisection probes can pack
+/// concurrently without sharing mutable state (`yield_search` submits
+/// the two possible successors of the current probe to the worker pool
+/// while the caller packs the probe itself).
+#[derive(Debug, Default, Clone)]
+pub struct ProbeSlot {
+    /// Per-job item runs of this slot's probe.
+    pub(crate) runs: Vec<(PackItem, u32)>,
+    /// Packer-internal buffers of this slot.
+    pub(crate) pack: PackScratch,
+    /// Verdict of this slot's probe.
+    pub(crate) ok: bool,
+}
+
 /// Buffers for one binary-search caller (yield or stretch search):
 /// the expanded task items, the packer scratch, and the best feasible
 /// assignment found so far.
@@ -77,6 +92,10 @@ pub struct SearchScratch {
     pub(crate) runs: Vec<(PackItem, u32)>,
     /// Packer-internal buffers.
     pub(crate) pack: PackScratch,
+    /// Speculative side-probe slots (left and right successors of the
+    /// current bisection probe), used only when the worker pool has
+    /// parallelism to offer.
+    pub(crate) side: [ProbeSlot; 2],
     /// `bin_of` of the best feasible probe so far.
     pub(crate) best: Vec<u32>,
     /// Runs of the most recent *feasible* probe (stretch search:

@@ -124,6 +124,7 @@ pub fn min_max_estimated_stretch_with(
         last_ok,
         last_fail,
         packs,
+        ..
     } = scratch;
     last_ok.clear();
     last_fail.clear();

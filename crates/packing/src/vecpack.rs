@@ -135,6 +135,12 @@ struct ListBufs<const D: usize> {
     runs: Vec<(VecItem<D>, u32)>,
     /// Sorted expanded items.
     items: Vec<VecItem<D>>,
+    /// Structure-of-arrays mirror of the requirements: `req_cols[d][i]
+    /// = items[i].req[d]`. The hot `take_first_fit` scans touch one
+    /// dimension at a time; a dense per-dimension column keeps those
+    /// scans on sequential cache lines instead of striding through
+    /// `D`-wide structs (values identical, so verdicts are too).
+    req_cols: Vec<Vec<f64>>,
     /// Path-compressed liveness skips (`items.len() + 1` slots).
     skip: Vec<u32>,
     /// `sufmin[s][i] = min(req[s] over items[i..])`, one column per
@@ -152,6 +158,7 @@ impl<const D: usize> Default for ListBufs<D> {
         ListBufs {
             runs: Vec::new(),
             items: Vec::new(),
+            req_cols: (0..D).map(|_| Vec::new()).collect(),
             skip: Vec::new(),
             sufmin: (0..D).map(|_| Vec::new()).collect(),
             run: Vec::new(),
@@ -180,6 +187,10 @@ impl<const D: usize> ListBufs<D> {
             }
         }
         let n = self.items.len();
+        for (d, col) in self.req_cols.iter_mut().enumerate() {
+            col.clear();
+            col.extend(self.items.iter().map(|it| it.req[d]));
+        }
         self.skip.clear();
         self.skip.extend(0..=n as u32);
         for col in self.sufmin.iter_mut() {
@@ -234,11 +245,7 @@ impl<const D: usize> ListBufs<D> {
         let n = self.items.len();
         let p_used = bin.used[dim];
         let p_cap = bin.cap[dim];
-        let start = if p_used == 0.0
-            && self
-                .items
-                .first()
-                .is_none_or(|it| it.req[dim] <= p_cap + EPS)
+        let start = if p_used == 0.0 && self.req_cols[dim].first().is_none_or(|&r| r <= p_cap + EPS)
         {
             // Empty primary dimension and the largest primary demand
             // fits this bin's capacity: no item can fail the primary
@@ -248,8 +255,7 @@ impl<const D: usize> ListBufs<D> {
             // still run the prefix search.)
             0
         } else {
-            self.items
-                .partition_point(|it| p_used + it.req[dim] > p_cap + EPS)
+            self.req_cols[dim].partition_point(|&r| p_used + r > p_cap + EPS)
         };
         let mut i = self.first_alive(start.max(self.cursor));
         'walk: while i < n {
@@ -260,7 +266,7 @@ impl<const D: usize> ListBufs<D> {
             }
             let mut ok = true;
             for s in 0..D {
-                if s != dim && bin.used[s] + self.items[i].req[s] > bin.cap[s] + EPS {
+                if s != dim && bin.used[s] + self.req_cols[s][i] > bin.cap[s] + EPS {
                     ok = false;
                     break;
                 }

@@ -250,6 +250,13 @@ impl AllocSet {
         debug_assert!(base > 0.0 && base <= 1.0 + approx::EPS);
         let base = base.min(1.0);
         let n = self.jobs.len();
+        // At full yield the selection loop below skips every job on its
+        // first test (`yields[i] >= 1 - EPS`), so with no GPU demand the
+        // answer is `base` for everyone — return it without building the
+        // per-node allocation table. Bit-identical to the general path.
+        if base >= 1.0 - approx::EPS && !self.jobs.iter().any(|j| j.gpu_need > 0.0) {
+            return self.jobs.iter().map(|j| (j.id, base)).collect();
+        }
         let mut yields = vec![base; n];
         // Allocated CPU per node under the base yield.
         let mut alloc = vec![0.0; self.n_nodes];

@@ -149,7 +149,9 @@ fn drf_repack_all(state: &SimState, scratch: &mut DrfRepackScratch) -> Plan {
 
     let mut plan = Plan::noop();
     for j in state.running_jobs() {
-        if !candidates.contains(&j.spec.id) {
+        // `candidates` is ascending (see `packed_allocation`), so
+        // membership is a binary search.
+        if candidates.binary_search(&j.spec.id).is_err() {
             plan = plan.pause(j.spec.id);
         }
     }

@@ -240,10 +240,13 @@ pub(crate) fn packed_allocation(
                     .into_iter()
                     .map(|(id, bins)| (id, bins.into_iter().map(|b| avail[b as usize]).collect()))
                     .collect();
+                // `candidates` is ascending (built from `jobs_in_system`,
+                // pruned with `retain`), so membership is a binary search —
+                // the linear scan made this loop O(running × candidates).
                 let evicted_running = state
                     .running_jobs()
                     .map(|j| j.spec.id)
-                    .filter(|id| !candidates.contains(id))
+                    .filter(|id| candidates.binary_search(id).is_err())
                     .collect();
                 return PackedAllocation {
                     yield_: alloc.yield_,
@@ -293,12 +296,30 @@ pub(crate) fn repack_all(
     // time-independent and therefore memoizable.
     let clean = packed.placements.len() == in_system;
     scratch.last_clean_epoch = clean.then_some(epoch);
-    let mut set = AllocSet::new(state.cluster.nodes().len());
-    for (id, placement) in &packed.placements {
-        let spec = &state.job(*id).spec;
-        set.push(*id, spec.cpu_need, spec.gpu_need, placement.clone());
-    }
-    let yields = set.optimized_yields(packed.yield_);
+    // At full yield with no GPU demand the improvement pass is the
+    // identity (see `AllocSet::optimized_yields`' fast path), so skip
+    // building the `AllocSet` — and its per-job placement clones — on
+    // the underloaded hot path. Bit-identical to the general path.
+    let base = packed.yield_.min(1.0);
+    let full_speed = base >= 1.0 - dfrs_core::approx::EPS
+        && packed
+            .placements
+            .iter()
+            .all(|(id, _)| state.job(*id).spec.gpu_need <= 0.0);
+    let yields: Vec<(JobId, f64)> = if full_speed {
+        packed
+            .placements
+            .iter()
+            .map(|(id, _)| (*id, base))
+            .collect()
+    } else {
+        let mut set = AllocSet::new(state.cluster.nodes().len());
+        for (id, placement) in &packed.placements {
+            let spec = &state.job(*id).spec;
+            set.push(*id, spec.cpu_need, spec.gpu_need, placement.clone());
+        }
+        set.optimized_yields(packed.yield_)
+    };
     let mut plan = Plan::noop();
     for id in &packed.evicted_running {
         plan = plan.pause(*id);

@@ -72,9 +72,12 @@
 //! inners keep their shards busy, so it may start much later than it
 //! would on the unsharded cluster.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
+use dfrs_core::fxhash::FxHashMap;
 use dfrs_core::ids::{JobId, NodeId};
+use dfrs_core::pool::WorkerPool;
 use dfrs_core::JobSpec;
 
 use dfrs_sim::shard::{partition, ShardView};
@@ -89,16 +92,21 @@ pub struct Sharded {
     inners: Vec<Box<dyn Scheduler>>,
     views: Vec<ShardView>,
     /// Global job id → (shard index, shard-local id).
-    assign: HashMap<JobId, (usize, JobId)>,
+    assign: FxHashMap<JobId, (usize, JobId)>,
     period: Option<f64>,
     /// Jobs no single shard can host, waiting at the coordinator for a
     /// cross-shard placement; ascending global id = submission FIFO.
     wide_waiting: BTreeSet<JobId>,
     /// Wide jobs currently running → the nodes borrowed for them
     /// (global ids, ascending, deduplicated).
-    wide_running: HashMap<JobId, Vec<NodeId>>,
+    wide_running: FxHashMap<JobId, Vec<NodeId>>,
     /// Borrowed global node → the wide job holding it.
-    borrowed_by: HashMap<NodeId, JobId>,
+    borrowed_by: FxHashMap<NodeId, JobId>,
+    /// Worker pool override for the tick fan-out; `None` means the
+    /// machine-sized [`dfrs_core::pool::global`] pool. Tests inject a
+    /// pool here to pin parallel == serial byte-identity regardless of
+    /// how many cores the test host happens to have.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Sharded {
@@ -110,12 +118,23 @@ impl Sharded {
         Sharded {
             inners,
             views: Vec::new(),
-            assign: HashMap::new(),
+            assign: FxHashMap::default(),
             period,
             wide_waiting: BTreeSet::new(),
-            wide_running: HashMap::new(),
-            borrowed_by: HashMap::new(),
+            wide_running: FxHashMap::default(),
+            borrowed_by: FxHashMap::default(),
+            pool: None,
         }
+    }
+
+    /// Fan the periodic tick out on `pool` instead of the global
+    /// machine-sized pool. The plan merge reads results in shard index
+    /// order, so any pool (including a zero-worker serial one) must
+    /// produce byte-identical schedules — the property the fan-out
+    /// proptests pin by injecting pools of different widths here.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Number of shards.
@@ -472,6 +491,11 @@ impl Sharded {
     /// placements.
     fn emit(&self, state: &SimState, out: MergeState) -> Plan {
         let mut plan = Plan::noop();
+        // Most touched jobs turn out unchanged (an inner's full repack
+        // re-runs every job it knows), so the translated placement is
+        // assembled in one reused buffer and only promoted to an owned
+        // `Vec` for the entries actually emitted.
+        let mut pbuf: Vec<NodeId> = Vec::new();
         for g in out.touched {
             let Some(&(s, local)) = self.assign.get(&g) else {
                 continue;
@@ -481,17 +505,18 @@ impl Sharded {
             let gj = state.job(g);
             match vj.status {
                 JobStatus::Running => {
-                    let placement: Vec<NodeId> = view
-                        .state()
-                        .placement(local)
-                        .iter()
-                        .map(|&n| view.global_node(n))
-                        .collect();
+                    pbuf.clear();
+                    pbuf.extend(
+                        view.state()
+                            .placement(local)
+                            .iter()
+                            .map(|&n| view.global_node(n)),
+                    );
                     let unchanged = gj.status == JobStatus::Running
                         && gj.yld == vj.yld
-                        && state.placement(g) == placement.as_slice();
+                        && state.placement(g) == pbuf.as_slice();
                     if !unchanged {
-                        plan = plan.run(g, placement, vj.yld);
+                        plan = plan.run(g, std::mem::take(&mut pbuf), vj.yld);
                     }
                 }
                 JobStatus::Paused if gj.status == JobStatus::Running => {
@@ -664,16 +689,20 @@ impl Scheduler for Sharded {
 }
 
 impl Sharded {
-    /// Run every inner's tick against its view, in parallel on scoped
-    /// threads when the host has more than one hardware thread (each
+    /// Run every inner's tick against its view, in parallel on the
+    /// persistent worker pool when the host has workers to spare (each
     /// plan depends only on its own view, so the serial fallback is
-    /// result-identical — the `Campaign` discipline).
+    /// result-identical — the `Campaign` discipline). Long-lived pool
+    /// workers replace the per-tick `thread::scope` spawns: at huge
+    /// scale that amortizes millions of thread creations into channel
+    /// sends. Plans are read back in shard index order, so the worker
+    /// schedule is invisible to the merge.
     fn fan_out_tick(&mut self) -> Vec<Plan> {
-        let parallel = self.inners.len() > 1
-            && std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                > 1;
+        let pool: &WorkerPool = match &self.pool {
+            Some(p) => p,
+            None => dfrs_core::pool::global(),
+        };
+        let parallel = self.inners.len() > 1 && pool.workers() >= 2;
         if !parallel {
             return self
                 .inners
@@ -684,21 +713,31 @@ impl Sharded {
         }
         let mut plans: Vec<Option<Plan>> = Vec::new();
         plans.resize_with(self.inners.len(), || None);
-        std::thread::scope(|scope| {
+        pool.scope(|scope| {
             for ((inner, view), slot) in self
                 .inners
                 .iter_mut()
                 .zip(&self.views)
                 .zip(plans.iter_mut())
             {
-                scope.spawn(move || {
+                scope.execute(move || {
                     *slot = Some(inner.on_event(SchedEvent::Tick, view.state()));
                 });
             }
         });
+        // Unwrap audit: no `expect` on the merge path. A panicking
+        // tick task re-raises out of `scope` (and the serve stack's
+        // quarantine guard catches it); the only other way a slot can
+        // be empty is a task that never ran, and for that shard the
+        // inner never saw the tick — so delivering it serially here IS
+        // the deterministic serial path, not a guess.
         plans
             .into_iter()
-            .map(|p| p.expect("scoped tick thread always fills its slot"))
+            .enumerate()
+            .map(|(s, plan)| match plan {
+                Some(p) => p,
+                None => self.inners[s].on_event(SchedEvent::Tick, self.views[s].state()),
+            })
             .collect()
     }
 }

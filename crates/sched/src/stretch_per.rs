@@ -146,7 +146,8 @@ impl DynMcb8StretchPer {
                     );
                     let mut plan = Plan::noop();
                     for j in state.running_jobs() {
-                        if !candidates.contains(&j.spec.id) {
+                        // `candidates` is ascending; binary search.
+                        if candidates.binary_search(&j.spec.id).is_err() {
                             plan = plan.pause(j.spec.id);
                         }
                     }

@@ -1,0 +1,113 @@
+//! Proptests pinning the sharded tick fan-out: the persistent worker
+//! pool must be byte-identical to the serial (scoped-baseline) path
+//! for every workload and shard count.
+//!
+//! `Sharded::with_pool` injects the pool, so these tests drive the
+//! real parallel path with a 4-worker pool even on a single-core host
+//! — the production gate (`pool::global().workers() >= 2`) never gets
+//! a vote here. The serial baseline is a zero-worker pool, which runs
+//! every tick inline in shard index order: exactly the pre-pool
+//! `thread::scope` merge order.
+
+use std::sync::Arc;
+
+use dfrs_core::pool::WorkerPool;
+use dfrs_core::{ClusterSpec, JobSpec};
+use dfrs_sched::spec::SchedulerRegistry;
+use dfrs_sched::Sharded;
+use dfrs_sim::{simulate, SimConfig, SimOutcome};
+use dfrs_workload::{Annotator, LublinModel, Trace};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::new(8, 4, 8.0).unwrap()
+}
+
+fn workload(seed: u64, n: usize, load: f64) -> Vec<JobSpec> {
+    let cluster = cluster();
+    let model = LublinModel::for_cluster(&cluster);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let raws = model.generate(n, &mut rng);
+    let jobs = Annotator::new(cluster).annotate(&raws, &mut rng).unwrap();
+    let trace = Trace::new(cluster, jobs).unwrap();
+    trace.scale_to_load(load).unwrap().jobs().to_vec()
+}
+
+/// A sharded coordinator over `shards` fresh instances of `inner`,
+/// fanning its ticks out on `pool`.
+fn sharded(inner: &str, shards: usize, pool: Arc<WorkerPool>) -> Sharded {
+    let reg = SchedulerRegistry::builtin();
+    let inners = (0..shards).map(|_| reg.build_str(inner).unwrap()).collect();
+    Sharded::new(inners).with_pool(pool)
+}
+
+fn run(inner: &str, shards: usize, pool: Arc<WorkerPool>, jobs: &[JobSpec]) -> SimOutcome {
+    let cfg = SimConfig {
+        validate: true,
+        ..SimConfig::default()
+    };
+    let mut sched = sharded(inner, shards, pool);
+    simulate(cluster(), jobs, &mut sched, &cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel pool fan-out == serial baseline, byte for byte, for
+    /// random workloads, shard counts, and tick periods. Periodic
+    /// inners guarantee the tick path (the only fan-out) actually runs.
+    #[test]
+    fn pool_fan_out_matches_serial_baseline(
+        seed in 0u64..10_000,
+        n in 10usize..36,
+        load in 0.3f64..1.1,
+        shards in 2usize..=4,
+        period in prop::sample::select(vec![300u32, 600]),
+    ) {
+        let inner = format!("dynmcb8-per:t={period}");
+        let jobs = workload(seed, n, load);
+        let serial = run(&inner, shards, Arc::new(WorkerPool::new(0)), &jobs);
+        let pooled = run(&inner, shards, Arc::new(WorkerPool::new(4)), &jobs);
+        prop_assert_eq!(serial.records, pooled.records);
+        prop_assert_eq!(serial.preemption_count, pooled.preemption_count);
+        prop_assert_eq!(serial.migration_count, pooled.migration_count);
+        prop_assert_eq!(serial.max_stretch.to_bits(), pooled.max_stretch.to_bits());
+        prop_assert_eq!(serial.mean_stretch.to_bits(), pooled.mean_stretch.to_bits());
+    }
+
+    /// The pooled fan-out is deterministic across runs: two simulations
+    /// on the same 4-worker pool width agree exactly, whatever the
+    /// worker schedule did each time.
+    #[test]
+    fn pool_fan_out_is_run_to_run_deterministic(
+        seed in 0u64..10_000,
+        n in 10usize..30,
+        shards in 2usize..=4,
+    ) {
+        let jobs = workload(seed, n, 0.8);
+        let a = run("dynmcb8-per:t=600", shards, Arc::new(WorkerPool::new(4)), &jobs);
+        let b = run("dynmcb8-per:t=600", shards, Arc::new(WorkerPool::new(4)), &jobs);
+        prop_assert_eq!(a.records, b.records);
+        prop_assert_eq!(a.max_stretch.to_bits(), b.max_stretch.to_bits());
+    }
+}
+
+/// Pool widths beyond the shard count change nothing: excess workers
+/// idle, missing workers fall back serially, and the schedule is the
+/// schedule.
+#[test]
+fn pool_width_is_invisible_to_the_schedule() {
+    let jobs = workload(77, 24, 0.9);
+    let baseline = run("dynmcb8-per:t=600", 3, Arc::new(WorkerPool::new(0)), &jobs);
+    for workers in [1usize, 2, 3, 8] {
+        let out = run(
+            "dynmcb8-per:t=600",
+            3,
+            Arc::new(WorkerPool::new(workers)),
+            &jobs,
+        );
+        assert_eq!(baseline.records, out.records, "workers={workers}");
+    }
+}

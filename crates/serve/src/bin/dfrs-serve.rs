@@ -64,8 +64,8 @@ OPTIONS:
                     error event [default: 65536]
   --chaos SPEC      seeded crash point for fault-injection testing
                     (pre-append:N, post-append:N, torn:N:K,
-                    mid-snapshot:N:K; needs --journal); firing emulates
-                    kill -9 via abort()
+                    mid-snapshot:N:K, batch-crash:N; needs --journal);
+                    firing emulates kill -9 via abort()
   --help            this text
 ";
 
@@ -220,13 +220,24 @@ fn build_daemon(args: &Args) -> Result<(Daemon, Option<Value>), String> {
     Ok((daemon, banner))
 }
 
+/// Most lines a batch will group under a saturating client; an idle
+/// client degrades to batches of one — the old per-line loop.
+const BATCH_MAX: usize = 256;
+
 /// Feed `input` lines to the daemon, writing events to `output` with a
 /// flush after every command (clients block on responses). `banner`
 /// lines (the `recovered` event) are emitted once, before `ready`.
+///
+/// Lines arrive through a reader thread and a channel so the loop can
+/// hand everything already waiting to [`Daemon::handle_batch`] in one
+/// go — under a journaled daemon that is one group-committed write
+/// (and at most one fsync) for the whole run of commands. The emitted
+/// bytes are identical to the per-line loop's; only the journal's
+/// write pattern changes.
 fn serve(
     daemon: &mut Daemon,
     banner: &mut Option<Value>,
-    input: impl BufRead,
+    input: impl BufRead + Send + 'static,
     mut output: impl Write,
 ) -> std::io::Result<Flow> {
     if let Some(b) = banner.take() {
@@ -234,19 +245,37 @@ fn serve(
     }
     writeln!(output, "{}", daemon.ready_event().compact())?;
     output.flush()?;
-    for line in input.lines() {
-        let (events, flow) = daemon.handle_line(&line?);
-        if flow == Flow::Crashed {
-            // A seeded chaos point: die like kill -9 — no flush, no
-            // cleanup, no acknowledgement.
-            std::process::abort();
+    let (tx, rx) = std::sync::mpsc::channel::<std::io::Result<String>>();
+    std::thread::spawn(move || {
+        for line in input.lines() {
+            if tx.send(line).is_err() {
+                return;
+            }
         }
-        for e in &events {
-            writeln!(output, "{}", e.compact())?;
+    });
+    let mut batch: Vec<String> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        batch.clear();
+        batch.push(first?);
+        while batch.len() < BATCH_MAX {
+            match rx.try_recv() {
+                Ok(line) => batch.push(line?),
+                Err(_) => break,
+            }
         }
-        output.flush()?;
-        if flow == Flow::Shutdown {
-            return Ok(Flow::Shutdown);
+        for (events, flow) in daemon.handle_batch(&batch) {
+            if flow == Flow::Crashed {
+                // A seeded chaos point: die like kill -9 — no flush, no
+                // cleanup, no acknowledgement.
+                std::process::abort();
+            }
+            for e in &events {
+                writeln!(output, "{}", e.compact())?;
+            }
+            output.flush()?;
+            if flow == Flow::Shutdown {
+                return Ok(Flow::Shutdown);
+            }
         }
     }
     Ok(Flow::Continue)
@@ -300,7 +329,7 @@ fn main() {
             None => serve(
                 &mut daemon,
                 &mut banner,
-                std::io::stdin().lock(),
+                BufReader::new(std::io::stdin()),
                 std::io::stdout().lock(),
             )
             .map(|_| ())

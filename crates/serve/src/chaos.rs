@@ -37,6 +37,13 @@ pub enum CrashPoint {
         /// Bytes of the snapshot text that survive.
         keep: usize,
     },
+    /// Between a group-commit append and its ack: the command (and any
+    /// earlier command staged in the same batch) may be durable, but
+    /// none of them were applied or acknowledged. Only the batched
+    /// command path (`Daemon::handle_batch`) stages commands, so this
+    /// is the crash point the per-line path cannot reach; sequential
+    /// dispatch degrades it to [`CrashPoint::PostAppend`].
+    BatchCrash,
 }
 
 /// One seeded crash: fire `point` at the `at`-th triggering event
@@ -54,11 +61,11 @@ impl FromStr for ChaosPlan {
     type Err = String;
 
     /// `pre-append:N`, `post-append:N`, `torn:N:K` (K surviving bytes),
-    /// `mid-snapshot:N:K`.
+    /// `mid-snapshot:N:K`, `batch-crash:N`.
     fn from_str(s: &str) -> Result<Self, String> {
         let bad = || {
             format!(
-            "bad chaos spec {s:?} (expected pre-append:N, post-append:N, torn:N:K, or mid-snapshot:N:K)"
+            "bad chaos spec {s:?} (expected pre-append:N, post-append:N, torn:N:K, mid-snapshot:N:K, or batch-crash:N)"
         )
         };
         let parts: Vec<&str> = s.split(':').collect();
@@ -89,6 +96,10 @@ impl FromStr for ChaosPlan {
                 },
                 at: num(1, 1)?,
             }),
+            (Some("batch-crash"), 2) => Ok(ChaosPlan {
+                point: CrashPoint::BatchCrash,
+                at: num(1, 1)?,
+            }),
             _ => Err(bad()),
         }
     }
@@ -101,6 +112,7 @@ impl fmt::Display for ChaosPlan {
             CrashPoint::PostAppend => write!(f, "post-append:{}", self.at),
             CrashPoint::TornAppend { keep } => write!(f, "torn:{}:{keep}", self.at),
             CrashPoint::MidSnapshot { keep } => write!(f, "mid-snapshot:{}:{keep}", self.at),
+            CrashPoint::BatchCrash => write!(f, "batch-crash:{}", self.at),
         }
     }
 }
@@ -147,10 +159,19 @@ impl ChaosState {
         }
         match self.plan.point {
             CrashPoint::PreAppend => ChaosAction::CrashBefore,
-            CrashPoint::PostAppend => ChaosAction::CrashAfter,
+            CrashPoint::PostAppend | CrashPoint::BatchCrash => ChaosAction::CrashAfter,
             CrashPoint::TornAppend { keep } => ChaosAction::Torn { keep },
             CrashPoint::MidSnapshot { .. } => ChaosAction::Proceed,
         }
+    }
+
+    /// Whether the armed plan fires between a batched append and its
+    /// group-commit ack. Such a plan is the only chaos the batched
+    /// command path handles itself; every other plan forces commands
+    /// back onto the sequential path, whose crash semantics the CI
+    /// transcripts pin.
+    pub fn batch_crash_plan(&self) -> bool {
+        matches!(self.plan.point, CrashPoint::BatchCrash)
     }
 
     /// Called once per snapshot command; `Some(keep)` means write a
@@ -199,6 +220,13 @@ mod tests {
                     at: 1,
                 },
             ),
+            (
+                "batch-crash:5",
+                ChaosPlan {
+                    point: CrashPoint::BatchCrash,
+                    at: 5,
+                },
+            ),
         ] {
             assert_eq!(s.parse::<ChaosPlan>().as_ref(), Ok(&plan), "{s}");
             assert_eq!(plan.to_string(), s);
@@ -213,6 +241,8 @@ mod tests {
             "torn:1",
             "torn:1:0",
             "mid-snapshot:0:5",
+            "batch-crash:0",
+            "batch-crash:1:2",
         ] {
             assert!(bad.parse::<ChaosPlan>().is_err(), "{bad:?}");
         }

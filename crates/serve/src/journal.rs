@@ -38,17 +38,34 @@
 //!
 //! ## fsync policy
 //!
-//! Records are always flushed to the OS per append (a killed *process*
-//! loses nothing); [`FsyncPolicy`] controls how often `fdatasync` is
-//! issued for power-loss durability: `always` (every record, the
-//! default), `interval:N` (every N records), or `never` (leave it to
-//! the OS).
+//! Records are always flushed to the OS before they are acknowledged (a
+//! killed *process* loses nothing acknowledged); [`FsyncPolicy`]
+//! controls how often `fdatasync` is issued for power-loss durability:
+//! `always` (every acknowledged record, the default), `interval:N`
+//! (every N records), or `never` (leave it to the OS).
+//!
+//! ## Group commit
+//!
+//! Appends are physically written by a dedicated writer thread. Callers
+//! enqueue sealed records with [`Journal::append_async`] (which assigns
+//! the sequence number immediately) and block on
+//! [`Journal::wait_durable`]; the writer drains whatever has queued
+//! since its last pass and commits the whole run with **one**
+//! `write_all` and at most one `fdatasync`. Under a batching client
+//! (see `Daemon::handle_batch`) an `always` journal therefore pays one
+//! sync per *batch* instead of one per command, while the durability
+//! contract is unchanged: a command is applied and acknowledged only
+//! after its record — and, since the writer preserves append order,
+//! every earlier record — is on disk. [`Journal::append`] is the
+//! degenerate batch of one and behaves exactly as it always has.
 
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
 
 use dfrs_core::checksum::crc32_hex;
 use dfrs_core::json::{self, obj, Value};
@@ -422,15 +439,110 @@ pub fn scan(dir: &Path) -> Result<Recovered, JournalError> {
     })
 }
 
+/// State shared between a [`Journal`] handle and its writer thread.
+struct WriterShared {
+    state: Mutex<WriterState>,
+    /// Signaled when records queue up or a stop is requested.
+    work: Condvar,
+    /// Signaled when the ack watermark advances or an error lands.
+    done: Condvar,
+}
+
+struct WriterState {
+    /// Sealed record bytes (trailing newline included), append order.
+    queue: Vec<(u64, Vec<u8>)>,
+    /// Highest sequence number written (and synced per policy).
+    acked: u64,
+    /// Records written since the last `fdatasync` (`Interval` policy);
+    /// owned by the writer while it runs, read back across restarts.
+    unsynced: u64,
+    /// The first write failure. Sticky: the journal is dead afterwards
+    /// and every queued or future command fails with this error.
+    error: Option<JournalError>,
+    stop: bool,
+}
+
+fn lock(m: &Mutex<WriterState>) -> std::sync::MutexGuard<'_, WriterState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The group-commit loop: drain everything queued since the last pass,
+/// commit it with one `write_all` (and at most one `fdatasync`), move
+/// the ack watermark, repeat. Returns the segment file on shutdown so
+/// rotation and torn-append injection can reuse it.
+fn run_writer(
+    mut file: File,
+    seg_path: PathBuf,
+    policy: FsyncPolicy,
+    shared: Arc<WriterShared>,
+) -> File {
+    let mut unsynced = lock(&shared.state).unsynced;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let batch = {
+            let mut st = lock(&shared.state);
+            while st.queue.is_empty() && !st.stop {
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.queue.is_empty() {
+                st.unsynced = unsynced;
+                return file;
+            }
+            if st.error.is_some() {
+                // The journal is already dead; the queued commands will
+                // never be applied. Drop them and wake their waiters.
+                st.queue.clear();
+                shared.done.notify_all();
+                continue;
+            }
+            std::mem::take(&mut st.queue)
+        };
+        let last = batch.last().expect("drained batch is non-empty").0;
+        buf.clear();
+        for (_, rec) in &batch {
+            buf.extend_from_slice(rec);
+        }
+        let mut res = file
+            .write_all(&buf)
+            .map_err(|e| io_err("append", &seg_path, e));
+        if res.is_ok() {
+            res = match policy {
+                FsyncPolicy::Always => file.sync_data().map_err(|e| io_err("sync", &seg_path, e)),
+                FsyncPolicy::Interval(n) => {
+                    unsynced += batch.len() as u64;
+                    if unsynced >= n {
+                        unsynced = 0;
+                        file.sync_data().map_err(|e| io_err("sync", &seg_path, e))
+                    } else {
+                        Ok(())
+                    }
+                }
+                FsyncPolicy::Never => Ok(()),
+            };
+        }
+        let mut st = lock(&shared.state);
+        match res {
+            Ok(()) => st.acked = last,
+            Err(e) => st.error = Some(e),
+        }
+        shared.done.notify_all();
+    }
+}
+
 /// An open, appendable journal.
 pub struct Journal {
     dir: PathBuf,
     policy: FsyncPolicy,
-    file: File,
+    /// The writer thread owning the live segment file. `None` only
+    /// after a failed stop (the journal is then dead; see `fail`).
+    writer: Option<(Arc<WriterShared>, JoinHandle<File>)>,
     seg_path: PathBuf,
     seg_base: u64,
     next_seq: u64,
+    /// `Interval` carry between writer restarts.
     unsynced: u64,
+    /// The sticky first failure; everything after it returns this.
+    fail: Option<JournalError>,
 }
 
 impl Journal {
@@ -458,15 +570,18 @@ impl Journal {
         }
         write_atomic(&dir.join(snap_name(0)), initial_snapshot)?;
         let (file, seg_path) = Self::open_segment(dir, 1)?;
-        Ok(Journal {
+        let mut j = Journal {
             dir: dir.to_path_buf(),
             policy,
-            file,
+            writer: None,
             seg_path,
             seg_base: 1,
             next_seq: 1,
             unsynced: 0,
-        })
+            fail: None,
+        };
+        j.start_writer(file)?;
+        Ok(j)
     }
 
     /// Reopen the journal `scan` described, truncating the torn tail
@@ -519,15 +634,18 @@ impl Journal {
         } else {
             Self::open_segment(dir, seg_base)?
         };
-        Ok(Journal {
+        let mut j = Journal {
             dir: dir.to_path_buf(),
             policy,
-            file,
+            writer: None,
             seg_path,
             seg_base,
             next_seq,
             unsynced: 0,
-        })
+            fail: None,
+        };
+        j.start_writer(file)?;
+        Ok(j)
     }
 
     /// Create `segment-{base}` with its sealed header, synced.
@@ -558,41 +676,128 @@ impl Journal {
         &self.dir
     }
 
-    /// Append one raw command line; returns its sequence number. The
-    /// record is flushed to the OS before returning and synced per the
-    /// [`FsyncPolicy`].
+    /// Spawn the group-commit writer thread around `file`.
+    fn start_writer(&mut self, file: File) -> Result<(), JournalError> {
+        let shared = Arc::new(WriterShared {
+            state: Mutex::new(WriterState {
+                queue: Vec::new(),
+                // Everything enqueued so far was drained by the stop
+                // that preceded this start (or nothing was, at open).
+                acked: self.next_seq - 1,
+                unsynced: self.unsynced,
+                error: None,
+                stop: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let seg_path = self.seg_path.clone();
+        let policy = self.policy;
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("dfrs-journal-writer".into())
+            .spawn(move || run_writer(file, seg_path, policy, thread_shared))
+            .map_err(|e| io_err("spawn", &self.seg_path, e))?;
+        self.writer = Some((shared, handle));
+        Ok(())
+    }
+
+    /// Drain the queue, join the writer, and take back the segment
+    /// file. Any write failure the writer hit becomes the sticky
+    /// journal error.
+    fn stop_writer(&mut self) -> Result<File, JournalError> {
+        if let Some(e) = &self.fail {
+            return Err(e.clone());
+        }
+        let (shared, handle) = self.writer.take().expect("journal has a live writer");
+        {
+            let mut st = lock(&shared.state);
+            st.stop = true;
+            shared.work.notify_all();
+        }
+        let file = handle.join().map_err(|_| JournalError::Io {
+            op: "writer".into(),
+            path: self.seg_path.display().to_string(),
+            detail: "journal writer thread panicked".into(),
+        })?;
+        let st = lock(&shared.state);
+        self.unsynced = st.unsynced;
+        if let Some(e) = &st.error {
+            self.fail = Some(e.clone());
+            return Err(e.clone());
+        }
+        Ok(file)
+    }
+
+    /// Enqueue one raw command line for the group-commit writer and
+    /// return the sequence number it was sealed with. The record is
+    /// **not** yet durable — pair with [`Journal::wait_durable`] before
+    /// applying or acknowledging the command.
     ///
     /// # Errors
-    /// [`JournalError::Io`] on filesystem failures — the command must
-    /// then NOT be applied (write-ahead discipline).
-    pub fn append(&mut self, raw: &str) -> Result<u64, JournalError> {
+    /// The sticky journal error, once any write has failed; nothing is
+    /// enqueued and no sequence number is consumed.
+    pub fn append_async(&mut self, raw: &str) -> Result<u64, JournalError> {
+        if let Some(e) = &self.fail {
+            return Err(e.clone());
+        }
         let seq = self.next_seq;
         let rec = seal(vec![
             ("line".into(), Value::Str(raw.into())),
             ("seq".into(), Value::Num(seq as f64)),
         ]);
-        writeln!(self.file, "{}", rec.compact())
-            .map_err(|e| io_err("append", &self.seg_path, e))?;
-        self.file
-            .flush()
-            .map_err(|e| io_err("append", &self.seg_path, e))?;
-        match self.policy {
-            FsyncPolicy::Always => self
-                .file
-                .sync_data()
-                .map_err(|e| io_err("sync", &self.seg_path, e))?,
-            FsyncPolicy::Interval(n) => {
-                self.unsynced += 1;
-                if self.unsynced >= n {
-                    self.file
-                        .sync_data()
-                        .map_err(|e| io_err("sync", &self.seg_path, e))?;
-                    self.unsynced = 0;
-                }
+        let mut bytes = rec.compact().into_bytes();
+        bytes.push(b'\n');
+        let (shared, _) = self.writer.as_ref().expect("journal has a live writer");
+        {
+            let mut st = lock(&shared.state);
+            if let Some(e) = &st.error {
+                let e = e.clone();
+                self.fail = Some(e.clone());
+                return Err(e);
             }
-            FsyncPolicy::Never => {}
+            st.queue.push((seq, bytes));
+            shared.work.notify_one();
         }
         self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Block until the record carrying `seq` (and, by append order,
+    /// every earlier record) is written and synced per the
+    /// [`FsyncPolicy`].
+    ///
+    /// # Errors
+    /// The write failure, when the writer could not commit the record —
+    /// the command must then NOT be applied (write-ahead discipline).
+    pub fn wait_durable(&mut self, seq: u64) -> Result<(), JournalError> {
+        if let Some(e) = &self.fail {
+            return Err(e.clone());
+        }
+        let (shared, _) = self.writer.as_ref().expect("journal has a live writer");
+        let mut st = lock(&shared.state);
+        while st.acked < seq && st.error.is_none() {
+            st = shared.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(e) = &st.error {
+            let e = e.clone();
+            drop(st);
+            self.fail = Some(e.clone());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Append one raw command line; returns its sequence number. The
+    /// record is flushed to the OS before returning and synced per the
+    /// [`FsyncPolicy`] — a group-commit batch of one.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] on filesystem failures — the command must
+    /// then NOT be applied (write-ahead discipline).
+    pub fn append(&mut self, raw: &str) -> Result<u64, JournalError> {
+        let seq = self.append_async(raw)?;
+        self.wait_durable(seq)?;
         Ok(seq)
     }
 
@@ -602,20 +807,22 @@ impl Journal {
     /// The sequence number is *not* consumed; the process is expected
     /// to die immediately after.
     pub fn append_torn(&mut self, raw: &str, keep: usize) -> Result<(), JournalError> {
-        let rec = seal(vec![
-            ("line".into(), Value::Str(raw.into())),
-            ("seq".into(), Value::Num(self.next_seq as f64)),
-        ]);
-        let mut bytes = rec.compact().into_bytes();
-        bytes.push(b'\n');
-        let keep = keep.min(bytes.len().saturating_sub(1)).max(1);
-        self.file
-            .write_all(&bytes[..keep])
-            .map_err(|e| io_err("append", &self.seg_path, e))?;
-        self.file
-            .sync_data()
-            .map_err(|e| io_err("sync", &self.seg_path, e))?;
-        Ok(())
+        let mut file = self.stop_writer()?;
+        let res = (|| {
+            let rec = seal(vec![
+                ("line".into(), Value::Str(raw.into())),
+                ("seq".into(), Value::Num(self.next_seq as f64)),
+            ]);
+            let mut bytes = rec.compact().into_bytes();
+            bytes.push(b'\n');
+            let keep = keep.min(bytes.len().saturating_sub(1)).max(1);
+            file.write_all(&bytes[..keep])
+                .map_err(|e| io_err("append", &self.seg_path, e))?;
+            file.sync_data()
+                .map_err(|e| io_err("sync", &self.seg_path, e))
+        })();
+        self.start_writer(file)?;
+        res
     }
 
     /// Record a snapshot covering every appended command and rotate to
@@ -627,18 +834,24 @@ impl Journal {
     /// [`JournalError::Io`] on filesystem failures.
     pub fn mark_snapshot(&mut self, snapshot_text: &str) -> Result<u64, JournalError> {
         let covered = self.last_seq();
-        write_atomic(&self.dir.join(snap_name(covered)), snapshot_text)?;
-        if self.next_seq > self.seg_base {
-            self.file
-                .sync_data()
-                .map_err(|e| io_err("sync", &self.seg_path, e))?;
-            let (file, seg_path) = Self::open_segment(&self.dir, self.next_seq)?;
-            self.file = file;
-            self.seg_path = seg_path;
-            self.seg_base = self.next_seq;
-            self.unsynced = 0;
-        }
-        Ok(covered)
+        // Stopping the writer drains every queued append, so the
+        // snapshot really does cover `covered`.
+        let mut file = self.stop_writer()?;
+        let res = (|| {
+            write_atomic(&self.dir.join(snap_name(covered)), snapshot_text)?;
+            if self.next_seq > self.seg_base {
+                file.sync_data()
+                    .map_err(|e| io_err("sync", &self.seg_path, e))?;
+                let (rotated, seg_path) = Self::open_segment(&self.dir, self.next_seq)?;
+                file = rotated;
+                self.seg_path = seg_path;
+                self.seg_base = self.next_seq;
+                self.unsynced = 0;
+            }
+            Ok(())
+        })();
+        self.start_writer(file)?;
+        res.map(|()| covered)
     }
 
     /// Chaos hook: leave a half-written snapshot temp file (never
@@ -651,6 +864,17 @@ impl Journal {
             .with_extension("json.tmp");
         let keep = keep.min(snapshot_text.len());
         fs::write(&tmp, &snapshot_text.as_bytes()[..keep]).map_err(|e| io_err("write", &tmp, e))
+    }
+}
+
+impl Drop for Journal {
+    /// Drain and join the writer so a cleanly dropped journal leaves
+    /// every enqueued record on disk (an aborted *process* still loses
+    /// only unacknowledged commands — that is the contract).
+    fn drop(&mut self) {
+        if self.writer.is_some() {
+            let _ = self.stop_writer();
+        }
     }
 }
 

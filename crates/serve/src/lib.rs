@@ -363,13 +363,132 @@ impl Daemon {
         }
         match self.dispatch(line) {
             Ok(out) => out,
-            Err(message) => (
-                vec![obj([
-                    ("event".into(), Value::Str("error".into())),
-                    ("message".into(), Value::Str(message)),
-                ])],
-                Flow::Continue,
-            ),
+            Err(message) => (vec![error_event(message)], Flow::Continue),
+        }
+    }
+
+    /// Process a run of command lines through the group-commit path:
+    /// consecutive journaled commands are staged with one asynchronous
+    /// append each, made durable together with a **single** wait on the
+    /// journal's writer (one batched write, at most one fsync), and
+    /// only then applied in order. Anything else — blank lines,
+    /// comments, parse errors, non-journaled commands, oversize lines,
+    /// journal-less daemons — is a batch boundary handled by
+    /// [`Daemon::handle_line`], so the emitted events are byte-for-byte
+    /// what the per-line loop would produce for the same input.
+    ///
+    /// Returns one `(events, flow)` entry per processed line, in input
+    /// order. A non-`Continue` flow is always the last entry: after
+    /// `Shutdown` the remaining lines are not read, and after `Crashed`
+    /// (the seeded `batch-crash` chaos point, or any armed chaos plan
+    /// reached through a boundary line) the staged commands die
+    /// unapplied and unacknowledged — exactly the window crash recovery
+    /// must cover.
+    pub fn handle_batch<S: AsRef<str>>(&mut self, lines: &[S]) -> Vec<(Vec<Value>, Flow)> {
+        let mut out = Vec::with_capacity(lines.len());
+        let mut pending: Vec<Pending> = Vec::new();
+        for line in lines {
+            let line = line.as_ref();
+            match self.stage(line, &mut pending) {
+                Staged::Queued => {}
+                Staged::Crashed => {
+                    out.push((Vec::new(), Flow::Crashed));
+                    return out;
+                }
+                Staged::Boundary => {
+                    self.flush_pending(&mut pending, &mut out);
+                    let (events, flow) = self.handle_line(line);
+                    let stop = flow != Flow::Continue;
+                    out.push((events, flow));
+                    if stop {
+                        return out;
+                    }
+                }
+            }
+        }
+        self.flush_pending(&mut pending, &mut out);
+        out
+    }
+
+    /// Stage one line into the group-commit batch, when it qualifies:
+    /// journal attached, within the size limit, parses to a journaled
+    /// command, and no chaos plan armed that the sequential path must
+    /// handle (only `batch-crash` is batch-aware).
+    fn stage(&mut self, line: &str, pending: &mut Vec<Pending>) -> Staged {
+        if self.journal.is_none() || line.len() > self.max_line {
+            return Staged::Boundary;
+        }
+        if let Some(chaos) = &self.chaos {
+            if !chaos.batch_crash_plan() {
+                return Staged::Boundary;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Staged::Boundary;
+        }
+        let Ok(v) = json::parse(trimmed) else {
+            return Staged::Boundary;
+        };
+        let Some(cmd) = v.get("cmd").and_then(Value::as_str) else {
+            return Staged::Boundary;
+        };
+        if !matches!(
+            cmd,
+            "submit" | "node-down" | "node-up" | "advance" | "drain"
+        ) {
+            return Staged::Boundary;
+        }
+        let cmd = cmd.to_string();
+        let crash = matches!(
+            self.chaos.as_mut().map(ChaosState::on_append),
+            Some(ChaosAction::CrashAfter)
+        );
+        let j = self.journal.as_mut().expect("checked above");
+        let appended = j.append_async(trimmed);
+        if crash {
+            // The seeded batch-crash: the append is queued (the writer
+            // may or may not get it to disk before the process dies)
+            // but neither this command nor the staged ones before it
+            // are ever applied or acknowledged.
+            return Staged::Crashed;
+        }
+        match appended {
+            Ok(seq) => {
+                pending.push(Pending { cmd, v, seq });
+                Staged::Queued
+            }
+            // Journal failure: nothing was enqueued and no sequence
+            // number was consumed. The sequential path reproduces the
+            // same sticky error as an `error` event.
+            Err(_) => Staged::Boundary,
+        }
+    }
+
+    /// Make every staged command durable with one wait on the writer,
+    /// then apply them in order, appending each command's events.
+    fn flush_pending(&mut self, pending: &mut Vec<Pending>, out: &mut Vec<(Vec<Value>, Flow)>) {
+        let Some(last) = pending.last() else { return };
+        let wait = self
+            .journal
+            .as_mut()
+            .expect("staged commands imply a journal")
+            .wait_durable(last.seq);
+        if let Err(e) = wait {
+            // Write-ahead discipline: none of the staged commands may
+            // be applied. Each reports the journal failure, exactly as
+            // the sequential path would have.
+            let message = e.to_string();
+            for _ in pending.drain(..) {
+                out.push((vec![error_event(message.clone())], Flow::Continue));
+            }
+            return;
+        }
+        for p in std::mem::take(pending) {
+            out.push(match self.apply(&p.cmd, &p.v, Some(p.seq)) {
+                Ok(res) => res,
+                Err(message) => (vec![error_event(message)], Flow::Continue),
+            });
         }
     }
 
@@ -382,6 +501,7 @@ impl Daemon {
         // Write-ahead: state-mutating commands hit the journal before
         // the session. A journal failure means the command is NOT
         // applied; a seeded chaos point turns into an immediate crash.
+        let mut seq = None;
         if self.journal.is_some()
             && matches!(
                 cmd,
@@ -391,15 +511,28 @@ impl Daemon {
             if let Some(flow) = self.journal_append(line)? {
                 return Ok((Vec::new(), flow));
             }
+            // The append just consumed this command's sequence number.
+            seq = self.journal.as_ref().map(Journal::last_seq);
         }
+        self.apply(cmd, &v, seq)
+    }
+
+    /// Apply a parsed command that has already cleared the write-ahead
+    /// journal (`seq` is its journal sequence number, when journaled).
+    fn apply(
+        &mut self,
+        cmd: &str,
+        v: &Value,
+        seq: Option<u64>,
+    ) -> Result<(Vec<Value>, Flow), String> {
         match cmd {
-            "submit" => self.submit(&v),
-            "node-down" => self.node_event(&v, false),
-            "node-up" => self.node_event(&v, true),
-            "advance" => self.advance(&v),
-            "drain" => self.drain(),
+            "submit" => self.submit(v),
+            "node-down" => self.node_event(v, false),
+            "node-up" => self.node_event(v, true),
+            "advance" => self.advance(v),
+            "drain" => self.drain(seq),
             "stats" => Ok((vec![self.stats_event()], Flow::Continue)),
-            "snapshot" => self.snapshot(&v),
+            "snapshot" => self.snapshot(v),
             "shutdown" => {
                 let mut done = self.stats_event();
                 if let Value::Obj(m) = &mut done {
@@ -495,9 +628,12 @@ impl Daemon {
         Ok((events, Flow::Continue))
     }
 
-    /// The `drained` ack. Journaled daemons also report the last journal
-    /// sequence number, so clients know what is durable.
-    fn drained_event(&self) -> Value {
+    /// The `drained` ack. Journaled daemons also report this drain's
+    /// own journal sequence number, so clients know what is durable.
+    /// (`seq` rather than the journal's high-water mark: under the
+    /// batched path later commands may already hold higher numbers when
+    /// the drain is applied.)
+    fn drained_event(&self, seq: Option<u64>) -> Value {
         let mut pairs = vec![
             ("event".into(), Value::Str("drained".into())),
             ("now".into(), Value::Num(self.session.now())),
@@ -507,12 +643,13 @@ impl Daemon {
             ),
         ];
         if let Some(j) = &self.journal {
-            pairs.push(("journal_seq".into(), Value::Num(j.last_seq() as f64)));
+            let seq = seq.unwrap_or_else(|| j.last_seq());
+            pairs.push(("journal_seq".into(), Value::Num(seq as f64)));
         }
         obj(pairs)
     }
 
-    fn drain(&mut self) -> Result<(Vec<Value>, Flow), String> {
+    fn drain(&mut self, seq: Option<u64>) -> Result<(Vec<Value>, Flow), String> {
         let mut events = Vec::new();
         if let Err(e) = self.session.drain() {
             // A scheduler fault (quarantine pending) can leave the drain
@@ -542,7 +679,7 @@ impl Daemon {
         }
         self.drain_outputs(&mut events);
         self.process_quarantines(&mut events);
-        events.push(self.drained_event());
+        events.push(self.drained_event(seq));
         Ok((events, Flow::Continue))
     }
 
@@ -665,6 +802,34 @@ impl Daemon {
             }
         }
     }
+}
+
+/// A journaled command staged by [`Daemon::handle_batch`]: parsed,
+/// sequence-numbered, and awaiting its group-commit ack.
+struct Pending {
+    cmd: String,
+    v: Value,
+    seq: u64,
+}
+
+/// Outcome of staging one line into the group-commit batch.
+enum Staged {
+    /// Journaled and queued; durability and application are deferred.
+    Queued,
+    /// Not batchable — flush the staged run, then hand the line to the
+    /// sequential path.
+    Boundary,
+    /// A seeded `batch-crash` fired: die with the staged run unapplied.
+    Crashed,
+}
+
+/// The protocol's uniform failure shape — commands never kill the
+/// daemon, they answer with one of these.
+fn error_event(message: String) -> Value {
+    obj([
+        ("event".into(), Value::Str("error".into())),
+        ("message".into(), Value::Str(message)),
+    ])
 }
 
 fn decision_event(e: &TimelineEntry) -> Value {

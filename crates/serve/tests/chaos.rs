@@ -279,6 +279,103 @@ fn crash_free_journal_replays_to_the_same_state() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The batched command path must be invisible in the output: any
+/// chunking of the script through `handle_batch` emits the same event
+/// bytes as the per-line loop, and leaves the same journal behind.
+#[test]
+fn batched_path_matches_sequential_bytes_and_journal() {
+    let seq_dir = tmpdir("seq");
+    let mut seq_events = Vec::new();
+    {
+        let mut d = daemon_with_journal(&seq_dir);
+        for c in SCRIPT {
+            let (ev, flow) = d.handle_line(c);
+            assert_ne!(flow, Flow::Crashed);
+            seq_events.extend(compacts(&ev));
+        }
+    }
+    let seq_journal = journal::scan(&seq_dir).unwrap();
+
+    for chunk in [1usize, 2, 3, 5, SCRIPT.len()] {
+        let dir = tmpdir("batch");
+        let mut events = Vec::new();
+        {
+            let mut d = daemon_with_journal(&dir);
+            for lines in SCRIPT.chunks(chunk) {
+                for (ev, flow) in d.handle_batch(lines) {
+                    assert_ne!(flow, Flow::Crashed);
+                    events.extend(compacts(&ev));
+                }
+            }
+        }
+        assert_eq!(events, seq_events, "chunk size {chunk}");
+        let rec = journal::scan(&dir).unwrap();
+        assert_eq!(rec.lines, seq_journal.lines, "chunk size {chunk}");
+        assert_eq!(rec.last_seq, seq_journal.last_seq, "chunk size {chunk}");
+        assert_eq!(rec.covered, seq_journal.covered, "chunk size {chunk}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&seq_dir);
+}
+
+/// The crash window only the batched path has: commands staged after a
+/// group-commit append but never acknowledged or applied. The journal
+/// (drained by the drop, as a real crash's completed writes would be)
+/// replays them exactly once; resuming the script after the crashed
+/// command converges on the reference state for every staged position.
+#[test]
+fn batch_crash_between_append_and_ack_recovers() {
+    // Reference: the final stats of an undisturbed batched run.
+    let refdir = tmpdir("bref");
+    let want_stats = {
+        let mut d = daemon_with_journal(&refdir);
+        let out = d.handle_batch(SCRIPT);
+        compacts(&out.last().unwrap().0)
+    };
+
+    for at in 1..=mutating_count() {
+        let dir = tmpdir("bcrash");
+        let mut d = daemon_with_journal(&dir);
+        d.set_chaos(format!("batch-crash:{at}").parse().unwrap());
+        // The whole script in ONE batch: every journaled command since
+        // the last boundary is staged (appended asynchronously) and
+        // none of them applied when the crash fires.
+        let out = d.handle_batch(SCRIPT);
+        let (ev, flow) = out.last().unwrap();
+        assert_eq!(*flow, Flow::Crashed, "batch-crash:{at} must fire");
+        assert!(ev.is_empty(), "a crash must not acknowledge");
+        // Dropping the daemon is the kill; the journal drains its
+        // writer queue, so every staged command is durable.
+        drop(d);
+
+        let (mut d, recovery) = Daemon::recover(&dir, FsyncPolicy::Always)
+            .unwrap_or_else(|e| panic!("batch-crash:{at}: {e}"));
+        assert_eq!(
+            recovery.last_seq, at,
+            "batch-crash:{at}: every staged command is durable, nothing more"
+        );
+        assert_eq!(
+            recovery.replayed,
+            at - recovery.covered,
+            "batch-crash:{at}: the whole suffix replays exactly once"
+        );
+        // Standard WAL client protocol: resume after the last staged
+        // (= now replayed) command.
+        let crash_line = SCRIPT
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| journaled(l))
+            .nth(at as usize - 1)
+            .map(|(i, _)| i)
+            .unwrap();
+        let out = d.handle_batch(&SCRIPT[crash_line + 1..]);
+        let got = compacts(&out.last().unwrap().0);
+        assert_eq!(got, want_stats, "batch-crash:{at}: state diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&refdir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

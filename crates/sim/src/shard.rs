@@ -23,8 +23,9 @@
 //!    the global state by [`ShardView::refresh`] before every
 //!    delivery (`O(running jobs in shard)`).
 //!
-//! Job ids inside a view are **local and dense** (the [`JobStore`]
-//! window requires density); [`ShardView::global_job`] translates a
+//! Job ids inside a view are **local and dense** (the
+//! [`JobStore`](crate::state::JobStore) window requires density);
+//! [`ShardView::global_job`] translates a
 //! local id back. Node ids translate by offset: local node `k` is
 //! global node `lo + k`.
 //!
